@@ -1,0 +1,115 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6:
+//!
+//! * **routing order** — cube-first vs butterfly-first legs (same length,
+//!   different congestion; here the raw routing cost);
+//! * **representation** — classic `(word, level)` vs Cayley signed-cycle
+//!   neighbor generation;
+//! * **fault family** — scanning the Theorem-5 family for a fault-free
+//!   member vs exact BFS re-routing;
+//! * **storage** — BFS over the materialised CSR graph vs the implicit
+//!   generator-application BFS (`word_metric_profile`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hb_butterfly::{classic, Butterfly};
+use hb_core::disjoint::DisjointEngine;
+use hb_core::{fault_routing, routing, HyperButterfly};
+use hb_graphs::traverse;
+use hb_netsim::topology::{HbRouteOrder, HyperButterflyNet, NetTopology};
+use hb_netsim::{run, run_adaptive, sim::SimConfig, workload};
+use hb_group::cayley::{word_metric_profile, CayleyTopology};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(20);
+
+    // Routing order.
+    let hb = HyperButterfly::new(3, 6).unwrap();
+    let pairs: Vec<_> = (0..256)
+        .map(|i| (hb.node(i * 37 % hb.num_nodes()), hb.node(i * 101 % hb.num_nodes())))
+        .collect();
+    g.bench_function("routing_order/cube_first_256", |b| {
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                black_box(routing::route(&hb, u, v));
+            }
+        })
+    });
+    g.bench_function("routing_order/butterfly_first_256", |b| {
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                black_box(routing::route_butterfly_first(&hb, u, v));
+            }
+        })
+    });
+
+    // Representation: neighbor generation over the whole of B_8.
+    let bf = Butterfly::new(8).unwrap();
+    g.bench_function("representation/cayley_neighbors_B8", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for v in bf.nodes() {
+                for w in v.neighbors() {
+                    acc ^= w.index();
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("representation/classic_neighbors_B8", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for idx in 0..bf.num_nodes() {
+                let v = classic::ClassicNode::from_index(8, idx);
+                for w in classic::neighbors(8, v) {
+                    acc ^= w.index(8);
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    // Fault family: family scan vs exact BFS reroute under 5 faults.
+    let hb24 = HyperButterfly::new(2, 4).unwrap();
+    let graph = hb24.build_graph().unwrap();
+    let eng = DisjointEngine::new(hb24).unwrap();
+    let u = hb24.node(0);
+    let v = hb24.node(hb24.num_nodes() - 1);
+    let faults: Vec<_> = (1..=5).map(|i| hb24.node(i * 13)).collect();
+    g.bench_function("fault_family/theorem5_scan", |b| {
+        b.iter(|| black_box(fault_routing::route_avoiding(&eng, u, v, &faults).unwrap()))
+    });
+    g.bench_function("fault_family/exact_bfs", |b| {
+        b.iter(|| {
+            black_box(fault_routing::route_avoiding_exact(&hb24, &graph, u, v, &faults).unwrap())
+        })
+    });
+
+    // Adaptivity: oblivious vs adaptive simulation under hotspot load.
+    let net = HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap();
+    let inj = workload::hotspot(net.num_nodes(), 50, 0.2, 0, 0.4, 5);
+    let cfg = SimConfig { max_cycles: 20_000, stop_when_drained: true };
+    g.bench_function("adaptivity/oblivious_hotspot", |b| {
+        b.iter(|| black_box(run(&net, &inj, cfg)))
+    });
+    g.bench_function("adaptivity/adaptive_hotspot", |b| {
+        b.iter(|| black_box(run_adaptive(&net, &inj, cfg)))
+    });
+
+    // Storage: CSR BFS vs implicit generator BFS on HB(2, 5).
+    let hb25 = HyperButterfly::new(2, 5).unwrap();
+    let csr = hb25.build_graph().unwrap();
+    g.bench_function("storage/csr_bfs_HB_2_5", |b| {
+        b.iter(|| black_box(traverse::bfs(&csr, 0)))
+    });
+    g.bench_function("storage/implicit_bfs_HB_2_5", |b| {
+        b.iter(|| black_box(word_metric_profile(&hb25)))
+    });
+    g.bench_function("storage/csr_construction_HB_2_5", |b| {
+        b.iter(|| black_box(CayleyTopology::build_graph(&hb25).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E7 bench: broadcast schedule construction for the two-phase HB
+//! schedule vs the greedy baseline, plus verification cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hb_core::{broadcast, HyperButterfly};
+use hb_graphs::broadcast::greedy_broadcast;
+use std::hint::black_box;
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broadcast");
+    g.sample_size(10);
+    let hb = HyperButterfly::new(3, 6).unwrap();
+    let graph = hb.build_graph().unwrap();
+    let root = hb.identity_node();
+
+    g.bench_function("two_phase_schedule_HB_3_6", |b| {
+        b.iter(|| black_box(broadcast::broadcast_schedule(&hb, root)))
+    });
+    g.bench_function("greedy_schedule_HB_3_6", |b| {
+        b.iter(|| black_box(greedy_broadcast(&graph, 0)))
+    });
+    let sched = broadcast::broadcast_schedule(&hb, root);
+    g.bench_function("verify_schedule_HB_3_6", |b| {
+        b.iter(|| assert!(black_box(sched.verify_on_graph(&graph, 0))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_broadcast);
+criterion_main!(benches);

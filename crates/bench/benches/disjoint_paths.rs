@@ -1,0 +1,46 @@
+//! E4 bench: Theorem-5 family construction throughput per case, and the
+//! flow-certified comparator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hb_core::disjoint::DisjointEngine;
+use hb_core::{HbNode, HyperButterfly};
+use hb_graphs::connectivity;
+use std::hint::black_box;
+
+fn bench_disjoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("disjoint_paths");
+    g.sample_size(20);
+    let hb = HyperButterfly::new(3, 5).unwrap();
+    let eng = DisjointEngine::new(hb).unwrap();
+    let u = hb.identity_node();
+
+    // Case 1: same butterfly part, antipodal hypercube part.
+    let v1 = HbNode::new(0b111, u.b);
+    g.bench_function("case1_same_butterfly_part", |b| {
+        b.iter(|| black_box(eng.paths(u, v1).unwrap()))
+    });
+
+    // Case 2: same hypercube part, far butterfly part.
+    let far_b = hb.butterfly().node(hb.butterfly().num_nodes() - 1);
+    let v2 = HbNode::new(0, far_b);
+    g.bench_function("case2_same_hypercube_part", |b| {
+        b.iter(|| black_box(eng.paths(u, v2).unwrap()))
+    });
+
+    // Case 3 generic: both parts differ by >= 2.
+    let v3 = HbNode::new(0b110, far_b);
+    g.bench_function("case3_generic", |b| {
+        b.iter(|| black_box(eng.paths(u, v3).unwrap()))
+    });
+
+    // Flow-certified comparator on a small instance.
+    let small = HyperButterfly::new(2, 3).unwrap();
+    let sg = small.build_graph().unwrap();
+    g.bench_function("flow_certificate_HB_2_3", |b| {
+        b.iter(|| black_box(connectivity::max_disjoint_paths(&sg, 0, 95)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_disjoint);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E10 bench: distributed protocol execution cost (rounds are fixed by
+//! the algorithm; this times the simulation machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hb_core::HyperButterfly;
+use hb_distributed::{election, gossip, spanning_tree};
+use std::hint::black_box;
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distributed");
+    g.sample_size(10);
+    let hb = HyperButterfly::new(2, 4).unwrap();
+    let graph = hb.build_graph().unwrap();
+    let d = hb.diameter();
+
+    g.bench_function("election_HB_2_4", |b| {
+        b.iter(|| {
+            let out = election::elect(&graph, d);
+            assert!(out.terminated);
+            black_box(out)
+        })
+    });
+    g.bench_function("spanning_tree_HB_2_4", |b| {
+        b.iter(|| black_box(spanning_tree::build_tree(&graph, 0)))
+    });
+    g.bench_function("gossip_HB_2_4", |b| {
+        b.iter(|| black_box(gossip::gossip(&graph)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_distributed);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E6 bench: construction cost of the Section-4 embeddings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hb_core::{embed, HyperButterfly};
+use std::hint::black_box;
+
+fn bench_embeddings(c: &mut Criterion) {
+    let mut g = c.benchmark_group("embeddings");
+    g.sample_size(20);
+    let hb = HyperButterfly::new(3, 5).unwrap();
+
+    g.bench_function("hamiltonian_cycle_HB_3_5", |b| {
+        b.iter(|| black_box(embed::hamiltonian_cycle(&hb).unwrap()))
+    });
+    g.bench_function("even_cycle_half_HB_3_5", |b| {
+        let k = hb.num_nodes() / 2;
+        let k = if k % 2 == 0 { k } else { k - 1 };
+        b.iter(|| black_box(embed::even_cycle(&hb, k).unwrap()))
+    });
+    g.bench_function("torus_4x10_HB_3_5", |b| {
+        b.iter(|| black_box(embed::torus(&hb, 4, 2, 0).unwrap()))
+    });
+    g.bench_function("binary_tree_HB_3_5", |b| {
+        b.iter(|| black_box(embed::binary_tree(&hb)))
+    });
+    g.bench_function("mesh_of_trees_1_3_HB_3_5", |b| {
+        b.iter(|| black_box(embed::mesh_of_trees(&hb, 1, 3).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_embeddings);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Emulation bench: classic parallel algorithms on the butterfly /
+//! hyper-butterfly fabrics (the paper's "emulates most existing
+//! architectures" claim as throughput numbers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hb_butterfly::{emulate, Butterfly};
+use hb_core::{emulate as hbe, HyperButterfly};
+use std::hint::black_box;
+
+fn bench_emulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulation");
+    g.sample_size(20);
+
+    let b = Butterfly::new(8).unwrap();
+    let keys: Vec<i64> = (0..256).map(|k| (k * 193 + 7) % 1000).collect();
+    g.bench_function("bitonic_sort_256_on_B8", |bch| {
+        bch.iter(|| {
+            let (sorted, _) = emulate::bitonic_sort(&b, keys.clone());
+            black_box(sorted)
+        })
+    });
+    g.bench_function("reduce_all_256_on_B8", |bch| {
+        bch.iter(|| black_box(emulate::reduce_all(&b, keys.clone(), |a, c| a + c)))
+    });
+    g.bench_function("prefix_sums_256_on_B8", |bch| {
+        bch.iter(|| black_box(emulate::prefix_sums(&b, keys.clone())))
+    });
+
+    let hb = HyperButterfly::new(2, 4).unwrap();
+    let a: Vec<i64> = (0..2 * 16).map(|k| k % 7 - 3).collect();
+    let x: Vec<i64> = (0..16).map(|j| j - 8).collect();
+    g.bench_function("matvec_2x16_on_HB_2_4", |bch| {
+        bch.iter(|| black_box(hbe::matvec(&hb, 1, 4, &a, &x).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_emulation);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E5 bench: fault-injection trial throughput and the Remark-10 family
+//! router under a maximal fault load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hb_bench::fault_exp;
+use hb_core::disjoint::DisjointEngine;
+use hb_core::{fault_routing, HyperButterfly};
+use hb_netsim::faults;
+use std::hint::black_box;
+
+fn bench_faults(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fault_tolerance");
+    g.sample_size(10);
+
+    let hb = HyperButterfly::new(2, 4).unwrap();
+    let graph = hb.build_graph().unwrap();
+    g.bench_function("random_trials_f5_x20_HB_2_4", |b| {
+        b.iter(|| black_box(faults::random_fault_trials(&graph, 5, 20, 4, 11)))
+    });
+    g.bench_function("adversarial_trials_f5_x20_HB_2_4", |b| {
+        b.iter(|| black_box(faults::adversarial_fault_trials(&graph, 5, 20, 11)))
+    });
+    g.bench_function("exhaustive_single_faults_HB_2_4", |b| {
+        b.iter(|| black_box(faults::exhaustive_fault_check(&graph, 1).unwrap()))
+    });
+
+    let eng = DisjointEngine::new(hb).unwrap();
+    let u = hb.node(0);
+    let v = hb.node(hb.num_nodes() - 1);
+    let faults: Vec<_> = (1..=5).map(|i| hb.node(i * 17)).collect();
+    g.bench_function("family_router_5_faults_HB_2_4", |b| {
+        b.iter(|| black_box(fault_routing::route_avoiding(&eng, u, v, &faults).unwrap()))
+    });
+
+    g.bench_function("sweep_hb_1_3_f0_to_5_x10", |b| {
+        b.iter(|| black_box(fault_exp::sweep_hb(1, 3, 5, 10, 3).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_faults);
+criterion_main!(benches);

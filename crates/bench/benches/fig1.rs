@@ -1,0 +1,33 @@
+//! Figure 1 bench: time the full measurement pipeline that regenerates
+//! the four-topology comparison table at growing `(m, n)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hb_bench::fig1;
+use hb_core::metrics::MeasureLevel;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    for &(m, n) in &[(2u32, 3u32), (2, 4), (3, 4)] {
+        g.bench_with_input(
+            BenchmarkId::new("measure_diameter_level", format!("m{m}_n{n}")),
+            &(m, n),
+            |b, &(m, n)| {
+                b.iter(|| {
+                    let rows = fig1::measure(m, n, MeasureLevel::Diameter).unwrap();
+                    assert!(fig1::discrepancies(m, n, &rows).is_empty());
+                    black_box(rows)
+                })
+            },
+        );
+    }
+    // The connectivity-certified level on the smallest instance.
+    g.bench_function("measure_full_level_m2_n3", |b| {
+        b.iter(|| black_box(fig1::measure(2, 3, MeasureLevel::Full).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 2 bench: the paper-scale instances (16384 nodes). Times graph
+//! materialisation and the transitivity-aware diameter measurement that
+//! the table regeneration relies on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hb_core::HyperButterfly;
+use hb_debruijn::HyperDeBruijn;
+use hb_graphs::shortest;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+
+    g.bench_function("build_hb_3_8", |b| {
+        let hb = HyperButterfly::new(3, 8).unwrap();
+        b.iter(|| black_box(hb.build_graph().unwrap()))
+    });
+    g.bench_function("build_hd_3_11", |b| {
+        let hd = HyperDeBruijn::new(3, 11).unwrap();
+        b.iter(|| black_box(hd.build_graph().unwrap()))
+    });
+    g.bench_function("diameter_hb_3_8_single_bfs", |b| {
+        let graph = HyperButterfly::new(3, 8).unwrap().build_graph().unwrap();
+        b.iter(|| {
+            let d = shortest::diameter_vertex_transitive(&graph).unwrap();
+            assert_eq!(d, 15);
+            black_box(d)
+        })
+    });
+    g.bench_function("eccentricity_hd_3_11_one_source", |b| {
+        let graph = HyperDeBruijn::new(3, 11).unwrap().build_graph().unwrap();
+        b.iter(|| black_box(shortest::eccentricity(&graph, 0).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E8 bench: simulator throughput on the matched 256-node instances.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hb_netsim::topology::{HbRouteOrder, HyperButterflyNet, HyperDeBruijnNet, NetTopology};
+use hb_netsim::{run, sim::SimConfig, workload};
+use std::hint::black_box;
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    g.sample_size(10);
+
+    let hb = HyperButterflyNet::new(2, 4, HbRouteOrder::CubeFirst).unwrap();
+    let hd = HyperDeBruijnNet::new(2, 6).unwrap();
+    let cfg = SimConfig { max_cycles: 50_000, stop_when_drained: true };
+
+    let inj_hb = workload::uniform(hb.num_nodes(), 100, 0.1, 42);
+    g.bench_function("uniform_rate0.1_100cy_HB_2_4", |b| {
+        b.iter(|| {
+            let s = run(&hb, &inj_hb, cfg);
+            assert_eq!(s.stranded, 0);
+            black_box(s)
+        })
+    });
+    let inj_hd = workload::uniform(hd.num_nodes(), 100, 0.1, 42);
+    g.bench_function("uniform_rate0.1_100cy_HD_2_6", |b| {
+        b.iter(|| black_box(run(&hd, &inj_hd, cfg)))
+    });
+    let perm = workload::permutation(hb.num_nodes(), 10, 2, 42);
+    g.bench_function("permutation_10rounds_HB_2_4", |b| {
+        b.iter(|| black_box(run(&hb, &perm, cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_netsim);
+criterion_main!(benches);

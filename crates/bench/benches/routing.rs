@@ -1,0 +1,61 @@
+//! E3 bench: point-to-point routing throughput — the paper's claim is
+//! that HB routing is "extremely simple"; here is what that buys in
+//! routes per second against BFS-based routing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hb_core::{routing, HyperButterfly};
+use hb_graphs::traverse;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing");
+    for &(m, n) in &[(2u32, 4u32), (3, 6), (3, 8)] {
+        let hb = HyperButterfly::new(m, n).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let pairs: Vec<(usize, usize)> = (0..512)
+            .map(|_| {
+                (
+                    rng.random_range(0..hb.num_nodes()),
+                    rng.random_range(0..hb.num_nodes()),
+                )
+            })
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("algorithmic_512_routes", format!("HB_{m}_{n}")),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    for &(s, t) in pairs {
+                        black_box(routing::route(&hb, hb.node(s), hb.node(t)));
+                    }
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("distance_512", format!("HB_{m}_{n}")),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    for &(s, t) in pairs {
+                        black_box(routing::distance(&hb, hb.node(s), hb.node(t)));
+                    }
+                })
+            },
+        );
+    }
+    // BFS comparator on a mid-size instance.
+    let hb = HyperButterfly::new(2, 4).unwrap();
+    let graph = hb.build_graph().unwrap();
+    g.bench_function("bfs_route_comparator_HB_2_4", |b| {
+        b.iter(|| {
+            let tree = traverse::bfs(&graph, 0);
+            black_box(tree.path_to(hb.num_nodes() - 1))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

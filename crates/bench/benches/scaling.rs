@@ -1,0 +1,40 @@
+//! Scalability bench: graph materialisation and diameter measurement as
+//! `HB(m, n)` grows from 96 to ~160k nodes — the "scalable" in the
+//! paper's title, quantified.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hb_core::HyperButterfly;
+use hb_graphs::shortest;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scaling");
+    g.sample_size(10);
+    for &(m, n) in &[(2u32, 3u32), (2, 6), (3, 8), (4, 10)] {
+        let hb = HyperButterfly::new(m, n).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("build_graph", format!("HB_{m}_{n}_{}nodes", hb.num_nodes())),
+            &hb,
+            |b, hb| b.iter(|| black_box(hb.build_graph().unwrap())),
+        );
+    }
+    for &(m, n) in &[(2u32, 3u32), (2, 6), (3, 8)] {
+        let hb = HyperButterfly::new(m, n).unwrap();
+        let graph = hb.build_graph().unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("diameter_single_bfs", format!("HB_{m}_{n}")),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    let d = shortest::diameter_vertex_transitive(graph).unwrap();
+                    assert_eq!(d, hb.diameter());
+                    black_box(d)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! E7: broadcast rounds vs the single-port lower bound across HB, HD,
+//! and the hypercube at matched sizes.
+
+use hb_bench::broadcast_exp;
+
+fn main() {
+    let rows = vec![
+        broadcast_exp::hb_row(2, 4).expect("HB(2,4)"),
+        broadcast_exp::hd_row(2, 6).expect("HD(2,6)"),
+        broadcast_exp::hypercube_row(8).expect("H(8)"),
+        broadcast_exp::hb_row(3, 5).expect("HB(3,5)"),
+        broadcast_exp::hd_row(3, 8).expect("HD(3,8)"),
+    ];
+    print!("{}", broadcast_exp::render(&rows));
+}

@@ -1,0 +1,27 @@
+//! E9: edge forwarding index (static routing congestion) at matched node
+//! counts plus a same-(m, n) pair.
+//!
+//! Usage: `congestion_experiment [m] [n]` — defaults to the matched
+//! 256-node set plus the pair `HB(2, 4)` / `HD(2, 4)`.
+
+use hb_bench::congestion_exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    println!("Matched 256-node instances (all-pairs routes):");
+    print!("{}", congestion_exp::render(&congestion_exp::matched_forwarding().expect("matched")));
+    let m: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let n: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    println!("\nSame-(m, n) pair at ({m}, {n}):");
+    print!("{}", congestion_exp::render(&congestion_exp::pair_forwarding(m, n).expect("pair")));
+    println!("\nNull model: HB(2, 4) vs a random 6-regular graph (256 nodes):");
+    for (name, diam, mean, witness) in
+        congestion_exp::null_model_rows(2, 4, 0xE9).expect("null model")
+    {
+        println!("  {name:<16} diameter {diam:>2}  mean distance {mean:>6.3}  min-degree witness {witness}");
+    }
+    println!("\nBisection-width upper bounds (Kernighan-Lin, VLSI area driver):");
+    for (name, nodes, cut) in congestion_exp::bisection_bounds(2, 3, 6).expect("bisection") {
+        println!("  {name:<10} {nodes:>5} nodes  cut <= {cut}");
+    }
+}

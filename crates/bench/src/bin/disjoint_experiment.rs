@@ -1,0 +1,28 @@
+//! E4: Theorem-5 disjoint-path families over random pairs.
+//!
+//! Usage: `disjoint_experiment [m] [n] [pairs] [--certify]` — defaults
+//! `(3, 4, 500)`; `--certify` cross-checks each pair against the
+//! flow-certified maximum (small instances only).
+
+use hb_bench::disjoint_exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let m: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let n: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let pairs: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let certify = args.iter().any(|a| a == "--certify");
+    match disjoint_exp::run(m, n, pairs, certify, 0xE4) {
+        Ok(r) => {
+            print!("{}", disjoint_exp::render(&r));
+            if r.bound_violations > 0 {
+                eprintln!("FAIL: bound violations");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("disjoint_experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! E10: distributed algorithms (election / spanning tree / gossip) on the
+//! matched 256-node instances.
+
+use hb_bench::distributed_exp;
+
+fn main() {
+    let rows = distributed_exp::matched_rows().expect("all protocols validate");
+    print!("{}", distributed_exp::render(&rows));
+}

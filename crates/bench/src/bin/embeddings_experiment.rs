@@ -1,0 +1,29 @@
+//! E6: the Section-4 embedding suite, constructed and validated.
+//!
+//! Usage: `embeddings_experiment [m] [n] [--exhaustive]` — defaults
+//! `(2, 4)`; `--exhaustive` validates every even cycle length.
+
+use hb_bench::embed_exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let m: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let n: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let exhaustive = args.iter().any(|a| a == "--exhaustive");
+    match embed_exp::cycle_rows(m.min(2), n.min(4), 100_000_000) {
+        Ok(rows) => {
+            println!("Figure-1 'Cycles' row, measured on small instances:");
+            for r in rows {
+                println!("  {:<10} {}", r.name, r.verdict);
+            }
+        }
+        Err(e) => eprintln!("cycle-spectrum measurement skipped: {e}"),
+    }
+    match embed_exp::run(m, n, exhaustive) {
+        Ok(r) => print!("{}", embed_exp::render(&r)),
+        Err(e) => {
+            eprintln!("embeddings_experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

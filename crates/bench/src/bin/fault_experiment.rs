@@ -1,0 +1,68 @@
+//! E5: fault-injection sweep (HB vs HD) + Remark-10 family router at the
+//! maximal allowable fault count.
+//!
+//! Usage: `fault_experiment [trials]` — default 100 trials per fault
+//! level, on `HB(2, 4)` (256 nodes) vs `HD(2, 6)` (256 nodes).
+
+use hb_bench::fault_exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let hb = fault_exp::sweep_hb(2, 4, 9, trials, 0xE5).expect("HB sweep");
+    let hd = fault_exp::sweep_hd(2, 6, 9, trials, 0xE5).expect("HD sweep");
+    print!("{}", fault_exp::render(std::slice::from_ref(&hb)));
+    print!("{}", fault_exp::render(std::slice::from_ref(&hd)));
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        let path = args.get(i + 1).expect("--csv needs a file path");
+        std::fs::write(path, hb_bench::csv::fault_csv(&[hb.clone(), hd.clone()]))
+            .expect("write csv");
+        eprintln!("wrote {path}");
+    }
+    let thb = fault_exp::adversarial_hb(2, 4, 7, trials, 0xE5).expect("HB targeted");
+    let thd = fault_exp::adversarial_hd(2, 6, 7, trials, 0xE5).expect("HD targeted");
+    println!("\nTargeted (adversarial) neighborhood faults — threshold = min degree:");
+    print!("{}", fault_exp::render(&[thb, thd]));
+    println!("\nSurvivor fragility (mean articulation points after f random faults):");
+    {
+        use hb_netsim::faults::survivor_fragility;
+        let hb = hb_core::HyperButterfly::new(2, 4).expect("HB");
+        let ghb = hb.build_graph().expect("graph");
+        let hd = hb_debruijn::HyperDeBruijn::new(2, 6).expect("HD");
+        let ghd = hd.build_graph().expect("graph");
+        print!("  {:<10}", "HB(2, 4)");
+        for f in [0usize, 4, 8, 16, 32, 64] {
+            print!(" f={f}:{:>6.2}", survivor_fragility(&ghb, f, trials.min(30), 0xE5));
+        }
+        println!();
+        print!("  {:<10}", "HD(2, 6)");
+        for f in [0usize, 4, 8, 16, 32, 64] {
+            print!(" f={f}:{:>6.2}", survivor_fragility(&ghd, f, trials.min(30), 0xE5));
+        }
+        println!();
+    }
+
+    println!("\nSingle-fault diameters (exact, all faults tried):");
+    for r in fault_exp::fault_diameters(2, 4).expect("fault diameters") {
+        match r.single_fault_diameter {
+            Some(d) => println!(
+                "  {:<10} diameter {} -> worst single-fault diameter {}{}",
+                r.name,
+                r.diameter,
+                d,
+                if r.theorem5_bound > 0 {
+                    format!("  (Theorem-5 bound {})", r.theorem5_bound)
+                } else {
+                    String::new()
+                }
+            ),
+            None => println!("  {:<10} a single fault can disconnect!", r.name),
+        }
+    }
+    let (ok, t) = fault_exp::family_router_at_max_faults(2, 4, trials, 0xE5).expect("router");
+    println!("Remark-10 family router at m+3 faults: {ok}/{t} routed");
+    if ok != t {
+        eprintln!("FAIL: family router must always succeed at <= m+3 faults");
+        std::process::exit(1);
+    }
+}

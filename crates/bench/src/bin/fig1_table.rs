@@ -1,0 +1,33 @@
+//! Regenerates the paper's Figure 1 (four-topology comparison) with
+//! measured values.
+//!
+//! Usage: `fig1_table [m] [n] [--full] [--csv FILE]` — defaults `(2, 3)`;
+//! `--full` additionally measures vertex connectivity by max-flow;
+//! `--csv` also writes the rows to FILE.
+
+use hb_bench::fig1;
+use hb_core::metrics::MeasureLevel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let m: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let n: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let level = if args.iter().any(|a| a == "--full") {
+        MeasureLevel::Full
+    } else {
+        MeasureLevel::Diameter
+    };
+    match fig1::report(m, n, level) {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("fig1_table failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        let path = args.get(i + 1).expect("--csv needs a file path");
+        let rows = fig1::measure(m, n, level).expect("measured above");
+        std::fs::write(path, hb_bench::csv::metrics_csv(&rows)).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates the paper's Figure 2: `HB(3,8)` vs `HD(3,11)` vs
+//! `HD(6,8)` at 16384 nodes each.
+//!
+//! Usage: `fig2_table [--proxy] [--trials T]` — `--proxy` runs the small
+//! proxies with *exact* flow-certified connectivity instead of the
+//! witness + trials evidence.
+
+use hb_bench::fig2::{self, Fig2Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--proxy") {
+        Fig2Scale::Proxy
+    } else {
+        Fig2Scale::Paper
+    };
+    let trials = args
+        .iter()
+        .position(|a| a == "--trials")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    match fig2::report(scale, trials, 0xF162) {
+        Ok(s) => print!("{s}"),
+        Err(e) => {
+            eprintln!("fig2_table failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! E8: packet-level simulation — uniform load sweep, hotspot run, and
+//! the routing-order ablation on matched 256-node instances.
+//!
+//! Usage: `netsim_compare [cycles]` — default 200 warm cycles.
+
+use hb_bench::netsim_exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cycles: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let rates = [0.02, 0.05, 0.1, 0.2, 0.4];
+    let uni = netsim_exp::uniform_sweep(&rates, cycles, 0xE8).expect("uniform sweep");
+    println!("Uniform traffic (rate sweep):");
+    print!("{}", netsim_exp::render(&uni));
+    let hot = netsim_exp::hotspot_run(0.1, cycles, 0xE8).expect("hotspot");
+    println!("\nHotspot traffic (30% to node 0):");
+    print!("{}", netsim_exp::render(&hot));
+    let nm = netsim_exp::null_model_sim(0.1, cycles, 0xE8).expect("null model");
+    println!("\nNull model (uniform traffic, HB vs random 6-regular):");
+    print!("{}", netsim_exp::render(&nm));
+    let abl = netsim_exp::routing_order_ablation(2, 4, 20, 0xE8).expect("ablation");
+    println!("\nRouting-order ablation (permutation traffic):");
+    print!("{}", netsim_exp::render(&abl));
+    let sat = netsim_exp::bounded_saturation(4, &[0.1, 0.3, 0.6], cycles, 0xE8)
+        .expect("bounded saturation");
+    println!("\nFinite buffers (capacity 4): delivered fraction vs rate:");
+    print!("{}", netsim_exp::render(&sat));
+    let ada = netsim_exp::adaptivity_ablation(2, 4, 0.25, cycles, 0xE8).expect("adaptivity");
+    println!("\nAdaptivity ablation (hotspot traffic, oblivious vs minimal adaptive):");
+    print!("{}", netsim_exp::render(&ada));
+}

@@ -1,0 +1,25 @@
+//! E3: routing optimality + distance histogram for `HB(m, n)`.
+//!
+//! Usage: `routing_experiment [m] [n] [samples]` — defaults `(3, 5, 2000)`.
+
+use hb_bench::routing_exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let m: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let n: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let samples: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2000);
+    match routing_exp::run(m, n, samples, 0xE3) {
+        Ok(r) => {
+            print!("{}", routing_exp::render(&r));
+            if r.suboptimal > 0 {
+                eprintln!("FAIL: {} suboptimal routes", r.suboptimal);
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("routing_experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Runs the complete experiment suite and writes both the human-readable
+//! tables and CSV files into a results directory.
+//!
+//! Usage: `run_all [out_dir] [--paper-scale]` — default `results/`;
+//! `--paper-scale` includes the 16384-node Figure-2 instances (slower).
+
+use hb_bench::{
+    broadcast_exp, congestion_exp, csv, distributed_exp, fault_exp, fig1, fig2, netsim_exp,
+    routing_exp,
+};
+use hb_core::metrics::MeasureLevel;
+use std::fs;
+use std::path::Path;
+
+fn write(dir: &Path, name: &str, contents: &str) {
+    let path = dir.join(name);
+    fs::write(&path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("  wrote {}", path.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dir = Path::new(
+        args.get(1).filter(|a| !a.starts_with("--")).map_or("results", String::as_str),
+    )
+    .to_path_buf();
+    let paper_scale = args.iter().any(|a| a == "--paper-scale");
+    fs::create_dir_all(&dir).expect("create results dir");
+
+    println!("Figure 1 (fully certified at (2, 3)):");
+    let rows = fig1::measure(2, 3, MeasureLevel::Full).expect("fig1");
+    assert!(fig1::discrepancies(2, 3, &rows).is_empty());
+    write(&dir, "fig1.txt", &fig1::report(2, 3, MeasureLevel::Full).expect("fig1 report"));
+    write(&dir, "fig1.csv", &csv::metrics_csv(&rows));
+
+    println!("Figure 2:");
+    let scale = if paper_scale { fig2::Fig2Scale::Paper } else { fig2::Fig2Scale::Proxy };
+    write(&dir, "fig2.txt", &fig2::report(scale, 40, 0xF162).expect("fig2 report"));
+    let rows = fig2::measure(scale).expect("fig2 measure");
+    write(&dir, "fig2.csv", &csv::metrics_csv(&rows));
+
+    println!("E3 routing:");
+    let r = routing_exp::run(2, 4, 1000, 0xE3).expect("routing");
+    assert_eq!(r.suboptimal, 0);
+    write(&dir, "routing.txt", &routing_exp::render(&r));
+    write(&dir, "routing.csv", &csv::routing_csv(&r));
+
+    println!("E5 faults:");
+    let hb = fault_exp::sweep_hb(2, 4, 8, 60, 0xE5).expect("hb sweep");
+    let hd = fault_exp::sweep_hd(2, 6, 8, 60, 0xE5).expect("hd sweep");
+    let thb = fault_exp::adversarial_hb(2, 4, 7, 60, 0xE5).expect("hb targeted");
+    let thd = fault_exp::adversarial_hd(2, 6, 7, 60, 0xE5).expect("hd targeted");
+    write(&dir, "faults.txt", &fault_exp::render(&[hb.clone(), hd.clone(), thb.clone(), thd.clone()]));
+    write(&dir, "faults.csv", &csv::fault_csv(&[hb, hd, thb, thd]));
+
+    println!("E7 broadcast:");
+    let rows = vec![
+        broadcast_exp::hb_row(2, 4).expect("hb"),
+        broadcast_exp::hd_row(2, 6).expect("hd"),
+        broadcast_exp::hypercube_row(8).expect("h8"),
+    ];
+    write(&dir, "broadcast.txt", &broadcast_exp::render(&rows));
+    write(&dir, "broadcast.csv", &csv::broadcast_csv(&rows));
+
+    println!("E8 netsim:");
+    let uni = netsim_exp::uniform_sweep(&[0.05, 0.1, 0.2, 0.4], 150, 0xE8).expect("uniform");
+    write(&dir, "netsim_uniform.txt", &netsim_exp::render(&uni));
+    write(&dir, "netsim_uniform.csv", &csv::sim_csv(&uni));
+
+    println!("E9 congestion:");
+    let rows = congestion_exp::matched_forwarding().expect("forwarding");
+    write(&dir, "forwarding.txt", &congestion_exp::render(&rows));
+    write(&dir, "forwarding.csv", &csv::forwarding_csv(&rows));
+
+    println!("E10 distributed:");
+    let rows = distributed_exp::matched_rows().expect("distributed");
+    write(&dir, "distributed.txt", &distributed_exp::render(&rows));
+    write(&dir, "distributed.csv", &csv::distributed_csv(&rows));
+
+    println!("done: all experiments wrote to {}", dir.display());
+}

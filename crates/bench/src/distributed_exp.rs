@@ -1,0 +1,96 @@
+//! Experiment E10 (extension): distributed algorithms on the topologies —
+//! leader election, spanning-tree + convergecast, and gossip round /
+//! message counts (the follow-up work of the paper's authors).
+
+use hb_core::HyperButterfly;
+use hb_debruijn::HyperDeBruijn;
+use hb_distributed::{election, gossip, spanning_tree};
+use hb_graphs::Result;
+use hb_hypercube::Hypercube;
+
+/// Rounds + messages of the three protocols on one topology.
+#[derive(Clone, Debug)]
+pub struct DistributedRow {
+    /// Topology name.
+    pub name: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Diameter (known a priori, drives election termination).
+    pub diameter: u32,
+    /// Election (rounds, messages).
+    pub election: (u32, u64),
+    /// Spanning tree + convergecast (rounds, messages).
+    pub tree: (u32, u64),
+    /// Gossip (rounds, messages).
+    pub gossip: (u32, u64),
+}
+
+fn measure(name: String, g: hb_graphs::Graph, diameter: u32) -> Result<DistributedRow> {
+    let e = election::elect(&g, diameter);
+    election::validate(&e).map_err(hb_graphs::GraphError::InvalidParameter)?;
+    let t = spanning_tree::build_tree(&g, 0);
+    spanning_tree::validate(&g, 0, &t).map_err(hb_graphs::GraphError::InvalidParameter)?;
+    let go = gossip::gossip(&g);
+    gossip::validate(&g, &go).map_err(hb_graphs::GraphError::InvalidParameter)?;
+    Ok(DistributedRow {
+        name,
+        nodes: g.num_nodes(),
+        diameter,
+        election: (e.rounds, e.messages),
+        tree: (t.rounds, t.messages),
+        gossip: (go.rounds, go.messages),
+    })
+}
+
+/// Measures all three protocols on the matched 256-node set.
+///
+/// # Errors
+/// Propagates construction or validation failures.
+pub fn matched_rows() -> Result<Vec<DistributedRow>> {
+    let hb = HyperButterfly::new(2, 4)?;
+    let hd = HyperDeBruijn::new(2, 6)?;
+    let hc = Hypercube::new(8)?;
+    Ok(vec![
+        measure("HB(2, 4)".into(), hb.build_graph()?, hb.diameter())?,
+        measure("HD(2, 6)".into(), hd.build_graph()?, hd.diameter())?,
+        measure("H(8)".into(), hc.build_graph()?, hc.diameter())?,
+    ])
+}
+
+/// Renders rows.
+pub fn render(rows: &[DistributedRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:>6} {:>5} | {:>7} {:>9} | {:>7} {:>9} | {:>7} {:>9}",
+        "Topology", "Nodes", "Diam", "ElRnds", "ElMsgs", "TrRnds", "TrMsgs", "GoRnds", "GoMsgs"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<10} {:>6} {:>5} | {:>7} {:>9} | {:>7} {:>9} | {:>7} {:>9}",
+            r.name, r.nodes, r.diameter, r.election.0, r.election.1, r.tree.0, r.tree.1,
+            r.gossip.0, r.gossip.1
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_protocols_validate_on_matched_set() {
+        let rows = matched_rows().unwrap();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.nodes, 256);
+            // Election and gossip finish within small multiples of the
+            // diameter.
+            assert!(r.election.0 <= 3 * r.diameter + 8, "{}", r.name);
+            assert!(r.gossip.0 <= r.diameter + 2, "{}", r.name);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Experiment E6: the Section-4 embedding suite, constructed and
+//! validated end to end.
+
+use hb_core::{embed, HyperButterfly};
+use hb_debruijn::HyperDeBruijn;
+use hb_graphs::embedding::{validate_cycle, validate_tree_embedding, Embedding};
+use hb_graphs::{generators, Graph, GraphError, Result};
+
+/// Which embeddings validated on an instance.
+#[derive(Clone, Debug)]
+pub struct EmbedReport {
+    /// Instance.
+    pub name: String,
+    /// Even cycle lengths validated (every even length in `4..=nodes`
+    /// when `exhaustive`, else a spread sample).
+    pub cycles_validated: usize,
+    /// Torus instances validated, as `(rows, cols)`.
+    pub tori: Vec<(usize, usize)>,
+    /// Levels of the validated complete binary tree.
+    pub tree_levels: u32,
+    /// Mesh-of-trees instances validated, as `(p, q)`.
+    pub mesh_of_trees: Vec<(u32, u32)>,
+}
+
+/// Runs the suite on `HB(m, n)`.
+///
+/// # Errors
+/// Any failed validation is an error — the suite must pass completely.
+pub fn run(m: u32, n: u32, exhaustive_cycles: bool) -> Result<EmbedReport> {
+    let hb = HyperButterfly::new(m, n)?;
+    let host = hb.build_graph()?;
+
+    // Lemma 2: even cycles.
+    let total = hb.num_nodes();
+    let lengths: Vec<usize> = if exhaustive_cycles {
+        (4..=total).step_by(2).collect()
+    } else {
+        let mut v = vec![4, 6, 8];
+        v.extend([total / 2, total / 2 + 2, total - 2, total]);
+        v.into_iter().filter(|&k| k % 2 == 0 && (4..=total).contains(&k)).collect()
+    };
+    let mut cycles_validated = 0;
+    for &k in &lengths {
+        let cyc = embed::even_cycle(&hb, k)?;
+        if cyc.len() != k {
+            return Err(GraphError::InvalidParameter(format!("cycle length {k} wrong")));
+        }
+        validate_cycle(&host, &cyc)?;
+        cycles_validated += 1;
+    }
+
+    // Tori: hypercube cycle x butterfly cycle.
+    let mut tori = Vec::new();
+    if m >= 2 {
+        for (n1, k, extra) in [(4usize, 2usize, 0usize), (4, 1, 1), ((1 << m).min(8), 2, 1)] {
+            let map = embed::torus(&hb, n1, k, extra)?;
+            let n2 = k * n as usize + 2 * extra;
+            let guest = generators::torus(n1, n2)?;
+            Embedding { map }.validate(&guest, &host)?;
+            tori.push((n1, n2));
+        }
+    }
+
+    // Binary tree.
+    let (parent, map) = embed::binary_tree(&hb);
+    validate_tree_embedding(&host, &parent, &map)?;
+    let tree_levels = embed::binary_tree_levels(&hb);
+
+    // Mesh of trees over the constructive (p, q) range.
+    let mut mots = Vec::new();
+    for p in 1..=(m / 2).max(0) {
+        for q in 1..=n.min(3) {
+            let map = embed::mesh_of_trees(&hb, p, q)?;
+            let guest = generators::mesh_of_trees(1 << p, 1 << q)?;
+            Embedding { map }.validate(&guest, &host)?;
+            mots.push((p, q));
+        }
+    }
+
+    Ok(EmbedReport {
+        name: format!("HB({m}, {n})"),
+        cycles_validated,
+        tori,
+        tree_levels,
+        mesh_of_trees: mots,
+    })
+}
+
+/// The measured "Cycles" row of Figure 1: which cycle lengths exist.
+#[derive(Clone, Debug)]
+pub struct CycleRow {
+    /// Topology name.
+    pub name: String,
+    /// Verdict string, e.g. `pancyclic`, `even cycles 4..=N only`.
+    pub verdict: String,
+    /// Lengths found missing (empty for pancyclic graphs).
+    pub missing: Vec<usize>,
+}
+
+/// Measures the cycle spectrum of small `HB(m, n)` and `HD(m, n)`
+/// instances with a bounded exact search — the Figure-1 "Cycles" row,
+/// measured instead of quoted: hyper-deBruijn graphs are pancyclic,
+/// hyper-butterflies contain only even cycles when `n` is even (the
+/// graph is bipartite) and all lengths `>= girth` otherwise.
+///
+/// # Errors
+/// Propagates construction failures; `InvalidParameter` if the search
+/// budget was exhausted (raise it).
+pub fn cycle_rows(m: u32, n: u32, budget: u64) -> Result<Vec<CycleRow>> {
+    use hb_graphs::cycles;
+    let mut out = Vec::new();
+
+    let hb = HyperButterfly::new(m, n)?;
+    let g = hb.build_graph()?;
+    let (present, absent, exhausted) = cycles::cycle_spectrum(&g, g.num_nodes().min(12), budget);
+    if !exhausted.is_empty() {
+        return Err(GraphError::InvalidParameter(format!(
+            "budget exhausted at lengths {exhausted:?}"
+        )));
+    }
+    let verdict = if n % 2 == 0 {
+        debug_assert!(absent.iter().all(|l| l % 2 == 1));
+        "even cycles only (bipartite)".to_string()
+    } else {
+        format!("cycles of all lengths >= girth {}", present.first().copied().unwrap_or(0))
+    };
+    out.push(CycleRow { name: format!("HB({m}, {n})"), verdict, missing: absent });
+
+    let hd = HyperDeBruijn::new(m, n)?;
+    let g = hd.build_graph()?;
+    let (_, absent, exhausted) = cycles::cycle_spectrum(&g, g.num_nodes().min(12), budget);
+    if !exhausted.is_empty() {
+        return Err(GraphError::InvalidParameter(format!(
+            "budget exhausted at lengths {exhausted:?}"
+        )));
+    }
+    let verdict = if absent.is_empty() {
+        "pancyclic (all lengths 3..=12 present)".to_string()
+    } else {
+        format!("missing lengths {absent:?}")
+    };
+    out.push(CycleRow { name: format!("HD({m}, {n})"), verdict, missing: absent });
+    Ok(out)
+}
+
+/// Validates the Hamiltonian cycle alone (headline special case of
+/// Lemma 2) and returns its length.
+///
+/// # Errors
+/// Propagates validation failures.
+pub fn hamiltonian(m: u32, n: u32) -> Result<usize> {
+    let hb = HyperButterfly::new(m, n)?;
+    let host: Graph = hb.build_graph()?;
+    let cyc = embed::hamiltonian_cycle(&hb)?;
+    validate_cycle(&host, &cyc)?;
+    Ok(cyc.len())
+}
+
+/// Renders the report.
+pub fn render(r: &EmbedReport) -> String {
+    format!(
+        "{}: {} even cycles validated; tori {:?}; binary tree T({}); mesh-of-trees {:?}\n",
+        r.name, r.cycles_validated, r.tori, r.tree_levels, r.mesh_of_trees
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_passes_exhaustively_on_hb_2_3() {
+        let r = run(2, 3, true).unwrap();
+        assert_eq!(r.cycles_validated, (96 - 4) / 2 + 1);
+        assert!(!r.tori.is_empty());
+        assert_eq!(r.tree_levels, 3 + 1 + 1);
+        assert_eq!(r.mesh_of_trees, vec![(1, 1), (1, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn hamiltonian_length_is_node_count() {
+        assert_eq!(hamiltonian(1, 4).unwrap(), 4 << 5);
+    }
+
+    #[test]
+    fn figure_1_cycles_row_measured() {
+        // Even n: HB bipartite (odd lengths missing); HD pancyclic.
+        let rows = cycle_rows(1, 4, 50_000_000).unwrap();
+        assert!(rows[0].verdict.contains("even"));
+        assert!(rows[0].missing.iter().all(|l| l % 2 == 1));
+        assert!(rows[1].missing.is_empty(), "{:?}", rows[1]);
+        // Odd n: HB has odd cycles too (columns of odd length n).
+        let rows = cycle_rows(1, 3, 50_000_000).unwrap();
+        assert!(rows[0].missing.is_empty() || rows[0].missing.iter().all(|&l| l < 3 + 0));
+    }
+}

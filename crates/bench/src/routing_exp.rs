@@ -1,0 +1,134 @@
+//! Experiment E3: routing optimality and the distance distribution
+//! (paper §3, Theorem 3, Remarks 6–8).
+//!
+//! * the algorithmic router's path length equals the BFS distance on
+//!   every sampled pair (optimality);
+//! * the maximum observed distance equals `m + n + floor(n/2)`
+//!   (Theorem 3);
+//! * the full distance histogram from the identity (by vertex
+//!   transitivity, Remark 7, this is the global profile).
+
+use hb_core::{routing, HyperButterfly};
+use hb_graphs::{traverse, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Results of one routing campaign.
+#[derive(Clone, Debug)]
+pub struct RoutingReport {
+    /// Instance.
+    pub name: String,
+    /// Pairs checked against BFS.
+    pub pairs_checked: usize,
+    /// Pairs where the router was suboptimal (must be 0).
+    pub suboptimal: usize,
+    /// Analytic diameter.
+    pub diameter_analytic: u32,
+    /// Maximum distance observed from the identity (= true diameter by
+    /// vertex transitivity).
+    pub diameter_observed: u32,
+    /// Mean distance from the identity.
+    pub mean_distance: f64,
+    /// `histogram[d]` = nodes at distance `d` from the identity.
+    pub histogram: Vec<u64>,
+}
+
+/// Runs the campaign on `HB(m, n)`: full profile from the identity plus
+/// `samples` random-source spot checks against BFS.
+///
+/// # Errors
+/// Propagates construction failures.
+pub fn run(m: u32, n: u32, samples: usize, seed: u64) -> Result<RoutingReport> {
+    let hb = HyperButterfly::new(m, n)?;
+    let g = hb.build_graph()?;
+    let id = hb.identity_node();
+
+    // Full profile from the identity.
+    let tree = traverse::bfs(&g, hb.index(id));
+    let mut histogram = Vec::new();
+    let mut suboptimal = 0usize;
+    let mut total = 0u64;
+    for idx in 0..hb.num_nodes() {
+        let d_bfs = tree.dist[idx];
+        let d_alg = routing::distance(&hb, id, hb.node(idx));
+        if d_alg != d_bfs {
+            suboptimal += 1;
+        }
+        if histogram.len() <= d_bfs as usize {
+            histogram.resize(d_bfs as usize + 1, 0);
+        }
+        histogram[d_bfs as usize] += 1;
+        total += d_bfs as u64;
+    }
+    let diameter_observed = (histogram.len() - 1) as u32;
+
+    // Random-pair spot checks (arbitrary sources).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs_checked = hb.num_nodes();
+    for _ in 0..samples {
+        let s = rng.random_range(0..hb.num_nodes());
+        let t = rng.random_range(0..hb.num_nodes());
+        let u = hb.node(s);
+        let v = hb.node(t);
+        let d_alg = routing::distance(&hb, u, v);
+        let d_bfs = traverse::distance(&g, s, t).expect("connected");
+        if d_alg != d_bfs {
+            suboptimal += 1;
+        }
+        let p = routing::route(&hb, u, v);
+        if p.len() as u32 != d_alg + 1 {
+            suboptimal += 1;
+        }
+        pairs_checked += 1;
+    }
+
+    Ok(RoutingReport {
+        name: format!("HB({m}, {n})"),
+        pairs_checked,
+        suboptimal,
+        diameter_analytic: hb.diameter(),
+        diameter_observed,
+        mean_distance: total as f64 / (hb.num_nodes() as f64 - 1.0),
+        histogram,
+    })
+}
+
+/// Renders the report (distance histogram as one row per distance).
+pub fn render(r: &RoutingReport) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{}: {} pairs checked, {} suboptimal; diameter observed {} vs analytic {}; mean dist {:.3}",
+        r.name, r.pairs_checked, r.suboptimal, r.diameter_observed, r.diameter_analytic,
+        r.mean_distance
+    );
+    let peak = r.histogram.iter().copied().max().unwrap_or(1).max(1);
+    for (d, &count) in r.histogram.iter().enumerate() {
+        let bar = "#".repeat((count * 50 / peak) as usize);
+        let _ = writeln!(s, "  d={d:>3}: {count:>8} {bar}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_campaign_is_optimal_and_hits_diameter() {
+        let r = run(2, 3, 200, 11).unwrap();
+        assert_eq!(r.suboptimal, 0);
+        assert_eq!(r.diameter_observed, r.diameter_analytic);
+        assert_eq!(r.histogram.iter().sum::<u64>() as usize, 96);
+        assert_eq!(r.histogram[0], 1);
+    }
+
+    #[test]
+    fn render_contains_histogram() {
+        let r = run(1, 3, 10, 5).unwrap();
+        let s = render(&r);
+        assert!(s.contains("d=  0"));
+        assert!(s.contains("suboptimal"));
+    }
+}

@@ -1,0 +1,191 @@
+//! The wrapped butterfly `B_n` in its constant-degree-4 Cayley
+//! representation (Vadapalli & Srimani, reference \[4\] of the paper).
+//!
+//! Nodes are signed cyclic sequences ([`SignedCycle`]); the four generators
+//! `g, f, g⁻¹, f⁻¹` rotate the sequence and optionally complement the
+//! wrapped symbol. `B_n` is a symmetric 4-regular graph on `n * 2^n`
+//! nodes with `n * 2^(n+1)` edges, diameter `n + floor(n/2)`, and vertex
+//! connectivity 4 (paper Remark 1).
+
+use hb_graphs::{Graph, GraphError, Result};
+use hb_group::cayley::CayleyTopology;
+use hb_group::signed::{ButterflyGen, SignedCycle};
+
+/// The wrapped butterfly topology `B_n`, `3 <= n <= 20`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Butterfly {
+    n: u32,
+}
+
+impl Butterfly {
+    /// Largest supported dimension: `20 * 2^20` nodes is ample for every
+    /// experiment while keeping exhaustive sweeps tractable.
+    pub const MAX_N: u32 = 20;
+
+    /// Creates `B_n`.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidParameter`] unless `3 <= n <= 20`. (`n >= 3`
+    /// is the paper's own requirement: below that the Cayley construction
+    /// degenerates to multi-edges.)
+    ///
+    /// # Examples
+    /// ```
+    /// use hb_butterfly::{routing, Butterfly};
+    /// let b = Butterfly::new(4).unwrap();
+    /// assert_eq!(b.num_nodes(), 64);        // n * 2^n
+    /// assert_eq!(b.diameter(), 6);          // n + floor(n/2)
+    /// let path = routing::route(&b, b.identity(), b.node(42));
+    /// assert_eq!(path.len() as u32, routing::distance(&b, b.identity(), b.node(42)) + 1);
+    /// ```
+    pub fn new(n: u32) -> Result<Self> {
+        if !(SignedCycle::MIN_N..=Self::MAX_N).contains(&n) {
+            return Err(GraphError::InvalidParameter(format!(
+                "butterfly dimension {n} outside {}..={}",
+                SignedCycle::MIN_N,
+                Self::MAX_N
+            )));
+        }
+        Ok(Self { n })
+    }
+
+    /// Dimension `n` (number of symbols / levels).
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of nodes, `n * 2^n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        SignedCycle::population(self.n)
+    }
+
+    /// Number of edges, `n * 2^(n+1)` (4-regular).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        (self.n as usize) << (self.n + 1)
+    }
+
+    /// Diameter, `n + floor(n / 2)` (paper Remark 1; verified against BFS
+    /// in this crate's tests).
+    #[inline]
+    pub fn diameter(&self) -> u32 {
+        self.n + self.n / 2
+    }
+
+    /// Vertex connectivity, 4: `B_n` is maximally fault tolerant.
+    #[inline]
+    pub fn connectivity(&self) -> u32 {
+        4
+    }
+
+    /// The identity node.
+    #[inline]
+    pub fn identity(&self) -> SignedCycle {
+        SignedCycle::identity(self.n)
+    }
+
+    /// Node from its dense index.
+    #[inline]
+    pub fn node(&self, idx: usize) -> SignedCycle {
+        SignedCycle::from_index(self.n, idx)
+    }
+
+    /// All nodes in dense-index order.
+    pub fn nodes(&self) -> impl Iterator<Item = SignedCycle> + '_ {
+        (0..self.num_nodes()).map(move |i| self.node(i))
+    }
+
+    /// Materialises `B_n` as a CSR graph (node ids are dense indices).
+    ///
+    /// # Errors
+    /// Propagates graph-construction failures (none for valid `n`).
+    pub fn build_graph(&self) -> Result<Graph> {
+        CayleyTopology::build_graph(self)
+    }
+}
+
+impl CayleyTopology for Butterfly {
+    fn num_nodes(&self) -> usize {
+        Butterfly::num_nodes(self)
+    }
+
+    fn num_generators(&self) -> usize {
+        4
+    }
+
+    fn apply(&self, gen: usize, v: usize) -> usize {
+        self.node(v).apply(ButterflyGen::ALL[gen]).index()
+    }
+
+    fn inverse_generator(&self, gen: usize) -> usize {
+        // ALL order is [G, F, GInv, FInv]: g <-> g⁻¹, f <-> f⁻¹.
+        [2, 3, 0, 1][gen]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_graphs::{connectivity, props, shortest};
+    use hb_group::cayley;
+
+    #[test]
+    fn counts_match_remark_1() {
+        for n in 3..=7 {
+            let b = Butterfly::new(n).unwrap();
+            let g = b.build_graph().unwrap();
+            assert_eq!(g.num_nodes(), (n as usize) << n);
+            assert_eq!(g.num_edges(), (n as usize) << (n + 1));
+            assert!(props::all_degrees_are(&g, 4));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        assert!(Butterfly::new(2).is_err());
+        assert!(Butterfly::new(21).is_err());
+    }
+
+    #[test]
+    fn is_a_cayley_graph() {
+        for n in 3..=5 {
+            cayley::verify_cayley(&Butterfly::new(n).unwrap()).unwrap();
+        }
+    }
+
+    #[test]
+    fn diameter_formula_matches_bfs() {
+        for n in 3..=7 {
+            let b = Butterfly::new(n).unwrap();
+            let g = b.build_graph().unwrap();
+            // Cayley graphs are vertex transitive: one BFS suffices, and we
+            // cross-check the shortcut against the full sweep once (n = 4).
+            assert_eq!(
+                shortest::diameter_vertex_transitive(&g).unwrap(),
+                b.diameter(),
+                "n = {n}"
+            );
+            if n == 4 {
+                assert_eq!(shortest::diameter(&g).unwrap(), b.diameter());
+            }
+        }
+    }
+
+    #[test]
+    fn connectivity_is_four() {
+        for n in 3..=4 {
+            let g = Butterfly::new(n).unwrap().build_graph().unwrap();
+            assert_eq!(connectivity::vertex_connectivity(&g).unwrap(), 4);
+            assert_eq!(connectivity::edge_connectivity(&g).unwrap(), 4);
+        }
+    }
+
+    #[test]
+    fn node_iteration_covers_population() {
+        let b = Butterfly::new(4).unwrap();
+        assert_eq!(b.nodes().count(), 64);
+        assert!(b.nodes().enumerate().all(|(i, v)| v.index() == i));
+    }
+}

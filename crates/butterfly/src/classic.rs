@@ -1,0 +1,148 @@
+//! The classic `(word, level)` presentation of the wrapped butterfly and
+//! its isomorphism with the Cayley presentation.
+//!
+//! The paper's Remark 2 notes the equivalence of the two definitions; here
+//! the isomorphism is *computed*: a Cayley node with rotation `rot` and
+//! symbol mask `mask` corresponds to the classic node `(word = mask,
+//! level = rot)`, under which
+//!
+//! * `g` / `g⁻¹` become the straight edges between consecutive levels, and
+//! * `f` / `f⁻¹` become the cross edges, which flip word bit `l` between
+//!   levels `l` and `l + 1`.
+
+use crate::cayley::Butterfly;
+use hb_graphs::{Graph, GraphError, Result};
+use hb_group::signed::SignedCycle;
+
+/// A wrapped-butterfly node in classic coordinates: an `n`-bit `word` and a
+/// `level` in `0..n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ClassicNode {
+    /// The `n`-bit row word.
+    pub word: u32,
+    /// The level (column), `0..n`.
+    pub level: u32,
+}
+
+impl ClassicNode {
+    /// Dense index matching the Cayley indexing: `level * 2^n + word`.
+    #[inline]
+    pub fn index(&self, n: u32) -> usize {
+        ((self.level as usize) << n) | self.word as usize
+    }
+
+    /// Node from dense index.
+    pub fn from_index(n: u32, idx: usize) -> Self {
+        Self { word: (idx & ((1 << n) - 1)) as u32, level: (idx >> n) as u32 }
+    }
+
+    /// Converts to the Cayley presentation.
+    pub fn to_signed(&self, n: u32) -> SignedCycle {
+        SignedCycle::from_word_level(n, self.word, self.level)
+    }
+
+    /// Converts from the Cayley presentation.
+    pub fn from_signed(v: SignedCycle) -> Self {
+        let (word, level) = v.to_word_level();
+        Self { word, level }
+    }
+}
+
+/// The four classic neighbors of `(word, level)` in `B_n`:
+/// straight-up, cross-up (flip bit `level`), straight-down, cross-down
+/// (flip bit `level - 1 mod n`) — in the same order as the Cayley
+/// generators `g, f, g⁻¹, f⁻¹`.
+pub fn neighbors(n: u32, v: ClassicNode) -> [ClassicNode; 4] {
+    let up = if v.level + 1 == n { 0 } else { v.level + 1 };
+    let down = if v.level == 0 { n - 1 } else { v.level - 1 };
+    [
+        ClassicNode { word: v.word, level: up },
+        ClassicNode { word: v.word ^ (1 << v.level), level: up },
+        ClassicNode { word: v.word, level: down },
+        ClassicNode { word: v.word ^ (1 << down), level: down },
+    ]
+}
+
+/// Builds `B_n` directly from the classic definition.
+///
+/// # Errors
+/// [`GraphError::InvalidParameter`] for unsupported `n`; construction
+/// errors otherwise (none occur for valid `n`).
+pub fn build_classic_graph(n: u32) -> Result<Graph> {
+    let b = Butterfly::new(n)?; // validates n
+    Graph::from_neighbor_fn(b.num_nodes(), |idx| {
+        let v = ClassicNode::from_index(n, idx);
+        neighbors(n, v).into_iter().map(move |w| w.index(n))
+    })
+}
+
+/// Certifies Remark 2: the classic and Cayley constructions produce the
+/// *identical* CSR graph under the shared dense indexing.
+///
+/// # Errors
+/// [`GraphError::InvalidParameter`] if the two graphs differ.
+pub fn verify_isomorphism(n: u32) -> Result<()> {
+    let cayley = Butterfly::new(n)?.build_graph()?;
+    let classic = build_classic_graph(n)?;
+    if cayley != classic {
+        return Err(GraphError::InvalidParameter(format!(
+            "classic and Cayley butterflies differ at n = {n}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_group::signed::ButterflyGen;
+
+    #[test]
+    fn representations_are_isomorphic() {
+        for n in 3..=6 {
+            verify_isomorphism(n).unwrap();
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let n = 5;
+        for idx in 0..(5usize << 5) {
+            assert_eq!(ClassicNode::from_index(n, idx).index(n), idx);
+        }
+    }
+
+    #[test]
+    fn signed_conversion_roundtrip() {
+        let n = 4;
+        for idx in 0..(4usize << 4) {
+            let c = ClassicNode::from_index(n, idx);
+            assert_eq!(ClassicNode::from_signed(c.to_signed(n)), c);
+        }
+    }
+
+    #[test]
+    fn generator_g_is_straight_up() {
+        let n = 4;
+        let v = ClassicNode { word: 0b1010, level: 2 };
+        let g_img = ClassicNode::from_signed(v.to_signed(n).apply(ButterflyGen::G));
+        assert_eq!(g_img, ClassicNode { word: 0b1010, level: 3 });
+    }
+
+    #[test]
+    fn generator_f_is_cross_up_flipping_current_level_bit() {
+        let n = 4;
+        let v = ClassicNode { word: 0b1010, level: 2 };
+        let f_img = ClassicNode::from_signed(v.to_signed(n).apply(ButterflyGen::F));
+        assert_eq!(f_img, ClassicNode { word: 0b1110, level: 3 });
+    }
+
+    #[test]
+    fn level_wraps_around() {
+        let n = 3;
+        let v = ClassicNode { word: 0, level: 2 };
+        let nb = neighbors(n, v);
+        assert_eq!(nb[0], ClassicNode { word: 0, level: 0 }); // straight up wraps
+        assert_eq!(nb[1], ClassicNode { word: 0b100, level: 0 }); // cross flips bit 2
+    }
+}

@@ -1,0 +1,115 @@
+//! Structural decompositions of the wrapped butterfly.
+//!
+//! Two orthogonal partitions of `B_n`'s node set, both used by the
+//! embedding and broadcast constructions:
+//!
+//! * **columns** — fixing the word (complement mask) gives `2^n` disjoint
+//!   cycles of length `n` made of straight (`g`) edges;
+//! * **levels** — fixing the rotation gives `n` independent sets of size
+//!   `2^n`; all edges run between cyclically adjacent levels (the graph
+//!   is "spanning-laminar" over the level cycle).
+
+use crate::cayley::Butterfly;
+use hb_group::signed::SignedCycle;
+
+/// The column of word `w`: nodes `(w, 0..n)` in level order. Consecutive
+/// entries (and the wrap-around pair) are joined by straight edges.
+pub fn column(b: &Butterfly, word: u32) -> Vec<SignedCycle> {
+    (0..b.n()).map(|level| SignedCycle::from_word_level(b.n(), word, level)).collect()
+}
+
+/// The level set at `level`: all `2^n` nodes with that rotation. No two
+/// of them are adjacent.
+pub fn level_set(b: &Butterfly, level: u32) -> Vec<SignedCycle> {
+    (0..1u32 << b.n()).map(|w| SignedCycle::from_word_level(b.n(), w, level)).collect()
+}
+
+/// Verifies both decompositions exhaustively:
+/// columns partition the nodes into `2^n` straight-edge cycles of length
+/// `n`; levels partition them into `n` independent sets of size `2^n`
+/// whose edges only connect cyclically adjacent levels.
+pub fn verify(b: &Butterfly) -> bool {
+    let n = b.n();
+    let total = b.num_nodes();
+
+    // Columns.
+    let mut seen = vec![false; total];
+    for w in 0..1u32 << n {
+        let col = column(b, w);
+        if col.len() != n as usize {
+            return false;
+        }
+        for (i, v) in col.iter().enumerate() {
+            if seen[v.index()] {
+                return false;
+            }
+            seen[v.index()] = true;
+            // Straight edge to the cyclic successor.
+            let next = col[(i + 1) % col.len()];
+            if !v.neighbors().contains(&next) {
+                return false;
+            }
+        }
+    }
+    if seen.iter().any(|&s| !s) {
+        return false;
+    }
+
+    // Levels.
+    let mut seen = vec![false; total];
+    for level in 0..n {
+        let set = level_set(b, level);
+        if set.len() != 1 << n {
+            return false;
+        }
+        for v in &set {
+            if seen[v.index()] {
+                return false;
+            }
+            seen[v.index()] = true;
+            for w in v.neighbors() {
+                let (_, wl) = w.to_word_level();
+                let up = if level + 1 == n { 0 } else { level + 1 };
+                let down = if level == 0 { n - 1 } else { level - 1 };
+                if wl != up && wl != down {
+                    return false; // edge not between adjacent levels
+                }
+            }
+        }
+    }
+    seen.iter().all(|&s| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decompositions_hold() {
+        for n in 3..=6 {
+            assert!(verify(&Butterfly::new(n).unwrap()), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn column_is_a_straight_cycle() {
+        let b = Butterfly::new(4).unwrap();
+        let col = column(&b, 0b1010);
+        assert_eq!(col.len(), 4);
+        for v in &col {
+            assert_eq!(v.to_word_level().0, 0b1010);
+        }
+    }
+
+    #[test]
+    fn level_sets_are_independent() {
+        let b = Butterfly::new(3).unwrap();
+        let set = level_set(&b, 1);
+        assert_eq!(set.len(), 8);
+        for (i, u) in set.iter().enumerate() {
+            for v in &set[i + 1..] {
+                assert!(!u.neighbors().contains(v), "{u} adjacent to {v}");
+            }
+        }
+    }
+}

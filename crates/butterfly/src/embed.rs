@@ -1,0 +1,276 @@
+//! Cycle and tree embeddings in the wrapped butterfly.
+//!
+//! * **Cycles of length `k*n + 2*k'`** (paper Remark 9, citing Vadapalli &
+//!   Srimani's ring-embedding paper): constructed by *column merging*. The
+//!   straight (`g`) edges partition `B_n` into `2^n` level-cycles of length
+//!   `n`, one per word ("columns"). For words `w` and `w ^ (1 << i)`, the
+//!   two cross edges over gap `i` splice the two columns into one cycle
+//!   (remove the two straight edges across gap `i`, insert the two cross
+//!   edges). Splicing along any spanning tree of the word hypercube whose
+//!   incident edges carry distinct gap labels — automatic in `Q_n`, where
+//!   each vertex has one edge per dimension — yields a single cycle over
+//!   any `k` chosen columns, of length `k * n`; `k = 2^n` gives a
+//!   Hamiltonian cycle. Each additional **detour**
+//!   `(w,i) -> (w'',i+1) -> (w'',i) -> (w,i+1)` through an unused column
+//!   `w'' = w ^ (1 << i)` lengthens the cycle by exactly 2.
+//! * **Complete binary tree `T(n+1)`** (paper Lemma 3): depths `0..n-1`
+//!   use the natural butterfly tree (node `(w, d)` with `w < 2^d`, children
+//!   straight-up and cross-up); the `2^n` leaves live at level 0 — except
+//!   that the leaf under `(0, n-1)` would collide with the root `(0, 0)`,
+//!   so that branch takes the cross-*down* edge to `(2^(n-2), n-2)`
+//!   instead.
+
+use crate::cayley::Butterfly;
+use crate::classic::ClassicNode;
+use hb_graphs::{GraphError, NodeId, Result};
+
+/// A simple cycle over `k` whole columns plus `extra` two-node detours:
+/// length `k * n + 2 * extra`. Requires `1 <= k <= 2^n`; detour capacity
+/// depends on `k` (errors if `extra` detours cannot be placed).
+///
+/// Columns used are words `0..k` (downward-closed under clearing the
+/// lowest set bit, so the merge tree always stays inside the set).
+///
+/// # Errors
+/// [`GraphError::InvalidParameter`] on out-of-range `k` or unplaceable
+/// `extra`.
+pub fn cycle_kn_plus(b: &Butterfly, k: usize, extra: usize) -> Result<Vec<NodeId>> {
+    let n = b.n();
+    if k == 0 || k > 1usize << n {
+        return Err(GraphError::InvalidParameter(format!(
+            "column count {k} outside 1..=2^{n}"
+        )));
+    }
+    let idx = |w: u32, level: u32| ClassicNode { word: w, level }.index(n);
+
+    // Cycle adjacency: two neighbors per participating node.
+    let mut nbrs: std::collections::HashMap<NodeId, [NodeId; 2]> =
+        std::collections::HashMap::new();
+    for w in 0..k as u32 {
+        for level in 0..n {
+            let up = if level + 1 == n { 0 } else { level + 1 };
+            let down = if level == 0 { n - 1 } else { level - 1 };
+            nbrs.insert(idx(w, level), [idx(w, down), idx(w, up)]);
+        }
+    }
+
+    let replace = |nbrs: &mut std::collections::HashMap<NodeId, [NodeId; 2]>,
+                   at: NodeId,
+                   old: NodeId,
+                   new: NodeId| {
+        let slots = nbrs.get_mut(&at).expect("node participates in cycle");
+        let slot = slots.iter().position(|&x| x == old).expect("old neighbor present");
+        slots[slot] = new;
+    };
+
+    // `gap_free[w]` tracks which straight edges (w, i)-(w, i+1) are still
+    // part of the cycle; gap i is the edge leaving level i upward.
+    let mut gap_free = vec![(1u64 << n) - 1; k];
+
+    // Merge along the lowest-set-bit spanning tree: parent(w) = w & (w-1).
+    for w in 1..k as u32 {
+        let i = w.trailing_zeros(); // gap label of the tree edge; i < n
+        let p = w & (w - 1); // parent column, also < k
+        let up = if i + 1 == n { 0 } else { i + 1 };
+        let (a, bnode) = (idx(p, i), idx(p, up));
+        let (c, d) = (idx(w, i), idx(w, up));
+        // Swap straight edges (a, b), (c, d) for cross edges (a, d), (c, b).
+        replace(&mut nbrs, a, bnode, d);
+        replace(&mut nbrs, d, c, a);
+        replace(&mut nbrs, c, d, bnode);
+        replace(&mut nbrs, bnode, a, c);
+        gap_free[p as usize] &= !(1u64 << i);
+        gap_free[w as usize] &= !(1u64 << i);
+    }
+
+    // Detours: replace a surviving straight edge (w, i)-(w, i+1) with the
+    // 3-edge path through the unused column w ^ (1 << i).
+    let mut placed = 0usize;
+    let mut occupied: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    'outer: for w in 0..k as u32 {
+        for i in 0..n {
+            if placed == extra {
+                break 'outer;
+            }
+            if gap_free[w as usize] >> i & 1 == 0 {
+                continue;
+            }
+            let w2 = w ^ (1 << i);
+            if (w2 as usize) < k {
+                continue; // target column already in the cycle
+            }
+            let up = if i + 1 == n { 0 } else { i + 1 };
+            let (x, y) = (idx(w2, i), idx(w2, up));
+            if occupied.contains(&x) || occupied.contains(&y) {
+                continue;
+            }
+            let (a, bnode) = (idx(w, i), idx(w, up));
+            // (a, b) becomes a - y - x - b.
+            replace(&mut nbrs, a, bnode, y);
+            replace(&mut nbrs, bnode, a, x);
+            nbrs.insert(y, [a, x]);
+            nbrs.insert(x, [y, bnode]);
+            occupied.insert(x);
+            occupied.insert(y);
+            gap_free[w as usize] &= !(1u64 << i);
+            placed += 1;
+        }
+    }
+    if placed < extra {
+        return Err(GraphError::InvalidParameter(format!(
+            "only {placed} of {extra} detours placeable for k = {k}, n = {n}"
+        )));
+    }
+
+    // Extract the cycle and confirm it is a single one.
+    let expected = k * n as usize + 2 * extra;
+    let start = idx(0, 0);
+    let mut cycle = Vec::with_capacity(expected);
+    let mut prev = start;
+    let mut cur = nbrs[&start][0];
+    cycle.push(start);
+    while cur != start {
+        cycle.push(cur);
+        let [x, y] = nbrs[&cur];
+        let next = if x == prev { y } else { x };
+        prev = cur;
+        cur = next;
+    }
+    if cycle.len() != expected {
+        return Err(GraphError::InvalidParameter(format!(
+            "internal error: merge produced a {}-cycle, expected {expected}",
+            cycle.len()
+        )));
+    }
+    Ok(cycle)
+}
+
+/// A Hamiltonian cycle of `B_n` (all `2^n` columns merged).
+///
+/// # Errors
+/// Never fails for a valid [`Butterfly`]; the `Result` mirrors
+/// [`cycle_kn_plus`].
+pub fn hamiltonian_cycle(b: &Butterfly) -> Result<Vec<NodeId>> {
+    cycle_kn_plus(b, 1usize << b.n(), 0)
+}
+
+/// Dilation-1 embedding of the complete binary tree `T(n+1)`
+/// (`2^(n+1) - 1` nodes, paper Lemma 3) into `B_n`.
+///
+/// Returns `(parent, map)` in the format of
+/// [`hb_graphs::embedding::validate_tree_embedding`]: guests are
+/// heap-ordered (`parent[0] == 0` is the root), `map[g]` is the host node
+/// index.
+pub fn binary_tree(b: &Butterfly) -> (Vec<NodeId>, Vec<NodeId>) {
+    let n = b.n();
+    let total = (1usize << (n + 1)) - 1;
+    let mut parent = vec![0usize; total];
+    let mut map = vec![0usize; total];
+    let idx = |w: u32, level: u32| ClassicNode { word: w, level }.index(n);
+
+    // Depths 0..n-1: guest (d, j) = heap node 2^d - 1 + j hosts (word, d)
+    // where the word accumulates branch bits, LSB taken first.
+    // words[j] for the current depth.
+    let mut words: Vec<u32> = vec![0];
+    map[0] = idx(0, 0);
+    for d in 1..n {
+        let mut next = Vec::with_capacity(words.len() * 2);
+        for (j, &w) in words.iter().enumerate() {
+            let me = (1usize << (d - 1)) - 1 + j;
+            for bnum in 0..2u32 {
+                let child_word = w | (bnum << (d - 1));
+                let child = (1usize << d) - 1 + 2 * j + bnum as usize;
+                parent[child] = me;
+                map[child] = idx(child_word, d);
+                next.push(child_word);
+            }
+        }
+        words = next;
+    }
+
+    // Depth n: leaves. Parent (w, n-1) keeps children (w, 0) straight-up
+    // and (w + 2^(n-1), 0) cross-up — except w = 0, whose straight-up
+    // child would collide with the root, and instead takes the cross-down
+    // edge to (2^(n-2), n-2).
+    for (j, &w) in words.iter().enumerate() {
+        let me = (1usize << (n - 1)) - 1 + j;
+        for bnum in 0..2u32 {
+            let child = (1usize << n) - 1 + 2 * j + bnum as usize;
+            parent[child] = me;
+            map[child] = if w == 0 && bnum == 0 {
+                idx(1 << (n - 2), n - 2)
+            } else {
+                idx(w | (bnum << (n - 1)), 0)
+            };
+        }
+    }
+    (parent, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_graphs::embedding::{validate_cycle, validate_tree_embedding};
+
+    #[test]
+    fn hamiltonian_cycle_all_n() {
+        for n in 3..=7 {
+            let b = Butterfly::new(n).unwrap();
+            let g = b.build_graph().unwrap();
+            let cyc = hamiltonian_cycle(&b).unwrap();
+            assert_eq!(cyc.len(), b.num_nodes(), "n = {n}");
+            validate_cycle(&g, &cyc).unwrap_or_else(|e| panic!("n = {n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn kn_cycles_for_every_k() {
+        let b = Butterfly::new(4).unwrap();
+        let g = b.build_graph().unwrap();
+        for k in 1..=16usize {
+            let cyc = cycle_kn_plus(&b, k, 0).unwrap();
+            assert_eq!(cyc.len(), 4 * k, "k = {k}");
+            validate_cycle(&g, &cyc).unwrap_or_else(|e| panic!("k = {k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn kn_plus_detours() {
+        let b = Butterfly::new(4).unwrap();
+        let g = b.build_graph().unwrap();
+        for (k, extra) in [(1, 1), (1, 2), (2, 3), (3, 2), (8, 4)] {
+            let cyc = cycle_kn_plus(&b, k, extra).unwrap();
+            assert_eq!(cyc.len(), 4 * k + 2 * extra, "k = {k}, extra = {extra}");
+            validate_cycle(&g, &cyc)
+                .unwrap_or_else(|e| panic!("k = {k}, extra = {extra}: {e}"));
+        }
+    }
+
+    #[test]
+    fn detour_capacity_errors_cleanly() {
+        let b = Butterfly::new(3).unwrap();
+        // Hamiltonian cycle leaves no unused column to detour through.
+        assert!(cycle_kn_plus(&b, 8, 1).is_err());
+        assert!(cycle_kn_plus(&b, 0, 0).is_err());
+        assert!(cycle_kn_plus(&b, 9, 0).is_err());
+    }
+
+    #[test]
+    fn binary_tree_t_n_plus_1_embeds() {
+        for n in 3..=7 {
+            let b = Butterfly::new(n).unwrap();
+            let g = b.build_graph().unwrap();
+            let (parent, map) = binary_tree(&b);
+            assert_eq!(parent.len(), (1 << (n + 1)) - 1);
+            validate_tree_embedding(&g, &parent, &map)
+                .unwrap_or_else(|e| panic!("n = {n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn binary_tree_root_is_identity() {
+        let b = Butterfly::new(4).unwrap();
+        let (_, map) = binary_tree(&b);
+        assert_eq!(map[0], 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Emulation of **normal hypercube algorithms** on the wrapped butterfly
+//! — the "ability to emulate most of existing architectures" the paper's
+//! introduction claims for butterfly-based networks, made executable.
+//!
+//! A *normal* algorithm on `2^q` items uses one hypercube dimension per
+//! step, in cyclically ascending or descending order (bitonic sort,
+//! parallel prefix, reduction, FFT are all normal). The butterfly runs
+//! such algorithms with **constant slowdown** despite its constant
+//! degree: keep item `w` at node `(w, l)`; moving the wave from level
+//! `l` to `l + 1` delivers to each `(w, l+1)` exactly the two values a
+//! dimension-`l` combine needs — its own via the straight edge from
+//! `(w, l)` and its partner's via the cross edge from `(w ^ 2^l, l)`.
+//! Descending waves use the down edges the same way.
+//!
+//! [`Emulator`] executes a sequence of dimension steps, tracking the
+//! level wave so every data movement is a real butterfly edge (asserted
+//! in debug builds); [`bitonic_sort`], [`prefix_sums`], and
+//! [`reduce_all`] are the classic normal algorithms, fully tested.
+
+use crate::cayley::Butterfly;
+
+/// Which way the level wave moves for a step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Wave {
+    /// Level `l -> l + 1`, combining along dimension `l`.
+    Ascend,
+    /// Level `l -> l - 1`, combining along dimension `l - 1`.
+    Descend,
+}
+
+/// Executes normal algorithms on the `2^n` butterfly columns.
+pub struct Emulator<'a, T> {
+    b: &'a Butterfly,
+    /// `values[w]` = the item of column `w`, currently at `(w, level)`.
+    values: Vec<T>,
+    level: u32,
+    steps: u32,
+}
+
+impl<'a, T: Clone> Emulator<'a, T> {
+    /// Places item `w` at node `(w, 0)` for every word `w`.
+    ///
+    /// # Panics
+    /// Panics unless exactly `2^n` values are supplied.
+    pub fn new(b: &'a Butterfly, values: Vec<T>) -> Self {
+        assert_eq!(values.len(), 1usize << b.n(), "one item per column");
+        Self { b, values, level: 0, steps: 0 }
+    }
+
+    /// Current wave level.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Butterfly steps executed so far (each is one parallel edge-move).
+    pub fn steps(&self) -> u32 {
+        self.steps
+    }
+
+    /// The items, in column order.
+    pub fn into_values(self) -> Vec<T> {
+        self.values
+    }
+
+    /// One wave step: every item moves one level and combines along the
+    /// crossed dimension. `op(w, mine, partner)` produces `w`'s new value;
+    /// `partner` is the item of column `w ^ 2^d` where `d` is the crossed
+    /// dimension (`level` when ascending, `level - 1` when descending).
+    pub fn step<F: Fn(usize, &T, &T) -> T>(&mut self, wave: Wave, op: F) {
+        let n = self.b.n();
+        let d = match wave {
+            Wave::Ascend => self.level,
+            Wave::Descend => if self.level == 0 { n - 1 } else { self.level - 1 },
+        };
+        #[cfg(debug_assertions)]
+        {
+            // The transfers are real edges: straight and cross between
+            // adjacent levels.
+            use hb_group::signed::SignedCycle;
+            let w = 1u32 % (1 << n);
+            let here = SignedCycle::from_word_level(n, w, self.level);
+            let to = match wave {
+                Wave::Ascend => (self.level + 1) % n,
+                Wave::Descend => (self.level + n - 1) % n,
+            };
+            let straight = SignedCycle::from_word_level(n, w, to);
+            let cross = SignedCycle::from_word_level(n, w ^ (1 << d), to);
+            debug_assert!(here.neighbors().contains(&straight));
+            debug_assert!(here.neighbors().contains(&cross));
+        }
+        let old = self.values.clone();
+        let bit = 1usize << d;
+        for w in 0..old.len() {
+            self.values[w] = op(w, &old[w], &old[w ^ bit]);
+        }
+        self.level = match wave {
+            Wave::Ascend => (self.level + 1) % n,
+            Wave::Descend => (self.level + n - 1) % n,
+        };
+        self.steps += 1;
+    }
+
+    /// Moves the wave (straight edges only, no combining) until it sits
+    /// at `target` — the re-alignment between passes of a multi-pass
+    /// normal algorithm.
+    pub fn align_to(&mut self, target: u32, wave: Wave) {
+        let n = self.b.n();
+        assert!(target < n);
+        while self.level != target {
+            self.level = match wave {
+                Wave::Ascend => (self.level + 1) % n,
+                Wave::Descend => (self.level + n - 1) % n,
+            };
+            self.steps += 1;
+        }
+    }
+}
+
+/// Bitonic sort of `2^n` keys on `B_n` (Batcher): stage `k` merges
+/// bitonic runs with dimensions `k-1 .. 0` descending — each stage is one
+/// descending wave. Returns `(sorted keys, butterfly steps)`.
+pub fn bitonic_sort<T: Clone + Ord>(b: &Butterfly, keys: Vec<T>) -> (Vec<T>, u32) {
+    let q = b.n();
+    let mut em = Emulator::new(b, keys);
+    for stage in 1..=q {
+        for d in (0..stage).rev() {
+            // Descending from level `(d + 1) mod q` crosses dimension `d`
+            // (wrapping past level 0 crosses dimension q - 1 = d when
+            // d + 1 == q). Alignment moves are plain straight edges.
+            em.align_to((d + 1) % q, Wave::Descend);
+            em.step(Wave::Descend, |w, mine, partner| {
+                // Ascending order iff bit `stage` of w is 0 (standard
+                // bitonic network orientation).
+                let ascending = w & (1usize << stage) == 0 || stage == q;
+                let keep_small = (w >> d) & 1 == 0;
+                let take_min = keep_small == ascending;
+                let (a, p) = (mine, partner);
+                if (a <= p) == take_min {
+                    a.clone()
+                } else {
+                    p.clone()
+                }
+            });
+        }
+    }
+    let steps = em.steps();
+    (em.into_values(), steps)
+}
+
+/// All-to-all reduction: after `n` ascending steps every column holds
+/// `fold` over all `2^n` items. Returns `(per-column results, steps)`.
+pub fn reduce_all<T: Clone, F: Fn(&T, &T) -> T + Copy>(
+    b: &Butterfly,
+    values: Vec<T>,
+    fold: F,
+) -> (Vec<T>, u32) {
+    let mut em = Emulator::new(b, values);
+    for _ in 0..b.n() {
+        em.step(Wave::Ascend, |_, a, p| fold(a, p));
+    }
+    let steps = em.steps();
+    (em.into_values(), steps)
+}
+
+/// Parallel prefix sums (inclusive scan) over column order — the
+/// Ladner–Fischer hypercube scan, run as one ascending wave with
+/// `(prefix, total)` pairs.
+pub fn prefix_sums(b: &Butterfly, values: Vec<i64>) -> (Vec<i64>, u32) {
+    let init: Vec<(i64, i64)> = values.into_iter().map(|v| (v, v)).collect();
+    let mut em = Emulator::new(b, init);
+    for d in 0..b.n() {
+        em.step(Wave::Ascend, |w, mine, partner| {
+            let (my_prefix, my_total) = *mine;
+            let (_, partner_total) = *partner;
+            let total = my_total + partner_total;
+            // Partner below me in column order contributes to my prefix.
+            if (w >> d) & 1 == 1 {
+                (my_prefix + partner_total, total)
+            } else {
+                (my_prefix, total)
+            }
+        });
+    }
+    let steps = em.steps();
+    (em.into_values().into_iter().map(|(p, _)| p).collect(), steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(seed: u64, len: usize) -> Vec<i64> {
+        let mut s = seed | 1;
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (s >> 33) as i64 % 1000
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bitonic_sort_sorts() {
+        for n in 3..=7 {
+            let b = Butterfly::new(n).unwrap();
+            let keys = lcg(n as u64, 1 << n);
+            let mut expected = keys.clone();
+            expected.sort();
+            let (sorted, steps) = bitonic_sort(&b, keys);
+            assert_eq!(sorted, expected, "n = {n}");
+            assert!(steps > 0);
+        }
+    }
+
+    #[test]
+    fn bitonic_sort_handles_duplicates_and_sorted_input() {
+        let b = Butterfly::new(4).unwrap();
+        let keys = vec![5i64; 16];
+        assert_eq!(bitonic_sort(&b, keys.clone()).0, keys);
+        let keys: Vec<i64> = (0..16).collect();
+        assert_eq!(bitonic_sort(&b, keys.clone()).0, keys);
+        let keys: Vec<i64> = (0..16).rev().collect();
+        let (sorted, _) = bitonic_sort(&b, keys);
+        assert_eq!(sorted, (0..16).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn reduce_all_folds_everything_in_n_steps() {
+        let b = Butterfly::new(5).unwrap();
+        let values = lcg(9, 32);
+        let expected: i64 = values.iter().sum();
+        let (results, steps) = reduce_all(&b, values, |a, c| a + c);
+        assert_eq!(steps, 5); // exactly n steps
+        assert!(results.iter().all(|&r| r == expected));
+    }
+
+    #[test]
+    fn prefix_sums_match_sequential_scan() {
+        for n in 3..=6 {
+            let b = Butterfly::new(n).unwrap();
+            let values = lcg(n as u64 + 3, 1 << n);
+            let mut expected = Vec::with_capacity(values.len());
+            let mut acc = 0i64;
+            for &v in &values {
+                acc += v;
+                expected.push(acc);
+            }
+            let (got, steps) = prefix_sums(&b, values);
+            assert_eq!(got, expected, "n = {n}");
+            assert_eq!(steps, n);
+        }
+    }
+}

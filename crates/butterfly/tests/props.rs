@@ -1,0 +1,106 @@
+//! Property tests for the wrapped-butterfly crate.
+
+use hb_butterfly::{embed, routing, Butterfly};
+use hb_graphs::embedding::{validate_cycle, validate_path, validate_tree_embedding};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Routing produces optimal, valid paths for arbitrary pairs
+    /// (optimality itself is BFS-verified exhaustively in unit tests;
+    /// here we fuzz validity + metric properties across sizes).
+    #[test]
+    fn routes_are_valid_and_metric(n in 3u32..=8, s in 0usize..2048, t in 0usize..2048) {
+        let b = Butterfly::new(n).unwrap();
+        let s = s % b.num_nodes();
+        let t = t % b.num_nodes();
+        let u = b.node(s);
+        let v = b.node(t);
+        let d = routing::distance(&b, u, v);
+        prop_assert_eq!(d, routing::distance(&b, v, u));
+        prop_assert!(d <= b.diameter());
+        prop_assert_eq!(d == 0, s == t);
+        let p = routing::route(&b, u, v);
+        prop_assert_eq!(p.len() as u32, d + 1);
+        for w in p.windows(2) {
+            prop_assert!(w[0].neighbors().contains(&w[1]));
+        }
+        // Triangle inequality through a random midpoint.
+        let mid = b.node((s * 7 + t * 13 + 1) % b.num_nodes());
+        prop_assert!(d <= routing::distance(&b, u, mid) + routing::distance(&b, mid, v));
+    }
+
+    /// Column-merge cycles of length k*n validate for every k.
+    #[test]
+    fn kn_cycles_validate(n in 3u32..=6, k_sel in 1usize..64) {
+        let b = Butterfly::new(n).unwrap();
+        let k = 1 + k_sel % (1 << n);
+        let cyc = embed::cycle_kn_plus(&b, k, 0).unwrap();
+        prop_assert_eq!(cyc.len(), k * n as usize);
+        let g = b.build_graph().unwrap();
+        validate_cycle(&g, &cyc).unwrap();
+    }
+
+    /// Detoured cycles k*n + 2k' validate whenever placement succeeds.
+    #[test]
+    fn detoured_cycles_validate(n in 3u32..=6, k_sel in 1usize..32, extra in 1usize..6) {
+        let b = Butterfly::new(n).unwrap();
+        let k = 1 + k_sel % ((1usize << n) / 2); // leave columns for detours
+        match embed::cycle_kn_plus(&b, k, extra) {
+            Ok(cyc) => {
+                prop_assert_eq!(cyc.len(), k * n as usize + 2 * extra);
+                let g = b.build_graph().unwrap();
+                validate_cycle(&g, &cyc).unwrap();
+            }
+            Err(_) => {
+                // Capacity exhausted — legal for large extra/small k.
+            }
+        }
+    }
+
+    /// The binary tree embedding validates at every n.
+    #[test]
+    fn binary_tree_validates(n in 3u32..=8) {
+        let b = Butterfly::new(n).unwrap();
+        let (parent, map) = embed::binary_tree(&b);
+        prop_assert_eq!(map.len(), (1usize << (n + 1)) - 1);
+        let g = b.build_graph().unwrap();
+        validate_tree_embedding(&g, &parent, &map).unwrap();
+    }
+
+    /// PI/CI round-trip: a node is recoverable from (PI, CI) alone.
+    #[test]
+    fn pi_ci_identify_nodes(n in 3u32..=10, idx in 0usize..10240) {
+        use hb_group::signed::SignedCycle;
+        let idx = idx % SignedCycle::population(n);
+        let v = SignedCycle::from_index(n, idx);
+        let pi = v.permutation_index();
+        let ci = v.complementation_index();
+        // Reconstruct: rotation = pi; symbol mask = CI rotated by pi.
+        let mut mask = 0u32;
+        for pos in 0..n {
+            if ci >> pos & 1 == 1 {
+                mask |= 1 << ((pi + pos) % n);
+            }
+        }
+        prop_assert_eq!(SignedCycle::new(n, pi, mask), v);
+    }
+
+    /// Route endpoints and length survive a round-trip through the
+    /// classic representation.
+    #[test]
+    fn classic_representation_preserves_routes(n in 3u32..=6, s in 0usize..384, t in 0usize..384) {
+        use hb_butterfly::ClassicNode;
+        let b = Butterfly::new(n).unwrap();
+        let s = s % b.num_nodes();
+        let t = t % b.num_nodes();
+        let p = routing::route(&b, b.node(s), b.node(t));
+        let g = hb_butterfly::classic::build_classic_graph(n).unwrap();
+        let raw: Vec<usize> = p
+            .iter()
+            .map(|x| ClassicNode::from_signed(*x).index(n))
+            .collect();
+        validate_path(&g, &raw).unwrap();
+    }
+}

@@ -1,0 +1,266 @@
+//! Minimal dependency-free argument parsing for `hbnet`.
+
+use std::fmt;
+
+/// A parsed `hbnet` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `info <m> <n> [--full]`
+    Info { m: u32, n: u32, full: bool },
+    /// `route <m> <n> <src> <dst>`
+    Route { m: u32, n: u32, src: usize, dst: usize },
+    /// `disjoint <m> <n> <src> <dst>`
+    Disjoint { m: u32, n: u32, src: usize, dst: usize },
+    /// `fault-route <m> <n> <src> <dst> <f1,f2,...>`
+    FaultRoute { m: u32, n: u32, src: usize, dst: usize, faults: Vec<usize> },
+    /// `embed <m> <n> (cycle <k> | hamiltonian | tree | mot <p> <q>)`
+    Embed { m: u32, n: u32, what: EmbedKind },
+    /// `simulate <m> <n> [--rate r] [--cycles c] [--adaptive]`
+    Simulate { m: u32, n: u32, rate: f64, cycles: u64, adaptive: bool },
+    /// `elect <m> <n>`
+    Elect { m: u32, n: u32 },
+    /// `broadcast <m> <n>`
+    Broadcast { m: u32, n: u32 },
+    /// `partition <m> <n> <dim>`
+    Partition { m: u32, n: u32, dim: u32 },
+    /// `sort <n>` — bitonic sort demo on B_n
+    Sort { n: u32 },
+    /// `help`
+    Help,
+}
+
+/// Which embedding `hbnet embed` should build.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EmbedKind {
+    /// An even cycle of the given length.
+    Cycle(usize),
+    /// The Hamiltonian cycle.
+    Hamiltonian,
+    /// The complete binary tree.
+    Tree,
+    /// Mesh of trees `MT(2^p, 2^q)`.
+    MeshOfTrees(u32, u32),
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The usage text shown by `help` and on errors.
+pub const USAGE: &str = "\
+hbnet — hyper-butterfly network explorer (Shi & Srimani, IPPS 1998)
+
+USAGE:
+  hbnet info <m> <n> [--full]          measured comparison row (HB vs HD)
+  hbnet route <m> <n> <src> <dst>      optimal route between node indices
+  hbnet disjoint <m> <n> <src> <dst>   the m+4 vertex-disjoint paths (Thm 5)
+  hbnet fault-route <m> <n> <src> <dst> <f1,f2,..>
+                                       route around faulty node indices
+  hbnet embed <m> <n> cycle <k>        even cycle of length k (Lemma 2)
+  hbnet embed <m> <n> hamiltonian      Hamiltonian cycle
+  hbnet embed <m> <n> tree             complete binary tree
+  hbnet embed <m> <n> mot <p> <q>      mesh of trees MT(2^p, 2^q) (Thm 4)
+  hbnet simulate <m> <n> [--rate R] [--cycles C] [--adaptive]
+                                       packet simulation, uniform traffic
+  hbnet elect <m> <n>                  distributed leader election
+  hbnet broadcast <m> <n>              one-to-all broadcast schedule stats
+  hbnet partition <m> <n> <dim>        split into two HB(m-1, n) halves
+  hbnet sort <n>                       bitonic-sort 2^n keys on B_n (emulation)
+  hbnet help                           this text
+";
+
+fn need<T: std::str::FromStr>(args: &[String], i: usize, what: &str) -> Result<T, ParseError> {
+    args.get(i)
+        .ok_or_else(|| ParseError(format!("missing <{what}>")))?
+        .parse()
+        .map_err(|_| ParseError(format!("invalid <{what}>: {}", args[i])))
+}
+
+/// Parses argv (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "info" => Ok(Command::Info {
+            m: need(args, 1, "m")?,
+            n: need(args, 2, "n")?,
+            full: args.iter().any(|a| a == "--full"),
+        }),
+        "route" => Ok(Command::Route {
+            m: need(args, 1, "m")?,
+            n: need(args, 2, "n")?,
+            src: need(args, 3, "src")?,
+            dst: need(args, 4, "dst")?,
+        }),
+        "disjoint" => Ok(Command::Disjoint {
+            m: need(args, 1, "m")?,
+            n: need(args, 2, "n")?,
+            src: need(args, 3, "src")?,
+            dst: need(args, 4, "dst")?,
+        }),
+        "fault-route" => {
+            let faults_raw: String = need(args, 5, "faults")?;
+            let faults = faults_raw
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| ParseError(format!("invalid fault index: {s}")))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Command::FaultRoute {
+                m: need(args, 1, "m")?,
+                n: need(args, 2, "n")?,
+                src: need(args, 3, "src")?,
+                dst: need(args, 4, "dst")?,
+                faults,
+            })
+        }
+        "embed" => {
+            let m = need(args, 1, "m")?;
+            let n = need(args, 2, "n")?;
+            let what = match args.get(3).map(String::as_str) {
+                Some("cycle") => EmbedKind::Cycle(need(args, 4, "k")?),
+                Some("hamiltonian") => EmbedKind::Hamiltonian,
+                Some("tree") => EmbedKind::Tree,
+                Some("mot") => EmbedKind::MeshOfTrees(need(args, 4, "p")?, need(args, 5, "q")?),
+                other => {
+                    return Err(ParseError(format!(
+                        "unknown embedding {:?} (cycle | hamiltonian | tree | mot)",
+                        other.unwrap_or("<none>")
+                    )))
+                }
+            };
+            Ok(Command::Embed { m, n, what })
+        }
+        "simulate" => {
+            let m = need(args, 1, "m")?;
+            let n = need(args, 2, "n")?;
+            let mut rate = 0.1;
+            let mut cycles = 200;
+            let mut adaptive = false;
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--rate" => {
+                        rate = need(args, i + 1, "rate")?;
+                        i += 2;
+                    }
+                    "--cycles" => {
+                        cycles = need(args, i + 1, "cycles")?;
+                        i += 2;
+                    }
+                    "--adaptive" => {
+                        adaptive = true;
+                        i += 1;
+                    }
+                    other => return Err(ParseError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Simulate { m, n, rate, cycles, adaptive })
+        }
+        "elect" => Ok(Command::Elect { m: need(args, 1, "m")?, n: need(args, 2, "n")? }),
+        "broadcast" => {
+            Ok(Command::Broadcast { m: need(args, 1, "m")?, n: need(args, 2, "n")? })
+        }
+        "sort" => Ok(Command::Sort { n: need(args, 1, "n")? }),
+        "partition" => Ok(Command::Partition {
+            m: need(args, 1, "m")?,
+            n: need(args, 2, "n")?,
+            dim: need(args, 3, "dim")?,
+        }),
+        other => Err(ParseError(format!("unknown command {other} (try `hbnet help`)"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_info() {
+        assert_eq!(
+            parse(&argv("info 2 4 --full")).unwrap(),
+            Command::Info { m: 2, n: 4, full: true }
+        );
+        assert_eq!(
+            parse(&argv("info 3 5")).unwrap(),
+            Command::Info { m: 3, n: 5, full: false }
+        );
+    }
+
+    #[test]
+    fn parses_route_and_disjoint() {
+        assert_eq!(
+            parse(&argv("route 2 3 0 95")).unwrap(),
+            Command::Route { m: 2, n: 3, src: 0, dst: 95 }
+        );
+        assert_eq!(
+            parse(&argv("disjoint 2 3 1 17")).unwrap(),
+            Command::Disjoint { m: 2, n: 3, src: 1, dst: 17 }
+        );
+    }
+
+    #[test]
+    fn parses_fault_route_with_fault_list() {
+        assert_eq!(
+            parse(&argv("fault-route 2 3 0 95 4,9,23")).unwrap(),
+            Command::FaultRoute { m: 2, n: 3, src: 0, dst: 95, faults: vec![4, 9, 23] }
+        );
+        assert!(parse(&argv("fault-route 2 3 0 95 4,x")).is_err());
+    }
+
+    #[test]
+    fn parses_embeddings() {
+        assert_eq!(
+            parse(&argv("embed 2 3 cycle 10")).unwrap(),
+            Command::Embed { m: 2, n: 3, what: EmbedKind::Cycle(10) }
+        );
+        assert_eq!(
+            parse(&argv("embed 2 3 hamiltonian")).unwrap(),
+            Command::Embed { m: 2, n: 3, what: EmbedKind::Hamiltonian }
+        );
+        assert_eq!(
+            parse(&argv("embed 3 4 mot 1 2")).unwrap(),
+            Command::Embed { m: 3, n: 4, what: EmbedKind::MeshOfTrees(1, 2) }
+        );
+        assert!(parse(&argv("embed 2 3 torus")).is_err());
+    }
+
+    #[test]
+    fn parses_simulate_flags() {
+        assert_eq!(
+            parse(&argv("simulate 2 4 --rate 0.25 --cycles 100 --adaptive")).unwrap(),
+            Command::Simulate { m: 2, n: 4, rate: 0.25, cycles: 100, adaptive: true }
+        );
+        assert_eq!(
+            parse(&argv("simulate 2 4")).unwrap(),
+            Command::Simulate { m: 2, n: 4, rate: 0.1, cycles: 200, adaptive: false }
+        );
+        assert!(parse(&argv("simulate 2 4 --bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_sort() {
+        assert_eq!(parse(&argv("sort 5")).unwrap(), Command::Sort { n: 5 });
+        assert!(parse(&argv("sort")).is_err());
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("route 2")).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! `hbnet` — command-line explorer for hyper-butterfly networks.
+//!
+//! Every subcommand drives the library end to end: construction, optimal
+//! routing, Theorem-5 disjoint paths, fault-tolerant routing, embeddings,
+//! packet simulation, leader election, broadcast, and partitioning.
+
+mod args;
+
+use args::{parse, Command, EmbedKind, USAGE};
+use hb_core::disjoint::DisjointEngine;
+use hb_core::{decompose, embed, fault_routing, metrics, routing, HyperButterfly};
+use hb_distributed::election;
+use hb_graphs::embedding::{validate_cycle, validate_tree_embedding, Embedding};
+use hb_graphs::generators;
+use hb_netsim::topology::{HbRouteOrder, HyperButterflyNet};
+use hb_netsim::{run, run_adaptive, sim::SimConfig, workload};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = dispatch(cmd) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        Command::Help => print!("{USAGE}"),
+        Command::Info { m, n, full } => {
+            let level = if full {
+                metrics::MeasureLevel::Full
+            } else {
+                metrics::MeasureLevel::Diameter
+            };
+            let rows = vec![
+                metrics::hyper_butterfly_metrics(m, n, level)?,
+                metrics::hyper_debruijn_metrics(m, n, level)?,
+            ];
+            print!("{}", metrics::render_table(&rows));
+        }
+        Command::Route { m, n, src, dst } => {
+            let hb = HyperButterfly::new(m, n)?;
+            check_index(&hb, src)?;
+            check_index(&hb, dst)?;
+            let (u, v) = (hb.node(src), hb.node(dst));
+            println!("distance {u} -> {v}: {}", routing::distance(&hb, u, v));
+            for (i, x) in routing::route(&hb, u, v).iter().enumerate() {
+                println!("  step {i:>3}: [{:>6}] {x}", hb.index(*x));
+            }
+        }
+        Command::Disjoint { m, n, src, dst } => {
+            let hb = HyperButterfly::new(m, n)?;
+            check_index(&hb, src)?;
+            check_index(&hb, dst)?;
+            let eng = DisjointEngine::new(hb)?;
+            let fam = eng.paths(hb.node(src), hb.node(dst))?;
+            println!(
+                "{} internally vertex-disjoint paths {} -> {} (Theorem 5):",
+                fam.len(),
+                hb.node(src),
+                hb.node(dst)
+            );
+            for (i, p) in fam.iter().enumerate() {
+                let s: Vec<String> = p.iter().map(|x| x.to_string()).collect();
+                println!("  path {i} ({:>2} hops): {}", p.len() - 1, s.join(" -> "));
+            }
+        }
+        Command::FaultRoute { m, n, src, dst, faults } => {
+            let hb = HyperButterfly::new(m, n)?;
+            check_index(&hb, src)?;
+            check_index(&hb, dst)?;
+            for &f in &faults {
+                check_index(&hb, f)?;
+            }
+            let eng = DisjointEngine::new(hb)?;
+            let fnodes: Vec<_> = faults.iter().map(|&f| hb.node(f)).collect();
+            match fault_routing::route_avoiding(&eng, hb.node(src), hb.node(dst), &fnodes)? {
+                Some(p) => {
+                    println!("route survives {} faults ({} hops):", faults.len(), p.len() - 1);
+                    for x in &p {
+                        println!("  [{:>6}] {x}", hb.index(*x));
+                    }
+                }
+                None => println!(
+                    "no family member survives (> m + 3 = {} faults can do this)",
+                    hb.degree() - 1
+                ),
+            }
+        }
+        Command::Embed { m, n, what } => {
+            let hb = HyperButterfly::new(m, n)?;
+            let host = hb.build_graph()?;
+            match what {
+                EmbedKind::Cycle(k) => {
+                    let cyc = embed::even_cycle(&hb, k)?;
+                    validate_cycle(&host, &cyc)?;
+                    println!("validated C({k}) in HB({m}, {n}): {cyc:?}");
+                }
+                EmbedKind::Hamiltonian => {
+                    let cyc = embed::hamiltonian_cycle(&hb)?;
+                    validate_cycle(&host, &cyc)?;
+                    println!(
+                        "validated Hamiltonian cycle of length {} in HB({m}, {n})",
+                        cyc.len()
+                    );
+                }
+                EmbedKind::Tree => {
+                    let (parent, map) = embed::binary_tree(&hb);
+                    validate_tree_embedding(&host, &parent, &map)?;
+                    println!(
+                        "validated complete binary tree T({}) ({} nodes) in HB({m}, {n})",
+                        embed::binary_tree_levels(&hb),
+                        map.len()
+                    );
+                }
+                EmbedKind::MeshOfTrees(p, q) => {
+                    let map = embed::mesh_of_trees(&hb, p, q)?;
+                    let guest = generators::mesh_of_trees(1 << p, 1 << q)?;
+                    let count = guest.num_nodes();
+                    Embedding { map }.validate(&guest, &host)?;
+                    println!(
+                        "validated MT(2^{p}, 2^{q}) ({count} guest nodes) in HB({m}, {n})"
+                    );
+                }
+            }
+        }
+        Command::Simulate { m, n, rate, cycles, adaptive } => {
+            let t = HyperButterflyNet::new(m, n, HbRouteOrder::CubeFirst)?;
+            let inj = workload::uniform(t.topology().num_nodes(), cycles, rate, 42);
+            let cfg = SimConfig { max_cycles: cycles * 100 + 50_000, stop_when_drained: true };
+            let stats = if adaptive { run_adaptive(&t, &inj, cfg) } else { run(&t, &inj, cfg) };
+            println!(
+                "HB({m}, {n}) uniform rate {rate} for {cycles} cycles ({}):",
+                if adaptive { "adaptive" } else { "oblivious" }
+            );
+            println!("  delivered   {}/{}", stats.delivered, stats.offered);
+            println!("  avg latency {:.2} cycles ({:.2} hops)", stats.avg_latency, stats.avg_hops);
+            println!("  peak queue  {}", stats.peak_queue);
+        }
+        Command::Elect { m, n } => {
+            let hb = HyperButterfly::new(m, n)?;
+            let g = hb.build_graph()?;
+            let out = election::elect(&g, hb.diameter());
+            let leader = election::validate(&out).map_err(hb_graphs::GraphError::InvalidParameter)?;
+            println!(
+                "leader {} elected on HB({m}, {n}) in {} rounds, {} messages",
+                leader, out.rounds, out.messages
+            );
+        }
+        Command::Broadcast { m, n } => {
+            let hb = HyperButterfly::new(m, n)?;
+            let g = hb.build_graph()?;
+            let s = hb_core::broadcast::broadcast_schedule(&hb, hb.identity_node());
+            let ok = s.verify_on_graph(&g, 0);
+            println!(
+                "broadcast on HB({m}, {n}): {} rounds (lower bound {}), {} messages, verified: {ok}",
+                s.num_rounds(),
+                hb_core::broadcast::lower_bound_rounds(&hb),
+                s.num_messages()
+            );
+        }
+        Command::Sort { n } => {
+            let b = hb_butterfly::Butterfly::new(n)?;
+            let keys: Vec<i64> = (0..1i64 << n).map(|k| (k * 97 + 13) % 255).collect();
+            let (sorted, steps) = hb_butterfly::emulate::bitonic_sort(&b, keys.clone());
+            assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+            println!(
+                "bitonic sort of {} keys emulated on B({n}) in {steps} butterfly steps",
+                keys.len()
+            );
+            println!("  in : {:?}...", &keys[..keys.len().min(16)]);
+            println!("  out: {:?}...", &sorted[..sorted.len().min(16)]);
+        }
+        Command::Partition { m, n, dim } => {
+            let hb = HyperButterfly::new(m, n)?;
+            let (a, b) = decompose::partition(&hb, dim)?;
+            let ok = decompose::verify_partition(&hb, dim);
+            println!(
+                "HB({m}, {n}) splits on hypercube bit {dim} into two halves of {} nodes \
+                 (each induces HB({}, {n}); verified: {ok})",
+                a.len(),
+                m - 1
+            );
+            println!("  half 0 sample: {} {} {}", a[0], a[1], a[2]);
+            println!("  half 1 sample: {} {} {}", b[0], b[1], b[2]);
+        }
+    }
+    Ok(())
+}
+
+fn check_index(hb: &HyperButterfly, idx: usize) -> Result<(), hb_graphs::GraphError> {
+    if idx >= hb.num_nodes() {
+        return Err(hb_graphs::GraphError::NodeOutOfRange { node: idx, len: hb.num_nodes() });
+    }
+    Ok(())
+}

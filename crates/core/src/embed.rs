@@ -1,0 +1,389 @@
+//! Embeddings in `HB(m, n)` — the paper's Section 4.
+//!
+//! | Paper result | Function |
+//! |---|---|
+//! | wrap-around meshes / tori (product of factor cycles) | [`torus`] |
+//! | Lemma 2: every even cycle `4 <= k <= n * 2^(m+n)` | [`even_cycle`] |
+//! | complete binary trees (Figure 1 row) | [`binary_tree`] |
+//! | Theorem 4: mesh of trees `MT(2^p, 2^q)` | [`mesh_of_trees`] |
+//!
+//! All constructions return explicit host-node assignments that the tests
+//! validate with `hb-graphs`' embedding checkers against guests built by
+//! `hb-graphs::generators`.
+
+use crate::graph::HyperButterfly;
+use crate::node::HbNode;
+use hb_butterfly::embed as bembed;
+use hb_graphs::{GraphError, NodeId, Result};
+use hb_hypercube::embed as hembed;
+
+/// Embeds the torus (wrap-around mesh) `M(n1, n2)` into `HB(m, n)` as the
+/// product of an even hypercube cycle `C(n1)` (`4 <= n1 <= 2^m`, even)
+/// and a butterfly cycle `C(n2)` (`n2 = k*n + 2*k'`; pass the column
+/// count `k` and detour count `extra = k'`).
+///
+/// Returns `map[i * n2 + j]` = host index of torus node `(i, j)`,
+/// matching [`hb_graphs::generators::torus`] numbering.
+///
+/// # Errors
+/// Propagates factor-cycle construction errors.
+pub fn torus(hb: &HyperButterfly, n1: usize, k: usize, extra: usize) -> Result<Vec<NodeId>> {
+    let cy_h = hembed::even_cycle(hb.cube(), n1)?;
+    let cy_b = bembed::cycle_kn_plus(hb.butterfly(), k, extra)?;
+    let n2 = cy_b.len();
+    if n1 < 3 || n2 < 3 {
+        return Err(GraphError::InvalidParameter("torus dims must be >= 3".into()));
+    }
+    let mut map = Vec::with_capacity(n1 * n2);
+    for &h in &cy_h {
+        for &b in &cy_b {
+            map.push(hb.index(HbNode::new(h, hb.butterfly().node(b))));
+        }
+    }
+    Ok(map)
+}
+
+/// Lemma 2: a simple cycle of any even length `4 <= len <= n * 2^(m+n)`.
+///
+/// Construction: lay the graph out as a (virtual) grid whose rows are the
+/// Gray-code sequence of `H_m` (consecutive rows adjacent) and whose
+/// columns are a Hamiltonian cycle of `B_n` (consecutive columns
+/// adjacent). A 2-row "boustrophedon" cycle of width `w` has length `2w`;
+/// replacing the row-1 edge between columns `2t, 2t+1` by a "tooth"
+/// descending `d` rows adds `2d`. Teeth on disjoint column pairs reach
+/// every even length up to `2^m * (n * 2^n)` — the full node count, so
+/// `len = n * 2^(m+n)` yields a **Hamiltonian cycle** of `HB(m, n)`.
+///
+/// Returns the host-index cycle sequence.
+///
+/// # Errors
+/// [`GraphError::InvalidParameter`] for odd or out-of-range `len`.
+///
+/// # Examples
+/// ```
+/// use hb_core::{embed, HyperButterfly};
+/// let hb = HyperButterfly::new(1, 3).unwrap(); // 48 nodes
+/// assert_eq!(embed::even_cycle(&hb, 10).unwrap().len(), 10);
+/// assert_eq!(embed::hamiltonian_cycle(&hb).unwrap().len(), 48);
+/// assert!(embed::even_cycle(&hb, 7).is_err()); // odd lengths rejected
+/// ```
+pub fn even_cycle(hb: &HyperButterfly, len: usize) -> Result<Vec<NodeId>> {
+    let total = hb.num_nodes();
+    if len % 2 != 0 || len < 4 || len > total {
+        return Err(GraphError::InvalidParameter(format!(
+            "even cycle length {len} outside 4..={total}"
+        )));
+    }
+    let rows: Vec<u32> = if hb.m() == 1 {
+        vec![0, 1]
+    } else {
+        hembed::gray_cycle(hb.m())?
+    };
+    let r = rows.len();
+    let cols = bembed::hamiltonian_cycle(hb.butterfly())?;
+    let c = cols.len();
+
+    // Width and teeth sizing: len = 2w + 2*S with S split into teeth of
+    // depth <= r - 2, at most one per disjoint column pair.
+    let (w, s) = if len <= 2 * c { (len / 2, 0) } else { (c, (len - 2 * c) / 2) };
+    let max_teeth = w / 2;
+    let max_depth = r.saturating_sub(2);
+    if s > max_teeth * max_depth {
+        return Err(GraphError::InvalidParameter(format!(
+            "length {len} not reachable: needs {s} tooth units, capacity {}",
+            max_teeth * max_depth
+        )));
+    }
+
+    // Tooth depth for the pair (2t, 2t+1).
+    let mut depth = vec![0usize; max_teeth.max(1)];
+    let mut rest = s;
+    for d in depth.iter_mut() {
+        let take = rest.min(max_depth);
+        *d = take;
+        rest -= take;
+        if rest == 0 {
+            break;
+        }
+    }
+
+    let at = |row: usize, col: usize| -> NodeId {
+        hb.index(HbNode::new(rows[row], hb.butterfly().node(cols[col])))
+    };
+
+    // Row 0 left-to-right, then snake back along row 1 with teeth.
+    let mut cycle = Vec::with_capacity(len);
+    for col in 0..w {
+        cycle.push(at(0, col));
+    }
+    let mut col = w - 1;
+    loop {
+        cycle.push(at(1, col));
+        if col == 0 {
+            break;
+        }
+        // Tooth on the pair (col - 1, col) when col is odd and assigned.
+        if col % 2 == 1 && depth[col / 2] > 0 {
+            let d = depth[col / 2];
+            for row in 2..2 + d {
+                cycle.push(at(row, col));
+            }
+            for row in (2..2 + d).rev() {
+                cycle.push(at(row, col - 1));
+            }
+        }
+        col -= 1;
+    }
+    debug_assert_eq!(cycle.len(), len);
+    Ok(cycle)
+}
+
+/// A Hamiltonian cycle of `HB(m, n)` (the `len = n * 2^(m+n)` case of
+/// [`even_cycle`]).
+///
+/// # Errors
+/// Never fails for a valid topology.
+pub fn hamiltonian_cycle(hb: &HyperButterfly) -> Result<Vec<NodeId>> {
+    even_cycle(hb, hb.num_nodes())
+}
+
+/// Dilation-1 complete binary tree `T(n + 1 + floor(m/2))` in `HB(m, n)`,
+/// as `(parent, map)` heap arrays over host indices.
+///
+/// Construction: the butterfly tree `T(n+1)` of Lemma 3 lives in the slice
+/// `(0, B_n)`; every *pair* of hypercube dimensions then buys one more
+/// level (`T(k+1)` embeds in `G x H_2` by placing two `T(k)` copies in
+/// the `00`/`11` quadrants under a fresh root at `01`).
+///
+/// The paper's Figure 1 quotes `T(m + n - 1)`, stated without proof; the
+/// two coincide for `m <= 4` (all instances in the paper's Figure 2) and
+/// the constructive count here is `n + 1 + floor(m/2)` in general — the
+/// gap is recorded in EXPERIMENTS.md.
+pub fn binary_tree(hb: &HyperButterfly) -> (Vec<NodeId>, Vec<NodeId>) {
+    let (bparent, bmap) = bembed::binary_tree(hb.butterfly());
+    // Hoist into HB with h = 0.
+    let mut parent = bparent;
+    let mut map: Vec<NodeId> = bmap
+        .into_iter()
+        .map(|b| hb.index(HbNode::new(0, hb.butterfly().node(b))))
+        .collect();
+
+    // One extra level per dimension pair. `stride` converts a hypercube
+    // bit flip into an index offset (index = h * |B_n| + b).
+    let stride = hb.butterfly().num_nodes();
+    let mut dim = 0;
+    while dim + 1 < hb.m() {
+        let old_total = map.len();
+        // old_total = 2^depth+1 - 1; deepest depth of the old tree:
+        let old_depth = usize::BITS - 1 - (old_total + 1).leading_zeros() - 1;
+        let mut new_map = vec![usize::MAX; 2 * old_total + 1];
+        let mut new_parent = vec![0usize; 2 * old_total + 1];
+        new_map[0] = map[0] + (1usize << dim) * stride; // root in quadrant 01
+        for d in 0..=old_depth {
+            let width = 1usize << d;
+            for o in 0..width {
+                let old_idx = (1usize << d) - 1 + o;
+                let left = (1usize << (d + 1)) - 1 + o;
+                let right = left + width;
+                new_map[left] = map[old_idx]; // quadrant 00
+                new_map[right] = map[old_idx] + (0b11usize << dim) * stride; // 11
+                new_parent[left] = (left - 1) / 2;
+                new_parent[right] = (right - 1) / 2;
+            }
+        }
+        parent = new_parent;
+        map = new_map;
+        dim += 2;
+    }
+    (parent, map)
+}
+
+/// Number of levels of the tree produced by [`binary_tree`]:
+/// `n + 1 + floor(m/2)`.
+pub fn binary_tree_levels(hb: &HyperButterfly) -> u32 {
+    hb.n() + 1 + hb.m() / 2
+}
+
+/// Theorem 4: dilation-1 mesh of trees `MT(2^p, 2^q)` in `HB(m, n)`.
+///
+/// Via Lemma 4, `MT(2^p, 2^q)` is a subgraph of `T(p+1) x T(q+1)`: grid
+/// leaves pair a leaf of each factor tree; row-tree internals pair a row
+/// leaf with a `T(q+1)` internal; column-tree internals pair a `T(p+1)`
+/// internal with a column leaf. The factor trees come from the hypercube
+/// (`p <= floor(m/2)` constructively; the paper claims `p <= m - 2`,
+/// identical for the instances of Figure 2) and the butterfly (`q <= n`).
+///
+/// Returns `map` over host indices in the node order of
+/// [`hb_graphs::generators::mesh_of_trees`].
+///
+/// # Errors
+/// [`GraphError::InvalidParameter`] when `p`/`q` exceed the constructive
+/// ranges.
+pub fn mesh_of_trees(hb: &HyperButterfly, p: u32, q: u32) -> Result<Vec<NodeId>> {
+    if p == 0 || p > hb.m() / 2 {
+        return Err(GraphError::InvalidParameter(format!(
+            "p = {p} outside constructive range 1..={}",
+            hb.m() / 2
+        )));
+    }
+    if q == 0 || q > hb.n() {
+        return Err(GraphError::InvalidParameter(format!(
+            "q = {q} outside 1..={}",
+            hb.n()
+        )));
+    }
+    // Factor trees, truncated to T(p+1) / T(q+1) heap prefixes.
+    let (_, hmap_full) = hembed::binary_tree(hb.m());
+    let hmap = &hmap_full[..(1usize << (p + 1)) - 1];
+    let (_, bmap_full) = bembed::binary_tree(hb.butterfly());
+    let bmap = &bmap_full[..(1usize << (q + 1)) - 1];
+
+    let r = 1usize << p; // grid rows
+    let c = 1usize << q; // grid cols
+    let h_leaf = |i: usize| hmap[r - 1 + i] as u32; // depth-p heap leaves
+    let b_leaf = |j: usize| bmap[c - 1 + j];
+    let host =
+        |h: u32, bidx: usize| -> NodeId { hb.index(HbNode::new(h, hb.butterfly().node(bidx))) };
+
+    // Order matches generators::mesh_of_trees: leaves row-major, then row
+    // trees' internals, then column trees' internals (heap order each).
+    let mut map = Vec::with_capacity(r * c + r * (c - 1) + c * (r - 1));
+    for i in 0..r {
+        for j in 0..c {
+            map.push(host(h_leaf(i), b_leaf(j)));
+        }
+    }
+    for i in 0..r {
+        for l in 0..c - 1 {
+            map.push(host(h_leaf(i), bmap[l]));
+        }
+    }
+    for j in 0..c {
+        for l in 0..r - 1 {
+            map.push(host(hmap[l] as u32, b_leaf(j)));
+        }
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_graphs::embedding::{validate_cycle, validate_tree_embedding, Embedding};
+    use hb_graphs::generators;
+
+    #[test]
+    fn torus_embeds_and_validates() {
+        let hb = HyperButterfly::new(2, 3).unwrap();
+        let host = hb.build_graph().unwrap();
+        // C(4) x C(6): 4 <= 2^2, 6 = 2 * 3 columns.
+        let map = torus(&hb, 4, 2, 0).unwrap();
+        let guest = generators::torus(4, 6).unwrap();
+        Embedding { map }.validate(&guest, &host).unwrap();
+    }
+
+    #[test]
+    fn torus_with_detour_columns() {
+        let hb = HyperButterfly::new(2, 3).unwrap();
+        let host = hb.build_graph().unwrap();
+        // C(4) x C(5): butterfly cycle 1 * 3 + 2 * 1 = 5.
+        let map = torus(&hb, 4, 1, 1).unwrap();
+        let guest = generators::torus(4, 5).unwrap();
+        Embedding { map }.validate(&guest, &host).unwrap();
+    }
+
+    #[test]
+    fn lemma_2_every_even_cycle_hb_1_3() {
+        let hb = HyperButterfly::new(1, 3).unwrap();
+        let host = hb.build_graph().unwrap();
+        for len in (4..=hb.num_nodes()).step_by(2) {
+            let cyc = even_cycle(&hb, len).unwrap();
+            assert_eq!(cyc.len(), len);
+            validate_cycle(&host, &cyc).unwrap_or_else(|e| panic!("len {len}: {e}"));
+        }
+    }
+
+    #[test]
+    fn lemma_2_every_even_cycle_hb_2_3() {
+        let hb = HyperButterfly::new(2, 3).unwrap();
+        let host = hb.build_graph().unwrap();
+        for len in (4..=hb.num_nodes()).step_by(2) {
+            let cyc = even_cycle(&hb, len).unwrap();
+            assert_eq!(cyc.len(), len);
+            validate_cycle(&host, &cyc).unwrap_or_else(|e| panic!("len {len}: {e}"));
+        }
+    }
+
+    #[test]
+    fn hamiltonian_cycle_exists() {
+        for (m, n) in [(1, 3), (2, 3), (2, 4)] {
+            let hb = HyperButterfly::new(m, n).unwrap();
+            let host = hb.build_graph().unwrap();
+            let cyc = hamiltonian_cycle(&hb).unwrap();
+            assert_eq!(cyc.len(), hb.num_nodes(), "HB({m},{n})");
+            validate_cycle(&host, &cyc).unwrap_or_else(|e| panic!("HB({m},{n}): {e}"));
+        }
+    }
+
+    #[test]
+    fn even_cycle_rejects_bad_lengths() {
+        let hb = HyperButterfly::new(1, 3).unwrap();
+        assert!(even_cycle(&hb, 5).is_err());
+        assert!(even_cycle(&hb, 2).is_err());
+        assert!(even_cycle(&hb, hb.num_nodes() + 2).is_err());
+    }
+
+    #[test]
+    fn binary_tree_embeds() {
+        for (m, n) in [(1, 3), (2, 3), (3, 3), (4, 3), (2, 4)] {
+            let hb = HyperButterfly::new(m, n).unwrap();
+            let host = hb.build_graph().unwrap();
+            let (parent, map) = binary_tree(&hb);
+            let levels = binary_tree_levels(&hb);
+            assert_eq!(map.len(), (1usize << levels) - 1, "HB({m},{n})");
+            validate_tree_embedding(&host, &parent, &map)
+                .unwrap_or_else(|e| panic!("HB({m},{n}): {e}"));
+        }
+    }
+
+    #[test]
+    fn figure_2_tree_levels_match_paper_for_small_m() {
+        // HB(3, 8) row of Figure 2: T(10) = T(m + n - 1).
+        let hb = HyperButterfly::new(3, 8).unwrap();
+        assert_eq!(binary_tree_levels(&hb), 10);
+    }
+
+    #[test]
+    fn mesh_of_trees_embeds() {
+        // HB(2, 3): p <= 1, q <= 3.
+        let hb = HyperButterfly::new(2, 3).unwrap();
+        let host = hb.build_graph().unwrap();
+        for (p, q) in [(1u32, 1u32), (1, 2), (1, 3)] {
+            let map = mesh_of_trees(&hb, p, q).unwrap();
+            let guest = generators::mesh_of_trees(1 << p, 1 << q).unwrap();
+            Embedding { map }
+                .validate(&guest, &host)
+                .unwrap_or_else(|e| panic!("MT(2^{p}, 2^{q}): {e}"));
+        }
+        assert!(mesh_of_trees(&hb, 2, 1).is_err());
+        assert!(mesh_of_trees(&hb, 1, 4).is_err());
+    }
+
+    #[test]
+    fn mesh_of_trees_figure_2_instance_shape() {
+        // Figure 2 row: MT(2^1, 2^8) in HB(3, 8). Validate the map is
+        // injective and well-formed without materialising the full host.
+        let hb = HyperButterfly::new(3, 8).unwrap();
+        let map = mesh_of_trees(&hb, 1, 8).unwrap();
+        let guest = generators::mesh_of_trees(2, 256).unwrap();
+        assert_eq!(map.len(), guest.num_nodes());
+        let unique: std::collections::HashSet<_> = map.iter().collect();
+        assert_eq!(unique.len(), map.len(), "injective");
+        // Spot-check edges via edge_kind instead of building the host CSR.
+        for (a, b) in guest.edges() {
+            let u = hb.node(map[a]);
+            let v = hb.node(map[b]);
+            assert!(hb.edge_kind(u, v).is_some(), "guest edge ({a}, {b})");
+        }
+    }
+}

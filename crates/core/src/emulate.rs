@@ -1,0 +1,179 @@
+//! Running an actual parallel algorithm on the Theorem-4 embedding: the
+//! mesh of trees is *the* matrix–vector-multiply topology, and
+//! `MT(2^p, 2^q)` lives inside `HB(m, n)` with dilation 1 — so a
+//! hyper-butterfly machine multiplies a `2^p x 2^q` matrix by a vector
+//! in `O(p + q)` communication rounds using only its own links.
+//!
+//! Schedule (textbook): vector entry `x_j` broadcasts down column tree
+//! `j` to the grid leaves; leaf `(i, j)` computes `a_ij * x_j`; the
+//! products converge-cast (summing) up row tree `i`, whose root holds
+//! `y_i`. Every transfer below moves across one tree edge, and the
+//! embedding guarantees every tree edge is a hyper-butterfly edge — a
+//! property [`matvec`] re-asserts per transfer in debug builds.
+
+use crate::embed;
+use crate::graph::HyperButterfly;
+use hb_graphs::{GraphError, Result};
+
+/// Result of one emulated multiply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatvecOutcome {
+    /// The product `y = A x`, length `2^p`.
+    pub y: Vec<i64>,
+    /// Communication rounds (tree levels traversed).
+    pub rounds: u32,
+    /// Point-to-point messages sent over hyper-butterfly edges.
+    pub messages: u64,
+}
+
+/// Multiplies the `2^p x 2^q` matrix `a` (row major) by `x` on the
+/// `MT(2^p, 2^q)` embedding inside `HB(m, n)`.
+///
+/// # Errors
+/// Embedding-range errors from [`embed::mesh_of_trees`], or
+/// [`GraphError::InvalidParameter`] on dimension mismatches.
+pub fn matvec(hb: &HyperButterfly, p: u32, q: u32, a: &[i64], x: &[i64]) -> Result<MatvecOutcome> {
+    let rows = 1usize << p;
+    let cols = 1usize << q;
+    if a.len() != rows * cols || x.len() != cols {
+        return Err(GraphError::InvalidParameter(format!(
+            "matrix must be {rows} x {cols} and vector length {cols}"
+        )));
+    }
+    let map = embed::mesh_of_trees(hb, p, q)?;
+    let mut messages = 0u64;
+    let mut rounds = 0u32;
+
+    // Guest ids follow hb_graphs::generators::mesh_of_trees: leaves, then
+    // per-row internal heaps, then per-column internal heaps.
+    let leaves = rows * cols;
+    let row_base = |i: usize| leaves + i * (cols - 1);
+    let col_base = |j: usize| leaves + rows * (cols - 1) + j * (rows - 1);
+
+    // Heap helpers over a k-leaf tree: internal logical 0..k-1, leaves
+    // logical k-1..2k-2; children of internal t are 2t+1, 2t+2.
+    let depth_of = |k: usize| k.trailing_zeros(); // k = 2^depth leaves
+
+    // Per-transfer edge check against the embedding (debug builds; the
+    // `cfg!` form keeps `map` alive in release builds too).
+    let assert_edge = |ga: usize, gb: usize| {
+        if cfg!(debug_assertions) {
+            let u = hb.node(map[ga]);
+            let v = hb.node(map[gb]);
+            assert!(hb.edge_kind(u, v).is_some(), "transfer off-fabric: {ga} -> {gb}");
+        }
+    };
+
+    // Phase 1: broadcast x_j down each column tree (depth p levels).
+    // col-tree values indexed by logical heap id.
+    let mut col_vals: Vec<Vec<i64>> = vec![vec![0; 2 * rows - 1]; cols];
+    for (j, cv) in col_vals.iter_mut().enumerate() {
+        cv[0] = x[j];
+    }
+    for level in 0..depth_of(rows) {
+        for (j, cv) in col_vals.iter_mut().enumerate() {
+            let start = (1usize << level) - 1;
+            for t in start..start + (1 << level) {
+                for child in [2 * t + 1, 2 * t + 2] {
+                    cv[child] = cv[t];
+                    // Guest ids for the transfer.
+                    let gid = |logical: usize| -> usize {
+                        if logical < rows - 1 {
+                            col_base(j) + logical
+                        } else {
+                            // column-tree leaf i is grid node (i, j)
+                            (logical - (rows - 1)) * cols + j
+                        }
+                    };
+                    assert_edge(gid(t), gid(child));
+                    messages += 1;
+                }
+            }
+        }
+        rounds += 1;
+    }
+
+    // Phase 2: leaves multiply (local, no communication).
+    // product at grid leaf (i, j) = a[i][j] * x[j].
+    let leaf_val = |i: usize, j: usize| -> i64 {
+        let x_at_leaf = col_vals[j][(rows - 1) + i];
+        a[i * cols + j] * x_at_leaf
+    };
+
+    // Phase 3: converge-cast sums up each row tree (depth q levels).
+    let mut row_vals: Vec<Vec<i64>> = vec![vec![0; 2 * cols - 1]; rows];
+    for (i, rv) in row_vals.iter_mut().enumerate() {
+        for j in 0..cols {
+            rv[(cols - 1) + j] = leaf_val(i, j);
+        }
+    }
+    for level in (0..depth_of(cols)).rev() {
+        for (i, rv) in row_vals.iter_mut().enumerate() {
+            let start = (1usize << level) - 1;
+            for t in start..start + (1 << level) {
+                rv[t] = rv[2 * t + 1] + rv[2 * t + 2];
+                let gid = |logical: usize| -> usize {
+                    if logical < cols - 1 {
+                        row_base(i) + logical
+                    } else {
+                        i * cols + (logical - (cols - 1))
+                    }
+                };
+                assert_edge(gid(2 * t + 1), gid(t));
+                assert_edge(gid(2 * t + 2), gid(t));
+                messages += 2;
+            }
+        }
+        rounds += 1;
+    }
+
+    Ok(MatvecOutcome {
+        y: row_vals.iter().map(|rv| rv[0]).collect(),
+        rounds,
+        messages,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(a: &[i64], x: &[i64], rows: usize, cols: usize) -> Vec<i64> {
+        (0..rows)
+            .map(|i| (0..cols).map(|j| a[i * cols + j] * x[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn matvec_matches_reference() {
+        let hb = HyperButterfly::new(2, 3).unwrap();
+        let (p, q) = (1u32, 3u32); // 2 x 8 matrix
+        let rows = 2;
+        let cols = 8;
+        let a: Vec<i64> = (0..rows * cols).map(|k| (k as i64 * 7 - 13) % 11).collect();
+        let x: Vec<i64> = (0..cols).map(|j| j as i64 - 3).collect();
+        let out = matvec(&hb, p, q, &a, &x).unwrap();
+        assert_eq!(out.y, reference(&a, &x, rows, cols));
+        assert_eq!(out.rounds, p + q); // p broadcast + q reduce levels
+        assert!(out.messages > 0);
+    }
+
+    #[test]
+    fn matvec_on_paper_scale_instance_shape() {
+        // MT(2, 256) in HB(3, 8) — the Figure-2 instance actually used.
+        let hb = HyperButterfly::new(3, 8).unwrap();
+        let rows = 2;
+        let cols = 256;
+        let a: Vec<i64> = (0..rows * cols).map(|k| k as i64 % 5 - 2).collect();
+        let x: Vec<i64> = (0..cols).map(|j| (j as i64 * 3) % 7 - 3).collect();
+        let out = matvec(&hb, 1, 8, &a, &x).unwrap();
+        assert_eq!(out.y, reference(&a, &x, rows, cols));
+        assert_eq!(out.rounds, 9);
+    }
+
+    #[test]
+    fn matvec_rejects_bad_shapes() {
+        let hb = HyperButterfly::new(2, 3).unwrap();
+        assert!(matvec(&hb, 1, 2, &[1, 2, 3], &[1, 2, 3, 4]).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Fault-tolerant routing (paper Remark 10).
+//!
+//! The constructive proof of Theorem 5 "readily suggests an optimal
+//! routing scheme in the presence of the maximal number of allowable
+//! faults": the `m + 4` paths of the family are internally disjoint, so
+//! any fault set of size `<= m + 3` leaves at least one of them intact —
+//! routing reduces to picking the shortest surviving member. An exact
+//! BFS-in-survivor-graph router is provided as the optimality referee.
+
+use crate::disjoint::DisjointEngine;
+use crate::graph::HyperButterfly;
+use crate::node::HbNode;
+use hb_graphs::{traverse, Graph, GraphError, Result};
+
+/// Routes from `u` to `v` avoiding `faults` by scanning the Theorem-5
+/// disjoint-path family and returning the shortest fault-free member.
+///
+/// Guaranteed to succeed whenever `faults.len() <= m + 3` (Corollary 1's
+/// maximal allowable fault count): each fault can kill at most one family
+/// member. With more faults it may return `Ok(None)` even when the
+/// survivor graph is still connected — use [`route_avoiding_exact`] for
+/// an exhaustive answer.
+///
+/// # Errors
+/// [`GraphError::InvalidParameter`] if an endpoint is faulty or
+/// `u == v` (routing to oneself is trivially the empty path, which the
+/// caller should special-case).
+pub fn route_avoiding(
+    engine: &DisjointEngine,
+    u: HbNode,
+    v: HbNode,
+    faults: &[HbNode],
+) -> Result<Option<Vec<HbNode>>> {
+    let hb = engine.topology();
+    if faults.contains(&u) || faults.contains(&v) {
+        return Err(GraphError::InvalidParameter("endpoint is faulty".into()));
+    }
+    let fault_idx: std::collections::HashSet<usize> =
+        faults.iter().map(|f| hb.index(*f)).collect();
+    let family = engine.paths(u, v)?;
+    Ok(family
+        .into_iter()
+        .filter(|p| p.iter().all(|x| !fault_idx.contains(&hb.index(*x))))
+        .min_by_key(Vec::len))
+}
+
+/// Exact fault-avoiding router: BFS in the survivor graph. Succeeds iff
+/// `u` and `v` are still connected; returns a *shortest* surviving path.
+/// Needs the materialised graph, so it is the expensive referee rather
+/// than the production router.
+///
+/// # Errors
+/// [`GraphError::InvalidParameter`] if an endpoint is faulty.
+pub fn route_avoiding_exact(
+    hb: &HyperButterfly,
+    g: &Graph,
+    u: HbNode,
+    v: HbNode,
+    faults: &[HbNode],
+) -> Result<Option<Vec<HbNode>>> {
+    if faults.contains(&u) || faults.contains(&v) {
+        return Err(GraphError::InvalidParameter("endpoint is faulty".into()));
+    }
+    let blocked: Vec<usize> = faults.iter().map(|f| hb.index(*f)).collect();
+    let tree = traverse::bfs_avoiding(g, hb.index(u), &blocked);
+    Ok(tree
+        .path_to(hb.index(v))
+        .map(|p| p.into_iter().map(|i| hb.node(i)).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::HyperButterfly;
+
+    #[test]
+    fn survives_maximal_fault_sets() {
+        // HB(1, 3): degree 5, so any 4 faults must leave a route.
+        let hb = HyperButterfly::new(1, 3).unwrap();
+        let eng = DisjointEngine::new(hb).unwrap();
+        let g = hb.build_graph().unwrap();
+        let u = hb.node(0);
+        let mut rng_state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            rng_state as usize
+        };
+        for _ in 0..200 {
+            let t = 1 + next() % (hb.num_nodes() - 1);
+            let v = hb.node(t);
+            // 4 distinct faults, avoiding the endpoints.
+            let mut faults = Vec::new();
+            while faults.len() < 4 {
+                let f = next() % hb.num_nodes();
+                if f != 0 && f != t && !faults.contains(&f) {
+                    faults.push(f);
+                }
+            }
+            let fnodes: Vec<HbNode> = faults.iter().map(|&f| hb.node(f)).collect();
+            let p = route_avoiding(&eng, u, v, &fnodes)
+                .unwrap()
+                .unwrap_or_else(|| panic!("no route {u} -> {v} around {fnodes:?}"));
+            // The route is fault-free, valid, and endpoints match.
+            assert_eq!(p[0], u);
+            assert_eq!(*p.last().unwrap(), v);
+            for x in &p {
+                assert!(!fnodes.contains(x));
+            }
+            for w in p.windows(2) {
+                assert!(hb.edge_kind(w[0], w[1]).is_some());
+            }
+            // The exact router agrees that a route exists and is no
+            // longer than ours.
+            let exact = route_avoiding_exact(&hb, &g, u, v, &fnodes).unwrap().unwrap();
+            assert!(exact.len() <= p.len());
+        }
+    }
+
+    #[test]
+    fn rejects_faulty_endpoint() {
+        let hb = HyperButterfly::new(1, 3).unwrap();
+        let eng = DisjointEngine::new(hb).unwrap();
+        let u = hb.node(0);
+        let v = hb.node(5);
+        assert!(route_avoiding(&eng, u, v, &[u]).is_err());
+        assert!(route_avoiding(&eng, u, v, &[v]).is_err());
+    }
+
+    #[test]
+    fn exact_router_detects_disconnection() {
+        // Kill all m + 4 neighbors of u: u is isolated.
+        let hb = HyperButterfly::new(1, 3).unwrap();
+        let g = hb.build_graph().unwrap();
+        let u = hb.node(0);
+        let v = hb.node(13);
+        let faults = hb.neighbors(u);
+        assert!(!faults.contains(&v), "test setup: v not a neighbor");
+        let r = route_avoiding_exact(&hb, &g, u, v, &faults).unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn family_router_matches_exact_when_fault_free() {
+        let hb = HyperButterfly::new(2, 3).unwrap();
+        let eng = DisjointEngine::new(hb).unwrap();
+        let g = hb.build_graph().unwrap();
+        // Case-1 pairs (same butterfly part): the family provably contains
+        // a shortest path (the ascending-order rotation), so the
+        // fault-free family route is optimal.
+        let u = hb.node(3);
+        for t in [27usize, 51, 75] {
+            let v = hb.node(t);
+            assert_eq!(u.b, v.b, "test setup: case-1 pair");
+            let ours = route_avoiding(&eng, u, v, &[]).unwrap().unwrap();
+            let exact = route_avoiding_exact(&hb, &g, u, v, &[]).unwrap().unwrap();
+            assert_eq!(ours.len(), exact.len());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Hyper-butterfly node labels.
+//!
+//! Per the paper's Definition 3, a node of `HB(m, n)` carries a two-part
+//! label `(x_{m-1} .. x_0 ; t_{n-1} .. t_0)`: an `m`-bit **hypercube part**
+//! and a signed cyclic permutation of `n` symbols, the **butterfly part**.
+
+use hb_group::signed::SignedCycle;
+use std::fmt;
+
+/// A node of `HB(m, n)`: hypercube-part label `h` and butterfly-part label
+/// `b`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HbNode {
+    /// Hypercube-part label (an `m`-bit word).
+    pub h: u32,
+    /// Butterfly-part label (a signed cyclic permutation of `n` symbols).
+    pub b: SignedCycle,
+}
+
+impl HbNode {
+    /// Assembles a node label.
+    pub fn new(h: u32, b: SignedCycle) -> Self {
+        Self { h, b }
+    }
+}
+
+impl fmt::Display for HbNode {
+    /// Renders like the paper's labels, e.g. `(101; bc~a)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:b}; {})", self.h, self.b)
+    }
+}
+
+impl fmt::Debug for HbNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HbNode{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shows_both_parts() {
+        let v = HbNode::new(0b101, SignedCycle::identity(3));
+        assert_eq!(v.to_string(), "(101; abc)");
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = HbNode::new(2, SignedCycle::new(3, 1, 0b010));
+        let b = HbNode::new(2, SignedCycle::new(3, 1, 0b010));
+        let c = HbNode::new(3, SignedCycle::new(3, 1, 0b010));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

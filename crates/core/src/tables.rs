@@ -1,0 +1,127 @@
+//! Precomputed next-hop routing tables — what an actual router ASIC for
+//! an `HB(m, n)` machine would hold.
+//!
+//! The paper's "extremely simple" routing means each node can compute
+//! its next hop from labels alone; a table-driven router instead stores,
+//! per (current node, destination), which output port to take. This
+//! module builds such tables from the algorithmic router, reports their
+//! memory cost, and — because both exist — lets tests confirm the
+//! algorithmic and table-driven routers agree hop for hop.
+
+use crate::graph::HyperButterfly;
+use crate::routing;
+use hb_graphs::{GraphError, Result};
+
+/// Dense next-hop table: `port[v * N + d]` = generator index (0-based
+/// output port) of `v`'s next hop toward `d`; `u8::MAX` on the diagonal.
+pub struct RoutingTable {
+    ports: Vec<u8>,
+    n: usize,
+}
+
+impl RoutingTable {
+    /// Builds the full table by running the optimal router once per
+    /// (source, destination) pair's first hop. `O(N^2)` entries — meant
+    /// for the instance sizes a real switch would serve; refuse anything
+    /// that would not fit in a sane memory budget.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidParameter`] if `N^2` exceeds 2^28 entries.
+    pub fn build(hb: &HyperButterfly) -> Result<Self> {
+        let n = hb.num_nodes();
+        if n * n > 1 << 28 {
+            return Err(GraphError::InvalidParameter(format!(
+                "routing table for {n} nodes needs {} entries",
+                n * n
+            )));
+        }
+        let mut ports = vec![u8::MAX; n * n];
+        for s in 0..n {
+            let u = hb.node(s);
+            let neighbors = hb.neighbors(u);
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let route = routing::route(hb, u, hb.node(d));
+                let hop = route[1];
+                let port = neighbors
+                    .iter()
+                    .position(|w| *w == hop)
+                    .expect("first hop is a neighbor");
+                ports[s * n + d] = port as u8;
+            }
+        }
+        Ok(Self { ports, n })
+    }
+
+    /// Output port at `current` toward `dest` (`None` on the diagonal).
+    pub fn port(&self, current: usize, dest: usize) -> Option<u8> {
+        let p = self.ports[current * self.n + dest];
+        (p != u8::MAX).then_some(p)
+    }
+
+    /// Walks the table from `src` to `dst`, returning the node sequence.
+    ///
+    /// # Panics
+    /// Panics if the table is inconsistent (cannot happen for tables
+    /// built by [`Self::build`]; bounded by `N` steps regardless).
+    pub fn walk(&self, hb: &HyperButterfly, src: usize, dst: usize) -> Vec<usize> {
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            assert!(path.len() <= self.n, "routing table loops");
+            let port = self.port(cur, dst).expect("off-diagonal entry");
+            let next = hb.neighbors(hb.node(cur))[port as usize];
+            cur = hb.index(next);
+            path.push(cur);
+        }
+        path
+    }
+
+    /// Table memory in bytes (1 byte per entry).
+    pub fn bytes(&self) -> usize {
+        self.ports.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_walk_matches_algorithmic_route_lengths() {
+        let hb = HyperButterfly::new(2, 3).unwrap();
+        let t = RoutingTable::build(&hb).unwrap();
+        for s in (0..hb.num_nodes()).step_by(7) {
+            for d in (0..hb.num_nodes()).step_by(5) {
+                let walk = t.walk(&hb, s, d);
+                let dist = routing::distance(&hb, hb.node(s), hb.node(d));
+                assert_eq!(walk.len() as u32, dist + 1, "{s} -> {d}");
+                assert_eq!(walk[0], s);
+                assert_eq!(*walk.last().unwrap(), d);
+            }
+        }
+    }
+
+    #[test]
+    fn table_memory_is_n_squared_bytes() {
+        let hb = HyperButterfly::new(1, 3).unwrap();
+        let t = RoutingTable::build(&hb).unwrap();
+        assert_eq!(t.bytes(), 48 * 48);
+    }
+
+    #[test]
+    fn diagonal_has_no_port() {
+        let hb = HyperButterfly::new(1, 3).unwrap();
+        let t = RoutingTable::build(&hb).unwrap();
+        assert_eq!(t.port(5, 5), None);
+        assert!(t.port(5, 6).is_some());
+    }
+
+    #[test]
+    fn oversized_tables_are_refused() {
+        let hb = HyperButterfly::new(8, 10).unwrap();
+        assert!(RoutingTable::build(&hb).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! The binary de Bruijn graph `D(2, n)` (undirected form).
+//!
+//! Nodes are `n`-bit words; the directed de Bruijn edges are the left
+//! shifts `x -> (2x + b) mod 2^n`. The undirected graph used by
+//! hyper-deBruijn networks keeps one edge per adjacent pair, drops the two
+//! self-loops (at `00..0` and `11..1`), and merges coincident shift images
+//! — which is exactly why de Bruijn-based networks are **not regular**:
+//! degrees range from 2 to 4 (paper §1, shortcoming (2) of \[1\]).
+
+use hb_graphs::{Graph, GraphError, Result};
+
+/// The undirected binary de Bruijn topology `D(2, n)`, `2 <= n <= 26`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeBruijn {
+    n: u32,
+}
+
+impl DeBruijn {
+    /// Largest supported dimension.
+    pub const MAX_N: u32 = 26;
+
+    /// Creates `D(2, n)`.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidParameter`] unless `2 <= n <= 26`.
+    pub fn new(n: u32) -> Result<Self> {
+        if n < 2 || n > Self::MAX_N {
+            return Err(GraphError::InvalidParameter(format!(
+                "de Bruijn dimension {n} outside 2..={}",
+                Self::MAX_N
+            )));
+        }
+        Ok(Self { n })
+    }
+
+    /// Dimension `n` (word width).
+    #[inline]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of nodes, `2^n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        1usize << self.n
+    }
+
+    /// Distinct neighbors of `x`: up to 4 shift images, self and
+    /// duplicates removed, ascending.
+    pub fn neighbors(&self, x: u32) -> Vec<u32> {
+        let mask = (1u32 << self.n) - 1;
+        let mut nb = [
+            (x << 1) & mask,            // left shift, append 0
+            ((x << 1) | 1) & mask,      // left shift, append 1
+            x >> 1,                     // right shift, prepend 0
+            (x >> 1) | 1 << (self.n - 1), // right shift, prepend 1
+        ];
+        nb.sort_unstable();
+        let mut out = Vec::with_capacity(4);
+        for w in nb {
+            if w != x && out.last() != Some(&w) {
+                out.push(w);
+            }
+        }
+        out
+    }
+
+    /// Materialises the undirected `D(2, n)` as a CSR graph.
+    ///
+    /// # Errors
+    /// Propagates graph construction failures (none for valid `n`).
+    pub fn build_graph(&self) -> Result<Graph> {
+        Graph::from_neighbor_fn(self.num_nodes(), |v| self.neighbors(v as u32).into_iter().map(|w| w as usize))
+    }
+
+    /// Oblivious left-shift route from `src` to `dst`: shift in the bits
+    /// of `dst` MSB-first, skipping the longest overlap where a suffix of
+    /// `src` equals a prefix of `dst`. Length `n - overlap <= n`; not
+    /// always the undirected shortest path, but the standard de Bruijn
+    /// routing the hyper-deBruijn paper assumes.
+    pub fn shift_route(&self, src: u32, dst: u32) -> Vec<u32> {
+        let n = self.n;
+        let mask = (1u32 << n) - 1;
+        // Longest k such that the low k bits of... in word-string terms:
+        // suffix of src (low-order side after shifts) matching prefix of
+        // dst. Using "left shift appends to the low end": after s left
+        // shifts appending dst's bits MSB-first, the word is
+        // (src << s | high s bits of dst) & mask. Overlap k: the high
+        // (n - k)... we simply find the largest k with
+        // (src << (n - k)) & mask == (dst >> k) << (n - k)... equivalently
+        // low k bits of src equal high k bits of dst.
+        let mut overlap = 0;
+        for k in (1..=n).rev() {
+            let low_k_of_src = src & ((1u32 << k) - 1);
+            let high_k_of_dst = dst >> (n - k);
+            if low_k_of_src == high_k_of_dst {
+                overlap = k;
+                break;
+            }
+        }
+        let mut path = vec![src];
+        let mut cur = src;
+        // Shift in the remaining n - overlap bits of dst, MSB-first after
+        // the overlapped prefix.
+        for i in (0..n - overlap).rev() {
+            let b = (dst >> i) & 1;
+            cur = ((cur << 1) | b) & mask;
+            path.push(cur);
+        }
+        debug_assert_eq!(*path.last().expect("non-empty"), dst);
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_graphs::{props, shortest, traverse};
+
+    #[test]
+    fn counts_and_degrees() {
+        let d = DeBruijn::new(4).unwrap();
+        let g = d.build_graph().unwrap();
+        assert_eq!(g.num_nodes(), 16);
+        let stats = props::degree_stats(&g);
+        assert_eq!(stats.min, 2); // 0000 and 1111
+        assert_eq!(stats.max, 4);
+        assert_eq!(g.degree(0b0000), 2);
+        assert_eq!(g.degree(0b1111), 2);
+        // Alternating words lose one neighbor to a coincidence.
+        assert_eq!(g.degree(0b0101), 3);
+        assert_eq!(g.degree(0b1010), 3);
+    }
+
+    #[test]
+    fn not_regular() {
+        let g = DeBruijn::new(5).unwrap().build_graph().unwrap();
+        assert_eq!(props::regular_degree(&g), None);
+    }
+
+    #[test]
+    fn rejects_bad_dimension() {
+        assert!(DeBruijn::new(1).is_err());
+        assert!(DeBruijn::new(27).is_err());
+    }
+
+    #[test]
+    fn connected_with_diameter_n() {
+        for n in 2..=8 {
+            let d = DeBruijn::new(n).unwrap();
+            let g = d.build_graph().unwrap();
+            assert!(traverse::is_connected(&g));
+            assert_eq!(shortest::diameter(&g).unwrap(), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn shift_route_is_valid_and_short() {
+        let d = DeBruijn::new(5).unwrap();
+        let g = d.build_graph().unwrap();
+        for src in 0..32u32 {
+            for dst in 0..32u32 {
+                let p = d.shift_route(src, dst);
+                assert!(p.len() <= 6);
+                assert_eq!(p[0], src);
+                assert_eq!(*p.last().unwrap(), dst);
+                for w in p.windows(2) {
+                    // Consecutive route nodes are equal only when overlap
+                    // is total (src == dst); otherwise they must be edges.
+                    assert!(
+                        g.has_edge(w[0] as usize, w[1] as usize),
+                        "{src} -> {dst}: non-edge {} {}",
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shift_route_uses_overlap() {
+        let d = DeBruijn::new(4).unwrap();
+        // src = 0b0011, dst = 0b1100: low 2 bits of src (11) match high 2
+        // of dst -> route length 2.
+        let p = d.shift_route(0b0011, 0b1100);
+        assert_eq!(p.len(), 3);
+        // Identical endpoints: zero-length route.
+        assert_eq!(d.shift_route(7, 7).len(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! The hyper-deBruijn network `HD(m, n) = H_m x D(2, n)` (Ganesan &
+//! Pradhan, the paper's reference \[1\]) — the baseline the hyper-butterfly
+//! is compared against in Figures 1 and 2.
+//!
+//! `HD(m, n)` has `2^(m+n)` nodes, degree `m + 2 .. m + 4` (irregular),
+//! diameter `m + n`, and vertex connectivity `m + 2` — strictly below the
+//! typical degree `m + 4`, i.e. *not* maximally fault tolerant, which is
+//! precisely the shortcoming the hyper-butterfly fixes.
+
+use crate::debruijn::DeBruijn;
+use hb_graphs::{Graph, GraphError, Result};
+use hb_hypercube::Hypercube;
+
+/// The hyper-deBruijn topology `HD(m, n)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HyperDeBruijn {
+    cube: Hypercube,
+    db: DeBruijn,
+}
+
+/// A hyper-deBruijn node: hypercube part `h` (an `m`-bit word) and
+/// de Bruijn part `x` (an `n`-bit word).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct HdNode {
+    /// Hypercube part label.
+    pub h: u32,
+    /// de Bruijn part label.
+    pub x: u32,
+}
+
+impl HyperDeBruijn {
+    /// Creates `HD(m, n)`.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidParameter`] if either factor dimension is out
+    /// of range or the product exceeds the CSR index budget.
+    pub fn new(m: u32, n: u32) -> Result<Self> {
+        let cube = Hypercube::new(m)?;
+        let db = DeBruijn::new(n)?;
+        if m + n > 30 {
+            return Err(GraphError::InvalidParameter(format!(
+                "HD({m}, {n}) too large to materialise"
+            )));
+        }
+        Ok(Self { cube, db })
+    }
+
+    /// Hypercube dimension `m`.
+    pub fn m(&self) -> u32 {
+        self.cube.m()
+    }
+
+    /// de Bruijn dimension `n`.
+    pub fn n(&self) -> u32 {
+        self.db.n()
+    }
+
+    /// Number of nodes, `2^(m+n)`.
+    pub fn num_nodes(&self) -> usize {
+        1usize << (self.m() + self.n())
+    }
+
+    /// Diameter, `m + n` (hypercube diameter + de Bruijn diameter; product
+    /// distances add).
+    pub fn diameter(&self) -> u32 {
+        self.m() + self.n()
+    }
+
+    /// Vertex connectivity, `m + 2` (Ganesan & Pradhan): limited by the
+    /// degree-`(m+2)` nodes `(h, 00..0)` and `(h, 11..1)`. Verified by
+    /// max-flow on small instances in the tests.
+    pub fn connectivity(&self) -> u32 {
+        self.m() + 2
+    }
+
+    /// Dense index: `h * 2^n + x`.
+    pub fn index(&self, v: HdNode) -> usize {
+        ((v.h as usize) << self.n()) | v.x as usize
+    }
+
+    /// Node from dense index.
+    pub fn node(&self, idx: usize) -> HdNode {
+        HdNode { h: (idx >> self.n()) as u32, x: (idx & ((1 << self.n()) - 1)) as u32 }
+    }
+
+    /// Neighbors: `m` hypercube flips on `h` plus the 2–4 de Bruijn shift
+    /// neighbors on `x`.
+    pub fn neighbors(&self, v: HdNode) -> Vec<HdNode> {
+        let mut out = Vec::with_capacity(self.m() as usize + 4);
+        for d in 0..self.m() {
+            out.push(HdNode { h: v.h ^ (1 << d), x: v.x });
+        }
+        for x in self.db.neighbors(v.x) {
+            out.push(HdNode { h: v.h, x });
+        }
+        out
+    }
+
+    /// Materialises `HD(m, n)` as a CSR graph.
+    ///
+    /// # Errors
+    /// Propagates graph construction failures (none for valid dims).
+    pub fn build_graph(&self) -> Result<Graph> {
+        Graph::from_neighbor_fn(self.num_nodes(), |idx| {
+            let v = self.node(idx);
+            self.neighbors(v).into_iter().map(move |w| self.index(w))
+        })
+    }
+
+    /// Oblivious route: fix the hypercube part bit by bit, then shift-route
+    /// the de Bruijn part. Length `<= hamming(h) + n`.
+    pub fn route(&self, src: HdNode, dst: HdNode) -> Vec<HdNode> {
+        let mut path = Vec::new();
+        let cube_part = hb_hypercube::routing::route(&self.cube, src.h, dst.h);
+        path.extend(cube_part.iter().map(|&h| HdNode { h, x: src.x }));
+        let shift = self.db.shift_route(src.x, dst.x);
+        path.extend(shift[1..].iter().map(|&x| HdNode { h: dst.h, x }));
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_graphs::{connectivity, props, shortest};
+
+    #[test]
+    fn counts_match_figure_1() {
+        let hd = HyperDeBruijn::new(3, 4).unwrap();
+        let g = hd.build_graph().unwrap();
+        assert_eq!(g.num_nodes(), 1 << 7);
+        let stats = props::degree_stats(&g);
+        assert_eq!(stats.min, 3 + 2);
+        assert_eq!(stats.max, 3 + 4);
+        assert_eq!(props::regular_degree(&g), None);
+    }
+
+    #[test]
+    fn diameter_matches_bfs() {
+        for (m, n) in [(2, 3), (3, 3), (2, 4), (3, 4)] {
+            let hd = HyperDeBruijn::new(m, n).unwrap();
+            let g = hd.build_graph().unwrap();
+            assert_eq!(shortest::diameter(&g).unwrap(), hd.diameter(), "HD({m},{n})");
+        }
+    }
+
+    #[test]
+    fn connectivity_is_m_plus_2() {
+        for (m, n) in [(1, 3), (2, 3), (3, 3)] {
+            let hd = HyperDeBruijn::new(m, n).unwrap();
+            let g = hd.build_graph().unwrap();
+            assert_eq!(
+                connectivity::vertex_connectivity(&g).unwrap(),
+                hd.connectivity(),
+                "HD({m},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn route_is_valid_walk() {
+        let hd = HyperDeBruijn::new(2, 3).unwrap();
+        let g = hd.build_graph().unwrap();
+        for s in 0..hd.num_nodes() {
+            for t in 0..hd.num_nodes() {
+                let p = hd.route(hd.node(s), hd.node(t));
+                assert_eq!(hd.index(p[0]), s);
+                assert_eq!(hd.index(*p.last().unwrap()), t);
+                assert!(p.len() <= hd.diameter() as usize + 1);
+                for w in p.windows(2) {
+                    assert!(
+                        g.has_edge(hd.index(w[0]), hd.index(w[1])),
+                        "{s} -> {t} invalid step"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let hd = HyperDeBruijn::new(3, 4).unwrap();
+        for idx in 0..hd.num_nodes() {
+            assert_eq!(hd.index(hd.node(idx)), idx);
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_products() {
+        assert!(HyperDeBruijn::new(20, 20).is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! # hb-debruijn — de Bruijn and hyper-deBruijn baselines
+//!
+//! The hyper-butterfly paper positions `HB(m, n)` against the
+//! hyper-deBruijn networks `HD(m, n)` of Ganesan & Pradhan (its
+//! reference \[1\]); Figures 1 and 2 compare the two families head to head.
+//! This crate implements the baseline from scratch:
+//!
+//! * [`debruijn`] — the undirected binary de Bruijn graph `D(2, n)` with
+//!   its shift routing and its characteristic *irregularity* (degrees
+//!   2..4);
+//! * [`hyper`] — the product `HD(m, n) = H_m x D(2, n)` with oblivious
+//!   routing, diameter `m + n`, and vertex connectivity `m + 2` (the
+//!   sub-maximal fault tolerance the hyper-butterfly improves on).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod debruijn;
+pub mod hyper;
+
+pub use debruijn::DeBruijn;
+pub use hyper::{HdNode, HyperDeBruijn};

@@ -1,0 +1,66 @@
+//! Property tests for the de Bruijn / hyper-deBruijn baseline.
+
+use hb_debruijn::{DeBruijn, HdNode, HyperDeBruijn};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Shift routes are valid walks of length <= n with correct endpoints.
+    #[test]
+    fn shift_routes_are_valid(n in 2u32..=9, src in 0u32..512, dst in 0u32..512) {
+        let d = DeBruijn::new(n).unwrap();
+        let mask = (1u32 << n) - 1;
+        let src = src & mask;
+        let dst = dst & mask;
+        let p = d.shift_route(src, dst);
+        prop_assert!(p.len() <= n as usize + 1);
+        prop_assert_eq!(p[0], src);
+        prop_assert_eq!(*p.last().unwrap(), dst);
+        for w in p.windows(2) {
+            prop_assert!(d.neighbors(w[0]).contains(&w[1]), "step {} -> {}", w[0], w[1]);
+        }
+    }
+
+    /// Degrees are between 2 and 4, with exactly the all-zero and all-one
+    /// words at degree 2.
+    #[test]
+    fn degree_profile(n in 2u32..=9) {
+        let d = DeBruijn::new(n).unwrap();
+        let g = d.build_graph().unwrap();
+        let mask = (1usize << n) - 1;
+        for v in 0..g.num_nodes() {
+            let deg = g.degree(v);
+            prop_assert!((2..=4).contains(&deg), "node {v} degree {deg}");
+            if v == 0 || v == mask {
+                prop_assert_eq!(deg, 2);
+            }
+        }
+    }
+
+    /// HD routes are valid walks with both legs intact.
+    #[test]
+    fn hd_routes_are_valid(m in 1u32..=3, n in 2u32..=5, s in 0usize..256, t in 0usize..256) {
+        let hd = HyperDeBruijn::new(m, n).unwrap();
+        let s = s % hd.num_nodes();
+        let t = t % hd.num_nodes();
+        let g = hd.build_graph().unwrap();
+        let p = hd.route(hd.node(s), hd.node(t));
+        prop_assert_eq!(hd.index(p[0]), s);
+        prop_assert_eq!(hd.index(*p.last().unwrap()), t);
+        prop_assert!(p.len() as u32 <= hd.diameter() + 1);
+        for w in p.windows(2) {
+            prop_assert!(g.has_edge(hd.index(w[0]), hd.index(w[1])));
+        }
+    }
+
+    /// The HD index codec round-trips.
+    #[test]
+    fn hd_index_roundtrip(m in 1u32..=4, n in 2u32..=6, h in 0u32..16, x in 0u32..64) {
+        let hd = HyperDeBruijn::new(m, n).unwrap();
+        let h = h & ((1 << m) - 1);
+        let x = x & ((1 << n) - 1);
+        let v = HdNode { h, x };
+        prop_assert_eq!(hd.node(hd.index(v)), v);
+    }
+}

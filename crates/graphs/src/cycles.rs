@@ -1,0 +1,194 @@
+//! Exact cycle-length search (backtracking), used to *measure* the
+//! embeddings rows of the paper's Figure 1: de Bruijn-based networks are
+//! pancyclic (cycles of every length), hypercube- and butterfly-based
+//! ones are bipartite-limited for even `n` — claims this module verifies
+//! on concrete instances instead of quoting.
+//!
+//! Finding a cycle of a given length is NP-hard in general; this is a
+//! pruned DFS with a work budget, exact when it answers, honest
+//! (`Exhausted`) when the budget runs out. Fine for the instance sizes
+//! the comparison tables use.
+
+use crate::graph::{Graph, NodeId};
+
+/// Result of a bounded cycle search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CycleSearch {
+    /// A cycle of the requested length, as its vertex sequence.
+    Found(Vec<NodeId>),
+    /// Exhaustive search proved no such cycle exists.
+    Absent,
+    /// The work budget ran out before an answer.
+    Exhausted,
+}
+
+/// Searches for a simple cycle of exactly `len` vertices, spending at
+/// most `budget` DFS steps.
+///
+/// The search anchors cycles at their minimum vertex (each cycle is
+/// explored from its smallest member only), prunes by connectivity, and
+/// is exact within the budget.
+pub fn find_cycle_of_length(g: &Graph, len: usize, budget: u64) -> CycleSearch {
+    if len < 3 || len > g.num_nodes() {
+        return CycleSearch::Absent;
+    }
+    let mut steps = 0u64;
+    let mut on_path = vec![false; g.num_nodes()];
+    let mut path = Vec::with_capacity(len);
+
+    for anchor in 0..g.num_nodes() {
+        path.push(anchor);
+        on_path[anchor] = true;
+        match dfs(g, anchor, len, &mut path, &mut on_path, &mut steps, budget) {
+            Some(true) => return CycleSearch::Found(path),
+            Some(false) => {}
+            None => return CycleSearch::Exhausted,
+        }
+        on_path[anchor] = false;
+        path.pop();
+    }
+    CycleSearch::Absent
+}
+
+/// DFS from the last path vertex. Returns `Some(true)` on success,
+/// `Some(false)` if this subtree is exhausted, `None` on budget overrun.
+fn dfs(
+    g: &Graph,
+    anchor: NodeId,
+    len: usize,
+    path: &mut Vec<NodeId>,
+    on_path: &mut [bool],
+    steps: &mut u64,
+    budget: u64,
+) -> Option<bool> {
+    *steps += 1;
+    if *steps > budget {
+        return None;
+    }
+    let cur = *path.last().expect("path non-empty");
+    if path.len() == len {
+        return Some(g.has_edge(cur, anchor));
+    }
+    for &w in g.neighbors(cur) {
+        let w = w as usize;
+        // Anchor-minimality: only explore vertices above the anchor.
+        if w <= anchor || on_path[w] {
+            continue;
+        }
+        path.push(w);
+        on_path[w] = true;
+        match dfs(g, anchor, len, path, on_path, steps, budget) {
+            // Success: leave the completed cycle on `path`.
+            Some(true) => return Some(true),
+            Some(false) => {
+                on_path[w] = false;
+                path.pop();
+            }
+            None => {
+                on_path[w] = false;
+                path.pop();
+                return None;
+            }
+        }
+    }
+    Some(false)
+}
+
+/// Classifies which cycle lengths `3..=max_len` exist, each searched with
+/// `budget` steps. Returns `(present, absent, exhausted)` length lists.
+pub fn cycle_spectrum(
+    g: &Graph,
+    max_len: usize,
+    budget: u64,
+) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let mut present = Vec::new();
+    let mut absent = Vec::new();
+    let mut exhausted = Vec::new();
+    for len in 3..=max_len.min(g.num_nodes()) {
+        match find_cycle_of_length(g, len, budget) {
+            CycleSearch::Found(_) => present.push(len),
+            CycleSearch::Absent => absent.push(len),
+            CycleSearch::Exhausted => exhausted.push(len),
+        }
+    }
+    (present, absent, exhausted)
+}
+
+/// Whether the graph is **pancyclic** (cycles of every length
+/// `3..=num_nodes`) as far as the budget can tell: `Some(true)` /
+/// `Some(false)` when decided, `None` if any length exhausted its budget.
+pub fn is_pancyclic(g: &Graph, budget: u64) -> Option<bool> {
+    let (present, absent, exhausted) = cycle_spectrum(g, g.num_nodes(), budget);
+    if !absent.is_empty() {
+        return Some(false);
+    }
+    if !exhausted.is_empty() {
+        return None;
+    }
+    Some(present.len() == g.num_nodes().saturating_sub(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::validate_cycle;
+    use crate::generators;
+
+    const BUDGET: u64 = 2_000_000;
+
+    #[test]
+    fn finds_the_only_cycle_in_a_cycle_graph() {
+        let g = generators::cycle(7).unwrap();
+        match find_cycle_of_length(&g, 7, BUDGET) {
+            CycleSearch::Found(c) => validate_cycle(&g, &c).unwrap(),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(find_cycle_of_length(&g, 5, BUDGET), CycleSearch::Absent);
+        assert_eq!(find_cycle_of_length(&g, 8, BUDGET), CycleSearch::Absent);
+    }
+
+    #[test]
+    fn complete_graph_is_pancyclic() {
+        let g = generators::complete(6).unwrap();
+        assert_eq!(is_pancyclic(&g, BUDGET), Some(true));
+    }
+
+    #[test]
+    fn bipartite_graphs_have_no_odd_cycles() {
+        let g = generators::hypercube(3).unwrap();
+        let (present, absent, exhausted) = cycle_spectrum(&g, 8, BUDGET);
+        assert!(exhausted.is_empty());
+        assert_eq!(present, vec![4, 6, 8]);
+        assert_eq!(absent, vec![3, 5, 7]);
+        assert_eq!(is_pancyclic(&g, BUDGET), Some(false));
+    }
+
+    #[test]
+    fn trees_have_no_cycles() {
+        let g = generators::complete_binary_tree(4).unwrap();
+        let (present, absent, _) = cycle_spectrum(&g, 6, BUDGET);
+        assert!(present.is_empty());
+        assert_eq!(absent, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn found_cycles_always_validate() {
+        let g = generators::torus(4, 4).unwrap();
+        for len in [4usize, 6, 8, 12, 16] {
+            match find_cycle_of_length(&g, len, BUDGET) {
+                CycleSearch::Found(c) => {
+                    assert_eq!(c.len(), len);
+                    validate_cycle(&g, &c).unwrap_or_else(|e| panic!("len {len}: {e}"));
+                }
+                other => panic!("len {len}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let g = generators::hypercube(5).unwrap();
+        // Budget of 1 step cannot decide anything beyond trivia.
+        assert_eq!(find_cycle_of_length(&g, 20, 1), CycleSearch::Exhausted);
+    }
+}

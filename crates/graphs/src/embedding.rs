@@ -1,0 +1,225 @@
+//! Validation of subgraph embeddings.
+//!
+//! The paper's Section 4 states embedding results (even cycles, wrap-around
+//! meshes, complete binary trees, meshes of trees) with dilation 1 — i.e.
+//! *subgraph* embeddings. The constructive embeddings produced by the
+//! topology crates are checked here: an embedding is a map from guest nodes
+//! to host nodes that is injective and carries every guest edge to a host
+//! edge.
+
+use crate::error::{GraphError, Result};
+use crate::graph::{Graph, NodeId};
+
+/// A claimed dilation-1 embedding: `map[g]` is the host node hosting guest
+/// node `g`.
+#[derive(Clone, Debug)]
+pub struct Embedding {
+    /// `map[g]` = host node hosting guest node `g`.
+    pub map: Vec<NodeId>,
+}
+
+impl Embedding {
+    /// Validates the embedding of `guest` into `host`.
+    ///
+    /// # Errors
+    /// Describes the first violated condition: length mismatch, host id out
+    /// of range, non-injective map, or a guest edge whose image is not a
+    /// host edge.
+    pub fn validate(&self, guest: &Graph, host: &Graph) -> Result<()> {
+        if self.map.len() != guest.num_nodes() {
+            return Err(GraphError::InvalidParameter(format!(
+                "map covers {} guest nodes, guest has {}",
+                self.map.len(),
+                guest.num_nodes()
+            )));
+        }
+        let mut used = vec![false; host.num_nodes()];
+        for (g, &h) in self.map.iter().enumerate() {
+            if h >= host.num_nodes() {
+                return Err(GraphError::NodeOutOfRange { node: h, len: host.num_nodes() });
+            }
+            if used[h] {
+                return Err(GraphError::InvalidParameter(format!(
+                    "host node {h} is the image of two guest nodes (second: {g})"
+                )));
+            }
+            used[h] = true;
+        }
+        for (a, b) in guest.edges() {
+            if !host.has_edge(self.map[a], self.map[b]) {
+                return Err(GraphError::InvalidParameter(format!(
+                    "guest edge ({a}, {b}) maps to host non-edge ({}, {})",
+                    self.map[a], self.map[b]
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks that `nodes` is a simple cycle in `host` (consecutive nodes
+/// adjacent, last adjacent to first, all distinct, length >= 3).
+pub fn validate_cycle(host: &Graph, nodes: &[NodeId]) -> Result<()> {
+    if nodes.len() < 3 {
+        return Err(GraphError::InvalidParameter(format!(
+            "cycle needs >= 3 nodes, got {}",
+            nodes.len()
+        )));
+    }
+    let mut seen = vec![false; host.num_nodes()];
+    for &v in nodes {
+        if v >= host.num_nodes() {
+            return Err(GraphError::NodeOutOfRange { node: v, len: host.num_nodes() });
+        }
+        if seen[v] {
+            return Err(GraphError::InvalidParameter(format!("cycle repeats node {v}")));
+        }
+        seen[v] = true;
+    }
+    for i in 0..nodes.len() {
+        let a = nodes[i];
+        let b = nodes[(i + 1) % nodes.len()];
+        if !host.has_edge(a, b) {
+            return Err(GraphError::InvalidParameter(format!(
+                "cycle step {i} uses non-edge ({a}, {b})"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `nodes` is a simple path in `host` (consecutive adjacency,
+/// all distinct).
+pub fn validate_path(host: &Graph, nodes: &[NodeId]) -> Result<()> {
+    if nodes.is_empty() {
+        return Err(GraphError::InvalidParameter("empty path".into()));
+    }
+    let mut seen = vec![false; host.num_nodes()];
+    for &v in nodes {
+        if v >= host.num_nodes() {
+            return Err(GraphError::NodeOutOfRange { node: v, len: host.num_nodes() });
+        }
+        if seen[v] {
+            return Err(GraphError::InvalidParameter(format!("path repeats node {v}")));
+        }
+        seen[v] = true;
+    }
+    for w in nodes.windows(2) {
+        if !host.has_edge(w[0], w[1]) {
+            return Err(GraphError::InvalidParameter(format!(
+                "path uses non-edge ({}, {})",
+                w[0], w[1]
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `parent` (guest-indexed; `parent[root] == root`) describes a
+/// tree whose edges all map to host edges under `map`, with `map` injective.
+/// Convenience wrapper for tree embeddings where building a full guest
+/// `Graph` is overkill.
+pub fn validate_tree_embedding(host: &Graph, parent: &[NodeId], map: &[NodeId]) -> Result<()> {
+    if parent.len() != map.len() {
+        return Err(GraphError::InvalidParameter("parent/map length mismatch".into()));
+    }
+    let mut used = vec![false; host.num_nodes()];
+    for &h in map {
+        if h >= host.num_nodes() {
+            return Err(GraphError::NodeOutOfRange { node: h, len: host.num_nodes() });
+        }
+        if used[h] {
+            return Err(GraphError::InvalidParameter(format!("host node {h} reused")));
+        }
+        used[h] = true;
+    }
+    let mut roots = 0;
+    for (v, &p) in parent.iter().enumerate() {
+        if p == v {
+            roots += 1;
+            continue;
+        }
+        if p >= parent.len() {
+            return Err(GraphError::InvalidParameter(format!("parent of {v} out of range")));
+        }
+        if !host.has_edge(map[v], map[p]) {
+            return Err(GraphError::InvalidParameter(format!(
+                "tree edge ({v}, {p}) maps to host non-edge ({}, {})",
+                map[v], map[p]
+            )));
+        }
+    }
+    if roots != 1 {
+        return Err(GraphError::InvalidParameter(format!("expected 1 root, found {roots}")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn identity_embedding_of_subcycle_in_torus() {
+        let host = generators::torus(3, 3).unwrap();
+        let guest = generators::cycle(3).unwrap();
+        // Row 0 of the torus is a 3-cycle: nodes 0, 1, 2.
+        let e = Embedding { map: vec![0, 1, 2] };
+        e.validate(&guest, &host).unwrap();
+    }
+
+    #[test]
+    fn embedding_rejects_non_injective_map() {
+        let host = generators::cycle(4).unwrap();
+        let guest = generators::path(3).unwrap();
+        let e = Embedding { map: vec![0, 1, 0] };
+        assert!(e.validate(&guest, &host).is_err());
+    }
+
+    #[test]
+    fn embedding_rejects_missing_edge() {
+        let host = generators::cycle(5).unwrap();
+        let guest = generators::path(3).unwrap();
+        let e = Embedding { map: vec![0, 1, 3] }; // (1, 3) not an edge of C5
+        assert!(e.validate(&guest, &host).is_err());
+    }
+
+    #[test]
+    fn embedding_rejects_wrong_length_map() {
+        let host = generators::cycle(5).unwrap();
+        let guest = generators::path(3).unwrap();
+        let e = Embedding { map: vec![0, 1] };
+        assert!(e.validate(&guest, &host).is_err());
+    }
+
+    #[test]
+    fn cycle_validator_accepts_and_rejects() {
+        let host = generators::cycle(6).unwrap();
+        validate_cycle(&host, &[0, 1, 2, 3, 4, 5]).unwrap();
+        assert!(validate_cycle(&host, &[0, 1, 2]).is_err()); // (2,0) missing
+        assert!(validate_cycle(&host, &[0, 1]).is_err()); // too short
+        assert!(validate_cycle(&host, &[0, 1, 2, 1, 0, 5]).is_err()); // repeats
+    }
+
+    #[test]
+    fn path_validator() {
+        let host = generators::path(4).unwrap();
+        validate_path(&host, &[0, 1, 2, 3]).unwrap();
+        assert!(validate_path(&host, &[0, 2]).is_err());
+        assert!(validate_path(&host, &[]).is_err());
+    }
+
+    #[test]
+    fn tree_embedding_validator() {
+        let host = generators::complete_binary_tree(3).unwrap();
+        // Embed T(2) (3 nodes) at the root of T(3) identically.
+        let parent = vec![0, 0, 0]; // node 0 root; 1, 2 children of 0
+        let map = vec![0, 1, 2];
+        validate_tree_embedding(&host, &parent, &map).unwrap();
+        // Two roots is an error.
+        assert!(validate_tree_embedding(&host, &[0, 1, 0], &map).is_err());
+        // Non-edge is an error: 1 and 2 are siblings, not adjacent.
+        assert!(validate_tree_embedding(&host, &[0, 0, 1], &[0, 1, 2]).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or analysing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id was `>= num_nodes`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the graph.
+        len: usize,
+    },
+    /// A self-loop was supplied to a simple-graph constructor.
+    SelfLoop(usize),
+    /// A parallel edge was supplied; the offending endpoint is reported.
+    DuplicateEdge(usize),
+    /// Adjacency produced by a neighbor function was not symmetric.
+    Asymmetric {
+        /// Node whose adjacency lists the edge.
+        from: usize,
+        /// Node missing the reciprocal entry.
+        to: usize,
+    },
+    /// More nodes than the CSR u32 target type can index.
+    TooManyNodes(usize),
+    /// An operation that requires a connected graph saw a disconnected one.
+    Disconnected,
+    /// An embedding/validation request was structurally impossible
+    /// (dimension out of range, odd cycle length, etc.).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, len } => {
+                write!(f, "node {node} out of range for graph with {len} nodes")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+            GraphError::DuplicateEdge(v) => write!(f, "duplicate edge incident to node {v}"),
+            GraphError::Asymmetric { from, to } => {
+                write!(f, "asymmetric adjacency: {from} lists {to} but not vice versa")
+            }
+            GraphError::TooManyNodes(n) => write!(f, "{n} nodes exceed u32 CSR index range"),
+            GraphError::Disconnected => write!(f, "graph is disconnected"),
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Result alias for the graph substrate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = GraphError::NodeOutOfRange { node: 7, len: 4 };
+        assert_eq!(e.to_string(), "node 7 out of range for graph with 4 nodes");
+        assert!(GraphError::Disconnected.to_string().contains("disconnected"));
+    }
+}

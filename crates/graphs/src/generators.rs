@@ -1,0 +1,301 @@
+//! Deterministic generators for the guest graphs of the paper's embedding
+//! results (cycles, meshes/tori, complete binary trees, meshes of trees) and
+//! small reference hosts used in tests.
+
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+
+/// Path graph `P_n` on `n >= 1` nodes `0 - 1 - ... - n-1`.
+pub fn path(n: usize) -> Result<Graph> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter("path needs >= 1 node".into()));
+    }
+    Graph::from_edges(n, (0..n.saturating_sub(1)).map(|i| (i, i + 1)))
+}
+
+/// Cycle graph `C_n` for `n >= 3`.
+pub fn cycle(n: usize) -> Result<Graph> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter("cycle needs >= 3 nodes".into()));
+    }
+    Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Result<Graph> {
+    Graph::from_edges(n, (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))))
+}
+
+/// `rows x cols` grid mesh (no wraparound). Node `(r, c)` is `r * cols + c`.
+pub fn mesh(rows: usize, cols: usize) -> Result<Graph> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::InvalidParameter("mesh needs positive dims".into()));
+    }
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                edges.push((v, v + 1));
+            }
+            if r + 1 < rows {
+                edges.push((v, v + cols));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, edges)
+}
+
+/// `rows x cols` torus (wraparound mesh) `M(rows, cols) = C(rows) x C(cols)`.
+///
+/// This is the wrap-around mesh of the paper's Section 4. Dimensions of 1
+/// or 2 would create self-loops / parallel edges, so both must be `>= 3`.
+pub fn torus(rows: usize, cols: usize) -> Result<Graph> {
+    if rows < 3 || cols < 3 {
+        return Err(GraphError::InvalidParameter("torus needs dims >= 3".into()));
+    }
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            edges.push((v, r * cols + (c + 1) % cols));
+            edges.push((v, ((r + 1) % rows) * cols + c));
+        }
+    }
+    Graph::from_edges(rows * cols, edges)
+}
+
+/// Complete binary tree `T(h)` with `h >= 1` levels, i.e. `2^h - 1` nodes in
+/// heap order (root 0; children of `v` are `2v + 1` and `2v + 2`).
+///
+/// The paper writes `T(n + 1)` for the complete binary tree *of `n + 1`
+/// levels* embedded in the butterfly `B_n` (Lemma 3).
+pub fn complete_binary_tree(levels: u32) -> Result<Graph> {
+    if levels == 0 || levels > 30 {
+        return Err(GraphError::InvalidParameter("tree levels must be in 1..=30".into()));
+    }
+    let n = (1usize << levels) - 1;
+    let edges = (1..n).map(|v| ((v - 1) / 2, v));
+    Graph::from_edges(n, edges)
+}
+
+/// Mesh of trees `MT(r, c)` over an `r x c` grid (both powers of two in the
+/// paper; any `r, c >= 2` here).
+///
+/// Construction (Leighton): take an `r x c` grid of *leaf* nodes; add a
+/// complete binary tree over every row (its `c` leaves are the row's grid
+/// nodes) and a complete binary tree over every column, all internal tree
+/// nodes distinct. Grid nodes have no grid edges — only tree edges.
+///
+/// Node numbering: leaves first (`row * c + col`), then row-tree internal
+/// nodes, then column-tree internal nodes.
+pub fn mesh_of_trees(r: usize, c: usize) -> Result<Graph> {
+    if r < 2 || c < 2 || !r.is_power_of_two() || !c.is_power_of_two() {
+        return Err(GraphError::InvalidParameter(
+            "mesh of trees needs power-of-two dims >= 2".into(),
+        ));
+    }
+    let leaves = r * c;
+    // A complete binary tree with k leaves has k - 1 internal nodes.
+    let row_internal = c - 1;
+    let col_internal = r - 1;
+    let n = leaves + r * row_internal + c * col_internal;
+    let mut edges = Vec::new();
+
+    // Heap-shaped tree over `k` leaves: internal nodes i in 0..k-1, leaves
+    // are logical ids k-1..2k-1; children of internal i are 2i+1, 2i+2.
+    // `internal_base` maps internal ids, `leaf(j)` maps the j-th leaf.
+    let add_tree = |edges: &mut Vec<(usize, usize)>,
+                        k: usize,
+                        internal_base: usize,
+                        leaf: &dyn Fn(usize) -> usize| {
+        let to_global = |logical: usize| -> usize {
+            if logical < k - 1 {
+                internal_base + logical
+            } else {
+                leaf(logical - (k - 1))
+            }
+        };
+        for i in 0..k - 1 {
+            edges.push((to_global(i), to_global(2 * i + 1)));
+            edges.push((to_global(i), to_global(2 * i + 2)));
+        }
+    };
+
+    for row in 0..r {
+        let base = leaves + row * row_internal;
+        add_tree(&mut edges, c, base, &move |j| row * c + j);
+    }
+    for col in 0..c {
+        let base = leaves + r * row_internal + col * col_internal;
+        add_tree(&mut edges, r, base, &move |j| j * c + col);
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// Random `d`-regular graph by the pairing (configuration) model with
+/// rejection: `n * d` half-edges are shuffled and paired; the sample is
+/// retried until simple (no loops/multi-edges). Deterministic under
+/// `seed`. The **null model** for the comparison experiments: how much of
+/// a structured topology's behaviour is explained by regularity and
+/// degree alone?
+///
+/// # Errors
+/// [`GraphError::InvalidParameter`] if `n * d` is odd, `d >= n`, or no
+/// simple pairing is found within an attempt budget (only plausible for
+/// extreme parameters).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph> {
+    if n * d % 2 != 0 || d >= n || d == 0 {
+        return Err(GraphError::InvalidParameter(format!(
+            "random regular needs even n*d, 0 < d < n (got n={n}, d={d})"
+        )));
+    }
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    // Random pairing, then repair loops/multi-edges by endpoint swaps
+    // (each swap preserves all degrees). Pure rejection has vanishing
+    // success probability once d grows; swap repair converges quickly.
+    let mut stubs: Vec<usize> = (0..n * d).map(|k| k / d).collect();
+    for i in (1..stubs.len()).rev() {
+        let j = (next() as usize) % (i + 1);
+        stubs.swap(i, j);
+    }
+    let mut pairs: Vec<(usize, usize)> =
+        stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+
+    let key = |p: (usize, usize)| (p.0.min(p.1), p.0.max(p.1));
+    let mut counts: std::collections::HashMap<(usize, usize), u32> =
+        std::collections::HashMap::new();
+    for &p in &pairs {
+        *counts.entry(key(p)).or_insert(0) += 1;
+    }
+    let is_bad = |p: (usize, usize), counts: &std::collections::HashMap<(usize, usize), u32>| {
+        p.0 == p.1 || counts[&key(p)] > 1
+    };
+
+    let total = pairs.len();
+    for _ in 0..2_000_000u64 {
+        let Some(i) = (0..total).find(|&i| is_bad(pairs[i], &counts)) else {
+            return Graph::from_edges(n, pairs);
+        };
+        let j = (next() as usize) % total;
+        if j == i {
+            continue;
+        }
+        // Swap second endpoints of pairs i and j.
+        for p in [pairs[i], pairs[j]] {
+            *counts.get_mut(&key(p)).expect("tracked") -= 1;
+        }
+        let (a, b) = pairs[i];
+        let (c, e) = pairs[j];
+        pairs[i] = (a, e);
+        pairs[j] = (c, b);
+        for p in [pairs[i], pairs[j]] {
+            *counts.entry(key(p)).or_insert(0) += 1;
+        }
+    }
+    Err(GraphError::InvalidParameter(format!(
+        "no simple {d}-regular pairing found for n={n} within budget"
+    )))
+}
+
+/// Reference hypercube `Q_m` built directly from labels, for cross-checking
+/// the `hb-hypercube` crate's algebraic construction.
+pub fn hypercube(m: u32) -> Result<Graph> {
+    if m > 26 {
+        return Err(GraphError::InvalidParameter("hypercube dimension too large".into()));
+    }
+    let n = 1usize << m;
+    Graph::from_neighbor_fn(n, |v| (0..m).map(move |i| v ^ (1 << i)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props;
+
+    #[test]
+    fn path_and_cycle_sizes() {
+        assert_eq!(path(1).unwrap().num_edges(), 0);
+        assert_eq!(path(5).unwrap().num_edges(), 4);
+        assert_eq!(cycle(5).unwrap().num_edges(), 5);
+        assert!(cycle(2).is_err());
+        assert!(path(0).is_err());
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        assert_eq!(complete(6).unwrap().num_edges(), 15);
+    }
+
+    #[test]
+    fn mesh_and_torus_degrees() {
+        let m = mesh(3, 4).unwrap();
+        assert_eq!(m.num_nodes(), 12);
+        assert_eq!(m.num_edges(), 3 * 3 + 2 * 4); // rows*(cols-1) + (rows-1)*cols
+        let t = torus(3, 4).unwrap();
+        assert!(props::all_degrees_are(&t, 4));
+        assert_eq!(t.num_edges(), 2 * 12);
+        assert!(torus(2, 4).is_err());
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let t = complete_binary_tree(4).unwrap();
+        assert_eq!(t.num_nodes(), 15);
+        assert_eq!(t.num_edges(), 14);
+        assert_eq!(t.degree(0), 2); // root
+        assert_eq!(t.degree(14), 1); // a leaf
+        assert_eq!(props::girth(&t), None); // acyclic
+    }
+
+    #[test]
+    fn mesh_of_trees_structure() {
+        // MT(2, 2): 4 leaves, 2 row-roots, 2 col-roots => 8 nodes, 8 edges.
+        let g = mesh_of_trees(2, 2).unwrap();
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_edges(), 8);
+        // Every leaf belongs to one row tree and one column tree.
+        for leaf in 0..4 {
+            assert_eq!(g.degree(leaf), 2);
+        }
+        assert!(mesh_of_trees(3, 2).is_err());
+    }
+
+    #[test]
+    fn mesh_of_trees_4x4_counts() {
+        // MT(4,4): 16 leaves + 4 rows * 3 + 4 cols * 3 = 40 nodes.
+        // Edges: each tree with k leaves has 2(k-1) edges; 8 trees with 4
+        // leaves each -> 8 * 6 = 48.
+        let g = mesh_of_trees(4, 4).unwrap();
+        assert_eq!(g.num_nodes(), 40);
+        assert_eq!(g.num_edges(), 48);
+        assert!(crate::traverse::is_connected(&g));
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_deterministic() {
+        let g = random_regular(30, 4, 7).unwrap();
+        assert!(props::all_degrees_are(&g, 4));
+        assert_eq!(g.num_edges(), 60);
+        assert_eq!(random_regular(30, 4, 7).unwrap(), g);
+        assert_ne!(random_regular(30, 4, 8).unwrap(), g);
+        assert!(random_regular(5, 3, 1).is_err()); // odd n*d
+        assert!(random_regular(4, 4, 1).is_err()); // d >= n
+    }
+
+    #[test]
+    fn reference_hypercube_matches_known_facts() {
+        let q3 = hypercube(3).unwrap();
+        assert_eq!(q3.num_nodes(), 8);
+        assert_eq!(q3.num_edges(), 12);
+        assert!(props::all_degrees_are(&q3, 3));
+        assert_eq!(crate::shortest::diameter(&q3).unwrap(), 3);
+        assert!(props::is_bipartite(&q3));
+    }
+}

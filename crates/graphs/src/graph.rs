@@ -1,0 +1,327 @@
+//! Compressed-sparse-row (CSR) representation of finite simple undirected
+//! graphs.
+//!
+//! Every topology in this workspace (hypercube, wrapped butterfly,
+//! hyper-deBruijn, hyper-butterfly, and the generator-built guest graphs used
+//! by the embedding validators) ultimately materialises into a [`Graph`] when
+//! an algorithm needs random access to adjacency: BFS, max-flow, connectivity
+//! certification, subgraph checking.  The CSR layout keeps the memory
+//! footprint at `O(V + E)` words and makes neighbor scans cache-friendly,
+//! which matters because the reproduction routinely runs all-pairs sweeps
+//! over graphs with `10^4`–`10^5` vertices.
+
+use crate::error::{GraphError, Result};
+
+/// Node identifier. Nodes of a [`Graph`] are always `0..num_nodes()`.
+pub type NodeId = usize;
+
+/// A finite simple undirected graph in CSR form.
+///
+/// Invariants (enforced by the constructors):
+/// * no self-loops,
+/// * no parallel edges,
+/// * every edge `(u, v)` appears in both adjacency lists,
+/// * each adjacency list is sorted ascending.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v + 1]` indexes `targets` with `v`'s neighbors.
+    offsets: Vec<usize>,
+    /// Concatenated, per-node-sorted adjacency lists.
+    targets: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an iterator of undirected edges.
+    ///
+    /// Self-loops and duplicate edges (in either orientation) are rejected
+    /// with an error: the interconnection topologies this workspace models
+    /// are simple graphs, and a silent dedup would mask construction bugs in
+    /// the generator code.
+    ///
+    /// # Errors
+    /// [`GraphError::NodeOutOfRange`] if an endpoint is `>= n`;
+    /// [`GraphError::SelfLoop`] / [`GraphError::DuplicateEdge`] as described.
+    ///
+    /// # Examples
+    /// ```
+    /// use hb_graphs::Graph;
+    /// let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+    /// assert_eq!(g.num_edges(), 2);
+    /// assert!(g.has_edge(1, 0));
+    /// assert!(!g.has_edge(0, 2));
+    /// ```
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        if n > u32::MAX as usize {
+            return Err(GraphError::TooManyNodes(n));
+        }
+        let mut degree = vec![0usize; n];
+        let mut edge_list: Vec<(u32, u32)> = Vec::new();
+        for (u, v) in edges {
+            if u >= n || v >= n {
+                return Err(GraphError::NodeOutOfRange { node: u.max(v), len: n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+            degree[u] += 1;
+            degree[v] += 1;
+            edge_list.push((u as u32, v as u32));
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for d in &degree {
+            let last = *offsets.last().expect("offsets is never empty");
+            offsets.push(last + d);
+        }
+        let mut targets = vec![0u32; offsets[n]];
+        // `cursor` tracks the next free slot of each node's slice.
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        for &(u, v) in &edge_list {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        for v in 0..n {
+            let slice = &mut targets[offsets[v]..offsets[v + 1]];
+            slice.sort_unstable();
+            if slice.windows(2).any(|w| w[0] == w[1]) {
+                return Err(GraphError::DuplicateEdge(v));
+            }
+        }
+        Ok(Self { offsets, targets })
+    }
+
+    /// Builds a graph from a neighbor function, the natural constructor for
+    /// the algebraically-defined topologies (each node knows its neighbors
+    /// from its label; no global edge list is ever formed).
+    ///
+    /// `neighbors(v)` must yield exactly the adjacency of `v`; symmetry is
+    /// verified and asymmetric adjacencies are rejected.
+    pub fn from_neighbor_fn<F, I>(n: usize, mut neighbors: F) -> Result<Self>
+    where
+        F: FnMut(NodeId) -> I,
+        I: IntoIterator<Item = NodeId>,
+    {
+        if n > u32::MAX as usize {
+            return Err(GraphError::TooManyNodes(n));
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets: Vec<u32> = Vec::new();
+        offsets.push(0usize);
+        for v in 0..n {
+            let start = targets.len();
+            for w in neighbors(v) {
+                if w >= n {
+                    return Err(GraphError::NodeOutOfRange { node: w, len: n });
+                }
+                if w == v {
+                    return Err(GraphError::SelfLoop(v));
+                }
+                targets.push(w as u32);
+            }
+            let slice = &mut targets[start..];
+            slice.sort_unstable();
+            if slice.windows(2).any(|w| w[0] == w[1]) {
+                return Err(GraphError::DuplicateEdge(v));
+            }
+            offsets.push(targets.len());
+        }
+        let g = Self { offsets, targets };
+        g.check_symmetric()?;
+        Ok(g)
+    }
+
+    fn check_symmetric(&self) -> Result<()> {
+        for v in 0..self.num_nodes() {
+            for &w in self.neighbors(v) {
+                if !self.has_edge(w as usize, v) {
+                    return Err(GraphError::Asymmetric { from: v, to: w as usize });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[u32] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Whether the undirected edge `(u, v)` is present (binary search).
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Iterator over all undirected edges, each reported once with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .map(|&w| w as usize)
+                .filter(move |&w| u < w)
+                .map(move |w| (u, w))
+        })
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.num_nodes()
+    }
+
+    /// The subgraph induced by `keep` (nodes with `keep[v] == true`),
+    /// together with the mapping from new ids to original ids.
+    ///
+    /// Used by the fault-injection experiments: deleting a fault set is
+    /// exactly taking the induced subgraph on the survivors.
+    pub fn induced_subgraph(&self, keep: &[bool]) -> (Self, Vec<NodeId>) {
+        assert_eq!(keep.len(), self.num_nodes(), "keep mask length mismatch");
+        let old_of_new: Vec<NodeId> = (0..self.num_nodes()).filter(|&v| keep[v]).collect();
+        let mut new_of_old = vec![usize::MAX; self.num_nodes()];
+        for (new, &old) in old_of_new.iter().enumerate() {
+            new_of_old[old] = new;
+        }
+        let mut offsets = Vec::with_capacity(old_of_new.len() + 1);
+        let mut targets = Vec::new();
+        offsets.push(0usize);
+        for &old in &old_of_new {
+            for &w in self.neighbors(old) {
+                if keep[w as usize] {
+                    targets.push(new_of_old[w as usize] as u32);
+                }
+            }
+            offsets.push(targets.len());
+        }
+        (Self { offsets, targets }, old_of_new)
+    }
+
+    /// Total bytes of heap memory held by the CSR arrays (capacity-based).
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * size_of::<usize>() + self.targets.capacity() * size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn from_edges_builds_sorted_symmetric_adjacency() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn from_edges_rejects_self_loop() {
+        assert!(matches!(
+            Graph::from_edges(2, [(0, 0)]),
+            Err(GraphError::SelfLoop(0))
+        ));
+    }
+
+    #[test]
+    fn from_edges_rejects_duplicate_edge_both_orientations() {
+        assert!(matches!(
+            Graph::from_edges(2, [(0, 1), (1, 0)]),
+            Err(GraphError::DuplicateEdge(_))
+        ));
+        assert!(matches!(
+            Graph::from_edges(2, [(0, 1), (0, 1)]),
+            Err(GraphError::DuplicateEdge(_))
+        ));
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        assert!(matches!(
+            Graph::from_edges(2, [(0, 5)]),
+            Err(GraphError::NodeOutOfRange { node: 5, len: 2 })
+        ));
+    }
+
+    #[test]
+    fn from_neighbor_fn_matches_from_edges() {
+        let a = triangle();
+        let b = Graph::from_neighbor_fn(3, |v| {
+            let all = [vec![1, 2], vec![0, 2], vec![0, 1]];
+            all[v].clone()
+        })
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_neighbor_fn_rejects_asymmetric() {
+        let r = Graph::from_neighbor_fn(2, |v| if v == 0 { vec![1] } else { vec![] });
+        assert!(matches!(r, Err(GraphError::Asymmetric { .. })));
+    }
+
+    #[test]
+    fn has_edge_and_edges_agree() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn induced_subgraph_drops_node_and_incident_edges() {
+        let g = triangle();
+        let (h, map) = g.induced_subgraph(&[true, false, true]);
+        assert_eq!(h.num_nodes(), 2);
+        assert_eq!(h.num_edges(), 1);
+        assert_eq!(map, vec![0, 2]);
+        assert!(h.has_edge(0, 1)); // original edge (0, 2)
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::from_edges(0, []).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_adjacency() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        assert_eq!(g.degree(2), 0);
+        assert!(g.neighbors(2).is_empty());
+    }
+}

@@ -1,0 +1,385 @@
+//! The Akers–Krishnamurthy group-theoretic model of symmetric
+//! interconnection networks, specialised to the needs of this workspace.
+//!
+//! A *Cayley topology* is a finite group with a distinguished generator set
+//! that is closed under inverse and identity-free; its Cayley graph is the
+//! network. The paper's Theorem 1 states that `HB(m,n)` is a Cayley graph
+//! over `m + 4` generators; the checks in [`verify_cayley`] are precisely
+//! the conditions the paper's Remark 3 lists:
+//!
+//! * the generator set is closed under inverse (so edges are undirected),
+//! * no generator fixes any node (no self-loops),
+//! * distinct generators move every node to distinct neighbors (no parallel
+//!   edges, so the degree equals the number of generators).
+
+use hb_graphs::{Graph, GraphError, Result};
+
+/// A topology presented as a group action: nodes are densely indexed
+/// `0..num_nodes()`, and each of `num_generators()` generators maps nodes to
+/// nodes bijectively.
+///
+/// Implementors: the hypercube (`m` generators `h_i`), the wrapped butterfly
+/// in Cayley form (`g, f, g⁻¹, f⁻¹`), and the hyper-butterfly (all `m + 4`).
+pub trait CayleyTopology {
+    /// Number of nodes (the group order).
+    fn num_nodes(&self) -> usize;
+
+    /// Number of generators (= the degree of every node).
+    fn num_generators(&self) -> usize;
+
+    /// Applies generator `gen` to the node with index `v`.
+    fn apply(&self, gen: usize, v: usize) -> usize;
+
+    /// Index of the generator that inverts `gen` (may be `gen` itself for
+    /// involutions).
+    fn inverse_generator(&self, gen: usize) -> usize;
+
+    /// Index of the identity element (conventionally 0).
+    fn identity(&self) -> usize {
+        0
+    }
+
+    /// Materialises the Cayley graph as a CSR [`Graph`].
+    ///
+    /// # Errors
+    /// Propagates construction failures — a failure here means the
+    /// implementor violates the simple-graph conditions (fixed points or
+    /// coinciding generator images).
+    fn build_graph(&self) -> Result<Graph> {
+        Graph::from_neighbor_fn(self.num_nodes(), |v| {
+            (0..self.num_generators()).map(move |g| self.apply(g, v))
+        })
+    }
+}
+
+/// Verifies the Cayley-graph conditions of the paper's Remark 3 on every
+/// node:
+///
+/// 1. `inverse_generator` is an involution on generator indices and truly
+///    inverts: `apply(inv(g), apply(g, v)) == v` for all `v`;
+/// 2. no generator has a fixed point: `apply(g, v) != v`;
+/// 3. distinct generators send each node to distinct images.
+///
+/// # Errors
+/// [`GraphError::InvalidParameter`] naming the first violated condition.
+pub fn verify_cayley<T: CayleyTopology + ?Sized>(t: &T) -> Result<()> {
+    let n = t.num_nodes();
+    let k = t.num_generators();
+    for g in 0..k {
+        let inv = t.inverse_generator(g);
+        if inv >= k {
+            return Err(GraphError::InvalidParameter(format!(
+                "inverse_generator({g}) = {inv} out of range"
+            )));
+        }
+        if t.inverse_generator(inv) != g {
+            return Err(GraphError::InvalidParameter(format!(
+                "inverse_generator is not an involution at {g}"
+            )));
+        }
+    }
+    let mut images = vec![0usize; k];
+    for v in 0..n {
+        for (g, slot) in images.iter_mut().enumerate() {
+            let w = t.apply(g, v);
+            if w >= n {
+                return Err(GraphError::NodeOutOfRange { node: w, len: n });
+            }
+            if w == v {
+                return Err(GraphError::InvalidParameter(format!(
+                    "generator {g} fixes node {v}"
+                )));
+            }
+            if t.apply(t.inverse_generator(g), w) != v {
+                return Err(GraphError::InvalidParameter(format!(
+                    "generator {} does not invert generator {g} at node {v}",
+                    t.inverse_generator(g)
+                )));
+            }
+            *slot = w;
+        }
+        let mut sorted = images.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(GraphError::InvalidParameter(format!(
+                "two generators send node {v} to the same neighbor"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// A **generator word** taking the identity to `v`, found by BFS (one
+/// shortest word per node). Applying the same word starting from any node
+/// `u` realises the left translation `u -> u * v` — the graph
+/// automorphism behind vertex transitivity.
+pub fn word_to<T: CayleyTopology + ?Sized>(t: &T, v: usize) -> Vec<usize> {
+    let n = t.num_nodes();
+    let mut prev: Vec<(u32, u32)> = vec![(u32::MAX, u32::MAX); n]; // (node, gen)
+    let mut seen = vec![false; n];
+    let id = t.identity();
+    seen[id] = true;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(id);
+    while let Some(x) = queue.pop_front() {
+        if x == v {
+            break;
+        }
+        for g in 0..t.num_generators() {
+            let y = t.apply(g, x);
+            if !seen[y] {
+                seen[y] = true;
+                prev[y] = (x as u32, g as u32);
+                queue.push_back(y);
+            }
+        }
+    }
+    let mut word = Vec::new();
+    let mut cur = v;
+    while cur != id {
+        let (p, g) = prev[cur];
+        assert_ne!(p, u32::MAX, "node {cur} unreachable from the identity");
+        word.push(g as usize);
+        cur = p as usize;
+    }
+    word.reverse();
+    word
+}
+
+/// Applies a generator word to `v`.
+pub fn apply_word<T: CayleyTopology + ?Sized>(t: &T, word: &[usize], v: usize) -> usize {
+    word.iter().fold(v, |x, &g| t.apply(g, x))
+}
+
+/// Spot-verifies **vertex transitivity** (the property behind the paper's
+/// Remark 7) by exercising the left translations `L_a : x -> a * x`.
+///
+/// `apply` realises right multiplication by generators, so `a * x` is
+/// computed as `apply_word(word_to(x), a)`. Left translations are
+/// adjacency-preserving bijections on any genuine Cayley graph — and
+/// adjacency preservation reduces to the **action consistency** law
+/// `word_to(x * g) applied to a == (word_to(x) applied to a) * g`
+/// (both sides are `a * x * g` when `apply` is a well-defined group
+/// action). A failure means different generator words for the same group
+/// element act differently, i.e. the implementor's `apply` is not a
+/// group action at all.
+///
+/// For each sampled translation `a`, the map is also checked to be a
+/// bijection moving the identity to `a`.
+///
+/// # Errors
+/// [`GraphError::InvalidParameter`] describing the violated condition.
+pub fn verify_vertex_transitive_sample<T: CayleyTopology + ?Sized>(
+    t: &T,
+    samples: usize,
+) -> Result<()> {
+    let n = t.num_nodes();
+    let stride = (n / samples.max(1)).max(1);
+    for a in (0..n).step_by(stride) {
+        // L_a over all nodes: image of x is apply_word(word_to(x), a).
+        let mut image = vec![usize::MAX; n];
+        let mut seen = vec![false; n];
+        for x in 0..n {
+            let lx = apply_word(t, &word_to(t, x), a);
+            if seen[lx] {
+                return Err(GraphError::InvalidParameter(format!(
+                    "translation by {a} is not injective (collision at {lx})"
+                )));
+            }
+            seen[lx] = true;
+            image[x] = lx;
+        }
+        if image[t.identity()] != a {
+            return Err(GraphError::InvalidParameter(format!(
+                "translation by {a} does not move the identity to {a}"
+            )));
+        }
+        // Adjacency preservation == action consistency.
+        for x in (0..n).step_by(stride.max(3)) {
+            for g in 0..t.num_generators() {
+                let xg = t.apply(g, x);
+                if image[xg] != t.apply(g, image[x]) {
+                    return Err(GraphError::InvalidParameter(format!(
+                        "action inconsistency at node {x}, generator {g}"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Distance from the identity to every node measured in generator
+/// applications (the word metric), by BFS over the implicit graph.
+/// By vertex transitivity this is the distance profile from *any* node —
+/// the paper's Remark 7 uses exactly this reduction.
+pub fn word_metric_profile<T: CayleyTopology + ?Sized>(t: &T) -> Vec<u32> {
+    let n = t.num_nodes();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    let id = t.identity();
+    dist[id] = 0;
+    queue.push_back(id);
+    while let Some(v) = queue.pop_front() {
+        for g in 0..t.num_generators() {
+            let w = t.apply(g, v);
+            if dist[w] == u32::MAX {
+                dist[w] = dist[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Z_n with generators +1, -1: the cycle C_n as a Cayley graph.
+    struct CyclicGroup(usize);
+
+    impl CayleyTopology for CyclicGroup {
+        fn num_nodes(&self) -> usize {
+            self.0
+        }
+        fn num_generators(&self) -> usize {
+            2
+        }
+        fn apply(&self, gen: usize, v: usize) -> usize {
+            match gen {
+                0 => (v + 1) % self.0,
+                _ => (v + self.0 - 1) % self.0,
+            }
+        }
+        fn inverse_generator(&self, gen: usize) -> usize {
+            1 - gen
+        }
+    }
+
+    /// A broken topology whose "inverse" doesn't invert.
+    struct Broken;
+    impl CayleyTopology for Broken {
+        fn num_nodes(&self) -> usize {
+            4
+        }
+        fn num_generators(&self) -> usize {
+            2
+        }
+        fn apply(&self, gen: usize, v: usize) -> usize {
+            match gen {
+                0 => (v + 1) % 4,
+                _ => (v + 2) % 4,
+            }
+        }
+        fn inverse_generator(&self, gen: usize) -> usize {
+            gen
+        }
+    }
+
+    #[test]
+    fn cyclic_group_builds_cycle() {
+        let t = CyclicGroup(7);
+        verify_cayley(&t).unwrap();
+        let g = t.build_graph().unwrap();
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 7);
+        assert!(hb_graphs::props::all_degrees_are(&g, 2));
+    }
+
+    #[test]
+    fn word_metric_on_cycle() {
+        let t = CyclicGroup(8);
+        let prof = word_metric_profile(&t);
+        assert_eq!(prof, vec![0, 1, 2, 3, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn words_reach_their_targets_and_translations_verify() {
+        let t = CyclicGroup(9);
+        for v in 0..9 {
+            assert_eq!(apply_word(&t, &word_to(&t, v), 0), v);
+        }
+        verify_vertex_transitive_sample(&t, 5).unwrap();
+    }
+
+    #[test]
+    fn transitivity_check_rejects_non_action() {
+        /// Pretends to be Z_6 with +1/-1 but "+1" is corrupted at one
+        /// node, so it is not a group action.
+        struct Corrupt;
+        impl CayleyTopology for Corrupt {
+            fn num_nodes(&self) -> usize {
+                6
+            }
+            fn num_generators(&self) -> usize {
+                2
+            }
+            fn apply(&self, gen: usize, v: usize) -> usize {
+                match (gen, v) {
+                    (0, 3) => 5, // corruption: 3 + 1 "=" 5
+                    (0, 4) => 4_usize.wrapping_add(1) % 6,
+                    (0, _) if v == 5 => 0,
+                    (0, _) => v + 1,
+                    (1, 0) => 5,
+                    (1, _) => v - 1,
+                    _ => unreachable!(),
+                }
+            }
+            fn inverse_generator(&self, gen: usize) -> usize {
+                1 - gen
+            }
+        }
+        assert!(verify_vertex_transitive_sample(&Corrupt, 6).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_non_inverting_inverse() {
+        // Generator 0 is +1 with claimed inverse 0 (itself), but +1 is not
+        // an involution on Z_4.
+        assert!(verify_cayley(&Broken).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_fixed_points() {
+        struct Fixer;
+        impl CayleyTopology for Fixer {
+            fn num_nodes(&self) -> usize {
+                3
+            }
+            fn num_generators(&self) -> usize {
+                1
+            }
+            fn apply(&self, _gen: usize, v: usize) -> usize {
+                v
+            }
+            fn inverse_generator(&self, gen: usize) -> usize {
+                gen
+            }
+        }
+        let err = verify_cayley(&Fixer).unwrap_err();
+        assert!(err.to_string().contains("fixes"));
+    }
+
+    #[test]
+    fn verify_rejects_coinciding_images() {
+        // Two copies of the same generator.
+        struct Twice;
+        impl CayleyTopology for Twice {
+            fn num_nodes(&self) -> usize {
+                4
+            }
+            fn num_generators(&self) -> usize {
+                2
+            }
+            fn apply(&self, _gen: usize, v: usize) -> usize {
+                (v + 2) % 4
+            }
+            fn inverse_generator(&self, gen: usize) -> usize {
+                gen
+            }
+        }
+        let err = verify_cayley(&Twice).unwrap_err();
+        assert!(err.to_string().contains("same neighbor"));
+    }
+}

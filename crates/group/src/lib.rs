@@ -1,0 +1,24 @@
+//! # hb-group — group-theoretic machinery for Cayley-graph topologies
+//!
+//! The paper analyses `HB(m, n)` through the Akers–Krishnamurthy
+//! group-theoretic model of interconnection networks: a network is the
+//! Cayley graph of a finite group over a generator set closed under inverse.
+//! This crate provides:
+//!
+//! * [`cayley`] — the [`cayley::CayleyTopology`] trait (dense node indexing
+//!   + generator action), graph materialisation, verification of the
+//!   Cayley-graph conditions (paper Remark 3 / Theorem 1), and word-metric
+//!   profiles (the distance-from-identity reduction of Remark 7);
+//! * [`signed`] — signed cyclic sequences, the node algebra of the wrapped
+//!   butterfly in its constant-degree-4 Cayley representation
+//!   (Vadapalli–Srimani), including the paper's permutation index (PI) and
+//!   complementation index (CI).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cayley;
+pub mod signed;
+
+pub use cayley::{verify_cayley, word_metric_profile, CayleyTopology};
+pub use signed::{ButterflyGen, SignedCycle};

@@ -1,0 +1,58 @@
+//! One-to-all broadcast in `H_m` via the binomial spanning tree.
+//!
+//! The hyper-butterfly broadcast (the "asymptotically optimal broadcasting
+//! algorithm" announced in the paper's conclusion) runs this dimension-
+//! ordered schedule on the hypercube part and the butterfly broadcast on
+//! the butterfly part; both pieces are validated independently.
+
+use crate::cube::Hypercube;
+use hb_graphs::broadcast::BroadcastSchedule;
+
+/// Binomial-tree broadcast from `root`: in round `r` (0-based), every
+/// informed node sends across dimension `r`. Exactly `m` rounds — optimal,
+/// because `ceil(log2(2^m)) = m` is the single-port lower bound.
+pub fn broadcast_schedule(h: &Hypercube, root: u32) -> BroadcastSchedule {
+    let m = h.m();
+    let mut rounds = Vec::with_capacity(m as usize);
+    // Informed nodes after round r differ from root only in dims 0..=r.
+    let mut informed = vec![root];
+    for d in 0..m {
+        let round: Vec<(usize, usize)> = informed
+            .iter()
+            .map(|&v| (v as usize, (v ^ (1 << d)) as usize))
+            .collect();
+        informed.extend(round.iter().map(|&(_, r)| r as u32));
+        rounds.push(round);
+    }
+    BroadcastSchedule { rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_graphs::broadcast::lower_bound_rounds;
+
+    #[test]
+    fn broadcast_informs_everyone_in_m_rounds() {
+        for m in 1..=6 {
+            let h = Hypercube::new(m).unwrap();
+            let g = h.build_graph().unwrap();
+            for root in [0u32, (1 << m) - 1] {
+                let s = broadcast_schedule(&h, root);
+                assert_eq!(s.num_rounds() as u32, m);
+                assert_eq!(s.num_rounds() as u32, lower_bound_rounds(h.num_nodes()));
+                assert_eq!(s.num_messages(), h.num_nodes() - 1);
+                assert!(s.verify_on_graph(&g, root as usize), "m {m} root {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_r_doubles_informed_set() {
+        let h = Hypercube::new(5).unwrap();
+        let s = broadcast_schedule(&h, 7);
+        for (r, round) in s.rounds.iter().enumerate() {
+            assert_eq!(round.len(), 1 << r);
+        }
+    }
+}

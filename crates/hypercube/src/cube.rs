@@ -1,0 +1,196 @@
+//! The binary hypercube `H_m`.
+//!
+//! Nodes are `m`-bit labels; two nodes are adjacent iff their Hamming
+//! distance is 1. `H_m` is the Cayley graph of `(Z_2)^m` over the `m`
+//! bit-flip generators `h_i` — the same generators that act on the
+//! hypercube part of a hyper-butterfly node (paper §2.2).
+
+use hb_graphs::{Graph, GraphError, Result};
+use hb_group::cayley::CayleyTopology;
+
+/// The hypercube topology `H_m` for `1 <= m <= 26`.
+///
+/// Keeps no per-node storage: all structure is computed from labels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hypercube {
+    m: u32,
+}
+
+impl Hypercube {
+    /// Largest supported dimension (keeps dense indices comfortably in
+    /// `usize` across all product constructions).
+    pub const MAX_M: u32 = 26;
+
+    /// Creates `H_m`.
+    ///
+    /// # Errors
+    /// [`GraphError::InvalidParameter`] unless `1 <= m <= 26`.
+    ///
+    /// # Examples
+    /// ```
+    /// use hb_hypercube::Hypercube;
+    /// let h = Hypercube::new(4).unwrap();
+    /// assert_eq!(h.num_nodes(), 16);
+    /// assert_eq!(h.distance(0b0000, 0b1011), 3);
+    /// ```
+    pub fn new(m: u32) -> Result<Self> {
+        if m == 0 || m > Self::MAX_M {
+            return Err(GraphError::InvalidParameter(format!(
+                "hypercube dimension {m} outside 1..={}",
+                Self::MAX_M
+            )));
+        }
+        Ok(Self { m })
+    }
+
+    /// Dimension `m`.
+    #[inline]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of nodes, `2^m`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        1usize << self.m
+    }
+
+    /// Number of edges, `m * 2^(m-1)`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        (self.m as usize) << (self.m - 1)
+    }
+
+    /// Diameter, `m` (Saad & Schultz).
+    #[inline]
+    pub fn diameter(&self) -> u32 {
+        self.m
+    }
+
+    /// Vertex connectivity, `m`: the hypercube is maximally fault tolerant.
+    #[inline]
+    pub fn connectivity(&self) -> u32 {
+        self.m
+    }
+
+    /// Whether `label` is a valid node.
+    #[inline]
+    pub fn contains(&self, label: u32) -> bool {
+        (label as u64) < (1u64 << self.m)
+    }
+
+    /// Neighbor of `label` across dimension `dim`.
+    #[inline]
+    pub fn neighbor(&self, label: u32, dim: u32) -> u32 {
+        debug_assert!(dim < self.m && self.contains(label));
+        label ^ (1 << dim)
+    }
+
+    /// All `m` neighbors, in dimension order.
+    pub fn neighbors(&self, label: u32) -> impl Iterator<Item = u32> + '_ {
+        debug_assert!(self.contains(label));
+        (0..self.m).map(move |d| label ^ (1 << d))
+    }
+
+    /// Hamming distance between two nodes = hop distance in `H_m`.
+    #[inline]
+    pub fn distance(&self, a: u32, b: u32) -> u32 {
+        debug_assert!(self.contains(a) && self.contains(b));
+        (a ^ b).count_ones()
+    }
+
+    /// Materialises `H_m` as a CSR graph (node ids are labels).
+    ///
+    /// # Errors
+    /// Propagates graph-construction errors (none occur for valid `m`).
+    pub fn build_graph(&self) -> Result<Graph> {
+        CayleyTopology::build_graph(self)
+    }
+}
+
+impl CayleyTopology for Hypercube {
+    fn num_nodes(&self) -> usize {
+        Hypercube::num_nodes(self)
+    }
+
+    fn num_generators(&self) -> usize {
+        self.m as usize
+    }
+
+    fn apply(&self, gen: usize, v: usize) -> usize {
+        v ^ (1usize << gen)
+    }
+
+    fn inverse_generator(&self, gen: usize) -> usize {
+        gen // each h_i is an involution
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_graphs::{connectivity, props, shortest};
+    use hb_group::cayley;
+
+    #[test]
+    fn counts_match_theory() {
+        for m in 1..=6 {
+            let h = Hypercube::new(m).unwrap();
+            let g = h.build_graph().unwrap();
+            assert_eq!(g.num_nodes(), 1 << m);
+            assert_eq!(g.num_edges(), (m as usize) << (m - 1));
+            assert!(props::all_degrees_are(&g, m as usize));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        assert!(Hypercube::new(0).is_err());
+        assert!(Hypercube::new(27).is_err());
+    }
+
+    #[test]
+    fn is_a_cayley_graph() {
+        cayley::verify_cayley(&Hypercube::new(4).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn diameter_matches_bfs() {
+        for m in 1..=5 {
+            let h = Hypercube::new(m).unwrap();
+            let g = h.build_graph().unwrap();
+            assert_eq!(shortest::diameter(&g).unwrap(), h.diameter());
+        }
+    }
+
+    #[test]
+    fn connectivity_matches_flow() {
+        for m in 2..=4 {
+            let h = Hypercube::new(m).unwrap();
+            let g = h.build_graph().unwrap();
+            assert_eq!(connectivity::vertex_connectivity(&g).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn distance_is_hamming() {
+        let h = Hypercube::new(4).unwrap();
+        assert_eq!(h.distance(0b0000, 0b1111), 4);
+        assert_eq!(h.distance(0b1010, 0b1010), 0);
+        assert_eq!(h.distance(0b1010, 0b1000), 1);
+    }
+
+    #[test]
+    fn matches_reference_generator() {
+        let h = Hypercube::new(5).unwrap();
+        let a = h.build_graph().unwrap();
+        let b = hb_graphs::generators::hypercube(5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn graph_is_bipartite() {
+        let g = Hypercube::new(4).unwrap().build_graph().unwrap();
+        assert!(props::is_bipartite(&g));
+    }
+}

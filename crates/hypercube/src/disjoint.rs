@@ -1,0 +1,157 @@
+//! The classic construction of `m` internally vertex-disjoint paths between
+//! any two distinct hypercube nodes (Saad & Schultz), witnessing
+//! `kappa(H_m) = m`.
+//!
+//! Theorem 5 of the hyper-butterfly paper reuses these paths verbatim inside
+//! each hypercube slice `(H_m, b)` of `HB(m, n)`, so this module is a direct
+//! dependency of the paper's main fault-tolerance theorem.
+
+use crate::cube::Hypercube;
+use crate::routing;
+
+/// Builds exactly `m` internally vertex-disjoint paths from `src` to `dst`
+/// (`src != dst`), each a node sequence including both endpoints.
+///
+/// Construction: let `D` (size `k`) be the differing dimensions.
+///
+/// * `k` paths correct `D` in each of its `k` cyclic rotations — every
+///   intermediate node is identified by a nonempty proper *cyclic window*
+///   of `D`, and windows with different starting points are distinct sets,
+///   so the paths share no internal node. Length `k` each.
+/// * For each of the `m - k` agreeing dimensions `e`: flip `e`, correct `D`
+///   ascending, flip `e` back. Intermediate nodes all have bit `e`
+///   "wrong", which distinguishes them both from the rotation paths (which
+///   never touch `e`) and from the paths of other agreeing dimensions.
+///   Length `k + 2` each.
+///
+/// The longest path is therefore `min(k + 2, m... )` — matching the paper's
+/// Case-1 bound of `m + 2` once embedded in `HB(m, n)`.
+///
+/// # Panics
+/// Panics if `src == dst` or either label is out of range.
+pub fn disjoint_paths(h: &Hypercube, src: u32, dst: u32) -> Vec<Vec<u32>> {
+    assert!(h.contains(src) && h.contains(dst), "label out of range");
+    assert_ne!(src, dst, "endpoints must differ");
+    let diff: Vec<u32> = routing::ascending_order(h, src, dst);
+    let k = diff.len();
+    let mut paths = Vec::with_capacity(h.m() as usize);
+
+    // Rotation family.
+    for start in 0..k {
+        let mut order = Vec::with_capacity(k);
+        order.extend_from_slice(&diff[start..]);
+        order.extend_from_slice(&diff[..start]);
+        paths.push(routing::route_with_order(h, src, dst, &order));
+    }
+
+    // Detour family through each agreeing dimension.
+    for e in 0..h.m() {
+        if (src ^ dst) >> e & 1 == 1 {
+            continue;
+        }
+        let mut path = Vec::with_capacity(k + 3);
+        let mut cur = src ^ (1 << e);
+        path.push(src);
+        path.push(cur);
+        for &d in &diff {
+            cur ^= 1 << d;
+            path.push(cur);
+        }
+        path.push(dst);
+        paths.push(path);
+    }
+    paths
+}
+
+/// Length (in edges) of the longest path produced by [`disjoint_paths`]:
+/// `k` if `k == m`, else `k + 2`, where `k = distance(src, dst)`.
+pub fn max_path_length(h: &Hypercube, src: u32, dst: u32) -> u32 {
+    let k = h.distance(src, dst);
+    if k == h.m() {
+        k
+    } else {
+        k + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_graphs::connectivity::verify_disjoint_paths;
+
+    #[test]
+    fn all_pairs_m4_produce_valid_families() {
+        let h = Hypercube::new(4).unwrap();
+        let g = h.build_graph().unwrap();
+        for src in 0..16u32 {
+            for dst in 0..16u32 {
+                if src == dst {
+                    continue;
+                }
+                let paths = disjoint_paths(&h, src, dst);
+                assert_eq!(paths.len(), 4);
+                let pu: Vec<Vec<usize>> = paths
+                    .iter()
+                    .map(|p| p.iter().map(|&v| v as usize).collect())
+                    .collect();
+                verify_disjoint_paths(&g, src as usize, dst as usize, &pu)
+                    .unwrap_or_else(|e| panic!("{src} -> {dst}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn path_lengths_respect_bound() {
+        let h = Hypercube::new(5).unwrap();
+        for src in [0u32, 7, 19] {
+            for dst in 0..32u32 {
+                if src == dst {
+                    continue;
+                }
+                let bound = max_path_length(&h, src, dst) as usize;
+                for p in disjoint_paths(&h, src, dst) {
+                    assert!(p.len() - 1 <= bound);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn antipodal_pair_gets_m_shortest_paths() {
+        let h = Hypercube::new(4).unwrap();
+        let paths = disjoint_paths(&h, 0, 0b1111);
+        assert_eq!(paths.len(), 4);
+        for p in &paths {
+            assert_eq!(p.len(), 5); // all rotations, length k = m = 4
+        }
+    }
+
+    #[test]
+    fn adjacent_pair_has_one_direct_and_rest_detours() {
+        let h = Hypercube::new(3).unwrap();
+        let paths = disjoint_paths(&h, 0, 1);
+        assert_eq!(paths.len(), 3);
+        let lens: Vec<usize> = paths.iter().map(|p| p.len() - 1).collect();
+        assert_eq!(lens.iter().filter(|&&l| l == 1).count(), 1);
+        assert_eq!(lens.iter().filter(|&&l| l == 3).count(), 2);
+    }
+
+    #[test]
+    fn family_count_matches_flow_maximum() {
+        let h = Hypercube::new(3).unwrap();
+        let g = h.build_graph().unwrap();
+        for dst in 1..8u32 {
+            let constructive = disjoint_paths(&h, 0, dst).len() as u32;
+            let flow =
+                hb_graphs::connectivity::max_disjoint_path_count(&g, 0, dst as usize, u32::MAX);
+            assert_eq!(constructive, flow, "dst {dst}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints must differ")]
+    fn rejects_equal_endpoints() {
+        let h = Hypercube::new(3).unwrap();
+        disjoint_paths(&h, 2, 2);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the hypercube crate.
+
+use hb_graphs::connectivity::verify_disjoint_paths;
+use hb_graphs::embedding::{validate_cycle, validate_path};
+use hb_hypercube::{disjoint, embed, routing, Hypercube};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Disjoint-path families validate for arbitrary pairs and dims.
+    #[test]
+    fn disjoint_families_always_validate(m in 2u32..=7, a in 0u32..128, b in 0u32..128) {
+        let h = Hypercube::new(m).unwrap();
+        let a = a & ((1 << m) - 1);
+        let b = b & ((1 << m) - 1);
+        prop_assume!(a != b);
+        let g = h.build_graph().unwrap();
+        let fam = disjoint::disjoint_paths(&h, a, b);
+        prop_assert_eq!(fam.len() as u32, m);
+        let raw: Vec<Vec<usize>> = fam
+            .iter()
+            .map(|p| p.iter().map(|&v| v as usize).collect())
+            .collect();
+        verify_disjoint_paths(&g, a as usize, b as usize, &raw).unwrap();
+        let bound = disjoint::max_path_length(&h, a, b) as usize;
+        for p in &fam {
+            prop_assert!(p.len() - 1 <= bound);
+        }
+    }
+
+    /// Arbitrary correction orders produce valid shortest routes.
+    #[test]
+    fn any_correction_order_is_shortest(m in 1u32..=8, a in 0u32..256, b in 0u32..256, rot in 0usize..8) {
+        let h = Hypercube::new(m).unwrap();
+        let a = a & ((1 << m) - 1);
+        let b = b & ((1 << m) - 1);
+        let mut order = routing::ascending_order(&h, a, b);
+        if !order.is_empty() {
+            let shift = rot % order.len();
+            order.rotate_left(shift);
+        }
+        let p = routing::route_with_order(&h, a, b, &order);
+        prop_assert_eq!(p.len() as u32, h.distance(a, b) + 1);
+        let g = h.build_graph().unwrap();
+        let raw: Vec<usize> = p.iter().map(|&v| v as usize).collect();
+        validate_path(&g, &raw).unwrap();
+    }
+
+    /// Parity paths exist for every admissible odd length and validate.
+    #[test]
+    fn parity_paths_validate(m in 2u32..=6, src in 0u32..64, d0 in 0u32..6, len_sel in 0usize..31) {
+        let m_mask = (1u32 << m) - 1;
+        let src = src & m_mask;
+        let d0 = d0 % m;
+        let max_len = (1usize << m) - 1;
+        let len = 1 + 2 * (len_sel % ((max_len + 1) / 2));
+        prop_assume!(len <= max_len);
+        let dims: Vec<u32> = (0..m).collect();
+        let p = embed::parity_path(src, d0, len, &dims).unwrap();
+        prop_assert_eq!(p.len(), len + 1);
+        prop_assert_eq!(p[0], src);
+        prop_assert_eq!(*p.last().unwrap(), src ^ (1 << d0));
+        let h = Hypercube::new(m).unwrap();
+        let g = h.build_graph().unwrap();
+        let raw: Vec<usize> = p.iter().map(|&v| v as usize).collect();
+        validate_path(&g, &raw).unwrap();
+    }
+
+    /// Even cycles of every admissible length validate.
+    #[test]
+    fn even_cycles_validate(m in 2u32..=6, k_sel in 0usize..31) {
+        let h = Hypercube::new(m).unwrap();
+        let max_k = h.num_nodes();
+        let k = 4 + 2 * (k_sel % ((max_k - 2) / 2));
+        prop_assume!(k <= max_k);
+        let cyc = embed::even_cycle(&h, k).unwrap();
+        prop_assert_eq!(cyc.len(), k);
+        let g = h.build_graph().unwrap();
+        let raw: Vec<usize> = cyc.iter().map(|&v| v as usize).collect();
+        validate_cycle(&g, &raw).unwrap();
+    }
+
+    /// Broadcast schedules verify from any root.
+    #[test]
+    fn broadcast_verifies_from_any_root(m in 1u32..=7, root in 0u32..128) {
+        let h = Hypercube::new(m).unwrap();
+        let root = root & ((1 << m) - 1);
+        let s = hb_hypercube::broadcast::broadcast_schedule(&h, root);
+        let g = h.build_graph().unwrap();
+        prop_assert!(s.verify_on_graph(&g, root as usize));
+        prop_assert_eq!(s.num_rounds() as u32, m);
+    }
+}

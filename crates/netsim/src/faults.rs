@@ -1,0 +1,327 @@
+//! Fault-injection experiments (paper Corollary 1 / Remark 10, measured).
+//!
+//! The claims under test:
+//!
+//! * `HB(m, n)` stays connected under **any** fault set of size
+//!   `<= m + 3` (it is `m + 4`-connected), while `HD(m, n)` can be
+//!   disconnected by `m + 2` faults;
+//! * under random faults, the probability of disconnection and of pair
+//!   unreachability grows earlier for the less-connected topology;
+//! * the Theorem-5 family router keeps delivering at the maximal
+//!   allowable fault count.
+
+use hb_graphs::{traverse, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Outcome of one fault-injection trial campaign at a fixed fault count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultTrialStats {
+    /// Number of injected faults per trial.
+    pub faults: usize,
+    /// Trials run.
+    pub trials: usize,
+    /// Trials whose survivor graph stayed connected.
+    pub connected: usize,
+    /// Fraction of sampled survivor pairs that remained mutually
+    /// reachable, averaged over trials.
+    pub pair_reachability: f64,
+}
+
+/// Samples `trials` random fault sets of the given size and measures
+/// survivor connectivity plus reachability of `pair_samples` random
+/// survivor pairs per trial. Trials run in parallel.
+pub fn random_fault_trials(
+    g: &Graph,
+    faults: usize,
+    trials: usize,
+    pair_samples: usize,
+    seed: u64,
+) -> FaultTrialStats {
+    let n = g.num_nodes();
+    assert!(faults < n, "cannot fault every node");
+    let results: Vec<(bool, f64)> = (0..trials)
+        .into_par_iter()
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+            let mut keep = vec![true; n];
+            let mut placed = 0;
+            while placed < faults {
+                let f = rng.random_range(0..n);
+                if keep[f] {
+                    keep[f] = false;
+                    placed += 1;
+                }
+            }
+            let blocked: Vec<NodeId> = (0..n).filter(|&v| !keep[v]).collect();
+            let connected = traverse::is_connected_avoiding(g, &blocked);
+            // Pair reachability (meaningful even when disconnected).
+            let survivors: Vec<NodeId> = (0..n).filter(|&v| keep[v]).collect();
+            let mut reachable = 0usize;
+            let mut sampled = 0usize;
+            for _ in 0..pair_samples {
+                let a = survivors[rng.random_range(0..survivors.len())];
+                let b = survivors[rng.random_range(0..survivors.len())];
+                if a == b {
+                    continue;
+                }
+                sampled += 1;
+                let tree = traverse::bfs_avoiding(g, a, &blocked);
+                if tree.dist[b] != traverse::UNREACHABLE {
+                    reachable += 1;
+                }
+            }
+            let ratio = if sampled == 0 { 1.0 } else { reachable as f64 / sampled as f64 };
+            (connected, ratio)
+        })
+        .collect();
+    let connected = results.iter().filter(|r| r.0).count();
+    let pair_reachability = results.iter().map(|r| r.1).sum::<f64>() / trials.max(1) as f64;
+    FaultTrialStats { faults, trials, connected, pair_reachability }
+}
+
+/// Adversarial (targeted) fault trials: each trial picks a random victim
+/// node among those of **minimum degree** and faults `faults` of its
+/// neighbors (all of them when `faults >= degree`). This is the natural
+/// attack on an interconnect: the victim is isolated exactly when the
+/// whole neighborhood is faulty, so the disconnection threshold under
+/// this campaign *is* the minimum degree — `m + 2` for hyper-deBruijn
+/// versus `m + 4` for the hyper-butterfly at the same `m`.
+pub fn adversarial_fault_trials(
+    g: &Graph,
+    faults: usize,
+    trials: usize,
+    seed: u64,
+) -> FaultTrialStats {
+    let n = g.num_nodes();
+    let min_deg = (0..n).map(|v| g.degree(v)).min().expect("non-empty graph");
+    let victims: Vec<NodeId> = (0..n).filter(|&v| g.degree(v) == min_deg).collect();
+    let results: Vec<bool> = (0..trials)
+        .into_par_iter()
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x51ED_270B));
+            let victim = victims[rng.random_range(0..victims.len())];
+            let mut nbrs: Vec<NodeId> =
+                g.neighbors(victim).iter().map(|&w| w as usize).collect();
+            // Random subset of the neighborhood of the requested size.
+            for i in (1..nbrs.len()).rev() {
+                let j = rng.random_range(0..=i);
+                nbrs.swap(i, j);
+            }
+            nbrs.truncate(faults.min(nbrs.len()));
+            traverse::is_connected_avoiding(g, &nbrs)
+        })
+        .collect();
+    let connected = results.iter().filter(|&&c| c).count();
+    FaultTrialStats {
+        faults,
+        trials,
+        connected,
+        pair_reachability: connected as f64 / trials.max(1) as f64,
+    }
+}
+
+/// Adversarial **link**-fault trials: cut `faults` random links incident
+/// to a minimum-degree victim. The disconnection threshold is the edge
+/// connectivity — which equals the minimum degree for every topology in
+/// this workspace (`m + 4` for HB vs `m + 2` for HD), so links tell the
+/// same story as nodes one level down the physical stack.
+pub fn adversarial_link_trials(
+    g: &Graph,
+    faults: usize,
+    trials: usize,
+    seed: u64,
+) -> FaultTrialStats {
+    let n = g.num_nodes();
+    let min_deg = (0..n).map(|v| g.degree(v)).min().expect("non-empty graph");
+    let victims: Vec<NodeId> = (0..n).filter(|&v| g.degree(v) == min_deg).collect();
+    let results: Vec<bool> = (0..trials)
+        .into_par_iter()
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x6A09_E667));
+            let victim = victims[rng.random_range(0..victims.len())];
+            let mut cut: Vec<NodeId> =
+                g.neighbors(victim).iter().map(|&w| w as usize).collect();
+            for i in (1..cut.len()).rev() {
+                let j = rng.random_range(0..=i);
+                cut.swap(i, j);
+            }
+            cut.truncate(faults.min(cut.len()));
+            let removed: std::collections::HashSet<(usize, usize)> = cut
+                .iter()
+                .map(|&w| (victim.min(w), victim.max(w)))
+                .collect();
+            // Rebuild without the cut links and check connectivity.
+            let edges = g.edges().filter(|&(u, v)| !removed.contains(&(u, v)));
+            let h = Graph::from_edges(n, edges).expect("still simple");
+            traverse::is_connected(&h)
+        })
+        .collect();
+    let connected = results.iter().filter(|&&c| c).count();
+    FaultTrialStats {
+        faults,
+        trials,
+        connected,
+        pair_reachability: connected as f64 / trials.max(1) as f64,
+    }
+}
+
+/// Survivor-graph fragility: after `faults` random faults, how many
+/// **articulation points** (single points of failure) does the survivor
+/// graph have, on average over `trials`? A fault-tolerant fabric should
+/// stay at 0 well past the first faults; rising counts mean the next
+/// single fault can already partition the machine.
+pub fn survivor_fragility(g: &Graph, faults: usize, trials: usize, seed: u64) -> f64 {
+    let n = g.num_nodes();
+    assert!(faults < n);
+    let total: usize = (0..trials)
+        .into_par_iter()
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0xA24B_AED4));
+            let mut keep = vec![true; n];
+            let mut placed = 0;
+            while placed < faults {
+                let f = rng.random_range(0..n);
+                if keep[f] {
+                    keep[f] = false;
+                    placed += 1;
+                }
+            }
+            let (sub, _) = g.induced_subgraph(&keep);
+            hb_graphs::structure::articulation_points(&sub).len()
+        })
+        .sum();
+    total as f64 / trials.max(1) as f64
+}
+
+/// Exhaustively verifies that **no** fault set of the given size
+/// disconnects `g` — feasible for `faults <= 2` on moderate graphs, and
+/// the direct computational witness of "maximally fault tolerant" at
+/// those sizes. Returns the number of fault sets tried.
+pub fn exhaustive_fault_check(g: &Graph, faults: usize) -> Option<u64> {
+    let n = g.num_nodes();
+    match faults {
+        1 => {
+            let ok = (0..n)
+                .into_par_iter()
+                .all(|f| traverse::is_connected_avoiding(g, &[f]));
+            ok.then_some(n as u64)
+        }
+        2 => {
+            let ok = (0..n).into_par_iter().all(|f1| {
+                (f1 + 1..n).all(|f2| traverse::is_connected_avoiding(g, &[f1, f2]))
+            });
+            ok.then_some((n * (n - 1) / 2) as u64)
+        }
+        _ => None,
+    }
+}
+
+/// Finds a *minimum-size disconnecting fault set witness*: the
+/// neighborhood of a minimum-degree node always works once
+/// `faults >= kappa`, demonstrating the tightness of Corollary 1.
+pub fn tight_disconnection_witness(g: &Graph) -> Vec<NodeId> {
+    let v = (0..g.num_nodes())
+        .min_by_key(|&v| g.degree(v))
+        .expect("non-empty graph");
+    g.neighbors(v).iter().map(|&w| w as usize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hb_core::HyperButterfly;
+    use hb_debruijn::HyperDeBruijn;
+
+    #[test]
+    fn hb_survives_all_single_and_double_faults() {
+        let hb = HyperButterfly::new(1, 3).unwrap();
+        let g = hb.build_graph().unwrap();
+        assert!(exhaustive_fault_check(&g, 1).is_some());
+        assert!(exhaustive_fault_check(&g, 2).is_some());
+        assert_eq!(exhaustive_fault_check(&g, 3), None); // not supported
+    }
+
+    #[test]
+    fn neighborhood_witness_disconnects() {
+        let hb = HyperButterfly::new(1, 3).unwrap();
+        let g = hb.build_graph().unwrap();
+        let witness = tight_disconnection_witness(&g);
+        assert_eq!(witness.len(), 5); // m + 4
+        assert!(!traverse::is_connected_avoiding(&g, &witness));
+    }
+
+    #[test]
+    fn random_trials_below_kappa_always_connected() {
+        let hb = HyperButterfly::new(2, 3).unwrap();
+        let g = hb.build_graph().unwrap();
+        // kappa = 6: any 5 faults leave it connected.
+        let stats = random_fault_trials(&g, 5, 40, 10, 123);
+        assert_eq!(stats.connected, stats.trials);
+        assert!((stats.pair_reachability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hd_disconnects_at_lower_fault_count_than_hb() {
+        // HD(1, 3): kappa = 3 — the witness has m + 2 = 3 nodes, fewer
+        // than HB(1, 3)'s m + 4 = 5 at the same (m, n).
+        let hd = HyperDeBruijn::new(1, 3).unwrap();
+        let g = hd.build_graph().unwrap();
+        let witness = tight_disconnection_witness(&g);
+        assert_eq!(witness.len(), 3);
+        assert!(!traverse::is_connected_avoiding(&g, &witness));
+    }
+
+    #[test]
+    fn adversarial_trials_show_the_threshold() {
+        // HB(1, 3): degree 5 everywhere. Below 5 targeted faults the
+        // graph must stay connected; at 5 the victim is isolated.
+        let hb = HyperButterfly::new(1, 3).unwrap();
+        let g = hb.build_graph().unwrap();
+        let below = adversarial_fault_trials(&g, 4, 20, 3);
+        assert_eq!(below.connected, below.trials);
+        let at = adversarial_fault_trials(&g, 5, 20, 3);
+        assert_eq!(at.connected, 0);
+
+        // HD(1, 3): threshold at the min degree m + 2 = 3.
+        let hd = HyperDeBruijn::new(1, 3).unwrap();
+        let g = hd.build_graph().unwrap();
+        let below = adversarial_fault_trials(&g, 2, 20, 3);
+        assert_eq!(below.connected, below.trials);
+        let at = adversarial_fault_trials(&g, 3, 20, 3);
+        assert_eq!(at.connected, 0);
+    }
+
+    #[test]
+    fn adversarial_link_threshold_is_min_degree() {
+        let hb = HyperButterfly::new(1, 3).unwrap();
+        let g = hb.build_graph().unwrap();
+        let below = adversarial_link_trials(&g, 4, 15, 5);
+        assert_eq!(below.connected, below.trials);
+        let at = adversarial_link_trials(&g, 5, 15, 5);
+        assert_eq!(at.connected, 0);
+    }
+
+    #[test]
+    fn fragility_is_zero_below_connectivity_margin() {
+        // HB(2, 3) has kappa = 6: after 1 fault the survivor is still
+        // 5-connected — no articulation points possible.
+        let hb = HyperButterfly::new(2, 3).unwrap();
+        let g = hb.build_graph().unwrap();
+        assert_eq!(survivor_fragility(&g, 1, 10, 3), 0.0);
+        // A cycle, by contrast, becomes a path after 1 fault: all
+        // interior survivors are articulation points.
+        let c = hb_graphs::generators::cycle(10).unwrap();
+        assert_eq!(survivor_fragility(&c, 1, 5, 3), 7.0);
+    }
+
+    #[test]
+    fn trials_are_deterministic_under_seed() {
+        let hb = HyperButterfly::new(1, 3).unwrap();
+        let g = hb.build_graph().unwrap();
+        let a = random_fault_trials(&g, 6, 10, 5, 7);
+        let b = random_fault_trials(&g, 6, 10, 5, 7);
+        assert_eq!(a, b);
+    }
+}

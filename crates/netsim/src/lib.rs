@@ -1,0 +1,32 @@
+//! # hb-netsim — packet-level interconnection-network simulator
+//!
+//! The paper proposes `HB(m, n)` as a multiprocessor interconnect but,
+//! being an analytical 1998 paper, reports no measurements. This crate is
+//! the substitute testbed (see DESIGN.md §4): a cycle-accurate
+//! store-and-forward simulator that *exercises* the claims —
+//!
+//! * [`topology`] — a uniform adapter over `H_m`, `B_n`, `HD(m, n)`, and
+//!   `HB(m, n)` with each topology's own oblivious router (including the
+//!   hyper-butterfly's two routing orders for the ablation);
+//! * [`sim`] — the simulator core (source routing, per-channel FIFOs,
+//!   1 packet/channel/cycle);
+//! * [`workload`] — uniform / permutation / hotspot / bit-complement
+//!   traffic, deterministic under seeds;
+//! * [`faults`] — fault-injection campaigns measuring survivor
+//!   connectivity and pair reachability (Corollary 1, measured);
+//! * [`forwarding`] — edge forwarding index (static routing congestion,
+//!   the VLSI-quality metric).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod forwarding;
+pub mod sim;
+pub mod topology;
+pub mod workload;
+
+pub use sim::{run, run_adaptive, run_bounded, Injection, SimConfig, SimStats};
+pub use topology::{
+    ButterflyNet, HbRouteOrder, HyperButterflyNet, HyperDeBruijnNet, HypercubeNet, NetTopology,
+};

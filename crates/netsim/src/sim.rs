@@ -1,0 +1,627 @@
+//! Cycle-accurate store-and-forward packet simulator.
+//!
+//! Model (the standard interconnection-network abstraction the paper's
+//! VLSI motivation implies):
+//!
+//! * every undirected edge is two directed **channels**, each moving at
+//!   most one packet per cycle (1 packet = 1 flit);
+//! * each channel has a FIFO queue at its sending node (unbounded —
+//!   latency-versus-load studies measure occupancy instead of dropping);
+//! * packets are **source routed**: the topology's oblivious router fixes
+//!   the path at injection (hop = 1 cycle);
+//! * a node's channels are served independently (all-port model), which
+//!   matches the bounded-degree design point the paper argues for: a
+//!   node never serves more than `degree` channels.
+
+use crate::topology::NetTopology;
+use hb_graphs::NodeId;
+use std::collections::VecDeque;
+
+/// One packet in flight.
+#[derive(Clone, Debug)]
+struct Packet {
+    /// Precomputed route (node ids); `route[hop]` is the current node.
+    route: Vec<NodeId>,
+    hop: u32,
+    injected_at: u64,
+}
+
+/// A packet to inject: source, destination, injection cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Injection {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Cycle at which the packet enters the source's queues.
+    pub at: u64,
+}
+
+/// Aggregate results of one simulation run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimStats {
+    /// Packets offered by the workload.
+    pub offered: u64,
+    /// Packets delivered before the cycle limit.
+    pub delivered: u64,
+    /// Packets not delivered when the simulation stopped: still queued,
+    /// in flight, or never injected (injection time past the cycle
+    /// limit). Invariant: `delivered + stranded == offered`.
+    pub stranded: u64,
+    /// Mean delivered latency (cycles), 0 if nothing was delivered.
+    pub avg_latency: f64,
+    /// Largest delivered latency.
+    pub max_latency: u64,
+    /// Mean hop count of delivered packets.
+    pub avg_hops: f64,
+    /// Peak queue occupancy over all channels and cycles.
+    pub peak_queue: usize,
+    /// Cycles simulated.
+    pub cycles: u64,
+}
+
+/// Simulator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Hard stop, even if packets remain in flight.
+    pub max_cycles: u64,
+    /// Stop early once all offered packets are delivered.
+    pub stop_when_drained: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self { max_cycles: 100_000, stop_when_drained: true }
+    }
+}
+
+/// Runs the simulation of `injections` (must be sorted by `at`) on
+/// `topo`.
+///
+/// # Panics
+/// Panics if injections are not sorted by injection cycle, or reference
+/// out-of-range nodes.
+///
+/// # Examples
+/// ```
+/// use hb_netsim::topology::{HbRouteOrder, HyperButterflyNet};
+/// use hb_netsim::{run, sim::SimConfig, workload};
+/// let net = HyperButterflyNet::new(1, 3, HbRouteOrder::CubeFirst).unwrap();
+/// let traffic = workload::uniform(48, 10, 0.2, 7);
+/// let stats = run(&net, &traffic, SimConfig::default());
+/// assert_eq!(stats.delivered, stats.offered);
+/// ```
+pub fn run(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> SimStats {
+    let g = topo.graph();
+    let n = g.num_nodes();
+    assert!(
+        injections.windows(2).all(|w| w[0].at <= w[1].at),
+        "injections must be sorted by cycle"
+    );
+
+    // Channel layout: channel of (u, port) = csr offset of u + port.
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    for v in 0..n {
+        offsets.push(offsets[v] + g.degree(v));
+    }
+    let num_channels = offsets[n];
+    let mut queues: Vec<VecDeque<Packet>> = vec![VecDeque::new(); num_channels];
+    // Channels with any queued packet, to avoid scanning all E per cycle.
+    let mut active: Vec<usize> = Vec::new();
+    let mut is_active = vec![false; num_channels];
+
+    let channel_of = |u: NodeId, v: NodeId| -> usize {
+        let port = g
+            .neighbors(u)
+            .binary_search(&(v as u32))
+            .unwrap_or_else(|_| panic!("route step ({u}, {v}) is not an edge"));
+        offsets[u] + port
+    };
+
+    let mut stats = SimStats { offered: injections.len() as u64, ..Default::default() };
+    let mut total_latency = 0u64;
+    let mut total_hops = 0u64;
+    let mut latency_samples = 0u64;
+    let mut next_inject = 0usize;
+    let mut in_flight = 0u64;
+    let mut cycle = 0u64;
+
+    let enqueue = |queues: &mut Vec<VecDeque<Packet>>,
+                       active: &mut Vec<usize>,
+                       is_active: &mut Vec<bool>,
+                       ch: usize,
+                       p: Packet| {
+        queues[ch].push_back(p);
+        if !is_active[ch] {
+            is_active[ch] = true;
+            active.push(ch);
+        }
+    };
+
+    while cycle < cfg.max_cycles {
+        // Inject everything due this cycle.
+        while next_inject < injections.len() && injections[next_inject].at == cycle {
+            let inj = injections[next_inject];
+            next_inject += 1;
+            let route = topo.route(inj.src, inj.dst);
+            if route.len() <= 1 {
+                // Self-delivery: zero-latency, zero hops.
+                stats.delivered += 1;
+                continue;
+            }
+            let ch = channel_of(route[0], route[1]);
+            let p = Packet { route, hop: 0, injected_at: cycle };
+            enqueue(&mut queues, &mut active, &mut is_active, ch, p);
+            in_flight += 1;
+        }
+
+        // Queue occupancy peaks right after injections and moves land.
+        stats.peak_queue = stats
+            .peak_queue
+            .max(active.iter().map(|&ch| queues[ch].len()).max().unwrap_or(0));
+
+        // Advance one packet per active channel (two-phase: collect moves
+        // first so a packet moves at most one hop per cycle).
+        let mut moved: Vec<(usize, Packet)> = Vec::new(); // (next channel, packet)
+        let mut still_active = Vec::with_capacity(active.len());
+        for &ch in &active {
+            if let Some(mut p) = queues[ch].pop_front() {
+                p.hop += 1;
+                let here = p.route[p.hop as usize];
+                if p.hop as usize + 1 == p.route.len() {
+                    // Arrived.
+                    let latency = cycle + 1 - p.injected_at;
+                    total_latency += latency;
+                    total_hops += p.hop as u64;
+                    latency_samples += 1;
+                    stats.max_latency = stats.max_latency.max(latency);
+                    stats.delivered += 1;
+                    in_flight -= 1;
+                } else {
+                    let next = p.route[p.hop as usize + 1];
+                    moved.push((channel_of(here, next), p));
+                }
+            }
+            if queues[ch].is_empty() {
+                is_active[ch] = false;
+            } else {
+                still_active.push(ch);
+            }
+        }
+        active = still_active;
+        for (ch, p) in moved {
+            enqueue(&mut queues, &mut active, &mut is_active, ch, p);
+        }
+
+        cycle += 1;
+
+        if cfg.stop_when_drained && in_flight == 0 && next_inject == injections.len() {
+            break;
+        }
+    }
+
+    stats.cycles = cycle;
+    // Stranded = still queued plus never injected (cycle limit reached
+    // before their injection time): delivered + stranded == offered.
+    stats.stranded = in_flight + (injections.len() - next_inject) as u64;
+    if latency_samples > 0 {
+        stats.avg_latency = total_latency as f64 / latency_samples as f64;
+        stats.avg_hops = total_hops as f64 / latency_samples as f64;
+    }
+    stats
+}
+
+/// Runs the oblivious simulation with **bounded queues and
+/// backpressure**: each channel queue holds at most `capacity` packets; a
+/// packet advances only if its next queue has room (head-of-line
+/// blocking, credit-style flow control). Injection fails when the first
+/// queue is full — such packets are dropped and counted in `stranded`
+/// (delivered + stranded == offered still holds).
+///
+/// This is the realistic finite-buffer router model; the unbounded
+/// [`run`] measures latency-versus-load without loss, this one measures
+/// loss and saturation onset.
+///
+/// **Deadlock**: finite buffers plus cyclic channel dependencies can
+/// deadlock (the classic wormhole/store-and-forward hazard — the level
+/// cycle of the butterfly makes such cycles possible). A deadlocked run
+/// simply hits `max_cycles` with `stranded > 0`; detecting/avoiding
+/// deadlock (virtual channels, bubble routing) is out of scope for this
+/// reproduction and flagged as future work in DESIGN.md.
+///
+/// # Panics
+/// As [`run`].
+pub fn run_bounded(
+    topo: &dyn NetTopology,
+    injections: &[Injection],
+    cfg: SimConfig,
+    capacity: usize,
+) -> SimStats {
+    assert!(capacity >= 1, "queues need capacity >= 1");
+    let g = topo.graph();
+    let n = g.num_nodes();
+    assert!(
+        injections.windows(2).all(|w| w[0].at <= w[1].at),
+        "injections must be sorted by cycle"
+    );
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    for v in 0..n {
+        offsets.push(offsets[v] + g.degree(v));
+    }
+    let num_channels = offsets[n];
+    let mut queues: Vec<VecDeque<Packet>> = vec![VecDeque::new(); num_channels];
+    let channel_of = |u: NodeId, v: NodeId| -> usize {
+        let port = g
+            .neighbors(u)
+            .binary_search(&(v as u32))
+            .unwrap_or_else(|_| panic!("route step ({u}, {v}) is not an edge"));
+        offsets[u] + port
+    };
+
+    let mut stats = SimStats { offered: injections.len() as u64, ..Default::default() };
+    let mut total_latency = 0u64;
+    let mut total_hops = 0u64;
+    let mut latency_samples = 0u64;
+    let mut next_inject = 0usize;
+    let mut in_flight = 0u64;
+    let mut dropped = 0u64;
+    let mut cycle = 0u64;
+
+    while cycle < cfg.max_cycles {
+        while next_inject < injections.len() && injections[next_inject].at == cycle {
+            let inj = injections[next_inject];
+            next_inject += 1;
+            let route = topo.route(inj.src, inj.dst);
+            if route.len() <= 1 {
+                stats.delivered += 1;
+                continue;
+            }
+            let ch = channel_of(route[0], route[1]);
+            if queues[ch].len() >= capacity {
+                dropped += 1; // source buffer full: injection refused
+                continue;
+            }
+            queues[ch].push_back(Packet { route, hop: 0, injected_at: cycle });
+            in_flight += 1;
+        }
+
+        stats.peak_queue = stats
+            .peak_queue
+            .max(queues.iter().map(VecDeque::len).max().unwrap_or(0));
+
+        // Two-phase advance: a head packet moves only if its target queue
+        // currently has room; room freed this cycle becomes visible next
+        // cycle (conservative credit model).
+        let mut arrivals: Vec<(usize, Packet)> = Vec::new();
+        let mut incoming = vec![0usize; num_channels];
+        for ch in 0..num_channels {
+            let Some(front) = queues[ch].front() else { continue };
+            let hop = front.hop as usize;
+            let arriving_last = hop + 2 == front.route.len();
+            if arriving_last {
+                let mut p = queues[ch].pop_front().expect("front exists");
+                p.hop += 1;
+                let latency = cycle + 1 - p.injected_at;
+                total_latency += latency;
+                total_hops += p.hop as u64;
+                latency_samples += 1;
+                stats.max_latency = stats.max_latency.max(latency);
+                stats.delivered += 1;
+                in_flight -= 1;
+            } else {
+                let here = front.route[hop + 1];
+                let next = front.route[hop + 2];
+                let next_ch = channel_of(here, next);
+                if queues[next_ch].len() + incoming[next_ch] < capacity {
+                    let mut p = queues[ch].pop_front().expect("front exists");
+                    p.hop += 1;
+                    incoming[next_ch] += 1;
+                    arrivals.push((next_ch, p));
+                }
+                // else: head-of-line blocked; wait.
+            }
+        }
+        for (ch, p) in arrivals {
+            queues[ch].push_back(p);
+        }
+        cycle += 1;
+        if cfg.stop_when_drained && in_flight == 0 && next_inject == injections.len() {
+            break;
+        }
+    }
+    stats.cycles = cycle;
+    stats.stranded = dropped + in_flight + (injections.len() - next_inject) as u64;
+    if latency_samples > 0 {
+        stats.avg_latency = total_latency as f64 / latency_samples as f64;
+        stats.avg_hops = total_hops as f64 / latency_samples as f64;
+    }
+    stats
+}
+
+/// A packet in the adaptive simulator: no fixed route, only a
+/// destination.
+#[derive(Clone, Debug)]
+struct AdaptivePacket {
+    dst: NodeId,
+    hops: u32,
+    injected_at: u64,
+}
+
+/// Runs a **minimal adaptive** simulation: at every hop the packet picks,
+/// among the topology's productive next hops (neighbors on some shortest
+/// path, [`NetTopology::productive_hops`]), the one whose outgoing queue
+/// is currently shortest. Hop counts stay minimal; only the *choice* of
+/// shortest path adapts to congestion — the ablation partner of the
+/// oblivious [`run`].
+///
+/// # Panics
+/// As [`run`]; additionally panics if a topology reports no productive
+/// hop for an undelivered packet (which would contradict shortest-path
+/// reachability).
+pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> SimStats {
+    let g = topo.graph();
+    let n = g.num_nodes();
+    assert!(
+        injections.windows(2).all(|w| w[0].at <= w[1].at),
+        "injections must be sorted by cycle"
+    );
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    for v in 0..n {
+        offsets.push(offsets[v] + g.degree(v));
+    }
+    let num_channels = offsets[n];
+    // Channel id -> head node (the node a popped packet arrives at).
+    let mut chan_to = vec![0u32; num_channels];
+    for v in 0..n {
+        for (port, &w) in g.neighbors(v).iter().enumerate() {
+            chan_to[offsets[v] + port] = w;
+        }
+    }
+    let mut queues: Vec<VecDeque<AdaptivePacket>> = vec![VecDeque::new(); num_channels];
+    let mut active: Vec<usize> = Vec::new();
+    let mut is_active = vec![false; num_channels];
+
+    let channel_of = |u: NodeId, v: NodeId| -> usize {
+        let port = g
+            .neighbors(u)
+            .binary_search(&(v as u32))
+            .unwrap_or_else(|_| panic!("hop ({u}, {v}) is not an edge"));
+        offsets[u] + port
+    };
+    // Least-loaded productive channel out of `from` toward `dst`.
+    let choose = |queues: &[VecDeque<AdaptivePacket>], from: NodeId, dst: NodeId| -> usize {
+        topo.productive_hops(from, dst)
+            .into_iter()
+            .map(|w| channel_of(from, w))
+            .min_by_key(|&ch| queues[ch].len())
+            .expect("a productive hop exists for any undelivered packet")
+    };
+
+    let mut stats = SimStats { offered: injections.len() as u64, ..Default::default() };
+    let mut total_latency = 0u64;
+    let mut total_hops = 0u64;
+    let mut latency_samples = 0u64;
+    let mut next_inject = 0usize;
+    let mut in_flight = 0u64;
+    let mut cycle = 0u64;
+
+    while cycle < cfg.max_cycles {
+        while next_inject < injections.len() && injections[next_inject].at == cycle {
+            let inj = injections[next_inject];
+            next_inject += 1;
+            if inj.src == inj.dst {
+                stats.delivered += 1;
+                continue;
+            }
+            let ch = choose(&queues, inj.src, inj.dst);
+            queues[ch].push_back(AdaptivePacket { dst: inj.dst, hops: 0, injected_at: cycle });
+            if !is_active[ch] {
+                is_active[ch] = true;
+                active.push(ch);
+            }
+            in_flight += 1;
+        }
+
+        stats.peak_queue = stats
+            .peak_queue
+            .max(active.iter().map(|&ch| queues[ch].len()).max().unwrap_or(0));
+
+        let mut moved: Vec<(NodeId, AdaptivePacket)> = Vec::new(); // (arrival node, packet)
+        let mut still_active = Vec::with_capacity(active.len());
+        for &ch in &active {
+            if let Some(mut p) = queues[ch].pop_front() {
+                p.hops += 1;
+                let here = chan_to[ch] as usize;
+                if here == p.dst {
+                    let latency = cycle + 1 - p.injected_at;
+                    total_latency += latency;
+                    total_hops += p.hops as u64;
+                    latency_samples += 1;
+                    stats.max_latency = stats.max_latency.max(latency);
+                    stats.delivered += 1;
+                    in_flight -= 1;
+                } else {
+                    moved.push((here, p));
+                }
+            }
+            if queues[ch].is_empty() {
+                is_active[ch] = false;
+            } else {
+                still_active.push(ch);
+            }
+        }
+        active = still_active;
+        for (here, p) in moved {
+            let ch = choose(&queues, here, p.dst);
+            queues[ch].push_back(p);
+            if !is_active[ch] {
+                is_active[ch] = true;
+                active.push(ch);
+            }
+        }
+        cycle += 1;
+        if cfg.stop_when_drained && in_flight == 0 && next_inject == injections.len() {
+            break;
+        }
+    }
+
+    stats.cycles = cycle;
+    // Stranded = still queued plus never injected (cycle limit reached
+    // before their injection time): delivered + stranded == offered.
+    stats.stranded = in_flight + (injections.len() - next_inject) as u64;
+    if latency_samples > 0 {
+        stats.avg_latency = total_latency as f64 / latency_samples as f64;
+        stats.avg_hops = total_hops as f64 / latency_samples as f64;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{HbRouteOrder, HyperButterflyNet, HypercubeNet};
+
+    #[test]
+    fn single_packet_latency_is_distance() {
+        let t = HypercubeNet::new(4).unwrap();
+        let inj = [Injection { src: 0, dst: 0b1111, at: 0 }];
+        let s = run(&t, &inj, SimConfig::default());
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.stranded, 0);
+        assert_eq!(s.avg_latency, 4.0); // 4 hops, no contention
+        assert_eq!(s.avg_hops, 4.0);
+    }
+
+    #[test]
+    fn contention_serialises_on_shared_channel() {
+        // Two packets injected the same cycle over the same first channel.
+        let t = HypercubeNet::new(3).unwrap();
+        let inj = [
+            Injection { src: 0, dst: 1, at: 0 },
+            Injection { src: 0, dst: 1, at: 0 },
+        ];
+        let s = run(&t, &inj, SimConfig::default());
+        assert_eq!(s.delivered, 2);
+        // One arrives at cycle 1, the other queues one cycle: latencies 1, 2.
+        assert_eq!(s.avg_latency, 1.5);
+        assert_eq!(s.max_latency, 2);
+        assert_eq!(s.peak_queue, 2);
+    }
+
+    #[test]
+    fn self_addressed_packets_deliver_instantly() {
+        let t = HypercubeNet::new(3).unwrap();
+        let inj = [Injection { src: 5, dst: 5, at: 0 }];
+        let s = run(&t, &inj, SimConfig::default());
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.avg_latency, 0.0);
+    }
+
+    #[test]
+    fn cycle_limit_strands_packets() {
+        let t = HypercubeNet::new(4).unwrap();
+        let inj = [Injection { src: 0, dst: 0b1111, at: 0 }];
+        let s = run(&t, &inj, SimConfig { max_cycles: 2, stop_when_drained: true });
+        assert_eq!(s.delivered, 0);
+        assert_eq!(s.stranded, 1);
+        assert_eq!(s.cycles, 2);
+    }
+
+    #[test]
+    fn hb_topology_simulates_end_to_end() {
+        let t = HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap();
+        let n = t.num_nodes();
+        let inj: Vec<Injection> = (0..n)
+            .map(|v| Injection { src: v, dst: (v * 7 + 3) % n, at: 0 })
+            .collect();
+        let s = run(&t, &inj, SimConfig::default());
+        assert_eq!(s.delivered, n as u64);
+        assert_eq!(s.stranded, 0);
+        assert!(s.avg_latency >= s.avg_hops);
+    }
+
+    #[test]
+    fn bounded_queues_preserve_conservation_and_can_drop() {
+        let t = HypercubeNet::new(3).unwrap();
+        // Ten packets into one channel of capacity 2, same cycle.
+        let inj: Vec<Injection> =
+            (0..10).map(|_| Injection { src: 0, dst: 1, at: 0 }).collect();
+        let s = run_bounded(&t, &inj, SimConfig::default(), 2);
+        assert_eq!(s.delivered + s.stranded, s.offered);
+        assert_eq!(s.delivered, 2); // only the buffered two survive
+        assert_eq!(s.stranded, 8);
+    }
+
+    #[test]
+    fn bounded_queues_match_unbounded_at_low_load() {
+        let t = HypercubeNet::new(4).unwrap();
+        let inj = [Injection { src: 0, dst: 0b1111, at: 0 }];
+        let b = run_bounded(&t, &inj, SimConfig::default(), 4);
+        assert_eq!(b.delivered, 1);
+        assert_eq!(b.avg_latency, 4.0);
+    }
+
+    #[test]
+    fn backpressure_blocks_but_eventually_drains() {
+        let t = HypercubeNet::new(3).unwrap();
+        // Two packets share the full route 0 -> 1 -> 3; capacity 1 forces
+        // the second to wait at each stage but both must arrive.
+        let inj = [
+            Injection { src: 0, dst: 3, at: 0 },
+            Injection { src: 0, dst: 3, at: 1 },
+        ];
+        let s = run_bounded(&t, &inj, SimConfig::default(), 1);
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.stranded, 0);
+    }
+
+    #[test]
+    fn adaptive_matches_oblivious_hops_at_zero_load() {
+        let t = HypercubeNet::new(4).unwrap();
+        let inj = [Injection { src: 0, dst: 0b1111, at: 0 }];
+        let s = run_adaptive(&t, &inj, SimConfig::default());
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.avg_hops, 4.0); // adaptive stays minimal
+        assert_eq!(s.avg_latency, 4.0);
+    }
+
+    #[test]
+    fn adaptive_spreads_contention() {
+        // Many packets from node 0 to the antipode: oblivious serialises
+        // on one fixed route; adaptive fans out over disjoint shortest
+        // paths and must not be slower.
+        let t = HypercubeNet::new(4).unwrap();
+        let inj: Vec<Injection> =
+            (0..8).map(|_| Injection { src: 0, dst: 0b1111, at: 0 }).collect();
+        let obl = run(&t, &inj, SimConfig::default());
+        let ada = run_adaptive(&t, &inj, SimConfig::default());
+        assert_eq!(ada.delivered, 8);
+        assert!(ada.avg_latency <= obl.avg_latency, "{} vs {}", ada.avg_latency, obl.avg_latency);
+        assert_eq!(ada.avg_hops, 4.0, "minimality preserved");
+    }
+
+    #[test]
+    fn adaptive_works_on_hyper_butterfly() {
+        let t = HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap();
+        let n = t.num_nodes();
+        let inj: Vec<Injection> =
+            (0..n).map(|v| Injection { src: v, dst: (v * 31 + 5) % n, at: 0 }).collect();
+        let s = run_adaptive(&t, &inj, SimConfig::default());
+        assert_eq!(s.delivered, n as u64);
+        assert_eq!(s.stranded, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_injections_panic() {
+        let t = HypercubeNet::new(3).unwrap();
+        let inj = [
+            Injection { src: 0, dst: 1, at: 5 },
+            Injection { src: 0, dst: 1, at: 0 },
+        ];
+        run(&t, &inj, SimConfig::default());
+    }
+}

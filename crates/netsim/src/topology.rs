@@ -1,0 +1,345 @@
+//! Topology adapters: a uniform interface over the four networks so the
+//! simulator, workloads, and fault experiments are topology-agnostic.
+//!
+//! Every adapter owns its materialised CSR graph plus whatever routing
+//! state its algorithmic router needs; `route` returns the full node path
+//! (source routing — the packet carries its path), which is how the
+//! paper's oblivious routers operate.
+
+use hb_butterfly::{routing as brouting, Butterfly};
+use hb_core::{routing as hbrouting, HbNode, HyperButterfly};
+use hb_debruijn::HyperDeBruijn;
+use hb_graphs::{Graph, NodeId, Result};
+use hb_hypercube::{routing as hrouting, Hypercube};
+
+/// A network topology as seen by the simulator.
+pub trait NetTopology: Send + Sync {
+    /// Display name, e.g. `HB(3, 8)`.
+    fn name(&self) -> String;
+
+    /// Number of nodes.
+    fn num_nodes(&self) -> usize {
+        self.graph().num_nodes()
+    }
+
+    /// The materialised graph (used for channel layout and fault
+    /// analysis).
+    fn graph(&self) -> &Graph;
+
+    /// The topology's own shortest (or near-shortest oblivious) route,
+    /// node sequence inclusive of both endpoints. `src == dst` returns
+    /// `[src]`.
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId>;
+
+    /// Productive next hops for minimal **adaptive** routing: neighbors
+    /// of `cur` that lie on *some* shortest path toward `dst`. The
+    /// default falls back to the single oblivious next hop; topologies
+    /// with cheap distance functions override it with the full set.
+    fn productive_hops(&self, cur: NodeId, dst: NodeId) -> Vec<NodeId> {
+        if cur == dst {
+            return Vec::new();
+        }
+        vec![self.route(cur, dst)[1]]
+    }
+}
+
+/// Hypercube `H_m` with dimension-ordered (bit-fixing) routing.
+pub struct HypercubeNet {
+    h: Hypercube,
+    graph: Graph,
+}
+
+impl HypercubeNet {
+    /// Builds the adapter.
+    ///
+    /// # Errors
+    /// Propagates construction failures.
+    pub fn new(m: u32) -> Result<Self> {
+        let h = Hypercube::new(m)?;
+        Ok(Self { graph: h.build_graph()?, h })
+    }
+}
+
+impl NetTopology for HypercubeNet {
+    fn name(&self) -> String {
+        format!("H({})", self.h.m())
+    }
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        hrouting::route(&self.h, src as u32, dst as u32)
+            .into_iter()
+            .map(|x| x as usize)
+            .collect()
+    }
+    fn productive_hops(&self, cur: NodeId, dst: NodeId) -> Vec<NodeId> {
+        // Any differing dimension may be corrected next.
+        let diff = cur ^ dst;
+        (0..self.h.m())
+            .filter(|&d| diff >> d & 1 == 1)
+            .map(|d| cur ^ (1usize << d))
+            .collect()
+    }
+}
+
+/// Wrapped butterfly `B_n` with the optimal gap-covering-walk router.
+pub struct ButterflyNet {
+    b: Butterfly,
+    graph: Graph,
+}
+
+impl ButterflyNet {
+    /// Builds the adapter.
+    ///
+    /// # Errors
+    /// Propagates construction failures.
+    pub fn new(n: u32) -> Result<Self> {
+        let b = Butterfly::new(n)?;
+        Ok(Self { graph: b.build_graph()?, b })
+    }
+}
+
+impl NetTopology for ButterflyNet {
+    fn name(&self) -> String {
+        format!("B({})", self.b.n())
+    }
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        brouting::route(&self.b, self.b.node(src), self.b.node(dst))
+            .into_iter()
+            .map(|x| x.index())
+            .collect()
+    }
+    fn productive_hops(&self, cur: NodeId, dst: NodeId) -> Vec<NodeId> {
+        // The distance function is O(n): test all 4 neighbors.
+        let v = self.b.node(dst);
+        let d = brouting::distance(&self.b, self.b.node(cur), v);
+        self.b
+            .node(cur)
+            .neighbors()
+            .into_iter()
+            .filter(|w| brouting::distance(&self.b, *w, v) < d)
+            .map(|w| w.index())
+            .collect()
+    }
+}
+
+/// Which leg the hyper-butterfly router takes first — the routing-order
+/// ablation of DESIGN.md (lengths are identical; congestion is not).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HbRouteOrder {
+    /// Hypercube leg first (the paper's presentation).
+    CubeFirst,
+    /// Butterfly leg first.
+    ButterflyFirst,
+}
+
+/// Hyper-butterfly `HB(m, n)` with the paper's optimal two-leg router.
+pub struct HyperButterflyNet {
+    hb: HyperButterfly,
+    graph: Graph,
+    order: HbRouteOrder,
+}
+
+impl HyperButterflyNet {
+    /// Builds the adapter.
+    ///
+    /// # Errors
+    /// Propagates construction failures.
+    pub fn new(m: u32, n: u32, order: HbRouteOrder) -> Result<Self> {
+        let hb = HyperButterfly::new(m, n)?;
+        Ok(Self { graph: hb.build_graph()?, hb, order })
+    }
+
+    /// The wrapped topology.
+    pub fn topology(&self) -> &HyperButterfly {
+        &self.hb
+    }
+}
+
+impl NetTopology for HyperButterflyNet {
+    fn name(&self) -> String {
+        format!("HB({}, {})", self.hb.m(), self.hb.n())
+    }
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let u = self.hb.node(src);
+        let v = self.hb.node(dst);
+        let path: Vec<HbNode> = match self.order {
+            HbRouteOrder::CubeFirst => hbrouting::route(&self.hb, u, v),
+            HbRouteOrder::ButterflyFirst => hbrouting::route_butterfly_first(&self.hb, u, v),
+        };
+        path.into_iter().map(|x| self.hb.index(x)).collect()
+    }
+    fn productive_hops(&self, cur: NodeId, dst: NodeId) -> Vec<NodeId> {
+        // Remark 8 makes the distance cheap: test all m + 4 neighbors.
+        let u = self.hb.node(cur);
+        let v = self.hb.node(dst);
+        let d = hbrouting::distance(&self.hb, u, v);
+        self.hb
+            .neighbors(u)
+            .into_iter()
+            .filter(|w| hbrouting::distance(&self.hb, *w, v) < d)
+            .map(|w| self.hb.index(w))
+            .collect()
+    }
+}
+
+/// Hyper-deBruijn `HD(m, n)` with bit-fixing + shift routing.
+pub struct HyperDeBruijnNet {
+    hd: HyperDeBruijn,
+    graph: Graph,
+}
+
+impl HyperDeBruijnNet {
+    /// Builds the adapter.
+    ///
+    /// # Errors
+    /// Propagates construction failures.
+    pub fn new(m: u32, n: u32) -> Result<Self> {
+        let hd = HyperDeBruijn::new(m, n)?;
+        Ok(Self { graph: hd.build_graph()?, hd })
+    }
+
+    /// The wrapped topology.
+    pub fn topology(&self) -> &HyperDeBruijn {
+        &self.hd
+    }
+}
+
+impl NetTopology for HyperDeBruijnNet {
+    fn name(&self) -> String {
+        format!("HD({}, {})", self.hd.m(), self.hd.n())
+    }
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        // The oblivious HD route may briefly revisit a node when the
+        // de Bruijn shift leg re-crosses the hypercube leg's endpoint;
+        // routes are walks, which the simulator permits.
+        self.hd
+            .route(self.hd.node(src), self.hd.node(dst))
+            .into_iter()
+            .map(|x| self.hd.index(x))
+            .collect()
+    }
+}
+
+/// Adapter for an arbitrary [`Graph`]: BFS shortest-path routing with a
+/// per-source route cache. Lets the simulator and congestion experiments
+/// run on *any* graph — in particular the random-regular **null model**
+/// — at the cost of table-driven rather than algebraic routing.
+pub struct GraphNet {
+    name: String,
+    graph: Graph,
+    /// `parents[s]` = BFS parent array rooted at `s`, built on demand.
+    parents: Vec<std::sync::OnceLock<Vec<u32>>>,
+}
+
+impl GraphNet {
+    /// Wraps a connected graph.
+    pub fn new(name: impl Into<String>, graph: Graph) -> Self {
+        let n = graph.num_nodes();
+        Self {
+            name: name.into(),
+            graph,
+            parents: (0..n).map(|_| std::sync::OnceLock::new()).collect(),
+        }
+    }
+
+    fn parents_from(&self, src: NodeId) -> &[u32] {
+        self.parents[src].get_or_init(|| {
+            hb_graphs::traverse::bfs(&self.graph, src).parent
+        })
+    }
+}
+
+impl NetTopology for GraphNet {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+    fn graph(&self) -> &Graph {
+        &self.graph
+    }
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        if src == dst {
+            return vec![src];
+        }
+        // Shortest path via the dst-rooted BFS tree (so the path walks
+        // parent pointers from src toward dst in forward order).
+        let parents = self.parents_from(dst);
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            let p = parents[cur] as usize;
+            assert_ne!(parents[cur], u32::MAX, "graph must be connected");
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_routes(t: &dyn NetTopology, pairs: &[(usize, usize)]) {
+        let g = t.graph();
+        for &(s, d) in pairs {
+            let p = t.route(s, d);
+            assert_eq!(p[0], s);
+            assert_eq!(*p.last().unwrap(), d);
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]), "{}: {s}->{d}", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn all_adapters_produce_valid_routes() {
+        let pairs = [(0usize, 1), (0, 30), (7, 22), (13, 13)];
+        check_routes(&HypercubeNet::new(5).unwrap(), &pairs);
+        check_routes(&ButterflyNet::new(3).unwrap(), &[(0, 1), (0, 20), (7, 19)]);
+        check_routes(
+            &HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap(),
+            &pairs,
+        );
+        check_routes(
+            &HyperButterflyNet::new(2, 3, HbRouteOrder::ButterflyFirst).unwrap(),
+            &pairs,
+        );
+        check_routes(&HyperDeBruijnNet::new(2, 3, ).unwrap(), &pairs);
+    }
+
+    #[test]
+    fn graphnet_routes_shortest_on_any_graph() {
+        let g = hb_graphs::generators::random_regular(64, 5, 3).unwrap();
+        let net = GraphNet::new("rr(64,5)", g);
+        check_routes(&net, &[(0, 1), (0, 63), (17, 40), (5, 5)]);
+        // Route length equals BFS distance.
+        let d = hb_graphs::traverse::distance(net.graph(), 0, 63).unwrap();
+        assert_eq!(net.route(0, 63).len() as u32, d + 1);
+    }
+
+    #[test]
+    fn self_route_is_singleton() {
+        let t = HyperButterflyNet::new(1, 3, HbRouteOrder::CubeFirst).unwrap();
+        assert_eq!(t.route(5, 5), vec![5]);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert_eq!(HypercubeNet::new(3).unwrap().name(), "H(3)");
+        assert_eq!(
+            HyperButterflyNet::new(2, 4, HbRouteOrder::CubeFirst).unwrap().name(),
+            "HB(2, 4)"
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Synthetic traffic workloads.
+//!
+//! The paper motivates `HB(m, n)` as a general-purpose multiprocessor
+//! interconnect; these are the standard traffic patterns used to exercise
+//! such fabrics: uniform random, a fixed random permutation, hotspot, and
+//! neighbor (locality) traffic. All generators are deterministic under a
+//! seed.
+
+use crate::sim::Injection;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random traffic: every cycle in `0..cycles`, each node injects
+/// a packet to a uniformly random *other* node with probability `rate`.
+pub fn uniform(n: usize, cycles: u64, rate: f64, seed: u64) -> Vec<Injection> {
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for at in 0..cycles {
+        for src in 0..n {
+            if rng.random::<f64>() < rate {
+                let mut dst = rng.random_range(0..n - 1);
+                if dst >= src {
+                    dst += 1;
+                }
+                out.push(Injection { src, dst, at });
+            }
+        }
+    }
+    out
+}
+
+/// Permutation traffic: a fixed random permutation `pi` (fixed-point
+/// free where possible); each node sends one packet to `pi(node)` per
+/// `period` cycles.
+pub fn permutation(n: usize, rounds: u64, period: u64, seed: u64) -> Vec<Injection> {
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random derangement by rejection (cheap at these sizes).
+    let mut pi: Vec<usize> = (0..n).collect();
+    loop {
+        // Fisher-Yates.
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            pi.swap(i, j);
+        }
+        if pi.iter().enumerate().all(|(i, &p)| i != p) {
+            break;
+        }
+    }
+    let mut out = Vec::new();
+    for r in 0..rounds {
+        let at = r * period;
+        for (src, &dst) in pi.iter().enumerate() {
+            out.push(Injection { src, dst, at });
+        }
+    }
+    out
+}
+
+/// Hotspot traffic: like [`uniform`], but each packet targets `hotspot`
+/// with probability `hot_fraction` (uniform otherwise).
+pub fn hotspot(
+    n: usize,
+    cycles: u64,
+    rate: f64,
+    hotspot: usize,
+    hot_fraction: f64,
+    seed: u64,
+) -> Vec<Injection> {
+    assert!(n >= 2 && hotspot < n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for at in 0..cycles {
+        for src in 0..n {
+            if rng.random::<f64>() >= rate {
+                continue;
+            }
+            let dst = if src != hotspot && rng.random::<f64>() < hot_fraction {
+                hotspot
+            } else {
+                let mut d = rng.random_range(0..n - 1);
+                if d >= src {
+                    d += 1;
+                }
+                d
+            };
+            out.push(Injection { src, dst, at });
+        }
+    }
+    out
+}
+
+/// Bit-complement traffic: node `v` sends to `(n - 1) - v` — a classic
+/// adversarial pattern for dimension-ordered routers.
+pub fn bit_complement(n: usize, rounds: u64, period: u64) -> Vec<Injection> {
+    let mut out = Vec::new();
+    for r in 0..rounds {
+        let at = r * period;
+        for src in 0..n {
+            let dst = n - 1 - src;
+            if dst != src {
+                out.push(Injection { src, dst, at });
+            }
+        }
+    }
+    out
+}
+
+/// Bit-reversal traffic: node `v` (read as a `bits`-wide word) sends to
+/// the word with its bits reversed — the classic FFT-permutation stress
+/// pattern. Nodes `>= 2^bits` stay silent; fixed points skip.
+pub fn bit_reversal(n: usize, bits: u32, rounds: u64, period: u64) -> Vec<Injection> {
+    let mut out = Vec::new();
+    for r in 0..rounds {
+        let at = r * period;
+        for src in 0..n.min(1 << bits) {
+            let dst = (src as u32).reverse_bits() >> (32 - bits);
+            let dst = dst as usize;
+            if dst != src && dst < n {
+                out.push(Injection { src, dst, at });
+            }
+        }
+    }
+    out
+}
+
+/// Shuffle traffic: node `v` sends to `rotate_left(v)` in a `bits`-wide
+/// word — the perfect-shuffle pattern de Bruijn networks route in one
+/// hop and others must emulate.
+pub fn shuffle(n: usize, bits: u32, rounds: u64, period: u64) -> Vec<Injection> {
+    let mask = (1usize << bits) - 1;
+    let mut out = Vec::new();
+    for r in 0..rounds {
+        let at = r * period;
+        for src in 0..n.min(1 << bits) {
+            let dst = ((src << 1) | (src >> (bits - 1))) & mask;
+            if dst != src && dst < n {
+                out.push(Injection { src, dst, at });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_and_sorted() {
+        let a = uniform(16, 10, 0.5, 42);
+        let b = uniform(16, 10, 0.5, 42);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(a.iter().all(|i| i.src != i.dst && i.dst < 16));
+        // Roughly rate * n * cycles packets.
+        assert!((40..=120).contains(&a.len()), "{}", a.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(uniform(16, 10, 0.5, 1), uniform(16, 10, 0.5, 2));
+    }
+
+    #[test]
+    fn permutation_is_a_derangement() {
+        let inj = permutation(20, 1, 1, 7);
+        assert_eq!(inj.len(), 20);
+        let mut seen = vec![false; 20];
+        for i in &inj {
+            assert_ne!(i.src, i.dst);
+            assert!(!seen[i.dst]);
+            seen[i.dst] = true;
+        }
+    }
+
+    #[test]
+    fn hotspot_skews_destinations() {
+        let inj = hotspot(32, 50, 0.8, 3, 0.7, 9);
+        let hot = inj.iter().filter(|i| i.dst == 3).count();
+        assert!(hot as f64 > inj.len() as f64 * 0.4, "{hot}/{}", inj.len());
+    }
+
+    #[test]
+    fn bit_reversal_is_an_involution_pattern() {
+        let inj = bit_reversal(16, 4, 1, 1);
+        for i in &inj {
+            let back = (i.dst as u32).reverse_bits() >> 28;
+            assert_eq!(back as usize, i.src);
+        }
+        // Palindromic words are fixed points and must be skipped.
+        assert!(inj.iter().all(|i| i.src != i.dst));
+        assert_eq!(inj.len(), 16 - 4); // 4 palindromes in 4 bits
+    }
+
+    #[test]
+    fn shuffle_rotates_left() {
+        let inj = shuffle(8, 3, 1, 1);
+        for i in &inj {
+            assert_eq!(i.dst, ((i.src << 1) | (i.src >> 2)) & 7);
+        }
+        assert!(inj.iter().all(|i| i.src != i.dst)); // 000, 111 skipped
+        assert_eq!(inj.len(), 6);
+    }
+
+    #[test]
+    fn bit_complement_pairs_up() {
+        let inj = bit_complement(8, 2, 5);
+        assert_eq!(inj.len(), 16);
+        assert!(inj.iter().all(|i| i.dst == 7 - i.src));
+        assert_eq!(inj[8].at, 5);
+    }
+}

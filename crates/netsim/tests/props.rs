@@ -1,0 +1,67 @@
+//! Property tests for the simulator: conservation laws and
+//! oblivious-vs-adaptive invariants under randomized workloads.
+
+use hb_netsim::topology::{HbRouteOrder, HyperButterflyNet, HypercubeNet, NetTopology};
+use hb_netsim::{run, run_adaptive, sim::SimConfig, workload};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Packet conservation: delivered + stranded = offered, always.
+    #[test]
+    fn packets_are_conserved(rate in 1u32..60, cycles in 1u64..40, seed in 0u64..500,
+                             max_cycles in 1u64..400) {
+        let t = HypercubeNet::new(4).unwrap();
+        let inj = workload::uniform(t.num_nodes(), cycles, rate as f64 / 100.0, seed);
+        let cfg = SimConfig { max_cycles, stop_when_drained: true };
+        let s = run(&t, &inj, cfg);
+        prop_assert_eq!(s.delivered + s.stranded, s.offered);
+        let sa = run_adaptive(&t, &inj, cfg);
+        prop_assert_eq!(sa.delivered + sa.stranded, sa.offered);
+    }
+
+    /// With an unbounded cycle budget everything is delivered, latency is
+    /// at least the hop count, and hops are at least 1 for non-self pairs.
+    #[test]
+    fn full_drain_invariants(rate in 1u32..40, cycles in 1u64..30, seed in 0u64..500) {
+        let t = HyperButterflyNet::new(1, 3, HbRouteOrder::CubeFirst).unwrap();
+        let inj = workload::uniform(t.num_nodes(), cycles, rate as f64 / 100.0, seed);
+        let cfg = SimConfig { max_cycles: 1_000_000, stop_when_drained: true };
+        let s = run(&t, &inj, cfg);
+        prop_assert_eq!(s.stranded, 0);
+        prop_assert_eq!(s.delivered, s.offered);
+        if s.delivered > 0 {
+            prop_assert!(s.avg_latency >= s.avg_hops);
+            prop_assert!(s.avg_hops >= 0.0);
+        }
+    }
+
+    /// Adaptive routing keeps hop counts minimal: its mean hops equal the
+    /// oblivious router's mean hops (both shortest) on any workload.
+    #[test]
+    fn adaptive_stays_minimal(seed in 0u64..500, rounds in 1u64..4) {
+        let t = HypercubeNet::new(4).unwrap();
+        let inj = workload::permutation(t.num_nodes(), rounds, 3, seed);
+        let cfg = SimConfig { max_cycles: 1_000_000, stop_when_drained: true };
+        let obl = run(&t, &inj, cfg);
+        let ada = run_adaptive(&t, &inj, cfg);
+        prop_assert_eq!(obl.delivered, ada.delivered);
+        prop_assert!((obl.avg_hops - ada.avg_hops).abs() < 1e-9,
+                     "{} vs {}", obl.avg_hops, ada.avg_hops);
+    }
+
+    /// Workload generators never emit out-of-range or (except self-
+    /// addressed patterns) diagonal injections, and stay sorted.
+    #[test]
+    fn workloads_are_well_formed(n in 2usize..64, cycles in 1u64..20, seed in 0u64..1000) {
+        for inj in [
+            workload::uniform(n, cycles, 0.3, seed),
+            workload::hotspot(n, cycles, 0.3, 0, 0.5, seed),
+            workload::permutation(n, 2, 3, seed),
+        ] {
+            prop_assert!(inj.windows(2).all(|w| w[0].at <= w[1].at));
+            prop_assert!(inj.iter().all(|i| i.src < n && i.dst < n && i.src != i.dst));
+        }
+    }
+}

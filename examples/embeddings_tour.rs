@@ -1,0 +1,47 @@
+//! Tour of the Section-4 embeddings: Hamiltonian cycle, a torus, the
+//! complete binary tree, and a mesh of trees — all constructed and
+//! validated against the real graph.
+//!
+//! Run with: `cargo run --release --example embeddings_tour`
+
+use hb_core::{embed, HyperButterfly};
+use hb_graphs::embedding::{validate_cycle, validate_tree_embedding, Embedding};
+use hb_graphs::generators;
+
+fn main() {
+    let hb = HyperButterfly::new(2, 3).expect("valid dimensions");
+    let host = hb.build_graph().expect("graph");
+    println!("HB(2, 3): {} nodes, {} edges", host.num_nodes(), host.num_edges());
+
+    // Lemma 2 extremes: the smallest even cycle and the Hamiltonian one.
+    let c4 = embed::even_cycle(&hb, 4).expect("C4");
+    validate_cycle(&host, &c4).expect("C4 validates");
+    println!("C(4) embedded: {:?}", c4);
+
+    let ham = embed::hamiltonian_cycle(&hb).expect("Hamiltonian");
+    validate_cycle(&host, &ham).expect("Hamiltonian validates");
+    println!("Hamiltonian cycle of length {} validated", ham.len());
+
+    // A 4 x 6 torus: C(4) from the hypercube factor, C(6) = 2 butterfly
+    // columns.
+    let map = embed::torus(&hb, 4, 2, 0).expect("torus");
+    let guest = generators::torus(4, 6).expect("guest");
+    Embedding { map }.validate(&guest, &host).expect("torus validates");
+    println!("torus M(4, 6) embedded and validated");
+
+    // Complete binary tree T(n + 1 + floor(m/2)) = T(5).
+    let (parent, map) = embed::binary_tree(&hb);
+    validate_tree_embedding(&host, &parent, &map).expect("tree validates");
+    println!(
+        "complete binary tree T({}) embedded ({} nodes)",
+        embed::binary_tree_levels(&hb),
+        map.len()
+    );
+
+    // Theorem 4: mesh of trees MT(2, 8).
+    let map = embed::mesh_of_trees(&hb, 1, 3).expect("MT");
+    let guest = generators::mesh_of_trees(2, 8).expect("guest");
+    let nodes = guest.num_nodes();
+    Embedding { map }.validate(&guest, &host).expect("MT validates");
+    println!("mesh of trees MT(2, 8) embedded ({nodes} guest nodes)");
+}

@@ -1,0 +1,36 @@
+//! Quickstart: build a hyper-butterfly, inspect the properties the paper
+//! proves, and route between two nodes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hb_core::{routing, HbNode, HyperButterfly};
+use hb_group::signed::SignedCycle;
+
+fn main() {
+    // HB(3, 4): hypercube part of dimension 3, butterfly part B_4.
+    let hb = HyperButterfly::new(3, 4).expect("valid dimensions");
+
+    println!("HB(3, 4)");
+    println!("  nodes            = {}   (n * 2^(m+n))", hb.num_nodes());
+    println!("  edges            = {}   ((m+4) * n * 2^(m+n-1))", hb.num_edges());
+    println!("  degree           = {}      (regular, m + 4)", hb.degree());
+    println!("  diameter         = {}     (m + n + floor(n/2))", hb.diameter());
+    println!("  connectivity     = {}      (maximally fault tolerant)", hb.connectivity());
+
+    // Nodes carry two-part labels: hypercube bits and a signed cyclic
+    // permutation of symbols (printed like the paper: ~ = complemented).
+    let u = hb.identity_node();
+    let v = HbNode::new(0b101, SignedCycle::new(4, 2, 0b0110));
+    println!("\nrouting {u} -> {v}");
+    println!("  distance = {}", routing::distance(&hb, u, v));
+    for (i, x) in routing::route(&hb, u, v).iter().enumerate() {
+        println!("  step {i}: {x}");
+    }
+
+    // The diameter witness pair from Theorem 3's proof.
+    let (a, b) = routing::diameter_witness(&hb);
+    println!(
+        "\ndiameter witness: {a} -> {b} at distance {}",
+        routing::distance(&hb, a, b)
+    );
+}

@@ -1,0 +1,24 @@
+//! Interactive-ish explorer: print the measured comparison row for any
+//! `HB(m, n)` and its same-(m,n) hyper-deBruijn baseline.
+//!
+//! Run with: `cargo run --release --example topology_explorer -- 3 5`
+
+use hb_core::metrics::{
+    hyper_butterfly_metrics, hyper_debruijn_metrics, render_table, MeasureLevel,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let m: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let n: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let level = if args.iter().any(|a| a == "--full") {
+        MeasureLevel::Full
+    } else {
+        MeasureLevel::Diameter
+    };
+    let rows = vec![
+        hyper_butterfly_metrics(m, n, level).expect("HB metrics"),
+        hyper_debruijn_metrics(m, n, level).expect("HD metrics"),
+    ];
+    print!("{}", render_table(&rows));
+}

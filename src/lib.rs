@@ -1,0 +1,43 @@
+//! # hyper-butterfly — reproduction of Shi & Srimani (IPPS 1998)
+//!
+//! *Hyper-Butterfly Network: A Scalable Optimally Fault Tolerant
+//! Architecture.*
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`hb_core`] — the hyper-butterfly `HB(m, n)` itself: construction,
+//!   optimal routing, `m + 4` disjoint paths, fault-tolerant routing,
+//!   embeddings, broadcast, comparison metrics;
+//! * [`hb_hypercube`] / [`hb_butterfly`] — the two product factors;
+//! * [`hb_debruijn`] — the hyper-deBruijn baseline the paper compares
+//!   against;
+//! * [`hb_graphs`] — the graph substrate (BFS/APSP, max-flow
+//!   connectivity, generators, embedding validation);
+//! * [`hb_group`] — Cayley-graph machinery and signed cyclic sequences;
+//! * [`hb_netsim`] — the packet-level network simulator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hb_core::{HyperButterfly, routing};
+//!
+//! let hb = HyperButterfly::new(3, 4).expect("valid dimensions");
+//! assert_eq!(hb.degree(), 7);                 // m + 4, regular
+//! assert_eq!(hb.num_nodes(), 4 << (3 + 4));   // n * 2^(m+n)
+//! assert_eq!(hb.diameter(), 3 + 4 + 2);       // m + n + floor(n/2)
+//!
+//! let u = hb.identity_node();
+//! let v = hb.node(123);
+//! let path = routing::route(&hb, u, v);
+//! assert_eq!(path.len() as u32, routing::distance(&hb, u, v) + 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use hb_butterfly;
+pub use hb_core;
+pub use hb_debruijn;
+pub use hb_graphs;
+pub use hb_group;
+pub use hb_hypercube;
+pub use hb_netsim;

@@ -1,0 +1,116 @@
+//! Integration tests spanning crates: representation isomorphisms,
+//! product structure, baseline comparisons, and the facade's re-exports.
+
+use hyper_butterfly::{hb_butterfly, hb_core, hb_debruijn, hb_graphs, hb_group, hb_hypercube};
+
+/// The facade crate re-exports every workspace member usefully.
+#[test]
+fn facade_reexports_work() {
+    let hb = hb_core::HyperButterfly::new(2, 3).unwrap();
+    assert_eq!(hb.degree(), 6);
+    let h = hb_hypercube::Hypercube::new(4).unwrap();
+    assert_eq!(h.num_nodes(), 16);
+    let b = hb_butterfly::Butterfly::new(3).unwrap();
+    assert_eq!(b.num_nodes(), 24);
+    let d = hb_debruijn::DeBruijn::new(4).unwrap();
+    assert_eq!(d.num_nodes(), 16);
+    let id = hb_group::SignedCycle::identity(3);
+    assert_eq!(id.index(), 0);
+    let c = hb_graphs::generators::cycle(5).unwrap();
+    assert_eq!(c.num_edges(), 5);
+}
+
+/// Remark 2: classic and Cayley butterfly presentations are the same
+/// graph under the shared indexing.
+#[test]
+fn butterfly_representations_isomorphic() {
+    for n in 3..=6 {
+        hb_butterfly::classic::verify_isomorphism(n).unwrap();
+    }
+}
+
+/// The product structure is genuine: `HB(m, n)` equals the categorical
+/// Cartesian product of the factor graphs (checked edge-by-edge).
+#[test]
+fn hb_is_the_cartesian_product_of_its_factors() {
+    let hb = hb_core::HyperButterfly::new(2, 3).unwrap();
+    let g = hb.build_graph().unwrap();
+    let cube = hb.cube().build_graph().unwrap();
+    let bfly = hb.butterfly().build_graph().unwrap();
+    let pop_b = bfly.num_nodes();
+    for u in 0..g.num_nodes() {
+        let (uh, ub) = (u / pop_b, u % pop_b);
+        for v in 0..g.num_nodes() {
+            let (vh, vb) = (v / pop_b, v % pop_b);
+            let product_edge = (uh == vh && bfly.has_edge(ub, vb))
+                || (ub == vb && cube.has_edge(uh, vh));
+            assert_eq!(g.has_edge(u, v), product_edge, "({u}, {v})");
+        }
+    }
+}
+
+/// Figure-1 scaling story across a sweep: at the same (m, n), HB always
+/// has strictly higher connectivity than HD, equal-or-better regularity,
+/// and diameter within `ceil(n/2)` of HD's.
+#[test]
+fn hb_dominates_hd_on_fault_tolerance_across_sweep() {
+    for (m, n) in [(1u32, 3u32), (2, 3), (3, 3), (2, 4), (1, 5)] {
+        let hb = hb_core::HyperButterfly::new(m, n).unwrap();
+        let hd = hb_debruijn::HyperDeBruijn::new(m, n).unwrap();
+        assert_eq!(hb.connectivity(), hd.connectivity() + 2, "({m},{n})");
+        assert!(hb.diameter() <= hd.diameter() + n.div_ceil(2), "({m},{n})");
+        let gb = hb.build_graph().unwrap();
+        let gd = hd.build_graph().unwrap();
+        assert!(hb_graphs::props::regular_degree(&gb).is_some());
+        assert!(hb_graphs::props::regular_degree(&gd).is_none());
+    }
+}
+
+/// Word-metric profile from the group machinery agrees with BFS on the
+/// materialised graph (the implicit and explicit views are consistent).
+#[test]
+fn implicit_and_explicit_bfs_agree() {
+    use hb_group::cayley::{word_metric_profile, CayleyTopology};
+    let hb = hb_core::HyperButterfly::new(1, 4).unwrap();
+    let g = CayleyTopology::build_graph(&hb).unwrap();
+    let implicit = word_metric_profile(&hb);
+    let explicit = hb_graphs::traverse::bfs(&g, 0);
+    for v in 0..g.num_nodes() {
+        assert_eq!(implicit[v], explicit.dist[v], "node {v}");
+    }
+}
+
+/// The hyper-deBruijn inherits its irregularity exactly from the
+/// de Bruijn factor's degree profile shifted by m.
+#[test]
+fn hd_degree_profile_is_debruijn_shifted() {
+    let m = 2u32;
+    let n = 4u32;
+    let hd = hb_debruijn::HyperDeBruijn::new(m, n).unwrap();
+    let db = hb_debruijn::DeBruijn::new(n).unwrap();
+    let ghd = hd.build_graph().unwrap();
+    let gdb = db.build_graph().unwrap();
+    for x in 0..gdb.num_nodes() {
+        for h in 0..(1usize << m) {
+            let v = hd.index(hb_debruijn::HdNode { h: h as u32, x: x as u32 });
+            assert_eq!(ghd.degree(v), gdb.degree(x) + m as usize);
+        }
+    }
+}
+
+/// Broadcast schedules are interoperable across topology crates: the
+/// shared verifier accepts all three specialised schedules.
+#[test]
+fn broadcast_schedules_share_one_verifier() {
+    let h = hb_hypercube::Hypercube::new(4).unwrap();
+    let sh = hb_hypercube::broadcast::broadcast_schedule(&h, 3);
+    assert!(sh.verify_on_graph(&h.build_graph().unwrap(), 3));
+
+    let b = hb_butterfly::Butterfly::new(4).unwrap();
+    let sb = hb_butterfly::broadcast::broadcast_schedule(&b, 5);
+    assert!(sb.verify_on_graph(&b.build_graph().unwrap(), 5));
+
+    let hb = hb_core::HyperButterfly::new(2, 3).unwrap();
+    let shb = hb_core::broadcast::broadcast_schedule(&hb, hb.node(9));
+    assert!(shb.verify_on_graph(&hb.build_graph().unwrap(), 9));
+}

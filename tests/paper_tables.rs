@@ -1,0 +1,86 @@
+//! Integration tests: the paper's two figures, reproduced.
+
+use hb_bench::{fig1, fig2};
+use hb_core::metrics::MeasureLevel;
+
+/// Figure 1 at a fully-measurable instance: every measured value matches
+/// the paper's formulas, including flow-certified fault tolerance.
+#[test]
+fn figure_1_fully_certified() {
+    let rows = fig1::measure(2, 3, MeasureLevel::Full).unwrap();
+    let d = fig1::discrepancies(2, 3, &rows);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+/// Figure 1 diameters at a second instance.
+#[test]
+fn figure_1_second_instance() {
+    let rows = fig1::measure(3, 3, MeasureLevel::Diameter).unwrap();
+    let d = fig1::discrepancies(3, 3, &rows);
+    assert!(d.is_empty(), "{d:?}");
+}
+
+/// Figure 2 proxy instances: exact connectivity reproduces the paper's
+/// qualitative story (HB maximal, HD sub-maximal).
+#[test]
+fn figure_2_proxy_certified() {
+    let rows = fig2::measure(fig2::Fig2Scale::Proxy).unwrap();
+    assert_eq!(rows[0].fault_tolerance_measured, rows[0].regular.map(|d| d as u32));
+    assert!(rows[1].fault_tolerance_measured.unwrap() < rows[1].degree_max as u32);
+}
+
+/// Figure 2 paper-scale structure: node counts, edge counts, degrees —
+/// all cheap to verify exactly at 16384 nodes.
+#[test]
+fn figure_2_paper_scale_structure() {
+    use hb_core::HyperButterfly;
+    use hb_debruijn::HyperDeBruijn;
+    use hb_graphs::props;
+
+    let hb = HyperButterfly::new(3, 8).unwrap();
+    let g = hb.build_graph().unwrap();
+    assert_eq!(g.num_nodes(), 16384);
+    assert_eq!(g.num_edges(), 57344);
+    assert_eq!(props::regular_degree(&g), Some(7));
+
+    for (m, n, dmin, dmax) in [(3u32, 11u32, 5usize, 7usize), (6, 8, 8, 10)] {
+        let hd = HyperDeBruijn::new(m, n).unwrap();
+        let g = hd.build_graph().unwrap();
+        assert_eq!(g.num_nodes(), 16384, "HD({m},{n})");
+        let stats = props::degree_stats(&g);
+        assert_eq!((stats.min, stats.max), (dmin, dmax), "HD({m},{n})");
+    }
+}
+
+/// Figure 2 paper-scale diameters: HB(3, 8) = 15 via one BFS (vertex
+/// transitive); HD diameters are the product formula `m + n`, verified
+/// on the de Bruijn factor exactly.
+#[test]
+fn figure_2_paper_scale_diameters() {
+    use hb_core::HyperButterfly;
+    use hb_debruijn::DeBruijn;
+    use hb_graphs::shortest;
+
+    let g = HyperButterfly::new(3, 8).unwrap().build_graph().unwrap();
+    assert_eq!(shortest::diameter_vertex_transitive(&g).unwrap(), 15);
+
+    // Product distance decomposes, so diam(HD(m, n)) = m + diam(D(2, n)).
+    for (n, expect) in [(11u32, 11u32), (8, 8)] {
+        let d = DeBruijn::new(n).unwrap().build_graph().unwrap();
+        assert_eq!(shortest::diameter(&d).unwrap(), expect, "D(2,{n})");
+    }
+}
+
+/// Figure 2 fault-tolerance witnesses at paper scale: a set of exactly
+/// kappa nodes disconnects each instance (7 / 5 / 8).
+#[test]
+fn figure_2_paper_scale_fault_witnesses() {
+    let ev = fig2::fault_evidence(fig2::Fig2Scale::Paper, 5, 99).unwrap();
+    assert_eq!(ev[0].kappa, 7);
+    assert_eq!(ev[1].kappa, 5);
+    assert_eq!(ev[2].kappa, 8);
+    for e in &ev {
+        assert!(e.witness_disconnects, "{}", e.name);
+        assert_eq!(e.trials_connected, e.trials, "{} below kappa", e.name);
+    }
+}
