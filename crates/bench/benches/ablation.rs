@@ -14,9 +14,9 @@ use hb_butterfly::{classic, Butterfly};
 use hb_core::disjoint::DisjointEngine;
 use hb_core::{fault_routing, routing, HyperButterfly};
 use hb_graphs::traverse;
+use hb_group::cayley::{word_metric_profile, CayleyTopology};
 use hb_netsim::topology::{HbRouteOrder, HyperButterflyNet, NetTopology};
 use hb_netsim::{run, run_adaptive, sim::SimConfig, workload};
-use hb_group::cayley::{word_metric_profile, CayleyTopology};
 use std::hint::black_box;
 
 fn bench_ablation(c: &mut Criterion) {
@@ -26,7 +26,12 @@ fn bench_ablation(c: &mut Criterion) {
     // Routing order.
     let hb = HyperButterfly::new(3, 6).unwrap();
     let pairs: Vec<_> = (0..256)
-        .map(|i| (hb.node(i * 37 % hb.num_nodes()), hb.node(i * 101 % hb.num_nodes())))
+        .map(|i| {
+            (
+                hb.node(i * 37 % hb.num_nodes()),
+                hb.node(i * 101 % hb.num_nodes()),
+            )
+        })
         .collect();
     g.bench_function("routing_order/cube_first_256", |b| {
         b.iter(|| {
@@ -88,12 +93,12 @@ fn bench_ablation(c: &mut Criterion) {
     // Adaptivity: oblivious vs adaptive simulation under hotspot load.
     let net = HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap();
     let inj = workload::hotspot(net.num_nodes(), 50, 0.2, 0, 0.4, 5);
-    let cfg = SimConfig { max_cycles: 20_000, stop_when_drained: true };
+    let cfg = SimConfig::bounded(20_000);
     g.bench_function("adaptivity/oblivious_hotspot", |b| {
-        b.iter(|| black_box(run(&net, &inj, cfg)))
+        b.iter(|| black_box(run(&net, &inj, cfg.clone())))
     });
     g.bench_function("adaptivity/adaptive_hotspot", |b| {
-        b.iter(|| black_box(run_adaptive(&net, &inj, cfg)))
+        b.iter(|| black_box(run_adaptive(&net, &inj, cfg.clone())))
     });
 
     // Storage: CSR BFS vs implicit generator BFS on HB(2, 5).

@@ -14,7 +14,7 @@ fn bench_embeddings(c: &mut Criterion) {
     });
     g.bench_function("even_cycle_half_HB_3_5", |b| {
         let k = hb.num_nodes() / 2;
-        let k = if k % 2 == 0 { k } else { k - 1 };
+        let k = if k.is_multiple_of(2) { k } else { k - 1 };
         b.iter(|| black_box(embed::even_cycle(&hb, k).unwrap()))
     });
     g.bench_function("torus_4x10_HB_3_5", |b| {

@@ -11,23 +11,23 @@ fn bench_netsim(c: &mut Criterion) {
 
     let hb = HyperButterflyNet::new(2, 4, HbRouteOrder::CubeFirst).unwrap();
     let hd = HyperDeBruijnNet::new(2, 6).unwrap();
-    let cfg = SimConfig { max_cycles: 50_000, stop_when_drained: true };
+    let cfg = SimConfig::bounded(50_000);
 
     let inj_hb = workload::uniform(hb.num_nodes(), 100, 0.1, 42);
     g.bench_function("uniform_rate0.1_100cy_HB_2_4", |b| {
         b.iter(|| {
-            let s = run(&hb, &inj_hb, cfg);
+            let s = run(&hb, &inj_hb, cfg.clone());
             assert_eq!(s.stranded, 0);
             black_box(s)
         })
     });
     let inj_hd = workload::uniform(hd.num_nodes(), 100, 0.1, 42);
     g.bench_function("uniform_rate0.1_100cy_HD_2_6", |b| {
-        b.iter(|| black_box(run(&hd, &inj_hd, cfg)))
+        b.iter(|| black_box(run(&hd, &inj_hd, cfg.clone())))
     });
     let perm = workload::permutation(hb.num_nodes(), 10, 2, 42);
     g.bench_function("permutation_10rounds_HB_2_4", |b| {
-        b.iter(|| black_box(run(&hb, &perm, cfg)))
+        b.iter(|| black_box(run(&hb, &perm, cfg.clone())))
     });
     g.finish();
 }

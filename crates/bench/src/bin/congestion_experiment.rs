@@ -9,11 +9,17 @@ use hb_bench::congestion_exp;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     println!("Matched 256-node instances (all-pairs routes):");
-    print!("{}", congestion_exp::render(&congestion_exp::matched_forwarding().expect("matched")));
+    print!(
+        "{}",
+        congestion_exp::render(&congestion_exp::matched_forwarding().expect("matched"))
+    );
     let m: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
     let n: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
     println!("\nSame-(m, n) pair at ({m}, {n}):");
-    print!("{}", congestion_exp::render(&congestion_exp::pair_forwarding(m, n).expect("pair")));
+    print!(
+        "{}",
+        congestion_exp::render(&congestion_exp::pair_forwarding(m, n).expect("pair"))
+    );
     println!("\nNull model: HB(2, 4) vs a random 6-regular graph (256 nodes):");
     for (name, diam, mean, witness) in
         congestion_exp::null_model_rows(2, 4, 0xE9).expect("null model")

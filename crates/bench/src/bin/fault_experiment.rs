@@ -32,12 +32,18 @@ fn main() {
         let ghd = hd.build_graph().expect("graph");
         print!("  {:<10}", "HB(2, 4)");
         for f in [0usize, 4, 8, 16, 32, 64] {
-            print!(" f={f}:{:>6.2}", survivor_fragility(&ghb, f, trials.min(30), 0xE5));
+            print!(
+                " f={f}:{:>6.2}",
+                survivor_fragility(&ghb, f, trials.min(30), 0xE5)
+            );
         }
         println!();
         print!("  {:<10}", "HD(2, 6)");
         for f in [0usize, 4, 8, 16, 32, 64] {
-            print!(" f={f}:{:>6.2}", survivor_fragility(&ghd, f, trials.min(30), 0xE5));
+            print!(
+                " f={f}:{:>6.2}",
+                survivor_fragility(&ghd, f, trials.min(30), 0xE5)
+            );
         }
         println!();
     }

@@ -21,7 +21,9 @@ fn write(dir: &Path, name: &str, contents: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let dir = Path::new(
-        args.get(1).filter(|a| !a.starts_with("--")).map_or("results", String::as_str),
+        args.get(1)
+            .filter(|a| !a.starts_with("--"))
+            .map_or("results", String::as_str),
     )
     .to_path_buf();
     let paper_scale = args.iter().any(|a| a == "--paper-scale");
@@ -30,12 +32,24 @@ fn main() {
     println!("Figure 1 (fully certified at (2, 3)):");
     let rows = fig1::measure(2, 3, MeasureLevel::Full).expect("fig1");
     assert!(fig1::discrepancies(2, 3, &rows).is_empty());
-    write(&dir, "fig1.txt", &fig1::report(2, 3, MeasureLevel::Full).expect("fig1 report"));
+    write(
+        &dir,
+        "fig1.txt",
+        &fig1::report(2, 3, MeasureLevel::Full).expect("fig1 report"),
+    );
     write(&dir, "fig1.csv", &csv::metrics_csv(&rows));
 
     println!("Figure 2:");
-    let scale = if paper_scale { fig2::Fig2Scale::Paper } else { fig2::Fig2Scale::Proxy };
-    write(&dir, "fig2.txt", &fig2::report(scale, 40, 0xF162).expect("fig2 report"));
+    let scale = if paper_scale {
+        fig2::Fig2Scale::Paper
+    } else {
+        fig2::Fig2Scale::Proxy
+    };
+    write(
+        &dir,
+        "fig2.txt",
+        &fig2::report(scale, 40, 0xF162).expect("fig2 report"),
+    );
     let rows = fig2::measure(scale).expect("fig2 measure");
     write(&dir, "fig2.csv", &csv::metrics_csv(&rows));
 
@@ -50,7 +64,11 @@ fn main() {
     let hd = fault_exp::sweep_hd(2, 6, 8, 60, 0xE5).expect("hd sweep");
     let thb = fault_exp::adversarial_hb(2, 4, 7, 60, 0xE5).expect("hb targeted");
     let thd = fault_exp::adversarial_hd(2, 6, 7, 60, 0xE5).expect("hd targeted");
-    write(&dir, "faults.txt", &fault_exp::render(&[hb.clone(), hd.clone(), thb.clone(), thd.clone()]));
+    write(
+        &dir,
+        "faults.txt",
+        &fault_exp::render(&[hb.clone(), hd.clone(), thb.clone(), thd.clone()]),
+    );
     write(&dir, "faults.csv", &csv::fault_csv(&[hb, hd, thb, thd]));
 
     println!("E7 broadcast:");

@@ -83,7 +83,11 @@ pub fn hd_row(m: u32, n: u32) -> Result<BroadcastRow> {
 pub fn render(rows: &[BroadcastRow]) -> String {
     use std::fmt::Write;
     let mut s = String::new();
-    let _ = writeln!(s, "{:<12} {:>8} {:>8} {:>12} {:>10} {:>8}", "Topology", "Nodes", "Rounds", "LowerBound", "Ratio", "Msgs");
+    let _ = writeln!(
+        s,
+        "{:<12} {:>8} {:>8} {:>12} {:>10} {:>8}",
+        "Topology", "Nodes", "Rounds", "LowerBound", "Ratio", "Msgs"
+    );
     for r in rows {
         let _ = writeln!(
             s,
@@ -113,7 +117,13 @@ mod tests {
         // All at 256-ish nodes; every schedule within 2x of its bound.
         for r in &rows {
             assert_eq!(r.messages, r.nodes - 1, "{}", r.name);
-            assert!(r.rounds <= 2 * r.lower_bound, "{}: {} vs {}", r.name, r.rounds, r.lower_bound);
+            assert!(
+                r.rounds <= 2 * r.lower_bound,
+                "{}: {} vs {}",
+                r.name,
+                r.rounds,
+                r.lower_bound
+            );
         }
         // Hypercube binomial is exactly optimal.
         assert_eq!(rows[2].rounds, rows[2].lower_bound);

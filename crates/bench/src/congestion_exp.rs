@@ -75,7 +75,10 @@ pub fn null_model_rows(m: u32, n: u32, seed: u64) -> Result<Vec<(String, u32, f6
     let rr = generators::random_regular(hb.num_nodes(), hb.degree() as usize, seed)?;
 
     let mut rows = Vec::new();
-    for (name, graph) in [(format!("HB({m}, {n})"), g), ("random-regular".to_string(), rr)] {
+    for (name, graph) in [
+        (format!("HB({m}, {n})"), g),
+        ("random-regular".to_string(), rr),
+    ] {
         let stats = shortest::distance_stats(&graph)?;
         let witness = faults::tight_disconnection_witness(&graph).len();
         rows.push((name, stats.diameter, stats.mean, witness));

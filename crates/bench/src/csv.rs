@@ -21,7 +21,11 @@ fn field(s: &str) -> String {
 
 /// Joins fields into one CSV record.
 pub fn record<I: IntoIterator<Item = String>>(fields: I) -> String {
-    fields.into_iter().map(|f| field(&f)).collect::<Vec<_>>().join(",")
+    fields
+        .into_iter()
+        .map(|f| field(&f))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 /// Figure-style metrics rows.
@@ -41,7 +45,8 @@ pub fn metrics_csv(rows: &[TopologyMetrics]) -> String {
             r.diameter_analytic.to_string(),
             r.diameter_measured.map_or(String::new(), |d| d.to_string()),
             r.fault_tolerance_analytic.to_string(),
-            r.fault_tolerance_measured.map_or(String::new(), |f| f.to_string()),
+            r.fault_tolerance_measured
+                .map_or(String::new(), |f| f.to_string()),
             r.bipartite.to_string(),
         ]));
         out.push('\n');
@@ -81,9 +86,15 @@ pub fn fault_csv(sweeps: &[FaultSweep]) -> String {
 /// Simulator rows.
 pub fn sim_csv(rows: &[SimRow]) -> String {
     let mut out = String::from(
-        "topology,pattern,rate,delivered,offered,avg_latency,avg_hops,peak_queue,cycles\n",
+        "topology,pattern,rate,delivered,offered,avg_latency,avg_hops,peak_queue,cycles,\
+         p50,p95,p99,max_latency\n",
     );
     for r in rows {
+        let q = |f: fn(&hb_telemetry::Quantiles) -> u64| {
+            r.latency
+                .as_ref()
+                .map_or(String::new(), |q| f(q).to_string())
+        };
         out.push_str(&record([
             r.name.clone(),
             r.pattern.clone(),
@@ -94,6 +105,10 @@ pub fn sim_csv(rows: &[SimRow]) -> String {
             format!("{:.4}", r.avg_hops),
             r.peak_queue.to_string(),
             r.cycles.to_string(),
+            q(|q| q.p50),
+            q(|q| q.p95),
+            q(|q| q.p99),
+            q(|q| q.max),
         ]));
         out.push('\n');
     }
@@ -136,8 +151,8 @@ pub fn forwarding_csv(rows: &[ForwardingReport]) -> String {
 /// Distributed-protocol rows.
 pub fn distributed_csv(rows: &[DistributedRow]) -> String {
     let mut out = String::from(
-        "topology,nodes,diameter,election_rounds,election_msgs,tree_rounds,tree_msgs,\
-         gossip_rounds,gossip_msgs\n",
+        "topology,nodes,diameter,election_rounds,election_msgs,election_peak_round,\
+         tree_rounds,tree_msgs,gossip_rounds,gossip_msgs,gossip_peak_round\n",
     );
     for r in rows {
         out.push_str(&record([
@@ -146,10 +161,12 @@ pub fn distributed_csv(rows: &[DistributedRow]) -> String {
             r.diameter.to_string(),
             r.election.0.to_string(),
             r.election.1.to_string(),
+            r.election_peak_round.to_string(),
             r.tree.0.to_string(),
             r.tree.1.to_string(),
             r.gossip.0.to_string(),
             r.gossip.1.to_string(),
+            r.gossip_peak_round.to_string(),
         ]));
         out.push('\n');
     }
@@ -187,6 +204,31 @@ mod tests {
         let r = crate::routing_exp::run(1, 3, 0, 1).unwrap();
         let csv = routing_csv(&r);
         assert_eq!(csv.lines().count(), 1 + r.histogram.len());
+    }
+
+    #[test]
+    fn sim_csv_carries_latency_quantiles() {
+        let row = SimRow {
+            name: "HB(1, 3)".into(),
+            pattern: "uniform".into(),
+            rate: 0.1,
+            delivered: 10,
+            offered: 10,
+            avg_latency: 3.0,
+            avg_hops: 2.5,
+            peak_queue: 1,
+            cycles: 42,
+            latency: Some(hb_telemetry::Quantiles {
+                p50: 3,
+                p95: 5,
+                p99: 6,
+                max: 7,
+            }),
+        };
+        let csv = sim_csv(&[row]);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().ends_with("p50,p95,p99,max_latency"));
+        assert!(lines.next().unwrap().ends_with("3,5,6,7"));
     }
 
     #[test]

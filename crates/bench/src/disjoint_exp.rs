@@ -45,7 +45,11 @@ pub struct DisjointReport {
 pub fn run(m: u32, n: u32, pairs: usize, certify: bool, seed: u64) -> Result<DisjointReport> {
     let hb = HyperButterfly::new(m, n)?;
     let eng = DisjointEngine::new(hb)?;
-    let full = if certify { Some(hb.build_graph()?) } else { None };
+    let full = if certify {
+        Some(hb.build_graph()?)
+    } else {
+        None
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let bound = length_bound(&hb);
 
@@ -64,7 +68,11 @@ pub fn run(m: u32, n: u32, pairs: usize, certify: bool, seed: u64) -> Result<Dis
         let before = eng.fallback_count();
         let fam = eng.paths(u, v)?;
         let used_fallback = eng.fallback_count() > before;
-        let longest = fam.iter().map(|p| p.len() - 1).max().expect("m + 4 >= 5 paths");
+        let longest = fam
+            .iter()
+            .map(|p| p.len() - 1)
+            .max()
+            .expect("m + 4 >= 5 paths");
         max_len = max_len.max(longest);
         sum_max += longest;
         if !used_fallback && longest as u32 > bound {

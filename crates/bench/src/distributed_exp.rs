@@ -19,10 +19,14 @@ pub struct DistributedRow {
     pub diameter: u32,
     /// Election (rounds, messages).
     pub election: (u32, u64),
+    /// Peak single-round election traffic (the flooding burst).
+    pub election_peak_round: u64,
     /// Spanning tree + convergecast (rounds, messages).
     pub tree: (u32, u64),
     /// Gossip (rounds, messages).
     pub gossip: (u32, u64),
+    /// Peak single-round gossip traffic.
+    pub gossip_peak_round: u64,
 }
 
 fn measure(name: String, g: hb_graphs::Graph, diameter: u32) -> Result<DistributedRow> {
@@ -32,13 +36,17 @@ fn measure(name: String, g: hb_graphs::Graph, diameter: u32) -> Result<Distribut
     spanning_tree::validate(&g, 0, &t).map_err(hb_graphs::GraphError::InvalidParameter)?;
     let go = gossip::gossip(&g);
     gossip::validate(&g, &go).map_err(hb_graphs::GraphError::InvalidParameter)?;
+    let peak =
+        |init: u64, per_round: &[u64]| per_round.iter().copied().max().unwrap_or(0).max(init);
     Ok(DistributedRow {
         name,
         nodes: g.num_nodes(),
         diameter,
         election: (e.rounds, e.messages),
+        election_peak_round: peak(e.init_messages, &e.round_messages),
         tree: (t.rounds, t.messages),
         gossip: (go.rounds, go.messages),
+        gossip_peak_round: peak(go.init_messages, &go.round_messages),
     })
 }
 
@@ -63,15 +71,34 @@ pub fn render(rows: &[DistributedRow]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:<10} {:>6} {:>5} | {:>7} {:>9} | {:>7} {:>9} | {:>7} {:>9}",
-        "Topology", "Nodes", "Diam", "ElRnds", "ElMsgs", "TrRnds", "TrMsgs", "GoRnds", "GoMsgs"
+        "{:<10} {:>6} {:>5} | {:>7} {:>9} {:>9} | {:>7} {:>9} | {:>7} {:>9} {:>9}",
+        "Topology",
+        "Nodes",
+        "Diam",
+        "ElRnds",
+        "ElMsgs",
+        "ElPeak",
+        "TrRnds",
+        "TrMsgs",
+        "GoRnds",
+        "GoMsgs",
+        "GoPeak"
     );
     for r in rows {
         let _ = writeln!(
             s,
-            "{:<10} {:>6} {:>5} | {:>7} {:>9} | {:>7} {:>9} | {:>7} {:>9}",
-            r.name, r.nodes, r.diameter, r.election.0, r.election.1, r.tree.0, r.tree.1,
-            r.gossip.0, r.gossip.1
+            "{:<10} {:>6} {:>5} | {:>7} {:>9} {:>9} | {:>7} {:>9} | {:>7} {:>9} {:>9}",
+            r.name,
+            r.nodes,
+            r.diameter,
+            r.election.0,
+            r.election.1,
+            r.election_peak_round,
+            r.tree.0,
+            r.tree.1,
+            r.gossip.0,
+            r.gossip.1,
+            r.gossip_peak_round
         );
     }
     s
@@ -91,6 +118,10 @@ mod tests {
             // diameter.
             assert!(r.election.0 <= 3 * r.diameter + 8, "{}", r.name);
             assert!(r.gossip.0 <= r.diameter + 2, "{}", r.name);
+            // The peak round is a burst: positive, but no larger than
+            // the whole message total.
+            assert!(r.election_peak_round > 0 && r.election_peak_round <= r.election.1);
+            assert!(r.gossip_peak_round > 0 && r.gossip_peak_round <= r.gossip.1);
         }
     }
 }

@@ -37,13 +37,17 @@ pub fn run(m: u32, n: u32, exhaustive_cycles: bool) -> Result<EmbedReport> {
     } else {
         let mut v = vec![4, 6, 8];
         v.extend([total / 2, total / 2 + 2, total - 2, total]);
-        v.into_iter().filter(|&k| k % 2 == 0 && (4..=total).contains(&k)).collect()
+        v.into_iter()
+            .filter(|&k| k % 2 == 0 && (4..=total).contains(&k))
+            .collect()
     };
     let mut cycles_validated = 0;
     for &k in &lengths {
         let cyc = embed::even_cycle(&hb, k)?;
         if cyc.len() != k {
-            return Err(GraphError::InvalidParameter(format!("cycle length {k} wrong")));
+            return Err(GraphError::InvalidParameter(format!(
+                "cycle length {k} wrong"
+            )));
         }
         validate_cycle(&host, &cyc)?;
         cycles_validated += 1;
@@ -68,7 +72,7 @@ pub fn run(m: u32, n: u32, exhaustive_cycles: bool) -> Result<EmbedReport> {
 
     // Mesh of trees over the constructive (p, q) range.
     let mut mots = Vec::new();
-    for p in 1..=(m / 2).max(0) {
+    for p in 1..=(m / 2) {
         for q in 1..=n.min(3) {
             let map = embed::mesh_of_trees(&hb, p, q)?;
             let guest = generators::mesh_of_trees(1 << p, 1 << q)?;
@@ -118,13 +122,20 @@ pub fn cycle_rows(m: u32, n: u32, budget: u64) -> Result<Vec<CycleRow>> {
             "budget exhausted at lengths {exhausted:?}"
         )));
     }
-    let verdict = if n % 2 == 0 {
+    let verdict = if n.is_multiple_of(2) {
         debug_assert!(absent.iter().all(|l| l % 2 == 1));
         "even cycles only (bipartite)".to_string()
     } else {
-        format!("cycles of all lengths >= girth {}", present.first().copied().unwrap_or(0))
+        format!(
+            "cycles of all lengths >= girth {}",
+            present.first().copied().unwrap_or(0)
+        )
     };
-    out.push(CycleRow { name: format!("HB({m}, {n})"), verdict, missing: absent });
+    out.push(CycleRow {
+        name: format!("HB({m}, {n})"),
+        verdict,
+        missing: absent,
+    });
 
     let hd = HyperDeBruijn::new(m, n)?;
     let g = hd.build_graph()?;
@@ -139,7 +150,11 @@ pub fn cycle_rows(m: u32, n: u32, budget: u64) -> Result<Vec<CycleRow>> {
     } else {
         format!("missing lengths {absent:?}")
     };
-    out.push(CycleRow { name: format!("HD({m}, {n})"), verdict, missing: absent });
+    out.push(CycleRow {
+        name: format!("HD({m}, {n})"),
+        verdict,
+        missing: absent,
+    });
     Ok(out)
 }
 
@@ -191,6 +206,6 @@ mod tests {
         assert!(rows[1].missing.is_empty(), "{:?}", rows[1]);
         // Odd n: HB has odd cycles too (columns of odd length n).
         let rows = cycle_rows(1, 3, 50_000_000).unwrap();
-        assert!(rows[0].missing.is_empty() || rows[0].missing.iter().all(|&l| l < 3 + 0));
+        assert!(rows[0].missing.is_empty() || rows[0].missing.iter().all(|&l| l < 3));
     }
 }

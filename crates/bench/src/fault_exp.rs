@@ -32,38 +32,34 @@ pub struct FaultSweep {
 ///
 /// # Errors
 /// Propagates construction failures.
-pub fn sweep_hb(
-    m: u32,
-    n: u32,
-    max_faults: usize,
-    trials: usize,
-    seed: u64,
-) -> Result<FaultSweep> {
+pub fn sweep_hb(m: u32, n: u32, max_faults: usize, trials: usize, seed: u64) -> Result<FaultSweep> {
     let hb = HyperButterfly::new(m, n)?;
     let g = hb.build_graph()?;
     let per_level = (0..=max_faults)
         .map(|f| random_fault_trials(&g, f, trials, 8, seed ^ f as u64))
         .collect();
-    Ok(FaultSweep { name: format!("HB({m}, {n})"), kappa: hb.connectivity(), per_level })
+    Ok(FaultSweep {
+        name: format!("HB({m}, {n})"),
+        kappa: hb.connectivity(),
+        per_level,
+    })
 }
 
 /// Sweeps `f = 0..=max_faults` on `HD(m, n)`.
 ///
 /// # Errors
 /// Propagates construction failures.
-pub fn sweep_hd(
-    m: u32,
-    n: u32,
-    max_faults: usize,
-    trials: usize,
-    seed: u64,
-) -> Result<FaultSweep> {
+pub fn sweep_hd(m: u32, n: u32, max_faults: usize, trials: usize, seed: u64) -> Result<FaultSweep> {
     let hd = HyperDeBruijn::new(m, n)?;
     let g = hd.build_graph()?;
     let per_level = (0..=max_faults)
         .map(|f| random_fault_trials(&g, f, trials, 8, seed ^ f as u64))
         .collect();
-    Ok(FaultSweep { name: format!("HD({m}, {n})"), kappa: hd.connectivity(), per_level })
+    Ok(FaultSweep {
+        name: format!("HD({m}, {n})"),
+        kappa: hd.connectivity(),
+        per_level,
+    })
 }
 
 /// Adversarial sweep on `HB(m, n)`: targeted neighborhood faults around
@@ -197,7 +193,11 @@ pub fn render(sweeps: &[FaultSweep]) -> String {
     let mut s = String::new();
     for sw in sweeps {
         let _ = writeln!(s, "{} (kappa = {}):", sw.name, sw.kappa);
-        let _ = writeln!(s, "  {:>7} {:>12} {:>18}", "faults", "connected", "pair-reach");
+        let _ = writeln!(
+            s,
+            "  {:>7} {:>12} {:>18}",
+            "faults", "connected", "pair-reach"
+        );
         for lvl in &sw.per_level {
             let _ = writeln!(
                 s,
@@ -232,7 +232,9 @@ mod tests {
     fn fault_diameter_respects_theorem_5_bound() {
         let rows = fault_diameters(2, 3).unwrap();
         let hb = &rows[0];
-        let sfd = hb.single_fault_diameter.expect("HB survives any single fault");
+        let sfd = hb
+            .single_fault_diameter
+            .expect("HB survives any single fault");
         assert!(sfd >= hb.diameter);
         assert!(sfd <= hb.theorem5_bound, "{sfd} > {}", hb.theorem5_bound);
         // HD also survives single faults (kappa = m + 2 >= 3 here).

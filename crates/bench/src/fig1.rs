@@ -87,7 +87,10 @@ pub fn discrepancies(m: u32, n: u32, rows: &[TopologyMetrics]) -> Vec<String> {
     let mut out = Vec::new();
     for (exp, row) in expectations(m, n).iter().zip(rows) {
         if row.nodes != exp.nodes {
-            out.push(format!("{}: nodes {} != {}", exp.name, row.nodes, exp.nodes));
+            out.push(format!(
+                "{}: nodes {} != {}",
+                exp.name, row.nodes, exp.nodes
+            ));
         }
         if (row.degree_min, row.degree_max) != exp.degree {
             out.push(format!(
@@ -142,13 +145,21 @@ mod tests {
     #[test]
     fn figure_1_fully_verified_at_2_3() {
         let rows = measure(2, 3, MeasureLevel::Full).unwrap();
-        assert!(discrepancies(2, 3, &rows).is_empty(), "{:?}", discrepancies(2, 3, &rows));
+        assert!(
+            discrepancies(2, 3, &rows).is_empty(),
+            "{:?}",
+            discrepancies(2, 3, &rows)
+        );
     }
 
     #[test]
     fn figure_1_diameters_verified_at_2_4() {
         let rows = measure(2, 4, MeasureLevel::Diameter).unwrap();
-        assert!(discrepancies(2, 4, &rows).is_empty(), "{:?}", discrepancies(2, 4, &rows));
+        assert!(
+            discrepancies(2, 4, &rows).is_empty(),
+            "{:?}",
+            discrepancies(2, 4, &rows)
+        );
     }
 
     #[test]

@@ -89,12 +89,24 @@ pub fn fault_evidence(scale: Fig2Scale, trials: usize, seed: u64) -> Result<Vec<
 
     let hb = HyperButterfly::new(m0, n0)?;
     let g = hb.build_graph()?;
-    out.push(evidence(format!("HB({m0}, {n0})"), &g, hb.connectivity(), trials, seed));
+    out.push(evidence(
+        format!("HB({m0}, {n0})"),
+        &g,
+        hb.connectivity(),
+        trials,
+        seed,
+    ));
 
     for (m, n) in [(m1, n1), (m2, n2)] {
         let hd = HyperDeBruijn::new(m, n)?;
         let g = hd.build_graph()?;
-        out.push(evidence(format!("HD({m}, {n})"), &g, hd.connectivity(), trials, seed));
+        out.push(evidence(
+            format!("HD({m}, {n})"),
+            &g,
+            hd.connectivity(),
+            trials,
+            seed,
+        ));
     }
     Ok(out)
 }
@@ -159,7 +171,10 @@ mod tests {
         assert_eq!(rows[1].fault_tolerance_measured, Some(4));
         assert_eq!(rows[2].fault_tolerance_measured, Some(5));
         // HB is maximally fault tolerant, HD is not.
-        assert_eq!(rows[0].fault_tolerance_measured.unwrap() as usize, rows[0].degree_min);
+        assert_eq!(
+            rows[0].fault_tolerance_measured.unwrap() as usize,
+            rows[0].degree_min
+        );
         assert!((rows[1].fault_tolerance_measured.unwrap() as usize) < rows[1].degree_max);
     }
 

@@ -13,6 +13,7 @@ use hb_netsim::topology::{
     HbRouteOrder, HyperButterflyNet, HyperDeBruijnNet, HypercubeNet, NetTopology,
 };
 use hb_netsim::{run, run_adaptive, run_bounded, sim::SimConfig, workload, Injection};
+use hb_telemetry::{Quantiles, Telemetry};
 
 /// One simulated point.
 #[derive(Clone, Debug)]
@@ -35,6 +36,30 @@ pub struct SimRow {
     pub peak_queue: usize,
     /// Simulated cycles.
     pub cycles: u64,
+    /// Latency quantiles (cycles) from the attached telemetry; `None`
+    /// only when no packet was delivered over a multi-hop path.
+    pub latency: Option<Quantiles>,
+}
+
+fn mk_row(
+    name: String,
+    pattern: &str,
+    rate: f64,
+    stats: &hb_netsim::SimStats,
+    tel: &Telemetry,
+) -> SimRow {
+    SimRow {
+        name,
+        pattern: pattern.to_string(),
+        rate,
+        delivered: stats.delivered,
+        offered: stats.offered,
+        avg_latency: stats.avg_latency,
+        avg_hops: stats.avg_hops,
+        peak_queue: stats.peak_queue,
+        cycles: stats.cycles,
+        latency: tel.histogram("sim.latency").and_then(|h| h.quantiles()),
+    }
 }
 
 fn simulate(
@@ -44,18 +69,9 @@ fn simulate(
     inj: Vec<Injection>,
     cfg: SimConfig,
 ) -> SimRow {
-    let stats = run(topo, &inj, cfg);
-    SimRow {
-        name: topo.name(),
-        pattern: pattern.to_string(),
-        rate,
-        delivered: stats.delivered,
-        offered: stats.offered,
-        avg_latency: stats.avg_latency,
-        avg_hops: stats.avg_hops,
-        peak_queue: stats.peak_queue,
-        cycles: stats.cycles,
-    }
+    let tel = Telemetry::summary();
+    let stats = run(topo, &inj, cfg.with_telemetry(tel.clone()));
+    mk_row(topo.name(), pattern, rate, &stats, &tel)
 }
 
 /// The 256-node comparison set: `HB(2, 4)` (256), `HD(2, 6)` (256),
@@ -75,17 +91,13 @@ pub fn matched_topologies() -> Result<Vec<Box<dyn NetTopology>>> {
 ///
 /// # Errors
 /// Propagates construction failures.
-pub fn uniform_sweep(
-    rates: &[f64],
-    warm_cycles: u64,
-    seed: u64,
-) -> Result<Vec<SimRow>> {
+pub fn uniform_sweep(rates: &[f64], warm_cycles: u64, seed: u64) -> Result<Vec<SimRow>> {
     let topos = matched_topologies()?;
     let mut rows = Vec::new();
     for t in &topos {
         for &rate in rates {
             let inj = workload::uniform(t.num_nodes(), warm_cycles, rate, seed);
-            let cfg = SimConfig { max_cycles: warm_cycles * 40 + 10_000, stop_when_drained: true };
+            let cfg = SimConfig::bounded(warm_cycles * 40 + 10_000);
             rows.push(simulate(t.as_ref(), "uniform", rate, inj, cfg));
         }
     }
@@ -101,7 +113,7 @@ pub fn hotspot_run(rate: f64, cycles: u64, seed: u64) -> Result<Vec<SimRow>> {
     let mut rows = Vec::new();
     for t in &topos {
         let inj = workload::hotspot(t.num_nodes(), cycles, rate, 0, 0.3, seed);
-        let cfg = SimConfig { max_cycles: cycles * 60 + 20_000, stop_when_drained: true };
+        let cfg = SimConfig::bounded(cycles * 60 + 20_000);
         rows.push(simulate(t.as_ref(), "hotspot", rate, inj, cfg));
     }
     Ok(rows)
@@ -120,10 +132,10 @@ pub fn null_model_sim(rate: f64, cycles: u64, seed: u64) -> Result<Vec<SimRow>> 
         "rr(256, 6)",
         hb_graphs::generators::random_regular(256, 6, seed)?,
     );
-    let cfg = SimConfig { max_cycles: cycles * 60 + 20_000, stop_when_drained: true };
+    let cfg = SimConfig::bounded(cycles * 60 + 20_000);
     let inj = workload::uniform(256, cycles, rate, seed);
     Ok(vec![
-        simulate(&hb, "uniform/null-model", rate, inj.clone(), cfg),
+        simulate(&hb, "uniform/null-model", rate, inj.clone(), cfg.clone()),
         simulate(&rr, "uniform/null-model", rate, inj, cfg),
     ])
 }
@@ -137,9 +149,15 @@ pub fn routing_order_ablation(m: u32, n: u32, rounds: u64, seed: u64) -> Result<
     let bfly_first = HyperButterflyNet::new(m, n, HbRouteOrder::ButterflyFirst)?;
     let nn = cube_first.num_nodes();
     let inj = workload::permutation(nn, rounds, 4, seed);
-    let cfg = SimConfig { max_cycles: 200_000, stop_when_drained: true };
+    let cfg = SimConfig::bounded(200_000);
     Ok(vec![
-        simulate(&cube_first, "permutation/cube-first", 0.0, inj.clone(), cfg),
+        simulate(
+            &cube_first,
+            "permutation/cube-first",
+            0.0,
+            inj.clone(),
+            cfg.clone(),
+        ),
         simulate(&bfly_first, "permutation/butterfly-first", 0.0, inj, cfg),
     ])
 }
@@ -162,21 +180,15 @@ pub fn adaptivity_ablation(
 ) -> Result<Vec<SimRow>> {
     let t = HyperButterflyNet::new(m, n, HbRouteOrder::CubeFirst)?;
     let inj = workload::hotspot(t.num_nodes(), cycles, rate, 0, 0.4, seed);
-    let cfg = SimConfig { max_cycles: cycles * 80 + 20_000, stop_when_drained: true };
-    let obl = run(&t, &inj, cfg);
-    let ada = run_adaptive(&t, &inj, cfg);
-    let mk = |pattern: &str, s: hb_netsim::SimStats| SimRow {
-        name: t.name(),
-        pattern: pattern.to_string(),
-        rate,
-        delivered: s.delivered,
-        offered: s.offered,
-        avg_latency: s.avg_latency,
-        avg_hops: s.avg_hops,
-        peak_queue: s.peak_queue,
-        cycles: s.cycles,
-    };
-    Ok(vec![mk("hotspot/oblivious", obl), mk("hotspot/adaptive", ada)])
+    let cfg = SimConfig::bounded(cycles * 80 + 20_000);
+    let tel_o = Telemetry::summary();
+    let obl = run(&t, &inj, cfg.clone().with_telemetry(tel_o.clone()));
+    let tel_a = Telemetry::summary();
+    let ada = run_adaptive(&t, &inj, cfg.with_telemetry(tel_a.clone()));
+    Ok(vec![
+        mk_row(t.name(), "hotspot/oblivious", rate, &obl, &tel_o),
+        mk_row(t.name(), "hotspot/adaptive", rate, &ada, &tel_a),
+    ])
 }
 
 /// Finite-buffer saturation: delivered fraction under bounded queues of
@@ -199,19 +211,16 @@ pub fn bounded_saturation(
     for t in &topos {
         for &rate in rates {
             let inj = workload::uniform(t.num_nodes(), cycles, rate, seed);
-            let cfg = SimConfig { max_cycles: cycles * 80 + 20_000, stop_when_drained: true };
+            let tel = Telemetry::summary();
+            let cfg = SimConfig::bounded(cycles * 80 + 20_000).with_telemetry(tel.clone());
             let stats = run_bounded(t.as_ref(), &inj, cfg, capacity);
-            rows.push(SimRow {
-                name: t.name(),
-                pattern: format!("bounded(cap={capacity})"),
+            rows.push(mk_row(
+                t.name(),
+                &format!("bounded(cap={capacity})"),
                 rate,
-                delivered: stats.delivered,
-                offered: stats.offered,
-                avg_latency: stats.avg_latency,
-                avg_hops: stats.avg_hops,
-                peak_queue: stats.peak_queue,
-                cycles: stats.cycles,
-            });
+                &stats,
+                &tel,
+            ));
         }
     }
     Ok(rows)
@@ -223,15 +232,40 @@ pub fn render(rows: &[SimRow]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:<12} {:<28} {:>6} {:>10} {:>12} {:>9} {:>10} {:>8}",
-        "Topology", "Pattern", "Rate", "Delivered", "AvgLatency", "AvgHops", "PeakQueue", "Cycles"
+        "{:<12} {:<28} {:>6} {:>10} {:>12} {:>9} {:>10} {:>8} {:>5} {:>5} {:>5}",
+        "Topology",
+        "Pattern",
+        "Rate",
+        "Delivered",
+        "AvgLatency",
+        "AvgHops",
+        "PeakQueue",
+        "Cycles",
+        "P50",
+        "P95",
+        "P99"
     );
     for r in rows {
+        let q = |f: fn(&Quantiles) -> u64| {
+            r.latency
+                .as_ref()
+                .map_or_else(|| "-".into(), |q| f(q).to_string())
+        };
         let _ = writeln!(
             s,
-            "{:<12} {:<28} {:>6.3} {:>6}/{:<5} {:>12.2} {:>9.2} {:>10} {:>8}",
-            r.name, r.pattern, r.rate, r.delivered, r.offered, r.avg_latency, r.avg_hops,
-            r.peak_queue, r.cycles
+            "{:<12} {:<28} {:>6.3} {:>6}/{:<5} {:>12.2} {:>9.2} {:>10} {:>8} {:>5} {:>5} {:>5}",
+            r.name,
+            r.pattern,
+            r.rate,
+            r.delivered,
+            r.offered,
+            r.avg_latency,
+            r.avg_hops,
+            r.peak_queue,
+            r.cycles,
+            q(|q| q.p50),
+            q(|q| q.p95),
+            q(|q| q.p99)
         );
     }
     s
@@ -248,6 +282,14 @@ mod tests {
         for r in &rows {
             assert_eq!(r.delivered, r.offered, "{}", r.name);
             assert!(r.avg_latency >= r.avg_hops, "{}", r.name);
+            // Quantiles ride along on every row and are ordered.
+            let q = r.latency.expect("telemetry quantiles attached");
+            assert!(
+                q.p50 <= q.p95 && q.p95 <= q.p99 && q.p99 <= q.max,
+                "{}",
+                r.name
+            );
+            assert!(q.max as f64 >= r.avg_latency, "{}", r.name);
         }
     }
 
@@ -271,8 +313,12 @@ mod tests {
         for r in &rows {
             assert_eq!(r.delivered, r.offered, "{}", r.pattern);
         }
-        assert!((rows[0].avg_hops - rows[1].avg_hops).abs() < 0.6,
-                "{} vs {}", rows[0].avg_hops, rows[1].avg_hops);
+        assert!(
+            (rows[0].avg_hops - rows[1].avg_hops).abs() < 0.6,
+            "{} vs {}",
+            rows[0].avg_hops,
+            rows[1].avg_hops
+        );
         let ratio = rows[1].avg_latency / rows[0].avg_latency;
         assert!((0.5..=2.0).contains(&ratio), "latency ratio {ratio}");
     }

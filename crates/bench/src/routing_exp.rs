@@ -97,7 +97,8 @@ pub fn run(m: u32, n: u32, samples: usize, seed: u64) -> Result<RoutingReport> {
 pub fn render(r: &RoutingReport) -> String {
     use std::fmt::Write;
     let mut s = String::new();
-    let _ = writeln!(
+    let _ =
+        writeln!(
         s,
         "{}: {} pairs checked, {} suboptimal; diameter observed {} vs analytic {}; mean dist {:.3}",
         r.name, r.pairs_checked, r.suboptimal, r.diameter_observed, r.diameter_analytic,

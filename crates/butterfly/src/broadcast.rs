@@ -51,8 +51,14 @@ pub fn broadcast_schedule(b: &Butterfly, root: NodeId) -> BroadcastSchedule {
             }
             let c = ClassicNode::from_index(n, v);
             let up = if c.level + 1 == n { 0 } else { c.level + 1 };
-            let cross = idx(ClassicNode { word: c.word ^ (1 << c.level), level: up });
-            let straight = idx(ClassicNode { word: c.word, level: up });
+            let cross = idx(ClassicNode {
+                word: c.word ^ (1 << c.level),
+                level: up,
+            });
+            let straight = idx(ClassicNode {
+                word: c.word,
+                level: up,
+            });
             let target = if !informed[cross] {
                 cross
             } else if !informed[straight] {
@@ -82,10 +88,22 @@ pub fn broadcast_schedule(b: &Butterfly, root: NodeId) -> BroadcastSchedule {
             let up = if c.level + 1 == n { 0 } else { c.level + 1 };
             let down = if c.level == 0 { n - 1 } else { c.level - 1 };
             let candidates = [
-                idx(ClassicNode { word: c.word, level: up }),
-                idx(ClassicNode { word: c.word, level: down }),
-                idx(ClassicNode { word: c.word ^ (1 << c.level), level: up }),
-                idx(ClassicNode { word: c.word ^ (1 << down), level: down }),
+                idx(ClassicNode {
+                    word: c.word,
+                    level: up,
+                }),
+                idx(ClassicNode {
+                    word: c.word,
+                    level: down,
+                }),
+                idx(ClassicNode {
+                    word: c.word ^ (1 << c.level),
+                    level: up,
+                }),
+                idx(ClassicNode {
+                    word: c.word ^ (1 << down),
+                    level: down,
+                }),
             ];
             if let Some(&t) = candidates.iter().find(|&&t| !informed[t] && !claimed[t]) {
                 claimed[t] = true;

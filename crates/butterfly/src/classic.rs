@@ -33,7 +33,10 @@ impl ClassicNode {
 
     /// Node from dense index.
     pub fn from_index(n: u32, idx: usize) -> Self {
-        Self { word: (idx & ((1 << n) - 1)) as u32, level: (idx >> n) as u32 }
+        Self {
+            word: (idx & ((1 << n) - 1)) as u32,
+            level: (idx >> n) as u32,
+        }
     }
 
     /// Converts to the Cayley presentation.
@@ -56,10 +59,22 @@ pub fn neighbors(n: u32, v: ClassicNode) -> [ClassicNode; 4] {
     let up = if v.level + 1 == n { 0 } else { v.level + 1 };
     let down = if v.level == 0 { n - 1 } else { v.level - 1 };
     [
-        ClassicNode { word: v.word, level: up },
-        ClassicNode { word: v.word ^ (1 << v.level), level: up },
-        ClassicNode { word: v.word, level: down },
-        ClassicNode { word: v.word ^ (1 << down), level: down },
+        ClassicNode {
+            word: v.word,
+            level: up,
+        },
+        ClassicNode {
+            word: v.word ^ (1 << v.level),
+            level: up,
+        },
+        ClassicNode {
+            word: v.word,
+            level: down,
+        },
+        ClassicNode {
+            word: v.word ^ (1 << down),
+            level: down,
+        },
     ]
 }
 
@@ -124,17 +139,35 @@ mod tests {
     #[test]
     fn generator_g_is_straight_up() {
         let n = 4;
-        let v = ClassicNode { word: 0b1010, level: 2 };
+        let v = ClassicNode {
+            word: 0b1010,
+            level: 2,
+        };
         let g_img = ClassicNode::from_signed(v.to_signed(n).apply(ButterflyGen::G));
-        assert_eq!(g_img, ClassicNode { word: 0b1010, level: 3 });
+        assert_eq!(
+            g_img,
+            ClassicNode {
+                word: 0b1010,
+                level: 3
+            }
+        );
     }
 
     #[test]
     fn generator_f_is_cross_up_flipping_current_level_bit() {
         let n = 4;
-        let v = ClassicNode { word: 0b1010, level: 2 };
+        let v = ClassicNode {
+            word: 0b1010,
+            level: 2,
+        };
         let f_img = ClassicNode::from_signed(v.to_signed(n).apply(ButterflyGen::F));
-        assert_eq!(f_img, ClassicNode { word: 0b1110, level: 3 });
+        assert_eq!(
+            f_img,
+            ClassicNode {
+                word: 0b1110,
+                level: 3
+            }
+        );
     }
 
     #[test]
@@ -143,6 +176,12 @@ mod tests {
         let v = ClassicNode { word: 0, level: 2 };
         let nb = neighbors(n, v);
         assert_eq!(nb[0], ClassicNode { word: 0, level: 0 }); // straight up wraps
-        assert_eq!(nb[1], ClassicNode { word: 0b100, level: 0 }); // cross flips bit 2
+        assert_eq!(
+            nb[1],
+            ClassicNode {
+                word: 0b100,
+                level: 0
+            }
+        ); // cross flips bit 2
     }
 }

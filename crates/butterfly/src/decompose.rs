@@ -15,13 +15,17 @@ use hb_group::signed::SignedCycle;
 /// The column of word `w`: nodes `(w, 0..n)` in level order. Consecutive
 /// entries (and the wrap-around pair) are joined by straight edges.
 pub fn column(b: &Butterfly, word: u32) -> Vec<SignedCycle> {
-    (0..b.n()).map(|level| SignedCycle::from_word_level(b.n(), word, level)).collect()
+    (0..b.n())
+        .map(|level| SignedCycle::from_word_level(b.n(), word, level))
+        .collect()
 }
 
 /// The level set at `level`: all `2^n` nodes with that rotation. No two
 /// of them are adjacent.
 pub fn level_set(b: &Butterfly, level: u32) -> Vec<SignedCycle> {
-    (0..1u32 << b.n()).map(|w| SignedCycle::from_word_level(b.n(), w, level)).collect()
+    (0..1u32 << b.n())
+        .map(|w| SignedCycle::from_word_level(b.n(), w, level))
+        .collect()
 }
 
 /// Verifies both decompositions exhaustively:

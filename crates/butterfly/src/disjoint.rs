@@ -24,7 +24,10 @@ impl DisjointEngine {
     /// # Errors
     /// Propagates graph-construction failures (none for a valid butterfly).
     pub fn new(b: Butterfly) -> Result<Self> {
-        Ok(Self { graph: b.build_graph()?, b })
+        Ok(Self {
+            graph: b.build_graph()?,
+            b,
+        })
     }
 
     /// The underlying CSR graph.

@@ -44,8 +44,7 @@ pub fn cycle_kn_plus(b: &Butterfly, k: usize, extra: usize) -> Result<Vec<NodeId
     let idx = |w: u32, level: u32| ClassicNode { word: w, level }.index(n);
 
     // Cycle adjacency: two neighbors per participating node.
-    let mut nbrs: std::collections::HashMap<NodeId, [NodeId; 2]> =
-        std::collections::HashMap::new();
+    let mut nbrs: std::collections::HashMap<NodeId, [NodeId; 2]> = std::collections::HashMap::new();
     for w in 0..k as u32 {
         for level in 0..n {
             let up = if level + 1 == n { 0 } else { level + 1 };
@@ -59,7 +58,10 @@ pub fn cycle_kn_plus(b: &Butterfly, k: usize, extra: usize) -> Result<Vec<NodeId
                    old: NodeId,
                    new: NodeId| {
         let slots = nbrs.get_mut(&at).expect("node participates in cycle");
-        let slot = slots.iter().position(|&x| x == old).expect("old neighbor present");
+        let slot = slots
+            .iter()
+            .position(|&x| x == old)
+            .expect("old neighbor present");
         slots[slot] = new;
     };
 
@@ -241,8 +243,7 @@ mod tests {
         for (k, extra) in [(1, 1), (1, 2), (2, 3), (3, 2), (8, 4)] {
             let cyc = cycle_kn_plus(&b, k, extra).unwrap();
             assert_eq!(cyc.len(), 4 * k + 2 * extra, "k = {k}, extra = {extra}");
-            validate_cycle(&g, &cyc)
-                .unwrap_or_else(|e| panic!("k = {k}, extra = {extra}: {e}"));
+            validate_cycle(&g, &cyc).unwrap_or_else(|e| panic!("k = {k}, extra = {extra}: {e}"));
         }
     }
 
@@ -262,8 +263,7 @@ mod tests {
             let g = b.build_graph().unwrap();
             let (parent, map) = binary_tree(&b);
             assert_eq!(parent.len(), (1 << (n + 1)) - 1);
-            validate_tree_embedding(&g, &parent, &map)
-                .unwrap_or_else(|e| panic!("n = {n}: {e}"));
+            validate_tree_embedding(&g, &parent, &map).unwrap_or_else(|e| panic!("n = {n}: {e}"));
         }
     }
 

@@ -44,7 +44,12 @@ impl<'a, T: Clone> Emulator<'a, T> {
     /// Panics unless exactly `2^n` values are supplied.
     pub fn new(b: &'a Butterfly, values: Vec<T>) -> Self {
         assert_eq!(values.len(), 1usize << b.n(), "one item per column");
-        Self { b, values, level: 0, steps: 0 }
+        Self {
+            b,
+            values,
+            level: 0,
+            steps: 0,
+        }
     }
 
     /// Current wave level.
@@ -70,7 +75,13 @@ impl<'a, T: Clone> Emulator<'a, T> {
         let n = self.b.n();
         let d = match wave {
             Wave::Ascend => self.level,
-            Wave::Descend => if self.level == 0 { n - 1 } else { self.level - 1 },
+            Wave::Descend => {
+                if self.level == 0 {
+                    n - 1
+                } else {
+                    self.level - 1
+                }
+            }
         };
         #[cfg(debug_assertions)]
         {
@@ -182,7 +193,10 @@ pub fn prefix_sums(b: &Butterfly, values: Vec<i64>) -> (Vec<i64>, u32) {
         });
     }
     let steps = em.steps();
-    (em.into_values().into_iter().map(|(p, _)| p).collect(), steps)
+    (
+        em.into_values().into_iter().map(|(p, _)| p).collect(),
+        steps,
+    )
 }
 
 #[cfg(test)]
@@ -193,7 +207,9 @@ mod tests {
         let mut s = seed | 1;
         (0..len)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (s >> 33) as i64 % 1000
             })
             .collect()

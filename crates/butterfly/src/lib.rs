@@ -22,9 +22,9 @@
 
 pub mod broadcast;
 pub mod cayley;
-pub mod disjoint;
 pub mod classic;
 pub mod decompose;
+pub mod disjoint;
 pub mod embed;
 pub mod emulate;
 pub mod routing;

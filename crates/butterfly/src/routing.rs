@@ -144,7 +144,11 @@ fn execute_plan(b: &Butterfly, u: SignedCycle, v: SignedCycle, plan: Plan) -> Ve
 
     match plan {
         Plan::FullLoop { clockwise } => {
-            let d = if clockwise { (lv + n - lu) % n } else { (lu + n - lv) % n };
+            let d = if clockwise {
+                (lv + n - lu) % n
+            } else {
+                (lu + n - lv) % n
+            };
             for _ in 0..n + d {
                 step(&mut cur, &mut pending, clockwise);
                 path.push(cur);
@@ -244,11 +248,7 @@ mod tests {
         for n in 3..=6 {
             let b = Butterfly::new(n).unwrap();
             let id = b.identity();
-            let max = b
-                .nodes()
-                .map(|v| distance(&b, id, v))
-                .max()
-                .unwrap();
+            let max = b.nodes().map(|v| distance(&b, id, v)).max().unwrap();
             assert_eq!(max, b.diameter(), "n = {n}");
         }
     }

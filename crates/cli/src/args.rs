@@ -8,15 +8,47 @@ pub enum Command {
     /// `info <m> <n> [--full]`
     Info { m: u32, n: u32, full: bool },
     /// `route <m> <n> <src> <dst>`
-    Route { m: u32, n: u32, src: usize, dst: usize },
+    Route {
+        m: u32,
+        n: u32,
+        src: usize,
+        dst: usize,
+    },
     /// `disjoint <m> <n> <src> <dst>`
-    Disjoint { m: u32, n: u32, src: usize, dst: usize },
+    Disjoint {
+        m: u32,
+        n: u32,
+        src: usize,
+        dst: usize,
+    },
     /// `fault-route <m> <n> <src> <dst> <f1,f2,...>`
-    FaultRoute { m: u32, n: u32, src: usize, dst: usize, faults: Vec<usize> },
+    FaultRoute {
+        m: u32,
+        n: u32,
+        src: usize,
+        dst: usize,
+        faults: Vec<usize>,
+    },
     /// `embed <m> <n> (cycle <k> | hamiltonian | tree | mot <p> <q>)`
     Embed { m: u32, n: u32, what: EmbedKind },
-    /// `simulate <m> <n> [--rate r] [--cycles c] [--adaptive]`
-    Simulate { m: u32, n: u32, rate: f64, cycles: u64, adaptive: bool },
+    /// `simulate <m> <n> [--rate r] [--cycles c] [--adaptive] [--telemetry mode]`
+    Simulate {
+        m: u32,
+        n: u32,
+        rate: f64,
+        cycles: u64,
+        adaptive: bool,
+        telemetry: TelemetryMode,
+    },
+    /// `telemetry <m> <n> [--rate r] [--cycles c] [--adaptive] [--format f]`
+    Telemetry {
+        m: u32,
+        n: u32,
+        rate: f64,
+        cycles: u64,
+        adaptive: bool,
+        format: DumpFormat,
+    },
     /// `elect <m> <n>`
     Elect { m: u32, n: u32 },
     /// `broadcast <m> <n>`
@@ -40,6 +72,28 @@ pub enum EmbedKind {
     Tree,
     /// Mesh of trees `MT(2^p, 2^q)`.
     MeshOfTrees(u32, u32),
+}
+
+/// How much telemetry `hbnet simulate` collects and prints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TelemetryMode {
+    /// No telemetry: the raw simulator, zero overhead.
+    Off,
+    /// Counters, latency quantiles, per-link utilization.
+    Summary,
+    /// Summary plus the bounded event trace.
+    Trace,
+}
+
+/// Output format for the `telemetry` dump subcommand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DumpFormat {
+    /// Fixed-width text sections.
+    Text,
+    /// One JSON object per line.
+    Json,
+    /// RFC-4180 CSV sections.
+    Csv,
 }
 
 /// A parse failure with a user-facing message.
@@ -67,7 +121,14 @@ USAGE:
   hbnet embed <m> <n> tree             complete binary tree
   hbnet embed <m> <n> mot <p> <q>      mesh of trees MT(2^p, 2^q) (Thm 4)
   hbnet simulate <m> <n> [--rate R] [--cycles C] [--adaptive]
-                                       packet simulation, uniform traffic
+                 [--telemetry off|summary|trace]
+                                       packet simulation, uniform traffic;
+                                       summary adds latency quantiles and
+                                       per-link utilization, trace adds events
+  hbnet telemetry <m> <n> [--rate R] [--cycles C] [--adaptive]
+                  [--format text|json|csv]
+                                       run a traced simulation and dump the
+                                       full telemetry snapshot
   hbnet elect <m> <n>                  distributed leader election
   hbnet broadcast <m> <n>              one-to-all broadcast schedule stats
   hbnet partition <m> <n> <dim>        split into two HB(m-1, n) halves
@@ -145,6 +206,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut rate = 0.1;
             let mut cycles = 200;
             let mut adaptive = false;
+            let mut telemetry = TelemetryMode::Off;
             let mut i = 3;
             while i < args.len() {
                 match args[i].as_str() {
@@ -160,22 +222,99 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         adaptive = true;
                         i += 1;
                     }
+                    "--telemetry" => {
+                        telemetry = match args.get(i + 1).map(String::as_str) {
+                            Some("off") => TelemetryMode::Off,
+                            Some("summary") => TelemetryMode::Summary,
+                            Some("trace") => TelemetryMode::Trace,
+                            other => {
+                                return Err(ParseError(format!(
+                                    "invalid --telemetry {:?} (off | summary | trace)",
+                                    other.unwrap_or("<none>")
+                                )))
+                            }
+                        };
+                        i += 2;
+                    }
                     other => return Err(ParseError(format!("unknown flag {other}"))),
                 }
             }
-            Ok(Command::Simulate { m, n, rate, cycles, adaptive })
+            Ok(Command::Simulate {
+                m,
+                n,
+                rate,
+                cycles,
+                adaptive,
+                telemetry,
+            })
         }
-        "elect" => Ok(Command::Elect { m: need(args, 1, "m")?, n: need(args, 2, "n")? }),
-        "broadcast" => {
-            Ok(Command::Broadcast { m: need(args, 1, "m")?, n: need(args, 2, "n")? })
+        "telemetry" => {
+            let m = need(args, 1, "m")?;
+            let n = need(args, 2, "n")?;
+            let mut rate = 0.1;
+            let mut cycles = 200;
+            let mut adaptive = false;
+            let mut format = DumpFormat::Text;
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--rate" => {
+                        rate = need(args, i + 1, "rate")?;
+                        i += 2;
+                    }
+                    "--cycles" => {
+                        cycles = need(args, i + 1, "cycles")?;
+                        i += 2;
+                    }
+                    "--adaptive" => {
+                        adaptive = true;
+                        i += 1;
+                    }
+                    "--format" => {
+                        format = match args.get(i + 1).map(String::as_str) {
+                            Some("text") => DumpFormat::Text,
+                            Some("json") => DumpFormat::Json,
+                            Some("csv") => DumpFormat::Csv,
+                            other => {
+                                return Err(ParseError(format!(
+                                    "invalid --format {:?} (text | json | csv)",
+                                    other.unwrap_or("<none>")
+                                )))
+                            }
+                        };
+                        i += 2;
+                    }
+                    other => return Err(ParseError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Telemetry {
+                m,
+                n,
+                rate,
+                cycles,
+                adaptive,
+                format,
+            })
         }
-        "sort" => Ok(Command::Sort { n: need(args, 1, "n")? }),
+        "elect" => Ok(Command::Elect {
+            m: need(args, 1, "m")?,
+            n: need(args, 2, "n")?,
+        }),
+        "broadcast" => Ok(Command::Broadcast {
+            m: need(args, 1, "m")?,
+            n: need(args, 2, "n")?,
+        }),
+        "sort" => Ok(Command::Sort {
+            n: need(args, 1, "n")?,
+        }),
         "partition" => Ok(Command::Partition {
             m: need(args, 1, "m")?,
             n: need(args, 2, "n")?,
             dim: need(args, 3, "dim")?,
         }),
-        other => Err(ParseError(format!("unknown command {other} (try `hbnet help`)"))),
+        other => Err(ParseError(format!(
+            "unknown command {other} (try `hbnet help`)"
+        ))),
     }
 }
 
@@ -191,11 +330,19 @@ mod tests {
     fn parses_info() {
         assert_eq!(
             parse(&argv("info 2 4 --full")).unwrap(),
-            Command::Info { m: 2, n: 4, full: true }
+            Command::Info {
+                m: 2,
+                n: 4,
+                full: true
+            }
         );
         assert_eq!(
             parse(&argv("info 3 5")).unwrap(),
-            Command::Info { m: 3, n: 5, full: false }
+            Command::Info {
+                m: 3,
+                n: 5,
+                full: false
+            }
         );
     }
 
@@ -203,11 +350,21 @@ mod tests {
     fn parses_route_and_disjoint() {
         assert_eq!(
             parse(&argv("route 2 3 0 95")).unwrap(),
-            Command::Route { m: 2, n: 3, src: 0, dst: 95 }
+            Command::Route {
+                m: 2,
+                n: 3,
+                src: 0,
+                dst: 95
+            }
         );
         assert_eq!(
             parse(&argv("disjoint 2 3 1 17")).unwrap(),
-            Command::Disjoint { m: 2, n: 3, src: 1, dst: 17 }
+            Command::Disjoint {
+                m: 2,
+                n: 3,
+                src: 1,
+                dst: 17
+            }
         );
     }
 
@@ -215,7 +372,13 @@ mod tests {
     fn parses_fault_route_with_fault_list() {
         assert_eq!(
             parse(&argv("fault-route 2 3 0 95 4,9,23")).unwrap(),
-            Command::FaultRoute { m: 2, n: 3, src: 0, dst: 95, faults: vec![4, 9, 23] }
+            Command::FaultRoute {
+                m: 2,
+                n: 3,
+                src: 0,
+                dst: 95,
+                faults: vec![4, 9, 23]
+            }
         );
         assert!(parse(&argv("fault-route 2 3 0 95 4,x")).is_err());
     }
@@ -224,15 +387,27 @@ mod tests {
     fn parses_embeddings() {
         assert_eq!(
             parse(&argv("embed 2 3 cycle 10")).unwrap(),
-            Command::Embed { m: 2, n: 3, what: EmbedKind::Cycle(10) }
+            Command::Embed {
+                m: 2,
+                n: 3,
+                what: EmbedKind::Cycle(10)
+            }
         );
         assert_eq!(
             parse(&argv("embed 2 3 hamiltonian")).unwrap(),
-            Command::Embed { m: 2, n: 3, what: EmbedKind::Hamiltonian }
+            Command::Embed {
+                m: 2,
+                n: 3,
+                what: EmbedKind::Hamiltonian
+            }
         );
         assert_eq!(
             parse(&argv("embed 3 4 mot 1 2")).unwrap(),
-            Command::Embed { m: 3, n: 4, what: EmbedKind::MeshOfTrees(1, 2) }
+            Command::Embed {
+                m: 3,
+                n: 4,
+                what: EmbedKind::MeshOfTrees(1, 2)
+            }
         );
         assert!(parse(&argv("embed 2 3 torus")).is_err());
     }
@@ -241,13 +416,78 @@ mod tests {
     fn parses_simulate_flags() {
         assert_eq!(
             parse(&argv("simulate 2 4 --rate 0.25 --cycles 100 --adaptive")).unwrap(),
-            Command::Simulate { m: 2, n: 4, rate: 0.25, cycles: 100, adaptive: true }
+            Command::Simulate {
+                m: 2,
+                n: 4,
+                rate: 0.25,
+                cycles: 100,
+                adaptive: true,
+                telemetry: TelemetryMode::Off,
+            }
         );
         assert_eq!(
             parse(&argv("simulate 2 4")).unwrap(),
-            Command::Simulate { m: 2, n: 4, rate: 0.1, cycles: 200, adaptive: false }
+            Command::Simulate {
+                m: 2,
+                n: 4,
+                rate: 0.1,
+                cycles: 200,
+                adaptive: false,
+                telemetry: TelemetryMode::Off,
+            }
         );
         assert!(parse(&argv("simulate 2 4 --bogus")).is_err());
+    }
+
+    #[test]
+    fn parses_simulate_telemetry_modes() {
+        for (word, mode) in [
+            ("off", TelemetryMode::Off),
+            ("summary", TelemetryMode::Summary),
+            ("trace", TelemetryMode::Trace),
+        ] {
+            assert_eq!(
+                parse(&argv(&format!("simulate 2 3 --telemetry {word}"))).unwrap(),
+                Command::Simulate {
+                    m: 2,
+                    n: 3,
+                    rate: 0.1,
+                    cycles: 200,
+                    adaptive: false,
+                    telemetry: mode,
+                }
+            );
+        }
+        assert!(parse(&argv("simulate 2 3 --telemetry loud")).is_err());
+        assert!(parse(&argv("simulate 2 3 --telemetry")).is_err());
+    }
+
+    #[test]
+    fn parses_telemetry_dump() {
+        assert_eq!(
+            parse(&argv("telemetry 2 3")).unwrap(),
+            Command::Telemetry {
+                m: 2,
+                n: 3,
+                rate: 0.1,
+                cycles: 200,
+                adaptive: false,
+                format: DumpFormat::Text,
+            }
+        );
+        assert_eq!(
+            parse(&argv("telemetry 2 3 --format json --cycles 50 --adaptive")).unwrap(),
+            Command::Telemetry {
+                m: 2,
+                n: 3,
+                rate: 0.1,
+                cycles: 50,
+                adaptive: true,
+                format: DumpFormat::Json,
+            }
+        );
+        assert!(parse(&argv("telemetry 2 3 --format yaml")).is_err());
+        assert!(parse(&argv("telemetry 2")).is_err());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 mod args;
 
-use args::{parse, Command, EmbedKind, USAGE};
+use args::{parse, Command, DumpFormat, EmbedKind, TelemetryMode, USAGE};
 use hb_core::disjoint::DisjointEngine;
 use hb_core::{decompose, embed, fault_routing, metrics, routing, HyperButterfly};
 use hb_distributed::election;
@@ -14,6 +14,7 @@ use hb_graphs::embedding::{validate_cycle, validate_tree_embedding, Embedding};
 use hb_graphs::generators;
 use hb_netsim::topology::{HbRouteOrder, HyperButterflyNet};
 use hb_netsim::{run, run_adaptive, sim::SimConfig, workload};
+use hb_telemetry::{CsvSink, JsonLinesSink, Sink, Telemetry, TextSink};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -72,7 +73,13 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 println!("  path {i} ({:>2} hops): {}", p.len() - 1, s.join(" -> "));
             }
         }
-        Command::FaultRoute { m, n, src, dst, faults } => {
+        Command::FaultRoute {
+            m,
+            n,
+            src,
+            dst,
+            faults,
+        } => {
             let hb = HyperButterfly::new(m, n)?;
             check_index(&hb, src)?;
             check_index(&hb, dst)?;
@@ -83,7 +90,11 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             let fnodes: Vec<_> = faults.iter().map(|&f| hb.node(f)).collect();
             match fault_routing::route_avoiding(&eng, hb.node(src), hb.node(dst), &fnodes)? {
                 Some(p) => {
-                    println!("route survives {} faults ({} hops):", faults.len(), p.len() - 1);
+                    println!(
+                        "route survives {} faults ({} hops):",
+                        faults.len(),
+                        p.len() - 1
+                    );
                     for x in &p {
                         println!("  [{:>6}] {x}", hb.index(*x));
                     }
@@ -125,33 +136,102 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                     let guest = generators::mesh_of_trees(1 << p, 1 << q)?;
                     let count = guest.num_nodes();
                     Embedding { map }.validate(&guest, &host)?;
-                    println!(
-                        "validated MT(2^{p}, 2^{q}) ({count} guest nodes) in HB({m}, {n})"
-                    );
+                    println!("validated MT(2^{p}, 2^{q}) ({count} guest nodes) in HB({m}, {n})");
                 }
             }
         }
-        Command::Simulate { m, n, rate, cycles, adaptive } => {
+        Command::Simulate {
+            m,
+            n,
+            rate,
+            cycles,
+            adaptive,
+            telemetry,
+        } => {
             let t = HyperButterflyNet::new(m, n, HbRouteOrder::CubeFirst)?;
             let inj = workload::uniform(t.topology().num_nodes(), cycles, rate, 42);
-            let cfg = SimConfig { max_cycles: cycles * 100 + 50_000, stop_when_drained: true };
-            let stats = if adaptive { run_adaptive(&t, &inj, cfg) } else { run(&t, &inj, cfg) };
+            let tel = match telemetry {
+                TelemetryMode::Off => None,
+                TelemetryMode::Summary => Some(Telemetry::summary()),
+                TelemetryMode::Trace => Some(Telemetry::with_trace(4096)),
+            };
+            let mut cfg = SimConfig::bounded(cycles * 100 + 50_000);
+            if let Some(t) = &tel {
+                cfg = cfg.with_telemetry(t.clone());
+            }
+            let stats = if adaptive {
+                run_adaptive(&t, &inj, cfg)
+            } else {
+                run(&t, &inj, cfg)
+            };
             println!(
                 "HB({m}, {n}) uniform rate {rate} for {cycles} cycles ({}):",
                 if adaptive { "adaptive" } else { "oblivious" }
             );
             println!("  delivered   {}/{}", stats.delivered, stats.offered);
-            println!("  avg latency {:.2} cycles ({:.2} hops)", stats.avg_latency, stats.avg_hops);
+            println!(
+                "  avg latency {:.2} cycles ({:.2} hops)",
+                stats.avg_latency, stats.avg_hops
+            );
             println!("  peak queue  {}", stats.peak_queue);
+            if let Some(t) = &tel {
+                if let Some(q) = t.histogram("sim.latency").and_then(|h| h.quantiles()) {
+                    println!(
+                        "  latency     p50 {} / p95 {} / p99 {} / max {} cycles",
+                        q.p50, q.p95, q.p99, q.max
+                    );
+                }
+                let sim_cycles = t.counter(hb_telemetry::CYCLES_COUNTER).get();
+                print!("{}", t.links().render_table(sim_cycles, 16));
+                if telemetry == TelemetryMode::Trace {
+                    let events = t.events();
+                    println!(
+                        "  trace: {} events retained (use `hbnet telemetry` to dump)",
+                        events.len()
+                    );
+                }
+            }
+        }
+        Command::Telemetry {
+            m,
+            n,
+            rate,
+            cycles,
+            adaptive,
+            format,
+        } => {
+            let t = HyperButterflyNet::new(m, n, HbRouteOrder::CubeFirst)?;
+            let inj = workload::uniform(t.topology().num_nodes(), cycles, rate, 42);
+            let tel = Telemetry::with_trace(4096);
+            let cfg = SimConfig::bounded(cycles * 100 + 50_000).with_telemetry(tel.clone());
+            if adaptive {
+                run_adaptive(&t, &inj, cfg);
+            } else {
+                run(&t, &inj, cfg);
+            }
+            let snapshot = tel.snapshot();
+            let rendered = match format {
+                DumpFormat::Text => TextSink::default().render(&snapshot),
+                DumpFormat::Json => JsonLinesSink.render(&snapshot),
+                DumpFormat::Csv => CsvSink.render(&snapshot),
+            };
+            print!("{rendered}");
         }
         Command::Elect { m, n } => {
             let hb = HyperButterfly::new(m, n)?;
             let g = hb.build_graph()?;
             let out = election::elect(&g, hb.diameter());
-            let leader = election::validate(&out).map_err(hb_graphs::GraphError::InvalidParameter)?;
+            let leader =
+                election::validate(&out).map_err(hb_graphs::GraphError::InvalidParameter)?;
             println!(
                 "leader {} elected on HB({m}, {n}) in {} rounds, {} messages",
                 leader, out.rounds, out.messages
+            );
+            let per_round: Vec<String> = out.round_messages.iter().map(|m| m.to_string()).collect();
+            println!(
+                "  convergence: {} at init, then [{}]",
+                out.init_messages,
+                per_round.join(", ")
             );
         }
         Command::Broadcast { m, n } => {
@@ -197,7 +277,10 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
 
 fn check_index(hb: &HyperButterfly, idx: usize) -> Result<(), hb_graphs::GraphError> {
     if idx >= hb.num_nodes() {
-        return Err(hb_graphs::GraphError::NodeOutOfRange { node: idx, len: hb.num_nodes() });
+        return Err(hb_graphs::GraphError::NodeOutOfRange {
+            node: idx,
+            len: hb.num_nodes(),
+        });
     }
     Ok(())
 }

@@ -14,7 +14,9 @@ use hb_group::signed::SignedCycle;
 /// Nodes are returned in hypercube-label order, so `slice[h]` has
 /// hypercube part `h`.
 pub fn hypercube_slice(hb: &HyperButterfly, b: SignedCycle) -> Vec<HbNode> {
-    (0..hb.cube().num_nodes() as u32).map(|h| HbNode::new(h, b)).collect()
+    (0..hb.cube().num_nodes() as u32)
+        .map(|h| HbNode::new(h, b))
+        .collect()
 }
 
 /// The butterfly slice `(h, B_n)`: all nodes with hypercube part `h`,
@@ -99,10 +101,7 @@ pub fn verify_decomposition(hb: &HyperButterfly) -> bool {
 /// # Errors
 /// [`hb_graphs::GraphError::InvalidParameter`] if `dim >= m` or `m == 1`
 /// (a half with `m = 0` would not be a hyper-butterfly).
-pub fn partition(
-    hb: &HyperButterfly,
-    dim: u32,
-) -> hb_graphs::Result<(Vec<HbNode>, Vec<HbNode>)> {
+pub fn partition(hb: &HyperButterfly, dim: u32) -> hb_graphs::Result<(Vec<HbNode>, Vec<HbNode>)> {
     if dim >= hb.m() {
         return Err(hb_graphs::GraphError::InvalidParameter(format!(
             "dimension {dim} out of range for m = {}",
@@ -152,8 +151,11 @@ pub fn verify_partition(hb: &HyperButterfly, dim: u32) -> bool {
                 .filter(|w| (w.h >> dim & 1) == (u.h >> dim & 1))
                 .map(|w| small.index(HbNode::new(squeeze(w.h), w.b)))
                 .collect();
-            let expected: std::collections::HashSet<usize> =
-                small.neighbors(su).into_iter().map(|w| small.index(w)).collect();
+            let expected: std::collections::HashSet<usize> = small
+                .neighbors(su)
+                .into_iter()
+                .map(|w| small.index(w))
+                .collect();
             if mapped != expected {
                 return false;
             }
@@ -231,7 +233,7 @@ mod tests {
         let b = hb.identity_butterfly();
         assert_eq!(hypercube_slice(&hb, b).len(), 8); // 2^m
         assert_eq!(butterfly_slice(&hb, 5).len(), 64); // n 2^n
-        // Counts: n 2^n hypercube slices, 2^m butterfly slices.
+                                                       // Counts: n 2^n hypercube slices, 2^m butterfly slices.
         assert_eq!(hb.butterfly().num_nodes() * 8, hb.num_nodes());
         assert_eq!((1 << 3) * 64, hb.num_nodes());
     }

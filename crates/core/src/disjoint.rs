@@ -173,8 +173,7 @@ impl DisjointEngine {
         // Fans: hypercube fan from h' to N(h) in the slice (H_m, b');
         // butterfly fan from b' to N(b) in the slice (h', B_n).
         let cube_targets: Vec<usize> = (0..m).map(|d| (u.h ^ (1 << d)) as usize).collect();
-        let cube_fan =
-            connectivity::fan_paths(&self.cube_graph, v.h as usize, &cube_targets)?;
+        let cube_fan = connectivity::fan_paths(&self.cube_graph, v.h as usize, &cube_targets)?;
         let bfly_targets: Vec<SignedCycle> = u.b.neighbors().to_vec();
         let bfly_fan = self.bfly.fan(v.b, &bfly_targets)?;
 
@@ -198,9 +197,7 @@ impl DisjointEngine {
         let tree = traverse::bfs_avoiding(self.bfly.graph(), u.b.index(), &[b_c.index()]);
         let r_b_alt: Vec<SignedCycle> = tree
             .path_to(v.b.index())
-            .ok_or_else(|| {
-                GraphError::InvalidParameter("B_n minus one node disconnected?".into())
-            })?
+            .ok_or_else(|| GraphError::InvalidParameter("B_n minus one node disconnected?".into()))?
             .into_iter()
             .map(|i| bfly.node(i))
             .collect();
@@ -255,11 +252,7 @@ impl DisjointEngine {
     /// # Errors
     /// [`GraphError::InvalidParameter`] for repeated targets, a target
     /// equal to `u`, or more than `m + 4` targets.
-    pub fn node_to_set_paths(
-        &self,
-        u: HbNode,
-        targets: &[HbNode],
-    ) -> Result<Vec<Vec<HbNode>>> {
+    pub fn node_to_set_paths(&self, u: HbNode, targets: &[HbNode]) -> Result<Vec<Vec<HbNode>>> {
         if targets.len() > self.hb.degree() as usize {
             return Err(GraphError::InvalidParameter(format!(
                 "at most m + 4 = {} targets supported",
@@ -284,7 +277,8 @@ impl DisjointEngine {
     /// Exact Menger family on the materialised product graph (used for the
     /// adjacent-part degeneracies of Case 3).
     fn fallback(&self, u: HbNode, v: HbNode) -> Result<Vec<Vec<HbNode>>> {
-        self.fallbacks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.fallbacks
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let g = match self.full_graph.get() {
             Some(g) => g,
             None => {
@@ -381,7 +375,9 @@ mod tests {
                     continue;
                 }
                 let v = hb.node(t);
-                let fam = eng.paths(u, v).unwrap_or_else(|e| panic!("{u} -> {v}: {e}"));
+                let fam = eng
+                    .paths(u, v)
+                    .unwrap_or_else(|e| panic!("{u} -> {v}: {e}"));
                 assert_eq!(fam.len(), (m + 4) as usize);
             }
         }
@@ -499,7 +495,10 @@ mod tests {
         let eng = DisjointEngine::new(hb).unwrap();
         let g = hb.build_graph().unwrap();
         let u = hb.node(0);
-        let targets: Vec<HbNode> = [5usize, 17, 23, 40, 47].iter().map(|&t| hb.node(t)).collect();
+        let targets: Vec<HbNode> = [5usize, 17, 23, 40, 47]
+            .iter()
+            .map(|&t| hb.node(t))
+            .collect();
         let fan = eng.node_to_set_paths(u, &targets).unwrap();
         let raw_t: Vec<usize> = targets.iter().map(|t| hb.index(*t)).collect();
         let raw: Vec<Vec<usize>> = fan

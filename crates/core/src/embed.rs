@@ -32,7 +32,9 @@ pub fn torus(hb: &HyperButterfly, n1: usize, k: usize, extra: usize) -> Result<V
     let cy_b = bembed::cycle_kn_plus(hb.butterfly(), k, extra)?;
     let n2 = cy_b.len();
     if n1 < 3 || n2 < 3 {
-        return Err(GraphError::InvalidParameter("torus dims must be >= 3".into()));
+        return Err(GraphError::InvalidParameter(
+            "torus dims must be >= 3".into(),
+        ));
     }
     let mut map = Vec::with_capacity(n1 * n2);
     for &h in &cy_h {
@@ -69,7 +71,7 @@ pub fn torus(hb: &HyperButterfly, n1: usize, k: usize, extra: usize) -> Result<V
 /// ```
 pub fn even_cycle(hb: &HyperButterfly, len: usize) -> Result<Vec<NodeId>> {
     let total = hb.num_nodes();
-    if len % 2 != 0 || len < 4 || len > total {
+    if !len.is_multiple_of(2) || len < 4 || len > total {
         return Err(GraphError::InvalidParameter(format!(
             "even cycle length {len} outside 4..={total}"
         )));
@@ -85,7 +87,11 @@ pub fn even_cycle(hb: &HyperButterfly, len: usize) -> Result<Vec<NodeId>> {
 
     // Width and teeth sizing: len = 2w + 2*S with S split into teeth of
     // depth <= r - 2, at most one per disjoint column pair.
-    let (w, s) = if len <= 2 * c { (len / 2, 0) } else { (c, (len - 2 * c) / 2) };
+    let (w, s) = if len <= 2 * c {
+        (len / 2, 0)
+    } else {
+        (c, (len - 2 * c) / 2)
+    };
     let max_teeth = w / 2;
     let max_depth = r.saturating_sub(2);
     if s > max_teeth * max_depth {
@@ -254,13 +260,13 @@ pub fn mesh_of_trees(hb: &HyperButterfly, p: u32, q: u32) -> Result<Vec<NodeId>>
         }
     }
     for i in 0..r {
-        for l in 0..c - 1 {
-            map.push(host(h_leaf(i), bmap[l]));
+        for &b in bmap.iter().take(c - 1) {
+            map.push(host(h_leaf(i), b));
         }
     }
     for j in 0..c {
-        for l in 0..r - 1 {
-            map.push(host(hmap[l] as u32, b_leaf(j)));
+        for &h in hmap.iter().take(r - 1) {
+            map.push(host(h as u32, b_leaf(j)));
         }
     }
     Ok(map)

@@ -60,7 +60,10 @@ pub fn matvec(hb: &HyperButterfly, p: u32, q: u32, a: &[i64], x: &[i64]) -> Resu
         if cfg!(debug_assertions) {
             let u = hb.node(map[ga]);
             let v = hb.node(map[gb]);
-            assert!(hb.edge_kind(u, v).is_some(), "transfer off-fabric: {ga} -> {gb}");
+            assert!(
+                hb.edge_kind(u, v).is_some(),
+                "transfer off-fabric: {ga} -> {gb}"
+            );
         }
     };
 

@@ -35,8 +35,7 @@ pub fn route_avoiding(
     if faults.contains(&u) || faults.contains(&v) {
         return Err(GraphError::InvalidParameter("endpoint is faulty".into()));
     }
-    let fault_idx: std::collections::HashSet<usize> =
-        faults.iter().map(|f| hb.index(*f)).collect();
+    let fault_idx: std::collections::HashSet<usize> = faults.iter().map(|f| hb.index(*f)).collect();
     let family = engine.paths(u, v)?;
     Ok(family
         .into_iter()
@@ -113,7 +112,9 @@ mod tests {
             }
             // The exact router agrees that a route exists and is no
             // longer than ours.
-            let exact = route_avoiding_exact(&hb, &g, u, v, &fnodes).unwrap().unwrap();
+            let exact = route_avoiding_exact(&hb, &g, u, v, &fnodes)
+                .unwrap()
+                .unwrap();
             assert!(exact.len() <= p.len());
         }
     }

@@ -24,7 +24,7 @@ impl DeBruijn {
     /// # Errors
     /// [`GraphError::InvalidParameter`] unless `2 <= n <= 26`.
     pub fn new(n: u32) -> Result<Self> {
-        if n < 2 || n > Self::MAX_N {
+        if !(2..=Self::MAX_N).contains(&n) {
             return Err(GraphError::InvalidParameter(format!(
                 "de Bruijn dimension {n} outside 2..={}",
                 Self::MAX_N
@@ -50,9 +50,9 @@ impl DeBruijn {
     pub fn neighbors(&self, x: u32) -> Vec<u32> {
         let mask = (1u32 << self.n) - 1;
         let mut nb = [
-            (x << 1) & mask,            // left shift, append 0
-            ((x << 1) | 1) & mask,      // left shift, append 1
-            x >> 1,                     // right shift, prepend 0
+            (x << 1) & mask,              // left shift, append 0
+            ((x << 1) | 1) & mask,        // left shift, append 1
+            x >> 1,                       // right shift, prepend 0
             (x >> 1) | 1 << (self.n - 1), // right shift, prepend 1
         ];
         nb.sort_unstable();
@@ -70,7 +70,9 @@ impl DeBruijn {
     /// # Errors
     /// Propagates graph construction failures (none for valid `n`).
     pub fn build_graph(&self) -> Result<Graph> {
-        Graph::from_neighbor_fn(self.num_nodes(), |v| self.neighbors(v as u32).into_iter().map(|w| w as usize))
+        Graph::from_neighbor_fn(self.num_nodes(), |v| {
+            self.neighbors(v as u32).into_iter().map(|w| w as usize)
+        })
     }
 
     /// Oblivious left-shift route from `src` to `dst`: shift in the bits

@@ -80,7 +80,10 @@ impl HyperDeBruijn {
 
     /// Node from dense index.
     pub fn node(&self, idx: usize) -> HdNode {
-        HdNode { h: (idx >> self.n()) as u32, x: (idx & ((1 << self.n()) - 1)) as u32 }
+        HdNode {
+            h: (idx >> self.n()) as u32,
+            x: (idx & ((1 << self.n()) - 1)) as u32,
+        }
     }
 
     /// Neighbors: `m` hypercube flips on `h` plus the 2–4 de Bruijn shift
@@ -88,7 +91,10 @@ impl HyperDeBruijn {
     pub fn neighbors(&self, v: HdNode) -> Vec<HdNode> {
         let mut out = Vec::with_capacity(self.m() as usize + 4);
         for d in 0..self.m() {
-            out.push(HdNode { h: v.h ^ (1 << d), x: v.x });
+            out.push(HdNode {
+                h: v.h ^ (1 << d),
+                x: v.x,
+            });
         }
         for x in self.db.neighbors(v.x) {
             out.push(HdNode { h: v.h, x });
@@ -140,7 +146,11 @@ mod tests {
         for (m, n) in [(2, 3), (3, 3), (2, 4), (3, 4)] {
             let hd = HyperDeBruijn::new(m, n).unwrap();
             let g = hd.build_graph().unwrap();
-            assert_eq!(shortest::diameter(&g).unwrap(), hd.diameter(), "HD({m},{n})");
+            assert_eq!(
+                shortest::diameter(&g).unwrap(),
+                hd.diameter(),
+                "HD({m},{n})"
+            );
         }
     }
 

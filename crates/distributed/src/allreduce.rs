@@ -47,6 +47,10 @@ impl Protocol for AllReduce<'_> {
     type State = AllReduceState;
     type Msg = Msg;
 
+    fn name(&self) -> &'static str {
+        "allreduce.tree-sum"
+    }
+
     fn init(&self, v: NodeId, neighbors: &[NodeId]) -> (AllReduceState, Vec<Envelope<Msg>>) {
         let is_root = v == self.root;
         let st = AllReduceState {
@@ -59,7 +63,14 @@ impl Protocol for AllReduce<'_> {
             total: None,
         };
         let out = if is_root {
-            neighbors.iter().map(|&w| Envelope { from: v, to: w, payload: Msg::Grow }).collect()
+            neighbors
+                .iter()
+                .map(|&w| Envelope {
+                    from: v,
+                    to: w,
+                    payload: Msg::Grow,
+                })
+                .collect()
         } else {
             Vec::new()
         };
@@ -79,15 +90,30 @@ impl Protocol for AllReduce<'_> {
                 Msg::Grow => {
                     if st.parent == usize::MAX {
                         st.parent = env.from;
-                        out.push(Envelope { from: v, to: env.from, payload: Msg::Accept });
-                        let others: Vec<NodeId> =
-                            neighbors.iter().copied().filter(|&w| w != env.from).collect();
+                        out.push(Envelope {
+                            from: v,
+                            to: env.from,
+                            payload: Msg::Accept,
+                        });
+                        let others: Vec<NodeId> = neighbors
+                            .iter()
+                            .copied()
+                            .filter(|&w| w != env.from)
+                            .collect();
                         st.pending_replies = others.len();
                         for w in others {
-                            out.push(Envelope { from: v, to: w, payload: Msg::Grow });
+                            out.push(Envelope {
+                                from: v,
+                                to: w,
+                                payload: Msg::Grow,
+                            });
                         }
                     } else {
-                        out.push(Envelope { from: v, to: env.from, payload: Msg::Reject });
+                        out.push(Envelope {
+                            from: v,
+                            to: env.from,
+                            payload: Msg::Reject,
+                        });
                     }
                 }
                 Msg::Accept => {
@@ -104,7 +130,11 @@ impl Protocol for AllReduce<'_> {
                 Msg::Down(total) => {
                     st.total = Some(total);
                     for &c in &st.children {
-                        out.push(Envelope { from: v, to: c, payload: Msg::Down(total) });
+                        out.push(Envelope {
+                            from: v,
+                            to: c,
+                            payload: Msg::Down(total),
+                        });
                     }
                 }
             }
@@ -120,7 +150,11 @@ impl Protocol for AllReduce<'_> {
             if v == self.root {
                 st.total = Some(st.subtree_sum);
                 for &c in &st.children {
-                    out.push(Envelope { from: v, to: c, payload: Msg::Down(st.subtree_sum) });
+                    out.push(Envelope {
+                        from: v,
+                        to: c,
+                        payload: Msg::Down(st.subtree_sum),
+                    });
                 }
             } else {
                 out.push(Envelope {
@@ -140,7 +174,11 @@ impl Protocol for AllReduce<'_> {
 /// Panics if `values.len() != g.num_nodes()`.
 pub fn allreduce_sum(g: &Graph, root: NodeId, values: &[i64]) -> RunOutcome<AllReduceState> {
     assert_eq!(values.len(), g.num_nodes(), "one value per node");
-    execute(g, &AllReduce { root, values }, 6 * g.num_nodes() as u32 + 16)
+    execute(
+        g,
+        &AllReduce { root, values },
+        6 * g.num_nodes() as u32 + 16,
+    )
 }
 
 /// Validates: terminated and every node learned the exact global sum.
@@ -170,7 +208,10 @@ mod tests {
         let g = generators::cycle(9).unwrap();
         let values: Vec<i64> = (0..9).map(|v| v * v).collect();
         let out = allreduce_sum(&g, 4, &values);
-        assert_eq!(validate(&values, &out).unwrap(), (0..9).map(|v| v * v).sum::<i64>());
+        assert_eq!(
+            validate(&values, &out).unwrap(),
+            (0..9).map(|v| v * v).sum::<i64>()
+        );
     }
 
     #[test]

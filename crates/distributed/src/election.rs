@@ -13,8 +13,9 @@
 //! messages worst case, `O(E)`-ish in practice — the benches report the
 //! measured counts next to the graph parameters.
 
-use crate::runtime::{execute, Envelope, Protocol, RunOutcome};
+use crate::runtime::{execute_with, Envelope, Protocol, RunOutcome};
 use hb_graphs::{Graph, NodeId};
+use hb_telemetry::Telemetry;
 
 /// Per-node election state.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -35,10 +36,25 @@ impl Protocol for MinIdFlood {
     type State = ElectionState;
     type Msg = NodeId; // candidate leader id
 
+    fn name(&self) -> &'static str {
+        "election.min-id-flood"
+    }
+
     fn init(&self, v: NodeId, neighbors: &[NodeId]) -> (ElectionState, Vec<Envelope<NodeId>>) {
         (
-            ElectionState { leader: v, stable_rounds: 0, decided: false },
-            neighbors.iter().map(|&w| Envelope { from: v, to: w, payload: v }).collect(),
+            ElectionState {
+                leader: v,
+                stable_rounds: 0,
+                decided: false,
+            },
+            neighbors
+                .iter()
+                .map(|&w| Envelope {
+                    from: v,
+                    to: w,
+                    payload: v,
+                })
+                .collect(),
         )
     }
 
@@ -56,7 +72,11 @@ impl Protocol for MinIdFlood {
                 state.stable_rounds = 0;
                 let fwd = neighbors
                     .iter()
-                    .map(|&w| Envelope { from: v, to: w, payload: b })
+                    .map(|&w| Envelope {
+                        from: v,
+                        to: w,
+                        payload: b,
+                    })
                     .collect();
                 (fwd, false)
             }
@@ -85,9 +105,20 @@ impl Protocol for MinIdFlood {
 /// assert_eq!(election::validate(&outcome).unwrap(), 0);
 /// ```
 pub fn elect(g: &Graph, diameter: u32) -> RunOutcome<ElectionState> {
+    elect_with(g, diameter, None)
+}
+
+/// Like [`elect`], but reports per-round message counts and round
+/// events into `telemetry` when one is given — the convergence trace
+/// shows flooding traffic decaying to zero during the stability window.
+pub fn elect_with(
+    g: &Graph,
+    diameter: u32,
+    telemetry: Option<&Telemetry>,
+) -> RunOutcome<ElectionState> {
     // Worst case: the min value propagates one hop per round (diameter
     // rounds), then stability counting takes diameter more.
-    execute(g, &MinIdFlood { diameter }, 4 * diameter + 8)
+    execute_with(g, &MinIdFlood { diameter }, 4 * diameter + 8, telemetry)
 }
 
 /// Validates an election outcome: terminated, unanimous, and the leader
@@ -132,7 +163,7 @@ mod tests {
         let g = hb.build_graph().unwrap();
         let out = elect(&g, hb.diameter());
         assert_eq!(validate(&out).unwrap(), 0);
-        assert!(out.rounds as u32 <= 3 * hb.diameter() + 8);
+        assert!(out.rounds <= 3 * hb.diameter() + 8);
     }
 
     #[test]
@@ -144,7 +175,35 @@ mod tests {
         // Each node forwards only improvements: <= (improvements + 1)
         // bursts of degree messages. Crude but meaningful global bound:
         let e2 = 2 * g.num_edges() as u64;
-        assert!(out.messages <= e2 * (hb.diameter() as u64 + 1), "{}", out.messages);
+        assert!(
+            out.messages <= e2 * (hb.diameter() as u64 + 1),
+            "{}",
+            out.messages
+        );
+    }
+
+    #[test]
+    fn election_exposes_per_round_message_counts() {
+        let hb = HyperButterfly::new(1, 3).unwrap();
+        let g = hb.build_graph().unwrap();
+        let t = hb_telemetry::Telemetry::summary();
+        let out = elect_with(&g, hb.diameter(), Some(&t));
+        validate(&out).unwrap();
+        assert_eq!(out.round_messages.len(), out.rounds as usize);
+        assert_eq!(
+            out.init_messages + out.round_messages.iter().sum::<u64>(),
+            out.messages
+        );
+        // Every node floods its own id at init.
+        assert_eq!(out.init_messages, 2 * g.num_edges() as u64);
+        // The stability window at the end is silent.
+        assert_eq!(*out.round_messages.last().unwrap(), 0);
+        // Telemetry mirrors the outcome.
+        assert_eq!(t.counter("dist.messages").get(), out.messages);
+        assert_eq!(
+            t.histogram("dist.round_messages").unwrap().count(),
+            u64::from(out.rounds)
+        );
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! counterpart of the paper's one-to-all broadcast and the usual follower
 //! of leader election (disseminating the leader's configuration).
 
-use crate::runtime::{execute, Envelope, Protocol, RunOutcome};
+use crate::runtime::{execute_with, Envelope, Protocol, RunOutcome};
 use hb_graphs::{Graph, NodeId};
+use hb_telemetry::Telemetry;
 
 /// Per-node gossip state.
 #[derive(Clone, Debug)]
@@ -28,6 +29,10 @@ impl Protocol for Flooding {
     type State = GossipState;
     type Msg = Vec<NodeId>; // batch of newly learned tokens
 
+    fn name(&self) -> &'static str {
+        "gossip.flooding"
+    }
+
     fn init(&self, v: NodeId, neighbors: &[NodeId]) -> (GossipState, Vec<Envelope<Vec<NodeId>>>) {
         let mut known = vec![false; self.population];
         known[v] = true;
@@ -35,7 +40,11 @@ impl Protocol for Flooding {
             GossipState { known, count: 1 },
             neighbors
                 .iter()
-                .map(|&w| Envelope { from: v, to: w, payload: vec![v] })
+                .map(|&w| Envelope {
+                    from: v,
+                    to: w,
+                    payload: vec![v],
+                })
                 .collect(),
         )
     }
@@ -62,7 +71,11 @@ impl Protocol for Flooding {
         } else {
             neighbors
                 .iter()
-                .map(|&w| Envelope { from: v, to: w, payload: fresh.clone() })
+                .map(|&w| Envelope {
+                    from: v,
+                    to: w,
+                    payload: fresh.clone(),
+                })
                 .collect()
         };
         (out, st.count == self.population)
@@ -71,7 +84,20 @@ impl Protocol for Flooding {
 
 /// Runs gossip on `g`; terminates once every node knows every token.
 pub fn gossip(g: &Graph) -> RunOutcome<GossipState> {
-    execute(g, &Flooding { population: g.num_nodes() }, 4 * g.num_nodes() as u32 + 8)
+    gossip_with(g, None)
+}
+
+/// Like [`gossip`], but reports per-round message counts and round
+/// events into `telemetry` when one is given.
+pub fn gossip_with(g: &Graph, telemetry: Option<&Telemetry>) -> RunOutcome<GossipState> {
+    execute_with(
+        g,
+        &Flooding {
+            population: g.num_nodes(),
+        },
+        4 * g.num_nodes() as u32 + 8,
+        telemetry,
+    )
 }
 
 /// Validates: terminated and every node knows all `N` tokens.
@@ -110,6 +136,28 @@ mod tests {
         // one more for everyone to observe completion.
         let d = shortest::diameter(&g).unwrap();
         assert!(out.rounds <= d + 2, "{} vs diameter {d}", out.rounds);
+    }
+
+    #[test]
+    fn gossip_exposes_per_round_message_counts() {
+        let hb = HyperButterfly::new(1, 3).unwrap();
+        let g = hb.build_graph().unwrap();
+        let t = hb_telemetry::Telemetry::with_trace(256);
+        let out = gossip_with(&g, Some(&t));
+        validate(&g, &out).unwrap();
+        assert_eq!(out.round_messages.len(), out.rounds as usize);
+        assert_eq!(
+            out.init_messages + out.round_messages.iter().sum::<u64>(),
+            out.messages
+        );
+        // Token batches shrink as knowledge saturates; the final round
+        // is silent (everyone already knows everything).
+        assert_eq!(*out.round_messages.last().unwrap(), 0);
+        // The convergence trace labels rounds with the protocol name.
+        assert!(t.events().iter().any(|e| matches!(
+            e,
+            hb_telemetry::Event::RoundEnded { protocol, .. } if protocol == "gossip.flooding"
+        )));
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub mod gossip;
 pub mod runtime;
 pub mod spanning_tree;
 
-pub use runtime::{execute, Envelope, Protocol, RunOutcome};
+pub use runtime::{execute, execute_with, Envelope, Protocol, RunOutcome};

@@ -6,8 +6,25 @@
 //! to neighbors. The runtime tracks rounds and message counts — the two
 //! complexity measures the leader-election literature (including Shi &
 //! Srimani's follow-up paper on hyper-butterfly election) reports.
+//!
+//! # Observability
+//!
+//! [`execute_with`] accepts an optional [`hb_telemetry::Telemetry`]
+//! handle. When present, the runtime records each round's message count
+//! into the `dist.round_messages` histogram, bumps the `dist.messages` /
+//! `dist.rounds` counters, and (at trace level) emits
+//! [`RoundStarted`](hb_telemetry::Event::RoundStarted) /
+//! [`RoundEnded`](hb_telemetry::Event::RoundEnded) events — a
+//! convergence trace showing how traffic decays as a protocol
+//! stabilises. [`execute`] passes `None` and pays nothing.
+//!
+//! Independent of telemetry, every [`RunOutcome`] carries the full
+//! per-round breakdown ([`RunOutcome::init_messages`] +
+//! [`RunOutcome::round_messages`]), which always sums to
+//! [`RunOutcome::messages`].
 
 use hb_graphs::{Graph, NodeId};
+use hb_telemetry::{Event, Telemetry};
 
 /// A message in transit: sender, receiver, payload.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -26,6 +43,11 @@ pub trait Protocol {
     type State;
     /// Message payload type.
     type Msg: Clone;
+
+    /// Short protocol name used to label telemetry events.
+    fn name(&self) -> &'static str {
+        "protocol"
+    }
 
     /// Initial state and initial outgoing messages of node `v`.
     /// `neighbors` are `v`'s ports (the node may use ids — the model is
@@ -56,6 +78,12 @@ pub struct RunOutcome<S> {
     pub messages: u64,
     /// Whether the run terminated (vs hitting the round limit).
     pub terminated: bool,
+    /// Messages sent during the init phase (delivered in round 1).
+    pub init_messages: u64,
+    /// Messages sent in each executed round; `round_messages[r]` is the
+    /// count for round `r + 1`, so `round_messages.len() == rounds` and
+    /// `init_messages + round_messages.iter().sum::<u64>() == messages`.
+    pub round_messages: Vec<u64>,
 }
 
 /// Executes `proto` on `g` synchronously until global termination or
@@ -65,6 +93,25 @@ pub struct RunOutcome<S> {
 /// Panics if a protocol emits a message to a non-neighbor (model
 /// violation).
 pub fn execute<P: Protocol>(g: &Graph, proto: &P, max_rounds: u32) -> RunOutcome<P::State> {
+    execute_with(g, proto, max_rounds, None)
+}
+
+/// Like [`execute`], but reports into `telemetry` when one is given:
+/// per-round message counts land in the `dist.round_messages` histogram,
+/// totals in the `dist.messages` / `dist.rounds` counters, and — at
+/// trace level — each round is bracketed by
+/// [`Event::RoundStarted`] / [`Event::RoundEnded`] events labelled with
+/// [`Protocol::name`].
+///
+/// # Panics
+/// Panics if a protocol emits a message to a non-neighbor (model
+/// violation).
+pub fn execute_with<P: Protocol>(
+    g: &Graph,
+    proto: &P,
+    max_rounds: u32,
+    telemetry: Option<&Telemetry>,
+) -> RunOutcome<P::State> {
     let n = g.num_nodes();
     let neighbor_lists: Vec<Vec<NodeId>> = (0..n)
         .map(|v| g.neighbors(v).iter().map(|&w| w as usize).collect())
@@ -76,9 +123,9 @@ pub fn execute<P: Protocol>(g: &Graph, proto: &P, max_rounds: u32) -> RunOutcome
     let mut done = vec![false; n];
 
     let deliver = |inboxes: &mut Vec<Vec<Envelope<P::Msg>>>,
-                       out: Vec<Envelope<P::Msg>>,
-                       from: NodeId,
-                       messages: &mut u64| {
+                   out: Vec<Envelope<P::Msg>>,
+                   from: NodeId,
+                   messages: &mut u64| {
         for env in out {
             assert_eq!(env.from, from, "message must carry its true sender");
             assert!(
@@ -92,13 +139,15 @@ pub fn execute<P: Protocol>(g: &Graph, proto: &P, max_rounds: u32) -> RunOutcome
         }
     };
 
-    for v in 0..n {
-        let (st, out) = proto.init(v, &neighbor_lists[v]);
+    for (v, nb) in neighbor_lists.iter().enumerate() {
+        let (st, out) = proto.init(v, nb);
         states.push(st);
         deliver(&mut inboxes, out, v, &mut messages);
     }
+    let init_messages = messages;
 
     let mut rounds = 0u32;
+    let mut round_messages: Vec<u64> = Vec::new();
     let mut terminated = false;
     while rounds < max_rounds {
         let in_flight: usize = inboxes.iter().map(Vec::len).sum();
@@ -107,6 +156,13 @@ pub fn execute<P: Protocol>(g: &Graph, proto: &P, max_rounds: u32) -> RunOutcome
             break;
         }
         rounds += 1;
+        if let Some(t) = telemetry {
+            t.event(|| Event::RoundStarted {
+                protocol: proto.name().to_string(),
+                round: rounds,
+            });
+        }
+        let sent_before = messages;
         let current: Vec<Vec<Envelope<P::Msg>>> =
             std::mem::replace(&mut inboxes, vec![Vec::new(); n]);
         for v in 0..n {
@@ -116,12 +172,41 @@ pub fn execute<P: Protocol>(g: &Graph, proto: &P, max_rounds: u32) -> RunOutcome
             }
             deliver(&mut inboxes, out, v, &mut messages);
         }
+        let sent = messages - sent_before;
+        round_messages.push(sent);
+        if let Some(t) = telemetry {
+            t.record("dist.round_messages", sent);
+            t.event(|| Event::RoundEnded {
+                protocol: proto.name().to_string(),
+                round: rounds,
+                messages: sent,
+            });
+        }
     }
     if !terminated {
         let in_flight: usize = inboxes.iter().map(Vec::len).sum();
         terminated = in_flight == 0 && done.iter().all(|&d| d);
     }
-    RunOutcome { states, rounds, messages, terminated }
+    if let Some(t) = telemetry {
+        t.counter("dist.messages").add(messages);
+        t.counter("dist.rounds").add(rounds as u64);
+        if terminated {
+            t.counter("dist.terminated").inc();
+        }
+    }
+    debug_assert_eq!(
+        init_messages + round_messages.iter().sum::<u64>(),
+        messages,
+        "message conservation"
+    );
+    RunOutcome {
+        states,
+        rounds,
+        messages,
+        terminated,
+        init_messages,
+        round_messages,
+    }
 }
 
 #[cfg(test)]
@@ -140,7 +225,14 @@ mod tests {
         fn init(&self, v: NodeId, neighbors: &[NodeId]) -> (usize, Vec<Envelope<()>>) {
             (
                 0,
-                neighbors.iter().map(|&w| Envelope { from: v, to: w, payload: () }).collect(),
+                neighbors
+                    .iter()
+                    .map(|&w| Envelope {
+                        from: v,
+                        to: w,
+                        payload: (),
+                    })
+                    .collect(),
             )
         }
 
@@ -164,6 +256,101 @@ mod tests {
         assert_eq!(out.rounds, 1);
         assert_eq!(out.messages, 12); // one per directed edge
         assert!(out.states.iter().all(|&s| s == 2));
+        // Per-round breakdown: everything is sent at init, nothing after.
+        assert_eq!(out.init_messages, 12);
+        assert_eq!(out.round_messages, vec![0]);
+    }
+
+    #[test]
+    fn telemetry_records_rounds_and_convergence_trace() {
+        use hb_telemetry::Telemetry;
+
+        let g = generators::cycle(6).unwrap();
+        let t = Telemetry::with_trace(64);
+        let out = execute_with(&g, &PingAll, 10, Some(&t));
+        assert!(out.terminated);
+        assert_eq!(t.counter("dist.messages").get(), out.messages);
+        assert_eq!(t.counter("dist.rounds").get(), u64::from(out.rounds));
+        assert_eq!(t.counter("dist.terminated").get(), 1);
+        let h = t.histogram("dist.round_messages").unwrap();
+        assert_eq!(h.count(), u64::from(out.rounds));
+        assert_eq!(h.sum(), out.messages - out.init_messages);
+        // One started + one ended event per round, carrying the
+        // protocol's (default) name and that round's message count.
+        let events = t.events();
+        assert_eq!(events.len(), 2 * out.rounds as usize);
+        assert!(matches!(
+            &events[0],
+            Event::RoundStarted { protocol, round: 1 } if protocol == "protocol"
+        ));
+        assert!(matches!(
+            &events[1],
+            Event::RoundEnded { protocol, round: 1, messages: 0 } if protocol == "protocol"
+        ));
+    }
+
+    #[test]
+    fn per_round_counts_sum_to_total() {
+        /// Fans a wave out and back: round counts vary, then hit zero.
+        struct Wave;
+        impl Protocol for Wave {
+            type State = bool; // already echoed?
+            type Msg = u8;
+            fn name(&self) -> &'static str {
+                "wave"
+            }
+            fn init(&self, v: NodeId, nb: &[NodeId]) -> (bool, Vec<Envelope<u8>>) {
+                if v == 0 {
+                    (
+                        true,
+                        nb.iter()
+                            .map(|&w| Envelope {
+                                from: v,
+                                to: w,
+                                payload: 0,
+                            })
+                            .collect(),
+                    )
+                } else {
+                    (false, Vec::new())
+                }
+            }
+            fn step(
+                &self,
+                v: NodeId,
+                echoed: &mut bool,
+                inbox: &[Envelope<u8>],
+                nb: &[NodeId],
+            ) -> (Vec<Envelope<u8>>, bool) {
+                if !inbox.is_empty() && !*echoed {
+                    *echoed = true;
+                    (
+                        nb.iter()
+                            .map(|&w| Envelope {
+                                from: v,
+                                to: w,
+                                payload: 1,
+                            })
+                            .collect(),
+                        true,
+                    )
+                } else {
+                    (Vec::new(), true)
+                }
+            }
+        }
+        let g = generators::cycle(8).unwrap();
+        let out = execute(&g, &Wave, 32);
+        assert!(out.terminated);
+        assert_eq!(out.round_messages.len(), out.rounds as usize);
+        assert_eq!(
+            out.init_messages + out.round_messages.iter().sum::<u64>(),
+            out.messages,
+            "per-round counts must sum to the total"
+        );
+        // The wave dies out: the final executed round sends nothing.
+        assert_eq!(*out.round_messages.last().unwrap(), 0);
+        assert!(out.round_messages.iter().any(|&m| m > 0));
     }
 
     #[test]
@@ -174,7 +361,14 @@ mod tests {
             type State = ();
             type Msg = ();
             fn init(&self, v: NodeId, nb: &[NodeId]) -> ((), Vec<Envelope<()>>) {
-                ((), vec![Envelope { from: v, to: nb[0], payload: () }])
+                (
+                    (),
+                    vec![Envelope {
+                        from: v,
+                        to: nb[0],
+                        payload: (),
+                    }],
+                )
             }
             fn step(
                 &self,
@@ -184,7 +378,14 @@ mod tests {
                 nb: &[NodeId],
             ) -> (Vec<Envelope<()>>, bool) {
                 (
-                    inbox.iter().map(|_| Envelope { from: v, to: nb[0], payload: () }).collect(),
+                    inbox
+                        .iter()
+                        .map(|_| Envelope {
+                            from: v,
+                            to: nb[0],
+                            payload: (),
+                        })
+                        .collect(),
                     false,
                 )
             }
@@ -203,7 +404,14 @@ mod tests {
             type State = ();
             type Msg = ();
             fn init(&self, v: NodeId, _nb: &[NodeId]) -> ((), Vec<Envelope<()>>) {
-                ((), vec![Envelope { from: v, to: (v + 2) % 5, payload: () }])
+                (
+                    (),
+                    vec![Envelope {
+                        from: v,
+                        to: (v + 2) % 5,
+                        payload: (),
+                    }],
+                )
             }
             fn step(
                 &self,

@@ -52,6 +52,10 @@ impl Protocol for BfsTreeProtocol {
     type State = TreeState;
     type Msg = TreeMsg;
 
+    fn name(&self) -> &'static str {
+        "spanning-tree.bfs"
+    }
+
     fn init(&self, v: NodeId, neighbors: &[NodeId]) -> (TreeState, Vec<Envelope<TreeMsg>>) {
         let is_root = v == self.root;
         let state = TreeState {
@@ -66,7 +70,11 @@ impl Protocol for BfsTreeProtocol {
         let out = if is_root {
             neighbors
                 .iter()
-                .map(|&w| Envelope { from: v, to: w, payload: TreeMsg::Grow(0) })
+                .map(|&w| Envelope {
+                    from: v,
+                    to: w,
+                    payload: TreeMsg::Grow(0),
+                })
                 .collect()
         } else {
             Vec::new()
@@ -89,15 +97,30 @@ impl Protocol for BfsTreeProtocol {
                         // First wave to arrive: adopt (BFS property).
                         st.parent = env.from;
                         st.depth = d + 1;
-                        out.push(Envelope { from: v, to: env.from, payload: TreeMsg::Accept });
-                        let others: Vec<NodeId> =
-                            neighbors.iter().copied().filter(|&w| w != env.from).collect();
+                        out.push(Envelope {
+                            from: v,
+                            to: env.from,
+                            payload: TreeMsg::Accept,
+                        });
+                        let others: Vec<NodeId> = neighbors
+                            .iter()
+                            .copied()
+                            .filter(|&w| w != env.from)
+                            .collect();
                         st.pending = others.len();
                         for w in others {
-                            out.push(Envelope { from: v, to: w, payload: TreeMsg::Grow(st.depth) });
+                            out.push(Envelope {
+                                from: v,
+                                to: w,
+                                payload: TreeMsg::Grow(st.depth),
+                            });
                         }
                     } else {
-                        out.push(Envelope { from: v, to: env.from, payload: TreeMsg::Reject });
+                        out.push(Envelope {
+                            from: v,
+                            to: env.from,
+                            payload: TreeMsg::Reject,
+                        });
                     }
                 }
                 TreeMsg::Accept => {
@@ -115,8 +138,10 @@ impl Protocol for BfsTreeProtocol {
         // Convergecast: once all grow-replies are in and every child's
         // Size report has arrived, report upward (leaves report as soon
         // as their replies are in).
-        st.reports_received +=
-            inbox.iter().filter(|e| matches!(e.payload, TreeMsg::Size(_))).count();
+        st.reports_received += inbox
+            .iter()
+            .filter(|e| matches!(e.payload, TreeMsg::Size(_)))
+            .count();
         let joined = st.parent != usize::MAX;
         if joined && !st.reported && st.pending == 0 && st.reports_received == st.children.len() {
             st.reported = true;
@@ -163,7 +188,10 @@ pub fn validate(g: &Graph, root: NodeId, out: &RunOutcome<TreeState>) -> Result<
             return Err(format!("node {v} never joined"));
         }
         if !g.has_edge(v, st.parent) {
-            return Err(format!("tree edge ({v}, {}) is not a graph edge", st.parent));
+            return Err(format!(
+                "tree edge ({v}, {}) is not a graph edge",
+                st.parent
+            ));
         }
         if st.depth != bfs.dist[v] {
             return Err(format!(

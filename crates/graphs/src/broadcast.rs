@@ -59,11 +59,7 @@ impl BroadcastSchedule {
     /// Verifies additionally that every transmission crosses an edge of `g`.
     pub fn verify_on_graph(&self, g: &Graph, root: NodeId) -> bool {
         self.verify(root, g.num_nodes())
-            && self
-                .rounds
-                .iter()
-                .flatten()
-                .all(|&(s, r)| g.has_edge(s, r))
+            && self.rounds.iter().flatten().all(|&(s, r)| g.has_edge(s, r))
     }
 }
 
@@ -107,9 +103,11 @@ pub fn greedy_broadcast(g: &Graph, root: NodeId) -> BroadcastSchedule {
         }
         // Senders stay eligible; receivers join the pool.
         frontier.retain(|&s| g.neighbors(s).iter().any(|&w| !informed[w as usize]));
-        frontier.extend(newly.into_iter().filter(|&r| {
-            g.neighbors(r).iter().any(|&w| !informed[w as usize])
-        }));
+        frontier.extend(
+            newly
+                .into_iter()
+                .filter(|&r| g.neighbors(r).iter().any(|&w| !informed[w as usize])),
+        );
         rounds.push(round);
     }
     BroadcastSchedule { rounds }
@@ -155,20 +153,30 @@ mod tests {
     #[test]
     fn verify_rejects_bad_schedules() {
         // Uninformed sender.
-        let s = BroadcastSchedule { rounds: vec![vec![(1, 2)]] };
+        let s = BroadcastSchedule {
+            rounds: vec![vec![(1, 2)]],
+        };
         assert!(!s.verify(0, 4));
         // Double inform.
-        let s = BroadcastSchedule { rounds: vec![vec![(0, 1)], vec![(0, 1)]] };
+        let s = BroadcastSchedule {
+            rounds: vec![vec![(0, 1)], vec![(0, 1)]],
+        };
         assert!(!s.verify(0, 2));
         // Two sends in one round.
-        let s = BroadcastSchedule { rounds: vec![vec![(0, 1), (0, 2)]] };
+        let s = BroadcastSchedule {
+            rounds: vec![vec![(0, 1), (0, 2)]],
+        };
         assert!(!s.verify(0, 4));
         // Incomplete coverage.
-        let s = BroadcastSchedule { rounds: vec![vec![(0, 1)]] };
+        let s = BroadcastSchedule {
+            rounds: vec![vec![(0, 1)]],
+        };
         assert!(!s.verify(0, 4));
         // Non-edge transmission.
         let g = generators::path(3).unwrap();
-        let s = BroadcastSchedule { rounds: vec![vec![(0, 2)], vec![(2, 1)]] };
+        let s = BroadcastSchedule {
+            rounds: vec![vec![(0, 2)], vec![(2, 1)]],
+        };
         assert!(!s.verify_on_graph(&g, 0));
     }
 }

@@ -56,12 +56,13 @@ pub fn max_disjoint_paths(g: &Graph, s: NodeId, t: NodeId) -> Vec<Vec<NodeId>> {
     // forward/backward; forward arcs have even id in insertion order.
     // We re-enumerate exactly as split_network inserted them.
     let mut edge_id = 0usize;
-    let push_if_used = |f: &FlowNetwork, out: &mut Vec<Vec<u32>>, from: usize, to: usize, id: usize| {
-        // Net flow matters: a unit arc with flow 1 is "used".
-        if f.flow_on(id) > 0 {
-            out[from].push(to as u32);
-        }
-    };
+    let push_if_used =
+        |f: &FlowNetwork, out: &mut Vec<Vec<u32>>, from: usize, to: usize, id: usize| {
+            // Net flow matters: a unit arc with flow 1 is "used".
+            if f.flow_on(id) > 0 {
+                out[from].push(to as u32);
+            }
+        };
     for v in 0..n {
         push_if_used(&f, &mut out, 2 * v, 2 * v + 1, edge_id);
         edge_id += 2;
@@ -86,9 +87,11 @@ pub fn max_disjoint_paths(g: &Graph, s: NodeId, t: NodeId) -> Vec<Vec<NodeId>> {
         let mut path = vec![s];
         let mut cur = 2 * s + 1;
         loop {
-            let next = out[cur].pop().expect("flow conservation yields an outgoing arc");
+            let next = out[cur]
+                .pop()
+                .expect("flow conservation yields an outgoing arc");
             cur = next as usize;
-            if cur % 2 == 0 {
+            if cur.is_multiple_of(2) {
                 // arrived at some v_in
                 let v = cur / 2;
                 if v == t {
@@ -142,8 +145,7 @@ pub fn vertex_connectivity(g: &Graph) -> Result<u32> {
 
     let mut best = delta;
     for s in sources {
-        let sinks: Vec<NodeId> =
-            (0..n).filter(|&t| t != s && !g.has_edge(s, t)).collect();
+        let sinks: Vec<NodeId> = (0..n).filter(|&t| t != s && !g.has_edge(s, t)).collect();
         let local = sinks
             .par_iter()
             .map(|&t| max_disjoint_path_count(g, s, t, best + 1))
@@ -281,7 +283,7 @@ pub fn fan_paths(g: &Graph, center: NodeId, targets: &[NodeId]) -> Result<Vec<Ve
             }
             let next = out[cur].pop().expect("flow conservation yields an arc");
             cur = next as usize;
-            if cur % 2 == 0 {
+            if cur.is_multiple_of(2) {
                 path.push(cur / 2);
             }
         };
@@ -346,12 +348,7 @@ pub fn verify_fan(
 /// vertex-disjoint `s`–`t` paths in `g`: each starts at `s`, ends at `t`,
 /// walks along edges, repeats no internal node within or across paths, and
 /// no internal node equals `s` or `t`.
-pub fn verify_disjoint_paths(
-    g: &Graph,
-    s: NodeId,
-    t: NodeId,
-    paths: &[Vec<NodeId>],
-) -> Result<()> {
+pub fn verify_disjoint_paths(g: &Graph, s: NodeId, t: NodeId, paths: &[Vec<NodeId>]) -> Result<()> {
     let mut used = vec![false; g.num_nodes()];
     for (i, p) in paths.iter().enumerate() {
         if p.len() < 2 || p[0] != s || *p.last().expect("len >= 2") != t {

@@ -36,7 +36,10 @@ impl Embedding {
         let mut used = vec![false; host.num_nodes()];
         for (g, &h) in self.map.iter().enumerate() {
             if h >= host.num_nodes() {
-                return Err(GraphError::NodeOutOfRange { node: h, len: host.num_nodes() });
+                return Err(GraphError::NodeOutOfRange {
+                    node: h,
+                    len: host.num_nodes(),
+                });
             }
             if used[h] {
                 return Err(GraphError::InvalidParameter(format!(
@@ -69,10 +72,15 @@ pub fn validate_cycle(host: &Graph, nodes: &[NodeId]) -> Result<()> {
     let mut seen = vec![false; host.num_nodes()];
     for &v in nodes {
         if v >= host.num_nodes() {
-            return Err(GraphError::NodeOutOfRange { node: v, len: host.num_nodes() });
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                len: host.num_nodes(),
+            });
         }
         if seen[v] {
-            return Err(GraphError::InvalidParameter(format!("cycle repeats node {v}")));
+            return Err(GraphError::InvalidParameter(format!(
+                "cycle repeats node {v}"
+            )));
         }
         seen[v] = true;
     }
@@ -97,10 +105,15 @@ pub fn validate_path(host: &Graph, nodes: &[NodeId]) -> Result<()> {
     let mut seen = vec![false; host.num_nodes()];
     for &v in nodes {
         if v >= host.num_nodes() {
-            return Err(GraphError::NodeOutOfRange { node: v, len: host.num_nodes() });
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                len: host.num_nodes(),
+            });
         }
         if seen[v] {
-            return Err(GraphError::InvalidParameter(format!("path repeats node {v}")));
+            return Err(GraphError::InvalidParameter(format!(
+                "path repeats node {v}"
+            )));
         }
         seen[v] = true;
     }
@@ -121,15 +134,22 @@ pub fn validate_path(host: &Graph, nodes: &[NodeId]) -> Result<()> {
 /// `Graph` is overkill.
 pub fn validate_tree_embedding(host: &Graph, parent: &[NodeId], map: &[NodeId]) -> Result<()> {
     if parent.len() != map.len() {
-        return Err(GraphError::InvalidParameter("parent/map length mismatch".into()));
+        return Err(GraphError::InvalidParameter(
+            "parent/map length mismatch".into(),
+        ));
     }
     let mut used = vec![false; host.num_nodes()];
     for &h in map {
         if h >= host.num_nodes() {
-            return Err(GraphError::NodeOutOfRange { node: h, len: host.num_nodes() });
+            return Err(GraphError::NodeOutOfRange {
+                node: h,
+                len: host.num_nodes(),
+            });
         }
         if used[h] {
-            return Err(GraphError::InvalidParameter(format!("host node {h} reused")));
+            return Err(GraphError::InvalidParameter(format!(
+                "host node {h} reused"
+            )));
         }
         used[h] = true;
     }
@@ -140,7 +160,9 @@ pub fn validate_tree_embedding(host: &Graph, parent: &[NodeId], map: &[NodeId]) 
             continue;
         }
         if p >= parent.len() {
-            return Err(GraphError::InvalidParameter(format!("parent of {v} out of range")));
+            return Err(GraphError::InvalidParameter(format!(
+                "parent of {v} out of range"
+            )));
         }
         if !host.has_edge(map[v], map[p]) {
             return Err(GraphError::InvalidParameter(format!(
@@ -150,7 +172,9 @@ pub fn validate_tree_embedding(host: &Graph, parent: &[NodeId], map: &[NodeId]) 
         }
     }
     if roots != 1 {
-        return Err(GraphError::InvalidParameter(format!("expected 1 root, found {roots}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "expected 1 root, found {roots}"
+        )));
     }
     Ok(())
 }

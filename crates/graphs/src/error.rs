@@ -41,7 +41,10 @@ impl fmt::Display for GraphError {
             GraphError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
             GraphError::DuplicateEdge(v) => write!(f, "duplicate edge incident to node {v}"),
             GraphError::Asymmetric { from, to } => {
-                write!(f, "asymmetric adjacency: {from} lists {to} but not vice versa")
+                write!(
+                    f,
+                    "asymmetric adjacency: {from} lists {to} but not vice versa"
+                )
             }
             GraphError::TooManyNodes(n) => write!(f, "{n} nodes exceed u32 CSR index range"),
             GraphError::Disconnected => write!(f, "graph is disconnected"),
@@ -63,6 +66,8 @@ mod tests {
     fn display_is_human_readable() {
         let e = GraphError::NodeOutOfRange { node: 7, len: 4 };
         assert_eq!(e.to_string(), "node 7 out of range for graph with 4 nodes");
-        assert!(GraphError::Disconnected.to_string().contains("disconnected"));
+        assert!(GraphError::Disconnected
+            .to_string()
+            .contains("disconnected"));
     }
 }

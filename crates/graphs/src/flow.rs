@@ -28,7 +28,10 @@ struct FlowEdge {
 impl FlowNetwork {
     /// Creates a network with `n` nodes and no arcs.
     pub fn new(n: usize) -> Self {
-        Self { adj: vec![Vec::new(); n], edges: Vec::new() }
+        Self {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -39,10 +42,16 @@ impl FlowNetwork {
     /// Adds a directed arc `from -> to` with capacity `cap` and returns its
     /// edge index (the paired reverse arc has capacity 0).
     pub fn add_edge(&mut self, from: usize, to: usize, cap: u32) -> usize {
-        assert!(from < self.adj.len() && to < self.adj.len(), "arc endpoint out of range");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "arc endpoint out of range"
+        );
         let id = self.edges.len();
         self.edges.push(FlowEdge { to: to as u32, cap });
-        self.edges.push(FlowEdge { to: from as u32, cap: 0 });
+        self.edges.push(FlowEdge {
+            to: from as u32,
+            cap: 0,
+        });
         self.adj[from].push(id as u32);
         self.adj[to].push(id as u32 + 1);
         id
@@ -95,7 +104,14 @@ impl FlowNetwork {
     }
 
     /// Finds one augmenting path in the level graph and pushes flow along it.
-    fn dfs_augment(&mut self, s: usize, t: usize, limit: u32, level: &[u32], iter: &mut [u32]) -> u32 {
+    fn dfs_augment(
+        &mut self,
+        s: usize,
+        t: usize,
+        limit: u32,
+        level: &[u32],
+        iter: &mut [u32],
+    ) -> u32 {
         // Iterative DFS with an explicit stack of (node, entering edge id).
         let mut path: Vec<u32> = Vec::new(); // edge ids along current path
         let mut cur = s;

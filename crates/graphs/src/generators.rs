@@ -16,7 +16,9 @@ pub fn path(n: usize) -> Result<Graph> {
 /// Cycle graph `C_n` for `n >= 3`.
 pub fn cycle(n: usize) -> Result<Graph> {
     if n < 3 {
-        return Err(GraphError::InvalidParameter("cycle needs >= 3 nodes".into()));
+        return Err(GraphError::InvalidParameter(
+            "cycle needs >= 3 nodes".into(),
+        ));
     }
     Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
 }
@@ -29,7 +31,9 @@ pub fn complete(n: usize) -> Result<Graph> {
 /// `rows x cols` grid mesh (no wraparound). Node `(r, c)` is `r * cols + c`.
 pub fn mesh(rows: usize, cols: usize) -> Result<Graph> {
     if rows == 0 || cols == 0 {
-        return Err(GraphError::InvalidParameter("mesh needs positive dims".into()));
+        return Err(GraphError::InvalidParameter(
+            "mesh needs positive dims".into(),
+        ));
     }
     let mut edges = Vec::new();
     for r in 0..rows {
@@ -72,7 +76,9 @@ pub fn torus(rows: usize, cols: usize) -> Result<Graph> {
 /// levels* embedded in the butterfly `B_n` (Lemma 3).
 pub fn complete_binary_tree(levels: u32) -> Result<Graph> {
     if levels == 0 || levels > 30 {
-        return Err(GraphError::InvalidParameter("tree levels must be in 1..=30".into()));
+        return Err(GraphError::InvalidParameter(
+            "tree levels must be in 1..=30".into(),
+        ));
     }
     let n = (1usize << levels) - 1;
     let edges = (1..n).map(|v| ((v - 1) / 2, v));
@@ -106,9 +112,9 @@ pub fn mesh_of_trees(r: usize, c: usize) -> Result<Graph> {
     // are logical ids k-1..2k-1; children of internal i are 2i+1, 2i+2.
     // `internal_base` maps internal ids, `leaf(j)` maps the j-th leaf.
     let add_tree = |edges: &mut Vec<(usize, usize)>,
-                        k: usize,
-                        internal_base: usize,
-                        leaf: &dyn Fn(usize) -> usize| {
+                    k: usize,
+                    internal_base: usize,
+                    leaf: &dyn Fn(usize) -> usize| {
         let to_global = |logical: usize| -> usize {
             if logical < k - 1 {
                 internal_base + logical
@@ -145,7 +151,7 @@ pub fn mesh_of_trees(r: usize, c: usize) -> Result<Graph> {
 /// simple pairing is found within an attempt budget (only plausible for
 /// extreme parameters).
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph> {
-    if n * d % 2 != 0 || d >= n || d == 0 {
+    if !(n * d).is_multiple_of(2) || d >= n || d == 0 {
         return Err(GraphError::InvalidParameter(format!(
             "random regular needs even n*d, 0 < d < n (got n={n}, d={d})"
         )));
@@ -165,8 +171,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph> {
         let j = (next() as usize) % (i + 1);
         stubs.swap(i, j);
     }
-    let mut pairs: Vec<(usize, usize)> =
-        stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
+    let mut pairs: Vec<(usize, usize)> = stubs.chunks_exact(2).map(|p| (p[0], p[1])).collect();
 
     let key = |p: (usize, usize)| (p.0.min(p.1), p.0.max(p.1));
     let mut counts: std::collections::HashMap<(usize, usize), u32> =
@@ -208,7 +213,9 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph> {
 /// the `hb-hypercube` crate's algebraic construction.
 pub fn hypercube(m: u32) -> Result<Graph> {
     if m > 26 {
-        return Err(GraphError::InvalidParameter("hypercube dimension too large".into()));
+        return Err(GraphError::InvalidParameter(
+            "hypercube dimension too large".into(),
+        ));
     }
     let n = 1usize << m;
     Graph::from_neighbor_fn(n, |v| (0..m).map(move |i| v ^ (1 << i)))

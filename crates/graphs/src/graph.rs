@@ -61,7 +61,10 @@ impl Graph {
         let mut edge_list: Vec<(u32, u32)> = Vec::new();
         for (u, v) in edges {
             if u >= n || v >= n {
-                return Err(GraphError::NodeOutOfRange { node: u.max(v), len: n });
+                return Err(GraphError::NodeOutOfRange {
+                    node: u.max(v),
+                    len: n,
+                });
             }
             if u == v {
                 return Err(GraphError::SelfLoop(u));
@@ -140,7 +143,10 @@ impl Graph {
         for v in 0..self.num_nodes() {
             for &w in self.neighbors(v) {
                 if !self.has_edge(w as usize, v) {
-                    return Err(GraphError::Asymmetric { from: v, to: w as usize });
+                    return Err(GraphError::Asymmetric {
+                        from: v,
+                        to: w as usize,
+                    });
                 }
             }
         }

@@ -28,7 +28,11 @@ pub fn degree_stats(g: &Graph) -> DegreeStats {
     }
     let min = map.keys().next().copied().unwrap_or(0);
     let max = map.keys().next_back().copied().unwrap_or(0);
-    DegreeStats { min, max, counts: map.into_iter().collect() }
+    DegreeStats {
+        min,
+        max,
+        counts: map.into_iter().collect(),
+    }
 }
 
 /// Whether every node has the same degree; returns it if so.

@@ -97,10 +97,18 @@ pub fn distance_stats(g: &Graph) -> Result<DistanceStats> {
                 }
                 hist[d as usize] += 1;
             }
-            Ok(Acc { ecc_max: ecc, ecc_min: ecc, hist })
+            Ok(Acc {
+                ecc_max: ecc,
+                ecc_min: ecc,
+                hist,
+            })
         })
         .try_reduce(
-            || Acc { ecc_max: 0, ecc_min: u32::MAX, hist: Vec::new() },
+            || Acc {
+                ecc_max: 0,
+                ecc_min: u32::MAX,
+                hist: Vec::new(),
+            },
             |mut a, b| {
                 a.ecc_max = a.ecc_max.max(b.ecc_max);
                 a.ecc_min = a.ecc_min.min(b.ecc_min);
@@ -122,7 +130,11 @@ pub fn distance_stats(g: &Graph) -> Result<DistanceStats> {
     Ok(DistanceStats {
         diameter: acc.ecc_max,
         radius: acc.ecc_min,
-        mean: if pairs == 0 { 0.0 } else { weighted as f64 / pairs as f64 },
+        mean: if pairs == 0 {
+            0.0
+        } else {
+            weighted as f64 / pairs as f64
+        },
         histogram: hist,
     })
 }

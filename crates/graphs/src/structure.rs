@@ -147,7 +147,7 @@ fn kl_refine(g: &Graph, mut in_a: Vec<bool>) -> (usize, Vec<bool>) {
                     }
                     let w_ab = i64::from(g.has_edge(a, b));
                     let gain = d[a] + d[b] - 2 * w_ab;
-                    if best.map_or(true, |(bg, _, _)| gain > bg) {
+                    if best.is_none_or(|(bg, _, _)| gain > bg) {
                         best = Some((gain, a, b));
                     }
                 }
@@ -190,10 +190,7 @@ fn kl_refine(g: &Graph, mut in_a: Vec<bool>) -> (usize, Vec<bool>) {
             in_a[b] = true;
         }
     }
-    let cut = g
-        .edges()
-        .filter(|&(u, v)| in_a[u] != in_a[v])
-        .count();
+    let cut = g.edges().filter(|&(u, v)| in_a[u] != in_a[v]).count();
     (cut, in_a)
 }
 
@@ -206,7 +203,7 @@ fn kl_refine(g: &Graph, mut in_a: Vec<bool>) -> (usize, Vec<bool>) {
 /// even split).
 pub fn bisection_upper_bound(g: &Graph, restarts: u32) -> (usize, Vec<bool>) {
     let n = g.num_nodes();
-    assert!(n % 2 == 0, "bisection needs an even node count");
+    assert!(n.is_multiple_of(2), "bisection needs an even node count");
     let mut best: Option<(usize, Vec<bool>)> = None;
     for r in 0..restarts.max(1) {
         // Starting split: ids rotated by a deterministic stride.
@@ -233,7 +230,7 @@ pub fn bisection_upper_bound(g: &Graph, restarts: u32) -> (usize, Vec<bool>) {
             idx += 1;
         }
         let (cut, part) = kl_refine(g, in_a);
-        if best.as_ref().map_or(true, |(bc, _)| cut < *bc) {
+        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
             best = Some((cut, part));
         }
     }
@@ -270,11 +267,8 @@ mod tests {
     #[test]
     fn bridge_between_two_cycles() {
         // C3 - bridge - C3.
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]).unwrap();
         assert_eq!(bridges(&g), vec![(2, 3)]);
         let cuts = articulation_points(&g);
         assert_eq!(cuts, vec![2, 3]);

@@ -172,7 +172,9 @@ pub fn is_connected_avoiding(g: &Graph, blocked: &[NodeId]) -> bool {
     }
     let start = keep.iter().position(|&k| k).expect("survivors >= 1");
     let tree = bfs_avoiding(g, start, blocked);
-    (0..g.num_nodes()).filter(|&v| keep[v]).all(|v| tree.dist[v] != UNREACHABLE)
+    (0..g.num_nodes())
+        .filter(|&v| keep[v])
+        .all(|v| tree.dist[v] != UNREACHABLE)
 }
 
 /// Iterative DFS preorder starting from `source` (restricted to its

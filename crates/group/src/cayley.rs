@@ -179,7 +179,7 @@ pub fn verify_vertex_transitive_sample<T: CayleyTopology + ?Sized>(
         // L_a over all nodes: image of x is apply_word(word_to(x), a).
         let mut image = vec![usize::MAX; n];
         let mut seen = vec![false; n];
-        for x in 0..n {
+        for (x, img) in image.iter_mut().enumerate() {
             let lx = apply_word(t, &word_to(t, x), a);
             if seen[lx] {
                 return Err(GraphError::InvalidParameter(format!(
@@ -187,7 +187,7 @@ pub fn verify_vertex_transitive_sample<T: CayleyTopology + ?Sized>(
                 )));
             }
             seen[lx] = true;
-            image[x] = lx;
+            *img = lx;
         }
         if image[t.identity()] != a {
             return Err(GraphError::InvalidParameter(format!(

@@ -5,10 +5,11 @@
 //! Cayley graph of a finite group over a generator set closed under inverse.
 //! This crate provides:
 //!
-//! * [`cayley`] — the [`cayley::CayleyTopology`] trait (dense node indexing
-//!   + generator action), graph materialisation, verification of the
-//!   Cayley-graph conditions (paper Remark 3 / Theorem 1), and word-metric
-//!   profiles (the distance-from-identity reduction of Remark 7);
+//! * [`cayley`] — the [`cayley::CayleyTopology`] trait (dense node
+//!   indexing + generator action), graph materialisation, verification
+//!   of the Cayley-graph conditions (paper Remark 3 / Theorem 1), and
+//!   word-metric profiles (the distance-from-identity reduction of
+//!   Remark 7);
 //! * [`signed`] — signed cyclic sequences, the node algebra of the wrapped
 //!   butterfly in its constant-degree-4 Cayley representation
 //!   (Vadapalli–Srimani), including the paper's permutation index (PI) and

@@ -38,8 +38,12 @@ pub enum ButterflyGen {
 
 impl ButterflyGen {
     /// All four generators, in the order used for dense generator indexing.
-    pub const ALL: [ButterflyGen; 4] =
-        [ButterflyGen::G, ButterflyGen::F, ButterflyGen::GInv, ButterflyGen::FInv];
+    pub const ALL: [ButterflyGen; 4] = [
+        ButterflyGen::G,
+        ButterflyGen::F,
+        ButterflyGen::GInv,
+        ButterflyGen::FInv,
+    ];
 
     /// The generator inverting this one (`g <-> g⁻¹`, `f <-> f⁻¹`).
     pub fn inverse(self) -> Self {
@@ -99,7 +103,10 @@ impl SignedCycle {
     pub fn new(n: u32, rot: u32, mask: u32) -> Self {
         let id = Self::identity(n); // validates n
         assert!(rot < n, "rotation {rot} out of range for n = {n}");
-        assert!(mask < (1u32 << n), "mask {mask:#x} out of range for n = {n}");
+        assert!(
+            mask < (1u32 << n),
+            "mask {mask:#x} out of range for n = {n}"
+        );
         Self { rot, mask, ..id }
     }
 
@@ -167,21 +174,33 @@ impl SignedCycle {
     pub fn apply(&self, gen: ButterflyGen) -> Self {
         let n = self.n;
         match gen {
-            ButterflyGen::G => Self { rot: if self.rot + 1 == n { 0 } else { self.rot + 1 }, ..*self },
+            ButterflyGen::G => Self {
+                rot: if self.rot + 1 == n { 0 } else { self.rot + 1 },
+                ..*self
+            },
             ButterflyGen::F => {
                 // The symbol wrapping from front to back is the current
                 // front symbol, i.e. symbol `rot`.
                 let mask = self.mask ^ (1 << self.rot);
-                Self { rot: if self.rot + 1 == n { 0 } else { self.rot + 1 }, mask, ..*self }
+                Self {
+                    rot: if self.rot + 1 == n { 0 } else { self.rot + 1 },
+                    mask,
+                    ..*self
+                }
             }
-            ButterflyGen::GInv => {
-                Self { rot: if self.rot == 0 { n - 1 } else { self.rot - 1 }, ..*self }
-            }
+            ButterflyGen::GInv => Self {
+                rot: if self.rot == 0 { n - 1 } else { self.rot - 1 },
+                ..*self
+            },
             ButterflyGen::FInv => {
                 // The symbol wrapping from back to front is the *new* front
                 // symbol, i.e. symbol `rot - 1 (mod n)`.
                 let rot = if self.rot == 0 { n - 1 } else { self.rot - 1 };
-                Self { rot, mask: self.mask ^ (1 << rot), ..*self }
+                Self {
+                    rot,
+                    mask: self.mask ^ (1 << rot),
+                    ..*self
+                }
             }
         }
     }

@@ -41,7 +41,7 @@ pub fn gray_cycle(m: u32) -> Result<Vec<u32>> {
 /// # Errors
 /// [`GraphError::InvalidParameter`] on parity/range violations.
 pub fn parity_path(src: u32, d0: u32, len: usize, dims: &[u32]) -> Result<Vec<u32>> {
-    if len % 2 == 0 || len == 0 {
+    if len.is_multiple_of(2) || len == 0 {
         return Err(GraphError::InvalidParameter(format!(
             "parity path length {len} must be odd"
         )));
@@ -53,7 +53,9 @@ pub fn parity_path(src: u32, d0: u32, len: usize, dims: &[u32]) -> Result<Vec<u3
         )));
     }
     if !dims.contains(&d0) {
-        return Err(GraphError::InvalidParameter(format!("dims must contain d0 = {d0}")));
+        return Err(GraphError::InvalidParameter(format!(
+            "dims must contain d0 = {d0}"
+        )));
     }
     let mut out = Vec::with_capacity(len + 1);
     build_parity_path(src, d0, len, dims, &mut out);
@@ -72,7 +74,10 @@ fn build_parity_path(src: u32, d0: u32, len: usize, dims: &[u32], out: &mut Vec<
         return;
     }
     // len >= 3 forces |dims| >= 2, so a second dimension exists.
-    let j = *dims.iter().find(|&&d| d != d0).expect("len >= 3 implies >= 2 dims");
+    let j = *dims
+        .iter()
+        .find(|&&d| d != d0)
+        .expect("len >= 3 implies >= 2 dims");
     let sub: Vec<u32> = dims.iter().copied().filter(|&d| d != d0).collect();
     let side_cap = (1usize << sub.len()) - 1;
     // Split the length: `la` odd edges on the src side (an A-path from src
@@ -82,7 +87,7 @@ fn build_parity_path(src: u32, d0: u32, len: usize, dims: &[u32], out: &mut Vec<
     // by induction. `side_cap = 2^(|dims|-1) - 1` is odd, and the clamp
     // below always leaves both halves odd, positive, and within capacity.
     let mut la = (len - 1).min(side_cap);
-    if la % 2 == 0 {
+    if la.is_multiple_of(2) {
         la -= 1;
     }
     let lb = len - 1 - la;
@@ -98,7 +103,7 @@ fn build_parity_path(src: u32, d0: u32, len: usize, dims: &[u32], out: &mut Vec<
 /// # Errors
 /// [`GraphError::InvalidParameter`] for odd or out-of-range `k`.
 pub fn even_cycle(h: &Hypercube, k: usize) -> Result<Vec<u32>> {
-    if k % 2 != 0 || k < 4 || k > h.num_nodes() {
+    if !k.is_multiple_of(2) || k < 4 || k > h.num_nodes() {
         return Err(GraphError::InvalidParameter(format!(
             "even cycle length {k} outside 4..=2^{}",
             h.m()
@@ -227,8 +232,7 @@ mod tests {
             let (parent, map) = binary_tree(m);
             let levels = binary_tree_levels(m);
             assert_eq!(map.len(), (1usize << levels) - 1, "m = {m}");
-            validate_tree_embedding(&g, &parent, &map)
-                .unwrap_or_else(|e| panic!("m = {m}: {e}"));
+            validate_tree_embedding(&g, &parent, &map).unwrap_or_else(|e| panic!("m = {m}: {e}"));
         }
     }
 

@@ -57,12 +57,7 @@ pub fn shortest_path_count(h: &Hypercube, src: u32, dst: u32) -> u128 {
 ///
 /// # Errors
 /// [`GraphError::InvalidParameter`] if an endpoint is faulty.
-pub fn route_avoiding(
-    g: &Graph,
-    src: u32,
-    dst: u32,
-    faults: &[u32],
-) -> Result<Option<Vec<u32>>> {
+pub fn route_avoiding(g: &Graph, src: u32, dst: u32, faults: &[u32]) -> Result<Option<Vec<u32>>> {
     if faults.contains(&src) || faults.contains(&dst) {
         return Err(GraphError::InvalidParameter("endpoint is faulty".into()));
     }

@@ -54,7 +54,7 @@ proptest! {
         let src = src & m_mask;
         let d0 = d0 % m;
         let max_len = (1usize << m) - 1;
-        let len = 1 + 2 * (len_sel % ((max_len + 1) / 2));
+        let len = 1 + 2 * (len_sel % (max_len.div_ceil(2)));
         prop_assume!(len <= max_len);
         let dims: Vec<u32> = (0..m).collect();
         let p = embed::parity_path(src, d0, len, &dims).unwrap();

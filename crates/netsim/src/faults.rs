@@ -72,13 +72,22 @@ pub fn random_fault_trials(
                     reachable += 1;
                 }
             }
-            let ratio = if sampled == 0 { 1.0 } else { reachable as f64 / sampled as f64 };
+            let ratio = if sampled == 0 {
+                1.0
+            } else {
+                reachable as f64 / sampled as f64
+            };
             (connected, ratio)
         })
         .collect();
     let connected = results.iter().filter(|r| r.0).count();
     let pair_reachability = results.iter().map(|r| r.1).sum::<f64>() / trials.max(1) as f64;
-    FaultTrialStats { faults, trials, connected, pair_reachability }
+    FaultTrialStats {
+        faults,
+        trials,
+        connected,
+        pair_reachability,
+    }
 }
 
 /// Adversarial (targeted) fault trials: each trial picks a random victim
@@ -102,8 +111,7 @@ pub fn adversarial_fault_trials(
         .map(|t| {
             let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x51ED_270B));
             let victim = victims[rng.random_range(0..victims.len())];
-            let mut nbrs: Vec<NodeId> =
-                g.neighbors(victim).iter().map(|&w| w as usize).collect();
+            let mut nbrs: Vec<NodeId> = g.neighbors(victim).iter().map(|&w| w as usize).collect();
             // Random subset of the neighborhood of the requested size.
             for i in (1..nbrs.len()).rev() {
                 let j = rng.random_range(0..=i);
@@ -141,8 +149,7 @@ pub fn adversarial_link_trials(
         .map(|t| {
             let mut rng = StdRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x6A09_E667));
             let victim = victims[rng.random_range(0..victims.len())];
-            let mut cut: Vec<NodeId> =
-                g.neighbors(victim).iter().map(|&w| w as usize).collect();
+            let mut cut: Vec<NodeId> = g.neighbors(victim).iter().map(|&w| w as usize).collect();
             for i in (1..cut.len()).rev() {
                 let j = rng.random_range(0..=i);
                 cut.swap(i, j);
@@ -209,9 +216,9 @@ pub fn exhaustive_fault_check(g: &Graph, faults: usize) -> Option<u64> {
             ok.then_some(n as u64)
         }
         2 => {
-            let ok = (0..n).into_par_iter().all(|f1| {
-                (f1 + 1..n).all(|f2| traverse::is_connected_avoiding(g, &[f1, f2]))
-            });
+            let ok = (0..n)
+                .into_par_iter()
+                .all(|f1| (f1 + 1..n).all(|f2| traverse::is_connected_avoiding(g, &[f1, f2])));
             ok.then_some((n * (n - 1) / 2) as u64)
         }
         _ => None,

@@ -12,14 +12,32 @@
 //! * a node's channels are served independently (all-port model), which
 //!   matches the bounded-degree design point the paper argues for: a
 //!   node never serves more than `degree` channels.
+//!
+//! # Observability
+//!
+//! Attach a [`hb_telemetry::Telemetry`] handle via
+//! [`SimConfig::with_telemetry`] and the run populates latency/hop
+//! histograms (`sim.latency`, `sim.hops`), counters (`sim.offered`,
+//! `sim.delivered`, `sim.stranded`, `sim.cycles`, and `sim.dropped` for
+//! bounded runs), per-directed-link forwarding/busy/peak statistics, and
+//! — at trace level — per-packet lifecycle events. With `telemetry:
+//! None` the hot loops take the exact same code paths as before the
+//! instrumentation existed and the returned [`SimStats`] are identical
+//! (a unit test asserts this). Hot loops accumulate into dense local
+//! vectors and a private histogram, merging into the shared handle once
+//! at the end, so the summary-level overhead is O(channels) memory and
+//! one branch per serviced channel.
 
 use crate::topology::NetTopology;
 use hb_graphs::NodeId;
+use hb_telemetry::{Event, Histogram, LinkStats, Telemetry, CYCLES_COUNTER};
 use std::collections::VecDeque;
 
 /// One packet in flight.
 #[derive(Clone, Debug)]
 struct Packet {
+    /// Injection index, used as the trace id.
+    id: u64,
     /// Precomputed route (node ids); `route[hop]` is the current node.
     route: Vec<NodeId>,
     hop: u32,
@@ -61,18 +79,111 @@ pub struct SimStats {
 }
 
 /// Simulator configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SimConfig {
     /// Hard stop, even if packets remain in flight.
     pub max_cycles: u64,
     /// Stop early once all offered packets are delivered.
     pub stop_when_drained: bool,
+    /// Optional observability sink. `None` (the default) records nothing
+    /// and costs nothing: the returned [`SimStats`] are identical with
+    /// and without a handle attached. Histograms cover routed packets
+    /// only, matching `avg_latency` (zero-hop self-deliveries are
+    /// excluded).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        Self { max_cycles: 100_000, stop_when_drained: true }
+        Self {
+            max_cycles: 100_000,
+            stop_when_drained: true,
+            telemetry: None,
+        }
     }
+}
+
+impl SimConfig {
+    /// A drain-stopping config with the given cycle cap and no telemetry.
+    pub fn bounded(max_cycles: u64) -> Self {
+        Self {
+            max_cycles,
+            ..Self::default()
+        }
+    }
+
+    /// Attaches a telemetry handle.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+}
+
+/// Dense per-channel scoreboard a run accumulates into locally, merged
+/// into the shared [`Telemetry`] handle once at the end (keeps the hot
+/// loop free of locks and string lookups).
+struct Scoreboard {
+    latency: Histogram,
+    hops: Histogram,
+    fwd: Vec<u64>,
+    busy: Vec<u64>,
+    peak: Vec<usize>,
+    /// Channel id -> (tail node, head node).
+    ends: Vec<(u32, u32)>,
+}
+
+impl Scoreboard {
+    fn new(ends: Vec<(u32, u32)>) -> Self {
+        let c = ends.len();
+        Self {
+            latency: Histogram::new(),
+            hops: Histogram::new(),
+            fwd: vec![0; c],
+            busy: vec![0; c],
+            peak: vec![0; c],
+            ends,
+        }
+    }
+
+    #[inline]
+    fn deliver(&mut self, latency: u64, hops: u64) {
+        self.latency.record(latency);
+        self.hops.record(hops);
+    }
+
+    fn finish(self, tel: &Telemetry, stats: &SimStats) {
+        tel.counter("sim.offered").add(stats.offered);
+        tel.counter("sim.delivered").add(stats.delivered);
+        tel.counter("sim.stranded").add(stats.stranded);
+        tel.counter(CYCLES_COUNTER).add(stats.cycles);
+        tel.merge_histogram("sim.latency", &self.latency);
+        tel.merge_histogram("sim.hops", &self.hops);
+        let mut ls = LinkStats::new();
+        for (ch, &(from, to)) in self.ends.iter().enumerate() {
+            if self.fwd[ch] > 0 {
+                ls.record_forward(from, to, self.fwd[ch]);
+            }
+            if self.busy[ch] > 0 {
+                ls.record_busy(from, to, self.busy[ch]);
+            }
+            if self.peak[ch] > 0 {
+                ls.observe_queue(from, to, self.peak[ch]);
+            }
+        }
+        tel.merge_links(&ls);
+    }
+}
+
+/// Channel id -> (tail, head) endpoints in CSR channel order.
+fn channel_endpoints(g: &hb_graphs::Graph, offsets: &[usize]) -> Vec<(u32, u32)> {
+    let mut ends = vec![(0u32, 0u32); offsets[g.num_nodes()]];
+    for v in 0..g.num_nodes() {
+        for (port, &w) in g.neighbors(v).iter().enumerate() {
+            ends[offsets[v] + port] = (v as u32, w);
+        }
+    }
+    ends
 }
 
 /// Runs the simulation of `injections` (must be sorted by `at`) on
@@ -119,7 +230,13 @@ pub fn run(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> 
         offsets[u] + port
     };
 
-    let mut stats = SimStats { offered: injections.len() as u64, ..Default::default() };
+    let tel = cfg.telemetry.as_ref();
+    let mut board = tel.map(|_| Scoreboard::new(channel_endpoints(g, &offsets)));
+
+    let mut stats = SimStats {
+        offered: injections.len() as u64,
+        ..Default::default()
+    };
     let mut total_latency = 0u64;
     let mut total_hops = 0u64;
     let mut latency_samples = 0u64;
@@ -128,10 +245,10 @@ pub fn run(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> 
     let mut cycle = 0u64;
 
     let enqueue = |queues: &mut Vec<VecDeque<Packet>>,
-                       active: &mut Vec<usize>,
-                       is_active: &mut Vec<bool>,
-                       ch: usize,
-                       p: Packet| {
+                   active: &mut Vec<usize>,
+                   is_active: &mut Vec<bool>,
+                   ch: usize,
+                   p: Packet| {
         queues[ch].push_back(p);
         if !is_active[ch] {
             is_active[ch] = true;
@@ -143,23 +260,53 @@ pub fn run(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> 
         // Inject everything due this cycle.
         while next_inject < injections.len() && injections[next_inject].at == cycle {
             let inj = injections[next_inject];
+            let id = next_inject as u64;
             next_inject += 1;
+            if let Some(t) = tel {
+                t.event(|| Event::PacketInjected {
+                    id,
+                    src: inj.src as u32,
+                    dst: inj.dst as u32,
+                    cycle,
+                });
+            }
             let route = topo.route(inj.src, inj.dst);
             if route.len() <= 1 {
                 // Self-delivery: zero-latency, zero hops.
                 stats.delivered += 1;
+                if let Some(t) = tel {
+                    t.event(|| Event::PacketDelivered {
+                        id,
+                        dst: inj.dst as u32,
+                        latency: 0,
+                        cycle,
+                    });
+                }
                 continue;
             }
             let ch = channel_of(route[0], route[1]);
-            let p = Packet { route, hop: 0, injected_at: cycle };
+            let p = Packet {
+                id,
+                route,
+                hop: 0,
+                injected_at: cycle,
+            };
             enqueue(&mut queues, &mut active, &mut is_active, ch, p);
             in_flight += 1;
         }
 
         // Queue occupancy peaks right after injections and moves land.
-        stats.peak_queue = stats
-            .peak_queue
-            .max(active.iter().map(|&ch| queues[ch].len()).max().unwrap_or(0));
+        if let Some(b) = board.as_mut() {
+            for &ch in &active {
+                let len = queues[ch].len();
+                b.peak[ch] = b.peak[ch].max(len);
+                stats.peak_queue = stats.peak_queue.max(len);
+            }
+        } else {
+            stats.peak_queue = stats
+                .peak_queue
+                .max(active.iter().map(|&ch| queues[ch].len()).max().unwrap_or(0));
+        }
 
         // Advance one packet per active channel (two-phase: collect moves
         // first so a packet moves at most one hop per cycle).
@@ -169,6 +316,18 @@ pub fn run(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> 
             if let Some(mut p) = queues[ch].pop_front() {
                 p.hop += 1;
                 let here = p.route[p.hop as usize];
+                if let Some(b) = board.as_mut() {
+                    b.busy[ch] += 1;
+                    b.fwd[ch] += 1;
+                    let (from, to) = b.ends[ch];
+                    tel.expect("board implies telemetry")
+                        .event(|| Event::PacketHop {
+                            id: p.id,
+                            from,
+                            to,
+                            cycle: cycle + 1,
+                        });
+                }
                 if p.hop as usize + 1 == p.route.len() {
                     // Arrived.
                     let latency = cycle + 1 - p.injected_at;
@@ -178,6 +337,16 @@ pub fn run(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> 
                     stats.max_latency = stats.max_latency.max(latency);
                     stats.delivered += 1;
                     in_flight -= 1;
+                    if let Some(b) = board.as_mut() {
+                        b.deliver(latency, p.hop as u64);
+                        tel.expect("board implies telemetry")
+                            .event(|| Event::PacketDelivered {
+                                id: p.id,
+                                dst: here as u32,
+                                latency,
+                                cycle: cycle + 1,
+                            });
+                    }
                 } else {
                     let next = p.route[p.hop as usize + 1];
                     moved.push((channel_of(here, next), p));
@@ -208,6 +377,14 @@ pub fn run(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> 
     if latency_samples > 0 {
         stats.avg_latency = total_latency as f64 / latency_samples as f64;
         stats.avg_hops = total_hops as f64 / latency_samples as f64;
+    }
+    debug_assert_eq!(
+        stats.delivered + stats.stranded,
+        stats.offered,
+        "packet conservation"
+    );
+    if let (Some(t), Some(b)) = (tel, board) {
+        b.finish(t, &stats);
     }
     stats
 }
@@ -260,7 +437,13 @@ pub fn run_bounded(
         offsets[u] + port
     };
 
-    let mut stats = SimStats { offered: injections.len() as u64, ..Default::default() };
+    let tel = cfg.telemetry.as_ref();
+    let mut board = tel.map(|_| Scoreboard::new(channel_endpoints(g, &offsets)));
+
+    let mut stats = SimStats {
+        offered: injections.len() as u64,
+        ..Default::default()
+    };
     let mut total_latency = 0u64;
     let mut total_hops = 0u64;
     let mut latency_samples = 0u64;
@@ -272,24 +455,60 @@ pub fn run_bounded(
     while cycle < cfg.max_cycles {
         while next_inject < injections.len() && injections[next_inject].at == cycle {
             let inj = injections[next_inject];
+            let id = next_inject as u64;
             next_inject += 1;
+            if let Some(t) = tel {
+                t.event(|| Event::PacketInjected {
+                    id,
+                    src: inj.src as u32,
+                    dst: inj.dst as u32,
+                    cycle,
+                });
+            }
             let route = topo.route(inj.src, inj.dst);
             if route.len() <= 1 {
                 stats.delivered += 1;
+                if let Some(t) = tel {
+                    t.event(|| Event::PacketDelivered {
+                        id,
+                        dst: inj.dst as u32,
+                        latency: 0,
+                        cycle,
+                    });
+                }
                 continue;
             }
             let ch = channel_of(route[0], route[1]);
             if queues[ch].len() >= capacity {
                 dropped += 1; // source buffer full: injection refused
+                if let Some(t) = tel {
+                    t.event(|| Event::PacketDropped {
+                        id,
+                        at: inj.src as u32,
+                        cycle,
+                    });
+                }
                 continue;
             }
-            queues[ch].push_back(Packet { route, hop: 0, injected_at: cycle });
+            queues[ch].push_back(Packet {
+                id,
+                route,
+                hop: 0,
+                injected_at: cycle,
+            });
             in_flight += 1;
         }
 
-        stats.peak_queue = stats
-            .peak_queue
-            .max(queues.iter().map(VecDeque::len).max().unwrap_or(0));
+        if let Some(b) = board.as_mut() {
+            for (ch, q) in queues.iter().enumerate() {
+                b.peak[ch] = b.peak[ch].max(q.len());
+                stats.peak_queue = stats.peak_queue.max(q.len());
+            }
+        } else {
+            stats.peak_queue = stats
+                .peak_queue
+                .max(queues.iter().map(VecDeque::len).max().unwrap_or(0));
+        }
 
         // Two-phase advance: a head packet moves only if its target queue
         // currently has room; room freed this cycle becomes visible next
@@ -297,7 +516,12 @@ pub fn run_bounded(
         let mut arrivals: Vec<(usize, Packet)> = Vec::new();
         let mut incoming = vec![0usize; num_channels];
         for ch in 0..num_channels {
-            let Some(front) = queues[ch].front() else { continue };
+            let Some(front) = queues[ch].front() else {
+                continue;
+            };
+            if let Some(b) = board.as_mut() {
+                b.busy[ch] += 1;
+            }
             let hop = front.hop as usize;
             let arriving_last = hop + 2 == front.route.len();
             if arriving_last {
@@ -310,6 +534,24 @@ pub fn run_bounded(
                 stats.max_latency = stats.max_latency.max(latency);
                 stats.delivered += 1;
                 in_flight -= 1;
+                if let Some(b) = board.as_mut() {
+                    b.fwd[ch] += 1;
+                    b.deliver(latency, p.hop as u64);
+                    let (from, to) = b.ends[ch];
+                    let t = tel.expect("board implies telemetry");
+                    t.event(|| Event::PacketHop {
+                        id: p.id,
+                        from,
+                        to,
+                        cycle: cycle + 1,
+                    });
+                    t.event(|| Event::PacketDelivered {
+                        id: p.id,
+                        dst: to,
+                        latency,
+                        cycle: cycle + 1,
+                    });
+                }
             } else {
                 let here = front.route[hop + 1];
                 let next = front.route[hop + 2];
@@ -318,6 +560,17 @@ pub fn run_bounded(
                     let mut p = queues[ch].pop_front().expect("front exists");
                     p.hop += 1;
                     incoming[next_ch] += 1;
+                    if let Some(b) = board.as_mut() {
+                        b.fwd[ch] += 1;
+                        let (from, to) = b.ends[ch];
+                        tel.expect("board implies telemetry")
+                            .event(|| Event::PacketHop {
+                                id: p.id,
+                                from,
+                                to,
+                                cycle: cycle + 1,
+                            });
+                    }
                     arrivals.push((next_ch, p));
                 }
                 // else: head-of-line blocked; wait.
@@ -337,6 +590,15 @@ pub fn run_bounded(
         stats.avg_latency = total_latency as f64 / latency_samples as f64;
         stats.avg_hops = total_hops as f64 / latency_samples as f64;
     }
+    debug_assert_eq!(
+        stats.delivered + stats.stranded,
+        stats.offered,
+        "packet conservation"
+    );
+    if let (Some(t), Some(b)) = (tel, board) {
+        t.counter("sim.dropped").add(dropped);
+        b.finish(t, &stats);
+    }
     stats
 }
 
@@ -344,6 +606,8 @@ pub fn run_bounded(
 /// destination.
 #[derive(Clone, Debug)]
 struct AdaptivePacket {
+    /// Injection index, used as the trace id.
+    id: u64,
     dst: NodeId,
     hops: u32,
     injected_at: u64,
@@ -400,7 +664,13 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
             .expect("a productive hop exists for any undelivered packet")
     };
 
-    let mut stats = SimStats { offered: injections.len() as u64, ..Default::default() };
+    let tel = cfg.telemetry.as_ref();
+    let mut board = tel.map(|_| Scoreboard::new(channel_endpoints(g, &offsets)));
+
+    let mut stats = SimStats {
+        offered: injections.len() as u64,
+        ..Default::default()
+    };
     let mut total_latency = 0u64;
     let mut total_hops = 0u64;
     let mut latency_samples = 0u64;
@@ -411,13 +681,35 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
     while cycle < cfg.max_cycles {
         while next_inject < injections.len() && injections[next_inject].at == cycle {
             let inj = injections[next_inject];
+            let id = next_inject as u64;
             next_inject += 1;
+            if let Some(t) = tel {
+                t.event(|| Event::PacketInjected {
+                    id,
+                    src: inj.src as u32,
+                    dst: inj.dst as u32,
+                    cycle,
+                });
+            }
             if inj.src == inj.dst {
                 stats.delivered += 1;
+                if let Some(t) = tel {
+                    t.event(|| Event::PacketDelivered {
+                        id,
+                        dst: inj.dst as u32,
+                        latency: 0,
+                        cycle,
+                    });
+                }
                 continue;
             }
             let ch = choose(&queues, inj.src, inj.dst);
-            queues[ch].push_back(AdaptivePacket { dst: inj.dst, hops: 0, injected_at: cycle });
+            queues[ch].push_back(AdaptivePacket {
+                id,
+                dst: inj.dst,
+                hops: 0,
+                injected_at: cycle,
+            });
             if !is_active[ch] {
                 is_active[ch] = true;
                 active.push(ch);
@@ -425,9 +717,17 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
             in_flight += 1;
         }
 
-        stats.peak_queue = stats
-            .peak_queue
-            .max(active.iter().map(|&ch| queues[ch].len()).max().unwrap_or(0));
+        if let Some(b) = board.as_mut() {
+            for &ch in &active {
+                let len = queues[ch].len();
+                b.peak[ch] = b.peak[ch].max(len);
+                stats.peak_queue = stats.peak_queue.max(len);
+            }
+        } else {
+            stats.peak_queue = stats
+                .peak_queue
+                .max(active.iter().map(|&ch| queues[ch].len()).max().unwrap_or(0));
+        }
 
         let mut moved: Vec<(NodeId, AdaptivePacket)> = Vec::new(); // (arrival node, packet)
         let mut still_active = Vec::with_capacity(active.len());
@@ -435,6 +735,18 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
             if let Some(mut p) = queues[ch].pop_front() {
                 p.hops += 1;
                 let here = chan_to[ch] as usize;
+                if let Some(b) = board.as_mut() {
+                    b.busy[ch] += 1;
+                    b.fwd[ch] += 1;
+                    let (from, to) = b.ends[ch];
+                    tel.expect("board implies telemetry")
+                        .event(|| Event::PacketHop {
+                            id: p.id,
+                            from,
+                            to,
+                            cycle: cycle + 1,
+                        });
+                }
                 if here == p.dst {
                     let latency = cycle + 1 - p.injected_at;
                     total_latency += latency;
@@ -443,6 +755,16 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
                     stats.max_latency = stats.max_latency.max(latency);
                     stats.delivered += 1;
                     in_flight -= 1;
+                    if let Some(b) = board.as_mut() {
+                        b.deliver(latency, p.hops as u64);
+                        tel.expect("board implies telemetry")
+                            .event(|| Event::PacketDelivered {
+                                id: p.id,
+                                dst: here as u32,
+                                latency,
+                                cycle: cycle + 1,
+                            });
+                    }
                 } else {
                     moved.push((here, p));
                 }
@@ -476,6 +798,14 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
         stats.avg_latency = total_latency as f64 / latency_samples as f64;
         stats.avg_hops = total_hops as f64 / latency_samples as f64;
     }
+    debug_assert_eq!(
+        stats.delivered + stats.stranded,
+        stats.offered,
+        "packet conservation"
+    );
+    if let (Some(t), Some(b)) = (tel, board) {
+        b.finish(t, &stats);
+    }
     stats
 }
 
@@ -487,7 +817,11 @@ mod tests {
     #[test]
     fn single_packet_latency_is_distance() {
         let t = HypercubeNet::new(4).unwrap();
-        let inj = [Injection { src: 0, dst: 0b1111, at: 0 }];
+        let inj = [Injection {
+            src: 0,
+            dst: 0b1111,
+            at: 0,
+        }];
         let s = run(&t, &inj, SimConfig::default());
         assert_eq!(s.delivered, 1);
         assert_eq!(s.stranded, 0);
@@ -500,8 +834,16 @@ mod tests {
         // Two packets injected the same cycle over the same first channel.
         let t = HypercubeNet::new(3).unwrap();
         let inj = [
-            Injection { src: 0, dst: 1, at: 0 },
-            Injection { src: 0, dst: 1, at: 0 },
+            Injection {
+                src: 0,
+                dst: 1,
+                at: 0,
+            },
+            Injection {
+                src: 0,
+                dst: 1,
+                at: 0,
+            },
         ];
         let s = run(&t, &inj, SimConfig::default());
         assert_eq!(s.delivered, 2);
@@ -514,7 +856,11 @@ mod tests {
     #[test]
     fn self_addressed_packets_deliver_instantly() {
         let t = HypercubeNet::new(3).unwrap();
-        let inj = [Injection { src: 5, dst: 5, at: 0 }];
+        let inj = [Injection {
+            src: 5,
+            dst: 5,
+            at: 0,
+        }];
         let s = run(&t, &inj, SimConfig::default());
         assert_eq!(s.delivered, 1);
         assert_eq!(s.avg_latency, 0.0);
@@ -523,11 +869,46 @@ mod tests {
     #[test]
     fn cycle_limit_strands_packets() {
         let t = HypercubeNet::new(4).unwrap();
-        let inj = [Injection { src: 0, dst: 0b1111, at: 0 }];
-        let s = run(&t, &inj, SimConfig { max_cycles: 2, stop_when_drained: true });
+        let inj = [Injection {
+            src: 0,
+            dst: 0b1111,
+            at: 0,
+        }];
+        let s = run(&t, &inj, SimConfig::bounded(2));
         assert_eq!(s.delivered, 0);
         assert_eq!(s.stranded, 1);
         assert_eq!(s.cycles, 2);
+    }
+
+    #[test]
+    fn conservation_holds_under_cycle_limit_in_all_simulators() {
+        // Stop mid-flight at several cut points: delivered + stranded
+        // must equal offered no matter where the limit lands (some
+        // packets queued, some in flight, some never injected).
+        let t = HypercubeNet::new(4).unwrap();
+        let inj: Vec<Injection> = (0..24)
+            .map(|i| Injection {
+                src: i % 16,
+                dst: (i * 5 + 3) % 16,
+                at: (i / 8) as u64,
+            })
+            .collect();
+        for limit in [0, 1, 2, 3, 5, 8] {
+            let s = run(&t, &inj, SimConfig::bounded(limit));
+            assert_eq!(s.delivered + s.stranded, s.offered, "run, limit {limit}");
+            let sa = run_adaptive(&t, &inj, SimConfig::bounded(limit));
+            assert_eq!(
+                sa.delivered + sa.stranded,
+                sa.offered,
+                "adaptive, limit {limit}"
+            );
+            let sb = run_bounded(&t, &inj, SimConfig::bounded(limit), 2);
+            assert_eq!(
+                sb.delivered + sb.stranded,
+                sb.offered,
+                "bounded, limit {limit}"
+            );
+        }
     }
 
     #[test]
@@ -535,7 +916,11 @@ mod tests {
         let t = HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap();
         let n = t.num_nodes();
         let inj: Vec<Injection> = (0..n)
-            .map(|v| Injection { src: v, dst: (v * 7 + 3) % n, at: 0 })
+            .map(|v| Injection {
+                src: v,
+                dst: (v * 7 + 3) % n,
+                at: 0,
+            })
             .collect();
         let s = run(&t, &inj, SimConfig::default());
         assert_eq!(s.delivered, n as u64);
@@ -544,11 +929,67 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_off_and_on_produce_identical_stats() {
+        let t = HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap();
+        let n = t.num_nodes();
+        let inj: Vec<Injection> = (0..n)
+            .map(|v| Injection {
+                src: v,
+                dst: (v * 7 + 3) % n,
+                at: 0,
+            })
+            .collect();
+        let off = run(&t, &inj, SimConfig::default());
+        let tel = hb_telemetry::Telemetry::with_trace(64);
+        let on = run(&t, &inj, SimConfig::default().with_telemetry(tel.clone()));
+        assert_eq!(off, on, "telemetry must not perturb the simulation");
+
+        // And the instruments reflect the run faithfully.
+        assert_eq!(tel.counter("sim.offered").get(), on.offered);
+        assert_eq!(tel.counter("sim.delivered").get(), on.delivered);
+        assert_eq!(tel.counter("sim.cycles").get(), on.cycles);
+        let lat = tel.histogram("sim.latency").unwrap();
+        assert_eq!(lat.count(), on.delivered);
+        assert_eq!(lat.max(), Some(on.max_latency));
+        let q = lat.quantiles().unwrap();
+        assert!(q.p50 <= q.p95 && q.p95 <= q.p99 && q.p99 <= q.max);
+        // Every hop of every delivered packet crossed exactly one link.
+        let hops = tel.histogram("sim.hops").unwrap();
+        assert_eq!(tel.links().total_forwarded(), hops.sum());
+        assert!(!tel.events().is_empty());
+        assert_eq!(tel.snapshot().cycles, Some(on.cycles));
+    }
+
+    #[test]
+    fn telemetry_peak_queue_matches_stats() {
+        let t = HypercubeNet::new(3).unwrap();
+        let inj: Vec<Injection> = (0..6)
+            .map(|_| Injection {
+                src: 0,
+                dst: 1,
+                at: 0,
+            })
+            .collect();
+        let tel = hb_telemetry::Telemetry::summary();
+        let s = run(&t, &inj, SimConfig::default().with_telemetry(tel.clone()));
+        let links = tel.links();
+        let per_link_peak = links.iter().map(|(_, r)| r.peak_queue).max().unwrap();
+        assert_eq!(per_link_peak, s.peak_queue);
+        assert_eq!(links.get(0, 1).unwrap().forwarded, 6);
+        assert!(tel.events().is_empty(), "summary level records no trace");
+    }
+
+    #[test]
     fn bounded_queues_preserve_conservation_and_can_drop() {
         let t = HypercubeNet::new(3).unwrap();
         // Ten packets into one channel of capacity 2, same cycle.
-        let inj: Vec<Injection> =
-            (0..10).map(|_| Injection { src: 0, dst: 1, at: 0 }).collect();
+        let inj: Vec<Injection> = (0..10)
+            .map(|_| Injection {
+                src: 0,
+                dst: 1,
+                at: 0,
+            })
+            .collect();
         let s = run_bounded(&t, &inj, SimConfig::default(), 2);
         assert_eq!(s.delivered + s.stranded, s.offered);
         assert_eq!(s.delivered, 2); // only the buffered two survive
@@ -556,9 +997,40 @@ mod tests {
     }
 
     #[test]
+    fn bounded_run_counts_and_traces_drops() {
+        let t = HypercubeNet::new(3).unwrap();
+        let inj: Vec<Injection> = (0..10)
+            .map(|_| Injection {
+                src: 0,
+                dst: 1,
+                at: 0,
+            })
+            .collect();
+        let tel = hb_telemetry::Telemetry::with_trace(64);
+        let s = run_bounded(
+            &t,
+            &inj,
+            SimConfig::default().with_telemetry(tel.clone()),
+            2,
+        );
+        assert_eq!(s.delivered, 2);
+        assert_eq!(tel.counter("sim.dropped").get(), 8);
+        let drops = tel
+            .events()
+            .iter()
+            .filter(|e| matches!(e, hb_telemetry::Event::PacketDropped { .. }))
+            .count();
+        assert_eq!(drops, 8);
+    }
+
+    #[test]
     fn bounded_queues_match_unbounded_at_low_load() {
         let t = HypercubeNet::new(4).unwrap();
-        let inj = [Injection { src: 0, dst: 0b1111, at: 0 }];
+        let inj = [Injection {
+            src: 0,
+            dst: 0b1111,
+            at: 0,
+        }];
         let b = run_bounded(&t, &inj, SimConfig::default(), 4);
         assert_eq!(b.delivered, 1);
         assert_eq!(b.avg_latency, 4.0);
@@ -570,8 +1042,16 @@ mod tests {
         // Two packets share the full route 0 -> 1 -> 3; capacity 1 forces
         // the second to wait at each stage but both must arrive.
         let inj = [
-            Injection { src: 0, dst: 3, at: 0 },
-            Injection { src: 0, dst: 3, at: 1 },
+            Injection {
+                src: 0,
+                dst: 3,
+                at: 0,
+            },
+            Injection {
+                src: 0,
+                dst: 3,
+                at: 1,
+            },
         ];
         let s = run_bounded(&t, &inj, SimConfig::default(), 1);
         assert_eq!(s.delivered, 2);
@@ -581,7 +1061,11 @@ mod tests {
     #[test]
     fn adaptive_matches_oblivious_hops_at_zero_load() {
         let t = HypercubeNet::new(4).unwrap();
-        let inj = [Injection { src: 0, dst: 0b1111, at: 0 }];
+        let inj = [Injection {
+            src: 0,
+            dst: 0b1111,
+            at: 0,
+        }];
         let s = run_adaptive(&t, &inj, SimConfig::default());
         assert_eq!(s.delivered, 1);
         assert_eq!(s.avg_hops, 4.0); // adaptive stays minimal
@@ -594,21 +1078,53 @@ mod tests {
         // on one fixed route; adaptive fans out over disjoint shortest
         // paths and must not be slower.
         let t = HypercubeNet::new(4).unwrap();
-        let inj: Vec<Injection> =
-            (0..8).map(|_| Injection { src: 0, dst: 0b1111, at: 0 }).collect();
+        let inj: Vec<Injection> = (0..8)
+            .map(|_| Injection {
+                src: 0,
+                dst: 0b1111,
+                at: 0,
+            })
+            .collect();
         let obl = run(&t, &inj, SimConfig::default());
         let ada = run_adaptive(&t, &inj, SimConfig::default());
         assert_eq!(ada.delivered, 8);
-        assert!(ada.avg_latency <= obl.avg_latency, "{} vs {}", ada.avg_latency, obl.avg_latency);
+        assert!(
+            ada.avg_latency <= obl.avg_latency,
+            "{} vs {}",
+            ada.avg_latency,
+            obl.avg_latency
+        );
         assert_eq!(ada.avg_hops, 4.0, "minimality preserved");
+    }
+
+    #[test]
+    fn adaptive_populates_link_stats() {
+        let t = HypercubeNet::new(4).unwrap();
+        let inj: Vec<Injection> = (0..8)
+            .map(|_| Injection {
+                src: 0,
+                dst: 0b1111,
+                at: 0,
+            })
+            .collect();
+        let tel = hb_telemetry::Telemetry::summary();
+        let s = run_adaptive(&t, &inj, SimConfig::default().with_telemetry(tel.clone()));
+        assert_eq!(s.delivered, 8);
+        // Minimal adaptivity: every packet takes exactly 4 hops.
+        assert_eq!(tel.links().total_forwarded(), 8 * 4);
     }
 
     #[test]
     fn adaptive_works_on_hyper_butterfly() {
         let t = HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap();
         let n = t.num_nodes();
-        let inj: Vec<Injection> =
-            (0..n).map(|v| Injection { src: v, dst: (v * 31 + 5) % n, at: 0 }).collect();
+        let inj: Vec<Injection> = (0..n)
+            .map(|v| Injection {
+                src: v,
+                dst: (v * 31 + 5) % n,
+                at: 0,
+            })
+            .collect();
         let s = run_adaptive(&t, &inj, SimConfig::default());
         assert_eq!(s.delivered, n as u64);
         assert_eq!(s.stranded, 0);
@@ -619,8 +1135,16 @@ mod tests {
     fn unsorted_injections_panic() {
         let t = HypercubeNet::new(3).unwrap();
         let inj = [
-            Injection { src: 0, dst: 1, at: 5 },
-            Injection { src: 0, dst: 1, at: 0 },
+            Injection {
+                src: 0,
+                dst: 1,
+                at: 5,
+            },
+            Injection {
+                src: 0,
+                dst: 1,
+                at: 0,
+            },
         ];
         run(&t, &inj, SimConfig::default());
     }

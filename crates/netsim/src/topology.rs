@@ -56,7 +56,10 @@ impl HypercubeNet {
     /// Propagates construction failures.
     pub fn new(m: u32) -> Result<Self> {
         let h = Hypercube::new(m)?;
-        Ok(Self { graph: h.build_graph()?, h })
+        Ok(Self {
+            graph: h.build_graph()?,
+            h,
+        })
     }
 }
 
@@ -96,7 +99,10 @@ impl ButterflyNet {
     /// Propagates construction failures.
     pub fn new(n: u32) -> Result<Self> {
         let b = Butterfly::new(n)?;
-        Ok(Self { graph: b.build_graph()?, b })
+        Ok(Self {
+            graph: b.build_graph()?,
+            b,
+        })
     }
 }
 
@@ -151,7 +157,11 @@ impl HyperButterflyNet {
     /// Propagates construction failures.
     pub fn new(m: u32, n: u32, order: HbRouteOrder) -> Result<Self> {
         let hb = HyperButterfly::new(m, n)?;
-        Ok(Self { graph: hb.build_graph()?, hb, order })
+        Ok(Self {
+            graph: hb.build_graph()?,
+            hb,
+            order,
+        })
     }
 
     /// The wrapped topology.
@@ -203,7 +213,10 @@ impl HyperDeBruijnNet {
     /// Propagates construction failures.
     pub fn new(m: u32, n: u32) -> Result<Self> {
         let hd = HyperDeBruijn::new(m, n)?;
-        Ok(Self { graph: hd.build_graph()?, hd })
+        Ok(Self {
+            graph: hd.build_graph()?,
+            hd,
+        })
     }
 
     /// The wrapped topology.
@@ -254,9 +267,7 @@ impl GraphNet {
     }
 
     fn parents_from(&self, src: NodeId) -> &[u32] {
-        self.parents[src].get_or_init(|| {
-            hb_graphs::traverse::bfs(&self.graph, src).parent
-        })
+        self.parents[src].get_or_init(|| hb_graphs::traverse::bfs(&self.graph, src).parent)
     }
 }
 
@@ -315,7 +326,7 @@ mod tests {
             &HyperButterflyNet::new(2, 3, HbRouteOrder::ButterflyFirst).unwrap(),
             &pairs,
         );
-        check_routes(&HyperDeBruijnNet::new(2, 3, ).unwrap(), &pairs);
+        check_routes(&HyperDeBruijnNet::new(2, 3).unwrap(), &pairs);
     }
 
     #[test]
@@ -338,7 +349,9 @@ mod tests {
     fn names_are_descriptive() {
         assert_eq!(HypercubeNet::new(3).unwrap().name(), "H(3)");
         assert_eq!(
-            HyperButterflyNet::new(2, 4, HbRouteOrder::CubeFirst).unwrap().name(),
+            HyperButterflyNet::new(2, 4, HbRouteOrder::CubeFirst)
+                .unwrap()
+                .name(),
             "HB(2, 4)"
         );
     }

@@ -167,7 +167,7 @@ mod tests {
     fn permutation_is_a_derangement() {
         let inj = permutation(20, 1, 1, 7);
         assert_eq!(inj.len(), 20);
-        let mut seen = vec![false; 20];
+        let mut seen = [false; 20];
         for i in &inj {
             assert_ne!(i.src, i.dst);
             assert!(!seen[i.dst]);

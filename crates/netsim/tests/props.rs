@@ -14,10 +14,10 @@ proptest! {
                              max_cycles in 1u64..400) {
         let t = HypercubeNet::new(4).unwrap();
         let inj = workload::uniform(t.num_nodes(), cycles, rate as f64 / 100.0, seed);
-        let cfg = SimConfig { max_cycles, stop_when_drained: true };
-        let s = run(&t, &inj, cfg);
+        let cfg = SimConfig::bounded(max_cycles);
+        let s = run(&t, &inj, cfg.clone());
         prop_assert_eq!(s.delivered + s.stranded, s.offered);
-        let sa = run_adaptive(&t, &inj, cfg);
+        let sa = run_adaptive(&t, &inj, cfg.clone());
         prop_assert_eq!(sa.delivered + sa.stranded, sa.offered);
     }
 
@@ -27,7 +27,7 @@ proptest! {
     fn full_drain_invariants(rate in 1u32..40, cycles in 1u64..30, seed in 0u64..500) {
         let t = HyperButterflyNet::new(1, 3, HbRouteOrder::CubeFirst).unwrap();
         let inj = workload::uniform(t.num_nodes(), cycles, rate as f64 / 100.0, seed);
-        let cfg = SimConfig { max_cycles: 1_000_000, stop_when_drained: true };
+        let cfg = SimConfig::bounded(1_000_000);
         let s = run(&t, &inj, cfg);
         prop_assert_eq!(s.stranded, 0);
         prop_assert_eq!(s.delivered, s.offered);
@@ -43,8 +43,8 @@ proptest! {
     fn adaptive_stays_minimal(seed in 0u64..500, rounds in 1u64..4) {
         let t = HypercubeNet::new(4).unwrap();
         let inj = workload::permutation(t.num_nodes(), rounds, 3, seed);
-        let cfg = SimConfig { max_cycles: 1_000_000, stop_when_drained: true };
-        let obl = run(&t, &inj, cfg);
+        let cfg = SimConfig::bounded(1_000_000);
+        let obl = run(&t, &inj, cfg.clone());
         let ada = run_adaptive(&t, &inj, cfg);
         prop_assert_eq!(obl.delivered, ada.delivered);
         prop_assert!((obl.avg_hops - ada.avg_hops).abs() < 1e-9,

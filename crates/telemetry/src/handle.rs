@@ -1,0 +1,258 @@
+//! The [`Telemetry`] handle: one cheaply clonable object tying the
+//! registry, histograms, link stats, and event trace together.
+
+use crate::histogram::Histogram;
+use crate::links::LinkStats;
+use crate::registry::{Counter, Gauge, Registry};
+use crate::sink::{HistogramSummary, Snapshot};
+use crate::trace::{Event, EventTrace};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Counter name the simulator stores its cycle count under; sinks use
+/// it to derive per-link utilization.
+pub const CYCLES_COUNTER: &str = "sim.cycles";
+
+/// How much the handle records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TelemetryLevel {
+    /// Counters, histograms, and link stats — no per-event trace.
+    Summary,
+    /// Everything, including the bounded event trace.
+    Trace,
+}
+
+struct Inner {
+    level: TelemetryLevel,
+    registry: Registry,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    links: Mutex<LinkStats>,
+    trace: Mutex<EventTrace>,
+}
+
+/// A shared telemetry sink. Cloning is cheap (reference-counted); all
+/// clones feed the same instruments.
+///
+/// Instrumented subsystems accept an `Option<Telemetry>`; `None` means
+/// observability is off and must cost nothing on the hot path.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("level", &self.inner.level)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    /// A summary-level handle: counters, histograms, link stats.
+    pub fn summary() -> Self {
+        Self::with_level(TelemetryLevel::Summary, 0)
+    }
+
+    /// A trace-level handle retaining at most `trace_capacity` events.
+    pub fn with_trace(trace_capacity: usize) -> Self {
+        Self::with_level(TelemetryLevel::Trace, trace_capacity)
+    }
+
+    fn with_level(level: TelemetryLevel, trace_capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                level,
+                registry: Registry::new(),
+                histograms: Mutex::new(BTreeMap::new()),
+                links: Mutex::new(LinkStats::new()),
+                trace: Mutex::new(EventTrace::new(trace_capacity)),
+            }),
+        }
+    }
+
+    /// The recording level.
+    pub fn level(&self) -> TelemetryLevel {
+        self.inner.level
+    }
+
+    /// Whether per-event tracing is on. Producers should gate event
+    /// construction on this — it is a single branch when off.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.inner.level == TelemetryLevel::Trace
+    }
+
+    /// The counter/gauge registry.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// The counter named `name` (created at zero if absent).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner.registry.counter(name)
+    }
+
+    /// The gauge named `name` (created at zero if absent).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner.registry.gauge(name)
+    }
+
+    /// Records `v` into the histogram named `name`.
+    pub fn record(&self, name: &str, v: u64) {
+        let mut hs = self.inner.histograms.lock().expect("histogram lock");
+        hs.entry(name.to_string()).or_default().record(v);
+    }
+
+    /// Merges a locally accumulated histogram into the one named `name`
+    /// (hot loops accumulate privately, then merge once).
+    pub fn merge_histogram(&self, name: &str, h: &Histogram) {
+        let mut hs = self.inner.histograms.lock().expect("histogram lock");
+        hs.entry(name.to_string()).or_default().merge(h);
+    }
+
+    /// A clone of the histogram named `name`, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner
+            .histograms
+            .lock()
+            .expect("histogram lock")
+            .get(name)
+            .cloned()
+    }
+
+    /// Merges locally accumulated link stats into the shared map.
+    pub fn merge_links(&self, ls: &LinkStats) {
+        self.inner.links.lock().expect("links lock").merge(ls);
+    }
+
+    /// A clone of the accumulated link stats.
+    pub fn links(&self) -> LinkStats {
+        self.inner.links.lock().expect("links lock").clone()
+    }
+
+    /// Pushes an event if tracing is on; `make` is not even called
+    /// otherwise.
+    #[inline]
+    pub fn event(&self, make: impl FnOnce() -> Event) {
+        if self.trace_enabled() {
+            self.inner.trace.lock().expect("trace lock").push(make());
+        }
+    }
+
+    /// Retained trace events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.trace.lock().expect("trace lock").to_vec()
+    }
+
+    /// A point-in-time snapshot of every instrument, ready for a
+    /// [`crate::Sink`].
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self.inner.registry.counters();
+        let cycles = counters
+            .iter()
+            .find(|(n, _)| n == CYCLES_COUNTER)
+            .map(|&(_, v)| v);
+        let histograms = {
+            let hs = self.inner.histograms.lock().expect("histogram lock");
+            hs.iter()
+                .filter_map(|(n, h)| {
+                    h.quantiles().map(|q| {
+                        (
+                            n.clone(),
+                            HistogramSummary {
+                                count: h.count(),
+                                mean: h.mean(),
+                                min: h.min().unwrap_or(0),
+                                p50: q.p50,
+                                p95: q.p95,
+                                p99: q.p99,
+                                max: q.max,
+                            },
+                        )
+                    })
+                })
+                .collect()
+        };
+        let links = {
+            let ls = self.inner.links.lock().expect("links lock");
+            ls.utilization_rows(cycles.unwrap_or(0))
+        };
+        let trace = self.inner.trace.lock().expect("trace lock");
+        Snapshot {
+            counters,
+            gauges: self.inner.registry.gauges(),
+            histograms,
+            links,
+            cycles,
+            events: trace.to_vec(),
+            events_dropped: trace.dropped(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_instruments() {
+        let t = Telemetry::summary();
+        let t2 = t.clone();
+        t.counter("x").inc();
+        t2.counter("x").add(2);
+        assert_eq!(t.counter("x").get(), 3);
+        t.record("lat", 5);
+        t2.record("lat", 9);
+        assert_eq!(t.histogram("lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn events_are_gated_by_level() {
+        let s = Telemetry::summary();
+        let mut called = false;
+        s.event(|| {
+            called = true;
+            Event::RoundStarted {
+                protocol: "x".into(),
+                round: 1,
+            }
+        });
+        assert!(!called, "summary level must not build events");
+        assert!(s.events().is_empty());
+
+        let t = Telemetry::with_trace(8);
+        t.event(|| Event::RoundStarted {
+            protocol: "x".into(),
+            round: 1,
+        });
+        assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_collects_everything() {
+        let t = Telemetry::with_trace(4);
+        t.counter(CYCLES_COUNTER).add(100);
+        t.counter("sim.delivered").add(7);
+        t.gauge("in_flight").set(3);
+        t.record("sim.latency", 12);
+        let mut ls = LinkStats::new();
+        ls.record_forward(0, 1, 50);
+        t.merge_links(&ls);
+        t.event(|| Event::PacketHop {
+            id: 0,
+            from: 0,
+            to: 1,
+            cycle: 3,
+        });
+        let s = t.snapshot();
+        assert_eq!(s.cycles, Some(100));
+        assert_eq!(s.counters.len(), 2);
+        assert_eq!(s.gauges, vec![("in_flight".to_string(), 3)]);
+        assert_eq!(s.histograms.len(), 1);
+        assert_eq!(s.links.len(), 1);
+        assert!((s.links[0].utilization - 0.5).abs() < 1e-12);
+        assert_eq!(s.events.len(), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! # hb-telemetry — observability substrate for the hyper-butterfly stack
+//!
+//! The paper's claims (Theorem 3 diameter, Corollary 1 fault tolerance,
+//! §3 routing optimality) are *exercised* by `hb-netsim` and
+//! `hb-distributed`, but aggregate numbers alone cannot show **where**
+//! congestion forms, **which** links saturate, or **how** latency is
+//! distributed. This crate is the measurement layer every simulator and
+//! protocol run reports through:
+//!
+//! * [`registry`] — monotonic [`Counter`]s and [`Gauge`]s behind a cheap
+//!   name-keyed [`Registry`];
+//! * [`histogram`] — a log-bucketed latency [`Histogram`] whose quantile
+//!   queries return values provably bracketed by the true order
+//!   statistics of the recorded samples;
+//! * [`links`] — [`LinkStats`], a map keyed by directed channel
+//!   recording packets forwarded, busy cycles, and peak queue depth —
+//!   the dynamic counterpart of the static edge forwarding index;
+//! * [`trace`] — a bounded ring-buffer [`EventTrace`] of packet and
+//!   protocol-round events with cheap `enabled` gating;
+//! * [`sink`] — pluggable renderers to fixed-width text tables, JSON
+//!   lines, and CSV.
+//!
+//! The [`Telemetry`] handle ties these together. It is a cheap
+//! reference-counted clone; every instrumented subsystem takes an
+//! `Option<Telemetry>` and pays **zero** cost when it is `None` (the
+//! simulator's `SimStats` are byte-identical with telemetry off — see
+//! the `hb-netsim` tests).
+//!
+//! No external dependencies; `std` only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod links;
+pub mod registry;
+pub mod sink;
+pub mod trace;
+
+mod handle;
+
+pub use handle::{Telemetry, TelemetryLevel, CYCLES_COUNTER};
+pub use histogram::{Histogram, Quantiles};
+pub use links::{LinkKey, LinkRecord, LinkStats};
+pub use registry::{Counter, Gauge, Registry};
+pub use sink::{CsvSink, JsonLinesSink, Sink, Snapshot, TextSink};
+pub use trace::{Event, EventTrace};

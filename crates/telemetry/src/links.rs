@@ -1,0 +1,231 @@
+//! Per-directed-link statistics — the dynamic counterpart of the static
+//! edge forwarding index (`hb-netsim::forwarding`).
+//!
+//! A *link* is a directed channel `(from, to)` of the network graph.
+//! Three quantities capture its behaviour over a run:
+//!
+//! * `forwarded` — packets the channel actually transmitted;
+//! * `busy_cycles` — cycles the channel had at least one packet queued
+//!   (equals `forwarded` under unbounded queues, exceeds it when
+//!   backpressure blocks the head packet);
+//! * `peak_queue` — the deepest its queue ever got.
+//!
+//! `forwarded / cycles` is the link utilization; comparing the table
+//! against the forwarding index shows how closely measured traffic
+//! tracks the router's static load prediction.
+
+use std::collections::BTreeMap;
+
+/// A directed channel key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkKey {
+    /// Sending node.
+    pub from: u32,
+    /// Receiving node.
+    pub to: u32,
+}
+
+/// Accumulated statistics of one directed link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkRecord {
+    /// Packets transmitted over the link.
+    pub forwarded: u64,
+    /// Cycles with at least one packet queued at the link.
+    pub busy_cycles: u64,
+    /// Peak queue depth observed at the link.
+    pub peak_queue: usize,
+}
+
+/// One row of the utilization table: a link plus its derived utilization.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkUtilization {
+    /// The directed channel.
+    pub key: LinkKey,
+    /// Its accumulated record.
+    pub record: LinkRecord,
+    /// `forwarded / cycles` (0 when `cycles` is 0).
+    pub utilization: f64,
+}
+
+/// A map of per-directed-link statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    map: BTreeMap<LinkKey, LinkRecord>,
+}
+
+impl LinkStats {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` forwarded packets to link `(from, to)`.
+    pub fn record_forward(&mut self, from: u32, to: u32, n: u64) {
+        self.map.entry(LinkKey { from, to }).or_default().forwarded += n;
+    }
+
+    /// Adds `n` busy cycles to link `(from, to)`.
+    pub fn record_busy(&mut self, from: u32, to: u32, n: u64) {
+        self.map
+            .entry(LinkKey { from, to })
+            .or_default()
+            .busy_cycles += n;
+    }
+
+    /// Raises the peak queue depth of link `(from, to)` to at least
+    /// `depth`.
+    pub fn observe_queue(&mut self, from: u32, to: u32, depth: usize) {
+        let r = self.map.entry(LinkKey { from, to }).or_default();
+        r.peak_queue = r.peak_queue.max(depth);
+    }
+
+    /// The record of link `(from, to)`, if any activity was recorded.
+    pub fn get(&self, from: u32, to: u32) -> Option<&LinkRecord> {
+        self.map.get(&LinkKey { from, to })
+    }
+
+    /// Number of links with recorded activity.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no link recorded any activity.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates links in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&LinkKey, &LinkRecord)> {
+        self.map.iter()
+    }
+
+    /// Total packets forwarded over all links (= total hops taken).
+    pub fn total_forwarded(&self) -> u64 {
+        self.map.values().map(|r| r.forwarded).sum()
+    }
+
+    /// Merges another map into this one (sums counters, maxes peaks).
+    pub fn merge(&mut self, other: &LinkStats) {
+        for (k, r) in &other.map {
+            let e = self.map.entry(*k).or_default();
+            e.forwarded += r.forwarded;
+            e.busy_cycles += r.busy_cycles;
+            e.peak_queue = e.peak_queue.max(r.peak_queue);
+        }
+    }
+
+    /// Utilization rows sorted by forwarded count, busiest first.
+    pub fn utilization_rows(&self, cycles: u64) -> Vec<LinkUtilization> {
+        let mut rows: Vec<LinkUtilization> = self
+            .map
+            .iter()
+            .map(|(k, r)| LinkUtilization {
+                key: *k,
+                record: *r,
+                utilization: if cycles == 0 {
+                    0.0
+                } else {
+                    r.forwarded as f64 / cycles as f64
+                },
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.record
+                .forwarded
+                .cmp(&a.record.forwarded)
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        rows
+    }
+
+    /// Renders the top-`top` utilization rows as a fixed-width table
+    /// (all rows if `top` is 0).
+    pub fn render_table(&self, cycles: u64, top: usize) -> String {
+        use std::fmt::Write;
+        let mut rows = self.utilization_rows(cycles);
+        let total = rows.len();
+        if top > 0 {
+            rows.truncate(top);
+        }
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:>8} {:>8} {:>10} {:>10} {:>10} {:>8}",
+            "From", "To", "Forwarded", "BusyCyc", "PeakQueue", "Util"
+        );
+        for r in &rows {
+            let _ = writeln!(
+                s,
+                "{:>8} {:>8} {:>10} {:>10} {:>10} {:>8.4}",
+                r.key.from,
+                r.key.to,
+                r.record.forwarded,
+                r.record.busy_cycles,
+                r.record.peak_queue,
+                r.utilization
+            );
+        }
+        if rows.len() < total {
+            let _ = writeln!(s, "({} more links not shown)", total - rows.len());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_link() {
+        let mut ls = LinkStats::new();
+        ls.record_forward(0, 1, 3);
+        ls.record_forward(0, 1, 2);
+        ls.record_busy(0, 1, 7);
+        ls.observe_queue(0, 1, 4);
+        ls.observe_queue(0, 1, 2); // lower: peak stays 4
+        let r = ls.get(0, 1).unwrap();
+        assert_eq!(r.forwarded, 5);
+        assert_eq!(r.busy_cycles, 7);
+        assert_eq!(r.peak_queue, 4);
+        assert!(ls.get(1, 0).is_none());
+    }
+
+    #[test]
+    fn utilization_rows_sort_busiest_first() {
+        let mut ls = LinkStats::new();
+        ls.record_forward(0, 1, 2);
+        ls.record_forward(2, 3, 9);
+        let rows = ls.utilization_rows(10);
+        assert_eq!(rows[0].key, LinkKey { from: 2, to: 3 });
+        assert!((rows[0].utilization - 0.9).abs() < 1e-12);
+        assert!((rows[1].utilization - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = LinkStats::new();
+        a.record_forward(0, 1, 1);
+        a.observe_queue(0, 1, 3);
+        let mut b = LinkStats::new();
+        b.record_forward(0, 1, 2);
+        b.observe_queue(0, 1, 2);
+        b.record_forward(5, 6, 1);
+        a.merge(&b);
+        assert_eq!(a.get(0, 1).unwrap().forwarded, 3);
+        assert_eq!(a.get(0, 1).unwrap().peak_queue, 3);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.total_forwarded(), 4);
+    }
+
+    #[test]
+    fn render_truncates_and_reports_remainder() {
+        let mut ls = LinkStats::new();
+        for i in 0..5u32 {
+            ls.record_forward(i, i + 1, (i + 1) as u64);
+        }
+        let s = ls.render_table(100, 2);
+        assert!(s.contains("Forwarded"));
+        assert!(s.contains("3 more links not shown"));
+    }
+}

@@ -1,0 +1,615 @@
+//! Pluggable renderers for telemetry snapshots.
+//!
+//! A [`Snapshot`] is a point-in-time copy of every instrument; a
+//! [`Sink`] turns it into text. Three formats ship here:
+//!
+//! * [`TextSink`] — fixed-width tables for terminals (the style of
+//!   `hb-core::metrics::render_table`);
+//! * [`JsonLinesSink`] — one JSON object per line, greppable and
+//!   stream-appendable;
+//! * [`CsvSink`] — RFC-4180 sections, one per instrument family (the
+//!   quoting idiom of `hb-bench::csv`).
+
+use crate::links::LinkUtilization;
+use crate::trace::Event;
+
+/// Summary statistics of one named histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Recorded samples.
+    pub count: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Exact minimum.
+    pub min: u64,
+    /// Median (conservative upper bucket edge).
+    pub p50: u64,
+    /// 95th percentile (upper bucket edge).
+    pub p95: u64,
+    /// 99th percentile (upper bucket edge).
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+/// A point-in-time copy of every instrument of a
+/// [`crate::Telemetry`] handle.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+    /// Per-link utilization rows, busiest first.
+    pub links: Vec<LinkUtilization>,
+    /// The run's cycle count (from the `sim.cycles` counter), if known.
+    pub cycles: Option<u64>,
+    /// Retained trace events, oldest first.
+    pub events: Vec<Event>,
+    /// Events evicted from the bounded trace.
+    pub events_dropped: u64,
+}
+
+/// Renders a [`Snapshot`] to a string.
+pub trait Sink {
+    /// Produces the rendition.
+    fn render(&self, snapshot: &Snapshot) -> String;
+}
+
+/// Fixed-width text tables for terminals.
+#[derive(Clone, Copy, Debug)]
+pub struct TextSink {
+    /// Maximum link rows to print (0 = all).
+    pub top_links: usize,
+    /// Maximum trace events to print (0 = all retained).
+    pub max_events: usize,
+}
+
+impl Default for TextSink {
+    fn default() -> Self {
+        Self {
+            top_links: 16,
+            max_events: 32,
+        }
+    }
+}
+
+impl Sink for TextSink {
+    fn render(&self, s: &Snapshot) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        if !s.counters.is_empty() || !s.gauges.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (n, v) in &s.counters {
+                let _ = writeln!(out, "  {n:<32} {v:>12}");
+            }
+            for (n, v) in &s.gauges {
+                let _ = writeln!(out, "  {n:<32} {v:>12} (gauge)");
+            }
+        }
+        if !s.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>9} {:>9} {:>6} {:>6} {:>6} {:>6} {:>8}",
+                "histogram", "count", "mean", "min", "p50", "p95", "p99", "max"
+            );
+            for (n, h) in &s.histograms {
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>9} {:>9.2} {:>6} {:>6} {:>6} {:>6} {:>8}",
+                    n, h.count, h.mean, h.min, h.p50, h.p95, h.p99, h.max
+                );
+            }
+        }
+        if !s.links.is_empty() {
+            let _ = writeln!(
+                out,
+                "per-link utilization ({} links{}):",
+                s.links.len(),
+                s.cycles.map_or(String::new(), |c| format!(", {c} cycles"))
+            );
+            let _ = writeln!(
+                out,
+                "{:>8} {:>8} {:>10} {:>10} {:>10} {:>8}",
+                "From", "To", "Forwarded", "BusyCyc", "PeakQueue", "Util"
+            );
+            let shown = if self.top_links == 0 {
+                s.links.len()
+            } else {
+                self.top_links
+            };
+            for r in s.links.iter().take(shown) {
+                let _ = writeln!(
+                    out,
+                    "{:>8} {:>8} {:>10} {:>10} {:>10} {:>8.4}",
+                    r.key.from,
+                    r.key.to,
+                    r.record.forwarded,
+                    r.record.busy_cycles,
+                    r.record.peak_queue,
+                    r.utilization
+                );
+            }
+            if s.links.len() > shown {
+                let _ = writeln!(out, "({} more links not shown)", s.links.len() - shown);
+            }
+        }
+        if !s.events.is_empty() || s.events_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "trace ({} events retained, {} dropped):",
+                s.events.len(),
+                s.events_dropped
+            );
+            let shown = if self.max_events == 0 {
+                s.events.len()
+            } else {
+                self.max_events
+            };
+            let skip = s.events.len().saturating_sub(shown);
+            if skip > 0 {
+                let _ = writeln!(out, "  ... {skip} earlier events omitted");
+            }
+            for e in s.events.iter().skip(skip) {
+                let _ = writeln!(out, "  {}", event_text(e));
+            }
+        }
+        out
+    }
+}
+
+fn event_text(e: &Event) -> String {
+    match e {
+        Event::PacketInjected {
+            id,
+            src,
+            dst,
+            cycle,
+        } => {
+            format!("[{cycle:>6}] inject  #{id} {src} -> {dst}")
+        }
+        Event::PacketHop {
+            id,
+            from,
+            to,
+            cycle,
+        } => {
+            format!("[{cycle:>6}] hop     #{id} {from} -> {to}")
+        }
+        Event::PacketDelivered {
+            id,
+            dst,
+            latency,
+            cycle,
+        } => {
+            format!("[{cycle:>6}] deliver #{id} at {dst} (latency {latency})")
+        }
+        Event::PacketDropped { id, at, cycle } => {
+            format!("[{cycle:>6}] drop    #{id} at {at}")
+        }
+        Event::RoundStarted { protocol, round } => {
+            format!("[round {round:>4}] {protocol} start")
+        }
+        Event::RoundEnded {
+            protocol,
+            round,
+            messages,
+        } => {
+            format!("[round {round:>4}] {protocol} end ({messages} messages)")
+        }
+    }
+}
+
+/// Escapes a string for a JSON string literal (no surrounding quotes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn event_json(e: &Event) -> String {
+    match e {
+        Event::PacketInjected {
+            id,
+            src,
+            dst,
+            cycle,
+        } => format!(
+            "{{\"type\":\"event\",\"kind\":\"packet_injected\",\"id\":{id},\"src\":{src},\
+             \"dst\":{dst},\"cycle\":{cycle}}}"
+        ),
+        Event::PacketHop {
+            id,
+            from,
+            to,
+            cycle,
+        } => format!(
+            "{{\"type\":\"event\",\"kind\":\"packet_hop\",\"id\":{id},\"from\":{from},\
+             \"to\":{to},\"cycle\":{cycle}}}"
+        ),
+        Event::PacketDelivered {
+            id,
+            dst,
+            latency,
+            cycle,
+        } => format!(
+            "{{\"type\":\"event\",\"kind\":\"packet_delivered\",\"id\":{id},\"dst\":{dst},\
+             \"latency\":{latency},\"cycle\":{cycle}}}"
+        ),
+        Event::PacketDropped { id, at, cycle } => format!(
+            "{{\"type\":\"event\",\"kind\":\"packet_dropped\",\"id\":{id},\"at\":{at},\
+             \"cycle\":{cycle}}}"
+        ),
+        Event::RoundStarted { protocol, round } => format!(
+            "{{\"type\":\"event\",\"kind\":\"round_started\",\"protocol\":\"{}\",\
+             \"round\":{round}}}",
+            json_escape(protocol)
+        ),
+        Event::RoundEnded {
+            protocol,
+            round,
+            messages,
+        } => format!(
+            "{{\"type\":\"event\",\"kind\":\"round_ended\",\"protocol\":\"{}\",\
+             \"round\":{round},\"messages\":{messages}}}",
+            json_escape(protocol)
+        ),
+    }
+}
+
+/// One JSON object per line: counters, gauges, histograms, links, then
+/// events. Floats are printed with up to 6 decimal places.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JsonLinesSink;
+
+impl Sink for JsonLinesSink {
+    fn render(&self, s: &Snapshot) -> String {
+        let mut out = String::new();
+        for (n, v) in &s.counters {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{v}}}\n",
+                json_escape(n)
+            ));
+        }
+        for (n, v) in &s.gauges {
+            out.push_str(&format!(
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{v}}}\n",
+                json_escape(n)
+            ));
+        }
+        for (n, h) in &s.histograms {
+            out.push_str(&format!(
+                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"mean\":{:.6},\
+                 \"min\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}\n",
+                json_escape(n),
+                h.count,
+                h.mean,
+                h.min,
+                h.p50,
+                h.p95,
+                h.p99,
+                h.max
+            ));
+        }
+        for l in &s.links {
+            out.push_str(&format!(
+                "{{\"type\":\"link\",\"from\":{},\"to\":{},\"forwarded\":{},\
+                 \"busy_cycles\":{},\"peak_queue\":{},\"utilization\":{:.6}}}\n",
+                l.key.from,
+                l.key.to,
+                l.record.forwarded,
+                l.record.busy_cycles,
+                l.record.peak_queue,
+                l.utilization
+            ));
+        }
+        for e in &s.events {
+            out.push_str(&event_json(e));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Quotes one CSV field per RFC 4180.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn csv_record<I: IntoIterator<Item = String>>(fields: I) -> String {
+    fields
+        .into_iter()
+        .map(|f| csv_field(&f))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// RFC-4180 CSV, one headed section per instrument family, separated by
+/// blank lines.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CsvSink;
+
+impl Sink for CsvSink {
+    fn render(&self, s: &Snapshot) -> String {
+        let mut out = String::new();
+        if !s.counters.is_empty() || !s.gauges.is_empty() {
+            out.push_str("kind,name,value\n");
+            for (n, v) in &s.counters {
+                out.push_str(&csv_record(["counter".into(), n.clone(), v.to_string()]));
+                out.push('\n');
+            }
+            for (n, v) in &s.gauges {
+                out.push_str(&csv_record(["gauge".into(), n.clone(), v.to_string()]));
+                out.push('\n');
+            }
+        }
+        if !s.histograms.is_empty() {
+            out.push_str("\nhistogram,count,mean,min,p50,p95,p99,max\n");
+            for (n, h) in &s.histograms {
+                out.push_str(&csv_record([
+                    n.clone(),
+                    h.count.to_string(),
+                    format!("{:.6}", h.mean),
+                    h.min.to_string(),
+                    h.p50.to_string(),
+                    h.p95.to_string(),
+                    h.p99.to_string(),
+                    h.max.to_string(),
+                ]));
+                out.push('\n');
+            }
+        }
+        if !s.links.is_empty() {
+            out.push_str("\nfrom,to,forwarded,busy_cycles,peak_queue,utilization\n");
+            for l in &s.links {
+                out.push_str(&csv_record([
+                    l.key.from.to_string(),
+                    l.key.to.to_string(),
+                    l.record.forwarded.to_string(),
+                    l.record.busy_cycles.to_string(),
+                    l.record.peak_queue.to_string(),
+                    format!("{:.6}", l.utilization),
+                ]));
+                out.push('\n');
+            }
+        }
+        if !s.events.is_empty() {
+            out.push_str("\nevent,id,src,dst,from,to,at,latency,protocol,round,messages,cycle\n");
+            for e in &s.events {
+                let empty = String::new;
+                let row = match e {
+                    Event::PacketInjected {
+                        id,
+                        src,
+                        dst,
+                        cycle,
+                    } => [
+                        "packet_injected".to_string(),
+                        id.to_string(),
+                        src.to_string(),
+                        dst.to_string(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        cycle.to_string(),
+                    ],
+                    Event::PacketHop {
+                        id,
+                        from,
+                        to,
+                        cycle,
+                    } => [
+                        "packet_hop".to_string(),
+                        id.to_string(),
+                        empty(),
+                        empty(),
+                        from.to_string(),
+                        to.to_string(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        cycle.to_string(),
+                    ],
+                    Event::PacketDelivered {
+                        id,
+                        dst,
+                        latency,
+                        cycle,
+                    } => [
+                        "packet_delivered".to_string(),
+                        id.to_string(),
+                        empty(),
+                        dst.to_string(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        latency.to_string(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        cycle.to_string(),
+                    ],
+                    Event::PacketDropped { id, at, cycle } => [
+                        "packet_dropped".to_string(),
+                        id.to_string(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        at.to_string(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        cycle.to_string(),
+                    ],
+                    Event::RoundStarted { protocol, round } => [
+                        "round_started".to_string(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        protocol.clone(),
+                        round.to_string(),
+                        empty(),
+                        empty(),
+                    ],
+                    Event::RoundEnded {
+                        protocol,
+                        round,
+                        messages,
+                    } => [
+                        "round_ended".to_string(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        protocol.clone(),
+                        round.to_string(),
+                        messages.to_string(),
+                        empty(),
+                    ],
+                };
+                out.push_str(&csv_record(row));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::links::LinkStats;
+    use crate::Telemetry;
+
+    /// A small deterministic snapshot exercising every instrument.
+    fn sample_snapshot() -> Snapshot {
+        let t = Telemetry::with_trace(8);
+        t.counter("sim.cycles").add(100);
+        t.counter("sim.delivered").add(2);
+        t.gauge("in_flight").set(1);
+        t.record("sim.latency", 4);
+        t.record("sim.latency", 6);
+        let mut ls = LinkStats::new();
+        ls.record_forward(0, 1, 10);
+        ls.record_busy(0, 1, 10);
+        ls.observe_queue(0, 1, 2);
+        t.merge_links(&ls);
+        t.event(|| Event::PacketInjected {
+            id: 0,
+            src: 0,
+            dst: 5,
+            cycle: 0,
+        });
+        t.event(|| Event::PacketHop {
+            id: 0,
+            from: 0,
+            to: 1,
+            cycle: 1,
+        });
+        t.event(|| Event::PacketDelivered {
+            id: 0,
+            dst: 5,
+            latency: 4,
+            cycle: 4,
+        });
+        t.event(|| Event::RoundEnded {
+            protocol: "election".into(),
+            round: 3,
+            messages: 12,
+        });
+        t.snapshot()
+    }
+
+    #[test]
+    fn golden_json_lines() {
+        let got = JsonLinesSink.render(&sample_snapshot());
+        let want = "\
+{\"type\":\"counter\",\"name\":\"sim.cycles\",\"value\":100}
+{\"type\":\"counter\",\"name\":\"sim.delivered\",\"value\":2}
+{\"type\":\"gauge\",\"name\":\"in_flight\",\"value\":1}
+{\"type\":\"histogram\",\"name\":\"sim.latency\",\"count\":2,\"mean\":5.000000,\"min\":4,\"p50\":4,\"p95\":6,\"p99\":6,\"max\":6}
+{\"type\":\"link\",\"from\":0,\"to\":1,\"forwarded\":10,\"busy_cycles\":10,\"peak_queue\":2,\"utilization\":0.100000}
+{\"type\":\"event\",\"kind\":\"packet_injected\",\"id\":0,\"src\":0,\"dst\":5,\"cycle\":0}
+{\"type\":\"event\",\"kind\":\"packet_hop\",\"id\":0,\"from\":0,\"to\":1,\"cycle\":1}
+{\"type\":\"event\",\"kind\":\"packet_delivered\",\"id\":0,\"dst\":5,\"latency\":4,\"cycle\":4}
+{\"type\":\"event\",\"kind\":\"round_ended\",\"protocol\":\"election\",\"round\":3,\"messages\":12}
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn json_lines_are_individually_valid_objects() {
+        // Sanity without a JSON parser dep: every line is brace-wrapped
+        // and quotes balance.
+        for line in JsonLinesSink.render(&sample_snapshot()).lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            let quotes = line.matches('"').count();
+            assert_eq!(quotes % 2, 0, "{line}");
+        }
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn text_sink_has_quantile_and_link_sections() {
+        let s = TextSink::default().render(&sample_snapshot());
+        assert!(s.contains("p50"));
+        assert!(s.contains("p95"));
+        assert!(s.contains("p99"));
+        assert!(s.contains("per-link utilization"));
+        assert!(s.contains("sim.latency"));
+        assert!(s.contains("deliver #0"));
+    }
+
+    #[test]
+    fn csv_sink_sections_have_headers() {
+        let s = CsvSink.render(&sample_snapshot());
+        assert!(s.contains("kind,name,value"));
+        assert!(s.contains("histogram,count,mean,min,p50,p95,p99,max"));
+        assert!(s.contains("from,to,forwarded,busy_cycles,peak_queue,utilization"));
+        assert!(s.contains("counter,sim.cycles,100"));
+        assert!(s.contains("0,1,10,10,2,0.100000"));
+    }
+
+    #[test]
+    fn csv_quoting_follows_rfc_4180() {
+        assert_eq!(
+            csv_record(["a,b".into(), "say \"hi\"".into()]),
+            "\"a,b\",\"say \"\"hi\"\"\""
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Bounded event tracing: packet lifecycle and protocol rounds.
+//!
+//! The trace is a fixed-capacity ring buffer — when full, the oldest
+//! events are dropped (and counted), so tracing a long run costs bounded
+//! memory and the *tail* of the run stays inspectable. Producers gate
+//! event construction on [`crate::Telemetry::trace_enabled`], which is a
+//! single branch when tracing is off.
+
+use std::collections::VecDeque;
+
+/// One traced occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A packet entered its source queue.
+    PacketInjected {
+        /// Packet id (injection order).
+        id: u64,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Simulation cycle.
+        cycle: u64,
+    },
+    /// A packet crossed one directed channel.
+    PacketHop {
+        /// Packet id.
+        id: u64,
+        /// Channel tail (sender).
+        from: u32,
+        /// Channel head (receiver).
+        to: u32,
+        /// Simulation cycle.
+        cycle: u64,
+    },
+    /// A packet reached its destination.
+    PacketDelivered {
+        /// Packet id.
+        id: u64,
+        /// Destination node.
+        dst: u32,
+        /// End-to-end latency in cycles.
+        latency: u64,
+        /// Simulation cycle.
+        cycle: u64,
+    },
+    /// A packet was refused (full source buffer under bounded queues).
+    PacketDropped {
+        /// Packet id.
+        id: u64,
+        /// Node where the drop happened.
+        at: u32,
+        /// Simulation cycle.
+        cycle: u64,
+    },
+    /// A protocol round began.
+    RoundStarted {
+        /// Protocol name.
+        protocol: String,
+        /// Round number (1-based).
+        round: u32,
+    },
+    /// A protocol round finished.
+    RoundEnded {
+        /// Protocol name.
+        protocol: String,
+        /// Round number (1-based).
+        round: u32,
+        /// Messages sent during the round.
+        messages: u64,
+    },
+}
+
+/// A bounded ring buffer of [`Event`]s.
+#[derive(Clone, Debug, Default)]
+pub struct EventTrace {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventTrace {
+    /// Creates a trace holding at most `capacity` events (0 = record
+    /// nothing, count everything as dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            buf: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, e: Event) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(e);
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Retained events as a vector, oldest first.
+    pub fn to_vec(&self) -> Vec<Event> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Capacity the trace was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted (or refused) because of the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(id: u64) -> Event {
+        Event::PacketHop {
+            id,
+            from: 0,
+            to: 1,
+            cycle: id,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_tail() {
+        let mut t = EventTrace::new(3);
+        for i in 0..5 {
+            t.push(hop(i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let ids: Vec<u64> = t
+            .iter()
+            .map(|e| match e {
+                Event::PacketHop { id, .. } => *id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_drops() {
+        let mut t = EventTrace::new(0);
+        t.push(hop(0));
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+}

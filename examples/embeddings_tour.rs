@@ -11,7 +11,11 @@ use hb_graphs::generators;
 fn main() {
     let hb = HyperButterfly::new(2, 3).expect("valid dimensions");
     let host = hb.build_graph().expect("graph");
-    println!("HB(2, 3): {} nodes, {} edges", host.num_nodes(), host.num_edges());
+    println!(
+        "HB(2, 3): {} nodes, {} edges",
+        host.num_nodes(),
+        host.num_edges()
+    );
 
     // Lemma 2 extremes: the smallest even cycle and the Hamiltonian one.
     let c4 = embed::even_cycle(&hb, 4).expect("C4");
@@ -26,7 +30,9 @@ fn main() {
     // columns.
     let map = embed::torus(&hb, 4, 2, 0).expect("torus");
     let guest = generators::torus(4, 6).expect("guest");
-    Embedding { map }.validate(&guest, &host).expect("torus validates");
+    Embedding { map }
+        .validate(&guest, &host)
+        .expect("torus validates");
     println!("torus M(4, 6) embedded and validated");
 
     // Complete binary tree T(n + 1 + floor(m/2)) = T(5).
@@ -42,6 +48,8 @@ fn main() {
     let map = embed::mesh_of_trees(&hb, 1, 3).expect("MT");
     let guest = generators::mesh_of_trees(2, 8).expect("guest");
     let nodes = guest.num_nodes();
-    Embedding { map }.validate(&guest, &host).expect("MT validates");
+    Embedding { map }
+        .validate(&guest, &host)
+        .expect("MT validates");
     println!("mesh of trees MT(2, 8) embedded ({nodes} guest nodes)");
 }

@@ -28,8 +28,11 @@ fn main() {
         .iter()
         .map(|p| p[1]) // first internal node of each path
         .collect();
-    println!("\ninjecting {} faults (the maximum tolerable is m + 3 = {})",
-             faults.len(), hb.degree() - 1);
+    println!(
+        "\ninjecting {} faults (the maximum tolerable is m + 3 = {})",
+        faults.len(),
+        hb.degree() - 1
+    );
     for f in &faults {
         println!("  fault at {f}");
     }
@@ -37,5 +40,9 @@ fn main() {
         .expect("endpoints healthy")
         .expect("Theorem 5 guarantees a surviving path");
     let steps: Vec<String> = route.iter().map(|x| x.to_string()).collect();
-    println!("\nsurviving route ({} hops): {}", route.len() - 1, steps.join(" -> "));
+    println!(
+        "\nsurviving route ({} hops): {}",
+        route.len() - 1,
+        steps.join(" -> ")
+    );
 }

@@ -22,7 +22,10 @@ fn main() {
     ];
 
     println!("min-id flooding election (diameter known a priori per topology):");
-    println!("{:<10} {:>6} {:>9} {:>10} {:>10}", "topology", "nodes", "diameter", "rounds", "messages");
+    println!(
+        "{:<10} {:>6} {:>9} {:>10} {:>10}",
+        "topology", "nodes", "diameter", "rounds", "messages"
+    );
     for (name, g, diam) in &cases {
         let out = election::elect(g, *diam);
         let leader = election::validate(&out).expect("election must succeed");
@@ -43,10 +46,7 @@ fn main() {
         spanning_tree::validate(g, 0, &out).expect("tree must validate");
         println!(
             "{:<10} rounds {:>4}  messages {:>7}  root counted {} nodes",
-            name,
-            out.rounds,
-            out.messages,
-            out.states[0].subtree_size
+            name, out.rounds, out.messages, out.states[0].subtree_size
         );
     }
 }

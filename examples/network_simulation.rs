@@ -5,7 +5,9 @@
 //! Run with: `cargo run --release --example network_simulation`
 
 use hb_netsim::faults;
-use hb_netsim::topology::{HbRouteOrder, HyperButterflyNet, HyperDeBruijnNet, HypercubeNet, NetTopology};
+use hb_netsim::topology::{
+    HbRouteOrder, HyperButterflyNet, HyperDeBruijnNet, HypercubeNet, NetTopology,
+};
 use hb_netsim::{run, sim::SimConfig, workload};
 
 fn main() {
@@ -21,7 +23,11 @@ fn main() {
         let stats = run(t.as_ref(), &inj, SimConfig::default());
         println!(
             "  {:<10} delivered {:>5}/{:<5} avg latency {:>6.2} avg hops {:>5.2} peak queue {}",
-            t.name(), stats.delivered, stats.offered, stats.avg_latency, stats.avg_hops,
+            t.name(),
+            stats.delivered,
+            stats.offered,
+            stats.avg_latency,
+            stats.avg_hops,
             stats.peak_queue
         );
     }

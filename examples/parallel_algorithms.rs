@@ -18,19 +18,29 @@ fn main() {
     let keys: Vec<i64> = (0..32).map(|k| (k * 37 + 11) % 100).collect();
     let (sorted, steps) = emulate::bitonic_sort(&b, keys.clone());
     assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
-    println!("bitonic sort of {} keys on B(5): {} butterfly steps", keys.len(), steps);
+    println!(
+        "bitonic sort of {} keys on B(5): {} butterfly steps",
+        keys.len(),
+        steps
+    );
     println!("  in : {keys:?}");
     println!("  out: {sorted:?}");
 
     // Global reduction in exactly n steps.
     let values: Vec<i64> = (0..32).collect();
     let (sums, steps) = emulate::reduce_all(&b, values, |a, c| a + c);
-    println!("\nreduce_all on B(5): every column holds {} after {steps} steps", sums[0]);
+    println!(
+        "\nreduce_all on B(5): every column holds {} after {steps} steps",
+        sums[0]
+    );
 
     // Prefix sums.
     let values: Vec<i64> = vec![1; 32];
     let (prefix, steps) = emulate::prefix_sums(&b, values);
-    println!("prefix sums of thirty-two 1s in {steps} steps: last = {}", prefix[31]);
+    println!(
+        "prefix sums of thirty-two 1s in {steps} steps: last = {}",
+        prefix[31]
+    );
 
     // Matrix-vector multiply on MT(2, 8) inside HB(2, 3).
     let hb = HyperButterfly::new(2, 3).expect("HB(2,3)");

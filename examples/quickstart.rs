@@ -12,10 +12,19 @@ fn main() {
 
     println!("HB(3, 4)");
     println!("  nodes            = {}   (n * 2^(m+n))", hb.num_nodes());
-    println!("  edges            = {}   ((m+4) * n * 2^(m+n-1))", hb.num_edges());
+    println!(
+        "  edges            = {}   ((m+4) * n * 2^(m+n-1))",
+        hb.num_edges()
+    );
     println!("  degree           = {}      (regular, m + 4)", hb.degree());
-    println!("  diameter         = {}     (m + n + floor(n/2))", hb.diameter());
-    println!("  connectivity     = {}      (maximally fault tolerant)", hb.connectivity());
+    println!(
+        "  diameter         = {}     (m + n + floor(n/2))",
+        hb.diameter()
+    );
+    println!(
+        "  connectivity     = {}      (maximally fault tolerant)",
+        hb.connectivity()
+    );
 
     // Nodes carry two-part labels: hypercube bits and a signed cyclic
     // permutation of symbols (printed like the paper: ~ = complemented).

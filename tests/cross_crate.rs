@@ -42,8 +42,8 @@ fn hb_is_the_cartesian_product_of_its_factors() {
         let (uh, ub) = (u / pop_b, u % pop_b);
         for v in 0..g.num_nodes() {
             let (vh, vb) = (v / pop_b, v % pop_b);
-            let product_edge = (uh == vh && bfly.has_edge(ub, vb))
-                || (ub == vb && cube.has_edge(uh, vh));
+            let product_edge =
+                (uh == vh && bfly.has_edge(ub, vb)) || (ub == vb && cube.has_edge(uh, vh));
             assert_eq!(g.has_edge(u, v), product_edge, "({u}, {v})");
         }
     }
@@ -75,8 +75,8 @@ fn implicit_and_explicit_bfs_agree() {
     let g = CayleyTopology::build_graph(&hb).unwrap();
     let implicit = word_metric_profile(&hb);
     let explicit = hb_graphs::traverse::bfs(&g, 0);
-    for v in 0..g.num_nodes() {
-        assert_eq!(implicit[v], explicit.dist[v], "node {v}");
+    for (v, &d) in implicit.iter().enumerate() {
+        assert_eq!(d, explicit.dist[v], "node {v}");
     }
 }
 
@@ -92,7 +92,10 @@ fn hd_degree_profile_is_debruijn_shifted() {
     let gdb = db.build_graph().unwrap();
     for x in 0..gdb.num_nodes() {
         for h in 0..(1usize << m) {
-            let v = hd.index(hb_debruijn::HdNode { h: h as u32, x: x as u32 });
+            let v = hd.index(hb_debruijn::HdNode {
+                h: h as u32,
+                x: x as u32,
+            });
             assert_eq!(ghd.degree(v), gdb.degree(x) + m as usize);
         }
     }

@@ -25,7 +25,10 @@ fn figure_1_second_instance() {
 #[test]
 fn figure_2_proxy_certified() {
     let rows = fig2::measure(fig2::Fig2Scale::Proxy).unwrap();
-    assert_eq!(rows[0].fault_tolerance_measured, rows[0].regular.map(|d| d as u32));
+    assert_eq!(
+        rows[0].fault_tolerance_measured,
+        rows[0].regular.map(|d| d as u32)
+    );
     assert!(rows[1].fault_tolerance_measured.unwrap() < rows[1].degree_max as u32);
 }
 

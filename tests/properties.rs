@@ -154,3 +154,30 @@ fn hb_node_new_matches_parts() {
     assert_eq!(v.b, b);
     assert_eq!(hb.node(hb.index(v)), v);
 }
+
+proptest! {
+    /// Telemetry histogram quantiles are bracketed by the true order
+    /// statistics of the recorded samples: for every requested quantile
+    /// `q`, the exact rank-`ceil(q * count)` sample lies inside the
+    /// interval returned by `quantile_bounds`, and `quantile` (the upper
+    /// edge) never under-reports.
+    #[test]
+    fn telemetry_quantiles_bracket_order_statistics(
+        mut samples in proptest::collection::vec(0u64..2_000_000, 1..200),
+        q in 0.01f64..1.0,
+    ) {
+        let mut h = hb_telemetry::Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let truth = samples[rank - 1];
+        let (lo, hi) = h.quantile_bounds(q).unwrap();
+        prop_assert!(lo <= truth && truth <= hi, "q={}: {} not in [{}, {}]", q, truth, lo, hi);
+        prop_assert!(h.quantile(q).unwrap() >= truth);
+        // Exact extremes survive bucketing.
+        prop_assert_eq!(h.min().unwrap(), samples[0]);
+        prop_assert_eq!(h.max().unwrap(), *samples.last().unwrap());
+    }
+}

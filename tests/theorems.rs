@@ -46,7 +46,11 @@ fn theorem_2_counts_and_regularity() {
             (m as usize + 4) * ((n as usize) << (m + n)) / 2,
             "HB({m},{n}) edges"
         );
-        assert_eq!(props::regular_degree(&g), Some(m as usize + 4), "HB({m},{n}) degree");
+        assert_eq!(
+            props::regular_degree(&g),
+            Some(m as usize + 4),
+            "HB({m},{n}) degree"
+        );
     }
 }
 
@@ -125,7 +129,11 @@ fn corollary_1_edge_connectivity() {
         );
         let hd = hb_debruijn::HyperDeBruijn::new(m, n).unwrap();
         let g = hd.build_graph().unwrap();
-        assert_eq!(connectivity::edge_connectivity(&g).unwrap(), m + 2, "HD({m},{n})");
+        assert_eq!(
+            connectivity::edge_connectivity(&g).unwrap(),
+            m + 2,
+            "HD({m},{n})"
+        );
     }
 }
 
@@ -135,8 +143,7 @@ fn corollary_1_edge_connectivity() {
 #[test]
 fn lemma_1_mesh_even_cycles() {
     let torus = hb_graphs::generators::torus(4, 4).unwrap();
-    let (present, absent, exhausted) =
-        hb_graphs::cycles::cycle_spectrum(&torus, 16, 50_000_000);
+    let (present, absent, exhausted) = hb_graphs::cycles::cycle_spectrum(&torus, 16, 50_000_000);
     assert!(exhausted.is_empty(), "raise the search budget");
     assert_eq!(present, vec![4, 6, 8, 10, 12, 14, 16]);
     assert_eq!(absent, vec![3, 5, 7, 9, 11, 13, 15]);
@@ -204,6 +211,10 @@ fn conclusion_broadcast() {
         let s = hb_core::broadcast::broadcast_schedule(&hb, hb.identity_node());
         assert!(s.verify_on_graph(&g, 0), "HB({m},{n})");
         let lb = hb_core::broadcast::lower_bound_rounds(&hb);
-        assert!(s.num_rounds() as u32 <= 2 * lb, "HB({m},{n}): {} > 2*{lb}", s.num_rounds());
+        assert!(
+            s.num_rounds() as u32 <= 2 * lb,
+            "HB({m},{n}): {} > 2*{lb}",
+            s.num_rounds()
+        );
     }
 }
