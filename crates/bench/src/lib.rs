@@ -15,7 +15,10 @@
 //!   adaptivity ablations;
 //! * [`congestion_exp`] — E9 (extension): edge forwarding index;
 //! * [`distributed_exp`] — E10 (extension): leader election, spanning
-//!   tree, gossip (the authors' follow-up work).
+//!   tree, gossip (the authors' follow-up work);
+//! * [`baseline`] — the bench regression gate: a committed seeded
+//!   baseline (`BENCH_baseline.json`) plus a tolerance-based comparator
+//!   behind `hb-cli bench --check`.
 //!
 //! Binaries under `src/bin/` print each experiment's table; Criterion
 //! benches under `benches/` time the underlying machinery.
@@ -23,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod broadcast_exp;
 pub mod congestion_exp;
 pub mod csv;

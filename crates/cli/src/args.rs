@@ -31,7 +31,8 @@ pub enum Command {
     },
     /// `embed <m> <n> (cycle <k> | hamiltonian | tree | mot <p> <q>)`
     Embed { m: u32, n: u32, what: EmbedKind },
-    /// `simulate <m> <n> [--rate r] [--cycles c] [--adaptive] [--telemetry mode]`
+    /// `simulate <m> <n> [--rate r] [--cycles c] [--adaptive] [--telemetry mode]
+    /// [--faults f1,f2] [--fault-links a-b,c-d] [--sample mode] [--trace-out path]`
     Simulate {
         m: u32,
         n: u32,
@@ -39,6 +40,10 @@ pub enum Command {
         cycles: u64,
         adaptive: bool,
         telemetry: TelemetryMode,
+        faults: Vec<usize>,
+        fault_links: Vec<(usize, usize)>,
+        sample: SampleMode,
+        trace_out: Option<String>,
     },
     /// `telemetry <m> <n> [--rate r] [--cycles c] [--adaptive] [--format f]`
     Telemetry {
@@ -48,6 +53,15 @@ pub enum Command {
         cycles: u64,
         adaptive: bool,
         format: DumpFormat,
+    },
+    /// `bench (--write | --check) <path> [--cycles C] [--seed S]`
+    Bench {
+        /// `true` for `--check` (gate against a stored baseline),
+        /// `false` for `--write` (collect and store a fresh one).
+        check: bool,
+        path: String,
+        cycles: u64,
+        seed: u64,
     },
     /// `elect <m> <n>`
     Elect { m: u32, n: u32 },
@@ -83,6 +97,19 @@ pub enum TelemetryMode {
     Summary,
     /// Summary plus the bounded event trace.
     Trace,
+}
+
+/// Which packets the flight recorder samples (`simulate --sample`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SampleMode {
+    /// Record no packets.
+    Off,
+    /// Record every packet.
+    All,
+    /// Record one packet in `N` (`--sample every=N`).
+    EveryNth(u64),
+    /// Record packets whose route crosses a faulty-adjacent link.
+    FaultAdjacent,
 }
 
 /// Output format for the `telemetry` dump subcommand.
@@ -122,9 +149,19 @@ USAGE:
   hbnet embed <m> <n> mot <p> <q>      mesh of trees MT(2^p, 2^q) (Thm 4)
   hbnet simulate <m> <n> [--rate R] [--cycles C] [--adaptive]
                  [--telemetry off|summary|trace]
+                 [--faults f1,f2,..] [--fault-links a-b,c-d,..]
+                 [--sample off|all|every=N|fault-adjacent]
+                 [--trace-out FILE]
                                        packet simulation, uniform traffic;
                                        summary adds latency quantiles and
-                                       per-link utilization, trace adds events
+                                       per-link utilization, trace adds events;
+                                       with faults the flight recorder samples
+                                       packet span trees and --trace-out writes
+                                       them as Chrome trace-event JSON
+  hbnet bench --write <FILE> [--cycles C] [--seed S]
+                                       collect the seeded benchmark baseline
+  hbnet bench --check <FILE>           re-run and gate against a stored
+                                       baseline (exit 1 on metric drift)
   hbnet telemetry <m> <n> [--rate R] [--cycles C] [--adaptive]
                   [--format text|json|csv]
                                        run a traced simulation and dump the
@@ -141,6 +178,46 @@ fn need<T: std::str::FromStr>(args: &[String], i: usize, what: &str) -> Result<T
         .ok_or_else(|| ParseError(format!("missing <{what}>")))?
         .parse()
         .map_err(|_| ParseError(format!("invalid <{what}>: {}", args[i])))
+}
+
+fn parse_index_list(raw: &str, what: &str) -> Result<Vec<usize>, ParseError> {
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| ParseError(format!("invalid {what}: {s}")))
+        })
+        .collect()
+}
+
+fn parse_link_list(raw: &str) -> Result<Vec<(usize, usize)>, ParseError> {
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            let bad = || ParseError(format!("invalid link {s} (expected a-b)"));
+            let (a, b) = s.split_once('-').ok_or_else(bad)?;
+            Ok((
+                a.parse::<usize>().map_err(|_| bad())?,
+                b.parse::<usize>().map_err(|_| bad())?,
+            ))
+        })
+        .collect()
+}
+
+fn parse_sample(raw: Option<&str>) -> Result<SampleMode, ParseError> {
+    match raw {
+        Some("off") => Ok(SampleMode::Off),
+        Some("all") => Ok(SampleMode::All),
+        Some("fault-adjacent") => Ok(SampleMode::FaultAdjacent),
+        Some(s) if s.starts_with("every=") => s["every=".len()..]
+            .parse::<u64>()
+            .map(SampleMode::EveryNth)
+            .map_err(|_| ParseError(format!("invalid --sample {s} (every=N needs a number)"))),
+        other => Err(ParseError(format!(
+            "invalid --sample {:?} (off | all | every=N | fault-adjacent)",
+            other.unwrap_or("<none>")
+        ))),
+    }
 }
 
 /// Parses argv (without the program name).
@@ -207,6 +284,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut cycles = 200;
             let mut adaptive = false;
             let mut telemetry = TelemetryMode::Off;
+            let mut faults = Vec::new();
+            let mut fault_links = Vec::new();
+            let mut sample = SampleMode::Off;
+            let mut trace_out = None;
             let mut i = 3;
             while i < args.len() {
                 match args[i].as_str() {
@@ -236,6 +317,24 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         };
                         i += 2;
                     }
+                    "--faults" => {
+                        let raw: String = need(args, i + 1, "faults")?;
+                        faults = parse_index_list(&raw, "fault index")?;
+                        i += 2;
+                    }
+                    "--fault-links" => {
+                        let raw: String = need(args, i + 1, "fault-links")?;
+                        fault_links = parse_link_list(&raw)?;
+                        i += 2;
+                    }
+                    "--sample" => {
+                        sample = parse_sample(args.get(i + 1).map(String::as_str))?;
+                        i += 2;
+                    }
+                    "--trace-out" => {
+                        trace_out = Some(need::<String>(args, i + 1, "trace-out")?);
+                        i += 2;
+                    }
                     other => return Err(ParseError(format!("unknown flag {other}"))),
                 }
             }
@@ -246,6 +345,55 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 cycles,
                 adaptive,
                 telemetry,
+                faults,
+                fault_links,
+                sample,
+                trace_out,
+            })
+        }
+        "bench" => {
+            let mut check = None;
+            let mut path = None;
+            let mut cycles = 40;
+            let mut seed = 42;
+            let mut explicit_run = false;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--write" => {
+                        check = Some(false);
+                        path = Some(need::<String>(args, i + 1, "path")?);
+                        i += 2;
+                    }
+                    "--check" => {
+                        check = Some(true);
+                        path = Some(need::<String>(args, i + 1, "path")?);
+                        i += 2;
+                    }
+                    "--cycles" => {
+                        cycles = need(args, i + 1, "cycles")?;
+                        explicit_run = true;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        seed = need(args, i + 1, "seed")?;
+                        explicit_run = true;
+                        i += 2;
+                    }
+                    other => return Err(ParseError(format!("unknown flag {other}"))),
+                }
+            }
+            let check = check.ok_or_else(|| ParseError("bench needs --write or --check".into()))?;
+            if check && explicit_run {
+                return Err(ParseError(
+                    "--cycles/--seed come from the baseline file with --check".into(),
+                ));
+            }
+            Ok(Command::Bench {
+                check,
+                path: path.expect("path set whenever mode is set"),
+                cycles,
+                seed,
             })
         }
         "telemetry" => {
@@ -412,29 +560,67 @@ mod tests {
         assert!(parse(&argv("embed 2 3 torus")).is_err());
     }
 
-    #[test]
-    fn parses_simulate_flags() {
-        assert_eq!(
-            parse(&argv("simulate 2 4 --rate 0.25 --cycles 100 --adaptive")).unwrap(),
-            Command::Simulate {
-                m: 2,
-                n: 4,
-                rate: 0.25,
-                cycles: 100,
-                adaptive: true,
-                telemetry: TelemetryMode::Off,
-            }
-        );
-        assert_eq!(
-            parse(&argv("simulate 2 4")).unwrap(),
-            Command::Simulate {
-                m: 2,
-                n: 4,
+    /// A `Simulate` value with every post-`m n` field defaulted, so
+    /// tests only spell out what their flag changes.
+    struct Sim {
+        rate: f64,
+        cycles: u64,
+        adaptive: bool,
+        telemetry: TelemetryMode,
+        faults: Vec<usize>,
+        fault_links: Vec<(usize, usize)>,
+        sample: SampleMode,
+        trace_out: Option<String>,
+    }
+
+    impl Default for Sim {
+        fn default() -> Self {
+            Self {
                 rate: 0.1,
                 cycles: 200,
                 adaptive: false,
                 telemetry: TelemetryMode::Off,
+                faults: vec![],
+                fault_links: vec![],
+                sample: SampleMode::Off,
+                trace_out: None,
             }
+        }
+    }
+
+    fn simulate(m: u32, n: u32, s: Sim) -> Command {
+        Command::Simulate {
+            m,
+            n,
+            rate: s.rate,
+            cycles: s.cycles,
+            adaptive: s.adaptive,
+            telemetry: s.telemetry,
+            faults: s.faults,
+            fault_links: s.fault_links,
+            sample: s.sample,
+            trace_out: s.trace_out,
+        }
+    }
+
+    #[test]
+    fn parses_simulate_flags() {
+        assert_eq!(
+            parse(&argv("simulate 2 4 --rate 0.25 --cycles 100 --adaptive")).unwrap(),
+            simulate(
+                2,
+                4,
+                Sim {
+                    rate: 0.25,
+                    cycles: 100,
+                    adaptive: true,
+                    ..Sim::default()
+                }
+            )
+        );
+        assert_eq!(
+            parse(&argv("simulate 2 4")).unwrap(),
+            simulate(2, 4, Sim::default())
         );
         assert!(parse(&argv("simulate 2 4 --bogus")).is_err());
     }
@@ -448,18 +634,88 @@ mod tests {
         ] {
             assert_eq!(
                 parse(&argv(&format!("simulate 2 3 --telemetry {word}"))).unwrap(),
-                Command::Simulate {
-                    m: 2,
-                    n: 3,
-                    rate: 0.1,
-                    cycles: 200,
-                    adaptive: false,
-                    telemetry: mode,
-                }
+                simulate(
+                    2,
+                    3,
+                    Sim {
+                        telemetry: mode,
+                        ..Sim::default()
+                    }
+                )
             );
         }
         assert!(parse(&argv("simulate 2 3 --telemetry loud")).is_err());
         assert!(parse(&argv("simulate 2 3 --telemetry")).is_err());
+    }
+
+    #[test]
+    fn parses_simulate_fault_and_sampling_flags() {
+        assert_eq!(
+            parse(&argv(
+                "simulate 2 3 --telemetry trace --faults 3,9 --fault-links 0-1,4-12 \
+                 --sample fault-adjacent --trace-out flight.json"
+            ))
+            .unwrap(),
+            simulate(
+                2,
+                3,
+                Sim {
+                    telemetry: TelemetryMode::Trace,
+                    faults: vec![3, 9],
+                    fault_links: vec![(0, 1), (4, 12)],
+                    sample: SampleMode::FaultAdjacent,
+                    trace_out: Some("flight.json".into()),
+                    ..Sim::default()
+                }
+            )
+        );
+        for (word, mode) in [
+            ("off", SampleMode::Off),
+            ("all", SampleMode::All),
+            ("every=8", SampleMode::EveryNth(8)),
+        ] {
+            assert_eq!(
+                parse(&argv(&format!("simulate 2 3 --sample {word}"))).unwrap(),
+                simulate(
+                    2,
+                    3,
+                    Sim {
+                        sample: mode,
+                        ..Sim::default()
+                    }
+                )
+            );
+        }
+        assert!(parse(&argv("simulate 2 3 --sample sometimes")).is_err());
+        assert!(parse(&argv("simulate 2 3 --sample every=x")).is_err());
+        assert!(parse(&argv("simulate 2 3 --faults 1,x")).is_err());
+        assert!(parse(&argv("simulate 2 3 --fault-links 1+2")).is_err());
+    }
+
+    #[test]
+    fn parses_bench_modes() {
+        assert_eq!(
+            parse(&argv("bench --write out.json --cycles 30 --seed 7")).unwrap(),
+            Command::Bench {
+                check: false,
+                path: "out.json".into(),
+                cycles: 30,
+                seed: 7,
+            }
+        );
+        assert_eq!(
+            parse(&argv("bench --check BENCH_baseline.json")).unwrap(),
+            Command::Bench {
+                check: true,
+                path: "BENCH_baseline.json".into(),
+                cycles: 40,
+                seed: 42,
+            }
+        );
+        assert!(parse(&argv("bench")).is_err());
+        // --check takes cycles/seed from the stored file, not flags.
+        assert!(parse(&argv("bench --check b.json --cycles 9")).is_err());
+        assert!(parse(&argv("bench --write")).is_err());
     }
 
     #[test]

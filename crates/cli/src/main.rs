@@ -6,15 +6,20 @@
 
 mod args;
 
-use args::{parse, Command, DumpFormat, EmbedKind, TelemetryMode, USAGE};
+use args::{parse, Command, DumpFormat, EmbedKind, SampleMode, TelemetryMode, USAGE};
+use hb_bench::baseline::{render_drifts, Baseline};
 use hb_core::disjoint::DisjointEngine;
 use hb_core::{decompose, embed, fault_routing, metrics, routing, HyperButterfly};
 use hb_distributed::election;
 use hb_graphs::embedding::{validate_cycle, validate_tree_embedding, Embedding};
 use hb_graphs::generators;
 use hb_netsim::topology::{HbRouteOrder, HyperButterflyNet};
-use hb_netsim::{run, run_adaptive, sim::SimConfig, workload};
-use hb_telemetry::{CsvSink, JsonLinesSink, Sink, Telemetry, TextSink};
+use hb_netsim::{
+    run, run_adaptive, run_with_faults, sim::SimConfig, workload, FaultPlan, TraceSampling,
+};
+use hb_telemetry::{
+    ChromeTraceSink, CsvSink, JsonLinesSink, Sink, SpanTreeSink, Telemetry, TextSink,
+};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -147,19 +152,46 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             cycles,
             adaptive,
             telemetry,
+            faults,
+            fault_links,
+            sample,
+            trace_out,
         } => {
             let t = HyperButterflyNet::new(m, n, HbRouteOrder::CubeFirst)?;
-            let inj = workload::uniform(t.topology().num_nodes(), cycles, rate, 42);
+            let nn = t.topology().num_nodes();
+            for &f in &faults {
+                check_index(t.topology(), f)?;
+            }
+            for &(a, b) in &fault_links {
+                check_index(t.topology(), a)?;
+                check_index(t.topology(), b)?;
+            }
+            let plan = FaultPlan::from_sets(faults.iter().copied(), fault_links.iter().copied());
+            let sampling = match sample {
+                SampleMode::Off => TraceSampling::Off,
+                SampleMode::All => TraceSampling::All,
+                SampleMode::EveryNth(k) => TraceSampling::EveryNth(k),
+                SampleMode::FaultAdjacent => TraceSampling::FaultAdjacent,
+            };
+            let flight = !plan.is_empty() || sampling != TraceSampling::Off;
+            if adaptive && flight {
+                return Err("--adaptive cannot be combined with faults or sampling \
+                            (the flight recorder drives the oblivious router)"
+                    .into());
+            }
+            let inj = workload::uniform(nn, cycles, rate, 42);
             let tel = match telemetry {
                 TelemetryMode::Off => None,
                 TelemetryMode::Summary => Some(Telemetry::summary()),
-                TelemetryMode::Trace => Some(Telemetry::with_trace(4096)),
+                TelemetryMode::Trace => Some(Telemetry::with_trace(65_536)),
             };
             let mut cfg = SimConfig::bounded(cycles * 100 + 50_000);
             if let Some(t) = &tel {
                 cfg = cfg.with_telemetry(t.clone());
             }
-            let stats = if adaptive {
+            let stats = if flight {
+                run_with_faults(&t, &inj, cfg, &plan, sampling)
+            } else if adaptive {
                 run_adaptive(&t, &inj, cfg)
             } else {
                 run(&t, &inj, cfg)
@@ -174,7 +206,21 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 stats.avg_latency, stats.avg_hops
             );
             println!("  peak queue  {}", stats.peak_queue);
+            if flight {
+                println!(
+                    "  faults      {} nodes, {} links cut",
+                    plan.nodes().count(),
+                    plan.links().count()
+                );
+            }
             if let Some(t) = &tel {
+                if flight {
+                    println!(
+                        "  reroutes    {} (unroutable {})",
+                        t.counter("sim.reroutes").get(),
+                        t.counter("sim.unroutable").get()
+                    );
+                }
                 if let Some(q) = t.histogram("sim.latency").and_then(|h| h.quantiles()) {
                     println!(
                         "  latency     p50 {} / p95 {} / p99 {} / max {} cycles",
@@ -184,12 +230,61 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 let sim_cycles = t.counter(hb_telemetry::CYCLES_COUNTER).get();
                 print!("{}", t.links().render_table(sim_cycles, 16));
                 if telemetry == TelemetryMode::Trace {
-                    let events = t.events();
+                    let snapshot = t.snapshot();
                     println!(
                         "  trace: {} events retained (use `hbnet telemetry` to dump)",
-                        events.len()
+                        snapshot.events.len()
                     );
+                    if !snapshot.spans.is_empty() {
+                        print!("{}", SpanTreeSink.render(&snapshot));
+                    }
+                    if let Some(path) = &trace_out {
+                        std::fs::write(path, ChromeTraceSink.render(&snapshot))?;
+                        println!(
+                            "  wrote {} spans as Chrome trace-event JSON to {path}",
+                            snapshot.spans.len()
+                        );
+                    }
+                } else if trace_out.is_some() {
+                    return Err("--trace-out needs --telemetry trace".into());
                 }
+            } else if trace_out.is_some() {
+                return Err("--trace-out needs --telemetry trace".into());
+            }
+        }
+        Command::Bench {
+            check,
+            path,
+            cycles,
+            seed,
+        } => {
+            if check {
+                let stored = Baseline::parse(&std::fs::read_to_string(&path)?)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                let fresh = Baseline::collect(stored.cycles, stored.seed)?;
+                let drifts = stored.compare(&fresh);
+                if drifts.is_empty() {
+                    println!(
+                        "bench check OK: {} experiments match {path} (cycles {}, seed {})",
+                        stored.experiments.len(),
+                        stored.cycles,
+                        stored.seed
+                    );
+                } else {
+                    eprintln!(
+                        "bench check FAILED: {} metric(s) drifted beyond tolerance\n\n{}",
+                        drifts.len(),
+                        render_drifts(&drifts)
+                    );
+                    std::process::exit(1);
+                }
+            } else {
+                let baseline = Baseline::collect(cycles, seed)?;
+                std::fs::write(&path, baseline.to_json())?;
+                println!(
+                    "wrote {} experiments (cycles {cycles}, seed {seed}) to {path}",
+                    baseline.experiments.len()
+                );
             }
         }
         Command::Telemetry {

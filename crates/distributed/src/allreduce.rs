@@ -8,8 +8,9 @@
 //! back down. Round complexity `O(diameter)`, message complexity
 //! `O(E + N)`.
 
-use crate::runtime::{execute, Envelope, Protocol, RunOutcome};
+use crate::runtime::{execute_with, Envelope, Protocol, RunOutcome};
 use hb_graphs::{Graph, NodeId};
+use hb_telemetry::Telemetry;
 
 /// Per-node all-reduce state.
 #[derive(Clone, Debug)]
@@ -173,11 +174,26 @@ impl Protocol for AllReduce<'_> {
 /// # Panics
 /// Panics if `values.len() != g.num_nodes()`.
 pub fn allreduce_sum(g: &Graph, root: NodeId, values: &[i64]) -> RunOutcome<AllReduceState> {
+    allreduce_sum_with(g, root, values, None)
+}
+
+/// Like [`allreduce_sum`], reporting rounds/messages (and, at trace
+/// level, the per-round span tree) into `telemetry` when one is given.
+///
+/// # Panics
+/// Panics if `values.len() != g.num_nodes()`.
+pub fn allreduce_sum_with(
+    g: &Graph,
+    root: NodeId,
+    values: &[i64],
+    telemetry: Option<&Telemetry>,
+) -> RunOutcome<AllReduceState> {
     assert_eq!(values.len(), g.num_nodes(), "one value per node");
-    execute(
+    execute_with(
         g,
         &AllReduce { root, values },
         6 * g.num_nodes() as u32 + 16,
+        telemetry,
     )
 }
 

@@ -16,7 +16,13 @@
 //! [`RoundStarted`](hb_telemetry::Event::RoundStarted) /
 //! [`RoundEnded`](hb_telemetry::Event::RoundEnded) events — a
 //! convergence trace showing how traffic decays as a protocol
-//! stabilises. [`execute`] passes `None` and pays nothing.
+//! stabilises. At trace level the run additionally becomes a causal
+//! **span tree**: one root span per protocol run (attributes: rounds,
+//! messages, terminated) with one child span per round carrying that
+//! round's message count, sender count, and busiest-node statistics —
+//! logical round numbers serve as the span clock, so traces are
+//! deterministic and render in `SpanTreeSink` / `ChromeTraceSink`
+//! alongside packet flights. [`execute`] passes `None` and pays nothing.
 //!
 //! Independent of telemetry, every [`RunOutcome`] carries the full
 //! per-round breakdown ([`RunOutcome::init_messages`] +
@@ -146,6 +152,13 @@ pub fn execute_with<P: Protocol>(
     }
     let init_messages = messages;
 
+    // Root span for the whole run; `None` unless trace-level telemetry
+    // is attached (every span call below is then a no-op).
+    let root = telemetry.and_then(|t| t.span_start(proto.name(), None, 0));
+    if let Some(t) = telemetry {
+        t.span_attr(root, "init_messages", init_messages.to_string());
+    }
+
     let mut rounds = 0u32;
     let mut round_messages: Vec<u64> = Vec::new();
     let mut terminated = false;
@@ -162,13 +175,28 @@ pub fn execute_with<P: Protocol>(
                 round: rounds,
             });
         }
+        let round_span = telemetry
+            .and_then(|t| t.span_start(&format!("round {rounds}"), root, u64::from(rounds - 1)));
         let sent_before = messages;
         let current: Vec<Vec<Envelope<P::Msg>>> =
             std::mem::replace(&mut inboxes, vec![Vec::new(); n]);
+        // Per-node message statistics, tallied only when the round has a
+        // span to attach them to.
+        let mut senders = 0u64;
+        let mut busiest = (0u64, 0usize); // (count, node)
         for v in 0..n {
             let (out, fin) = proto.step(v, &mut states[v], &current[v], &neighbor_lists[v]);
             if fin {
                 done[v] = true;
+            }
+            if round_span.is_some() {
+                let c = out.len() as u64;
+                if c > 0 {
+                    senders += 1;
+                    if c > busiest.0 {
+                        busiest = (c, v);
+                    }
+                }
             }
             deliver(&mut inboxes, out, v, &mut messages);
         }
@@ -181,6 +209,15 @@ pub fn execute_with<P: Protocol>(
                 round: rounds,
                 messages: sent,
             });
+            if round_span.is_some() {
+                t.span_attr(round_span, "messages", sent.to_string());
+                t.span_attr(round_span, "senders", senders.to_string());
+                t.span_attr(round_span, "max_node_messages", busiest.0.to_string());
+                if busiest.0 > 0 {
+                    t.span_attr(round_span, "busiest_node", busiest.1.to_string());
+                }
+                t.span_end(round_span, u64::from(rounds));
+            }
         }
     }
     if !terminated {
@@ -193,6 +230,10 @@ pub fn execute_with<P: Protocol>(
         if terminated {
             t.counter("dist.terminated").inc();
         }
+        t.span_attr(root, "rounds", rounds.to_string());
+        t.span_attr(root, "messages", messages.to_string());
+        t.span_attr(root, "terminated", terminated.to_string());
+        t.span_end(root, u64::from(rounds));
     }
     debug_assert_eq!(
         init_messages + round_messages.iter().sum::<u64>(),
@@ -287,6 +328,40 @@ mod tests {
             &events[1],
             Event::RoundEnded { protocol, round: 1, messages: 0 } if protocol == "protocol"
         ));
+    }
+
+    #[test]
+    fn trace_level_builds_a_round_span_tree() {
+        use hb_telemetry::Telemetry;
+
+        let g = generators::cycle(6).unwrap();
+        let t = Telemetry::with_trace(64);
+        let out = execute_with(&g, &PingAll, 10, Some(&t));
+        let spans = t.spans();
+        // One root (the protocol) + one child per round.
+        assert_eq!(spans.len(), 1 + out.rounds as usize);
+        let root = &spans[0];
+        assert_eq!(root.name, "protocol");
+        assert_eq!(root.parent, None);
+        assert_eq!(root.start, 0);
+        assert_eq!(root.end, Some(u64::from(out.rounds)));
+        assert_eq!(root.attr("rounds"), Some("1"));
+        assert_eq!(root.attr("messages"), Some("12"));
+        assert_eq!(root.attr("init_messages"), Some("12"));
+        assert_eq!(root.attr("terminated"), Some("true"));
+        let round = &spans[1];
+        assert_eq!(round.name, "round 1");
+        assert_eq!(round.parent, Some(root.id));
+        assert_eq!((round.start, round.end), (0, Some(1)));
+        // Nothing is sent after init in PingAll.
+        assert_eq!(round.attr("messages"), Some("0"));
+        assert_eq!(round.attr("senders"), Some("0"));
+        assert_eq!(round.attr("max_node_messages"), Some("0"));
+
+        // Summary level records counters but no spans.
+        let s = Telemetry::summary();
+        execute_with(&g, &PingAll, 10, Some(&s));
+        assert!(s.spans().is_empty());
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! aggregate (here: subtree size) up to the root. The root learning
 //! `size == N` doubles as termination detection.
 
-use crate::runtime::{execute, Envelope, Protocol, RunOutcome};
+use crate::runtime::{execute_with, Envelope, Protocol, RunOutcome};
 use hb_graphs::{Graph, NodeId};
+use hb_telemetry::Telemetry;
 
 /// Per-node spanning-tree state.
 #[derive(Clone, Debug)]
@@ -159,7 +160,22 @@ impl Protocol for BfsTreeProtocol {
 
 /// Runs distributed BFS-tree construction + convergecast from `root`.
 pub fn build_tree(g: &Graph, root: NodeId) -> RunOutcome<TreeState> {
-    execute(g, &BfsTreeProtocol { root }, 4 * g.num_nodes() as u32 + 16)
+    build_tree_with(g, root, None)
+}
+
+/// Like [`build_tree`], reporting rounds/messages (and, at trace level,
+/// the per-round span tree) into `telemetry` when one is given.
+pub fn build_tree_with(
+    g: &Graph,
+    root: NodeId,
+    telemetry: Option<&Telemetry>,
+) -> RunOutcome<TreeState> {
+    execute_with(
+        g,
+        &BfsTreeProtocol { root },
+        4 * g.num_nodes() as u32 + 16,
+        telemetry,
+    )
 }
 
 /// Validates the outcome: terminated; parents form a tree rooted at

@@ -14,6 +14,123 @@ use hb_graphs::{traverse, Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use std::collections::BTreeSet;
+
+/// A static set of failed nodes and links, the per-packet counterpart of
+/// the campaign-level trials below: [`crate::flight::run_with_faults`]
+/// routes individual packets *around* a `FaultPlan` while the flight
+/// recorder attributes each detour to the fault that caused it.
+///
+/// Links are stored undirected (normalized to `(min, max)`); a faulty
+/// node implies every incident link is faulty, so routing only ever needs
+/// the link test plus the endpoint test.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    nodes: BTreeSet<NodeId>,
+    links: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks node `v` (and implicitly all its links) as faulty.
+    pub fn add_node(&mut self, v: NodeId) -> &mut Self {
+        self.nodes.insert(v);
+        self
+    }
+
+    /// Marks the undirected link `{u, v}` as faulty.
+    pub fn add_link(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.links.insert((u.min(v), u.max(v)));
+        self
+    }
+
+    /// A plan from node and link lists.
+    pub fn from_sets(
+        nodes: impl IntoIterator<Item = NodeId>,
+        links: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Self {
+        let mut p = Self::new();
+        for v in nodes {
+            p.add_node(v);
+        }
+        for (u, v) in links {
+            p.add_link(u, v);
+        }
+        p
+    }
+
+    /// Whether nothing is faulty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.links.is_empty()
+    }
+
+    /// Faulty nodes, ascending.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Faulty links as normalized `(min, max)` pairs, ascending.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.links.iter().copied()
+    }
+
+    /// Whether node `v` is faulty.
+    pub fn is_node_faulty(&self, v: NodeId) -> bool {
+        self.nodes.contains(&v)
+    }
+
+    /// Whether the link `{u, v}` is unusable: explicitly cut, or an
+    /// endpoint is down.
+    pub fn is_link_faulty(&self, u: NodeId, v: NodeId) -> bool {
+        self.links.contains(&(u.min(v), u.max(v)))
+            || self.nodes.contains(&u)
+            || self.nodes.contains(&v)
+    }
+
+    /// Why the link `{u, v}` is unusable, for detour attribution
+    /// (`None` when it is healthy).
+    pub fn link_fault_reason(&self, u: NodeId, v: NodeId) -> Option<String> {
+        if self.nodes.contains(&v) {
+            Some(format!("node {v} faulty"))
+        } else if self.nodes.contains(&u) {
+            Some(format!("node {u} faulty"))
+        } else if self.links.contains(&(u.min(v), u.max(v))) {
+            Some(format!("link {}-{} faulty", u.min(v), u.max(v)))
+        } else {
+            None
+        }
+    }
+
+    /// Per-node *fault-adjacency* mask over `g`: a node is hot when it
+    /// is faulty, neighbors a faulty node, or is an endpoint of a cut
+    /// link. A link is **faulty-adjacent** iff either endpoint is hot —
+    /// the sampling predicate of the flight recorder ("record every
+    /// packet that flies near a fault").
+    pub fn hot_nodes(&self, g: &Graph) -> Vec<bool> {
+        let mut hot = vec![false; g.num_nodes()];
+        for &v in &self.nodes {
+            if v < hot.len() {
+                hot[v] = true;
+                for &w in g.neighbors(v) {
+                    hot[w as usize] = true;
+                }
+            }
+        }
+        for &(u, v) in &self.links {
+            if u < hot.len() {
+                hot[u] = true;
+            }
+            if v < hot.len() {
+                hot[v] = true;
+            }
+        }
+        hot
+    }
+}
 
 /// Outcome of one fault-injection trial campaign at a fixed fault count.
 #[derive(Clone, Debug, PartialEq)]
@@ -321,6 +438,39 @@ mod tests {
         // interior survivors are articulation points.
         let c = hb_graphs::generators::cycle(10).unwrap();
         assert_eq!(survivor_fragility(&c, 1, 5, 3), 7.0);
+    }
+
+    #[test]
+    fn fault_plan_classifies_links_and_nodes() {
+        let mut p = FaultPlan::new();
+        p.add_node(3).add_link(7, 2);
+        assert!(!p.is_empty());
+        assert!(p.is_node_faulty(3));
+        assert!(!p.is_node_faulty(2));
+        // Link faulty by explicit cut (either direction) …
+        assert!(p.is_link_faulty(2, 7));
+        assert!(p.is_link_faulty(7, 2));
+        // … or by a down endpoint.
+        assert!(p.is_link_faulty(3, 9));
+        assert!(!p.is_link_faulty(4, 5));
+        assert_eq!(p.link_fault_reason(4, 5), None);
+        assert_eq!(p.link_fault_reason(2, 7).unwrap(), "link 2-7 faulty");
+        assert_eq!(p.link_fault_reason(9, 3).unwrap(), "node 3 faulty");
+    }
+
+    #[test]
+    fn hot_nodes_cover_fault_neighborhoods() {
+        let hb = HyperButterfly::new(1, 3).unwrap();
+        let g = hb.build_graph().unwrap();
+        let p = FaultPlan::from_sets([0], [(5, 6)]);
+        let hot = p.hot_nodes(&g);
+        assert!(hot[0]);
+        for &w in g.neighbors(0) {
+            assert!(hot[w as usize]);
+        }
+        assert!(hot[5] && hot[6]);
+        let n_hot = hot.iter().filter(|&&h| h).count();
+        assert!(n_hot < g.num_nodes(), "faults must stay local");
     }
 
     #[test]

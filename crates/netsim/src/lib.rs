@@ -13,7 +13,11 @@
 //! * [`workload`] — uniform / permutation / hotspot / bit-complement
 //!   traffic, deterministic under seeds;
 //! * [`faults`] — fault-injection campaigns measuring survivor
-//!   connectivity and pair reachability (Corollary 1, measured);
+//!   connectivity and pair reachability (Corollary 1, measured), plus
+//!   the static [`FaultPlan`] the fault-aware runner routes around;
+//! * [`flight`] — the fault-aware simulator with a per-packet **flight
+//!   recorder**: sampled packets leave causal span trees (one span per
+//!   hop: queue depth, wait, forward decision, reroute attribution);
 //! * [`forwarding`] — edge forwarding index (static routing congestion,
 //!   the VLSI-quality metric).
 
@@ -21,11 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod flight;
 pub mod forwarding;
 pub mod sim;
 pub mod topology;
 pub mod workload;
 
+pub use faults::FaultPlan;
+pub use flight::{run_with_faults, TraceSampling};
 pub use sim::{run, run_adaptive, run_bounded, Injection, SimConfig, SimStats};
 pub use topology::{
     ButterflyNet, HbRouteOrder, HyperButterflyNet, HyperDeBruijnNet, HypercubeNet, NetTopology,

@@ -122,19 +122,20 @@ impl SimConfig {
 
 /// Dense per-channel scoreboard a run accumulates into locally, merged
 /// into the shared [`Telemetry`] handle once at the end (keeps the hot
-/// loop free of locks and string lookups).
-struct Scoreboard {
-    latency: Histogram,
-    hops: Histogram,
-    fwd: Vec<u64>,
-    busy: Vec<u64>,
-    peak: Vec<usize>,
+/// loop free of locks and string lookups). Shared with the fault-aware
+/// runner in [`crate::flight`].
+pub(crate) struct Scoreboard {
+    pub(crate) latency: Histogram,
+    pub(crate) hops: Histogram,
+    pub(crate) fwd: Vec<u64>,
+    pub(crate) busy: Vec<u64>,
+    pub(crate) peak: Vec<usize>,
     /// Channel id -> (tail node, head node).
-    ends: Vec<(u32, u32)>,
+    pub(crate) ends: Vec<(u32, u32)>,
 }
 
 impl Scoreboard {
-    fn new(ends: Vec<(u32, u32)>) -> Self {
+    pub(crate) fn new(ends: Vec<(u32, u32)>) -> Self {
         let c = ends.len();
         Self {
             latency: Histogram::new(),
@@ -147,12 +148,12 @@ impl Scoreboard {
     }
 
     #[inline]
-    fn deliver(&mut self, latency: u64, hops: u64) {
+    pub(crate) fn deliver(&mut self, latency: u64, hops: u64) {
         self.latency.record(latency);
         self.hops.record(hops);
     }
 
-    fn finish(self, tel: &Telemetry, stats: &SimStats) {
+    pub(crate) fn finish(self, tel: &Telemetry, stats: &SimStats) {
         tel.counter("sim.offered").add(stats.offered);
         tel.counter("sim.delivered").add(stats.delivered);
         tel.counter("sim.stranded").add(stats.stranded);
@@ -176,7 +177,7 @@ impl Scoreboard {
 }
 
 /// Channel id -> (tail, head) endpoints in CSR channel order.
-fn channel_endpoints(g: &hb_graphs::Graph, offsets: &[usize]) -> Vec<(u32, u32)> {
+pub(crate) fn channel_endpoints(g: &hb_graphs::Graph, offsets: &[usize]) -> Vec<(u32, u32)> {
     let mut ends = vec![(0u32, 0u32); offsets[g.num_nodes()]];
     for v in 0..g.num_nodes() {
         for (port, &w) in g.neighbors(v).iter().enumerate() {

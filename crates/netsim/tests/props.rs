@@ -64,4 +64,42 @@ proptest! {
             prop_assert!(inj.iter().all(|i| i.src < n && i.dst < n && i.src != i.dst));
         }
     }
+
+    /// Cross-scoreboard link-stat merging is order-independent: partial
+    /// runs merged into one handle in any order yield identical totals,
+    /// per-link counters, and max utilization. This is the property the
+    /// simulator's end-of-run `Scoreboard::finish` merge relies on when
+    /// several runs (or future parallel shards) share one handle.
+    #[test]
+    fn link_stat_merge_is_order_independent(seed in 0u64..200, rate in 5u32..40) {
+        let t = HypercubeNet::new(4).unwrap();
+        let n = t.num_nodes();
+        // Three disjoint partial workloads = three per-run scoreboards.
+        let parts: Vec<Vec<hb_netsim::Injection>> = (0..3)
+            .map(|k| workload::uniform(n, 10, rate as f64 / 100.0, seed ^ (k * 7 + 1)))
+            .collect();
+        let stats_of = |order: &[usize]| {
+            let tel = hb_telemetry::Telemetry::summary();
+            for &k in order {
+                run(&t, &parts[k], SimConfig::default().with_telemetry(tel.clone()));
+            }
+            tel.links()
+        };
+        let forward = stats_of(&[0, 1, 2]);
+        let backward = stats_of(&[2, 1, 0]);
+        let rotated = stats_of(&[1, 2, 0]);
+        prop_assert_eq!(forward.total_forwarded(), backward.total_forwarded());
+        // Full per-link equality (forwarded, busy, peak) in every order…
+        prop_assert_eq!(&forward, &backward);
+        prop_assert_eq!(&forward, &rotated);
+        // …hence identical max utilization at any cycle horizon.
+        let max_util = |ls: &hb_telemetry::LinkStats| {
+            ls.utilization_rows(1_000)
+                .first()
+                .map(|r| r.utilization)
+                .unwrap_or(0.0)
+        };
+        prop_assert_eq!(max_util(&forward), max_util(&backward));
+        prop_assert_eq!(max_util(&forward), max_util(&rotated));
+    }
 }

@@ -5,6 +5,7 @@ use crate::histogram::Histogram;
 use crate::links::LinkStats;
 use crate::registry::{Counter, Gauge, Registry};
 use crate::sink::{HistogramSummary, Snapshot};
+use crate::span::{SpanId, SpanRecord, SpanStore};
 use crate::trace::{Event, EventTrace};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -29,6 +30,7 @@ struct Inner {
     histograms: Mutex<BTreeMap<String, Histogram>>,
     links: Mutex<LinkStats>,
     trace: Mutex<EventTrace>,
+    spans: Mutex<SpanStore>,
 }
 
 /// A shared telemetry sink. Cloning is cheap (reference-counted); all
@@ -68,6 +70,9 @@ impl Telemetry {
                 histograms: Mutex::new(BTreeMap::new()),
                 links: Mutex::new(LinkStats::new()),
                 trace: Mutex::new(EventTrace::new(trace_capacity)),
+                // Spans share the trace budget: the same capacity bounds
+                // both, so a `with_trace(N)` handle holds O(N) memory.
+                spans: Mutex::new(SpanStore::new(trace_capacity)),
             }),
         }
     }
@@ -146,6 +151,53 @@ impl Telemetry {
         self.inner.trace.lock().expect("trace lock").to_vec()
     }
 
+    /// Starts a causal span at logical time `start`. Returns `None` when
+    /// tracing is off or the bounded span store is full (the drop is
+    /// counted); all other span operations accept `None` gracefully via
+    /// `Option` chaining at the call site.
+    #[inline]
+    pub fn span_start(&self, name: &str, parent: Option<SpanId>, start: u64) -> Option<SpanId> {
+        if !self.trace_enabled() {
+            return None;
+        }
+        self.inner
+            .spans
+            .lock()
+            .expect("span lock")
+            .start(name, parent, start)
+    }
+
+    /// Closes a span at logical time `end` (no-op for `None`).
+    #[inline]
+    pub fn span_end(&self, id: Option<SpanId>, end: u64) {
+        if let Some(id) = id {
+            self.inner.spans.lock().expect("span lock").end(id, end);
+        }
+    }
+
+    /// Attaches a `key=value` attribute to a span (no-op for `None`).
+    /// `value` is only materialised when the span exists.
+    #[inline]
+    pub fn span_attr(&self, id: Option<SpanId>, key: &str, value: impl Into<String>) {
+        if let Some(id) = id {
+            self.inner
+                .spans
+                .lock()
+                .expect("span lock")
+                .attr(id, key, value);
+        }
+    }
+
+    /// All recorded spans, in id order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.spans.lock().expect("span lock").spans().to_vec()
+    }
+
+    /// Spans refused because the bounded store was full.
+    pub fn spans_dropped(&self) -> u64 {
+        self.inner.spans.lock().expect("span lock").dropped()
+    }
+
     /// A point-in-time snapshot of every instrument, ready for a
     /// [`crate::Sink`].
     pub fn snapshot(&self) -> Snapshot {
@@ -180,6 +232,7 @@ impl Telemetry {
             ls.utilization_rows(cycles.unwrap_or(0))
         };
         let trace = self.inner.trace.lock().expect("trace lock");
+        let spans = self.inner.spans.lock().expect("span lock");
         Snapshot {
             counters,
             gauges: self.inner.registry.gauges(),
@@ -188,6 +241,8 @@ impl Telemetry {
             cycles,
             events: trace.to_vec(),
             events_dropped: trace.dropped(),
+            spans: spans.spans().to_vec(),
+            spans_dropped: spans.dropped(),
         }
     }
 }
@@ -231,6 +286,29 @@ mod tests {
     }
 
     #[test]
+    fn spans_are_gated_by_level() {
+        let s = Telemetry::summary();
+        assert!(s.span_start("packet", None, 0).is_none());
+        assert_eq!(s.spans_dropped(), 0, "disabled, not dropped");
+
+        let t = Telemetry::with_trace(8);
+        let root = t.span_start("packet #0", None, 0);
+        assert!(root.is_some());
+        let hop = t.span_start("hop", root, 1);
+        t.span_attr(hop, "queue", "2");
+        t.span_end(hop, 3);
+        t.span_end(root, 5);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].parent, root);
+        assert_eq!(spans[1].attr("queue"), Some("2"));
+        assert_eq!(spans[0].end, Some(5));
+        // `None` ids (dropped/disabled) are silently ignored.
+        t.span_end(None, 9);
+        t.span_attr(None, "k", "v");
+    }
+
+    #[test]
     fn snapshot_collects_everything() {
         let t = Telemetry::with_trace(4);
         t.counter(CYCLES_COUNTER).add(100);
@@ -246,6 +324,8 @@ mod tests {
             to: 1,
             cycle: 3,
         });
+        let sp = t.span_start("packet #0", None, 0);
+        t.span_end(sp, 4);
         let s = t.snapshot();
         assert_eq!(s.cycles, Some(100));
         assert_eq!(s.counters.len(), 2);
@@ -254,5 +334,7 @@ mod tests {
         assert_eq!(s.links.len(), 1);
         assert!((s.links[0].utilization - 0.5).abs() < 1e-12);
         assert_eq!(s.events.len(), 1);
+        assert_eq!(s.spans.len(), 1);
+        assert_eq!(s.spans_dropped, 0);
     }
 }

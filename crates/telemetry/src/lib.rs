@@ -17,8 +17,10 @@
 //!   the dynamic counterpart of the static edge forwarding index;
 //! * [`trace`] — a bounded ring-buffer [`EventTrace`] of packet and
 //!   protocol-round events with cheap `enabled` gating;
+//! * [`span`] — causal [`SpanRecord`] trees in logical sim time
+//!   (packet flights, protocol rounds) behind a bounded [`SpanStore`];
 //! * [`sink`] — pluggable renderers to fixed-width text tables, JSON
-//!   lines, and CSV.
+//!   lines, CSV, Chrome trace-event JSON, and span trees.
 //!
 //! The [`Telemetry`] handle ties these together. It is a cheap
 //! reference-counted clone; every instrumented subsystem takes an
@@ -35,6 +37,7 @@ pub mod histogram;
 pub mod links;
 pub mod registry;
 pub mod sink;
+pub mod span;
 pub mod trace;
 
 mod handle;
@@ -43,5 +46,6 @@ pub use handle::{Telemetry, TelemetryLevel, CYCLES_COUNTER};
 pub use histogram::{Histogram, Quantiles};
 pub use links::{LinkKey, LinkRecord, LinkStats};
 pub use registry::{Counter, Gauge, Registry};
-pub use sink::{CsvSink, JsonLinesSink, Sink, Snapshot, TextSink};
+pub use sink::{ChromeTraceSink, CsvSink, JsonLinesSink, Sink, Snapshot, SpanTreeSink, TextSink};
+pub use span::{SpanId, SpanRecord, SpanStore};
 pub use trace::{Event, EventTrace};

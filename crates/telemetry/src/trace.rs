@@ -166,6 +166,36 @@ mod tests {
     }
 
     #[test]
+    fn wraparound_evicts_oldest_first_with_exact_drop_count() {
+        // Sweep fill levels around the capacity boundary: at every point
+        // the retained window is exactly the newest `min(pushed, cap)`
+        // events in order, and the drop counter is exactly
+        // `pushed - retained`.
+        for cap in [1usize, 2, 3, 7, 8] {
+            let mut t = EventTrace::new(cap);
+            for pushed in 1..=(3 * cap as u64 + 2) {
+                t.push(hop(pushed - 1));
+                let retained = (pushed as usize).min(cap);
+                assert_eq!(t.len(), retained, "cap={cap} pushed={pushed}");
+                assert_eq!(
+                    t.dropped(),
+                    pushed - retained as u64,
+                    "cap={cap} pushed={pushed}"
+                );
+                let ids: Vec<u64> = t
+                    .iter()
+                    .map(|e| match e {
+                        Event::PacketHop { id, .. } => *id,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                let want: Vec<u64> = (pushed - retained as u64..pushed).collect();
+                assert_eq!(ids, want, "cap={cap} pushed={pushed}");
+            }
+        }
+    }
+
+    #[test]
     fn zero_capacity_counts_drops() {
         let mut t = EventTrace::new(0);
         t.push(hop(0));
