@@ -64,14 +64,19 @@ pub struct Drift {
 
 /// Relative tolerance for a metric. Continuous load-dependent metrics
 /// get slack (they wiggle under harmless scheduling changes); pure
-/// counters from deterministic runs must match exactly.
+/// counters from deterministic runs must match exactly. Wall-clock
+/// metrics from the perf suite are machine-dependent, so they are
+/// stored for documentation but never gated (infinite tolerance) —
+/// their companion `delivered`/`sim_cycles` counters are what the gate
+/// holds exact.
 #[must_use]
 pub fn default_tolerance(metric: &str) -> f64 {
     match metric {
         "throughput" => 0.10,
         "avg_latency" | "avg_hops" | "p50" | "p95" | "p99" => 0.15,
         "peak_queue" => 0.50,
-        // delivered, rounds, messages, peak-round counts: exact.
+        "wall_ms" | "pkts_per_sec" | "cycles_per_sec" | "speedup" => f64::INFINITY,
+        // delivered, sim_cycles, rounds, messages, peak-rounds: exact.
         _ => 0.0,
     }
 }
@@ -96,6 +101,18 @@ fn sim_metrics(r: &netsim_exp::SimRow) -> Metrics {
 }
 
 #[allow(clippy::cast_precision_loss)]
+fn perf_metrics(r: &crate::perf::PerfRow) -> Metrics {
+    let mut m = Metrics::new();
+    m.insert("wall_ms".into(), r.wall_ms);
+    m.insert("pkts_per_sec".into(), r.pkts_per_sec);
+    m.insert("cycles_per_sec".into(), r.cycles_per_sec);
+    m.insert("speedup".into(), r.speedup);
+    m.insert("delivered".into(), r.delivered as f64);
+    m.insert("sim_cycles".into(), r.sim_cycles as f64);
+    m
+}
+
+#[allow(clippy::cast_precision_loss)]
 fn dist_metrics(r: &distributed_exp::DistributedRow) -> Metrics {
     let mut m = Metrics::new();
     m.insert("election_rounds".into(), f64::from(r.election.0));
@@ -115,14 +132,27 @@ impl Baseline {
     /// # Errors
     /// Propagates topology construction or protocol validation failures.
     pub fn collect(cycles: u64, seed: u64) -> Result<Self> {
+        Self::collect_with_threads(cycles, seed, 1)
+    }
+
+    /// Like [`Baseline::collect`] but runs the netsim experiments
+    /// through the sharded engine at `threads` workers. Because the
+    /// parallel engine is byte-identical to the serial one (DESIGN.md
+    /// §9), the resulting baseline is **equal** to the serial collection
+    /// — `hbnet bench --check --threads N` against the committed
+    /// `BENCH_baseline.json` is itself an end-to-end determinism gate.
+    ///
+    /// # Errors
+    /// Propagates topology construction or protocol validation failures.
+    pub fn collect_with_threads(cycles: u64, seed: u64, threads: usize) -> Result<Self> {
         let mut experiments = BTreeMap::new();
-        for r in netsim_exp::uniform_sweep(&[0.05, 0.20], cycles, seed)? {
+        for r in netsim_exp::uniform_sweep_with_threads(&[0.05, 0.20], cycles, seed, threads)? {
             experiments.insert(
                 format!("sim/{}/{}/{:.2}", r.pattern, r.name, r.rate),
                 sim_metrics(&r),
             );
         }
-        for r in netsim_exp::hotspot_run(0.10, cycles, seed)? {
+        for r in netsim_exp::hotspot_run_with_threads(0.10, cycles, seed, threads)? {
             experiments.insert(
                 format!("sim/{}/{}/{:.2}", r.pattern, r.name, r.rate),
                 sim_metrics(&r),
@@ -130,6 +160,27 @@ impl Baseline {
         }
         for r in distributed_exp::matched_rows()? {
             experiments.insert(format!("dist/{}", r.name), dist_metrics(&r));
+        }
+        Ok(Self {
+            version: BASELINE_VERSION,
+            cycles,
+            seed,
+            experiments,
+        })
+    }
+
+    /// Collects the wall-clock perf suite ([`crate::perf`]) into a
+    /// baseline keyed `perf/<name>/t<threads>`. Wall metrics carry
+    /// infinite tolerance (machine-dependent); the `delivered` and
+    /// `sim_cycles` counters are exact, so a `--check` against the
+    /// committed `BENCH_parallel.json` still gates engine behaviour.
+    ///
+    /// # Errors
+    /// Propagates topology construction failures.
+    pub fn collect_perf(cycles: u64, seed: u64) -> Result<Self> {
+        let mut experiments = BTreeMap::new();
+        for r in crate::perf::perf_rows(cycles, seed)? {
+            experiments.insert(format!("perf/{}/t{}", r.name, r.threads), perf_metrics(&r));
         }
         Ok(Self {
             version: BASELINE_VERSION,
@@ -496,6 +547,43 @@ mod tests {
         // Covers both sweeps (2 rates x 3 topologies + 3 hotspot) and
         // the distributed table.
         assert_eq!(a.experiments.len(), 6 + 3 + 3);
+    }
+
+    #[test]
+    fn threaded_collection_equals_serial_collection() {
+        // The end-to-end determinism gate: the entire baseline suite run
+        // through the sharded engine is byte-identical to the serial run.
+        let serial = small();
+        let par = Baseline::collect_with_threads(20, 17, 4).unwrap();
+        assert_eq!(serial, par);
+        assert_eq!(serial.to_json(), par.to_json());
+    }
+
+    #[test]
+    fn perf_collection_gates_counters_but_not_wall_clock() {
+        let a = Baseline::collect_perf(10, 17).unwrap();
+        let b = Baseline::collect_perf(10, 17).unwrap();
+        // Wall metrics differ between runs but carry infinite tolerance;
+        // delivered/sim_cycles are deterministic and exact — so two
+        // fresh collections always compare clean.
+        let drifts = a.compare(&b);
+        assert!(drifts.is_empty(), "{}", render_drifts(&drifts));
+        // Keys cover both scaling axes at every thread count.
+        assert_eq!(
+            a.experiments.len(),
+            (3 + 1) * crate::perf::THREADS.len(),
+            "{:?}",
+            a.experiments.keys().collect::<Vec<_>>()
+        );
+        // And a perturbed counter still trips the gate.
+        let mut c = a.clone();
+        let key = c.experiments.keys().next().unwrap().clone();
+        *c.experiments
+            .get_mut(&key)
+            .unwrap()
+            .get_mut("delivered")
+            .unwrap() += 1.0;
+        assert_eq!(a.compare(&c).len(), 1);
     }
 
     #[test]

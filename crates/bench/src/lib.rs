@@ -18,7 +18,12 @@
 //!   tree, gossip (the authors' follow-up work);
 //! * [`baseline`] — the bench regression gate: a committed seeded
 //!   baseline (`BENCH_baseline.json`) plus a tolerance-based comparator
-//!   behind `hb-cli bench --check`.
+//!   behind `hb-cli bench --check`;
+//! * [`parallel`] — deterministic work-stealing driver for experiment
+//!   grids (order-stable `parallel_map`);
+//! * [`perf`] — wall-clock throughput of the sharded engine and the
+//!   parallel grid driver (`BENCH_parallel.json` via
+//!   `hbnet bench --perf`).
 //!
 //! Binaries under `src/bin/` print each experiment's table; Criterion
 //! benches under `benches/` time the underlying machinery.
@@ -37,4 +42,6 @@ pub mod fault_exp;
 pub mod fig1;
 pub mod fig2;
 pub mod netsim_exp;
+pub mod parallel;
+pub mod perf;
 pub mod routing_exp;

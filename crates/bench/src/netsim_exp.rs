@@ -74,6 +74,52 @@ fn simulate(
     mk_row(topo.name(), pattern, rate, &stats, &tel)
 }
 
+/// Uniform-traffic sweep with the sharded engine at `threads` workers.
+/// Results are byte-identical to [`uniform_sweep`] at every thread count
+/// (the determinism contract of DESIGN.md §9); `threads` is purely a
+/// wall-clock knob.
+///
+/// # Errors
+/// Propagates construction failures.
+pub fn uniform_sweep_with_threads(
+    rates: &[f64],
+    warm_cycles: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<SimRow>> {
+    let topos = matched_topologies()?;
+    let mut rows = Vec::new();
+    for t in &topos {
+        for &rate in rates {
+            let inj = workload::uniform(t.num_nodes(), warm_cycles, rate, seed);
+            let cfg = SimConfig::bounded(warm_cycles * 40 + 10_000).with_threads(threads);
+            rows.push(simulate(t.as_ref(), "uniform", rate, inj, cfg));
+        }
+    }
+    Ok(rows)
+}
+
+/// Hotspot traffic with the sharded engine at `threads` workers; same
+/// determinism contract as [`uniform_sweep_with_threads`].
+///
+/// # Errors
+/// Propagates construction failures.
+pub fn hotspot_run_with_threads(
+    rate: f64,
+    cycles: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<SimRow>> {
+    let topos = matched_topologies()?;
+    let mut rows = Vec::new();
+    for t in &topos {
+        let inj = workload::hotspot(t.num_nodes(), cycles, rate, 0, 0.3, seed);
+        let cfg = SimConfig::bounded(cycles * 60 + 20_000).with_threads(threads);
+        rows.push(simulate(t.as_ref(), "hotspot", rate, inj, cfg));
+    }
+    Ok(rows)
+}
+
 /// The 256-node comparison set: `HB(2, 4)` (256), `HD(2, 6)` (256),
 /// `H(8)` (256).
 ///
@@ -92,16 +138,7 @@ pub fn matched_topologies() -> Result<Vec<Box<dyn NetTopology>>> {
 /// # Errors
 /// Propagates construction failures.
 pub fn uniform_sweep(rates: &[f64], warm_cycles: u64, seed: u64) -> Result<Vec<SimRow>> {
-    let topos = matched_topologies()?;
-    let mut rows = Vec::new();
-    for t in &topos {
-        for &rate in rates {
-            let inj = workload::uniform(t.num_nodes(), warm_cycles, rate, seed);
-            let cfg = SimConfig::bounded(warm_cycles * 40 + 10_000);
-            rows.push(simulate(t.as_ref(), "uniform", rate, inj, cfg));
-        }
-    }
-    Ok(rows)
+    uniform_sweep_with_threads(rates, warm_cycles, seed, 1)
 }
 
 /// Hotspot traffic at a fixed rate.
@@ -109,14 +146,7 @@ pub fn uniform_sweep(rates: &[f64], warm_cycles: u64, seed: u64) -> Result<Vec<S
 /// # Errors
 /// Propagates construction failures.
 pub fn hotspot_run(rate: f64, cycles: u64, seed: u64) -> Result<Vec<SimRow>> {
-    let topos = matched_topologies()?;
-    let mut rows = Vec::new();
-    for t in &topos {
-        let inj = workload::hotspot(t.num_nodes(), cycles, rate, 0, 0.3, seed);
-        let cfg = SimConfig::bounded(cycles * 60 + 20_000);
-        rows.push(simulate(t.as_ref(), "hotspot", rate, inj, cfg));
-    }
-    Ok(rows)
+    hotspot_run_with_threads(rate, cycles, seed, 1)
 }
 
 /// Null-model simulation: `HB(2, 4)` vs a random 6-regular graph (same
@@ -290,6 +320,21 @@ mod tests {
                 r.name
             );
             assert!(q.max as f64 >= r.avg_latency, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn threaded_sweep_rows_match_serial_rows() {
+        let serial = uniform_sweep(&[0.05, 0.2], 20, 11).unwrap();
+        let par = uniform_sweep_with_threads(&[0.05, 0.2], 20, 11, 4).unwrap();
+        assert_eq!(serial.len(), par.len());
+        for (s, p) in serial.iter().zip(&par) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.delivered, p.delivered, "{}", s.name);
+            assert_eq!(s.cycles, p.cycles, "{}", s.name);
+            assert_eq!(s.peak_queue, p.peak_queue, "{}", s.name);
+            assert!((s.avg_latency - p.avg_latency).abs() < 1e-12, "{}", s.name);
+            assert_eq!(s.latency, p.latency, "{}", s.name);
         }
     }
 

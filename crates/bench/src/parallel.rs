@@ -1,0 +1,100 @@
+//! Deterministic parallel driver for experiment grids.
+//!
+//! The simulator's sharded engine (`SimConfig::with_threads`) splits one
+//! run across threads; this module is the complementary axis — running
+//! *many independent experiments* concurrently. [`parallel_map`] is a
+//! scoped work-stealing map: workers pull item indices from a shared
+//! atomic counter, so load-imbalanced grids (a saturated hotspot run
+//! next to a cheap low-rate sweep point) stay busy, while results are
+//! returned in input order regardless of which worker ran what. With
+//! `threads <= 1` it degrades to a plain serial map, so callers can
+//! thread a `--threads` flag straight through.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item, using up to `threads` OS threads, and
+/// returns the results **in input order**.
+///
+/// Scheduling is dynamic (first free worker takes the next index) but
+/// the output is position-stable, so as long as `f` itself is
+/// deterministic the result vector is identical at every thread count.
+///
+/// # Panics
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            per_worker.push(h.join().expect("parallel_map worker panicked"));
+        }
+    });
+    let mut all: Vec<(usize, R)> = per_worker.into_iter().flatten().collect();
+    all.sort_by_key(|&(i, _)| i);
+    all.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<u64> = (0..57).collect();
+        for threads in [1, 2, 4, 8] {
+            let got = parallel_map(&items, threads, |&x| x * x);
+            let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(got, want, "at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_grids_work() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[9u32], 4, |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn more_threads_than_items_degrades_gracefully() {
+        let items = [1u32, 2, 3];
+        assert_eq!(parallel_map(&items, 64, |&x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let items: Vec<u32> = (0..40).collect();
+        let got = parallel_map(&items, 4, |&x| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 40);
+        assert_eq!(got, items);
+    }
+}

@@ -1,0 +1,234 @@
+//! Wall-clock throughput of the simulation engine: the measured side of
+//! the deterministic-parallelism work (DESIGN.md §9).
+//!
+//! Two scaling axes are measured, each at the thread counts in
+//! [`THREADS`]:
+//!
+//! * [`engine_scaling`] — one large run through the sharded engine
+//!   (`SimConfig::with_threads`), per matched 256-node topology. The
+//!   delivered/cycle counters are byte-identical at every thread count
+//!   (the equivalence property enforced by `tests/par_equiv.rs`); only
+//!   the wall clock moves.
+//! * [`grid_scaling`] — the uniform-rate experiment grid driven through
+//!   [`parallel_map`](crate::parallel::parallel_map), i.e. independent
+//!   experiments running concurrently rather than one sharded run.
+//!
+//! Wall-clock numbers are machine-dependent by nature; the baseline
+//! machinery stores them with **infinite** tolerance (see
+//! [`default_tolerance`](crate::baseline::default_tolerance)) so the
+//! committed `BENCH_parallel.json` documents measured throughput without
+//! ever failing the gate on a slower machine, while the `delivered` and
+//! `sim_cycles` counters riding along stay exact — the gate still
+//! catches any behavioural drift in the parallel engine.
+
+use crate::netsim_exp::matched_topologies;
+use crate::parallel::parallel_map;
+use hb_graphs::Result;
+use hb_netsim::{run, sim::SimConfig, workload};
+use std::time::Instant;
+
+/// Thread counts every scaling experiment is measured at.
+pub const THREADS: [usize; 3] = [1, 2, 4];
+
+/// One wall-clock measurement point.
+#[derive(Clone, Debug)]
+pub struct PerfRow {
+    /// Experiment name, e.g. `engine/HB(2, 4)` or `grid/uniform`.
+    pub name: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock time in milliseconds.
+    pub wall_ms: f64,
+    /// Packets delivered (deterministic, thread-count invariant).
+    pub delivered: u64,
+    /// Simulated cycles (deterministic, thread-count invariant).
+    pub sim_cycles: u64,
+    /// Delivered packets per wall-clock second.
+    pub pkts_per_sec: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Wall-clock speedup relative to the 1-thread row of the same
+    /// experiment (1.0 for the 1-thread row itself).
+    pub speedup: f64,
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn mk_row(
+    name: String,
+    threads: usize,
+    wall_secs: f64,
+    delivered: u64,
+    sim_cycles: u64,
+    base_secs: f64,
+) -> PerfRow {
+    let secs = wall_secs.max(1e-9);
+    PerfRow {
+        name,
+        threads,
+        wall_ms: wall_secs * 1e3,
+        delivered,
+        sim_cycles,
+        pkts_per_sec: delivered as f64 / secs,
+        cycles_per_sec: sim_cycles as f64 / secs,
+        speedup: base_secs.max(1e-9) / secs,
+    }
+}
+
+/// Sharded-engine scaling: one uniform-traffic run per matched 256-node
+/// topology, repeated at each thread count in [`THREADS`].
+///
+/// # Errors
+/// Propagates topology construction failures.
+pub fn engine_scaling(cycles: u64, rate: f64, seed: u64) -> Result<Vec<PerfRow>> {
+    let topos = matched_topologies()?;
+    let mut rows = Vec::new();
+    for t in &topos {
+        let inj = workload::uniform(t.num_nodes(), cycles, rate, seed);
+        let mut base_secs = 0.0;
+        for (i, &threads) in THREADS.iter().enumerate() {
+            let cfg = SimConfig::bounded(cycles * 40 + 10_000).with_threads(threads);
+            let start = Instant::now();
+            let stats = run(t.as_ref(), &inj, cfg);
+            let wall = start.elapsed().as_secs_f64();
+            if i == 0 {
+                base_secs = wall;
+            }
+            rows.push(mk_row(
+                format!("engine/{}", t.name()),
+                threads,
+                wall,
+                stats.delivered,
+                stats.cycles,
+                base_secs,
+            ));
+        }
+    }
+    Ok(rows)
+}
+
+/// Grid-level scaling: the uniform-rate experiment grid (every matched
+/// topology × every rate, each point a full serial simulation) driven
+/// through [`parallel_map`], at each thread count in [`THREADS`].
+///
+/// # Errors
+/// Propagates topology construction failures.
+pub fn grid_scaling(rates: &[f64], cycles: u64, seed: u64) -> Result<Vec<PerfRow>> {
+    let topos = matched_topologies()?;
+    let grid: Vec<(usize, f64)> = (0..topos.len())
+        .flat_map(|t| rates.iter().map(move |&r| (t, r)))
+        .collect();
+    let mut rows = Vec::new();
+    let mut base_secs = 0.0;
+    for (i, &threads) in THREADS.iter().enumerate() {
+        let start = Instant::now();
+        let stats = parallel_map(&grid, threads, |&(t, rate)| {
+            let topo = &topos[t];
+            let inj = workload::uniform(topo.num_nodes(), cycles, rate, seed);
+            run(
+                topo.as_ref(),
+                &inj,
+                SimConfig::bounded(cycles * 40 + 10_000),
+            )
+        });
+        let wall = start.elapsed().as_secs_f64();
+        if i == 0 {
+            base_secs = wall;
+        }
+        let delivered = stats.iter().map(|s| s.delivered).sum();
+        let sim_cycles = stats.iter().map(|s| s.cycles).sum();
+        rows.push(mk_row(
+            "grid/uniform".to_string(),
+            threads,
+            wall,
+            delivered,
+            sim_cycles,
+            base_secs,
+        ));
+    }
+    Ok(rows)
+}
+
+/// The full perf suite at modest sizes: engine scaling plus grid
+/// scaling. This is what `hbnet bench --perf` measures and what
+/// `BENCH_parallel.json` stores.
+///
+/// # Errors
+/// Propagates topology construction failures.
+pub fn perf_rows(cycles: u64, seed: u64) -> Result<Vec<PerfRow>> {
+    let mut rows = engine_scaling(cycles, 0.15, seed)?;
+    rows.extend(grid_scaling(&[0.05, 0.10, 0.20], cycles, seed)?);
+    Ok(rows)
+}
+
+/// Renders perf rows as an aligned table.
+#[must_use]
+pub fn render(rows: &[PerfRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<20} {:>7} {:>10} {:>10} {:>9} {:>12} {:>13} {:>8}",
+        "Experiment",
+        "Threads",
+        "WallMs",
+        "Delivered",
+        "SimCycles",
+        "Pkts/s",
+        "Cycles/s",
+        "Speedup"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<20} {:>7} {:>10.2} {:>10} {:>9} {:>12.0} {:>13.0} {:>8.2}",
+            r.name,
+            r.threads,
+            r.wall_ms,
+            r.delivered,
+            r.sim_cycles,
+            r.pkts_per_sec,
+            r.cycles_per_sec,
+            r.speedup
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_scaling_counters_are_thread_invariant() {
+        let rows = engine_scaling(15, 0.1, 7).unwrap();
+        assert_eq!(rows.len(), 3 * THREADS.len());
+        for group in rows.chunks(THREADS.len()) {
+            for r in group {
+                assert_eq!(r.delivered, group[0].delivered, "{}", r.name);
+                assert_eq!(r.sim_cycles, group[0].sim_cycles, "{}", r.name);
+                assert!(r.wall_ms >= 0.0);
+                assert!(r.pkts_per_sec > 0.0, "{}", r.name);
+                assert!(r.speedup > 0.0);
+            }
+            assert!((group[0].speedup - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn grid_scaling_counters_are_thread_invariant() {
+        let rows = grid_scaling(&[0.05, 0.1], 12, 5).unwrap();
+        assert_eq!(rows.len(), THREADS.len());
+        for r in &rows {
+            assert_eq!(r.delivered, rows[0].delivered);
+            assert_eq!(r.sim_cycles, rows[0].sim_cycles);
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_experiment() {
+        let rows = grid_scaling(&[0.05], 8, 3).unwrap();
+        let s = render(&rows);
+        assert!(s.contains("grid/uniform"));
+        assert!(s.contains("Speedup"));
+    }
+}

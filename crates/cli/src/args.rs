@@ -32,7 +32,8 @@ pub enum Command {
     /// `embed <m> <n> (cycle <k> | hamiltonian | tree | mot <p> <q>)`
     Embed { m: u32, n: u32, what: EmbedKind },
     /// `simulate <m> <n> [--rate r] [--cycles c] [--adaptive] [--telemetry mode]
-    /// [--faults f1,f2] [--fault-links a-b,c-d] [--sample mode] [--trace-out path]`
+    /// [--faults f1,f2] [--fault-links a-b,c-d] [--sample mode] [--trace-out path]
+    /// [--threads k] [--shard-stats]`
     Simulate {
         m: u32,
         n: u32,
@@ -44,6 +45,8 @@ pub enum Command {
         fault_links: Vec<(usize, usize)>,
         sample: SampleMode,
         trace_out: Option<String>,
+        threads: usize,
+        shard_stats: bool,
     },
     /// `telemetry <m> <n> [--rate r] [--cycles c] [--adaptive] [--format f]`
     Telemetry {
@@ -54,7 +57,8 @@ pub enum Command {
         adaptive: bool,
         format: DumpFormat,
     },
-    /// `bench (--write | --check) <path> [--cycles C] [--seed S]`
+    /// `bench (--write | --check) <path> [--cycles C] [--seed S]
+    /// [--threads K] [--perf]`
     Bench {
         /// `true` for `--check` (gate against a stored baseline),
         /// `false` for `--write` (collect and store a fresh one).
@@ -62,6 +66,12 @@ pub enum Command {
         path: String,
         cycles: u64,
         seed: u64,
+        /// Worker threads for the sharded engine (results are
+        /// byte-identical at every value — a determinism gate).
+        threads: usize,
+        /// `true` to collect/check the wall-clock perf suite
+        /// (`BENCH_parallel.json`) instead of the metric baseline.
+        perf: bool,
     },
     /// `elect <m> <n>`
     Elect { m: u32, n: u32 },
@@ -151,17 +161,28 @@ USAGE:
                  [--telemetry off|summary|trace]
                  [--faults f1,f2,..] [--fault-links a-b,c-d,..]
                  [--sample off|all|every=N|fault-adjacent]
-                 [--trace-out FILE]
+                 [--trace-out FILE] [--threads K] [--shard-stats]
                                        packet simulation, uniform traffic;
                                        summary adds latency quantiles and
                                        per-link utilization, trace adds events;
                                        with faults the flight recorder samples
                                        packet span trees and --trace-out writes
-                                       them as Chrome trace-event JSON
-  hbnet bench --write <FILE> [--cycles C] [--seed S]
+                                       them as Chrome trace-event JSON;
+                                       --threads K runs the deterministic
+                                       sharded engine (same results, faster)
+                                       and --shard-stats adds per-shard
+                                       counters
+  hbnet bench --write <FILE> [--cycles C] [--seed S] [--threads K]
                                        collect the seeded benchmark baseline
-  hbnet bench --check <FILE>           re-run and gate against a stored
-                                       baseline (exit 1 on metric drift)
+  hbnet bench --check <FILE> [--threads K]
+                                       re-run and gate against a stored
+                                       baseline (exit 1 on metric drift);
+                                       --threads K reruns through the sharded
+                                       engine — an end-to-end determinism gate
+  hbnet bench --perf --write <FILE> [--cycles C] [--seed S]
+  hbnet bench --perf --check <FILE>    wall-clock scaling suite
+                                       (BENCH_parallel.json): wall metrics are
+                                       informational, counters are gated
   hbnet telemetry <m> <n> [--rate R] [--cycles C] [--adaptive]
                   [--format text|json|csv]
                                        run a traced simulation and dump the
@@ -288,6 +309,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut fault_links = Vec::new();
             let mut sample = SampleMode::Off;
             let mut trace_out = None;
+            let mut threads = 1usize;
+            let mut shard_stats = false;
             let mut i = 3;
             while i < args.len() {
                 match args[i].as_str() {
@@ -335,8 +358,24 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         trace_out = Some(need::<String>(args, i + 1, "trace-out")?);
                         i += 2;
                     }
+                    "--threads" => {
+                        threads = need(args, i + 1, "threads")?;
+                        if threads == 0 {
+                            return Err(ParseError("--threads must be at least 1".into()));
+                        }
+                        i += 2;
+                    }
+                    "--shard-stats" => {
+                        shard_stats = true;
+                        i += 1;
+                    }
                     other => return Err(ParseError(format!("unknown flag {other}"))),
                 }
+            }
+            if adaptive && threads > 1 {
+                return Err(ParseError(
+                    "--adaptive is a serial-only router (no --threads)".into(),
+                ));
             }
             Ok(Command::Simulate {
                 m,
@@ -349,6 +388,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 fault_links,
                 sample,
                 trace_out,
+                threads,
+                shard_stats,
             })
         }
         "bench" => {
@@ -356,6 +397,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut path = None;
             let mut cycles = 40;
             let mut seed = 42;
+            let mut threads = 1usize;
+            let mut perf = false;
             let mut explicit_run = false;
             let mut i = 1;
             while i < args.len() {
@@ -380,6 +423,17 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         explicit_run = true;
                         i += 2;
                     }
+                    "--threads" => {
+                        threads = need(args, i + 1, "threads")?;
+                        if threads == 0 {
+                            return Err(ParseError("--threads must be at least 1".into()));
+                        }
+                        i += 2;
+                    }
+                    "--perf" => {
+                        perf = true;
+                        i += 1;
+                    }
                     other => return Err(ParseError(format!("unknown flag {other}"))),
                 }
             }
@@ -389,11 +443,18 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--cycles/--seed come from the baseline file with --check".into(),
                 ));
             }
+            if perf && threads > 1 {
+                return Err(ParseError(
+                    "--perf measures its own fixed thread ladder (no --threads)".into(),
+                ));
+            }
             Ok(Command::Bench {
                 check,
                 path: path.expect("path set whenever mode is set"),
                 cycles,
                 seed,
+                threads,
+                perf,
             })
         }
         "telemetry" => {
@@ -571,6 +632,8 @@ mod tests {
         fault_links: Vec<(usize, usize)>,
         sample: SampleMode,
         trace_out: Option<String>,
+        threads: usize,
+        shard_stats: bool,
     }
 
     impl Default for Sim {
@@ -584,6 +647,8 @@ mod tests {
                 fault_links: vec![],
                 sample: SampleMode::Off,
                 trace_out: None,
+                threads: 1,
+                shard_stats: false,
             }
         }
     }
@@ -600,6 +665,8 @@ mod tests {
             fault_links: s.fault_links,
             sample: s.sample,
             trace_out: s.trace_out,
+            threads: s.threads,
+            shard_stats: s.shard_stats,
         }
     }
 
@@ -701,6 +768,8 @@ mod tests {
                 path: "out.json".into(),
                 cycles: 30,
                 seed: 7,
+                threads: 1,
+                perf: false,
             }
         );
         assert_eq!(
@@ -710,12 +779,65 @@ mod tests {
                 path: "BENCH_baseline.json".into(),
                 cycles: 40,
                 seed: 42,
+                threads: 1,
+                perf: false,
             }
         );
         assert!(parse(&argv("bench")).is_err());
         // --check takes cycles/seed from the stored file, not flags.
         assert!(parse(&argv("bench --check b.json --cycles 9")).is_err());
         assert!(parse(&argv("bench --write")).is_err());
+    }
+
+    #[test]
+    fn parses_bench_threads_and_perf() {
+        assert_eq!(
+            parse(&argv("bench --check b.json --threads 4")).unwrap(),
+            Command::Bench {
+                check: true,
+                path: "b.json".into(),
+                cycles: 40,
+                seed: 42,
+                threads: 4,
+                perf: false,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "bench --perf --write BENCH_parallel.json --cycles 25"
+            ))
+            .unwrap(),
+            Command::Bench {
+                check: false,
+                path: "BENCH_parallel.json".into(),
+                cycles: 25,
+                seed: 42,
+                threads: 1,
+                perf: true,
+            }
+        );
+        assert!(parse(&argv("bench --check b.json --threads 0")).is_err());
+        // The perf suite sweeps its own thread ladder.
+        assert!(parse(&argv("bench --perf --check b.json --threads 2")).is_err());
+    }
+
+    #[test]
+    fn parses_simulate_threads_flags() {
+        assert_eq!(
+            parse(&argv("simulate 2 4 --threads 4 --shard-stats")).unwrap(),
+            simulate(
+                2,
+                4,
+                Sim {
+                    threads: 4,
+                    shard_stats: true,
+                    ..Sim::default()
+                }
+            )
+        );
+        assert!(parse(&argv("simulate 2 4 --threads 0")).is_err());
+        // The adaptive router is serial-only.
+        assert!(parse(&argv("simulate 2 4 --adaptive --threads 2")).is_err());
     }
 
     #[test]

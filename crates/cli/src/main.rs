@@ -156,6 +156,8 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             fault_links,
             sample,
             trace_out,
+            threads,
+            shard_stats,
         } => {
             let t = HyperButterflyNet::new(m, n, HbRouteOrder::CubeFirst)?;
             let nn = t.topology().num_nodes();
@@ -185,7 +187,14 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 TelemetryMode::Summary => Some(Telemetry::summary()),
                 TelemetryMode::Trace => Some(Telemetry::with_trace(65_536)),
             };
-            let mut cfg = SimConfig::bounded(cycles * 100 + 50_000);
+            if shard_stats && (telemetry == TelemetryMode::Off || threads <= 1) {
+                return Err("--shard-stats needs --threads > 1 and --telemetry \
+                            summary|trace (the counters land in telemetry)"
+                    .into());
+            }
+            let mut cfg = SimConfig::bounded(cycles * 100 + 50_000)
+                .with_threads(threads)
+                .with_shard_telemetry(shard_stats);
             if let Some(t) = &tel {
                 cfg = cfg.with_telemetry(t.clone());
             }
@@ -206,6 +215,18 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 stats.avg_latency, stats.avg_hops
             );
             println!("  peak queue  {}", stats.peak_queue);
+            if threads > 1 {
+                println!("  threads     {threads} (sharded engine, deterministic)");
+            }
+            if shard_stats {
+                if let Some(t) = &tel {
+                    for k in 0..threads {
+                        let delivered = t.counter(&format!("sim.shard.{k}.delivered")).get();
+                        let forwarded = t.counter(&format!("sim.shard.{k}.forwarded")).get();
+                        println!("  shard {k:<5} delivered {delivered}, forwarded {forwarded}");
+                    }
+                }
+            }
             if flight {
                 println!(
                     "  faults      {} nodes, {} links cut",
@@ -257,15 +278,25 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             path,
             cycles,
             seed,
+            threads,
+            perf,
         } => {
+            let collect = |cycles: u64, seed: u64| {
+                if perf {
+                    Baseline::collect_perf(cycles, seed)
+                } else {
+                    Baseline::collect_with_threads(cycles, seed, threads)
+                }
+            };
+            let suite = if perf { "perf suite" } else { "experiments" };
             if check {
                 let stored = Baseline::parse(&std::fs::read_to_string(&path)?)
                     .map_err(|e| format!("{path}: {e}"))?;
-                let fresh = Baseline::collect(stored.cycles, stored.seed)?;
+                let fresh = collect(stored.cycles, stored.seed)?;
                 let drifts = stored.compare(&fresh);
                 if drifts.is_empty() {
                     println!(
-                        "bench check OK: {} experiments match {path} (cycles {}, seed {})",
+                        "bench check OK: {} {suite} match {path} (cycles {}, seed {}, threads {threads})",
                         stored.experiments.len(),
                         stored.cycles,
                         stored.seed
@@ -279,10 +310,10 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                     std::process::exit(1);
                 }
             } else {
-                let baseline = Baseline::collect(cycles, seed)?;
+                let baseline = collect(cycles, seed)?;
                 std::fs::write(&path, baseline.to_json())?;
                 println!(
-                    "wrote {} experiments (cycles {cycles}, seed {seed}) to {path}",
+                    "wrote {} {suite} (cycles {cycles}, seed {seed}) to {path}",
                     baseline.experiments.len()
                 );
             }

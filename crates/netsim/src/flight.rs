@@ -7,9 +7,13 @@
 //!   Packets are source-routed obliviously as usual; the first time a
 //!   route would cross a faulty link, the remainder is recomputed by
 //!   deterministic BFS over the survivor graph and spliced in (one
-//!   splice suffices: the detour itself avoids every fault). Packets
-//!   whose endpoints are down, or with no survivor path, are refused at
-//!   injection and counted as stranded (packet conservation holds).
+//!   splice suffices: the detour itself avoids every fault). All of
+//!   that happens **once per distinct endpoint pair** in a
+//!   [`RouteTable`] built up front — packets carry a `u32` slot, and
+//!   reroute attribution is read from the table, never recomputed.
+//!   Packets whose endpoints are down, or with no survivor path, are
+//!   refused at injection and counted as stranded (packet conservation
+//!   holds).
 //! * **causal tracing** — under a [`TraceSampling`] policy, selected
 //!   packets get a root span plus one child span per hop recording the
 //!   node, link, queue depth on arrival, wait cycles, and the forward
@@ -20,13 +24,23 @@
 //! With `telemetry: None` (or sampling off) the routing decisions are
 //! unchanged and the returned [`SimStats`] are byte-identical — the
 //! recorder observes, it never steers.
+//!
+//! With `cfg.threads > 1` the run dispatches to the sharded parallel
+//! engine (same stats, byte for byte) **unless** span tracing is live
+//! (trace-level handle and sampling on): span ids are allocated in
+//! program order, so traced runs stay serial to keep recordings
+//! deterministic.
 
 use crate::faults::FaultPlan;
-use crate::sim::{channel_endpoints, Injection, Scoreboard, SimConfig, SimStats};
+use crate::pool::PacketPool;
+use crate::routes::RouteTable;
+use crate::sim::{channel_endpoints, channel_offsets, Injection, Scoreboard, SimConfig, SimStats};
 use crate::topology::NetTopology;
-use hb_graphs::{Graph, NodeId};
+use hb_graphs::NodeId;
 use hb_telemetry::{Event, SpanId, Telemetry};
 use std::collections::VecDeque;
+
+pub use crate::routes::{plan_route, survivor_route};
 
 /// Which packets the flight recorder samples (requires a trace-level
 /// telemetry handle; with summary/no telemetry nothing is recorded).
@@ -47,91 +61,27 @@ pub enum TraceSampling {
 }
 
 impl TraceSampling {
-    fn samples(self, id: u64, route: &[NodeId], hot: &[bool]) -> bool {
+    fn samples(self, id: u64, route: &[u32], hot: &[bool]) -> bool {
         match self {
             TraceSampling::Off => false,
             TraceSampling::All => true,
             TraceSampling::EveryNth(n) => n > 0 && id.is_multiple_of(n),
-            TraceSampling::FaultAdjacent => route.windows(2).any(|w| hot[w[0]] || hot[w[1]]),
+            TraceSampling::FaultAdjacent => route
+                .windows(2)
+                .any(|w| hot[w[0] as usize] || hot[w[1] as usize]),
         }
     }
 }
 
-/// Deterministic BFS route from `src` to `dst` over the survivor graph
-/// (skipping faulty nodes and links). `None` when unreachable.
-fn survivor_route(g: &Graph, src: NodeId, dst: NodeId, plan: &FaultPlan) -> Option<Vec<NodeId>> {
-    if plan.is_node_faulty(src) || plan.is_node_faulty(dst) {
-        return None;
-    }
-    if src == dst {
-        return Some(vec![src]);
-    }
-    let n = g.num_nodes();
-    let mut parent = vec![usize::MAX; n];
-    parent[src] = src;
-    let mut q = VecDeque::from([src]);
-    while let Some(u) = q.pop_front() {
-        for &w in g.neighbors(u) {
-            let w = w as usize;
-            if parent[w] != usize::MAX || plan.is_link_faulty(u, w) {
-                continue;
-            }
-            parent[w] = u;
-            if w == dst {
-                let mut path = vec![dst];
-                let mut cur = dst;
-                while cur != src {
-                    cur = parent[cur];
-                    path.push(cur);
-                }
-                path.reverse();
-                return Some(path);
-            }
-            q.push_back(w);
-        }
-    }
-    None
-}
-
-/// Where a detour begins (hop index) and the attributed fault reason.
-type Detour = Option<(u32, String)>;
-
-/// The oblivious route with at most one fault detour spliced in.
-/// Returns the route plus the hop index where the detour begins and the
-/// attributed reason, or `None` when the packet cannot be routed.
-fn plan_route(
-    topo: &dyn NetTopology,
-    src: NodeId,
-    dst: NodeId,
-    plan: &FaultPlan,
-) -> Option<(Vec<NodeId>, Detour)> {
-    if plan.is_node_faulty(src) || plan.is_node_faulty(dst) {
-        return None;
-    }
-    let mut route = topo.route(src, dst);
-    for i in 0..route.len().saturating_sub(1) {
-        let Some(reason) = plan.link_fault_reason(route[i], route[i + 1]) else {
-            continue;
-        };
-        // The packet flies the healthy prefix, then detours from the
-        // node in front of the fault.
-        let tail = survivor_route(topo.graph(), route[i], dst, plan)?;
-        route.truncate(i + 1);
-        route.extend_from_slice(&tail[1..]);
-        return Some((route, Some((i as u32, reason))));
-    }
-    Some((route, None))
-}
-
-/// One packet in flight, carrying its recorder state.
-#[derive(Clone, Debug)]
+/// One packet in flight, carrying its recorder state. Copy-sized: the
+/// route (and its detour attribution) lives in the [`RouteTable`].
+#[derive(Clone, Copy, Debug)]
 struct FlightPacket {
     id: u64,
-    route: Vec<NodeId>,
+    /// [`RouteTable`] slot.
+    route: u32,
     hop: u32,
     injected_at: u64,
-    /// Hop index where the detour begins, with the attributed fault.
-    reroute: Option<(u32, String)>,
     /// Root span (`None` when unsampled or the span store filled up).
     span: Option<SpanId>,
     /// Open span of the hop currently being waited on / crossed.
@@ -166,13 +116,17 @@ pub fn run_with_faults(
         "injections must be sorted by cycle"
     );
 
-    let mut offsets = Vec::with_capacity(n + 1);
-    offsets.push(0usize);
-    for v in 0..n {
-        offsets.push(offsets[v] + g.degree(v));
+    let table = RouteTable::for_injections(topo, injections, plan);
+    let tel = cfg.telemetry.as_ref();
+    let tracing = tel.is_some_and(Telemetry::trace_enabled) && sampling != TraceSampling::Off;
+    if cfg.threads > 1 && !tracing {
+        return crate::par::run_sharded(topo, injections, &cfg, &table, true);
     }
+
+    let offsets = channel_offsets(g);
     let num_channels = offsets[n];
-    let mut queues: Vec<VecDeque<FlightPacket>> = vec![VecDeque::new(); num_channels];
+    let mut queues: Vec<VecDeque<u32>> = vec![VecDeque::new(); num_channels];
+    let mut pool: PacketPool<FlightPacket> = PacketPool::new();
     let mut active: Vec<usize> = Vec::new();
     let mut is_active = vec![false; num_channels];
 
@@ -184,9 +138,7 @@ pub fn run_with_faults(
         offsets[u] + port
     };
 
-    let tel = cfg.telemetry.as_ref();
     let mut board = tel.map(|_| Scoreboard::new(channel_endpoints(g, &offsets)));
-    let tracing = tel.is_some_and(Telemetry::trace_enabled) && sampling != TraceSampling::Off;
     let hot = if matches!(sampling, TraceSampling::FaultAdjacent) {
         plan.hot_nodes(g)
     } else {
@@ -201,16 +153,17 @@ pub fn run_with_faults(
             if p.span.is_none() {
                 return;
             }
-            let u = p.route[p.hop as usize];
-            let v = p.route[p.hop as usize + 1];
+            let path = table.path(p.route);
+            let u = path[p.hop as usize];
+            let v = path[p.hop as usize + 1];
             let span = t.span_start(&format!("hop {u}->{v}"), p.span, cycle);
             t.span_attr(span, "node", u.to_string());
             t.span_attr(span, "link", format!("{u}->{v}"));
             t.span_attr(span, "queue", depth.to_string());
-            match &p.reroute {
-                Some((at, reason)) if *at == p.hop => {
+            match table.detour(p.route) {
+                Some((at, reason)) if at == p.hop => {
                     t.span_attr(span, "decision", "reroute");
-                    t.span_attr(span, "reason", reason.clone());
+                    t.span_attr(span, "reason", reason);
                 }
                 _ => t.span_attr(span, "decision", "oblivious"),
             }
@@ -231,6 +184,9 @@ pub fn run_with_faults(
     let mut unroutable = 0u64;
     let mut cycle = 0u64;
 
+    let mut moved: Vec<(usize, u32)> = Vec::new(); // (next channel, pool key)
+    let mut still_active: Vec<usize> = Vec::new();
+
     while cycle < cfg.max_cycles {
         while next_inject < injections.len() && injections[next_inject].at == cycle {
             let inj = injections[next_inject];
@@ -244,7 +200,9 @@ pub fn run_with_faults(
                     cycle,
                 });
             }
-            let Some((route, reroute)) = plan_route(topo, inj.src, inj.dst, plan) else {
+            let slot = table.slot(inj.src, inj.dst).expect("table covers workload");
+            let path = table.path(slot);
+            if path.is_empty() {
                 // Faulty endpoint or no survivor path: refused.
                 unroutable += 1;
                 if let Some(t) = tel {
@@ -255,8 +213,8 @@ pub fn run_with_faults(
                     });
                 }
                 continue;
-            };
-            if route.len() <= 1 {
+            }
+            if path.len() <= 1 {
                 stats.delivered += 1;
                 if let Some(t) = tel {
                     t.event(|| Event::PacketDelivered {
@@ -268,42 +226,46 @@ pub fn run_with_faults(
                 }
                 continue;
             }
-            let span = if tracing && sampling.samples(id, &route, &hot) {
+            let detoured = table.detour(slot).is_some();
+            let span = if tracing && sampling.samples(id, path, &hot) {
                 let t = tel.expect("tracing implies telemetry");
                 let span = t.span_start(
                     &format!("packet #{id} {}->{}", inj.src, inj.dst),
                     None,
                     cycle,
                 );
-                if reroute.is_some() {
+                if detoured {
                     t.span_attr(span, "rerouted", "true");
                 }
                 span
             } else {
                 None
             };
-            if reroute.is_some() {
+            if detoured {
                 reroutes += 1;
             }
-            let ch = channel_of(route[0], route[1]);
+            let ch = channel_of(path[0] as NodeId, path[1] as NodeId);
             let mut p = FlightPacket {
                 id,
-                route,
+                route: slot,
                 hop: 0,
                 injected_at: cycle,
-                reroute,
                 span,
                 hop_span: None,
                 enqueued_at: cycle,
             };
             open_hop_span(tel, &mut p, cycle, queues[ch].len());
-            queues[ch].push_back(p);
+            let key = pool.alloc(p);
+            queues[ch].push_back(key);
             if !is_active[ch] {
                 is_active[ch] = true;
                 active.push(ch);
             }
             in_flight += 1;
         }
+
+        // Canonical ascending-channel service order (see `crate::run`).
+        active.sort_unstable();
 
         if let Some(b) = board.as_mut() {
             for &ch in &active {
@@ -319,12 +281,14 @@ pub fn run_with_faults(
 
         // Two-phase advance, exactly as `run`: one packet per active
         // channel moves one hop.
-        let mut moved: Vec<(usize, FlightPacket)> = Vec::new();
-        let mut still_active = Vec::with_capacity(active.len());
+        moved.clear();
+        still_active.clear();
         for &ch in &active {
-            if let Some(mut p) = queues[ch].pop_front() {
+            if let Some(key) = queues[ch].pop_front() {
+                let mut p = *pool.get(key);
                 p.hop += 1;
-                let here = p.route[p.hop as usize];
+                let path = table.path(p.route);
+                let here = path[p.hop as usize];
                 if let Some(b) = board.as_mut() {
                     b.busy[ch] += 1;
                     b.fwd[ch] += 1;
@@ -344,20 +308,21 @@ pub fn run_with_faults(
                     t.span_end(p.hop_span, cycle + 1);
                     p.hop_span = None;
                 }
-                if p.hop as usize + 1 == p.route.len() {
+                if p.hop as usize + 1 == path.len() {
                     let latency = cycle + 1 - p.injected_at;
                     total_latency += latency;
-                    total_hops += p.hop as u64;
+                    total_hops += u64::from(p.hop);
                     latency_samples += 1;
                     stats.max_latency = stats.max_latency.max(latency);
                     stats.delivered += 1;
                     in_flight -= 1;
+                    pool.free(key);
                     if let Some(b) = board.as_mut() {
-                        b.deliver(latency, p.hop as u64);
+                        b.deliver(latency, u64::from(p.hop));
                         tel.expect("board implies telemetry")
                             .event(|| Event::PacketDelivered {
                                 id: p.id,
-                                dst: here as u32,
+                                dst: here,
                                 latency,
                                 cycle: cycle + 1,
                             });
@@ -368,8 +333,9 @@ pub fn run_with_faults(
                         t.span_end(p.span, cycle + 1);
                     }
                 } else {
-                    let next = p.route[p.hop as usize + 1];
-                    moved.push((channel_of(here, next), p));
+                    let next = path[p.hop as usize + 1];
+                    *pool.get_mut(key) = p;
+                    moved.push((channel_of(here as NodeId, next as NodeId), key));
                 }
             }
             if queues[ch].is_empty() {
@@ -378,10 +344,10 @@ pub fn run_with_faults(
                 still_active.push(ch);
             }
         }
-        active = still_active;
-        for (ch, mut p) in moved {
-            open_hop_span(tel, &mut p, cycle + 1, queues[ch].len());
-            queues[ch].push_back(p);
+        std::mem::swap(&mut active, &mut still_active);
+        for &(ch, key) in &moved {
+            open_hop_span(tel, pool.get_mut(key), cycle + 1, queues[ch].len());
+            queues[ch].push_back(key);
             if !is_active[ch] {
                 is_active[ch] = true;
                 active.push(ch);

@@ -18,6 +18,15 @@
 //! * [`flight`] — the fault-aware simulator with a per-packet **flight
 //!   recorder**: sampled packets leave causal span trees (one span per
 //!   hop: queue depth, wait, forward decision, reroute attribution);
+//! * [`routes`] — precomputed route tables ([`RouteTable`], built once
+//!   per `(topology, FaultPlan)`) and the epoch-keyed [`RouteCache`],
+//!   so the hot loops never recompute a route per packet;
+//! * [`pool`] — the slab [`pool::PacketPool`] backing the simulators'
+//!   queues (4-byte keys, zero per-hop allocation in steady state);
+//! * the sharded parallel engine behind [`SimConfig::with_threads`]:
+//!   deterministic per-shard advance with ordered cross-shard
+//!   mailboxes, byte-identical to the serial runners at every thread
+//!   count (DESIGN.md §9);
 //! * [`forwarding`] — edge forwarding index (static routing congestion,
 //!   the VLSI-quality metric).
 
@@ -27,12 +36,16 @@
 pub mod faults;
 pub mod flight;
 pub mod forwarding;
+mod par;
+pub mod pool;
+pub mod routes;
 pub mod sim;
 pub mod topology;
 pub mod workload;
 
 pub use faults::FaultPlan;
 pub use flight::{run_with_faults, TraceSampling};
+pub use routes::{RouteCache, RouteTable};
 pub use sim::{run, run_adaptive, run_bounded, Injection, SimConfig, SimStats};
 pub use topology::{
     ButterflyNet, HbRouteOrder, HyperButterflyNet, HyperDeBruijnNet, HypercubeNet, NetTopology,

@@ -1,0 +1,774 @@
+//! Deterministic sharded parallel simulation engine.
+//!
+//! [`run_sharded`] advances the oblivious store-and-forward model of
+//! [`crate::sim::run`] on `cfg.threads` workers and produces **byte
+//! identical** results — `SimStats`, counters, histograms, link stats,
+//! and trace events all match the serial runner exactly, at every
+//! thread count. The determinism argument (DESIGN.md §9) rests on three
+//! invariants:
+//!
+//! 1. **Node-aligned contiguous shards.** Channels are laid out in CSR
+//!    order (`offsets[u] + port`), and shard `k` owns the contiguous
+//!    channel range `[chan_lo[k], chan_lo[k+1])` induced by a node range
+//!    — so a packet's *current* channel always belongs to exactly one
+//!    worker, and an injection's first channel belongs to the worker
+//!    owning its source node.
+//! 2. **Canonical service order.** Within a cycle, the serial loop
+//!    services active channels in ascending channel id. Each shard does
+//!    the same over its own (disjoint, ascending) range; since per
+//!    channel effects are independent given queue contents, the union of
+//!    shard-local services equals the serial pass.
+//! 3. **Ordered cross-shard delivery.** The only inter-channel coupling
+//!    is the FIFO order in which same-cycle movers land on a shared
+//!    target queue — ascending *source* channel in the serial loop. Each
+//!    worker collects its movers in service (= ascending source channel)
+//!    order into one mailbox per receiver; receivers drain mailboxes in
+//!    sender-shard order, and sender ranges are ascending, so the
+//!    concatenation reproduces the serial enqueue order exactly.
+//!
+//! Cycle protocol (two barriers): *phase A* — each worker injects its
+//! due packets, services its channels, publishes cross-shard movers to
+//! per-(sender, receiver) mailboxes, and adds its deltas to three
+//! monotone counters (injections consumed, packets entering the
+//! network, packets delivered); *barrier*; every worker reads the
+//! counters and reaches the same drain decision; *phase B* — each
+//! worker applies its own local movers and drains its incoming
+//! mailboxes in sender order; *barrier*; everyone advances the cycle
+//! and stops together. The counters only change in phase A, so the
+//! decision read between the barriers is consistent across workers.
+//!
+//! Stats, scoreboards, and buffered trace events are merged in fixed
+//! shard-index order after the join: integer sums/maxes are exact, and
+//! events are stable-sorted by `(cycle, phase, channel-or-id)` — a key
+//! that is unique across shards — reconstructing the serial emission
+//! order.
+
+use crate::pool::PacketPool;
+use crate::routes::RouteTable;
+use crate::sim::{channel_endpoints, channel_offsets, Injection, Packet, SimConfig, SimStats};
+use crate::topology::NetTopology;
+use hb_graphs::{Graph, NodeId};
+use hb_telemetry::{Event, Histogram, LinkStats, Telemetry, CYCLES_COUNTER};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Per-shard dense instrument mirror of `sim::Scoreboard`, covering only
+/// the shard's own channel range (index = channel - chan_lo[k]).
+struct ShardBoard {
+    latency: Histogram,
+    hops: Histogram,
+    fwd: Vec<u64>,
+    busy: Vec<u64>,
+    peak: Vec<usize>,
+}
+
+/// A buffered trace event: (iteration cycle, phase, order key, event).
+/// Phase 0 = injection (key = injection id), phase 1 = service
+/// (key = 2*channel for hops, 2*channel + 1 for deliveries).
+type BufferedEvent = (u64, u8, u64, Event);
+
+/// One (sender, receiver) mailbox cell: packets that crossed a shard
+/// boundary this cycle, with their destination channel. Exactly one
+/// writer (phase A) and one reader (phase B), separated by a barrier.
+type Mailbox = Mutex<Vec<(u32, Packet)>>;
+
+/// What one worker hands back for the in-order merge.
+struct ShardResult {
+    delivered: u64,
+    total_latency: u64,
+    total_hops: u64,
+    latency_samples: u64,
+    max_latency: u64,
+    peak_queue: usize,
+    reroutes: u64,
+    unroutable: u64,
+    forwarded: u64,
+    cycles: u64,
+    pool_live: u64,
+    board: Option<ShardBoard>,
+    events: Vec<BufferedEvent>,
+}
+
+/// Shard owning channel `ch` under boundaries `chan_lo` (last entry =
+/// total channels; repeated entries denote empty shards).
+fn shard_of(chan_lo: &[usize], ch: usize) -> usize {
+    chan_lo.partition_point(|&c| c <= ch) - 1
+}
+
+/// Node-aligned shard boundaries balancing *channels* (not nodes) across
+/// `s` workers: `node_lo[k]` is the first node whose channel offset
+/// reaches `k/s` of the channel total.
+fn shard_boundaries(offsets: &[usize], n: usize, s: usize) -> Vec<usize> {
+    let num_channels = offsets[n];
+    let mut node_lo = vec![0usize; s + 1];
+    node_lo[s] = n;
+    for (k, lo) in node_lo.iter_mut().enumerate().take(s).skip(1) {
+        let target = k * num_channels / s;
+        *lo = offsets.partition_point(|&o| o < target).min(n);
+    }
+    node_lo
+}
+
+/// The sharded parallel engine behind [`SimConfig::with_threads`].
+/// `faulted` selects flight semantics: empty table paths are counted as
+/// unroutable (with drop events), and `sim.reroutes`/`sim.unroutable`
+/// counters are emitted on the telemetry handle.
+pub(crate) fn run_sharded(
+    topo: &dyn NetTopology,
+    injections: &[Injection],
+    cfg: &SimConfig,
+    table: &RouteTable,
+    faulted: bool,
+) -> SimStats {
+    let g = topo.graph();
+    let n = g.num_nodes();
+    let offsets = channel_offsets(g);
+    let ends = channel_endpoints(g, &offsets);
+    let s = cfg.threads.min(n.max(1)).max(1);
+
+    let node_lo = shard_boundaries(&offsets, n, s);
+    let chan_lo: Vec<usize> = node_lo.iter().map(|&v| offsets[v]).collect();
+
+    let tel = cfg.telemetry.as_ref();
+    let with_board = tel.is_some();
+    let buffer_events = tel.is_some_and(Telemetry::trace_enabled);
+
+    let total = injections.len() as u64;
+    let barrier = Barrier::new(s);
+    // mailboxes[sender][receiver]: written by one worker in phase A,
+    // drained by one worker in phase B, with a barrier in between.
+    let mailboxes: Vec<Vec<Mailbox>> = (0..s)
+        .map(|_| (0..s).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+    let consumed = AtomicU64::new(0); // injections taken off the schedule
+    let net_in = AtomicU64::new(0); // packets that entered a queue
+    let net_out = AtomicU64::new(0); // routed packets delivered
+
+    let results: Vec<ShardResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..s)
+            .map(|k| {
+                let (offsets, ends) = (&offsets, &ends);
+                let (node_lo, chan_lo) = (&node_lo, &chan_lo);
+                let (barrier, mailboxes) = (&barrier, &mailboxes);
+                let (consumed, net_in, net_out) = (&consumed, &net_in, &net_out);
+                scope.spawn(move || {
+                    run_shard(ShardCtx {
+                        k,
+                        g,
+                        table,
+                        injections,
+                        cfg,
+                        offsets,
+                        ends,
+                        node_lo,
+                        chan_lo,
+                        barrier,
+                        mailboxes,
+                        consumed,
+                        net_in,
+                        net_out,
+                        total,
+                        with_board,
+                        buffer_events,
+                        faulted,
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    // ---- in-order merge (shard index order, exact integer arithmetic) ----
+    let mut stats = SimStats {
+        offered: total,
+        ..Default::default()
+    };
+    let mut total_latency = 0u64;
+    let mut total_hops = 0u64;
+    let mut latency_samples = 0u64;
+    let mut reroutes = 0u64;
+    let mut unroutable = 0u64;
+    let mut in_flight = 0u64;
+    for r in &results {
+        stats.delivered += r.delivered;
+        stats.max_latency = stats.max_latency.max(r.max_latency);
+        stats.peak_queue = stats.peak_queue.max(r.peak_queue);
+        stats.cycles = stats.cycles.max(r.cycles);
+        total_latency += r.total_latency;
+        total_hops += r.total_hops;
+        latency_samples += r.latency_samples;
+        reroutes += r.reroutes;
+        unroutable += r.unroutable;
+        in_flight += r.pool_live;
+    }
+    let consumed_final = consumed.load(Ordering::SeqCst);
+    debug_assert_eq!(
+        in_flight,
+        net_in.load(Ordering::SeqCst) - net_out.load(Ordering::SeqCst),
+        "pool residents equal net in-flight"
+    );
+    stats.stranded = unroutable + in_flight + (total - consumed_final);
+    if latency_samples > 0 {
+        stats.avg_latency = total_latency as f64 / latency_samples as f64;
+        stats.avg_hops = total_hops as f64 / latency_samples as f64;
+    }
+    debug_assert_eq!(
+        stats.delivered + stats.stranded,
+        stats.offered,
+        "packet conservation"
+    );
+
+    if let Some(t) = tel {
+        if buffer_events {
+            // Stable sort on (cycle, phase, key): the key is unique
+            // across shards, and equal keys only occur within one shard
+            // (injected-then-delivered pairs), whose local order the
+            // stable sort preserves — exactly the serial emission order.
+            let mut all: Vec<BufferedEvent> = results
+                .iter()
+                .flat_map(|r| r.events.iter().cloned())
+                .collect();
+            all.sort_by_key(|e| (e.0, e.1, e.2));
+            for (_, _, _, ev) in all {
+                t.event(|| ev);
+            }
+        }
+        if faulted {
+            t.counter("sim.reroutes").add(reroutes);
+            t.counter("sim.unroutable").add(unroutable);
+        }
+        t.counter("sim.offered").add(stats.offered);
+        t.counter("sim.delivered").add(stats.delivered);
+        t.counter("sim.stranded").add(stats.stranded);
+        t.counter(CYCLES_COUNTER).add(stats.cycles);
+        let mut ls = LinkStats::new();
+        for (k, r) in results.iter().enumerate() {
+            let Some(b) = &r.board else { continue };
+            t.merge_histogram("sim.latency", &b.latency);
+            t.merge_histogram("sim.hops", &b.hops);
+            let base = chan_lo[k];
+            for i in 0..b.fwd.len() {
+                let (from, to) = ends[base + i];
+                if b.fwd[i] > 0 {
+                    ls.record_forward(from, to, b.fwd[i]);
+                }
+                if b.busy[i] > 0 {
+                    ls.record_busy(from, to, b.busy[i]);
+                }
+                if b.peak[i] > 0 {
+                    ls.observe_queue(from, to, b.peak[i]);
+                }
+            }
+        }
+        if with_board {
+            t.merge_links(&ls);
+        }
+        if cfg.shard_telemetry {
+            for (k, r) in results.iter().enumerate() {
+                t.counter(&format!("sim.shard.{k}.delivered"))
+                    .add(r.delivered);
+                t.counter(&format!("sim.shard.{k}.forwarded"))
+                    .add(r.forwarded);
+                let span = t.span_start(&format!("shard {k}"), None, 0);
+                t.span_attr(span, "nodes", format!("{}..{}", node_lo[k], node_lo[k + 1]));
+                t.span_attr(
+                    span,
+                    "channels",
+                    format!("{}..{}", chan_lo[k], chan_lo[k + 1]),
+                );
+                t.span_attr(span, "delivered", r.delivered.to_string());
+                t.span_end(span, stats.cycles);
+            }
+        }
+    }
+    stats
+}
+
+/// Everything one worker needs, bundled to keep the spawn site readable.
+struct ShardCtx<'a> {
+    k: usize,
+    g: &'a Graph,
+    table: &'a RouteTable,
+    injections: &'a [Injection],
+    cfg: &'a SimConfig,
+    offsets: &'a [usize],
+    ends: &'a [(u32, u32)],
+    node_lo: &'a [usize],
+    chan_lo: &'a [usize],
+    barrier: &'a Barrier,
+    mailboxes: &'a [Vec<Mailbox>],
+    consumed: &'a AtomicU64,
+    net_in: &'a AtomicU64,
+    net_out: &'a AtomicU64,
+    total: u64,
+    with_board: bool,
+    buffer_events: bool,
+    faulted: bool,
+}
+
+fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
+    let ShardCtx {
+        k,
+        g,
+        table,
+        injections,
+        cfg,
+        offsets,
+        ends,
+        node_lo,
+        chan_lo,
+        barrier,
+        mailboxes,
+        consumed,
+        net_in,
+        net_out,
+        total,
+        with_board,
+        buffer_events,
+        faulted,
+    } = ctx;
+    let s = chan_lo.len() - 1;
+    let base = chan_lo[k];
+    let width = chan_lo[k + 1] - base;
+
+    let channel_of = |u: NodeId, v: NodeId| -> usize {
+        let port = g
+            .neighbors(u)
+            .binary_search(&(v as u32))
+            .unwrap_or_else(|_| panic!("route step ({u}, {v}) is not an edge"));
+        offsets[u] + port
+    };
+
+    // My injections: those sourced in my node range, in global id order.
+    let my_inj: Vec<usize> = injections
+        .iter()
+        .enumerate()
+        .filter(|(_, inj)| node_lo[k] <= inj.src && inj.src < node_lo[k + 1])
+        .map(|(i, _)| i)
+        .collect();
+    let mut next_inj = 0usize;
+
+    let mut queues: Vec<VecDeque<u32>> = vec![VecDeque::new(); width];
+    let mut pool: PacketPool<Packet> = PacketPool::new();
+    let mut active: Vec<usize> = Vec::new(); // global channel ids, own range
+    let mut is_active = vec![false; width];
+    let mut board = with_board.then(|| ShardBoard {
+        latency: Histogram::new(),
+        hops: Histogram::new(),
+        fwd: vec![0; width],
+        busy: vec![0; width],
+        peak: vec![0; width],
+    });
+    let mut events: Vec<BufferedEvent> = Vec::new();
+
+    let mut delivered = 0u64;
+    let mut total_latency = 0u64;
+    let mut total_hops = 0u64;
+    let mut latency_samples = 0u64;
+    let mut max_latency = 0u64;
+    let mut peak_queue = 0usize;
+    let mut reroutes = 0u64;
+    let mut unroutable = 0u64;
+    let mut forwarded = 0u64;
+    let mut cycle = 0u64;
+
+    let mut local_pending: Vec<(usize, u32)> = Vec::new(); // (dst channel, key)
+    let mut outbox: Vec<Vec<(u32, Packet)>> = vec![Vec::new(); s];
+    let mut still_active: Vec<usize> = Vec::new();
+
+    while cycle < cfg.max_cycles {
+        // ---- phase A: inject + service own channels ----
+        let mut consumed_delta = 0u64;
+        let mut in_delta = 0u64;
+        let mut out_delta = 0u64;
+        while next_inj < my_inj.len() && injections[my_inj[next_inj]].at == cycle {
+            let idx = my_inj[next_inj];
+            let inj = injections[idx];
+            let id = idx as u64;
+            next_inj += 1;
+            consumed_delta += 1;
+            if buffer_events {
+                events.push((
+                    cycle,
+                    0,
+                    id,
+                    Event::PacketInjected {
+                        id,
+                        src: inj.src as u32,
+                        dst: inj.dst as u32,
+                        cycle,
+                    },
+                ));
+            }
+            let slot = table.slot(inj.src, inj.dst).expect("table covers workload");
+            let path = table.path(slot);
+            if path.is_empty() {
+                debug_assert!(faulted, "empty routes only exist under faults");
+                unroutable += 1;
+                if buffer_events {
+                    events.push((
+                        cycle,
+                        0,
+                        id,
+                        Event::PacketDropped {
+                            id,
+                            at: inj.src as u32,
+                            cycle,
+                        },
+                    ));
+                }
+                continue;
+            }
+            if path.len() <= 1 {
+                delivered += 1;
+                if buffer_events {
+                    events.push((
+                        cycle,
+                        0,
+                        id,
+                        Event::PacketDelivered {
+                            id,
+                            dst: inj.dst as u32,
+                            latency: 0,
+                            cycle,
+                        },
+                    ));
+                }
+                continue;
+            }
+            if faulted && table.detour(slot).is_some() {
+                reroutes += 1;
+            }
+            let ch = channel_of(path[0] as NodeId, path[1] as NodeId);
+            debug_assert!(
+                base <= ch && ch < chan_lo[k + 1],
+                "injection lands in own shard"
+            );
+            let key = pool.alloc(Packet {
+                id,
+                route: slot,
+                hop: 0,
+                injected_at: cycle,
+            });
+            queues[ch - base].push_back(key);
+            if !is_active[ch - base] {
+                is_active[ch - base] = true;
+                active.push(ch);
+            }
+            in_delta += 1;
+        }
+
+        // Canonical ascending order within the shard's disjoint range.
+        active.sort_unstable();
+
+        for &ch in &active {
+            let len = queues[ch - base].len();
+            if let Some(b) = board.as_mut() {
+                b.peak[ch - base] = b.peak[ch - base].max(len);
+            }
+            peak_queue = peak_queue.max(len);
+        }
+
+        still_active.clear();
+        for &ch in &active {
+            if let Some(key) = queues[ch - base].pop_front() {
+                let mut p = *pool.get(key);
+                p.hop += 1;
+                let path = table.path(p.route);
+                let here = path[p.hop as usize];
+                forwarded += 1;
+                if let Some(b) = board.as_mut() {
+                    b.busy[ch - base] += 1;
+                    b.fwd[ch - base] += 1;
+                }
+                if buffer_events {
+                    let (from, to) = ends[ch];
+                    events.push((
+                        cycle,
+                        1,
+                        2 * ch as u64,
+                        Event::PacketHop {
+                            id: p.id,
+                            from,
+                            to,
+                            cycle: cycle + 1,
+                        },
+                    ));
+                }
+                if p.hop as usize + 1 == path.len() {
+                    let latency = cycle + 1 - p.injected_at;
+                    total_latency += latency;
+                    total_hops += u64::from(p.hop);
+                    latency_samples += 1;
+                    max_latency = max_latency.max(latency);
+                    delivered += 1;
+                    out_delta += 1;
+                    pool.free(key);
+                    if let Some(b) = board.as_mut() {
+                        b.latency.record(latency);
+                        b.hops.record(u64::from(p.hop));
+                    }
+                    if buffer_events {
+                        events.push((
+                            cycle,
+                            1,
+                            2 * ch as u64 + 1,
+                            Event::PacketDelivered {
+                                id: p.id,
+                                dst: here,
+                                latency,
+                                cycle: cycle + 1,
+                            },
+                        ));
+                    }
+                } else {
+                    let next = path[p.hop as usize + 1];
+                    let dst_ch = channel_of(here as NodeId, next as NodeId);
+                    let dst_shard = shard_of(chan_lo, dst_ch);
+                    if dst_shard == k {
+                        *pool.get_mut(key) = p;
+                        local_pending.push((dst_ch, key));
+                    } else {
+                        pool.free(key);
+                        outbox[dst_shard].push((dst_ch as u32, p));
+                    }
+                }
+            }
+            if queues[ch - base].is_empty() {
+                is_active[ch - base] = false;
+            } else {
+                still_active.push(ch);
+            }
+        }
+        std::mem::swap(&mut active, &mut still_active);
+
+        for (dst, out) in outbox.iter_mut().enumerate() {
+            if !out.is_empty() {
+                mailboxes[k][dst].lock().expect("mailbox lock").append(out);
+            }
+        }
+        if consumed_delta > 0 {
+            consumed.fetch_add(consumed_delta, Ordering::SeqCst);
+        }
+        if in_delta > 0 {
+            net_in.fetch_add(in_delta, Ordering::SeqCst);
+        }
+        if out_delta > 0 {
+            net_out.fetch_add(out_delta, Ordering::SeqCst);
+        }
+
+        barrier.wait();
+
+        // Counters are stable until the next phase A, so every worker
+        // computes the same decision here.
+        let drained = cfg.stop_when_drained
+            && consumed.load(Ordering::SeqCst) == total
+            && net_in.load(Ordering::SeqCst) == net_out.load(Ordering::SeqCst);
+
+        // ---- phase B: apply movers in ascending source-channel order ----
+        for (src, sender_row) in mailboxes.iter().enumerate().take(s) {
+            if src == k {
+                for &(ch, key) in &local_pending {
+                    queues[ch - base].push_back(key);
+                    if !is_active[ch - base] {
+                        is_active[ch - base] = true;
+                        active.push(ch);
+                    }
+                }
+                local_pending.clear();
+            } else {
+                let mut incoming =
+                    std::mem::take(&mut *sender_row[k].lock().expect("mailbox lock"));
+                for (ch, p) in incoming.drain(..) {
+                    let ch = ch as usize;
+                    let key = pool.alloc(p);
+                    queues[ch - base].push_back(key);
+                    if !is_active[ch - base] {
+                        is_active[ch - base] = true;
+                        active.push(ch);
+                    }
+                }
+            }
+        }
+
+        barrier.wait();
+        cycle += 1;
+        if drained {
+            break;
+        }
+    }
+
+    ShardResult {
+        delivered,
+        total_latency,
+        total_hops,
+        latency_samples,
+        max_latency,
+        peak_queue,
+        reroutes,
+        unroutable,
+        forwarded,
+        cycles: cycle,
+        pool_live: pool.live() as u64,
+        board,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use crate::flight::{run_with_faults, TraceSampling};
+    use crate::sim::run;
+    use crate::topology::{HbRouteOrder, HyperButterflyNet, HypercubeNet};
+    use crate::workload;
+
+    #[test]
+    fn shard_boundaries_are_node_aligned_and_cover_all_channels() {
+        let t = HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap();
+        let g = t.graph();
+        let offsets = channel_offsets(g);
+        let n = g.num_nodes();
+        for s in [1, 2, 3, 4, 7, 16] {
+            let node_lo = shard_boundaries(&offsets, n, s);
+            assert_eq!(node_lo[0], 0);
+            assert_eq!(node_lo[s], n);
+            assert!(node_lo.windows(2).all(|w| w[0] <= w[1]));
+            let chan_lo: Vec<usize> = node_lo.iter().map(|&v| offsets[v]).collect();
+            // Every channel belongs to exactly the shard that owns its
+            // tail node.
+            for ch in [0usize, 1, offsets[n] / 2, offsets[n] - 1] {
+                let k = shard_of(&chan_lo, ch);
+                assert!(chan_lo[k] <= ch && ch < chan_lo[k + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_stats_match_serial_on_hb() {
+        let t = HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap();
+        let traffic = workload::uniform(t.num_nodes(), 80, 0.3, 13);
+        let serial = run(&t, &traffic, SimConfig::default());
+        for threads in [2, 3, 4, 8] {
+            let par = run(&t, &traffic, SimConfig::default().with_threads(threads));
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_faulted_run_matches_serial_including_counters() {
+        let t = HypercubeNet::new(4).unwrap();
+        let traffic = workload::uniform(t.num_nodes(), 40, 0.4, 5);
+        let mut plan = FaultPlan::new();
+        plan.add_link(0, 1).add_node(9);
+        let serial = run_with_faults(
+            &t,
+            &traffic,
+            SimConfig::default(),
+            &plan,
+            TraceSampling::Off,
+        );
+        let tel_s = Telemetry::summary();
+        run_with_faults(
+            &t,
+            &traffic,
+            SimConfig::default().with_telemetry(tel_s.clone()),
+            &plan,
+            TraceSampling::Off,
+        );
+        let tel_p = Telemetry::summary();
+        let par = run_with_faults(
+            &t,
+            &traffic,
+            SimConfig::default()
+                .with_telemetry(tel_p.clone())
+                .with_threads(4),
+            &plan,
+            TraceSampling::Off,
+        );
+        assert_eq!(serial, par);
+        assert_eq!(
+            tel_s.counter("sim.reroutes").get(),
+            tel_p.counter("sim.reroutes").get()
+        );
+        assert_eq!(
+            tel_s.counter("sim.unroutable").get(),
+            tel_p.counter("sim.unroutable").get()
+        );
+        assert_eq!(tel_s.snapshot(), tel_p.snapshot());
+    }
+
+    #[test]
+    fn sharded_trace_events_match_serial_byte_for_byte() {
+        let t = HypercubeNet::new(3).unwrap();
+        let traffic = workload::uniform(t.num_nodes(), 30, 0.5, 21);
+        let tel_s = Telemetry::with_trace(4096);
+        let serial = run(
+            &t,
+            &traffic,
+            SimConfig::default().with_telemetry(tel_s.clone()),
+        );
+        let tel_p = Telemetry::with_trace(4096);
+        let par = run(
+            &t,
+            &traffic,
+            SimConfig::default()
+                .with_telemetry(tel_p.clone())
+                .with_threads(3),
+        );
+        assert_eq!(serial, par);
+        assert_eq!(tel_s.events(), tel_p.events(), "exact event order");
+        assert_eq!(tel_s.snapshot(), tel_p.snapshot());
+    }
+
+    #[test]
+    fn shard_telemetry_emits_per_shard_counters_and_spans() {
+        let t = HypercubeNet::new(4).unwrap();
+        let traffic = workload::uniform(t.num_nodes(), 20, 0.3, 3);
+        let tel = Telemetry::with_trace(4096);
+        let stats = run(
+            &t,
+            &traffic,
+            SimConfig::default()
+                .with_telemetry(tel.clone())
+                .with_threads(2)
+                .with_shard_telemetry(true),
+        );
+        let per_shard: u64 = (0..2)
+            .map(|k| tel.counter(&format!("sim.shard.{k}.delivered")).get())
+            .sum();
+        assert_eq!(per_shard, stats.delivered);
+        let shard_spans: Vec<_> = tel
+            .spans()
+            .into_iter()
+            .filter(|sp| sp.name.starts_with("shard "))
+            .collect();
+        assert_eq!(shard_spans.len(), 2);
+        assert!(shard_spans[0].attr("channels").is_some());
+    }
+
+    #[test]
+    fn more_threads_than_nodes_degrades_gracefully() {
+        let t = HypercubeNet::new(2).unwrap();
+        let traffic = workload::uniform(t.num_nodes(), 10, 0.8, 1);
+        let serial = run(&t, &traffic, SimConfig::default());
+        let par = run(&t, &traffic, SimConfig::default().with_threads(64));
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn cycle_limit_strands_identically_in_parallel() {
+        let t = HypercubeNet::new(4).unwrap();
+        let traffic = workload::uniform(t.num_nodes(), 50, 0.6, 17);
+        for limit in [0, 1, 3, 7] {
+            let serial = run(&t, &traffic, SimConfig::bounded(limit));
+            let par = run(&t, &traffic, SimConfig::bounded(limit).with_threads(4));
+            assert_eq!(serial, par, "limit {limit}");
+        }
+    }
+}

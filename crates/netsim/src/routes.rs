@@ -1,0 +1,554 @@
+//! Precomputed route tables: compute every distinct `(src, dst)` route
+//! **once** per `(topology, [`FaultPlan`])` instead of once per packet.
+//!
+//! The simulators in [`crate::sim`] and [`crate::flight`] are oblivious:
+//! a packet's path depends only on its endpoints and the static fault
+//! plan, never on network state. Re-deriving the route at every
+//! injection therefore repeats identical work — `topo.route` allocates a
+//! fresh `Vec` per packet, and the fault-aware runner may re-run a BFS
+//! over the survivor graph. [`RouteTable`] hoists all of that out of the
+//! hot loop: routes for the distinct endpoint pairs of a workload are
+//! computed once into a flat CSR arena (`offsets` + `nodes`), packets
+//! carry a `u32` slot instead of a `Vec<NodeId>`, and detour attribution
+//! (where a reroute begins and which fault caused it) is interned per
+//! route rather than cloned per packet.
+//!
+//! [`RouteCache`] is the long-lived variant for fault campaigns: it
+//! memoizes routes lazily and is keyed by a **fault epoch** — swapping
+//! in a different [`FaultPlan`] bumps the epoch and clears the memo, so
+//! reroutes always hit table entries computed under the current plan,
+//! never a stale BFS.
+//!
+//! Memory: the CSR arena costs `4 * (nodes_in_routes + pairs + 1)` bytes
+//! plus the pair index — see [`RouteTable::heap_bytes`] (the same
+//! accounting convention as `hb_graphs::Graph::heap_bytes`, quoted in
+//! DESIGN.md §9).
+
+use crate::faults::FaultPlan;
+use crate::sim::Injection;
+use crate::topology::NetTopology;
+use hb_graphs::{Graph, NodeId};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Deterministic BFS route from `src` to `dst` over the survivor graph
+/// (skipping faulty nodes and links). `None` when unreachable. Neighbor
+/// order is the graph's sorted adjacency, so the result is a canonical
+/// shortest survivor path.
+pub fn survivor_route(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    plan: &FaultPlan,
+) -> Option<Vec<NodeId>> {
+    if plan.is_node_faulty(src) || plan.is_node_faulty(dst) {
+        return None;
+    }
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let n = g.num_nodes();
+    let mut parent = vec![usize::MAX; n];
+    parent[src] = src;
+    let mut q = VecDeque::from([src]);
+    while let Some(u) = q.pop_front() {
+        for &w in g.neighbors(u) {
+            let w = w as usize;
+            if parent[w] != usize::MAX || plan.is_link_faulty(u, w) {
+                continue;
+            }
+            parent[w] = u;
+            if w == dst {
+                let mut path = vec![dst];
+                let mut cur = dst;
+                while cur != src {
+                    cur = parent[cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            q.push_back(w);
+        }
+    }
+    None
+}
+
+/// Where a detour begins (hop index) and the attributed fault reason.
+pub type Detour = Option<(u32, String)>;
+
+/// The oblivious route with at most one fault detour spliced in: the
+/// packet flies the healthy prefix of `topo.route`, then a BFS survivor
+/// path from the node in front of the first faulty link (the detour
+/// itself avoids every fault, so one splice suffices). Returns the route
+/// plus the hop index where the detour begins and the attributed reason,
+/// or `None` when the packet cannot be routed (faulty endpoint or no
+/// survivor path).
+pub fn plan_route(
+    topo: &dyn NetTopology,
+    src: NodeId,
+    dst: NodeId,
+    plan: &FaultPlan,
+) -> Option<(Vec<NodeId>, Detour)> {
+    if plan.is_node_faulty(src) || plan.is_node_faulty(dst) {
+        return None;
+    }
+    let mut route = topo.route(src, dst);
+    for i in 0..route.len().saturating_sub(1) {
+        let Some(reason) = plan.link_fault_reason(route[i], route[i + 1]) else {
+            continue;
+        };
+        let tail = survivor_route(topo.graph(), route[i], dst, plan)?;
+        route.truncate(i + 1);
+        route.extend_from_slice(&tail[1..]);
+        return Some((route, Some((i as u32, reason))));
+    }
+    Some((route, None))
+}
+
+/// Detour sentinel in the packed per-slot arrays: no detour on this route.
+const NO_DETOUR: u32 = u32::MAX;
+
+/// Flat CSR arena of routes shared by [`RouteTable`] and [`RouteCache`].
+#[derive(Clone, Debug, Default)]
+struct RouteArena {
+    /// `(src, dst)` pair -> slot.
+    index: HashMap<(u32, u32), u32>,
+    /// Slot `s` occupies `nodes[offsets[s] as usize .. offsets[s+1] as usize]`.
+    /// An **empty** range means the pair is unroutable under the plan.
+    offsets: Vec<u32>,
+    /// Concatenated route nodes.
+    nodes: Vec<u32>,
+    /// Per slot: hop index where the detour begins, or [`NO_DETOUR`].
+    detour_hop: Vec<u32>,
+    /// Per slot: index into `reasons`, meaningful only with a detour.
+    detour_reason: Vec<u32>,
+    /// Interned fault-attribution strings.
+    reasons: Vec<String>,
+}
+
+impl RouteArena {
+    fn new() -> Self {
+        Self {
+            offsets: vec![0],
+            ..Self::default()
+        }
+    }
+
+    /// Appends a computed route for `(src, dst)`, returning its slot.
+    fn push(
+        &mut self,
+        src: u32,
+        dst: u32,
+        planned: Option<(Vec<NodeId>, Detour)>,
+        intern: &mut HashMap<String, u32>,
+    ) -> u32 {
+        let slot = u32::try_from(self.index.len()).expect("fewer than 2^32 pairs");
+        self.index.insert((src, dst), slot);
+        let (mut hop, mut reason_id) = (NO_DETOUR, NO_DETOUR);
+        if let Some((route, detour)) = planned {
+            self.nodes.extend(
+                route
+                    .iter()
+                    .map(|&v| u32::try_from(v).expect("node fits u32")),
+            );
+            if let Some((at, reason)) = detour {
+                hop = at;
+                reason_id = *intern.entry(reason.clone()).or_insert_with(|| {
+                    self.reasons.push(reason);
+                    u32::try_from(self.reasons.len() - 1).expect("few reasons")
+                });
+            }
+        }
+        self.offsets
+            .push(u32::try_from(self.nodes.len()).expect("arena fits u32"));
+        self.detour_hop.push(hop);
+        self.detour_reason.push(reason_id);
+        slot
+    }
+
+    fn path(&self, slot: u32) -> &[u32] {
+        let s = slot as usize;
+        &self.nodes[self.offsets[s] as usize..self.offsets[s + 1] as usize]
+    }
+
+    fn detour(&self, slot: u32) -> Option<(u32, &str)> {
+        let hop = self.detour_hop[slot as usize];
+        (hop != NO_DETOUR).then(|| {
+            (
+                hop,
+                self.reasons[self.detour_reason[slot as usize] as usize].as_str(),
+            )
+        })
+    }
+
+    fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.index.capacity() * (size_of::<(u32, u32)>() + size_of::<u32>())
+            + self.offsets.capacity() * size_of::<u32>()
+            + self.nodes.capacity() * size_of::<u32>()
+            + self.detour_hop.capacity() * size_of::<u32>()
+            + self.detour_reason.capacity() * size_of::<u32>()
+            + self.reasons.iter().map(String::len).sum::<usize>()
+    }
+}
+
+/// Immutable precomputed route table for one `(topology, FaultPlan)`
+/// pair, covering a fixed set of endpoint pairs (typically the distinct
+/// pairs of a workload — **not** all `n^2` pairs, so hotspot and
+/// permutation traffic pay for their few distinct routes only).
+///
+/// Slots are dense `u32`s in first-seen pair order; packets store the
+/// slot instead of an owned route.
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    arena: RouteArena,
+    /// Pairs with no survivor route under the plan.
+    unroutable_pairs: u64,
+}
+
+impl RouteTable {
+    /// Builds the table for the given endpoint pairs (duplicates are
+    /// deduplicated; slot order is first-seen order). With an empty
+    /// `plan` this is exactly `topo.route` per distinct pair; otherwise
+    /// each route gets at most one survivor-BFS detour spliced in by
+    /// [`plan_route`].
+    #[must_use]
+    pub fn build(
+        topo: &dyn NetTopology,
+        pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
+        plan: &FaultPlan,
+    ) -> Self {
+        let mut arena = RouteArena::new();
+        let mut intern = HashMap::new();
+        let mut unroutable_pairs = 0u64;
+        let faultless = plan.is_empty();
+        for (src, dst) in pairs {
+            let key = (
+                u32::try_from(src).expect("node fits u32"),
+                u32::try_from(dst).expect("node fits u32"),
+            );
+            if arena.index.contains_key(&key) {
+                continue;
+            }
+            let planned = if faultless {
+                Some((topo.route(src, dst), None))
+            } else {
+                plan_route(topo, src, dst, plan)
+            };
+            if planned.is_none() {
+                unroutable_pairs += 1;
+            }
+            arena.push(key.0, key.1, planned, &mut intern);
+        }
+        Self {
+            arena,
+            unroutable_pairs,
+        }
+    }
+
+    /// Builds the table for the distinct endpoint pairs of a workload.
+    #[must_use]
+    pub fn for_injections(
+        topo: &dyn NetTopology,
+        injections: &[Injection],
+        plan: &FaultPlan,
+    ) -> Self {
+        Self::build(topo, injections.iter().map(|i| (i.src, i.dst)), plan)
+    }
+
+    /// Slot of `(src, dst)`, if the pair was in the build set.
+    #[must_use]
+    pub fn slot(&self, src: NodeId, dst: NodeId) -> Option<u32> {
+        self.arena.index.get(&(src as u32, dst as u32)).copied()
+    }
+
+    /// The route stored in `slot` (node ids). **Empty** means the pair
+    /// is unroutable under the plan; a single node means self-delivery.
+    #[must_use]
+    pub fn path(&self, slot: u32) -> &[u32] {
+        self.arena.path(slot)
+    }
+
+    /// Hop index where the route's detour begins plus the attributed
+    /// fault, `None` for purely oblivious routes.
+    #[must_use]
+    pub fn detour(&self, slot: u32) -> Option<(u32, &str)> {
+        self.arena.detour(slot)
+    }
+
+    /// Number of distinct pairs in the table.
+    #[must_use]
+    pub fn num_pairs(&self) -> usize {
+        self.arena.index.len()
+    }
+
+    /// Pairs with no survivor route under the plan.
+    #[must_use]
+    pub fn unroutable_pairs(&self) -> u64 {
+        self.unroutable_pairs
+    }
+
+    /// Approximate heap footprint in bytes (same convention as
+    /// `hb_graphs::Graph::heap_bytes`).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.arena.heap_bytes()
+    }
+}
+
+/// Lazily memoized route store keyed by a **fault epoch**: call
+/// [`RouteCache::set_plan`] when the fault set changes and every
+/// subsequent [`RouteCache::resolve`] recomputes under the new plan
+/// (slots from earlier epochs are invalid — the epoch in
+/// [`RouteCache::epoch`] lets callers detect stale slot handles).
+///
+/// Useful for fault campaigns that sweep many plans over one topology:
+/// within an epoch repeated lookups of the same pair hit the table, not
+/// a fresh BFS.
+#[derive(Clone, Debug, Default)]
+pub struct RouteCache {
+    plan: FaultPlan,
+    epoch: u64,
+    arena: RouteArena,
+    intern: HashMap<String, u32>,
+}
+
+impl RouteCache {
+    /// An empty cache with an empty fault plan at epoch 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            arena: RouteArena::new(),
+            ..Self::default()
+        }
+    }
+
+    /// Current fault epoch; bumped by every effective [`Self::set_plan`].
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The plan routes are currently computed under.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Installs a new fault plan. A plan equal to the current one is a
+    /// no-op; otherwise the memo is cleared and the epoch bumped, so
+    /// previously returned slots must not be reused.
+    pub fn set_plan(&mut self, plan: &FaultPlan) {
+        if *plan == self.plan {
+            return;
+        }
+        self.plan = plan.clone();
+        self.epoch += 1;
+        self.arena = RouteArena::new();
+        self.intern.clear();
+    }
+
+    /// Slot of the route for `(src, dst)` under the current plan,
+    /// computing and memoizing it on first use.
+    pub fn resolve(&mut self, topo: &dyn NetTopology, src: NodeId, dst: NodeId) -> u32 {
+        let key = (
+            u32::try_from(src).expect("node fits u32"),
+            u32::try_from(dst).expect("node fits u32"),
+        );
+        if let Some(&slot) = self.arena.index.get(&key) {
+            return slot;
+        }
+        let planned = if self.plan.is_empty() {
+            Some((topo.route(src, dst), None))
+        } else {
+            plan_route(topo, src, dst, &self.plan)
+        };
+        self.arena.push(key.0, key.1, planned, &mut self.intern)
+    }
+
+    /// The memoized route in `slot` (empty = unroutable). Slots are only
+    /// valid within the epoch that produced them.
+    #[must_use]
+    pub fn path(&self, slot: u32) -> &[u32] {
+        self.arena.path(slot)
+    }
+
+    /// Detour attribution of the route in `slot` (as [`RouteTable::detour`]).
+    #[must_use]
+    pub fn detour(&self, slot: u32) -> Option<(u32, &str)> {
+        self.arena.detour(slot)
+    }
+
+    /// Distinct pairs memoized in the current epoch.
+    #[must_use]
+    pub fn num_pairs(&self) -> usize {
+        self.arena.index.len()
+    }
+
+    /// Approximate heap footprint in bytes.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.arena.heap_bytes()
+            + self.intern.capacity() * std::mem::size_of::<(String, u32)>()
+            + self.plan.nodes().count() * std::mem::size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{HbRouteOrder, HyperButterflyNet, HypercubeNet};
+
+    fn hb() -> HyperButterflyNet {
+        HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap()
+    }
+
+    #[test]
+    fn faultless_table_matches_topology_routes() {
+        let t = hb();
+        let n = t.num_nodes();
+        let pairs: Vec<_> = (0..n).map(|v| (v, (v * 7 + 3) % n)).collect();
+        let table = RouteTable::build(&t, pairs.iter().copied(), &FaultPlan::new());
+        assert_eq!(table.num_pairs(), pairs.len());
+        assert_eq!(table.unroutable_pairs(), 0);
+        for &(src, dst) in &pairs {
+            let slot = table.slot(src, dst).unwrap();
+            let expect: Vec<u32> = t.route(src, dst).iter().map(|&v| v as u32).collect();
+            assert_eq!(table.path(slot), expect.as_slice());
+            assert_eq!(table.detour(slot), None);
+        }
+        assert!(table.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn duplicate_pairs_share_one_slot() {
+        let t = HypercubeNet::new(4).unwrap();
+        let inj: Vec<Injection> = (0..32)
+            .map(|i| Injection {
+                src: 0,
+                dst: 15,
+                at: i,
+            })
+            .collect();
+        let table = RouteTable::for_injections(&t, &inj, &FaultPlan::new());
+        assert_eq!(table.num_pairs(), 1);
+        assert_eq!(table.path(0), &[0, 1, 3, 7, 15]);
+    }
+
+    #[test]
+    fn route_lengths_equal_core_distances_on_hb() {
+        // Remark 6/8: the optimal HB route concatenates the hypercube
+        // and butterfly legs, so table route length == hb-core distance.
+        for (m, n) in [(1u32, 3u32), (2, 3), (2, 4)] {
+            let t = HyperButterflyNet::new(m, n, HbRouteOrder::CubeFirst).unwrap();
+            let nn = t.num_nodes();
+            let pairs: Vec<_> = (0..nn.min(40)).map(|v| (v, (v * 13 + 5) % nn)).collect();
+            let table = RouteTable::build(&t, pairs.iter().copied(), &FaultPlan::new());
+            let hb = hb_core::HyperButterfly::new(m, n).unwrap();
+            for &(src, dst) in &pairs {
+                let slot = table.slot(src, dst).unwrap();
+                let hops = table.path(slot).len() - 1;
+                let d = hb_core::routing::distance(&hb, hb.node(src), hb.node(dst));
+                assert_eq!(hops as u32, d, "HB({m},{n}) {src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_table_matches_plan_route_splices() {
+        let t = hb();
+        let g = t.graph();
+        let mut plan = FaultPlan::new();
+        plan.add_node(5).add_link(0, 2).add_link(1, 3);
+        let n = t.num_nodes();
+        let pairs: Vec<_> = (0..n).map(|v| (v, (v * 11 + 1) % n)).collect();
+        let table = RouteTable::build(&t, pairs.iter().copied(), &plan);
+        for &(src, dst) in &pairs {
+            let slot = table.slot(src, dst).unwrap();
+            match plan_route(&t, src, dst, &plan) {
+                None => assert!(table.path(slot).is_empty(), "{src}->{dst}"),
+                Some((route, detour)) => {
+                    let expect: Vec<u32> = route.iter().map(|&v| v as u32).collect();
+                    assert_eq!(table.path(slot), expect.as_slice());
+                    match (table.detour(slot), detour) {
+                        (None, None) => {}
+                        (Some((h, r)), Some((eh, er))) => {
+                            assert_eq!(h, eh);
+                            assert_eq!(r, er);
+                        }
+                        other => panic!("detour mismatch {other:?}"),
+                    }
+                    // The spliced route is fault-free end to end.
+                    for w in table.path(slot).windows(2) {
+                        assert!(g.has_edge(w[0] as usize, w[1] as usize));
+                        assert!(!plan.is_link_faulty(w[0] as usize, w[1] as usize));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unroutable_pairs_have_empty_paths() {
+        let t = HypercubeNet::new(3).unwrap();
+        let mut plan = FaultPlan::new();
+        plan.add_link(7, 3).add_link(7, 5).add_link(7, 6); // isolate 7
+        let table = RouteTable::build(&t, [(0, 7), (0, 2)], &plan);
+        assert_eq!(table.unroutable_pairs(), 1);
+        assert!(table.path(table.slot(0, 7).unwrap()).is_empty());
+        assert!(!table.path(table.slot(0, 2).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn cache_epoch_invalidation_recomputes_under_new_plan() {
+        let t = HypercubeNet::new(4).unwrap();
+        let mut cache = RouteCache::new();
+        assert_eq!(cache.epoch(), 0);
+        let s0 = cache.resolve(&t, 0, 15);
+        assert_eq!(cache.path(s0), &[0, 1, 3, 7, 15]);
+        assert_eq!(cache.detour(s0), None);
+
+        // Same plan: no-op, memo intact.
+        cache.set_plan(&FaultPlan::new());
+        assert_eq!(cache.epoch(), 0);
+        assert_eq!(cache.num_pairs(), 1);
+
+        // New plan: epoch bump, memo cleared, spliced route returned —
+        // and it matches what the flight recorder's BFS would fly.
+        let mut plan = FaultPlan::new();
+        plan.add_link(0, 1);
+        cache.set_plan(&plan);
+        assert_eq!(cache.epoch(), 1);
+        assert_eq!(cache.num_pairs(), 0);
+        let s1 = cache.resolve(&t, 0, 15);
+        let (expect, detour) = plan_route(&t, 0, 15, &plan).unwrap();
+        let expect: Vec<u32> = expect.iter().map(|&v| v as u32).collect();
+        assert_eq!(cache.path(s1), expect.as_slice());
+        let (hop, reason) = cache.detour(s1).unwrap();
+        assert_eq!((hop, reason), (0, "link 0-1 faulty"));
+        assert_eq!(detour, Some((0, "link 0-1 faulty".to_string())));
+        // Still 4 hops: the survivor graph keeps a shortest detour.
+        assert_eq!(cache.path(s1).len() - 1, 4);
+
+        // Memoized on second resolve (same slot back).
+        assert_eq!(cache.resolve(&t, 0, 15), s1);
+        assert_eq!(cache.num_pairs(), 1);
+    }
+
+    #[test]
+    fn cache_reasons_are_interned_across_pairs() {
+        let t = HypercubeNet::new(3).unwrap();
+        let mut plan = FaultPlan::new();
+        plan.add_link(0, 1);
+        let mut cache = RouteCache::new();
+        cache.set_plan(&plan);
+        let a = cache.resolve(&t, 0, 1);
+        let b = cache.resolve(&t, 0, 3);
+        // 0->1 detours (direct link cut); 0->3 routes 0-1-3 so it also
+        // detours at hop 0. Both attribute the same interned reason.
+        assert_eq!(cache.detour(a).unwrap().1, "link 0-1 faulty");
+        assert_eq!(cache.detour(b).unwrap().1, "link 0-1 faulty");
+        assert_eq!(cache.arena.reasons.len(), 1);
+    }
+}

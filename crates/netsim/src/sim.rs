@@ -28,20 +28,25 @@
 //! at the end, so the summary-level overhead is O(channels) memory and
 //! one branch per serviced channel.
 
+use crate::pool::PacketPool;
+use crate::routes::RouteTable;
 use crate::topology::NetTopology;
 use hb_graphs::NodeId;
 use hb_telemetry::{Event, Histogram, LinkStats, Telemetry, CYCLES_COUNTER};
 use std::collections::VecDeque;
 
-/// One packet in flight.
-#[derive(Clone, Debug)]
-struct Packet {
+/// One packet in flight. Copy-sized: the route lives in a
+/// [`RouteTable`] and the packet carries only its slot, so queues move
+/// 24-byte values (or, pool-backed, 4-byte keys) instead of owned
+/// `Vec<NodeId>` routes.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Packet {
     /// Injection index, used as the trace id.
-    id: u64,
-    /// Precomputed route (node ids); `route[hop]` is the current node.
-    route: Vec<NodeId>,
-    hop: u32,
-    injected_at: u64,
+    pub(crate) id: u64,
+    /// [`RouteTable`] slot; `table.path(route)[hop]` is the current node.
+    pub(crate) route: u32,
+    pub(crate) hop: u32,
+    pub(crate) injected_at: u64,
 }
 
 /// A packet to inject: source, destination, injection cycle.
@@ -91,6 +96,21 @@ pub struct SimConfig {
     /// only, matching `avg_latency` (zero-hop self-deliveries are
     /// excluded).
     pub telemetry: Option<Telemetry>,
+    /// Worker threads for the sharded parallel engine (`1` = in-place
+    /// serial loop). Results are **byte-identical** at every thread
+    /// count: shards service channels in the same canonical ascending
+    /// channel order the serial loop uses and merge cross-shard traffic
+    /// in fixed shard-index order. Applies to [`run`] and
+    /// [`crate::flight::run_with_faults`]; the bounded and adaptive
+    /// runners have inherently sequential per-cycle dependences
+    /// (head-of-line credit admission, least-queue choice) and always
+    /// run serially — parallelise those at the experiment-grid level
+    /// instead (`hb-bench`).
+    pub threads: usize,
+    /// Emit per-shard `sim.shard.<i>.*` counters and one root span per
+    /// shard (trace level) after a parallel run. Off by default so
+    /// telemetry snapshots stay identical across thread counts.
+    pub shard_telemetry: bool,
 }
 
 impl Default for SimConfig {
@@ -99,6 +119,8 @@ impl Default for SimConfig {
             max_cycles: 100_000,
             stop_when_drained: true,
             telemetry: None,
+            threads: 1,
+            shard_telemetry: false,
         }
     }
 }
@@ -116,6 +138,21 @@ impl SimConfig {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1). Stats and
+    /// telemetry snapshots do not depend on this value.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables per-shard counters and root spans (parallel runs only).
+    #[must_use]
+    pub fn with_shard_telemetry(mut self, on: bool) -> Self {
+        self.shard_telemetry = on;
         self
     }
 }
@@ -187,8 +224,28 @@ pub(crate) fn channel_endpoints(g: &hb_graphs::Graph, offsets: &[usize]) -> Vec<
     ends
 }
 
+/// CSR channel layout for `g`: channel of `(u, port)` is
+/// `offsets[u] + port`. Shared by every runner and the parallel engine.
+pub(crate) fn channel_offsets(g: &hb_graphs::Graph) -> Vec<usize> {
+    let n = g.num_nodes();
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    for v in 0..n {
+        offsets.push(offsets[v] + g.degree(v));
+    }
+    offsets
+}
+
 /// Runs the simulation of `injections` (must be sorted by `at`) on
 /// `topo`.
+///
+/// Routes are precomputed once per distinct `(src, dst)` pair into a
+/// [`RouteTable`] and packets live in a slab [`PacketPool`], so the per
+/// cycle loop allocates nothing in steady state. Channels are serviced
+/// in ascending channel-id order — the canonical order the sharded
+/// parallel engine ([`SimConfig::with_threads`]) reproduces exactly, so
+/// the returned stats (and telemetry snapshots) are identical at every
+/// thread count.
 ///
 /// # Panics
 /// Panics if injections are not sorted by injection cycle, or reference
@@ -204,21 +261,30 @@ pub(crate) fn channel_endpoints(g: &hb_graphs::Graph, offsets: &[usize]) -> Vec<
 /// assert_eq!(stats.delivered, stats.offered);
 /// ```
 pub fn run(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> SimStats {
-    let g = topo.graph();
-    let n = g.num_nodes();
     assert!(
         injections.windows(2).all(|w| w[0].at <= w[1].at),
         "injections must be sorted by cycle"
     );
-
-    // Channel layout: channel of (u, port) = csr offset of u + port.
-    let mut offsets = Vec::with_capacity(n + 1);
-    offsets.push(0usize);
-    for v in 0..n {
-        offsets.push(offsets[v] + g.degree(v));
+    let table = RouteTable::for_injections(topo, injections, &crate::faults::FaultPlan::new());
+    if cfg.threads > 1 {
+        return crate::par::run_sharded(topo, injections, &cfg, &table, false);
     }
-    let num_channels = offsets[n];
-    let mut queues: Vec<VecDeque<Packet>> = vec![VecDeque::new(); num_channels];
+    run_serial(topo, injections, &cfg, &table)
+}
+
+/// The serial oblivious loop over a prebuilt route table (canonical
+/// ascending-channel service order).
+fn run_serial(
+    topo: &dyn NetTopology,
+    injections: &[Injection],
+    cfg: &SimConfig,
+    table: &RouteTable,
+) -> SimStats {
+    let g = topo.graph();
+    let offsets = channel_offsets(g);
+    let num_channels = offsets[g.num_nodes()];
+    let mut queues: Vec<VecDeque<u32>> = vec![VecDeque::new(); num_channels];
+    let mut pool: PacketPool<Packet> = PacketPool::new();
     // Channels with any queued packet, to avoid scanning all E per cycle.
     let mut active: Vec<usize> = Vec::new();
     let mut is_active = vec![false; num_channels];
@@ -245,17 +311,20 @@ pub fn run(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> 
     let mut in_flight = 0u64;
     let mut cycle = 0u64;
 
-    let enqueue = |queues: &mut Vec<VecDeque<Packet>>,
+    let enqueue = |queues: &mut Vec<VecDeque<u32>>,
                    active: &mut Vec<usize>,
                    is_active: &mut Vec<bool>,
                    ch: usize,
-                   p: Packet| {
-        queues[ch].push_back(p);
+                   key: u32| {
+        queues[ch].push_back(key);
         if !is_active[ch] {
             is_active[ch] = true;
             active.push(ch);
         }
     };
+
+    let mut moved: Vec<(usize, u32)> = Vec::new(); // (next channel, pool key)
+    let mut still_active: Vec<usize> = Vec::new();
 
     while cycle < cfg.max_cycles {
         // Inject everything due this cycle.
@@ -271,8 +340,9 @@ pub fn run(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> 
                     cycle,
                 });
             }
-            let route = topo.route(inj.src, inj.dst);
-            if route.len() <= 1 {
+            let slot = table.slot(inj.src, inj.dst).expect("table covers workload");
+            let path = table.path(slot);
+            if path.len() <= 1 {
                 // Self-delivery: zero-latency, zero hops.
                 stats.delivered += 1;
                 if let Some(t) = tel {
@@ -285,16 +355,22 @@ pub fn run(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> 
                 }
                 continue;
             }
-            let ch = channel_of(route[0], route[1]);
-            let p = Packet {
+            let ch = channel_of(path[0] as NodeId, path[1] as NodeId);
+            let key = pool.alloc(Packet {
                 id,
-                route,
+                route: slot,
                 hop: 0,
                 injected_at: cycle,
-            };
-            enqueue(&mut queues, &mut active, &mut is_active, ch, p);
+            });
+            enqueue(&mut queues, &mut active, &mut is_active, ch, key);
             in_flight += 1;
         }
+
+        // Canonical service order: ascending channel id. This fixes the
+        // only order-sensitive effect in the model — the FIFO order in
+        // which same-cycle arrivals land on a shared target channel —
+        // and is what makes sharded runs byte-identical.
+        active.sort_unstable();
 
         // Queue occupancy peaks right after injections and moves land.
         if let Some(b) = board.as_mut() {
@@ -311,12 +387,14 @@ pub fn run(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> 
 
         // Advance one packet per active channel (two-phase: collect moves
         // first so a packet moves at most one hop per cycle).
-        let mut moved: Vec<(usize, Packet)> = Vec::new(); // (next channel, packet)
-        let mut still_active = Vec::with_capacity(active.len());
+        moved.clear();
+        still_active.clear();
         for &ch in &active {
-            if let Some(mut p) = queues[ch].pop_front() {
+            if let Some(key) = queues[ch].pop_front() {
+                let mut p = *pool.get(key);
                 p.hop += 1;
-                let here = p.route[p.hop as usize];
+                let path = table.path(p.route);
+                let here = path[p.hop as usize];
                 if let Some(b) = board.as_mut() {
                     b.busy[ch] += 1;
                     b.fwd[ch] += 1;
@@ -329,28 +407,30 @@ pub fn run(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> 
                             cycle: cycle + 1,
                         });
                 }
-                if p.hop as usize + 1 == p.route.len() {
+                if p.hop as usize + 1 == path.len() {
                     // Arrived.
                     let latency = cycle + 1 - p.injected_at;
                     total_latency += latency;
-                    total_hops += p.hop as u64;
+                    total_hops += u64::from(p.hop);
                     latency_samples += 1;
                     stats.max_latency = stats.max_latency.max(latency);
                     stats.delivered += 1;
                     in_flight -= 1;
+                    pool.free(key);
                     if let Some(b) = board.as_mut() {
-                        b.deliver(latency, p.hop as u64);
+                        b.deliver(latency, u64::from(p.hop));
                         tel.expect("board implies telemetry")
                             .event(|| Event::PacketDelivered {
                                 id: p.id,
-                                dst: here as u32,
+                                dst: here,
                                 latency,
                                 cycle: cycle + 1,
                             });
                     }
                 } else {
-                    let next = p.route[p.hop as usize + 1];
-                    moved.push((channel_of(here, next), p));
+                    let next = path[p.hop as usize + 1];
+                    *pool.get_mut(key) = p;
+                    moved.push((channel_of(here as NodeId, next as NodeId), key));
                 }
             }
             if queues[ch].is_empty() {
@@ -359,9 +439,9 @@ pub fn run(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> 
                 still_active.push(ch);
             }
         }
-        active = still_active;
-        for (ch, p) in moved {
-            enqueue(&mut queues, &mut active, &mut is_active, ch, p);
+        std::mem::swap(&mut active, &mut still_active);
+        for &(ch, key) in &moved {
+            enqueue(&mut queues, &mut active, &mut is_active, ch, key);
         }
 
         cycle += 1;
@@ -423,11 +503,8 @@ pub fn run_bounded(
         injections.windows(2).all(|w| w[0].at <= w[1].at),
         "injections must be sorted by cycle"
     );
-    let mut offsets = Vec::with_capacity(n + 1);
-    offsets.push(0usize);
-    for v in 0..n {
-        offsets.push(offsets[v] + g.degree(v));
-    }
+    let table = RouteTable::for_injections(topo, injections, &crate::faults::FaultPlan::new());
+    let offsets = channel_offsets(g);
     let num_channels = offsets[n];
     let mut queues: Vec<VecDeque<Packet>> = vec![VecDeque::new(); num_channels];
     let channel_of = |u: NodeId, v: NodeId| -> usize {
@@ -466,8 +543,9 @@ pub fn run_bounded(
                     cycle,
                 });
             }
-            let route = topo.route(inj.src, inj.dst);
-            if route.len() <= 1 {
+            let slot = table.slot(inj.src, inj.dst).expect("table covers workload");
+            let path = table.path(slot);
+            if path.len() <= 1 {
                 stats.delivered += 1;
                 if let Some(t) = tel {
                     t.event(|| Event::PacketDelivered {
@@ -479,7 +557,7 @@ pub fn run_bounded(
                 }
                 continue;
             }
-            let ch = channel_of(route[0], route[1]);
+            let ch = channel_of(path[0] as NodeId, path[1] as NodeId);
             if queues[ch].len() >= capacity {
                 dropped += 1; // source buffer full: injection refused
                 if let Some(t) = tel {
@@ -493,7 +571,7 @@ pub fn run_bounded(
             }
             queues[ch].push_back(Packet {
                 id,
-                route,
+                route: slot,
                 hop: 0,
                 injected_at: cycle,
             });
@@ -524,7 +602,8 @@ pub fn run_bounded(
                 b.busy[ch] += 1;
             }
             let hop = front.hop as usize;
-            let arriving_last = hop + 2 == front.route.len();
+            let path = table.path(front.route);
+            let arriving_last = hop + 2 == path.len();
             if arriving_last {
                 let mut p = queues[ch].pop_front().expect("front exists");
                 p.hop += 1;
@@ -554,8 +633,8 @@ pub fn run_bounded(
                     });
                 }
             } else {
-                let here = front.route[hop + 1];
-                let next = front.route[hop + 2];
+                let here = path[hop + 1] as NodeId;
+                let next = path[hop + 2] as NodeId;
                 let next_ch = channel_of(here, next);
                 if queues[next_ch].len() + incoming[next_ch] < capacity {
                     let mut p = queues[ch].pop_front().expect("front exists");

@@ -1,0 +1,122 @@
+//! Serial-vs-parallel equivalence properties: for random topologies,
+//! workloads, and fault plans, the sharded engine must return the same
+//! `SimStats` **and** the same telemetry snapshot (counters, histograms,
+//! link stats, trace events) as the serial runner at every thread count.
+//! This is the acceptance property of the deterministic sharding design
+//! (DESIGN.md §9): thread count is a pure performance knob.
+
+use hb_netsim::topology::{
+    ButterflyNet, HbRouteOrder, HyperButterflyNet, HypercubeNet, NetTopology,
+};
+use hb_netsim::{run, run_with_faults, sim::SimConfig, workload, FaultPlan, TraceSampling};
+use hb_telemetry::Telemetry;
+use proptest::prelude::*;
+
+/// One of the three simulated families, picked by `kind`.
+fn make_topology(kind: u8) -> Box<dyn NetTopology> {
+    match kind % 3 {
+        0 => Box::new(HyperButterflyNet::new(1, 3, HbRouteOrder::CubeFirst).unwrap()),
+        1 => Box::new(ButterflyNet::new(3).unwrap()),
+        _ => Box::new(HypercubeNet::new(4).unwrap()),
+    }
+}
+
+/// A small deterministic fault plan derived from `seed`: up to two link
+/// faults and one node fault, all in range for every test topology.
+fn make_plan(seed: u64, n: usize) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    if seed.is_multiple_of(3) {
+        plan.add_node((seed as usize * 7 + 3) % n);
+    }
+    if seed.is_multiple_of(2) {
+        let u = (seed as usize * 5) % n;
+        plan.add_link(u, (u + 1) % n);
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Plain runs: stats and full snapshots are thread-count invariant.
+    #[test]
+    fn parallel_run_matches_serial(kind in 0u8..3, rate in 5u32..50,
+                                   cycles in 1u64..30, seed in 0u64..300) {
+        let t = make_topology(kind);
+        let inj = workload::uniform(t.num_nodes(), cycles, rate as f64 / 100.0, seed);
+        let tel_serial = Telemetry::with_trace(2048);
+        let serial = run(
+            &*t,
+            &inj,
+            SimConfig::default().with_telemetry(tel_serial.clone()),
+        );
+        for threads in [2usize, 4] {
+            let tel_par = Telemetry::with_trace(2048);
+            let par = run(
+                &*t,
+                &inj,
+                SimConfig::default()
+                    .with_telemetry(tel_par.clone())
+                    .with_threads(threads),
+            );
+            prop_assert_eq!(&serial, &par, "stats drift at {} threads", threads);
+            prop_assert_eq!(
+                tel_serial.snapshot(),
+                tel_par.snapshot(),
+                "snapshot drift at {} threads",
+                threads
+            );
+        }
+    }
+
+    /// Fault-aware runs: reroute/unroutable accounting and all telemetry
+    /// are thread-count invariant too.
+    #[test]
+    fn parallel_faulted_run_matches_serial(kind in 0u8..3, rate in 5u32..40,
+                                           cycles in 1u64..20, seed in 0u64..300) {
+        let t = make_topology(kind);
+        let n = t.num_nodes();
+        let plan = make_plan(seed, n);
+        let inj = workload::uniform(n, cycles, rate as f64 / 100.0, seed);
+        let tel_serial = Telemetry::with_trace(2048);
+        let serial = run_with_faults(
+            &*t,
+            &inj,
+            SimConfig::default().with_telemetry(tel_serial.clone()),
+            &plan,
+            TraceSampling::Off,
+        );
+        for threads in [2usize, 4] {
+            let tel_par = Telemetry::with_trace(2048);
+            let par = run_with_faults(
+                &*t,
+                &inj,
+                SimConfig::default()
+                    .with_telemetry(tel_par.clone())
+                    .with_threads(threads),
+                &plan,
+                TraceSampling::Off,
+            );
+            prop_assert_eq!(&serial, &par, "stats drift at {} threads", threads);
+            prop_assert_eq!(
+                tel_serial.snapshot(),
+                tel_par.snapshot(),
+                "snapshot drift at {} threads",
+                threads
+            );
+        }
+    }
+
+    /// Cycle caps (stranding mid-flight, packets parked in mailboxes or
+    /// queues at the cut) conserve packets identically in parallel.
+    #[test]
+    fn parallel_conservation_under_cycle_limits(kind in 0u8..3, limit in 0u64..12,
+                                                seed in 0u64..200) {
+        let t = make_topology(kind);
+        let inj = workload::uniform(t.num_nodes(), 8, 0.5, seed);
+        let serial = run(&*t, &inj, SimConfig::bounded(limit));
+        let par = run(&*t, &inj, SimConfig::bounded(limit).with_threads(4));
+        prop_assert_eq!(par.delivered + par.stranded, par.offered);
+        prop_assert_eq!(&serial, &par);
+    }
+}

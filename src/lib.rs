@@ -37,7 +37,9 @@
 pub use hb_butterfly;
 pub use hb_core;
 pub use hb_debruijn;
+pub use hb_distributed;
 pub use hb_graphs;
 pub use hb_group;
 pub use hb_hypercube;
 pub use hb_netsim;
+pub use hb_telemetry;
