@@ -1,0 +1,176 @@
+//! The baseline ratchet: a committed, hand-parseable inventory of
+//! *accepted* findings, so the gate fails only on **new** debt.
+//!
+//! Format (`analyze-baseline.txt`, one bucket per line):
+//!
+//! ```text
+//! # comment lines and blanks are ignored
+//! <rule-id> <workspace-relative-path> <count>
+//! ```
+//!
+//! Buckets are `(rule, file)` **counts**, not line numbers, so the
+//! baseline survives unrelated edits that shift lines. A bucket whose
+//! fresh count exceeds its baselined count reports every finding in the
+//! bucket (the tool cannot know which one is the new one); a bucket
+//! whose count shrank is *stale* — informational, and
+//! `--update-baseline` rewrites the file to ratchet it down.
+
+use crate::diag::Finding;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// `(rule-id, file)` → accepted finding count.
+pub type Baseline = BTreeMap<(String, String), u32>;
+
+/// Parses the baseline format. Returns `Err` with a 1-based line number
+/// and message on malformed input.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut base = Baseline::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(rule), Some(file), Some(count), None) =
+            (it.next(), it.next(), it.next(), it.next())
+        else {
+            return Err(format!(
+                "line {}: expected `<rule> <file> <count>`, got `{line}`",
+                i + 1
+            ));
+        };
+        let count: u32 = count
+            .parse()
+            .map_err(|_| format!("line {}: bad count `{count}`", i + 1))?;
+        if base
+            .insert((rule.to_string(), file.to_string()), count)
+            .is_some()
+        {
+            return Err(format!("line {}: duplicate bucket `{rule} {file}`", i + 1));
+        }
+    }
+    Ok(base)
+}
+
+/// Buckets findings by `(rule, file)`.
+#[must_use]
+pub fn bucket(findings: &[Finding]) -> Baseline {
+    let mut base = Baseline::new();
+    for f in findings {
+        *base
+            .entry((f.rule.to_string(), f.file.clone()))
+            .or_insert(0) += 1;
+    }
+    base
+}
+
+/// Renders findings as a fresh baseline file.
+#[must_use]
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# hbnet analyze baseline: accepted findings per (rule, file).\n\
+         # Regenerate with `hbnet analyze --update-baseline`; the gate fails\n\
+         # only when a bucket's fresh count exceeds its count below.\n",
+    );
+    for ((rule, file), count) in bucket(findings) {
+        let _ = writeln!(out, "{rule} {file} {count}");
+    }
+    out
+}
+
+/// The result of gating fresh findings against a baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// Findings in buckets that exceed the baseline (the whole bucket is
+    /// reported), with `(found, accepted)` counts attached.
+    pub new: Vec<(Finding, u32, u32)>,
+    /// Buckets whose fresh count fell below the baseline: the debt was
+    /// paid down but the file was not ratcheted.
+    pub stale: Vec<(String, String, u32, u32)>,
+}
+
+/// Compares fresh findings to the accepted baseline.
+#[must_use]
+pub fn diff(findings: &[Finding], base: &Baseline) -> Diff {
+    let fresh = bucket(findings);
+    let mut out = Diff::default();
+    for ((rule, file), &found) in &fresh {
+        let accepted = base.get(&(rule.clone(), file.clone())).copied().unwrap_or(0);
+        if found > accepted {
+            for f in findings {
+                if f.rule == rule && f.file == *file {
+                    out.new.push((f.clone(), found, accepted));
+                }
+            }
+        }
+    }
+    for ((rule, file), &accepted) in base {
+        let found = fresh.get(&(rule.clone(), file.clone())).copied().unwrap_or(0);
+        if found < accepted {
+            out.stale.push((rule.clone(), file.clone(), found, accepted));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            name: "panic-policy",
+            severity: Severity::Warning,
+            file: file.into(),
+            line,
+            message: "m".into(),
+            snippet: "s".into(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let fs = vec![
+            finding("P1", "a.rs", 1),
+            finding("P1", "a.rs", 9),
+            finding("D1", "b.rs", 2),
+        ];
+        let base = parse(&render(&fs)).unwrap();
+        assert_eq!(base.get(&("P1".into(), "a.rs".into())), Some(&2));
+        assert_eq!(base.get(&("D1".into(), "b.rs".into())), Some(&1));
+        let d = diff(&fs, &base);
+        assert!(d.new.is_empty());
+        assert!(d.stale.is_empty());
+    }
+
+    #[test]
+    fn exceeding_a_bucket_reports_the_whole_bucket() {
+        let base = parse("P1 a.rs 1\n").unwrap();
+        let fs = vec![finding("P1", "a.rs", 1), finding("P1", "a.rs", 9)];
+        let d = diff(&fs, &base);
+        assert_eq!(d.new.len(), 2);
+        assert_eq!((d.new[0].1, d.new[0].2), (2, 1));
+    }
+
+    #[test]
+    fn unknown_bucket_is_all_new_and_shrunk_bucket_is_stale() {
+        let base = parse("P1 a.rs 3\n").unwrap();
+        let fs = vec![finding("D1", "c.rs", 4), finding("P1", "a.rs", 1)];
+        let d = diff(&fs, &base);
+        assert_eq!(d.new.len(), 1);
+        assert_eq!(d.new[0].0.rule, "D1");
+        assert_eq!(d.stale, vec![("P1".into(), "a.rs".into(), 1, 3)]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("P1 a.rs\n").is_err());
+        assert!(parse("P1 a.rs x\n").is_err());
+        assert!(parse("P1 a.rs 1 extra\n").is_err());
+        assert!(parse("P1 a.rs 1\nP1 a.rs 2\n").is_err());
+        assert!(parse("# just a comment\n\n").unwrap().is_empty());
+    }
+}

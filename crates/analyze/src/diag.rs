@@ -1,0 +1,159 @@
+//! Structured diagnostics and their human / JSON-lines renderings.
+
+use std::fmt::Write as _;
+
+/// How bad a finding is. Everything gates CI; severity only affects
+/// presentation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Style/policy debt tracked by the baseline ratchet.
+    Warning,
+    /// Determinism or safety hazard.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in both renderings.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One rule violation at a specific source line.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Short rule id (`D1`, `P1`, …).
+    pub rule: &'static str,
+    /// Rule name as used in allow-comments (`hash-order`, …).
+    pub name: &'static str,
+    pub severity: Severity,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Sorts findings into the canonical report order: file, then line,
+/// then rule id.
+pub fn sort(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+}
+
+/// Human-readable rendering, one block per finding.
+#[must_use]
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "{}:{}: {} [{} {}] {}\n    {}",
+            f.file,
+            f.line,
+            f.severity.label(),
+            f.rule,
+            f.name,
+            f.message,
+            f.snippet
+        );
+    }
+    out
+}
+
+/// JSON-lines rendering: one object per finding, keys in fixed order,
+/// byte-deterministic for golden tests.
+#[must_use]
+pub fn render_jsonl(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(
+            out,
+            "{{\"rule\":\"{}\",\"name\":\"{}\",\"severity\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"snippet\":\"{}\"}}",
+            f.rule,
+            f.name,
+            f.severity.label(),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message),
+            json_escape(&f.snippet)
+        );
+    }
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, rule: &'static str) -> Finding {
+        Finding {
+            rule,
+            name: "hash-order",
+            severity: Severity::Error,
+            file: file.into(),
+            line,
+            message: "msg with \"quotes\"".into(),
+            snippet: "let x\t= 1;".into(),
+        }
+    }
+
+    #[test]
+    fn sort_orders_by_file_line_rule() {
+        let mut v = vec![
+            finding("b.rs", 1, "D1"),
+            finding("a.rs", 9, "P1"),
+            finding("a.rs", 9, "D1"),
+            finding("a.rs", 2, "D2"),
+        ];
+        sort(&mut v);
+        let order: Vec<_> = v.iter().map(|f| (f.file.as_str(), f.line, f.rule)).collect();
+        assert_eq!(
+            order,
+            [("a.rs", 2, "D2"), ("a.rs", 9, "D1"), ("a.rs", 9, "P1"), ("b.rs", 1, "D1")]
+        );
+    }
+
+    #[test]
+    fn jsonl_is_parseable_and_escaped() {
+        let line = render_jsonl(&[finding("a.rs", 3, "D1")]);
+        assert!(line.contains("\\\"quotes\\\""));
+        assert!(line.contains("\\t"));
+        assert!(line.ends_with('\n'));
+        assert!(line.starts_with("{\"rule\":\"D1\""));
+    }
+
+    #[test]
+    fn json_escape_handles_control_chars() {
+        assert_eq!(json_escape("a\u{1}b"), "a\\u0001b");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

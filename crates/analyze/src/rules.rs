@@ -1,0 +1,510 @@
+//! The rule engine: file classification, `#[cfg(test)]` masking,
+//! allow-comment parsing, and the five shipped rules.
+//!
+//! | id | name          | scope                                    | what |
+//! |----|---------------|------------------------------------------|------|
+//! | D1 | `hash-order`  | library code of the deterministic crates | `HashMap`/`HashSet` (random iteration order) |
+//! | D2 | `wall-clock`  | all library code except `bench/src/perf.rs` | `Instant::now` / `SystemTime` |
+//! | D3 | `rng`         | all library code                         | ambient randomness (`thread_rng`, …) |
+//! | S1 | `unsafe-forbid` | every crate root                       | missing `#![forbid(unsafe_code)]` |
+//! | P1 | `panic-policy` | library code of netsim/telemetry/distributed | `unwrap()`, undocumented `expect`, `panic!` |
+//!
+//! Any finding can be suppressed per line with
+//! `// analyze: allow(<name>, <reason>)` — same line, or a comment
+//! standing alone on the line above. `expect` calls whose message starts
+//! with `invariant:` are self-documenting and never flagged.
+
+use crate::diag::{Finding, Severity};
+use crate::lexer::{lex, Tok, TokKind};
+
+/// Crates whose library code must be iteration-order deterministic (D1).
+pub const DETERMINISTIC_CRATES: &[&str] = &["netsim", "distributed", "telemetry", "core"];
+
+/// Crates whose library code is under the panic policy (P1).
+pub const PANIC_POLICY_CRATES: &[&str] = &["netsim", "telemetry", "distributed"];
+
+/// The one file allowed to read the wall clock: the perf suite measures
+/// real elapsed time by design.
+pub const WALL_CLOCK_EXEMPT: &[&str] = &["crates/bench/src/perf.rs"];
+
+/// Where a file sits in the workspace, derived purely from its
+/// workspace-relative path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileClass {
+    /// `crates/<name>/…` → `Some(name)`; the root package → `None`.
+    pub crate_name: Option<String>,
+    /// Under a `src/` tree (as opposed to `tests/`, `examples/`,
+    /// `benches/`).
+    pub is_library: bool,
+    /// A test, example, or bench target — exempt from every rule.
+    pub is_test_target: bool,
+    /// `src/lib.rs`, `src/main.rs`, or `src/bin/*.rs` — the files that
+    /// must carry `#![forbid(unsafe_code)]`.
+    pub is_crate_root: bool,
+}
+
+/// Classifies a workspace-relative path (always `/`-separated).
+#[must_use]
+pub fn classify(rel: &str) -> FileClass {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (crate_name, rest): (Option<String>, &[&str]) = if parts.len() >= 3 && parts[0] == "crates"
+    {
+        (Some(parts[1].to_string()), &parts[2..])
+    } else {
+        (None, &parts[..])
+    };
+    let in_src = rest.first() == Some(&"src");
+    let is_test_target = matches!(rest.first(), Some(&"tests") | Some(&"examples") | Some(&"benches"));
+    let is_crate_root = in_src
+        && (rest == ["src", "lib.rs"]
+            || rest == ["src", "main.rs"]
+            || (rest.len() == 3 && rest[1] == "bin" && rest[2].ends_with(".rs")));
+    FileClass {
+        crate_name,
+        is_library: in_src,
+        is_test_target,
+        is_crate_root,
+    }
+}
+
+/// Per-line rule suppression parsed from comments.
+#[derive(Debug, Default)]
+struct Allows {
+    /// `(line, rule-name)` pairs a finding may match against.
+    entries: Vec<(u32, String)>,
+}
+
+impl Allows {
+    fn covers(&self, line: u32, name: &str) -> bool {
+        self.entries.iter().any(|(l, n)| *l == line && n == name)
+    }
+}
+
+/// Parses `analyze: allow(<rule>, <reason>)` out of every comment token.
+/// A trailing comment covers its own line; a comment standing alone on a
+/// line also covers the next line (for violations too long to share a
+/// line with their justification). A missing or empty reason voids the
+/// allow — justifications are the point.
+fn collect_allows(toks: &[Tok]) -> Allows {
+    let mut code_lines: Vec<u32> = toks
+        .iter()
+        .filter(|t| t.kind != TokKind::Comment)
+        .map(|t| t.line)
+        .collect();
+    code_lines.sort_unstable();
+    code_lines.dedup();
+    let mut allows = Allows::default();
+    for t in toks {
+        if t.kind != TokKind::Comment {
+            continue;
+        }
+        let Some(at) = t.text.find("analyze: allow(") else {
+            continue;
+        };
+        let args = &t.text[at + "analyze: allow(".len()..];
+        let Some(close) = args.rfind(')') else {
+            continue;
+        };
+        let args = &args[..close];
+        let (rule, reason) = match args.split_once(',') {
+            Some((r, why)) => (r.trim(), why.trim()),
+            None => (args.trim(), ""),
+        };
+        if rule.is_empty() || reason.is_empty() {
+            continue;
+        }
+        allows.entries.push((t.line, rule.to_string()));
+        if !code_lines.contains(&t.line) {
+            allows.entries.push((t.line + 1, rule.to_string()));
+        }
+    }
+    allows
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item (typically the
+/// test module) so rules skip test code inside library files. Returns a
+/// predicate over 1-based lines.
+fn test_line_mask(code: &[&Tok]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(code[i].is_punct('#')
+            && code.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && code.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && code.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && code.get(i + 4).is_some_and(|t| t.is_ident("test"))
+            && code.get(i + 5).is_some_and(|t| t.is_punct(')'))
+            && code.get(i + 6).is_some_and(|t| t.is_punct(']')))
+        {
+            i += 1;
+            continue;
+        }
+        let start_line = code[i].line;
+        let mut j = i + 7;
+        // Skip any further attributes on the same item.
+        while code.get(j).is_some_and(|t| t.is_punct('#'))
+            && code.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let mut depth = 0;
+            j += 1;
+            while j < code.len() {
+                if code[j].is_punct('[') {
+                    depth += 1;
+                } else if code[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // The item runs to its matching `}` (block) or `;` (statement).
+        let mut end_line = start_line;
+        let mut depth = 0;
+        while j < code.len() {
+            let t = code[j];
+            end_line = t.line;
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_punct(';') && depth == 0 {
+                break;
+            }
+            j += 1;
+        }
+        spans.push((start_line, end_line));
+        i = j + 1;
+    }
+    spans
+}
+
+fn in_spans(spans: &[(u32, u32)], line: u32) -> bool {
+    spans.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// The raw source line, trimmed and bounded, for diagnostics.
+fn snippet(lines: &[&str], line: u32) -> String {
+    let s = lines
+        .get(line as usize - 1)
+        .map_or("", |l| l.trim())
+        .to_string();
+    if s.len() > 160 {
+        let mut end = 157;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}...", &s[..end])
+    } else {
+        s
+    }
+}
+
+/// Runs every rule over one file. `rel` is the workspace-relative path
+/// (`/`-separated); `src` is the file contents.
+#[must_use]
+pub fn analyze_file(rel: &str, src: &str) -> Vec<Finding> {
+    let class = classify(rel);
+    if class.is_test_target {
+        return Vec::new();
+    }
+    let toks = lex(src);
+    let allows = collect_allows(&toks);
+    let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    let test_spans = test_line_mask(&code);
+    let lines: Vec<&str> = src.lines().collect();
+
+    let mut findings = Vec::new();
+    let mut push = |rule: &'static str,
+                    name: &'static str,
+                    severity: Severity,
+                    line: u32,
+                    message: String| {
+        if allows.covers(line, name) || in_spans(&test_spans, line) {
+            return;
+        }
+        findings.push(Finding {
+            rule,
+            name,
+            severity,
+            file: rel.to_string(),
+            line,
+            message,
+            snippet: snippet(&lines, line),
+        });
+    };
+
+    let crate_label = class.crate_name.as_deref().unwrap_or("the root package");
+
+    // S1 unsafe-forbid: crate roots must carry #![forbid(unsafe_code)].
+    if class.is_crate_root {
+        let has_forbid = code.windows(3).any(|w| {
+            w[0].is_ident("forbid") && w[1].is_punct('(') && w[2].is_ident("unsafe_code")
+        });
+        if !has_forbid {
+            push(
+                "S1",
+                "unsafe-forbid",
+                Severity::Error,
+                1,
+                "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            );
+        }
+    }
+
+    if !class.is_library {
+        crate::diag::sort(&mut findings);
+        return findings;
+    }
+
+    let deterministic = class
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
+    let panic_scope = class
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| PANIC_POLICY_CRATES.contains(&c));
+    let clock_exempt = WALL_CLOCK_EXEMPT.contains(&rel);
+
+    for (i, t) in code.iter().enumerate() {
+        // D1 hash-order.
+        if deterministic && (t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            push(
+                "D1",
+                "hash-order",
+                Severity::Error,
+                t.line,
+                format!(
+                    "`{}` in deterministic crate `{crate_label}`: iteration order is \
+                     randomized per process; use `BTreeMap`/`BTreeSet`, an index-keyed \
+                     `Vec`, or justify with `// analyze: allow(hash-order, <why>)`",
+                    t.text
+                ),
+            );
+        }
+
+        // D2 wall-clock.
+        if !clock_exempt {
+            let instant_now = t.is_ident("Instant")
+                && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && code.get(i + 3).is_some_and(|t| t.is_ident("now"));
+            if instant_now || t.is_ident("SystemTime") {
+                push(
+                    "D2",
+                    "wall-clock",
+                    Severity::Error,
+                    t.line,
+                    "wall-clock read in library code: simulation time is logical; \
+                     only the perf suite (`crates/bench/src/perf.rs`) and tests may \
+                     measure real time"
+                        .to_string(),
+                );
+            }
+        }
+
+        // D3 rng.
+        if t.is_ident("thread_rng") || t.is_ident("from_entropy") || t.is_ident("OsRng") {
+            push(
+                "D3",
+                "rng",
+                Severity::Error,
+                t.line,
+                format!(
+                    "ambient randomness (`{}`) in library code: seed explicitly \
+                     (`StdRng::seed_from_u64`) so every run is reproducible",
+                    t.text
+                ),
+            );
+        }
+
+        // P1 panic-policy.
+        if panic_scope {
+            let dotted = i > 0 && code[i - 1].is_punct('.');
+            if dotted && t.is_ident("unwrap") && code.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                push(
+                    "P1",
+                    "panic-policy",
+                    Severity::Warning,
+                    t.line,
+                    "`unwrap()` in library code: return a typed error, or document \
+                     the invariant with `expect(\"invariant: …\")`"
+                        .to_string(),
+                );
+            }
+            if dotted && t.is_ident("expect") && code.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                let documented = code
+                    .get(i + 2)
+                    .and_then(|t| t.str_content())
+                    .is_some_and(|m| m.starts_with("invariant:"));
+                if !documented {
+                    push(
+                        "P1",
+                        "panic-policy",
+                        Severity::Warning,
+                        t.line,
+                        "undocumented `expect()` in library code: state the invariant \
+                         (`expect(\"invariant: …\")`) or return a typed error"
+                            .to_string(),
+                    );
+                }
+            }
+            if t.is_ident("panic") && code.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+                push(
+                    "P1",
+                    "panic-policy",
+                    Severity::Warning,
+                    t.line,
+                    "`panic!` in library code: return a typed error, or justify with \
+                     `// analyze: allow(panic-policy, <why>)`"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    crate::diag::sort(&mut findings);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(rel: &str, src: &str) -> Vec<&'static str> {
+        analyze_file(rel, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn classify_paths() {
+        let c = classify("crates/netsim/src/sim.rs");
+        assert_eq!(c.crate_name.as_deref(), Some("netsim"));
+        assert!(c.is_library && !c.is_test_target && !c.is_crate_root);
+        assert!(classify("crates/netsim/src/lib.rs").is_crate_root);
+        assert!(classify("crates/cli/src/main.rs").is_crate_root);
+        assert!(classify("crates/bench/src/bin/run_all.rs").is_crate_root);
+        assert!(classify("src/lib.rs").is_crate_root);
+        assert!(classify("crates/netsim/tests/par_equiv.rs").is_test_target);
+        assert!(classify("examples/quickstart.rs").is_test_target);
+        assert_eq!(classify("src/lib.rs").crate_name, None);
+    }
+
+    #[test]
+    fn d1_fires_only_in_deterministic_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_hit("crates/netsim/src/x.rs", src), ["D1"]);
+        assert_eq!(rules_hit("crates/graphs/src/x.rs", src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn d1_respects_allow_comment_same_line_and_above() {
+        let same = "use std::collections::HashMap; // analyze: allow(hash-order, interned ids)\n";
+        assert!(rules_hit("crates/core/src/x.rs", same).is_empty());
+        let above = "// analyze: allow(hash-order, interned ids)\nuse std::collections::HashMap;\n";
+        assert!(rules_hit("crates/core/src/x.rs", above).is_empty());
+        let unjustified = "use std::collections::HashMap; // analyze: allow(hash-order)\n";
+        assert_eq!(rules_hit("crates/core/src/x.rs", unjustified), ["D1"]);
+        let wrong_rule = "use std::collections::HashMap; // analyze: allow(rng, why)\n";
+        assert_eq!(rules_hit("crates/core/src/x.rs", wrong_rule), ["D1"]);
+    }
+
+    #[test]
+    fn d2_flags_instant_now_but_not_perf_or_duration() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(rules_hit("crates/graphs/src/x.rs", src), ["D2"]);
+        assert!(rules_hit("crates/bench/src/perf.rs", src).is_empty());
+        // An `Instant` that is merely named (no ::now) is a value being
+        // passed around, not a clock read.
+        let named = "fn f(t: Instant) -> Duration { t.elapsed() }\n";
+        assert!(rules_hit("crates/graphs/src/x.rs", named).is_empty());
+        let sys = "use std::time::SystemTime;\n";
+        assert_eq!(rules_hit("crates/graphs/src/x.rs", sys), ["D2"]);
+    }
+
+    #[test]
+    fn d3_flags_ambient_randomness() {
+        assert_eq!(
+            rules_hit("crates/graphs/src/x.rs", "let mut r = rand::thread_rng();\n"),
+            ["D3"]
+        );
+        assert!(rules_hit(
+            "crates/graphs/src/x.rs",
+            "let mut r = StdRng::seed_from_u64(42);\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn s1_requires_forbid_in_crate_roots_only() {
+        assert_eq!(rules_hit("crates/foo/src/lib.rs", "pub fn f() {}\n"), ["S1"]);
+        assert!(rules_hit(
+            "crates/foo/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n"
+        )
+        .is_empty());
+        assert!(rules_hit("crates/foo/src/other.rs", "pub fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn p1_flags_unwrap_expect_panic_in_scope() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rules_hit("crates/netsim/src/x.rs", src), ["P1"]);
+        assert!(rules_hit("crates/graphs/src/x.rs", src).is_empty());
+        let undocumented = "fn f(x: Option<u32>) -> u32 { x.expect(\"present\") }\n";
+        assert_eq!(rules_hit("crates/telemetry/src/x.rs", undocumented), ["P1"]);
+        let documented =
+            "fn f(x: Option<u32>) -> u32 { x.expect(\"invariant: set by caller\") }\n";
+        assert!(rules_hit("crates/telemetry/src/x.rs", documented).is_empty());
+        let bang = "fn f() { panic!(\"boom\"); }\n";
+        assert_eq!(rules_hit("crates/distributed/src/x.rs", bang), ["P1"]);
+        let allowed = "fn f() { panic!(\"boom\"); } // analyze: allow(panic-policy, demo)\n";
+        assert!(rules_hit("crates/distributed/src/x.rs", allowed).is_empty());
+        // unwrap_or_else / unwrap_or are fine: they do not panic.
+        let or_else = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+        assert!(rules_hit("crates/netsim/src/x.rs", or_else).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "pub fn f() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       use std::collections::HashMap;\n\
+                       #[test]\n\
+                       fn t() { let x: Option<u32> = None; x.unwrap(); panic!(\"ok\"); }\n\
+                   }\n";
+        assert!(rules_hit("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_cfg_test_module_is_still_checked() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() {}\n\
+                   }\n\
+                   pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rules_hit("crates/netsim/src/x.rs", src), ["P1"]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_trigger() {
+        let src = "// HashMap Instant::now thread_rng unwrap()\n\
+                   fn f() -> &'static str { \"HashMap.unwrap() panic! SystemTime\" }\n";
+        assert!(rules_hit("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_examples_never_trigger() {
+        let src = "/// ```\n\
+                   /// let hb = HyperButterfly::new(1, 3).unwrap();\n\
+                   /// ```\n\
+                   pub fn f() {}\n";
+        assert!(rules_hit("crates/distributed/src/x.rs", src).is_empty());
+    }
+}

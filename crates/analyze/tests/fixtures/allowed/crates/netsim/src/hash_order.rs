@@ -1,0 +1,8 @@
+//! Fixture: justified `HashMap` (D1 allowlisted).
+
+use std::collections::HashMap; // analyze: allow(hash-order, keyed lookups only, never iterated)
+
+// analyze: allow(hash-order, same justification, standalone-comment form)
+pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> Option<u32> {
+    m.get(&k).copied()
+}

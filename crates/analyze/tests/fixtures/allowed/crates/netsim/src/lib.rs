@@ -1,0 +1,6 @@
+// analyze: allow(unsafe-forbid, fixture exercising the file-level allow)
+//! Fixture: missing forbid, justified on line 1 (S1 allowlisted).
+
+pub fn shared() -> u32 {
+    7
+}

@@ -1,0 +1,10 @@
+//! Fixture: justified panics (P1 allowlisted).
+
+pub fn first(xs: &[u32]) -> u32 {
+    let head = xs.first().unwrap(); // analyze: allow(panic-policy, fixture, reasons may contain commas)
+    if *head > 9 {
+        // analyze: allow(panic-policy, fixture, standalone-comment form)
+        panic!("out of range");
+    }
+    *head
+}

@@ -1,0 +1,6 @@
+//! Fixture: justified ambient randomness (D3 allowlisted).
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng(); // analyze: allow(rng, fixture demonstrating the escape hatch)
+    rng.random_range(0..6)
+}

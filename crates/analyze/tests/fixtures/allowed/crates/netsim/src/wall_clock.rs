@@ -1,0 +1,10 @@
+//! Fixture: justified wall-clock reads (D2 allowlisted).
+
+pub fn log_prefix() -> u64 {
+    // analyze: allow(wall-clock, log prefix only, never feeds simulation)
+    let t = std::time::SystemTime::now();
+    match t.duration_since(std::time::SystemTime::UNIX_EPOCH) { // analyze: allow(wall-clock, epoch arithmetic on the value above)
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

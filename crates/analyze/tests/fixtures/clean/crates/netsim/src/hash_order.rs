@@ -1,0 +1,11 @@
+//! Fixture: deterministic map in a deterministic crate (D1 clean).
+
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0u32) += 1;
+    }
+    m.len()
+}

@@ -1,0 +1,7 @@
+//! Fixture: clean crate root (S1 satisfied).
+
+#![forbid(unsafe_code)]
+
+pub fn shared() -> u32 {
+    7
+}

@@ -1,0 +1,9 @@
+//! Fixture: typed error and documented invariant expect (P1 clean).
+
+pub fn first(xs: &[u32]) -> Result<u32, &'static str> {
+    xs.first().copied().ok_or("empty input")
+}
+
+pub fn head_of_nonempty(xs: &[u32]) -> u32 {
+    *xs.first().expect("invariant: caller checked non-empty")
+}

@@ -1,0 +1,6 @@
+//! Fixture: explicitly seeded randomness (D3 clean).
+
+pub fn roll(seed: u64) -> u64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    rng.random_range(0..6)
+}

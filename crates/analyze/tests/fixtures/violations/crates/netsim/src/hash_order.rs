@@ -1,0 +1,11 @@
+//! Fixture: `HashMap` in a deterministic crate (D1).
+
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0u32) += 1;
+    }
+    m.len()
+}

@@ -1,0 +1,5 @@
+//! Fixture: crate root without `#![forbid(unsafe_code)]` (S1).
+
+pub fn shared() -> u32 {
+    7
+}

@@ -1,0 +1,10 @@
+//! Fixture: `unwrap`, undocumented `expect`, and `panic!` (P1).
+
+pub fn first(xs: &[u32]) -> u32 {
+    let head = xs.first().unwrap();
+    let tail = xs.last().expect("non-empty");
+    if head > tail {
+        panic!("unsorted");
+    }
+    *head
+}

@@ -1,0 +1,6 @@
+//! Fixture: ambient randomness in library code (D3).
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.random_range(0..6)
+}

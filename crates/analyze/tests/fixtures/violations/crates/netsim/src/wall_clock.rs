@@ -1,0 +1,7 @@
+//! Fixture: wall-clock read in library code (D2).
+
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

@@ -1,6 +1,8 @@
 //! E7: broadcast rounds vs the single-port lower bound across HB, HD,
 //! and the hypercube at matched sizes.
 
+#![forbid(unsafe_code)]
+
 use hb_bench::broadcast_exp;
 
 fn main() {

@@ -4,6 +4,8 @@
 //! Usage: `congestion_experiment [m] [n]` — defaults to the matched
 //! 256-node set plus the pair `HB(2, 4)` / `HD(2, 4)`.
 
+#![forbid(unsafe_code)]
+
 use hb_bench::congestion_exp;
 
 fn main() {

@@ -4,6 +4,8 @@
 //! `(3, 4, 500)`; `--certify` cross-checks each pair against the
 //! flow-certified maximum (small instances only).
 
+#![forbid(unsafe_code)]
+
 use hb_bench::disjoint_exp;
 
 fn main() {

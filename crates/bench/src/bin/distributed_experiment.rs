@@ -1,6 +1,8 @@
 //! E10: distributed algorithms (election / spanning tree / gossip) on the
 //! matched 256-node instances.
 
+#![forbid(unsafe_code)]
+
 use hb_bench::distributed_exp;
 
 fn main() {

@@ -3,6 +3,8 @@
 //! Usage: `embeddings_experiment [m] [n] [--exhaustive]` — defaults
 //! `(2, 4)`; `--exhaustive` validates every even cycle length.
 
+#![forbid(unsafe_code)]
+
 use hb_bench::embed_exp;
 
 fn main() {

@@ -4,6 +4,8 @@
 //! Usage: `fault_experiment [trials]` — default 100 trials per fault
 //! level, on `HB(2, 4)` (256 nodes) vs `HD(2, 6)` (256 nodes).
 
+#![forbid(unsafe_code)]
+
 use hb_bench::fault_exp;
 
 fn main() {

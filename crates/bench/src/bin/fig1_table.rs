@@ -5,6 +5,8 @@
 //! `--full` additionally measures vertex connectivity by max-flow;
 //! `--csv` also writes the rows to FILE.
 
+#![forbid(unsafe_code)]
+
 use hb_bench::fig1;
 use hb_core::metrics::MeasureLevel;
 

@@ -5,6 +5,8 @@
 //! proxies with *exact* flow-certified connectivity instead of the
 //! witness + trials evidence.
 
+#![forbid(unsafe_code)]
+
 use hb_bench::fig2::{self, Fig2Scale};
 
 fn main() {

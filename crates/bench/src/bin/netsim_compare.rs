@@ -3,6 +3,8 @@
 //!
 //! Usage: `netsim_compare [cycles]` — default 200 warm cycles.
 
+#![forbid(unsafe_code)]
+
 use hb_bench::netsim_exp;
 
 fn main() {

@@ -2,6 +2,8 @@
 //!
 //! Usage: `routing_experiment [m] [n] [samples]` — defaults `(3, 5, 2000)`.
 
+#![forbid(unsafe_code)]
+
 use hb_bench::routing_exp;
 
 fn main() {

@@ -4,6 +4,8 @@
 //! Usage: `run_all [out_dir] [--paper-scale]` — default `results/`;
 //! `--paper-scale` includes the 16384-node Figure-2 instances (slower).
 
+#![forbid(unsafe_code)]
+
 use hb_bench::{
     broadcast_exp, congestion_exp, csv, distributed_exp, fault_exp, fig1, fig2, netsim_exp,
     routing_exp,

@@ -73,6 +73,15 @@ pub enum Command {
         /// (`BENCH_parallel.json`) instead of the metric baseline.
         perf: bool,
     },
+    /// `analyze [--json] [--update-baseline] [--root DIR]`
+    Analyze {
+        /// Emit findings as JSON-lines instead of human-readable blocks.
+        json: bool,
+        /// Rewrite `analyze-baseline.txt` to accept the current findings.
+        update_baseline: bool,
+        /// Workspace root to analyze (default `.`).
+        root: String,
+    },
     /// `elect <m> <n>`
     Elect { m: u32, n: u32 },
     /// `broadcast <m> <n>`
@@ -187,6 +196,13 @@ USAGE:
                   [--format text|json|csv]
                                        run a traced simulation and dump the
                                        full telemetry snapshot
+  hbnet analyze [--json] [--update-baseline] [--root DIR]
+                                       run the determinism & safety linter
+                                       (D1 hash-order, D2 wall-clock, D3 rng,
+                                       S1 unsafe-forbid, P1 panic-policy) over
+                                       the workspace; exits 1 on findings not
+                                       accepted by analyze-baseline.txt;
+                                       --update-baseline ratchets the file
   hbnet elect <m> <n>                  distributed leader election
   hbnet broadcast <m> <n>              one-to-all broadcast schedule stats
   hbnet partition <m> <n> <dim>        split into two HB(m-1, n) halves
@@ -503,6 +519,39 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 cycles,
                 adaptive,
                 format,
+            })
+        }
+        "analyze" => {
+            let mut json = false;
+            let mut update_baseline = false;
+            let mut root = ".".to_string();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                    }
+                    "--update-baseline" => {
+                        update_baseline = true;
+                        i += 1;
+                    }
+                    "--root" => {
+                        root = need(args, i + 1, "root")?;
+                        i += 2;
+                    }
+                    other => return Err(ParseError(format!("unknown flag {other}"))),
+                }
+            }
+            if json && update_baseline {
+                return Err(ParseError(
+                    "--json reports findings; --update-baseline accepts them (pick one)".into(),
+                ));
+            }
+            Ok(Command::Analyze {
+                json,
+                update_baseline,
+                root,
             })
         }
         "elect" => Ok(Command::Elect {
@@ -866,6 +915,37 @@ mod tests {
         );
         assert!(parse(&argv("telemetry 2 3 --format yaml")).is_err());
         assert!(parse(&argv("telemetry 2")).is_err());
+    }
+
+    #[test]
+    fn parses_analyze() {
+        assert_eq!(
+            parse(&argv("analyze")).unwrap(),
+            Command::Analyze {
+                json: false,
+                update_baseline: false,
+                root: ".".into(),
+            }
+        );
+        assert_eq!(
+            parse(&argv("analyze --json --root crates/analyze/tests/fixtures/violations")).unwrap(),
+            Command::Analyze {
+                json: true,
+                update_baseline: false,
+                root: "crates/analyze/tests/fixtures/violations".into(),
+            }
+        );
+        assert_eq!(
+            parse(&argv("analyze --update-baseline")).unwrap(),
+            Command::Analyze {
+                json: false,
+                update_baseline: true,
+                root: ".".into(),
+            }
+        );
+        assert!(parse(&argv("analyze --json --update-baseline")).is_err());
+        assert!(parse(&argv("analyze --root")).is_err());
+        assert!(parse(&argv("analyze --loud")).is_err());
     }
 
     #[test]

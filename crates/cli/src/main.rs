@@ -4,6 +4,8 @@
 //! routing, Theorem-5 disjoint paths, fault-tolerant routing, embeddings,
 //! packet simulation, leader election, broadcast, and partitioning.
 
+#![forbid(unsafe_code)]
+
 mod args;
 
 use args::{parse, Command, DumpFormat, EmbedKind, SampleMode, TelemetryMode, USAGE};
@@ -342,6 +344,58 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 DumpFormat::Csv => CsvSink.render(&snapshot),
             };
             print!("{rendered}");
+        }
+        Command::Analyze {
+            json,
+            update_baseline,
+            root,
+        } => {
+            let root = std::path::PathBuf::from(root);
+            let findings = hb_analyze::analyze_root(&root)
+                .map_err(|e| format!("analyze {}: {e}", root.display()))?;
+            let baseline_path = root.join(hb_analyze::BASELINE_FILE);
+            if update_baseline {
+                std::fs::write(&baseline_path, hb_analyze::baseline::render(&findings))?;
+                println!(
+                    "wrote {} accepted finding(s) in {} bucket(s) to {}",
+                    findings.len(),
+                    hb_analyze::baseline::bucket(&findings).len(),
+                    baseline_path.display()
+                );
+                return Ok(());
+            }
+            let accepted = match std::fs::read_to_string(&baseline_path) {
+                Ok(text) => hb_analyze::baseline::parse(&text)
+                    .map_err(|e| format!("{}: {e}", baseline_path.display()))?,
+                Err(_) => hb_analyze::baseline::Baseline::new(),
+            };
+            let diff = hb_analyze::baseline::diff(&findings, &accepted);
+            for (rule, file, found, base) in &diff.stale {
+                eprintln!(
+                    "note: stale baseline bucket `{rule} {file}`: {found} found < {base} \
+                     accepted (ratchet down with --update-baseline)"
+                );
+            }
+            if diff.new.is_empty() {
+                println!(
+                    "analyze OK: {} file finding(s), all accepted by the baseline",
+                    findings.len()
+                );
+                return Ok(());
+            }
+            let new: Vec<_> = diff.new.iter().map(|(f, _, _)| f.clone()).collect();
+            if json {
+                print!("{}", hb_analyze::render_jsonl(&new));
+            } else {
+                print!("{}", hb_analyze::render_human(&new));
+            }
+            eprintln!(
+                "analyze FAILED: {} finding(s) beyond the baseline \
+                 (fix, justify with `// analyze: allow(<rule>, <why>)`, or \
+                 accept with --update-baseline)",
+                new.len()
+            );
+            std::process::exit(1);
         }
         Command::Elect { m, n } => {
             let hb = HyperButterfly::new(m, n)?;

@@ -145,13 +145,13 @@ pub fn verify_partition(hb: &HyperButterfly, dim: u32) -> bool {
         // under the squeezed labels.
         for u in half.iter() {
             let su = HbNode::new(squeeze(u.h), u.b);
-            let mapped: std::collections::HashSet<usize> = hb
+            let mapped: std::collections::BTreeSet<usize> = hb
                 .neighbors(*u)
                 .into_iter()
                 .filter(|w| (w.h >> dim & 1) == (u.h >> dim & 1))
                 .map(|w| small.index(HbNode::new(squeeze(w.h), w.b)))
                 .collect();
-            let expected: std::collections::HashSet<usize> = small
+            let expected: std::collections::BTreeSet<usize> = small
                 .neighbors(su)
                 .into_iter()
                 .map(|w| small.index(w))

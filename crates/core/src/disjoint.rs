@@ -319,7 +319,7 @@ pub fn verify_family(
             hb.degree()
         )));
     }
-    let mut used = std::collections::HashSet::new();
+    let mut used = std::collections::BTreeSet::new();
     for (i, p) in paths.iter().enumerate() {
         if p.len() < 2 || p[0] != u || *p.last().expect("len >= 2") != v {
             return Err(GraphError::InvalidParameter(format!(

@@ -272,7 +272,7 @@ pub fn adversarial_link_trials(
                 cut.swap(i, j);
             }
             cut.truncate(faults.min(cut.len()));
-            let removed: std::collections::HashSet<(usize, usize)> = cut
+            let removed: std::collections::BTreeSet<(usize, usize)> = cut
                 .iter()
                 .map(|&w| (victim.min(w), victim.max(w)))
                 .collect();

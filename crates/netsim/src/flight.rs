@@ -134,7 +134,7 @@ pub fn run_with_faults(
         let port = g
             .neighbors(u)
             .binary_search(&(v as u32))
-            .unwrap_or_else(|_| panic!("route step ({u}, {v}) is not an edge"));
+            .unwrap_or_else(|_| panic!("route step ({u}, {v}) is not an edge")); // analyze: allow(panic-policy, internal invariant needs the offending ids; expect cannot format them)
         offsets[u] + port
     };
 
@@ -200,7 +200,7 @@ pub fn run_with_faults(
                     cycle,
                 });
             }
-            let slot = table.slot(inj.src, inj.dst).expect("table covers workload");
+            let slot = table.slot(inj.src, inj.dst).expect("invariant: route table was built from this exact workload");
             let path = table.path(slot);
             if path.is_empty() {
                 // Faulty endpoint or no survivor path: refused.
@@ -228,7 +228,7 @@ pub fn run_with_faults(
             }
             let detoured = table.detour(slot).is_some();
             let span = if tracing && sampling.samples(id, path, &hot) {
-                let t = tel.expect("tracing implies telemetry");
+                let t = tel.expect("invariant: tracing is only enabled with telemetry on");
                 let span = t.span_start(
                     &format!("packet #{id} {}->{}", inj.src, inj.dst),
                     None,
@@ -293,7 +293,7 @@ pub fn run_with_faults(
                     b.busy[ch] += 1;
                     b.fwd[ch] += 1;
                     let (from, to) = b.ends[ch];
-                    tel.expect("board implies telemetry")
+                    tel.expect("invariant: a scoreboard is only handed out with telemetry on")
                         .event(|| Event::PacketHop {
                             id: p.id,
                             from,
@@ -302,7 +302,7 @@ pub fn run_with_faults(
                         });
                 }
                 if p.hop_span.is_some() {
-                    let t = tel.expect("span implies telemetry");
+                    let t = tel.expect("invariant: spans are only recorded with telemetry on");
                     // Cycles queued beyond the 1-cycle link transit.
                     t.span_attr(p.hop_span, "wait", (cycle - p.enqueued_at).to_string());
                     t.span_end(p.hop_span, cycle + 1);
@@ -319,7 +319,7 @@ pub fn run_with_faults(
                     pool.free(key);
                     if let Some(b) = board.as_mut() {
                         b.deliver(latency, u64::from(p.hop));
-                        tel.expect("board implies telemetry")
+                        tel.expect("invariant: a scoreboard is only handed out with telemetry on")
                             .event(|| Event::PacketDelivered {
                                 id: p.id,
                                 dst: here,

@@ -53,7 +53,7 @@ pub fn edge_forwarding_index(topo: &dyn NetTopology) -> ForwardingReport {
                     let port = g
                         .neighbors(w[0])
                         .binary_search(&(w[1] as u32))
-                        .expect("route step is an edge");
+                        .expect("invariant: route steps are edges of the topology");
                     local[offsets[w[0]] + port] += 1;
                 }
             }

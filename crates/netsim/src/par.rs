@@ -178,7 +178,7 @@ pub(crate) fn run_sharded(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
+            .map(|h| h.join().expect("invariant: shard workers never panic (any panic here is a bug to surface)"))
             .collect()
     });
 
@@ -339,7 +339,7 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
         let port = g
             .neighbors(u)
             .binary_search(&(v as u32))
-            .unwrap_or_else(|_| panic!("route step ({u}, {v}) is not an edge"));
+            .unwrap_or_else(|_| panic!("route step ({u}, {v}) is not an edge")); // analyze: allow(panic-policy, internal invariant needs the offending ids; expect cannot format them)
         offsets[u] + port
     };
 
@@ -404,7 +404,7 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
                     },
                 ));
             }
-            let slot = table.slot(inj.src, inj.dst).expect("table covers workload");
+            let slot = table.slot(inj.src, inj.dst).expect("invariant: route table was built from this exact workload");
             let path = table.path(slot);
             if path.is_empty() {
                 debug_assert!(faulted, "empty routes only exist under faults");
@@ -548,7 +548,7 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
 
         for (dst, out) in outbox.iter_mut().enumerate() {
             if !out.is_empty() {
-                mailboxes[k][dst].lock().expect("mailbox lock").append(out);
+                mailboxes[k][dst].lock().expect("invariant: mailbox mutex unpoisoned (holders never panic)").append(out);
             }
         }
         if consumed_delta > 0 {
@@ -582,7 +582,7 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
                 local_pending.clear();
             } else {
                 let mut incoming =
-                    std::mem::take(&mut *sender_row[k].lock().expect("mailbox lock"));
+                    std::mem::take(&mut *sender_row[k].lock().expect("invariant: mailbox mutex unpoisoned (holders never panic)"));
                 for (ch, p) in incoming.drain(..) {
                     let ch = ch as usize;
                     let key = pool.alloc(p);

@@ -28,7 +28,7 @@ use crate::faults::FaultPlan;
 use crate::sim::Injection;
 use crate::topology::NetTopology;
 use hb_graphs::{Graph, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 /// Deterministic BFS route from `src` to `dst` over the survivor graph
@@ -112,8 +112,9 @@ const NO_DETOUR: u32 = u32::MAX;
 /// Flat CSR arena of routes shared by [`RouteTable`] and [`RouteCache`].
 #[derive(Clone, Debug, Default)]
 struct RouteArena {
-    /// `(src, dst)` pair -> slot.
-    index: HashMap<(u32, u32), u32>,
+    /// `(src, dst)` pair -> slot. Ordered so every walk over the
+    /// index (debugging, future dumps) is deterministic by construction.
+    index: BTreeMap<(u32, u32), u32>,
     /// Slot `s` occupies `nodes[offsets[s] as usize .. offsets[s+1] as usize]`.
     /// An **empty** range means the pair is unroutable under the plan.
     offsets: Vec<u32>,
@@ -141,7 +142,7 @@ impl RouteArena {
         src: u32,
         dst: u32,
         planned: Option<(Vec<NodeId>, Detour)>,
-        intern: &mut HashMap<String, u32>,
+        intern: &mut BTreeMap<String, u32>,
     ) -> u32 {
         let slot = u32::try_from(self.index.len()).expect("fewer than 2^32 pairs");
         self.index.insert((src, dst), slot);
@@ -184,7 +185,7 @@ impl RouteArena {
 
     fn heap_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.index.capacity() * (size_of::<(u32, u32)>() + size_of::<u32>())
+        self.index.len() * (size_of::<(u32, u32)>() + size_of::<u32>())
             + self.offsets.capacity() * size_of::<u32>()
             + self.nodes.capacity() * size_of::<u32>()
             + self.detour_hop.capacity() * size_of::<u32>()
@@ -220,7 +221,7 @@ impl RouteTable {
         plan: &FaultPlan,
     ) -> Self {
         let mut arena = RouteArena::new();
-        let mut intern = HashMap::new();
+        let mut intern = BTreeMap::new();
         let mut unroutable_pairs = 0u64;
         let faultless = plan.is_empty();
         for (src, dst) in pairs {
@@ -311,7 +312,7 @@ pub struct RouteCache {
     plan: FaultPlan,
     epoch: u64,
     arena: RouteArena,
-    intern: HashMap<String, u32>,
+    intern: BTreeMap<String, u32>,
 }
 
 impl RouteCache {
@@ -390,7 +391,7 @@ impl RouteCache {
     #[must_use]
     pub fn heap_bytes(&self) -> usize {
         self.arena.heap_bytes()
-            + self.intern.capacity() * std::mem::size_of::<(String, u32)>()
+            + self.intern.len() * std::mem::size_of::<(String, u32)>()
             + self.plan.nodes().count() * std::mem::size_of::<NodeId>()
     }
 }

@@ -293,7 +293,7 @@ fn run_serial(
         let port = g
             .neighbors(u)
             .binary_search(&(v as u32))
-            .unwrap_or_else(|_| panic!("route step ({u}, {v}) is not an edge"));
+            .unwrap_or_else(|_| panic!("route step ({u}, {v}) is not an edge")); // analyze: allow(panic-policy, internal invariant needs the offending ids; expect cannot format them)
         offsets[u] + port
     };
 
@@ -340,7 +340,7 @@ fn run_serial(
                     cycle,
                 });
             }
-            let slot = table.slot(inj.src, inj.dst).expect("table covers workload");
+            let slot = table.slot(inj.src, inj.dst).expect("invariant: route table was built from this exact workload");
             let path = table.path(slot);
             if path.len() <= 1 {
                 // Self-delivery: zero-latency, zero hops.
@@ -399,7 +399,7 @@ fn run_serial(
                     b.busy[ch] += 1;
                     b.fwd[ch] += 1;
                     let (from, to) = b.ends[ch];
-                    tel.expect("board implies telemetry")
+                    tel.expect("invariant: a scoreboard is only handed out with telemetry on")
                         .event(|| Event::PacketHop {
                             id: p.id,
                             from,
@@ -419,7 +419,7 @@ fn run_serial(
                     pool.free(key);
                     if let Some(b) = board.as_mut() {
                         b.deliver(latency, u64::from(p.hop));
-                        tel.expect("board implies telemetry")
+                        tel.expect("invariant: a scoreboard is only handed out with telemetry on")
                             .event(|| Event::PacketDelivered {
                                 id: p.id,
                                 dst: here,
@@ -511,7 +511,7 @@ pub fn run_bounded(
         let port = g
             .neighbors(u)
             .binary_search(&(v as u32))
-            .unwrap_or_else(|_| panic!("route step ({u}, {v}) is not an edge"));
+            .unwrap_or_else(|_| panic!("route step ({u}, {v}) is not an edge")); // analyze: allow(panic-policy, internal invariant needs the offending ids; expect cannot format them)
         offsets[u] + port
     };
 
@@ -543,7 +543,7 @@ pub fn run_bounded(
                     cycle,
                 });
             }
-            let slot = table.slot(inj.src, inj.dst).expect("table covers workload");
+            let slot = table.slot(inj.src, inj.dst).expect("invariant: route table was built from this exact workload");
             let path = table.path(slot);
             if path.len() <= 1 {
                 stats.delivered += 1;
@@ -605,7 +605,7 @@ pub fn run_bounded(
             let path = table.path(front.route);
             let arriving_last = hop + 2 == path.len();
             if arriving_last {
-                let mut p = queues[ch].pop_front().expect("front exists");
+                let mut p = queues[ch].pop_front().expect("invariant: channel was queued non-empty this cycle");
                 p.hop += 1;
                 let latency = cycle + 1 - p.injected_at;
                 total_latency += latency;
@@ -618,7 +618,7 @@ pub fn run_bounded(
                     b.fwd[ch] += 1;
                     b.deliver(latency, p.hop as u64);
                     let (from, to) = b.ends[ch];
-                    let t = tel.expect("board implies telemetry");
+                    let t = tel.expect("invariant: a scoreboard is only handed out with telemetry on");
                     t.event(|| Event::PacketHop {
                         id: p.id,
                         from,
@@ -637,13 +637,13 @@ pub fn run_bounded(
                 let next = path[hop + 2] as NodeId;
                 let next_ch = channel_of(here, next);
                 if queues[next_ch].len() + incoming[next_ch] < capacity {
-                    let mut p = queues[ch].pop_front().expect("front exists");
+                    let mut p = queues[ch].pop_front().expect("invariant: channel was queued non-empty this cycle");
                     p.hop += 1;
                     incoming[next_ch] += 1;
                     if let Some(b) = board.as_mut() {
                         b.fwd[ch] += 1;
                         let (from, to) = b.ends[ch];
-                        tel.expect("board implies telemetry")
+                        tel.expect("invariant: a scoreboard is only handed out with telemetry on")
                             .event(|| Event::PacketHop {
                                 id: p.id,
                                 from,
@@ -732,7 +732,7 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
         let port = g
             .neighbors(u)
             .binary_search(&(v as u32))
-            .unwrap_or_else(|_| panic!("hop ({u}, {v}) is not an edge"));
+            .unwrap_or_else(|_| panic!("hop ({u}, {v}) is not an edge")); // analyze: allow(panic-policy, internal invariant needs the offending ids; expect cannot format them)
         offsets[u] + port
     };
     // Least-loaded productive channel out of `from` toward `dst`.
@@ -741,7 +741,7 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
             .into_iter()
             .map(|w| channel_of(from, w))
             .min_by_key(|&ch| queues[ch].len())
-            .expect("a productive hop exists for any undelivered packet")
+            .expect("invariant: a productive hop exists for any undelivered packet")
     };
 
     let tel = cfg.telemetry.as_ref();
@@ -819,7 +819,7 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
                     b.busy[ch] += 1;
                     b.fwd[ch] += 1;
                     let (from, to) = b.ends[ch];
-                    tel.expect("board implies telemetry")
+                    tel.expect("invariant: a scoreboard is only handed out with telemetry on")
                         .event(|| Event::PacketHop {
                             id: p.id,
                             from,
@@ -837,7 +837,7 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
                     in_flight -= 1;
                     if let Some(b) = board.as_mut() {
                         b.deliver(latency, p.hops as u64);
-                        tel.expect("board implies telemetry")
+                        tel.expect("invariant: a scoreboard is only handed out with telemetry on")
                             .event(|| Event::PacketDelivered {
                                 id: p.id,
                                 dst: here as u32,

@@ -106,14 +106,14 @@ impl Telemetry {
 
     /// Records `v` into the histogram named `name`.
     pub fn record(&self, name: &str, v: u64) {
-        let mut hs = self.inner.histograms.lock().expect("histogram lock");
+        let mut hs = self.inner.histograms.lock().expect("invariant: histogram mutex unpoisoned (holders never panic)");
         hs.entry(name.to_string()).or_default().record(v);
     }
 
     /// Merges a locally accumulated histogram into the one named `name`
     /// (hot loops accumulate privately, then merge once).
     pub fn merge_histogram(&self, name: &str, h: &Histogram) {
-        let mut hs = self.inner.histograms.lock().expect("histogram lock");
+        let mut hs = self.inner.histograms.lock().expect("invariant: histogram mutex unpoisoned (holders never panic)");
         hs.entry(name.to_string()).or_default().merge(h);
     }
 
@@ -122,19 +122,19 @@ impl Telemetry {
         self.inner
             .histograms
             .lock()
-            .expect("histogram lock")
+            .expect("invariant: histogram mutex unpoisoned (holders never panic)")
             .get(name)
             .cloned()
     }
 
     /// Merges locally accumulated link stats into the shared map.
     pub fn merge_links(&self, ls: &LinkStats) {
-        self.inner.links.lock().expect("links lock").merge(ls);
+        self.inner.links.lock().expect("invariant: links mutex unpoisoned (holders never panic)").merge(ls);
     }
 
     /// A clone of the accumulated link stats.
     pub fn links(&self) -> LinkStats {
-        self.inner.links.lock().expect("links lock").clone()
+        self.inner.links.lock().expect("invariant: links mutex unpoisoned (holders never panic)").clone()
     }
 
     /// Pushes an event if tracing is on; `make` is not even called
@@ -142,13 +142,13 @@ impl Telemetry {
     #[inline]
     pub fn event(&self, make: impl FnOnce() -> Event) {
         if self.trace_enabled() {
-            self.inner.trace.lock().expect("trace lock").push(make());
+            self.inner.trace.lock().expect("invariant: trace mutex unpoisoned (holders never panic)").push(make());
         }
     }
 
     /// Retained trace events, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.inner.trace.lock().expect("trace lock").to_vec()
+        self.inner.trace.lock().expect("invariant: trace mutex unpoisoned (holders never panic)").to_vec()
     }
 
     /// Starts a causal span at logical time `start`. Returns `None` when
@@ -163,7 +163,7 @@ impl Telemetry {
         self.inner
             .spans
             .lock()
-            .expect("span lock")
+            .expect("invariant: span mutex unpoisoned (holders never panic)")
             .start(name, parent, start)
     }
 
@@ -171,7 +171,7 @@ impl Telemetry {
     #[inline]
     pub fn span_end(&self, id: Option<SpanId>, end: u64) {
         if let Some(id) = id {
-            self.inner.spans.lock().expect("span lock").end(id, end);
+            self.inner.spans.lock().expect("invariant: span mutex unpoisoned (holders never panic)").end(id, end);
         }
     }
 
@@ -183,19 +183,19 @@ impl Telemetry {
             self.inner
                 .spans
                 .lock()
-                .expect("span lock")
+                .expect("invariant: span mutex unpoisoned (holders never panic)")
                 .attr(id, key, value);
         }
     }
 
     /// All recorded spans, in id order.
     pub fn spans(&self) -> Vec<SpanRecord> {
-        self.inner.spans.lock().expect("span lock").spans().to_vec()
+        self.inner.spans.lock().expect("invariant: span mutex unpoisoned (holders never panic)").spans().to_vec()
     }
 
     /// Spans refused because the bounded store was full.
     pub fn spans_dropped(&self) -> u64 {
-        self.inner.spans.lock().expect("span lock").dropped()
+        self.inner.spans.lock().expect("invariant: span mutex unpoisoned (holders never panic)").dropped()
     }
 
     /// A point-in-time snapshot of every instrument, ready for a
@@ -207,7 +207,7 @@ impl Telemetry {
             .find(|(n, _)| n == CYCLES_COUNTER)
             .map(|&(_, v)| v);
         let histograms = {
-            let hs = self.inner.histograms.lock().expect("histogram lock");
+            let hs = self.inner.histograms.lock().expect("invariant: histogram mutex unpoisoned (holders never panic)");
             hs.iter()
                 .filter_map(|(n, h)| {
                     h.quantiles().map(|q| {
@@ -228,11 +228,11 @@ impl Telemetry {
                 .collect()
         };
         let links = {
-            let ls = self.inner.links.lock().expect("links lock");
+            let ls = self.inner.links.lock().expect("invariant: links mutex unpoisoned (holders never panic)");
             ls.utilization_rows(cycles.unwrap_or(0))
         };
-        let trace = self.inner.trace.lock().expect("trace lock");
-        let spans = self.inner.spans.lock().expect("span lock");
+        let trace = self.inner.trace.lock().expect("invariant: trace mutex unpoisoned (holders never panic)");
+        let spans = self.inner.spans.lock().expect("invariant: span mutex unpoisoned (holders never panic)");
         Snapshot {
             counters,
             gauges: self.inner.registry.gauges(),
