@@ -568,13 +568,16 @@ mod tests {
         // fresh collections always compare clean.
         let drifts = a.compare(&b);
         assert!(drifts.is_empty(), "{}", render_drifts(&drifts));
-        // Keys cover both scaling axes at every thread count.
+        // Keys cover both scaling axes at every thread count, plus the
+        // two single-thread hot-path microbenches.
         assert_eq!(
             a.experiments.len(),
-            (3 + 1) * crate::perf::THREADS.len(),
+            (3 + 1) * crate::perf::THREADS.len() + 2,
             "{:?}",
             a.experiments.keys().collect::<Vec<_>>()
         );
+        assert!(a.experiments.contains_key("perf/route_lookup/t1"));
+        assert!(a.experiments.contains_key("perf/adaptive/t1"));
         // And a perturbed counter still trips the gate.
         let mut c = a.clone();
         let key = c.experiments.keys().next().unwrap().clone();

@@ -42,14 +42,14 @@ pub struct SimRow {
 }
 
 fn mk_row(
-    name: String,
+    name: &str,
     pattern: &str,
     rate: f64,
     stats: &hb_netsim::SimStats,
     tel: &Telemetry,
 ) -> SimRow {
     SimRow {
-        name,
+        name: name.to_string(),
         pattern: pattern.to_string(),
         rate,
         delivered: stats.delivered,

@@ -41,7 +41,47 @@ enum Plan {
 /// # Panics
 /// Panics (debug) if the nodes come from different dimensions.
 pub fn distance(b: &Butterfly, u: SignedCycle, v: SignedCycle) -> u32 {
-    best_plan(b, u, v).0
+    debug_assert_eq!(u.n(), b.n());
+    debug_assert_eq!(v.n(), b.n());
+    dist(u, v)
+}
+
+/// Exact hop distance computed purely from the node coordinates — no
+/// `Butterfly` handle, no heap allocation, no plan materialisation.
+///
+/// This is the closed-form kernel of [`distance`]: `O(n^2)` arithmetic on
+/// the `(word, level)` coordinates, suitable for per-hop use in simulator
+/// hot paths.
+///
+/// # Panics
+/// Panics (debug) if the nodes come from different dimensions.
+#[inline]
+pub fn dist(u: SignedCycle, v: SignedCycle) -> u32 {
+    debug_assert_eq!(u.n(), v.n());
+    let (wu, lu) = u.to_word_level();
+    let (wv, lv) = v.to_word_level();
+    dist_word_level(u.n(), wu, lu, wv, lv)
+}
+
+/// Closed-form butterfly distance in raw `(word, level)` coordinates.
+///
+/// Minimises over the same candidate set as [`best_plan`]: the two
+/// full-loop walks (`n + cyclic_distance`) and, for every unmarked gap
+/// `e`, the optimal sweep on the cut-open path `Z_n - e`.
+pub fn dist_word_level(n: u32, wu: u32, lu: u32, wv: u32, lv: u32) -> u32 {
+    let marks = wu ^ wv;
+    let cw = (lv + n - lu) % n;
+    let ccw = (lu + n - lv) % n;
+    let mut best = n + cw.min(ccw);
+    for e in 0..n {
+        if marks >> e & 1 == 1 {
+            continue;
+        }
+        let (s, t, lo, hi) = cut_frame(n, lu, lv, marks, e);
+        let cost = (hi - lo) + ((s - lo) + (hi - t)).min((hi - s) + (t - lo));
+        best = best.min(cost);
+    }
+    best
 }
 
 /// An optimal (shortest) route from `u` to `v`, as the full node sequence
@@ -250,6 +290,24 @@ mod tests {
             let id = b.identity();
             let max = b.nodes().map(|v| distance(&b, id, v)).max().unwrap();
             assert_eq!(max, b.diameter(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn handle_free_dist_matches_plan_cost() {
+        // `dist` must agree with the plan search that `route` executes,
+        // for every pair — it is the same candidate set, cost-only.
+        for n in 3..=5 {
+            let b = Butterfly::new(n).unwrap();
+            for u in b.nodes() {
+                for v in b.nodes() {
+                    let (cost, _) = best_plan(&b, u, v);
+                    assert_eq!(dist(u, v), cost, "n={n} {u} -> {v}");
+                    let (wu, lu) = u.to_word_level();
+                    let (wv, lv) = v.to_word_level();
+                    assert_eq!(dist_word_level(n, wu, lu, wv, lv), cost);
+                }
+            }
         }
     }
 

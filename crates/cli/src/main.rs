@@ -291,6 +291,19 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 }
             };
             let suite = if perf { "perf suite" } else { "experiments" };
+            if perf {
+                // Wall-clock speedups need real cores; make the
+                // single-core case visible so a <=1x engine speedup is
+                // read as "criterion skipped", never as a regression.
+                let cores = hb_bench::perf::detected_cores();
+                println!("detected cores: {cores}");
+                if cores == 1 {
+                    println!(
+                        "note: single-core runner — the >=2x engine speedup \
+                         criterion is skipped (not failed)"
+                    );
+                }
+            }
             if check {
                 let stored = Baseline::parse(&std::fs::read_to_string(&path)?)
                     .map_err(|e| format!("{path}: {e}"))?;

@@ -21,7 +21,18 @@ use hb_hypercube::routing as hrouting;
 
 /// Exact hop distance (Remark 8): `d_H(h, h') + d_B(b, b')`.
 pub fn distance(hb: &HyperButterfly, u: HbNode, v: HbNode) -> u32 {
-    hb.cube().distance(u.h, v.h) + brouting::distance(hb.butterfly(), u.b, v.b)
+    debug_assert_eq!(u.b.n(), hb.n());
+    debug_assert_eq!(v.b.n(), hb.n());
+    dist(u, v)
+}
+
+/// Exact hop distance computed purely from the node coordinates — no
+/// `HyperButterfly` handle, no heap allocation. The Remark-8 closed form:
+/// Hamming distance on the hypercube factor plus the butterfly closed-form
+/// distance ([`hb_butterfly::routing::dist`]).
+#[inline]
+pub fn dist(u: HbNode, v: HbNode) -> u32 {
+    hrouting::dist(u.h, v.h) + brouting::dist(u.b, v.b)
 }
 
 /// Optimal route, hypercube leg first (the paper's order). Returns the

@@ -14,6 +14,15 @@ pub fn route(h: &Hypercube, src: u32, dst: u32) -> Vec<u32> {
     route_with_order(h, src, dst, &ascending_order(h, src, dst))
 }
 
+/// Exact hop distance from the labels alone: the Hamming distance
+/// `popcount(src ^ dst)`. No `Hypercube` handle, no allocation — the
+/// bit-fixing kernel of the paper's §3 composition, suitable for per-hop
+/// use in simulator hot paths.
+#[inline]
+pub fn dist(src: u32, dst: u32) -> u32 {
+    (src ^ dst).count_ones()
+}
+
 /// The dimensions in which `src` and `dst` differ, ascending.
 pub fn ascending_order(h: &Hypercube, src: u32, dst: u32) -> Vec<u32> {
     (0..h.m()).filter(|&d| (src ^ dst) >> d & 1 == 1).collect()

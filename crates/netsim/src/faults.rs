@@ -16,6 +16,28 @@ use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 use std::collections::BTreeSet;
 
+/// Why a link is unusable — the interned, `Copy` form of detour
+/// attribution. Route tables and snapshots store this 2-word value
+/// instead of an owned `String`; rendering via `Display` reproduces the
+/// exact strings [`FaultPlan::link_fault_reason`] has always emitted, so
+/// trace attributes stay byte-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultReason {
+    /// The named node is down (taking every incident link with it).
+    Node(u32),
+    /// The undirected link `{u, v}` is cut; stored normalized `u <= v`.
+    Link(u32, u32),
+}
+
+impl std::fmt::Display for FaultReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultReason::Node(v) => write!(f, "node {v} faulty"),
+            FaultReason::Link(u, v) => write!(f, "link {u}-{v} faulty"),
+        }
+    }
+}
+
 /// A static set of failed nodes and links, the per-packet counterpart of
 /// the campaign-level trials below: [`crate::flight::run_with_faults`]
 /// routes individual packets *around* a `FaultPlan` while the flight
@@ -91,18 +113,28 @@ impl FaultPlan {
             || self.nodes.contains(&v)
     }
 
-    /// Why the link `{u, v}` is unusable, for detour attribution
-    /// (`None` when it is healthy).
-    pub fn link_fault_reason(&self, u: NodeId, v: NodeId) -> Option<String> {
+    /// Why the link `{u, v}` is unusable, as an interned `Copy` id for
+    /// detour attribution (`None` when it is healthy). Classification
+    /// priority (head-node fault, then tail-node, then cut link) matches
+    /// the historical string form exactly.
+    pub fn link_fault_id(&self, u: NodeId, v: NodeId) -> Option<FaultReason> {
+        let id = |x: NodeId| u32::try_from(x).expect("invariant: node ids fit u32");
         if self.nodes.contains(&v) {
-            Some(format!("node {v} faulty"))
+            Some(FaultReason::Node(id(v)))
         } else if self.nodes.contains(&u) {
-            Some(format!("node {u} faulty"))
+            Some(FaultReason::Node(id(u)))
         } else if self.links.contains(&(u.min(v), u.max(v))) {
-            Some(format!("link {}-{} faulty", u.min(v), u.max(v)))
+            Some(FaultReason::Link(id(u.min(v)), id(u.max(v))))
         } else {
             None
         }
+    }
+
+    /// Why the link `{u, v}` is unusable, rendered as an owned string
+    /// (`None` when it is healthy). Compatibility wrapper over
+    /// [`Self::link_fault_id`].
+    pub fn link_fault_reason(&self, u: NodeId, v: NodeId) -> Option<String> {
+        self.link_fault_id(u, v).map(|r| r.to_string())
     }
 
     /// Per-node *fault-adjacency* mask over `g`: a node is hot when it
@@ -456,6 +488,29 @@ mod tests {
         assert_eq!(p.link_fault_reason(4, 5), None);
         assert_eq!(p.link_fault_reason(2, 7).unwrap(), "link 2-7 faulty");
         assert_eq!(p.link_fault_reason(9, 3).unwrap(), "node 3 faulty");
+    }
+
+    #[test]
+    fn fault_reason_ids_render_the_historical_strings() {
+        let mut p = FaultPlan::new();
+        p.add_node(3).add_link(7, 2);
+        // Normalized link, regardless of argument order.
+        assert_eq!(p.link_fault_id(7, 2), Some(FaultReason::Link(2, 7)));
+        assert_eq!(p.link_fault_id(2, 7), Some(FaultReason::Link(2, 7)));
+        // Head-node fault wins over tail-node fault.
+        p.add_node(9);
+        assert_eq!(p.link_fault_id(3, 9), Some(FaultReason::Node(9)));
+        assert_eq!(p.link_fault_id(9, 3), Some(FaultReason::Node(3)));
+        assert_eq!(p.link_fault_id(4, 5), None);
+        // Display matches the string API byte for byte.
+        for (u, v) in [(7, 2), (3, 9), (9, 3)] {
+            assert_eq!(
+                p.link_fault_id(u, v).map(|r| r.to_string()),
+                p.link_fault_reason(u, v)
+            );
+        }
+        assert_eq!(FaultReason::Node(3).to_string(), "node 3 faulty");
+        assert_eq!(FaultReason::Link(2, 7).to_string(), "link 2-7 faulty");
     }
 
     #[test]

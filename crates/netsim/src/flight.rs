@@ -163,7 +163,7 @@ pub fn run_with_faults(
             match table.detour(p.route) {
                 Some((at, reason)) if at == p.hop => {
                     t.span_attr(span, "decision", "reroute");
-                    t.span_attr(span, "reason", reason);
+                    t.span_attr(span, "reason", reason.to_string());
                 }
                 _ => t.span_attr(span, "decision", "oblivious"),
             }

@@ -80,7 +80,7 @@ pub fn edge_forwarding_index(topo: &dyn NetTopology) -> ForwardingReport {
         .sum::<f64>()
         / channels as f64;
     ForwardingReport {
-        name: topo.name(),
+        name: topo.name().to_string(),
         max: counts.iter().copied().max().unwrap_or(0),
         mean,
         cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },

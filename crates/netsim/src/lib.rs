@@ -43,10 +43,11 @@ pub mod sim;
 pub mod topology;
 pub mod workload;
 
-pub use faults::FaultPlan;
+pub use faults::{FaultPlan, FaultReason};
 pub use flight::{run_with_faults, TraceSampling};
 pub use routes::{RouteCache, RouteTable};
 pub use sim::{run, run_adaptive, run_bounded, Injection, SimConfig, SimStats};
 pub use topology::{
     ButterflyNet, HbRouteOrder, HyperButterflyNet, HyperDeBruijnNet, HypercubeNet, NetTopology,
+    MAX_PRODUCTIVE,
 };

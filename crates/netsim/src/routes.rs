@@ -22,13 +22,20 @@
 //! Memory: the CSR arena costs `4 * (nodes_in_routes + pairs + 1)` bytes
 //! plus the pair index — see [`RouteTable::heap_bytes`] (the same
 //! accounting convention as `hb_graphs::Graph::heap_bytes`, quoted in
-//! DESIGN.md §9).
+//! DESIGN.md §9 and §11).
+//!
+//! The pair index itself is flat too: a CSR keyed by dense source id
+//! (`row_offsets[src] .. row_offsets[src + 1]` brackets a sorted run of
+//! destinations), so [`RouteTable::slot`] is two array reads plus a
+//! binary search over one source's destinations — no tree walk, no
+//! per-lookup hashing. Detour attribution is a `Copy`
+//! [`FaultReason`] id rather than an interned `String`, shrinking
+//! [`Detour`] to two words and making snapshots allocation-free.
 
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, FaultReason};
 use crate::sim::Injection;
 use crate::topology::NetTopology;
 use hb_graphs::{Graph, NodeId};
-use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 /// Deterministic BFS route from `src` to `dst` over the survivor graph
@@ -75,7 +82,10 @@ pub fn survivor_route(
 }
 
 /// Where a detour begins (hop index) and the attributed fault reason.
-pub type Detour = Option<(u32, String)>;
+/// `FaultReason` is `Copy`, so a `Detour` is two machine words — cloned
+/// freely, never heap-allocated. Render the reason with `Display` to get
+/// the historical string form.
+pub type Detour = Option<(u32, FaultReason)>;
 
 /// The oblivious route with at most one fault detour spliced in: the
 /// packet flies the healthy prefix of `topo.route`, then a BFS survivor
@@ -95,7 +105,7 @@ pub fn plan_route(
     }
     let mut route = topo.route(src, dst);
     for i in 0..route.len().saturating_sub(1) {
-        let Some(reason) = plan.link_fault_reason(route[i], route[i + 1]) else {
+        let Some(reason) = plan.link_fault_id(route[i], route[i + 1]) else {
             continue;
         };
         let tail = survivor_route(topo.graph(), route[i], dst, plan)?;
@@ -110,11 +120,10 @@ pub fn plan_route(
 const NO_DETOUR: u32 = u32::MAX;
 
 /// Flat CSR arena of routes shared by [`RouteTable`] and [`RouteCache`].
+/// Slots are dense append-order ids; the pair -> slot index lives in the
+/// owning table/cache, not here.
 #[derive(Clone, Debug, Default)]
 struct RouteArena {
-    /// `(src, dst)` pair -> slot. Ordered so every walk over the
-    /// index (debugging, future dumps) is deterministic by construction.
-    index: BTreeMap<(u32, u32), u32>,
     /// Slot `s` occupies `nodes[offsets[s] as usize .. offsets[s+1] as usize]`.
     /// An **empty** range means the pair is unroutable under the plan.
     offsets: Vec<u32>,
@@ -122,10 +131,9 @@ struct RouteArena {
     nodes: Vec<u32>,
     /// Per slot: hop index where the detour begins, or [`NO_DETOUR`].
     detour_hop: Vec<u32>,
-    /// Per slot: index into `reasons`, meaningful only with a detour.
-    detour_reason: Vec<u32>,
-    /// Interned fault-attribution strings.
-    reasons: Vec<String>,
+    /// Per slot: attributed fault, meaningful only with a detour
+    /// (a placeholder value sits under [`NO_DETOUR`] hops).
+    detour_reason: Vec<FaultReason>,
 }
 
 impl RouteArena {
@@ -136,35 +144,30 @@ impl RouteArena {
         }
     }
 
-    /// Appends a computed route for `(src, dst)`, returning its slot.
-    fn push(
-        &mut self,
-        src: u32,
-        dst: u32,
-        planned: Option<(Vec<NodeId>, Detour)>,
-        intern: &mut BTreeMap<String, u32>,
-    ) -> u32 {
-        let slot = u32::try_from(self.index.len()).expect("fewer than 2^32 pairs");
-        self.index.insert((src, dst), slot);
-        let (mut hop, mut reason_id) = (NO_DETOUR, NO_DETOUR);
+    /// Number of slots stored.
+    fn len(&self) -> usize {
+        self.detour_hop.len()
+    }
+
+    /// Appends a computed route, returning its slot.
+    fn push(&mut self, planned: Option<(Vec<NodeId>, Detour)>) -> u32 {
+        let slot = u32::try_from(self.len()).expect("fewer than 2^32 pairs");
+        let (mut hop, mut reason) = (NO_DETOUR, FaultReason::Node(0));
         if let Some((route, detour)) = planned {
             self.nodes.extend(
                 route
                     .iter()
                     .map(|&v| u32::try_from(v).expect("node fits u32")),
             );
-            if let Some((at, reason)) = detour {
+            if let Some((at, r)) = detour {
                 hop = at;
-                reason_id = *intern.entry(reason.clone()).or_insert_with(|| {
-                    self.reasons.push(reason);
-                    u32::try_from(self.reasons.len() - 1).expect("few reasons")
-                });
+                reason = r;
             }
         }
         self.offsets
             .push(u32::try_from(self.nodes.len()).expect("arena fits u32"));
         self.detour_hop.push(hop);
-        self.detour_reason.push(reason_id);
+        self.detour_reason.push(reason);
         slot
     }
 
@@ -173,24 +176,17 @@ impl RouteArena {
         &self.nodes[self.offsets[s] as usize..self.offsets[s + 1] as usize]
     }
 
-    fn detour(&self, slot: u32) -> Option<(u32, &str)> {
+    fn detour(&self, slot: u32) -> Detour {
         let hop = self.detour_hop[slot as usize];
-        (hop != NO_DETOUR).then(|| {
-            (
-                hop,
-                self.reasons[self.detour_reason[slot as usize] as usize].as_str(),
-            )
-        })
+        (hop != NO_DETOUR).then(|| (hop, self.detour_reason[slot as usize]))
     }
 
     fn heap_bytes(&self) -> usize {
         use std::mem::size_of;
-        self.index.len() * (size_of::<(u32, u32)>() + size_of::<u32>())
-            + self.offsets.capacity() * size_of::<u32>()
+        self.offsets.capacity() * size_of::<u32>()
             + self.nodes.capacity() * size_of::<u32>()
             + self.detour_hop.capacity() * size_of::<u32>()
-            + self.detour_reason.capacity() * size_of::<u32>()
-            + self.reasons.iter().map(String::len).sum::<usize>()
+            + self.detour_reason.capacity() * size_of::<FaultReason>()
     }
 }
 
@@ -201,9 +197,21 @@ impl RouteArena {
 ///
 /// Slots are dense `u32`s in first-seen pair order; packets store the
 /// slot instead of an owned route.
+///
+/// The pair index is a CSR over dense source ids:
+/// `row_offsets[src] .. row_offsets[src + 1]` brackets this source's run
+/// of `(dst, slot)` entries in `cols`/`slots`, with `cols` sorted per
+/// row. [`Self::slot`] is therefore two array reads plus a binary search
+/// over one row.
 #[derive(Clone, Debug)]
 pub struct RouteTable {
     arena: RouteArena,
+    /// CSR row starts into `cols`/`slots`; length `num_nodes + 1`.
+    row_offsets: Vec<u32>,
+    /// Destination ids, ascending within each source row.
+    cols: Vec<u32>,
+    /// Slot of the route for the matching `cols` entry.
+    slots: Vec<u32>,
     /// Pairs with no survivor route under the plan.
     unroutable_pairs: u64,
 }
@@ -221,7 +229,9 @@ impl RouteTable {
         plan: &FaultPlan,
     ) -> Self {
         let mut arena = RouteArena::new();
-        let mut intern = BTreeMap::new();
+        let num_nodes = topo.num_nodes();
+        // Per-source sorted (dst, slot) rows; flattened into CSR below.
+        let mut rows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_nodes];
         let mut unroutable_pairs = 0u64;
         let faultless = plan.is_empty();
         for (src, dst) in pairs {
@@ -229,9 +239,11 @@ impl RouteTable {
                 u32::try_from(src).expect("node fits u32"),
                 u32::try_from(dst).expect("node fits u32"),
             );
-            if arena.index.contains_key(&key) {
-                continue;
-            }
+            let row = &mut rows[src];
+            let at = match row.binary_search_by_key(&key.1, |&(d, _)| d) {
+                Ok(_) => continue, // duplicate pair, first slot wins
+                Err(at) => at,
+            };
             let planned = if faultless {
                 Some((topo.route(src, dst), None))
             } else {
@@ -240,10 +252,25 @@ impl RouteTable {
             if planned.is_none() {
                 unroutable_pairs += 1;
             }
-            arena.push(key.0, key.1, planned, &mut intern);
+            let slot = arena.push(planned);
+            row.insert(at, (key.1, slot));
+        }
+        let mut row_offsets = Vec::with_capacity(num_nodes + 1);
+        let mut cols = Vec::with_capacity(arena.len());
+        let mut slots = Vec::with_capacity(arena.len());
+        row_offsets.push(0);
+        for row in &rows {
+            for &(d, s) in row {
+                cols.push(d);
+                slots.push(s);
+            }
+            row_offsets.push(u32::try_from(cols.len()).expect("index fits u32"));
         }
         Self {
             arena,
+            row_offsets,
+            cols,
+            slots,
             unroutable_pairs,
         }
     }
@@ -258,10 +285,20 @@ impl RouteTable {
         Self::build(topo, injections.iter().map(|i| (i.src, i.dst)), plan)
     }
 
-    /// Slot of `(src, dst)`, if the pair was in the build set.
+    /// Slot of `(src, dst)`, if the pair was in the build set: two array
+    /// reads bracket the source's row, then a binary search over that
+    /// row's sorted destinations.
     #[must_use]
     pub fn slot(&self, src: NodeId, dst: NodeId) -> Option<u32> {
-        self.arena.index.get(&(src as u32, dst as u32)).copied()
+        if src + 1 >= self.row_offsets.len() {
+            return None;
+        }
+        let lo = self.row_offsets[src] as usize;
+        let hi = self.row_offsets[src + 1] as usize;
+        let row = &self.cols[lo..hi];
+        row.binary_search(&(dst as u32))
+            .ok()
+            .map(|i| self.slots[lo + i])
     }
 
     /// The route stored in `slot` (node ids). **Empty** means the pair
@@ -274,14 +311,14 @@ impl RouteTable {
     /// Hop index where the route's detour begins plus the attributed
     /// fault, `None` for purely oblivious routes.
     #[must_use]
-    pub fn detour(&self, slot: u32) -> Option<(u32, &str)> {
+    pub fn detour(&self, slot: u32) -> Detour {
         self.arena.detour(slot)
     }
 
     /// Number of distinct pairs in the table.
     #[must_use]
     pub fn num_pairs(&self) -> usize {
-        self.arena.index.len()
+        self.arena.len()
     }
 
     /// Pairs with no survivor route under the plan.
@@ -294,7 +331,11 @@ impl RouteTable {
     /// `hb_graphs::Graph::heap_bytes`).
     #[must_use]
     pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
         self.arena.heap_bytes()
+            + self.row_offsets.capacity() * size_of::<u32>()
+            + self.cols.capacity() * size_of::<u32>()
+            + self.slots.capacity() * size_of::<u32>()
     }
 }
 
@@ -312,7 +353,9 @@ pub struct RouteCache {
     plan: FaultPlan,
     epoch: u64,
     arena: RouteArena,
-    intern: BTreeMap<String, u32>,
+    /// Per-source sorted `(dst, slot)` rows, grown on demand — the lazy
+    /// counterpart of [`RouteTable`]'s frozen CSR.
+    rows: Vec<Vec<(u32, u32)>>,
 }
 
 impl RouteCache {
@@ -347,25 +390,28 @@ impl RouteCache {
         self.plan = plan.clone();
         self.epoch += 1;
         self.arena = RouteArena::new();
-        self.intern.clear();
+        self.rows.clear();
     }
 
     /// Slot of the route for `(src, dst)` under the current plan,
     /// computing and memoizing it on first use.
     pub fn resolve(&mut self, topo: &dyn NetTopology, src: NodeId, dst: NodeId) -> u32 {
-        let key = (
-            u32::try_from(src).expect("node fits u32"),
-            u32::try_from(dst).expect("node fits u32"),
-        );
-        if let Some(&slot) = self.arena.index.get(&key) {
-            return slot;
+        let dst_key = u32::try_from(dst).expect("node fits u32");
+        if src >= self.rows.len() {
+            self.rows.resize_with(src + 1, Vec::new);
         }
+        let at = match self.rows[src].binary_search_by_key(&dst_key, |&(d, _)| d) {
+            Ok(i) => return self.rows[src][i].1,
+            Err(at) => at,
+        };
         let planned = if self.plan.is_empty() {
             Some((topo.route(src, dst), None))
         } else {
             plan_route(topo, src, dst, &self.plan)
         };
-        self.arena.push(key.0, key.1, planned, &mut self.intern)
+        let slot = self.arena.push(planned);
+        self.rows[src].insert(at, (dst_key, slot));
+        slot
     }
 
     /// The memoized route in `slot` (empty = unroutable). Slots are only
@@ -377,22 +423,28 @@ impl RouteCache {
 
     /// Detour attribution of the route in `slot` (as [`RouteTable::detour`]).
     #[must_use]
-    pub fn detour(&self, slot: u32) -> Option<(u32, &str)> {
+    pub fn detour(&self, slot: u32) -> Detour {
         self.arena.detour(slot)
     }
 
     /// Distinct pairs memoized in the current epoch.
     #[must_use]
     pub fn num_pairs(&self) -> usize {
-        self.arena.index.len()
+        self.arena.len()
     }
 
     /// Approximate heap footprint in bytes.
     #[must_use]
     pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
         self.arena.heap_bytes()
-            + self.intern.len() * std::mem::size_of::<(String, u32)>()
-            + self.plan.nodes().count() * std::mem::size_of::<NodeId>()
+            + self.rows.capacity() * size_of::<Vec<(u32, u32)>>()
+            + self
+                .rows
+                .iter()
+                .map(|r| r.capacity() * size_of::<(u32, u32)>())
+                .sum::<usize>()
+            + self.plan.nodes().count() * size_of::<NodeId>()
     }
 }
 
@@ -527,8 +579,9 @@ mod tests {
         let expect: Vec<u32> = expect.iter().map(|&v| v as u32).collect();
         assert_eq!(cache.path(s1), expect.as_slice());
         let (hop, reason) = cache.detour(s1).unwrap();
-        assert_eq!((hop, reason), (0, "link 0-1 faulty"));
-        assert_eq!(detour, Some((0, "link 0-1 faulty".to_string())));
+        assert_eq!((hop, reason), (0, FaultReason::Link(0, 1)));
+        assert_eq!(reason.to_string(), "link 0-1 faulty");
+        assert_eq!(detour, Some((0, FaultReason::Link(0, 1))));
         // Still 4 hops: the survivor graph keeps a shortest detour.
         assert_eq!(cache.path(s1).len() - 1, 4);
 
@@ -538,7 +591,7 @@ mod tests {
     }
 
     #[test]
-    fn cache_reasons_are_interned_across_pairs() {
+    fn cache_reasons_are_interned_copy_ids() {
         let t = HypercubeNet::new(3).unwrap();
         let mut plan = FaultPlan::new();
         plan.add_link(0, 1);
@@ -547,9 +600,29 @@ mod tests {
         let a = cache.resolve(&t, 0, 1);
         let b = cache.resolve(&t, 0, 3);
         // 0->1 detours (direct link cut); 0->3 routes 0-1-3 so it also
-        // detours at hop 0. Both attribute the same interned reason.
-        assert_eq!(cache.detour(a).unwrap().1, "link 0-1 faulty");
-        assert_eq!(cache.detour(b).unwrap().1, "link 0-1 faulty");
-        assert_eq!(cache.arena.reasons.len(), 1);
+        // detours at hop 0. Both carry the same Copy id — no owned
+        // strings anywhere in the snapshot.
+        assert_eq!(cache.detour(a).unwrap().1, FaultReason::Link(0, 1));
+        assert_eq!(cache.detour(b).unwrap().1, FaultReason::Link(0, 1));
+        assert_eq!(cache.detour(a).unwrap().1.to_string(), "link 0-1 faulty");
+        // A Detour is two words, not a heap handle.
+        assert!(std::mem::size_of::<Detour>() <= 2 * std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn csr_slot_lookup_handles_misses_and_out_of_range() {
+        let t = HypercubeNet::new(3).unwrap();
+        let table = RouteTable::build(&t, [(1, 6), (1, 2), (0, 7)], &FaultPlan::new());
+        assert_eq!(table.num_pairs(), 3);
+        // First-seen slot order is preserved even though rows are sorted.
+        assert_eq!(table.slot(1, 6), Some(0));
+        assert_eq!(table.slot(1, 2), Some(1));
+        assert_eq!(table.slot(0, 7), Some(2));
+        // Misses: absent pair in a populated row, empty row, and a
+        // source outside the topology.
+        assert_eq!(table.slot(1, 3), None);
+        assert_eq!(table.slot(5, 0), None);
+        assert_eq!(table.slot(8, 0), None);
+        assert_eq!(table.slot(10_000, 0), None);
     }
 }

@@ -30,7 +30,7 @@
 
 use crate::pool::PacketPool;
 use crate::routes::RouteTable;
-use crate::topology::NetTopology;
+use crate::topology::{NetTopology, MAX_PRODUCTIVE};
 use hb_graphs::NodeId;
 use hb_telemetry::{Event, Histogram, LinkStats, Telemetry, CYCLES_COUNTER};
 use std::collections::VecDeque;
@@ -735,11 +735,19 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
             .unwrap_or_else(|_| panic!("hop ({u}, {v}) is not an edge")); // analyze: allow(panic-policy, internal invariant needs the offending ids; expect cannot format them)
         offsets[u] + port
     };
-    // Least-loaded productive channel out of `from` toward `dst`.
-    let choose = |queues: &[VecDeque<AdaptivePacket>], from: NodeId, dst: NodeId| -> usize {
-        topo.productive_hops(from, dst)
-            .into_iter()
-            .map(|w| channel_of(from, w))
+    // Least-loaded productive channel out of `from` toward `dst`. The
+    // productive set is written into the caller's stack buffer — no heap
+    // allocation per hop. Ties keep the first (lowest-channel) minimum,
+    // matching the historical Vec-based iteration order exactly.
+    let choose = |queues: &[VecDeque<AdaptivePacket>],
+                  buf: &mut [NodeId; MAX_PRODUCTIVE],
+                  from: NodeId,
+                  dst: NodeId|
+     -> usize {
+        let k = topo.productive_hops_into(from, dst, buf);
+        buf[..k]
+            .iter()
+            .map(|&w| channel_of(from, w))
             .min_by_key(|&ch| queues[ch].len())
             .expect("invariant: a productive hop exists for any undelivered packet")
     };
@@ -757,6 +765,12 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
     let mut next_inject = 0usize;
     let mut in_flight = 0u64;
     let mut cycle = 0u64;
+    // Steady-state scratch, reused every cycle: once these reach their
+    // high-water capacity the simulation loop performs no heap
+    // allocation at all (see the counting-allocator test).
+    let mut hop_buf = [0 as NodeId; MAX_PRODUCTIVE];
+    let mut moved: Vec<(NodeId, AdaptivePacket)> = Vec::new(); // (arrival node, packet)
+    let mut still_active: Vec<usize> = Vec::new();
 
     while cycle < cfg.max_cycles {
         while next_inject < injections.len() && injections[next_inject].at == cycle {
@@ -783,7 +797,7 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
                 }
                 continue;
             }
-            let ch = choose(&queues, inj.src, inj.dst);
+            let ch = choose(&queues, &mut hop_buf, inj.src, inj.dst);
             queues[ch].push_back(AdaptivePacket {
                 id,
                 dst: inj.dst,
@@ -809,8 +823,7 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
                 .max(active.iter().map(|&ch| queues[ch].len()).max().unwrap_or(0));
         }
 
-        let mut moved: Vec<(NodeId, AdaptivePacket)> = Vec::new(); // (arrival node, packet)
-        let mut still_active = Vec::with_capacity(active.len());
+        still_active.clear();
         for &ch in &active {
             if let Some(mut p) = queues[ch].pop_front() {
                 p.hops += 1;
@@ -855,9 +868,9 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
                 still_active.push(ch);
             }
         }
-        active = still_active;
-        for (here, p) in moved {
-            let ch = choose(&queues, here, p.dst);
+        std::mem::swap(&mut active, &mut still_active);
+        for (here, p) in moved.drain(..) {
+            let ch = choose(&queues, &mut hop_buf, here, p.dst);
             queues[ch].push_back(p);
             if !is_active[ch] {
                 is_active[ch] = true;

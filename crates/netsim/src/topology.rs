@@ -5,6 +5,12 @@
 //! state its algorithmic router needs; `route` returns the full node path
 //! (source routing — the packet carries its path), which is how the
 //! paper's oblivious routers operate.
+//!
+//! The adaptive hot path never allocates: [`NetTopology::productive_hops_into`]
+//! writes the productive neighbor set into a caller-provided buffer (a
+//! stack array of [`MAX_PRODUCTIVE`] suffices — degree is at most
+//! `m + 4` and `m <= 26`), and each adapter answers it with the
+//! closed-form distance kernels (`dist`) instead of materialising routes.
 
 use hb_butterfly::{routing as brouting, Butterfly};
 use hb_core::{routing as hbrouting, HbNode, HyperButterfly};
@@ -12,10 +18,17 @@ use hb_debruijn::HyperDeBruijn;
 use hb_graphs::{Graph, NodeId, Result};
 use hb_hypercube::{routing as hrouting, Hypercube};
 
+/// Upper bound on the number of productive hops any adapter reports:
+/// the maximum degree across the families (`m + 4` for `HB`, `m <= 26`),
+/// rounded up. A `[NodeId; MAX_PRODUCTIVE]` stack buffer is always big
+/// enough for [`NetTopology::productive_hops_into`].
+pub const MAX_PRODUCTIVE: usize = 32;
+
 /// A network topology as seen by the simulator.
 pub trait NetTopology: Send + Sync {
-    /// Display name, e.g. `HB(3, 8)`.
-    fn name(&self) -> String;
+    /// Display name, e.g. `HB(3, 8)`. Adapters cache this at
+    /// construction — calling it is free.
+    fn name(&self) -> &str;
 
     /// Number of nodes.
     fn num_nodes(&self) -> usize {
@@ -31,15 +44,35 @@ pub trait NetTopology: Send + Sync {
     /// `[src]`.
     fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId>;
 
-    /// Productive next hops for minimal **adaptive** routing: neighbors
-    /// of `cur` that lie on *some* shortest path toward `dst`. The
-    /// default falls back to the single oblivious next hop; topologies
-    /// with cheap distance functions override it with the full set.
-    fn productive_hops(&self, cur: NodeId, dst: NodeId) -> Vec<NodeId> {
+    /// The single oblivious next hop from `cur` toward `dst`
+    /// (`route(cur, dst)[1]`). Requires `cur != dst`. Adapters override
+    /// this to derive the hop algebraically instead of materialising the
+    /// whole path.
+    fn next_hop(&self, cur: NodeId, dst: NodeId) -> NodeId {
+        debug_assert_ne!(cur, dst, "next_hop requires cur != dst");
+        self.route(cur, dst)[1]
+    }
+
+    /// Writes the productive next hops for minimal **adaptive** routing
+    /// — neighbors of `cur` on *some* shortest path toward `dst` — into
+    /// `buf`, returning how many were written. `buf` must hold at least
+    /// [`MAX_PRODUCTIVE`] entries; prior contents are irrelevant. The
+    /// default reports the single oblivious next hop; topologies with
+    /// cheap distance functions override it with the full set.
+    fn productive_hops_into(&self, cur: NodeId, dst: NodeId, buf: &mut [NodeId]) -> usize {
         if cur == dst {
-            return Vec::new();
+            return 0;
         }
-        vec![self.route(cur, dst)[1]]
+        buf[0] = self.next_hop(cur, dst);
+        1
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`Self::productive_hops_into`], same set and order.
+    fn productive_hops(&self, cur: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let mut buf = [0 as NodeId; MAX_PRODUCTIVE];
+        let k = self.productive_hops_into(cur, dst, &mut buf);
+        buf[..k].to_vec()
     }
 }
 
@@ -47,6 +80,7 @@ pub trait NetTopology: Send + Sync {
 pub struct HypercubeNet {
     h: Hypercube,
     graph: Graph,
+    name: String,
 }
 
 impl HypercubeNet {
@@ -58,14 +92,15 @@ impl HypercubeNet {
         let h = Hypercube::new(m)?;
         Ok(Self {
             graph: h.build_graph()?,
+            name: format!("H({})", h.m()),
             h,
         })
     }
 }
 
 impl NetTopology for HypercubeNet {
-    fn name(&self) -> String {
-        format!("H({})", self.h.m())
+    fn name(&self) -> &str {
+        &self.name
     }
     fn graph(&self) -> &Graph {
         &self.graph
@@ -76,13 +111,23 @@ impl NetTopology for HypercubeNet {
             .map(|x| x as usize)
             .collect()
     }
-    fn productive_hops(&self, cur: NodeId, dst: NodeId) -> Vec<NodeId> {
+    fn next_hop(&self, cur: NodeId, dst: NodeId) -> NodeId {
+        debug_assert_ne!(cur, dst, "next_hop requires cur != dst");
+        // Ascending bit fixing corrects the lowest differing dimension
+        // first — exactly `route(cur, dst)[1]`.
+        cur ^ (1usize << (cur ^ dst).trailing_zeros())
+    }
+    fn productive_hops_into(&self, cur: NodeId, dst: NodeId, buf: &mut [NodeId]) -> usize {
         // Any differing dimension may be corrected next.
         let diff = cur ^ dst;
-        (0..self.h.m())
-            .filter(|&d| diff >> d & 1 == 1)
-            .map(|d| cur ^ (1usize << d))
-            .collect()
+        let mut k = 0;
+        for d in 0..self.h.m() {
+            if diff >> d & 1 == 1 {
+                buf[k] = cur ^ (1usize << d);
+                k += 1;
+            }
+        }
+        k
     }
 }
 
@@ -90,6 +135,7 @@ impl NetTopology for HypercubeNet {
 pub struct ButterflyNet {
     b: Butterfly,
     graph: Graph,
+    name: String,
 }
 
 impl ButterflyNet {
@@ -101,14 +147,15 @@ impl ButterflyNet {
         let b = Butterfly::new(n)?;
         Ok(Self {
             graph: b.build_graph()?,
+            name: format!("B({})", b.n()),
             b,
         })
     }
 }
 
 impl NetTopology for ButterflyNet {
-    fn name(&self) -> String {
-        format!("B({})", self.b.n())
+    fn name(&self) -> &str {
+        &self.name
     }
     fn graph(&self) -> &Graph {
         &self.graph
@@ -119,17 +166,23 @@ impl NetTopology for ButterflyNet {
             .map(|x| x.index())
             .collect()
     }
-    fn productive_hops(&self, cur: NodeId, dst: NodeId) -> Vec<NodeId> {
-        // The distance function is O(n): test all 4 neighbors.
+    fn productive_hops_into(&self, cur: NodeId, dst: NodeId, buf: &mut [NodeId]) -> usize {
+        // The closed-form distance is O(n^2) arithmetic: test all 4
+        // neighbors, in generator order (matching the graph layout).
+        let u = self.b.node(cur);
         let v = self.b.node(dst);
-        let d = brouting::distance(&self.b, self.b.node(cur), v);
-        self.b
-            .node(cur)
-            .neighbors()
-            .into_iter()
-            .filter(|w| brouting::distance(&self.b, *w, v) < d)
-            .map(|w| w.index())
-            .collect()
+        let d = brouting::dist(u, v);
+        if d == 0 {
+            return 0;
+        }
+        let mut k = 0;
+        for w in u.neighbors() {
+            if brouting::dist(w, v) < d {
+                buf[k] = w.index();
+                k += 1;
+            }
+        }
+        k
     }
 }
 
@@ -148,6 +201,7 @@ pub struct HyperButterflyNet {
     hb: HyperButterfly,
     graph: Graph,
     order: HbRouteOrder,
+    name: String,
 }
 
 impl HyperButterflyNet {
@@ -159,6 +213,7 @@ impl HyperButterflyNet {
         let hb = HyperButterfly::new(m, n)?;
         Ok(Self {
             graph: hb.build_graph()?,
+            name: format!("HB({}, {})", hb.m(), hb.n()),
             hb,
             order,
         })
@@ -171,8 +226,8 @@ impl HyperButterflyNet {
 }
 
 impl NetTopology for HyperButterflyNet {
-    fn name(&self) -> String {
-        format!("HB({}, {})", self.hb.m(), self.hb.n())
+    fn name(&self) -> &str {
+        &self.name
     }
     fn graph(&self) -> &Graph {
         &self.graph
@@ -186,17 +241,32 @@ impl NetTopology for HyperButterflyNet {
         };
         path.into_iter().map(|x| self.hb.index(x)).collect()
     }
-    fn productive_hops(&self, cur: NodeId, dst: NodeId) -> Vec<NodeId> {
-        // Remark 8 makes the distance cheap: test all m + 4 neighbors.
+    fn productive_hops_into(&self, cur: NodeId, dst: NodeId, buf: &mut [NodeId]) -> usize {
+        // Remark 8 splits the distance per factor, so productivity is
+        // decided per leg: a cube neighbor is productive iff it fixes a
+        // differing dimension, a butterfly neighbor iff it lowers the
+        // butterfly closed-form distance. Enumeration order matches the
+        // graph layout: dimensions ascending, then generator order.
         let u = self.hb.node(cur);
         let v = self.hb.node(dst);
-        let d = hbrouting::distance(&self.hb, u, v);
-        self.hb
-            .neighbors(u)
-            .into_iter()
-            .filter(|w| hbrouting::distance(&self.hb, *w, v) < d)
-            .map(|w| self.hb.index(w))
-            .collect()
+        let mut k = 0;
+        let diff = u.h ^ v.h;
+        for dim in 0..self.hb.m() {
+            if diff >> dim & 1 == 1 {
+                buf[k] = self.hb.index(HbNode::new(u.h ^ (1 << dim), u.b));
+                k += 1;
+            }
+        }
+        let db = brouting::dist(u.b, v.b);
+        if db > 0 {
+            for wb in u.b.neighbors() {
+                if brouting::dist(wb, v.b) < db {
+                    buf[k] = self.hb.index(HbNode::new(u.h, wb));
+                    k += 1;
+                }
+            }
+        }
+        k
     }
 }
 
@@ -204,6 +274,7 @@ impl NetTopology for HyperButterflyNet {
 pub struct HyperDeBruijnNet {
     hd: HyperDeBruijn,
     graph: Graph,
+    name: String,
 }
 
 impl HyperDeBruijnNet {
@@ -215,6 +286,7 @@ impl HyperDeBruijnNet {
         let hd = HyperDeBruijn::new(m, n)?;
         Ok(Self {
             graph: hd.build_graph()?,
+            name: format!("HD({}, {})", hd.m(), hd.n()),
             hd,
         })
     }
@@ -226,8 +298,8 @@ impl HyperDeBruijnNet {
 }
 
 impl NetTopology for HyperDeBruijnNet {
-    fn name(&self) -> String {
-        format!("HD({}, {})", self.hd.m(), self.hd.n())
+    fn name(&self) -> &str {
+        &self.name
     }
     fn graph(&self) -> &Graph {
         &self.graph
@@ -272,8 +344,8 @@ impl GraphNet {
 }
 
 impl NetTopology for GraphNet {
-    fn name(&self) -> String {
-        self.name.clone()
+    fn name(&self) -> &str {
+        &self.name
     }
     fn graph(&self) -> &Graph {
         &self.graph
@@ -294,6 +366,14 @@ impl NetTopology for GraphNet {
             cur = p;
         }
         path
+    }
+    fn next_hop(&self, cur: NodeId, dst: NodeId) -> NodeId {
+        debug_assert_ne!(cur, dst, "next_hop requires cur != dst");
+        // One parent-pointer read in the dst-rooted BFS tree — no path
+        // materialisation.
+        let p = self.parents_from(dst)[cur];
+        assert_ne!(p, u32::MAX, "graph must be connected");
+        p as usize
     }
 }
 
@@ -354,5 +434,91 @@ mod tests {
                 .name(),
             "HB(2, 4)"
         );
+    }
+
+    /// Every adapter's `next_hop` must agree with `route(cur, dst)[1]`.
+    fn check_next_hop(t: &dyn NetTopology, pairs: &[(usize, usize)]) {
+        for &(s, d) in pairs {
+            if s == d {
+                continue;
+            }
+            assert_eq!(t.next_hop(s, d), t.route(s, d)[1], "{}: {s}->{d}", t.name());
+        }
+    }
+
+    #[test]
+    fn next_hop_matches_route_second_node() {
+        let pairs: Vec<(usize, usize)> = (0..32).map(|v| (v, (v * 7 + 3) % 32)).collect();
+        check_next_hop(&HypercubeNet::new(5).unwrap(), &pairs);
+        check_next_hop(
+            &HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap(),
+            &pairs,
+        );
+        check_next_hop(&HyperDeBruijnNet::new(2, 3).unwrap(), &pairs);
+        let g = hb_graphs::generators::random_regular(64, 5, 3).unwrap();
+        let net = GraphNet::new("rr(64,5)", g);
+        let pairs: Vec<(usize, usize)> = (0..64).map(|v| (v, (v * 13 + 1) % 64)).collect();
+        check_next_hop(&net, &pairs);
+    }
+
+    /// `productive_hops_into` must ignore prior buffer contents and
+    /// report exactly the `productive_hops` set, in the same order.
+    fn check_buffer_reuse(t: &dyn NetTopology, pairs: &[(usize, usize)]) {
+        let mut buf = [usize::MAX; MAX_PRODUCTIVE];
+        for &(s, d) in pairs {
+            let expect = t.productive_hops(s, d);
+            // First call on a poisoned buffer, second reusing whatever
+            // the first left behind.
+            let k1 = t.productive_hops_into(s, d, &mut buf);
+            assert_eq!(&buf[..k1], expect.as_slice(), "{}: {s}->{d}", t.name());
+            let k2 = t.productive_hops_into(s, d, &mut buf);
+            assert_eq!(k1, k2);
+            assert_eq!(&buf[..k2], expect.as_slice(), "{}: {s}->{d}", t.name());
+        }
+    }
+
+    #[test]
+    fn productive_hops_are_buffer_content_independent() {
+        let nets: Vec<Box<dyn NetTopology>> = vec![
+            Box::new(HypercubeNet::new(5).unwrap()),
+            Box::new(ButterflyNet::new(3).unwrap()),
+            Box::new(HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap()),
+            Box::new(HyperDeBruijnNet::new(2, 3).unwrap()),
+        ];
+        for t in &nets {
+            let n = t.num_nodes();
+            let pairs: Vec<(usize, usize)> = (0..n).map(|v| (v, (v * 11 + 5) % n)).collect();
+            check_buffer_reuse(t.as_ref(), &pairs);
+        }
+    }
+
+    /// Productive hops are exactly the distance-decreasing neighbors, by
+    /// the BFS definition, for the algebraic adapters.
+    #[test]
+    fn productive_hops_equal_bfs_decreasing_neighbors() {
+        let nets: Vec<Box<dyn NetTopology>> = vec![
+            Box::new(HypercubeNet::new(4).unwrap()),
+            Box::new(ButterflyNet::new(3).unwrap()),
+            Box::new(HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap()),
+        ];
+        for t in &nets {
+            let g = t.graph();
+            let n = t.num_nodes();
+            for dst in [0usize, n / 3, n - 1] {
+                let tree = hb_graphs::traverse::bfs(g, dst);
+                for cur in 0..n {
+                    let mut expect: Vec<NodeId> = g
+                        .neighbors(cur)
+                        .iter()
+                        .map(|&w| w as usize)
+                        .filter(|&w| tree.dist[w] < tree.dist[cur])
+                        .collect();
+                    let mut got = t.productive_hops(cur, dst);
+                    expect.sort_unstable();
+                    got.sort_unstable();
+                    assert_eq!(got, expect, "{}: {cur}->{dst}", t.name());
+                }
+            }
+        }
     }
 }

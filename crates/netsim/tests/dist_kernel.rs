@@ -1,0 +1,64 @@
+//! Cross-checks the algebraic distance kernels against BFS ground truth
+//! on `HB(m, n)`: `hb_core::routing::dist` (Hamming + butterfly closed
+//! form, paper Remark 8) must equal the graph distance for **every**
+//! node pair of the small instances, and for property-sampled sources on
+//! the larger ones.
+
+use hb_core::{routing as hbrouting, HyperButterfly};
+use hb_graphs::traverse;
+use proptest::prelude::*;
+
+/// Exhaustive all-pairs check: algebraic `dist` == BFS distance.
+fn check_all_pairs(m: u32, n: u32) {
+    let hb = HyperButterfly::new(m, n).unwrap();
+    let g = hb.build_graph().unwrap();
+    for src in 0..hb.num_nodes() {
+        let tree = traverse::bfs(&g, src);
+        let u = hb.node(src);
+        for dst in 0..hb.num_nodes() {
+            let v = hb.node(dst);
+            assert_eq!(
+                hbrouting::dist(u, v),
+                tree.dist[dst],
+                "HB({m},{n}) {u} -> {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn algebraic_dist_equals_bfs_on_hb_1_3_exhaustive() {
+    check_all_pairs(1, 3);
+}
+
+#[test]
+fn algebraic_dist_equals_bfs_on_hb_2_3_exhaustive() {
+    check_all_pairs(2, 3);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For a random (m, n) instance and a random source, the algebraic
+    /// distance to every destination equals the BFS distance, and the
+    /// handle-free kernel agrees with the handle-taking `distance`.
+    #[test]
+    fn algebraic_dist_equals_bfs_from_any_source(
+        shape_pick in 0usize..5,
+        src_pick in 0usize..10_000,
+    ) {
+        const SHAPES: [(u32, u32); 5] = [(1, 3), (2, 3), (3, 3), (1, 4), (2, 4)];
+        let (m, n) = SHAPES[shape_pick];
+        let hb = HyperButterfly::new(m, n).unwrap();
+        let g = hb.build_graph().unwrap();
+        let src = src_pick % hb.num_nodes();
+        let tree = traverse::bfs(&g, src);
+        let u = hb.node(src);
+        for dst in 0..hb.num_nodes() {
+            let v = hb.node(dst);
+            let d = hbrouting::dist(u, v);
+            prop_assert_eq!(d, tree.dist[dst], "HB({},{}) {} -> {}", m, n, u, v);
+            prop_assert_eq!(d, hbrouting::distance(&hb, u, v));
+        }
+    }
+}
