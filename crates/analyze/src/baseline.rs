@@ -96,7 +96,10 @@ pub fn diff(findings: &[Finding], base: &Baseline) -> Diff {
     let fresh = bucket(findings);
     let mut out = Diff::default();
     for ((rule, file), &found) in &fresh {
-        let accepted = base.get(&(rule.clone(), file.clone())).copied().unwrap_or(0);
+        let accepted = base
+            .get(&(rule.clone(), file.clone()))
+            .copied()
+            .unwrap_or(0);
         if found > accepted {
             for f in findings {
                 if f.rule == rule && f.file == *file {
@@ -106,9 +109,13 @@ pub fn diff(findings: &[Finding], base: &Baseline) -> Diff {
         }
     }
     for ((rule, file), &accepted) in base {
-        let found = fresh.get(&(rule.clone(), file.clone())).copied().unwrap_or(0);
+        let found = fresh
+            .get(&(rule.clone(), file.clone()))
+            .copied()
+            .unwrap_or(0);
         if found < accepted {
-            out.stale.push((rule.clone(), file.clone(), found, accepted));
+            out.stale
+                .push((rule.clone(), file.clone(), found, accepted));
         }
     }
     out

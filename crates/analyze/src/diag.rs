@@ -44,9 +44,8 @@ pub struct Finding {
 /// Sorts findings into the canonical report order: file, then line,
 /// then rule id.
 pub fn sort(findings: &mut [Finding]) {
-    findings.sort_by(|a, b| {
-        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
-    });
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
 }
 
 /// Human-readable rendering, one block per finding.
@@ -135,10 +134,18 @@ mod tests {
             finding("a.rs", 2, "D2"),
         ];
         sort(&mut v);
-        let order: Vec<_> = v.iter().map(|f| (f.file.as_str(), f.line, f.rule)).collect();
+        let order: Vec<_> = v
+            .iter()
+            .map(|f| (f.file.as_str(), f.line, f.rule))
+            .collect();
         assert_eq!(
             order,
-            [("a.rs", 2, "D2"), ("a.rs", 9, "D1"), ("a.rs", 9, "P1"), ("b.rs", 1, "D1")]
+            [
+                ("a.rs", 2, "D2"),
+                ("a.rs", 9, "D1"),
+                ("a.rs", 9, "P1"),
+                ("b.rs", 1, "D1")
+            ]
         );
     }
 

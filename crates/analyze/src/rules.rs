@@ -54,7 +54,10 @@ pub fn classify(rel: &str) -> FileClass {
         (None, &parts[..])
     };
     let in_src = rest.first() == Some(&"src");
-    let is_test_target = matches!(rest.first(), Some(&"tests") | Some(&"examples") | Some(&"benches"));
+    let is_test_target = matches!(
+        rest.first(),
+        Some(&"tests") | Some(&"examples") | Some(&"benches")
+    );
     let is_crate_root = in_src
         && (rest == ["src", "lib.rs"]
             || rest == ["src", "main.rs"]
@@ -220,32 +223,29 @@ pub fn analyze_file(rel: &str, src: &str) -> Vec<Finding> {
     let lines: Vec<&str> = src.lines().collect();
 
     let mut findings = Vec::new();
-    let mut push = |rule: &'static str,
-                    name: &'static str,
-                    severity: Severity,
-                    line: u32,
-                    message: String| {
-        if allows.covers(line, name) || in_spans(&test_spans, line) {
-            return;
-        }
-        findings.push(Finding {
-            rule,
-            name,
-            severity,
-            file: rel.to_string(),
-            line,
-            message,
-            snippet: snippet(&lines, line),
-        });
-    };
+    let mut push =
+        |rule: &'static str, name: &'static str, severity: Severity, line: u32, message: String| {
+            if allows.covers(line, name) || in_spans(&test_spans, line) {
+                return;
+            }
+            findings.push(Finding {
+                rule,
+                name,
+                severity,
+                file: rel.to_string(),
+                line,
+                message,
+                snippet: snippet(&lines, line),
+            });
+        };
 
     let crate_label = class.crate_name.as_deref().unwrap_or("the root package");
 
     // S1 unsafe-forbid: crate roots must carry #![forbid(unsafe_code)].
     if class.is_crate_root {
-        let has_forbid = code.windows(3).any(|w| {
-            w[0].is_ident("forbid") && w[1].is_punct('(') && w[2].is_ident("unsafe_code")
-        });
+        let has_forbid = code
+            .windows(3)
+            .any(|w| w[0].is_ident("forbid") && w[1].is_punct('(') && w[2].is_ident("unsafe_code"));
         if !has_forbid {
             push(
                 "S1",
@@ -430,7 +430,10 @@ mod tests {
     #[test]
     fn d3_flags_ambient_randomness() {
         assert_eq!(
-            rules_hit("crates/graphs/src/x.rs", "let mut r = rand::thread_rng();\n"),
+            rules_hit(
+                "crates/graphs/src/x.rs",
+                "let mut r = rand::thread_rng();\n"
+            ),
             ["D3"]
         );
         assert!(rules_hit(
@@ -442,7 +445,10 @@ mod tests {
 
     #[test]
     fn s1_requires_forbid_in_crate_roots_only() {
-        assert_eq!(rules_hit("crates/foo/src/lib.rs", "pub fn f() {}\n"), ["S1"]);
+        assert_eq!(
+            rules_hit("crates/foo/src/lib.rs", "pub fn f() {}\n"),
+            ["S1"]
+        );
         assert!(rules_hit(
             "crates/foo/src/lib.rs",
             "#![forbid(unsafe_code)]\npub fn f() {}\n"
@@ -458,8 +464,7 @@ mod tests {
         assert!(rules_hit("crates/graphs/src/x.rs", src).is_empty());
         let undocumented = "fn f(x: Option<u32>) -> u32 { x.expect(\"present\") }\n";
         assert_eq!(rules_hit("crates/telemetry/src/x.rs", undocumented), ["P1"]);
-        let documented =
-            "fn f(x: Option<u32>) -> u32 { x.expect(\"invariant: set by caller\") }\n";
+        let documented = "fn f(x: Option<u32>) -> u32 { x.expect(\"invariant: set by caller\") }\n";
         assert!(rules_hit("crates/telemetry/src/x.rs", documented).is_empty());
         let bang = "fn f() { panic!(\"boom\"); }\n";
         assert_eq!(rules_hit("crates/distributed/src/x.rs", bang), ["P1"]);

@@ -50,8 +50,18 @@ fn every_rule_fires_in_the_violations_root() {
 #[test]
 fn golden_jsonl_parses_line_by_line() {
     for line in include_str!("golden_violations.jsonl").lines() {
-        assert!(line.starts_with("{\"rule\":\"") && line.ends_with('}'), "{line}");
-        for key in ["\"name\":", "\"severity\":", "\"file\":", "\"line\":", "\"message\":", "\"snippet\":"] {
+        assert!(
+            line.starts_with("{\"rule\":\"") && line.ends_with('}'),
+            "{line}"
+        );
+        for key in [
+            "\"name\":",
+            "\"severity\":",
+            "\"file\":",
+            "\"line\":",
+            "\"message\":",
+            "\"snippet\":",
+        ] {
             assert!(line.contains(key), "missing {key} in {line}");
         }
     }

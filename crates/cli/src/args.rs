@@ -33,7 +33,7 @@ pub enum Command {
     Embed { m: u32, n: u32, what: EmbedKind },
     /// `simulate <m> <n> [--rate r] [--cycles c] [--adaptive] [--telemetry mode]
     /// [--faults f1,f2] [--fault-links a-b,c-d] [--sample mode] [--trace-out path]
-    /// [--threads k] [--shard-stats]`
+    /// [--threads k] [--shard-stats] [--timeseries C|off]`
     Simulate {
         m: u32,
         n: u32,
@@ -47,6 +47,31 @@ pub enum Command {
         trace_out: Option<String>,
         threads: usize,
         shard_stats: bool,
+        /// Windowed time-series cadence in cycles (`None` = off).
+        /// Setting it implies at least `--telemetry summary`.
+        timeseries: Option<u64>,
+    },
+    /// `report <m> <n> [--workload uniform|hotspot] [--rate r] [--cycles c]
+    /// [--hot-node v] [--hot-fraction f] [--cadence C] [--seed S]
+    /// [--faults f1,f2] [--fault-links a-b,c-d] [--threads k]
+    /// [--format text|json|csv]`
+    Report {
+        m: u32,
+        n: u32,
+        workload: ReportWorkload,
+        rate: f64,
+        cycles: u64,
+        /// Target node for the hotspot workload.
+        hot_node: usize,
+        /// Probability a packet targets the hot node.
+        hot_fraction: f64,
+        /// Time-series window cadence in simulated cycles.
+        cadence: u64,
+        threads: usize,
+        seed: u64,
+        faults: Vec<usize>,
+        fault_links: Vec<(usize, usize)>,
+        format: DumpFormat,
     },
     /// `telemetry <m> <n> [--rate r] [--cycles c] [--adaptive] [--format f]`
     Telemetry {
@@ -118,6 +143,15 @@ pub enum TelemetryMode {
     Trace,
 }
 
+/// Traffic pattern for the `report` subcommand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReportWorkload {
+    /// Uniformly random destinations.
+    Uniform,
+    /// Skewed traffic concentrating on one hot node.
+    Hotspot,
+}
+
 /// Which packets the flight recorder samples (`simulate --sample`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SampleMode {
@@ -171,6 +205,7 @@ USAGE:
                  [--faults f1,f2,..] [--fault-links a-b,c-d,..]
                  [--sample off|all|every=N|fault-adjacent]
                  [--trace-out FILE] [--threads K] [--shard-stats]
+                 [--timeseries C|off]
                                        packet simulation, uniform traffic;
                                        summary adds latency quantiles and
                                        per-link utilization, trace adds events;
@@ -180,7 +215,20 @@ USAGE:
                                        --threads K runs the deterministic
                                        sharded engine (same results, faster)
                                        and --shard-stats adds per-shard
-                                       counters
+                                       counters; --timeseries C records
+                                       windowed per-cycle series keyed by sim
+                                       cycle (cadence C, implies at least
+                                       --telemetry summary) and runs the
+                                       congestion detector
+  hbnet report <m> <n> [--workload uniform|hotspot] [--rate R] [--cycles C]
+               [--hot-node V] [--hot-fraction F] [--cadence C] [--seed S]
+               [--faults f1,f2,..] [--fault-links a-b,c-d,..] [--threads K]
+               [--format text|json|csv]
+                                       deterministic run report: topology,
+                                       fault plan, phase timeline, top
+                                       congested links with sparklines, and
+                                       congestion anomalies — byte-identical
+                                       at every --threads value
   hbnet bench --write <FILE> [--cycles C] [--seed S] [--threads K]
                                        collect the seeded benchmark baseline
   hbnet bench --check <FILE> [--threads K]
@@ -257,6 +305,19 @@ fn parse_sample(raw: Option<&str>) -> Result<SampleMode, ParseError> {
     }
 }
 
+fn parse_timeseries(raw: Option<&str>) -> Result<Option<u64>, ParseError> {
+    match raw {
+        Some("off") => Ok(None),
+        Some(s) => match s.parse::<u64>() {
+            Ok(c) if c > 0 => Ok(Some(c)),
+            _ => Err(ParseError(format!(
+                "invalid --timeseries {s} (a cadence >= 1, or `off`)"
+            ))),
+        },
+        None => Err(ParseError("missing <timeseries>".into())),
+    }
+}
+
 /// Parses argv (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
@@ -327,6 +388,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut trace_out = None;
             let mut threads = 1usize;
             let mut shard_stats = false;
+            let mut timeseries = None;
             let mut i = 3;
             while i < args.len() {
                 match args[i].as_str() {
@@ -385,6 +447,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         shard_stats = true;
                         i += 1;
                     }
+                    "--timeseries" => {
+                        timeseries = parse_timeseries(args.get(i + 1).map(String::as_str))?;
+                        i += 2;
+                    }
                     other => return Err(ParseError(format!("unknown flag {other}"))),
                 }
             }
@@ -392,6 +458,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 return Err(ParseError(
                     "--adaptive is a serial-only router (no --threads)".into(),
                 ));
+            }
+            // The series land in telemetry, so recording them needs a
+            // handle: quietly raise `off` to `summary`.
+            if timeseries.is_some() && telemetry == TelemetryMode::Off {
+                telemetry = TelemetryMode::Summary;
             }
             Ok(Command::Simulate {
                 m,
@@ -406,6 +477,117 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 trace_out,
                 threads,
                 shard_stats,
+                timeseries,
+            })
+        }
+        "report" => {
+            let m = need(args, 1, "m")?;
+            let n = need(args, 2, "n")?;
+            let mut workload = ReportWorkload::Uniform;
+            let mut rate = 0.1;
+            let mut cycles = 200;
+            let mut hot_node = 0usize;
+            let mut hot_fraction = 0.5;
+            let mut cadence = 5u64;
+            let mut threads = 1usize;
+            let mut seed = 42u64;
+            let mut faults = Vec::new();
+            let mut fault_links = Vec::new();
+            let mut format = DumpFormat::Text;
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--workload" => {
+                        workload = match args.get(i + 1).map(String::as_str) {
+                            Some("uniform") => ReportWorkload::Uniform,
+                            Some("hotspot") => ReportWorkload::Hotspot,
+                            other => {
+                                return Err(ParseError(format!(
+                                    "invalid --workload {:?} (uniform | hotspot)",
+                                    other.unwrap_or("<none>")
+                                )))
+                            }
+                        };
+                        i += 2;
+                    }
+                    "--rate" => {
+                        rate = need(args, i + 1, "rate")?;
+                        i += 2;
+                    }
+                    "--cycles" => {
+                        cycles = need(args, i + 1, "cycles")?;
+                        i += 2;
+                    }
+                    "--hot-node" => {
+                        hot_node = need(args, i + 1, "hot-node")?;
+                        i += 2;
+                    }
+                    "--hot-fraction" => {
+                        hot_fraction = need(args, i + 1, "hot-fraction")?;
+                        i += 2;
+                    }
+                    "--cadence" => {
+                        cadence = need(args, i + 1, "cadence")?;
+                        if cadence == 0 {
+                            return Err(ParseError("--cadence must be at least 1".into()));
+                        }
+                        i += 2;
+                    }
+                    "--seed" => {
+                        seed = need(args, i + 1, "seed")?;
+                        i += 2;
+                    }
+                    "--faults" => {
+                        let raw: String = need(args, i + 1, "faults")?;
+                        faults = parse_index_list(&raw, "fault index")?;
+                        i += 2;
+                    }
+                    "--fault-links" => {
+                        let raw: String = need(args, i + 1, "fault-links")?;
+                        fault_links = parse_link_list(&raw)?;
+                        i += 2;
+                    }
+                    "--threads" => {
+                        threads = need(args, i + 1, "threads")?;
+                        if threads == 0 {
+                            return Err(ParseError("--threads must be at least 1".into()));
+                        }
+                        i += 2;
+                    }
+                    "--format" => {
+                        format = match args.get(i + 1).map(String::as_str) {
+                            Some("text") => DumpFormat::Text,
+                            Some("json") => DumpFormat::Json,
+                            Some("csv") => DumpFormat::Csv,
+                            other => {
+                                return Err(ParseError(format!(
+                                    "invalid --format {:?} (text | json | csv)",
+                                    other.unwrap_or("<none>")
+                                )))
+                            }
+                        };
+                        i += 2;
+                    }
+                    other => return Err(ParseError(format!("unknown flag {other}"))),
+                }
+            }
+            if !(0.0..=1.0).contains(&hot_fraction) {
+                return Err(ParseError("--hot-fraction must be in 0..=1".into()));
+            }
+            Ok(Command::Report {
+                m,
+                n,
+                workload,
+                rate,
+                cycles,
+                hot_node,
+                hot_fraction,
+                cadence,
+                threads,
+                seed,
+                faults,
+                fault_links,
+                format,
             })
         }
         "bench" => {
@@ -683,6 +865,7 @@ mod tests {
         trace_out: Option<String>,
         threads: usize,
         shard_stats: bool,
+        timeseries: Option<u64>,
     }
 
     impl Default for Sim {
@@ -698,6 +881,7 @@ mod tests {
                 trace_out: None,
                 threads: 1,
                 shard_stats: false,
+                timeseries: None,
             }
         }
     }
@@ -716,6 +900,7 @@ mod tests {
             trace_out: s.trace_out,
             threads: s.threads,
             shard_stats: s.shard_stats,
+            timeseries: s.timeseries,
         }
     }
 
@@ -890,6 +1075,141 @@ mod tests {
     }
 
     #[test]
+    fn parses_simulate_timeseries_flag() {
+        // A cadence implies at least summary telemetry.
+        assert_eq!(
+            parse(&argv("simulate 2 4 --timeseries 5")).unwrap(),
+            simulate(
+                2,
+                4,
+                Sim {
+                    timeseries: Some(5),
+                    telemetry: TelemetryMode::Summary,
+                    ..Sim::default()
+                }
+            )
+        );
+        // An explicit richer mode is kept.
+        assert_eq!(
+            parse(&argv("simulate 2 4 --telemetry trace --timeseries 2")).unwrap(),
+            simulate(
+                2,
+                4,
+                Sim {
+                    timeseries: Some(2),
+                    telemetry: TelemetryMode::Trace,
+                    ..Sim::default()
+                }
+            )
+        );
+        // `off` is the spelled-out default: no series, telemetry as asked.
+        assert_eq!(
+            parse(&argv("simulate 2 4 --timeseries off")).unwrap(),
+            simulate(2, 4, Sim::default())
+        );
+        assert!(parse(&argv("simulate 2 4 --timeseries 0")).is_err());
+        assert!(parse(&argv("simulate 2 4 --timeseries never")).is_err());
+        assert!(parse(&argv("simulate 2 4 --timeseries")).is_err());
+    }
+
+    /// A `Report` value with every post-`m n` field defaulted, so tests
+    /// only spell out what their flag changes.
+    struct Rep {
+        workload: ReportWorkload,
+        cycles: u64,
+        threads: usize,
+    }
+
+    impl Default for Rep {
+        fn default() -> Self {
+            Self {
+                workload: ReportWorkload::Uniform,
+                cycles: 200,
+                threads: 1,
+            }
+        }
+    }
+
+    fn report(m: u32, n: u32, r: Rep) -> Command {
+        Command::Report {
+            m,
+            n,
+            workload: r.workload,
+            rate: 0.1,
+            cycles: r.cycles,
+            hot_node: 0,
+            hot_fraction: 0.5,
+            cadence: 5,
+            threads: r.threads,
+            seed: 42,
+            faults: vec![],
+            fault_links: vec![],
+            format: DumpFormat::Text,
+        }
+    }
+
+    #[test]
+    fn parses_report_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("report 2 3")).unwrap(),
+            report(2, 3, Rep::default())
+        );
+        assert_eq!(
+            parse(&argv("report 2 3 --workload hotspot --cycles 60")).unwrap(),
+            report(
+                2,
+                3,
+                Rep {
+                    workload: ReportWorkload::Hotspot,
+                    cycles: 60,
+                    ..Rep::default()
+                }
+            )
+        );
+        assert!(parse(&argv("report 2")).is_err());
+        assert!(parse(&argv("report 2 3 --workload bursty")).is_err());
+        assert!(parse(&argv("report 2 3 --cadence 0")).is_err());
+        assert!(parse(&argv("report 2 3 --threads 0")).is_err());
+        assert!(parse(&argv("report 2 3 --hot-fraction 1.5")).is_err());
+        assert!(parse(&argv("report 2 3 --format yaml")).is_err());
+    }
+
+    #[test]
+    fn parses_report_fault_plan_and_format() {
+        match parse(&argv(
+            "report 2 3 --workload hotspot --hot-node 7 --hot-fraction 0.8 \
+             --cadence 4 --seed 9 --faults 1,2 --fault-links 0-1 --threads 4 \
+             --format json",
+        ))
+        .unwrap()
+        {
+            Command::Report {
+                workload,
+                hot_node,
+                hot_fraction,
+                cadence,
+                seed,
+                faults,
+                fault_links,
+                threads,
+                format,
+                ..
+            } => {
+                assert_eq!(workload, ReportWorkload::Hotspot);
+                assert_eq!(hot_node, 7);
+                assert_eq!(hot_fraction, 0.8);
+                assert_eq!(cadence, 4);
+                assert_eq!(seed, 9);
+                assert_eq!(faults, vec![1, 2]);
+                assert_eq!(fault_links, vec![(0, 1)]);
+                assert_eq!(threads, 4);
+                assert_eq!(format, DumpFormat::Json);
+            }
+            other => panic!("expected report, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn parses_telemetry_dump() {
         assert_eq!(
             parse(&argv("telemetry 2 3")).unwrap(),
@@ -928,7 +1248,10 @@ mod tests {
             }
         );
         assert_eq!(
-            parse(&argv("analyze --json --root crates/analyze/tests/fixtures/violations")).unwrap(),
+            parse(&argv(
+                "analyze --json --root crates/analyze/tests/fixtures/violations"
+            ))
+            .unwrap(),
             Command::Analyze {
                 json: true,
                 update_baseline: false,

@@ -8,7 +8,9 @@
 
 mod args;
 
-use args::{parse, Command, DumpFormat, EmbedKind, SampleMode, TelemetryMode, USAGE};
+use args::{
+    parse, Command, DumpFormat, EmbedKind, ReportWorkload, SampleMode, TelemetryMode, USAGE,
+};
 use hb_bench::baseline::{render_drifts, Baseline};
 use hb_core::disjoint::DisjointEngine;
 use hb_core::{decompose, embed, fault_routing, metrics, routing, HyperButterfly};
@@ -20,7 +22,8 @@ use hb_netsim::{
     run, run_adaptive, run_with_faults, sim::SimConfig, workload, FaultPlan, TraceSampling,
 };
 use hb_telemetry::{
-    ChromeTraceSink, CsvSink, JsonLinesSink, Sink, SpanTreeSink, Telemetry, TextSink,
+    ChromeTraceSink, CsvSink, JsonLinesSink, ReportSink, Sink, SpanTreeSink, Telemetry, TextSink,
+    TsConfig,
 };
 
 fn main() {
@@ -160,6 +163,7 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             trace_out,
             threads,
             shard_stats,
+            timeseries,
         } => {
             let t = HyperButterflyNet::new(m, n, HbRouteOrder::CubeFirst)?;
             let nn = t.topology().num_nodes();
@@ -189,6 +193,9 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 TelemetryMode::Summary => Some(Telemetry::summary()),
                 TelemetryMode::Trace => Some(Telemetry::with_trace(65_536)),
             };
+            if let (Some(t), Some(cadence)) = (&tel, timeseries) {
+                t.enable_timeseries(TsConfig::new(cadence));
+            }
             if shard_stats && (telemetry == TelemetryMode::Off || threads <= 1) {
                 return Err("--shard-stats needs --threads > 1 and --telemetry \
                             summary|trace (the counters land in telemetry)"
@@ -252,6 +259,14 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 }
                 let sim_cycles = t.counter(hb_telemetry::CYCLES_COUNTER).get();
                 print!("{}", t.links().render_table(sim_cycles, 16));
+                if timeseries.is_some() {
+                    println!(
+                        "  timeseries  {} series, {} congestion event(s) \
+                         (`hbnet report` renders the full run report)",
+                        t.series().len(),
+                        t.congestion().len()
+                    );
+                }
                 if telemetry == TelemetryMode::Trace {
                     let snapshot = t.snapshot();
                     println!(
@@ -274,6 +289,103 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             } else if trace_out.is_some() {
                 return Err("--trace-out needs --telemetry trace".into());
             }
+        }
+        Command::Report {
+            m,
+            n,
+            workload,
+            rate,
+            cycles,
+            hot_node,
+            hot_fraction,
+            cadence,
+            threads,
+            seed,
+            faults,
+            fault_links,
+            format,
+        } => {
+            let t = HyperButterflyNet::new(m, n, HbRouteOrder::CubeFirst)?;
+            let nn = t.topology().num_nodes();
+            for &f in &faults {
+                check_index(t.topology(), f)?;
+            }
+            for &(a, b) in &fault_links {
+                check_index(t.topology(), a)?;
+                check_index(t.topology(), b)?;
+            }
+            let plan = FaultPlan::from_sets(faults.iter().copied(), fault_links.iter().copied());
+            let (inj, workload_desc) = match workload {
+                ReportWorkload::Uniform => (
+                    workload::uniform(nn, cycles, rate, seed),
+                    format!("uniform, rate {rate}, seed {seed}"),
+                ),
+                ReportWorkload::Hotspot => {
+                    check_index(t.topology(), hot_node)?;
+                    (
+                        workload::hotspot(nn, cycles, rate, hot_node, hot_fraction, seed),
+                        format!(
+                            "hotspot -> node {hot_node} (fraction {hot_fraction}), \
+                             rate {rate}, seed {seed}"
+                        ),
+                    )
+                }
+            };
+            let tel = Telemetry::with_trace(65_536);
+            tel.enable_timeseries(TsConfig::new(cadence));
+            let cfg = SimConfig::bounded(cycles * 100 + 50_000)
+                .with_threads(threads)
+                .with_telemetry(tel.clone());
+            let stats = if plan.is_empty() {
+                run(&t, &inj, cfg)
+            } else {
+                run_with_faults(&t, &inj, cfg, &plan, TraceSampling::Off)
+            };
+            let snapshot = tel.snapshot();
+            // The meta block deliberately omits --threads: the report must
+            // be byte-identical at every thread count (DESIGN.md §9, §12).
+            let fault_desc = if plan.is_empty() {
+                "none".to_string()
+            } else {
+                format!(
+                    "{} node(s), {} link(s) cut",
+                    plan.nodes().count(),
+                    plan.links().count()
+                )
+            };
+            let sink = ReportSink {
+                title: format!(
+                    "HB({m}, {n}) {}",
+                    match workload {
+                        ReportWorkload::Uniform => "uniform",
+                        ReportWorkload::Hotspot => "hotspot",
+                    }
+                ),
+                meta: vec![
+                    ("topology".into(), format!("HB({m}, {n}), {nn} nodes")),
+                    ("workload".into(), workload_desc),
+                    ("faults".into(), fault_desc),
+                    (
+                        "injected".into(),
+                        format!("{} packets over {cycles} cycles", stats.offered),
+                    ),
+                    (
+                        "delivered".into(),
+                        format!(
+                            "{}/{} in {} cycles (avg latency {:.2})",
+                            stats.delivered, stats.offered, stats.cycles, stats.avg_latency
+                        ),
+                    ),
+                    ("cadence".into(), format!("{cadence} cycles/window")),
+                ],
+                ..ReportSink::default()
+            };
+            let rendered = match format {
+                DumpFormat::Text => sink.render(&snapshot),
+                DumpFormat::Json => JsonLinesSink.render(&snapshot),
+                DumpFormat::Csv => CsvSink.render(&snapshot),
+            };
+            print!("{rendered}");
         }
         Command::Bench {
             check,

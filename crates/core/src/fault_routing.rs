@@ -35,7 +35,8 @@ pub fn route_avoiding(
     if faults.contains(&u) || faults.contains(&v) {
         return Err(GraphError::InvalidParameter("endpoint is faulty".into()));
     }
-    let fault_idx: std::collections::BTreeSet<usize> = faults.iter().map(|f| hb.index(*f)).collect();
+    let fault_idx: std::collections::BTreeSet<usize> =
+        faults.iter().map(|f| hb.index(*f)).collect();
     let family = engine.paths(u, v)?;
     Ok(family
         .into_iter()

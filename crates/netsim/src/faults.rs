@@ -253,7 +253,10 @@ pub fn adversarial_fault_trials(
     seed: u64,
 ) -> FaultTrialStats {
     let n = g.num_nodes();
-    let min_deg = (0..n).map(|v| g.degree(v)).min().expect("non-empty graph");
+    let min_deg = (0..n)
+        .map(|v| g.degree(v))
+        .min()
+        .expect("invariant: topologies have at least one node");
     let victims: Vec<NodeId> = (0..n).filter(|&v| g.degree(v) == min_deg).collect();
     let results: Vec<bool> = (0..trials)
         .into_par_iter()
@@ -291,7 +294,10 @@ pub fn adversarial_link_trials(
     seed: u64,
 ) -> FaultTrialStats {
     let n = g.num_nodes();
-    let min_deg = (0..n).map(|v| g.degree(v)).min().expect("non-empty graph");
+    let min_deg = (0..n)
+        .map(|v| g.degree(v))
+        .min()
+        .expect("invariant: topologies have at least one node");
     let victims: Vec<NodeId> = (0..n).filter(|&v| g.degree(v) == min_deg).collect();
     let results: Vec<bool> = (0..trials)
         .into_par_iter()
@@ -310,7 +316,8 @@ pub fn adversarial_link_trials(
                 .collect();
             // Rebuild without the cut links and check connectivity.
             let edges = g.edges().filter(|&(u, v)| !removed.contains(&(u, v)));
-            let h = Graph::from_edges(n, edges).expect("still simple");
+            let h = Graph::from_edges(n, edges)
+                .expect("invariant: removing edges keeps the graph simple");
             traverse::is_connected(&h)
         })
         .collect();
@@ -380,7 +387,7 @@ pub fn exhaustive_fault_check(g: &Graph, faults: usize) -> Option<u64> {
 pub fn tight_disconnection_witness(g: &Graph) -> Vec<NodeId> {
     let v = (0..g.num_nodes())
         .min_by_key(|&v| g.degree(v))
-        .expect("non-empty graph");
+        .expect("invariant: topologies have at least one node");
     g.neighbors(v).iter().map(|&w| w as usize).collect()
 }
 

@@ -36,6 +36,7 @@ use crate::pool::PacketPool;
 use crate::routes::RouteTable;
 use crate::sim::{channel_endpoints, channel_offsets, Injection, Scoreboard, SimConfig, SimStats};
 use crate::topology::NetTopology;
+use crate::tsrec::{GlobalTs, LinkTs};
 use hb_graphs::NodeId;
 use hb_telemetry::{Event, SpanId, Telemetry};
 use std::collections::VecDeque;
@@ -139,6 +140,9 @@ pub fn run_with_faults(
     };
 
     let mut board = tel.map(|_| Scoreboard::new(channel_endpoints(g, &offsets)));
+    let mut ts = tel
+        .and_then(|t| t.timeseries_config())
+        .map(|c| (GlobalTs::new(c, true), LinkTs::new(c, 0, num_channels)));
     let hot = if matches!(sampling, TraceSampling::FaultAdjacent) {
         plan.hot_nodes(g)
     } else {
@@ -188,6 +192,10 @@ pub fn run_with_faults(
     let mut still_active: Vec<usize> = Vec::new();
 
     while cycle < cfg.max_cycles {
+        let injected_before = next_inject;
+        let delivered_before = stats.delivered;
+        let reroutes_before = reroutes;
+        let unroutable_before = unroutable;
         while next_inject < injections.len() && injections[next_inject].at == cycle {
             let inj = injections[next_inject];
             let id = next_inject as u64;
@@ -200,7 +208,9 @@ pub fn run_with_faults(
                     cycle,
                 });
             }
-            let slot = table.slot(inj.src, inj.dst).expect("invariant: route table was built from this exact workload");
+            let slot = table
+                .slot(inj.src, inj.dst)
+                .expect("invariant: route table was built from this exact workload");
             let path = table.path(slot);
             if path.is_empty() {
                 // Faulty endpoint or no survivor path: refused.
@@ -267,17 +277,21 @@ pub fn run_with_faults(
         // Canonical ascending-channel service order (see `crate::run`).
         active.sort_unstable();
 
+        let mut cycle_peak = 0usize;
         if let Some(b) = board.as_mut() {
             for &ch in &active {
                 let len = queues[ch].len();
                 b.peak[ch] = b.peak[ch].max(len);
-                stats.peak_queue = stats.peak_queue.max(len);
+                cycle_peak = cycle_peak.max(len);
+                if let Some((_, lt)) = ts.as_mut() {
+                    lt.observe(ch, cycle, len as u64);
+                }
             }
         } else {
-            stats.peak_queue = stats
-                .peak_queue
-                .max(active.iter().map(|&ch| queues[ch].len()).max().unwrap_or(0));
+            cycle_peak = active.iter().map(|&ch| queues[ch].len()).max().unwrap_or(0);
         }
+        stats.peak_queue = stats.peak_queue.max(cycle_peak);
+        let cycle_active = active.len();
 
         // Two-phase advance, exactly as `run`: one packet per active
         // channel moves one hop.
@@ -354,6 +368,22 @@ pub fn run_with_faults(
             }
         }
 
+        if let Some((gt, _)) = ts.as_mut() {
+            gt.record(
+                cycle,
+                in_flight,
+                (next_inject - injected_before) as u64,
+                stats.delivered - delivered_before,
+                cycle_peak as u64,
+                cycle_active as u64,
+            );
+            gt.record_faults(
+                cycle,
+                reroutes - reroutes_before,
+                unroutable - unroutable_before,
+            );
+        }
+
         cycle += 1;
 
         if cfg.stop_when_drained && in_flight == 0 && next_inject == injections.len() {
@@ -375,7 +405,12 @@ pub fn run_with_faults(
     if let (Some(t), Some(b)) = (tel, board) {
         t.counter("sim.reroutes").add(reroutes);
         t.counter("sim.unroutable").add(unroutable);
+        if let Some((gt, lt)) = ts.take() {
+            lt.merge_into(t, &b.ends);
+            gt.merge_into(t);
+        }
         b.finish(t, &stats);
+        t.detect_congestion(stats.cycles);
     }
     stats
 }
@@ -404,6 +439,36 @@ mod tests {
             TraceSampling::Off,
         );
         assert_eq!(base, faulted);
+    }
+
+    #[test]
+    fn timeseries_tracks_reroutes_in_faulted_runs() {
+        let t = HypercubeNet::new(4).unwrap();
+        let mut plan = FaultPlan::new();
+        plan.add_link(0, 1).add_node(7);
+        let traffic = workload::uniform(t.num_nodes(), 40, 0.3, 9);
+        let tel = Telemetry::summary();
+        tel.enable_timeseries(hb_telemetry::TsConfig::new(5));
+        let s = run_with_faults(
+            &t,
+            &traffic,
+            SimConfig::default().with_telemetry(tel.clone()),
+            &plan,
+            TraceSampling::Off,
+        );
+        let series = tel.series();
+        assert_eq!(series["sim.injected"].total(), s.offered);
+        assert_eq!(series["sim.delivered"].total(), s.delivered);
+        // Windowed reroute/unroutable series reconcile with the run
+        // counters exactly.
+        assert_eq!(
+            series["sim.reroutes"].total(),
+            tel.counter("sim.reroutes").get()
+        );
+        assert_eq!(
+            series["sim.unroutable"].total(),
+            tel.counter("sim.unroutable").get()
+        );
     }
 
     #[test]

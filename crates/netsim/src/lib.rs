@@ -41,6 +41,7 @@ pub mod pool;
 pub mod routes;
 pub mod sim;
 pub mod topology;
+mod tsrec;
 pub mod workload;
 
 pub use faults::{FaultPlan, FaultReason};

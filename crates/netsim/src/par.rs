@@ -47,8 +47,9 @@ use crate::pool::PacketPool;
 use crate::routes::RouteTable;
 use crate::sim::{channel_endpoints, channel_offsets, Injection, Packet, SimConfig, SimStats};
 use crate::topology::NetTopology;
+use crate::tsrec::{GlobalTs, LinkTs};
 use hb_graphs::{Graph, NodeId};
-use hb_telemetry::{Event, Histogram, LinkStats, Telemetry, CYCLES_COUNTER};
+use hb_telemetry::{Event, Histogram, LinkStats, Series, Telemetry, TsConfig, CYCLES_COUNTER};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
@@ -88,6 +89,13 @@ struct ShardResult {
     pool_live: u64,
     board: Option<ShardBoard>,
     events: Vec<BufferedEvent>,
+    /// Whole-network per-cycle series; recorded by shard 0 only (from
+    /// the shared schedule, counters, and publish slots).
+    globals: Option<GlobalTs>,
+    /// This shard's per-channel queue-depth series.
+    links: Option<LinkTs>,
+    /// Cross-shard packets received per cycle (`--shard-stats` only).
+    mailbox: Option<Series>,
 }
 
 /// Shard owning channel `ch` under boundaries `chan_lo` (last entry =
@@ -145,13 +153,24 @@ pub(crate) fn run_sharded(
     let net_in = AtomicU64::new(0); // packets that entered a queue
     let net_out = AtomicU64::new(0); // routed packets delivered
 
-    let results: Vec<ShardResult> = std::thread::scope(|scope| {
+    // Time-series plumbing: per-shard publish slots written in phase A
+    // and read by shard 0 between the barriers, plus monotone totals for
+    // the fault-routing series. All idle when no cadence is configured.
+    let ts_cfg = tel.and_then(|t| t.timeseries_config());
+    let pub_peak: Vec<AtomicU64> = (0..s).map(|_| AtomicU64::new(0)).collect();
+    let pub_active: Vec<AtomicU64> = (0..s).map(|_| AtomicU64::new(0)).collect();
+    let reroutes_total = AtomicU64::new(0);
+    let unroutable_total = AtomicU64::new(0);
+
+    let mut results: Vec<ShardResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..s)
             .map(|k| {
                 let (offsets, ends) = (&offsets, &ends);
                 let (node_lo, chan_lo) = (&node_lo, &chan_lo);
                 let (barrier, mailboxes) = (&barrier, &mailboxes);
                 let (consumed, net_in, net_out) = (&consumed, &net_in, &net_out);
+                let (pub_peak, pub_active) = (&pub_peak, &pub_active);
+                let (reroutes_total, unroutable_total) = (&reroutes_total, &unroutable_total);
                 scope.spawn(move || {
                     run_shard(ShardCtx {
                         k,
@@ -172,13 +191,22 @@ pub(crate) fn run_sharded(
                         with_board,
                         buffer_events,
                         faulted,
+                        ts_cfg,
+                        pub_peak,
+                        pub_active,
+                        reroutes_total,
+                        unroutable_total,
                     })
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("invariant: shard workers never panic (any panic here is a bug to surface)"))
+            .map(|h| {
+                h.join().expect(
+                    "invariant: shard workers never panic (any panic here is a bug to surface)",
+                )
+            })
             .collect()
     });
 
@@ -284,6 +312,21 @@ pub(crate) fn run_sharded(
                 t.span_end(span, stats.cycles);
             }
         }
+        // Merge the time-series recorders (the final store is
+        // name-ordered, so shard order is immaterial — done in shard
+        // order anyway for clarity), then run detection exactly once.
+        for (k, r) in results.iter_mut().enumerate() {
+            if let Some(lt) = r.links.take() {
+                lt.merge_into(t, &ends);
+            }
+            if let Some(gt) = r.globals.take() {
+                gt.merge_into(t);
+            }
+            if let Some(mb) = r.mailbox.take() {
+                t.merge_series(&format!("sim.shard.{k}.mailbox"), mb);
+            }
+        }
+        t.detect_congestion(stats.cycles);
     }
     stats
 }
@@ -308,6 +351,11 @@ struct ShardCtx<'a> {
     with_board: bool,
     buffer_events: bool,
     faulted: bool,
+    ts_cfg: Option<TsConfig>,
+    pub_peak: &'a [AtomicU64],
+    pub_active: &'a [AtomicU64],
+    reroutes_total: &'a AtomicU64,
+    unroutable_total: &'a AtomicU64,
 }
 
 fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
@@ -330,6 +378,11 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
         with_board,
         buffer_events,
         faulted,
+        ts_cfg,
+        pub_peak,
+        pub_active,
+        reroutes_total,
+        unroutable_total,
     } = ctx;
     let s = chan_lo.len() - 1;
     let base = chan_lo[k];
@@ -365,6 +418,19 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
     });
     let mut events: Vec<BufferedEvent> = Vec::new();
 
+    // Link-depth series over this shard's own (disjoint) channel range;
+    // shard 0 additionally records the whole-network series — it derives
+    // the per-cycle globals from the shared injection schedule, the
+    // monotone counters, and the publish slots, all stable between the
+    // barriers.
+    let mut ts_links = ts_cfg.map(|c| LinkTs::new(c, base, width));
+    let mut globals = ts_cfg.filter(|_| k == 0).map(|c| GlobalTs::new(c, faulted));
+    let mut mailbox_series = ts_cfg.filter(|_| cfg.shard_telemetry).map(Series::new);
+    let mut all_next = 0usize; // shard 0's cursor over the full schedule
+    let mut prev_out = 0u64;
+    let mut prev_reroutes = 0u64;
+    let mut prev_unroutable = 0u64;
+
     let mut delivered = 0u64;
     let mut total_latency = 0u64;
     let mut total_hops = 0u64;
@@ -385,6 +451,8 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
         let mut consumed_delta = 0u64;
         let mut in_delta = 0u64;
         let mut out_delta = 0u64;
+        let reroutes_before = reroutes;
+        let unroutable_before = unroutable;
         while next_inj < my_inj.len() && injections[my_inj[next_inj]].at == cycle {
             let idx = my_inj[next_inj];
             let inj = injections[idx];
@@ -404,7 +472,9 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
                     },
                 ));
             }
-            let slot = table.slot(inj.src, inj.dst).expect("invariant: route table was built from this exact workload");
+            let slot = table
+                .slot(inj.src, inj.dst)
+                .expect("invariant: route table was built from this exact workload");
             let path = table.path(slot);
             if path.is_empty() {
                 debug_assert!(faulted, "empty routes only exist under faults");
@@ -465,13 +535,21 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
         // Canonical ascending order within the shard's disjoint range.
         active.sort_unstable();
 
+        let mut cycle_peak = 0usize;
         for &ch in &active {
             let len = queues[ch - base].len();
             if let Some(b) = board.as_mut() {
                 b.peak[ch - base] = b.peak[ch - base].max(len);
             }
-            peak_queue = peak_queue.max(len);
+            cycle_peak = cycle_peak.max(len);
+            if let Some(lt) = ts_links.as_mut() {
+                lt.observe(ch, cycle, len as u64);
+            }
         }
+        peak_queue = peak_queue.max(cycle_peak);
+        // Sampled here (post-injection, pre-service) to match the serial
+        // loop; `active` is mutated again before the publish below.
+        let cycle_active = active.len();
 
         still_active.clear();
         for &ch in &active {
@@ -548,7 +626,10 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
 
         for (dst, out) in outbox.iter_mut().enumerate() {
             if !out.is_empty() {
-                mailboxes[k][dst].lock().expect("invariant: mailbox mutex unpoisoned (holders never panic)").append(out);
+                mailboxes[k][dst]
+                    .lock()
+                    .expect("invariant: mailbox mutex unpoisoned (holders never panic)")
+                    .append(out);
             }
         }
         if consumed_delta > 0 {
@@ -560,6 +641,18 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
         if out_delta > 0 {
             net_out.fetch_add(out_delta, Ordering::SeqCst);
         }
+        if ts_cfg.is_some() {
+            pub_peak[k].store(cycle_peak as u64, Ordering::SeqCst);
+            pub_active[k].store(cycle_active as u64, Ordering::SeqCst);
+            if faulted {
+                if reroutes > reroutes_before {
+                    reroutes_total.fetch_add(reroutes - reroutes_before, Ordering::SeqCst);
+                }
+                if unroutable > unroutable_before {
+                    unroutable_total.fetch_add(unroutable - unroutable_before, Ordering::SeqCst);
+                }
+            }
+        }
 
         barrier.wait();
 
@@ -569,7 +662,53 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
             && consumed.load(Ordering::SeqCst) == total
             && net_in.load(Ordering::SeqCst) == net_out.load(Ordering::SeqCst);
 
+        // Shard 0 records the whole-network samples for this cycle: the
+        // values are exactly what the serial loop sees at its own
+        // end-of-cycle recording point (phase A fixed every injection,
+        // delivery, and queue peak of the cycle; phase B only moves
+        // packets between queues).
+        if let Some(gt) = globals.as_mut() {
+            let mut injected_now = 0u64;
+            let mut self_delivered = 0u64;
+            while all_next < injections.len() && injections[all_next].at == cycle {
+                let inj = injections[all_next];
+                all_next += 1;
+                injected_now += 1;
+                let slot = table
+                    .slot(inj.src, inj.dst)
+                    .expect("invariant: route table was built from this exact workload");
+                if table.path(slot).len() == 1 {
+                    self_delivered += 1;
+                }
+            }
+            let out_now = net_out.load(Ordering::SeqCst);
+            let in_flight_now = net_in.load(Ordering::SeqCst) - out_now;
+            let peak_now = pub_peak
+                .iter()
+                .map(|a| a.load(Ordering::SeqCst))
+                .max()
+                .unwrap_or(0);
+            let active_now = pub_active.iter().map(|a| a.load(Ordering::SeqCst)).sum();
+            gt.record(
+                cycle,
+                in_flight_now,
+                injected_now,
+                self_delivered + (out_now - prev_out),
+                peak_now,
+                active_now,
+            );
+            prev_out = out_now;
+            if faulted {
+                let r_now = reroutes_total.load(Ordering::SeqCst);
+                let u_now = unroutable_total.load(Ordering::SeqCst);
+                gt.record_faults(cycle, r_now - prev_reroutes, u_now - prev_unroutable);
+                prev_reroutes = r_now;
+                prev_unroutable = u_now;
+            }
+        }
+
         // ---- phase B: apply movers in ascending source-channel order ----
+        let mut incoming_total = 0u64;
         for (src, sender_row) in mailboxes.iter().enumerate().take(s) {
             if src == k {
                 for &(ch, key) in &local_pending {
@@ -581,8 +720,12 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
                 }
                 local_pending.clear();
             } else {
-                let mut incoming =
-                    std::mem::take(&mut *sender_row[k].lock().expect("invariant: mailbox mutex unpoisoned (holders never panic)"));
+                let mut incoming = std::mem::take(
+                    &mut *sender_row[k]
+                        .lock()
+                        .expect("invariant: mailbox mutex unpoisoned (holders never panic)"),
+                );
+                incoming_total += incoming.len() as u64;
                 for (ch, p) in incoming.drain(..) {
                     let ch = ch as usize;
                     let key = pool.alloc(p);
@@ -593,6 +736,9 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
                     }
                 }
             }
+        }
+        if let Some(mb) = mailbox_series.as_mut() {
+            mb.record(cycle, incoming_total);
         }
 
         barrier.wait();
@@ -616,6 +762,9 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
         pool_live: pool.live() as u64,
         board,
         events,
+        globals,
+        links: ts_links,
+        mailbox: mailbox_series,
     }
 }
 

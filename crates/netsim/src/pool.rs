@@ -47,7 +47,7 @@ impl<T> PacketPool<T> {
             self.slots[key as usize] = value;
             return key;
         }
-        let key = u32::try_from(self.slots.len()).expect("fewer than 2^32 live packets");
+        let key = u32::try_from(self.slots.len()).expect("invariant: fewer than 2^32 live packets");
         self.slots.push(value);
         key
     }

@@ -31,6 +31,7 @@
 use crate::pool::PacketPool;
 use crate::routes::RouteTable;
 use crate::topology::{NetTopology, MAX_PRODUCTIVE};
+use crate::tsrec::{GlobalTs, LinkTs};
 use hb_graphs::NodeId;
 use hb_telemetry::{Event, Histogram, LinkStats, Telemetry, CYCLES_COUNTER};
 use std::collections::VecDeque;
@@ -299,6 +300,9 @@ fn run_serial(
 
     let tel = cfg.telemetry.as_ref();
     let mut board = tel.map(|_| Scoreboard::new(channel_endpoints(g, &offsets)));
+    let mut ts = tel
+        .and_then(|t| t.timeseries_config())
+        .map(|c| (GlobalTs::new(c, false), LinkTs::new(c, 0, num_channels)));
 
     let mut stats = SimStats {
         offered: injections.len() as u64,
@@ -327,6 +331,8 @@ fn run_serial(
     let mut still_active: Vec<usize> = Vec::new();
 
     while cycle < cfg.max_cycles {
+        let injected_before = next_inject;
+        let delivered_before = stats.delivered;
         // Inject everything due this cycle.
         while next_inject < injections.len() && injections[next_inject].at == cycle {
             let inj = injections[next_inject];
@@ -340,7 +346,9 @@ fn run_serial(
                     cycle,
                 });
             }
-            let slot = table.slot(inj.src, inj.dst).expect("invariant: route table was built from this exact workload");
+            let slot = table
+                .slot(inj.src, inj.dst)
+                .expect("invariant: route table was built from this exact workload");
             let path = table.path(slot);
             if path.len() <= 1 {
                 // Self-delivery: zero-latency, zero hops.
@@ -373,17 +381,24 @@ fn run_serial(
         active.sort_unstable();
 
         // Queue occupancy peaks right after injections and moves land.
+        // This is also the per-cycle sampling point for the time series:
+        // every active channel has a non-empty queue here, so a link
+        // sample is the depth on an occupied cycle.
+        let mut cycle_peak = 0usize;
         if let Some(b) = board.as_mut() {
             for &ch in &active {
                 let len = queues[ch].len();
                 b.peak[ch] = b.peak[ch].max(len);
-                stats.peak_queue = stats.peak_queue.max(len);
+                cycle_peak = cycle_peak.max(len);
+                if let Some((_, lt)) = ts.as_mut() {
+                    lt.observe(ch, cycle, len as u64);
+                }
             }
         } else {
-            stats.peak_queue = stats
-                .peak_queue
-                .max(active.iter().map(|&ch| queues[ch].len()).max().unwrap_or(0));
+            cycle_peak = active.iter().map(|&ch| queues[ch].len()).max().unwrap_or(0);
         }
+        stats.peak_queue = stats.peak_queue.max(cycle_peak);
+        let cycle_active = active.len();
 
         // Advance one packet per active channel (two-phase: collect moves
         // first so a packet moves at most one hop per cycle).
@@ -444,6 +459,17 @@ fn run_serial(
             enqueue(&mut queues, &mut active, &mut is_active, ch, key);
         }
 
+        if let Some((gt, _)) = ts.as_mut() {
+            gt.record(
+                cycle,
+                in_flight,
+                (next_inject - injected_before) as u64,
+                stats.delivered - delivered_before,
+                cycle_peak as u64,
+                cycle_active as u64,
+            );
+        }
+
         cycle += 1;
 
         if cfg.stop_when_drained && in_flight == 0 && next_inject == injections.len() {
@@ -465,7 +491,12 @@ fn run_serial(
         "packet conservation"
     );
     if let (Some(t), Some(b)) = (tel, board) {
+        if let Some((gt, lt)) = ts.take() {
+            lt.merge_into(t, &b.ends);
+            gt.merge_into(t);
+        }
         b.finish(t, &stats);
+        t.detect_congestion(stats.cycles);
     }
     stats
 }
@@ -517,6 +548,9 @@ pub fn run_bounded(
 
     let tel = cfg.telemetry.as_ref();
     let mut board = tel.map(|_| Scoreboard::new(channel_endpoints(g, &offsets)));
+    let mut ts = tel
+        .and_then(|t| t.timeseries_config())
+        .map(|c| (GlobalTs::new(c, false), LinkTs::new(c, 0, num_channels)));
 
     let mut stats = SimStats {
         offered: injections.len() as u64,
@@ -531,6 +565,8 @@ pub fn run_bounded(
     let mut cycle = 0u64;
 
     while cycle < cfg.max_cycles {
+        let injected_before = next_inject;
+        let delivered_before = stats.delivered;
         while next_inject < injections.len() && injections[next_inject].at == cycle {
             let inj = injections[next_inject];
             let id = next_inject as u64;
@@ -543,7 +579,9 @@ pub fn run_bounded(
                     cycle,
                 });
             }
-            let slot = table.slot(inj.src, inj.dst).expect("invariant: route table was built from this exact workload");
+            let slot = table
+                .slot(inj.src, inj.dst)
+                .expect("invariant: route table was built from this exact workload");
             let path = table.path(slot);
             if path.len() <= 1 {
                 stats.delivered += 1;
@@ -578,16 +616,24 @@ pub fn run_bounded(
             in_flight += 1;
         }
 
+        let mut cycle_peak = 0usize;
+        let mut cycle_active = 0usize;
         if let Some(b) = board.as_mut() {
             for (ch, q) in queues.iter().enumerate() {
-                b.peak[ch] = b.peak[ch].max(q.len());
-                stats.peak_queue = stats.peak_queue.max(q.len());
+                let len = q.len();
+                b.peak[ch] = b.peak[ch].max(len);
+                cycle_peak = cycle_peak.max(len);
+                if len > 0 {
+                    cycle_active += 1;
+                    if let Some((_, lt)) = ts.as_mut() {
+                        lt.observe(ch, cycle, len as u64);
+                    }
+                }
             }
         } else {
-            stats.peak_queue = stats
-                .peak_queue
-                .max(queues.iter().map(VecDeque::len).max().unwrap_or(0));
+            cycle_peak = queues.iter().map(VecDeque::len).max().unwrap_or(0);
         }
+        stats.peak_queue = stats.peak_queue.max(cycle_peak);
 
         // Two-phase advance: a head packet moves only if its target queue
         // currently has room; room freed this cycle becomes visible next
@@ -605,7 +651,9 @@ pub fn run_bounded(
             let path = table.path(front.route);
             let arriving_last = hop + 2 == path.len();
             if arriving_last {
-                let mut p = queues[ch].pop_front().expect("invariant: channel was queued non-empty this cycle");
+                let mut p = queues[ch]
+                    .pop_front()
+                    .expect("invariant: channel was queued non-empty this cycle");
                 p.hop += 1;
                 let latency = cycle + 1 - p.injected_at;
                 total_latency += latency;
@@ -618,7 +666,8 @@ pub fn run_bounded(
                     b.fwd[ch] += 1;
                     b.deliver(latency, p.hop as u64);
                     let (from, to) = b.ends[ch];
-                    let t = tel.expect("invariant: a scoreboard is only handed out with telemetry on");
+                    let t =
+                        tel.expect("invariant: a scoreboard is only handed out with telemetry on");
                     t.event(|| Event::PacketHop {
                         id: p.id,
                         from,
@@ -637,7 +686,9 @@ pub fn run_bounded(
                 let next = path[hop + 2] as NodeId;
                 let next_ch = channel_of(here, next);
                 if queues[next_ch].len() + incoming[next_ch] < capacity {
-                    let mut p = queues[ch].pop_front().expect("invariant: channel was queued non-empty this cycle");
+                    let mut p = queues[ch]
+                        .pop_front()
+                        .expect("invariant: channel was queued non-empty this cycle");
                     p.hop += 1;
                     incoming[next_ch] += 1;
                     if let Some(b) = board.as_mut() {
@@ -659,6 +710,16 @@ pub fn run_bounded(
         for (ch, p) in arrivals {
             queues[ch].push_back(p);
         }
+        if let Some((gt, _)) = ts.as_mut() {
+            gt.record(
+                cycle,
+                in_flight,
+                (next_inject - injected_before) as u64,
+                stats.delivered - delivered_before,
+                cycle_peak as u64,
+                cycle_active as u64,
+            );
+        }
         cycle += 1;
         if cfg.stop_when_drained && in_flight == 0 && next_inject == injections.len() {
             break;
@@ -677,7 +738,12 @@ pub fn run_bounded(
     );
     if let (Some(t), Some(b)) = (tel, board) {
         t.counter("sim.dropped").add(dropped);
+        if let Some((gt, lt)) = ts.take() {
+            lt.merge_into(t, &b.ends);
+            gt.merge_into(t);
+        }
         b.finish(t, &stats);
+        t.detect_congestion(stats.cycles);
     }
     stats
 }
@@ -754,6 +820,9 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
 
     let tel = cfg.telemetry.as_ref();
     let mut board = tel.map(|_| Scoreboard::new(channel_endpoints(g, &offsets)));
+    let mut ts = tel
+        .and_then(|t| t.timeseries_config())
+        .map(|c| (GlobalTs::new(c, false), LinkTs::new(c, 0, num_channels)));
 
     let mut stats = SimStats {
         offered: injections.len() as u64,
@@ -773,6 +842,8 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
     let mut still_active: Vec<usize> = Vec::new();
 
     while cycle < cfg.max_cycles {
+        let injected_before = next_inject;
+        let delivered_before = stats.delivered;
         while next_inject < injections.len() && injections[next_inject].at == cycle {
             let inj = injections[next_inject];
             let id = next_inject as u64;
@@ -811,17 +882,21 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
             in_flight += 1;
         }
 
+        let mut cycle_peak = 0usize;
         if let Some(b) = board.as_mut() {
             for &ch in &active {
                 let len = queues[ch].len();
                 b.peak[ch] = b.peak[ch].max(len);
-                stats.peak_queue = stats.peak_queue.max(len);
+                cycle_peak = cycle_peak.max(len);
+                if let Some((_, lt)) = ts.as_mut() {
+                    lt.observe(ch, cycle, len as u64);
+                }
             }
         } else {
-            stats.peak_queue = stats
-                .peak_queue
-                .max(active.iter().map(|&ch| queues[ch].len()).max().unwrap_or(0));
+            cycle_peak = active.iter().map(|&ch| queues[ch].len()).max().unwrap_or(0);
         }
+        stats.peak_queue = stats.peak_queue.max(cycle_peak);
+        let cycle_active = active.len();
 
         still_active.clear();
         for &ch in &active {
@@ -877,6 +952,16 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
                 active.push(ch);
             }
         }
+        if let Some((gt, _)) = ts.as_mut() {
+            gt.record(
+                cycle,
+                in_flight,
+                (next_inject - injected_before) as u64,
+                stats.delivered - delivered_before,
+                cycle_peak as u64,
+                cycle_active as u64,
+            );
+        }
         cycle += 1;
         if cfg.stop_when_drained && in_flight == 0 && next_inject == injections.len() {
             break;
@@ -897,7 +982,12 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
         "packet conservation"
     );
     if let (Some(t), Some(b)) = (tel, board) {
+        if let Some((gt, lt)) = ts.take() {
+            lt.merge_into(t, &b.ends);
+            gt.merge_into(t);
+        }
         b.finish(t, &stats);
+        t.detect_congestion(stats.cycles);
     }
     stats
 }
@@ -1221,6 +1311,116 @@ mod tests {
         let s = run_adaptive(&t, &inj, SimConfig::default());
         assert_eq!(s.delivered, n as u64);
         assert_eq!(s.stranded, 0);
+    }
+
+    #[test]
+    fn timeseries_records_windowed_series() {
+        let t = HypercubeNet::new(3).unwrap();
+        // Six packets through one channel: occupied for six straight
+        // cycles, queue draining 6, 5, ..., 1.
+        let inj: Vec<Injection> = (0..6)
+            .map(|_| Injection {
+                src: 0,
+                dst: 1,
+                at: 0,
+            })
+            .collect();
+        let tel = hb_telemetry::Telemetry::summary();
+        tel.enable_timeseries(hb_telemetry::TsConfig::new(2));
+        let s = run(&t, &inj, SimConfig::default().with_telemetry(tel.clone()));
+        let series = tel.series();
+        assert_eq!(series["sim.injected"].total(), s.offered);
+        assert_eq!(series["sim.delivered"].total(), s.delivered);
+        let link = &series["link.0->1.queue"];
+        assert_eq!(link.high_watermark(), Some((s.peak_queue as u64, 0)));
+        // One sample per occupied cycle, windows of two cycles each.
+        assert_eq!(link.windows().map(|w| w.count).sum::<u64>(), 6);
+        assert_eq!(
+            series["sim.queue.max"].high_watermark().map(|(v, _)| v),
+            Some(s.peak_queue as u64)
+        );
+        // The network drains monotonically: in-flight ends at zero.
+        let fly = &series["sim.in_flight"];
+        assert_eq!(fly.windows().next_back().unwrap().last, 0);
+    }
+
+    #[test]
+    fn timeseries_stays_empty_when_not_enabled() {
+        let t = HypercubeNet::new(3).unwrap();
+        let inj = [Injection {
+            src: 0,
+            dst: 1,
+            at: 0,
+        }];
+        let tel = hb_telemetry::Telemetry::summary();
+        run(&t, &inj, SimConfig::default().with_telemetry(tel.clone()));
+        let snap = tel.snapshot();
+        assert!(snap.timeseries.is_empty());
+        assert!(snap.congestion.is_empty());
+    }
+
+    #[test]
+    fn timeseries_covers_bounded_and_adaptive_runners() {
+        let t = HypercubeNet::new(3).unwrap();
+        let inj: Vec<Injection> = (0..8)
+            .map(|i| Injection {
+                src: 0,
+                dst: 0b111,
+                at: i / 4,
+            })
+            .collect();
+        for runner in 0..2u8 {
+            let tel = hb_telemetry::Telemetry::summary();
+            tel.enable_timeseries(hb_telemetry::TsConfig::new(1));
+            let cfg = SimConfig::default().with_telemetry(tel.clone());
+            let s = if runner == 0 {
+                run_bounded(&t, &inj, cfg, 4)
+            } else {
+                run_adaptive(&t, &inj, cfg)
+            };
+            let series = tel.series();
+            assert_eq!(series["sim.injected"].total(), s.offered, "runner {runner}");
+            assert_eq!(
+                series["sim.delivered"].total(),
+                s.delivered,
+                "runner {runner}"
+            );
+            assert!(
+                series.keys().any(|k| k.starts_with("link.")),
+                "runner {runner}"
+            );
+        }
+    }
+
+    #[test]
+    fn sustained_hotspot_is_detected_and_traced() {
+        let t = HypercubeNet::new(3).unwrap();
+        // A long single-channel backlog: channel 0->1 stays occupied for
+        // 32 cycles, far past the default sustain threshold.
+        let inj: Vec<Injection> = (0..32)
+            .map(|_| Injection {
+                src: 0,
+                dst: 1,
+                at: 0,
+            })
+            .collect();
+        let tel = hb_telemetry::Telemetry::with_trace(4096);
+        tel.enable_timeseries(hb_telemetry::TsConfig::new(4));
+        run(&t, &inj, SimConfig::default().with_telemetry(tel.clone()));
+        let events = tel.congestion();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == hb_telemetry::CongestionKind::HotspotLink
+                    && e.subject == "link.0->1.queue"
+                    && e.severity == hb_telemetry::Severity::Critical),
+            "{events:?}"
+        );
+        // Detection also lands in the event trace.
+        assert!(tel
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::Congestion { .. })));
     }
 
     #[test]

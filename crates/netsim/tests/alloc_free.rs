@@ -105,7 +105,5 @@ fn assert_steady_state_alloc_free(topo: &dyn NetTopology) {
 #[test]
 fn run_adaptive_steady_state_is_allocation_free() {
     assert_steady_state_alloc_free(&HypercubeNet::new(6).unwrap());
-    assert_steady_state_alloc_free(
-        &HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap(),
-    );
+    assert_steady_state_alloc_free(&HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap());
 }

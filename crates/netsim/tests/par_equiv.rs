@@ -1,16 +1,27 @@
 //! Serial-vs-parallel equivalence properties: for random topologies,
 //! workloads, and fault plans, the sharded engine must return the same
 //! `SimStats` **and** the same telemetry snapshot (counters, histograms,
-//! link stats, trace events) as the serial runner at every thread count.
-//! This is the acceptance property of the deterministic sharding design
-//! (DESIGN.md §9): thread count is a pure performance knob.
+//! link stats, trace events, time series, congestion verdicts) as the
+//! serial runner at every thread count. This is the acceptance property
+//! of the deterministic sharding design (DESIGN.md §9, §12): thread
+//! count is a pure performance knob.
 
 use hb_netsim::topology::{
     ButterflyNet, HbRouteOrder, HyperButterflyNet, HypercubeNet, NetTopology,
 };
 use hb_netsim::{run, run_with_faults, sim::SimConfig, workload, FaultPlan, TraceSampling};
-use hb_telemetry::Telemetry;
+use hb_telemetry::{Telemetry, TsConfig};
 use proptest::prelude::*;
+
+/// A trace-level handle with windowed time series on, at a cadence (and
+/// a deliberately small retention, to exercise drop-oldest eviction)
+/// derived from the seed — so the snapshot equality assertions below
+/// also pin the series store and the congestion events byte-for-byte.
+fn tel_with_ts(seed: u64) -> Telemetry {
+    let tel = Telemetry::with_trace(2048);
+    tel.enable_timeseries(TsConfig::new(1 + seed % 7).with_capacity(8 + (seed % 9) as usize));
+    tel
+}
 
 /// One of the three simulated families, picked by `kind`.
 fn make_topology(kind: u8) -> Box<dyn NetTopology> {
@@ -44,14 +55,14 @@ proptest! {
                                    cycles in 1u64..30, seed in 0u64..300) {
         let t = make_topology(kind);
         let inj = workload::uniform(t.num_nodes(), cycles, rate as f64 / 100.0, seed);
-        let tel_serial = Telemetry::with_trace(2048);
+        let tel_serial = tel_with_ts(seed);
         let serial = run(
             &*t,
             &inj,
             SimConfig::default().with_telemetry(tel_serial.clone()),
         );
         for threads in [2usize, 4] {
-            let tel_par = Telemetry::with_trace(2048);
+            let tel_par = tel_with_ts(seed);
             let par = run(
                 &*t,
                 &inj,
@@ -78,7 +89,7 @@ proptest! {
         let n = t.num_nodes();
         let plan = make_plan(seed, n);
         let inj = workload::uniform(n, cycles, rate as f64 / 100.0, seed);
-        let tel_serial = Telemetry::with_trace(2048);
+        let tel_serial = tel_with_ts(seed);
         let serial = run_with_faults(
             &*t,
             &inj,
@@ -87,7 +98,7 @@ proptest! {
             TraceSampling::Off,
         );
         for threads in [2usize, 4] {
-            let tel_par = Telemetry::with_trace(2048);
+            let tel_par = tel_with_ts(seed);
             let par = run_with_faults(
                 &*t,
                 &inj,

@@ -6,6 +6,7 @@ use crate::links::LinkStats;
 use crate::registry::{Counter, Gauge, Registry};
 use crate::sink::{HistogramSummary, Snapshot};
 use crate::span::{SpanId, SpanRecord, SpanStore};
+use crate::timeseries::{detect_congestion, CongestionEvent, DetectorConfig, Series, TsConfig};
 use crate::trace::{Event, EventTrace};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -31,6 +32,18 @@ struct Inner {
     links: Mutex<LinkStats>,
     trace: Mutex<EventTrace>,
     spans: Mutex<SpanStore>,
+    timeseries: Mutex<TsState>,
+}
+
+/// Windowed-series state: off until [`Telemetry::enable_timeseries`]
+/// sets a config. Runners record into local series and merge here once
+/// at the end, like histograms and link stats.
+#[derive(Default)]
+struct TsState {
+    config: Option<TsConfig>,
+    detector: DetectorConfig,
+    series: BTreeMap<String, Series>,
+    congestion: Vec<CongestionEvent>,
 }
 
 /// A shared telemetry sink. Cloning is cheap (reference-counted); all
@@ -73,6 +86,7 @@ impl Telemetry {
                 // Spans share the trace budget: the same capacity bounds
                 // both, so a `with_trace(N)` handle holds O(N) memory.
                 spans: Mutex::new(SpanStore::new(trace_capacity)),
+                timeseries: Mutex::new(TsState::default()),
             }),
         }
     }
@@ -106,14 +120,22 @@ impl Telemetry {
 
     /// Records `v` into the histogram named `name`.
     pub fn record(&self, name: &str, v: u64) {
-        let mut hs = self.inner.histograms.lock().expect("invariant: histogram mutex unpoisoned (holders never panic)");
+        let mut hs = self
+            .inner
+            .histograms
+            .lock()
+            .expect("invariant: histogram mutex unpoisoned (holders never panic)");
         hs.entry(name.to_string()).or_default().record(v);
     }
 
     /// Merges a locally accumulated histogram into the one named `name`
     /// (hot loops accumulate privately, then merge once).
     pub fn merge_histogram(&self, name: &str, h: &Histogram) {
-        let mut hs = self.inner.histograms.lock().expect("invariant: histogram mutex unpoisoned (holders never panic)");
+        let mut hs = self
+            .inner
+            .histograms
+            .lock()
+            .expect("invariant: histogram mutex unpoisoned (holders never panic)");
         hs.entry(name.to_string()).or_default().merge(h);
     }
 
@@ -129,12 +151,20 @@ impl Telemetry {
 
     /// Merges locally accumulated link stats into the shared map.
     pub fn merge_links(&self, ls: &LinkStats) {
-        self.inner.links.lock().expect("invariant: links mutex unpoisoned (holders never panic)").merge(ls);
+        self.inner
+            .links
+            .lock()
+            .expect("invariant: links mutex unpoisoned (holders never panic)")
+            .merge(ls);
     }
 
     /// A clone of the accumulated link stats.
     pub fn links(&self) -> LinkStats {
-        self.inner.links.lock().expect("invariant: links mutex unpoisoned (holders never panic)").clone()
+        self.inner
+            .links
+            .lock()
+            .expect("invariant: links mutex unpoisoned (holders never panic)")
+            .clone()
     }
 
     /// Pushes an event if tracing is on; `make` is not even called
@@ -142,13 +172,21 @@ impl Telemetry {
     #[inline]
     pub fn event(&self, make: impl FnOnce() -> Event) {
         if self.trace_enabled() {
-            self.inner.trace.lock().expect("invariant: trace mutex unpoisoned (holders never panic)").push(make());
+            self.inner
+                .trace
+                .lock()
+                .expect("invariant: trace mutex unpoisoned (holders never panic)")
+                .push(make());
         }
     }
 
     /// Retained trace events, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.inner.trace.lock().expect("invariant: trace mutex unpoisoned (holders never panic)").to_vec()
+        self.inner
+            .trace
+            .lock()
+            .expect("invariant: trace mutex unpoisoned (holders never panic)")
+            .to_vec()
     }
 
     /// Starts a causal span at logical time `start`. Returns `None` when
@@ -171,7 +209,11 @@ impl Telemetry {
     #[inline]
     pub fn span_end(&self, id: Option<SpanId>, end: u64) {
         if let Some(id) = id {
-            self.inner.spans.lock().expect("invariant: span mutex unpoisoned (holders never panic)").end(id, end);
+            self.inner
+                .spans
+                .lock()
+                .expect("invariant: span mutex unpoisoned (holders never panic)")
+                .end(id, end);
         }
     }
 
@@ -190,12 +232,87 @@ impl Telemetry {
 
     /// All recorded spans, in id order.
     pub fn spans(&self) -> Vec<SpanRecord> {
-        self.inner.spans.lock().expect("invariant: span mutex unpoisoned (holders never panic)").spans().to_vec()
+        self.inner
+            .spans
+            .lock()
+            .expect("invariant: span mutex unpoisoned (holders never panic)")
+            .spans()
+            .to_vec()
     }
 
     /// Spans refused because the bounded store was full.
     pub fn spans_dropped(&self) -> u64 {
-        self.inner.spans.lock().expect("invariant: span mutex unpoisoned (holders never panic)").dropped()
+        self.inner
+            .spans
+            .lock()
+            .expect("invariant: span mutex unpoisoned (holders never panic)")
+            .dropped()
+    }
+
+    /// Turns windowed time-series sampling on. Runners that see
+    /// `Some(config)` from [`Self::timeseries_config`] record per-cycle
+    /// series and merge them back via [`Self::merge_series`].
+    pub fn enable_timeseries(&self, config: TsConfig) {
+        self.ts_state().config = Some(config);
+    }
+
+    /// Overrides the congestion-detector thresholds.
+    pub fn set_detector(&self, detector: DetectorConfig) {
+        self.ts_state().detector = detector;
+    }
+
+    /// The active time-series config, if sampling is on.
+    pub fn timeseries_config(&self) -> Option<TsConfig> {
+        self.ts_state().config
+    }
+
+    /// Merges a locally recorded series under `name`. Series names are
+    /// unique per run (one producer each), so this inserts; merging the
+    /// same name twice keeps the later series.
+    pub fn merge_series(&self, name: &str, series: Series) {
+        self.ts_state().series.insert(name.to_string(), series);
+    }
+
+    /// Runs congestion detection over every merged series, storing the
+    /// events for [`Self::snapshot`] and appending them (severity-tagged)
+    /// to the event trace. Call once, after all series are merged; the
+    /// name-ordered walk makes the emitted order deterministic.
+    pub fn detect_congestion(&self, total_cycles: u64) {
+        let events = {
+            let st = self.ts_state();
+            if st.config.is_none() {
+                return;
+            }
+            detect_congestion(&st.series, &st.detector, total_cycles)
+        };
+        for e in &events {
+            self.event(|| Event::Congestion {
+                kind: e.kind,
+                severity: e.severity,
+                subject: e.subject.clone(),
+                window_start: e.window_start,
+                window_end: e.window_end,
+                peak: e.peak,
+            });
+        }
+        self.ts_state().congestion = events;
+    }
+
+    /// Clones of every merged series, name-ordered.
+    pub fn series(&self) -> BTreeMap<String, Series> {
+        self.ts_state().series.clone()
+    }
+
+    /// Congestion events found by the last [`Self::detect_congestion`].
+    pub fn congestion(&self) -> Vec<CongestionEvent> {
+        self.ts_state().congestion.clone()
+    }
+
+    fn ts_state(&self) -> std::sync::MutexGuard<'_, TsState> {
+        self.inner
+            .timeseries
+            .lock()
+            .expect("invariant: timeseries mutex unpoisoned (holders never panic)")
     }
 
     /// A point-in-time snapshot of every instrument, ready for a
@@ -207,7 +324,11 @@ impl Telemetry {
             .find(|(n, _)| n == CYCLES_COUNTER)
             .map(|&(_, v)| v);
         let histograms = {
-            let hs = self.inner.histograms.lock().expect("invariant: histogram mutex unpoisoned (holders never panic)");
+            let hs = self
+                .inner
+                .histograms
+                .lock()
+                .expect("invariant: histogram mutex unpoisoned (holders never panic)");
             hs.iter()
                 .filter_map(|(n, h)| {
                     h.quantiles().map(|q| {
@@ -228,11 +349,24 @@ impl Telemetry {
                 .collect()
         };
         let links = {
-            let ls = self.inner.links.lock().expect("invariant: links mutex unpoisoned (holders never panic)");
+            let ls = self
+                .inner
+                .links
+                .lock()
+                .expect("invariant: links mutex unpoisoned (holders never panic)");
             ls.utilization_rows(cycles.unwrap_or(0))
         };
-        let trace = self.inner.trace.lock().expect("invariant: trace mutex unpoisoned (holders never panic)");
-        let spans = self.inner.spans.lock().expect("invariant: span mutex unpoisoned (holders never panic)");
+        let trace = self
+            .inner
+            .trace
+            .lock()
+            .expect("invariant: trace mutex unpoisoned (holders never panic)");
+        let spans = self
+            .inner
+            .spans
+            .lock()
+            .expect("invariant: span mutex unpoisoned (holders never panic)");
+        let ts = self.ts_state();
         Snapshot {
             counters,
             gauges: self.inner.registry.gauges(),
@@ -243,6 +377,8 @@ impl Telemetry {
             events_dropped: trace.dropped(),
             spans: spans.spans().to_vec(),
             spans_dropped: spans.dropped(),
+            timeseries: ts.series.clone(),
+            congestion: ts.congestion.clone(),
         }
     }
 }

@@ -19,6 +19,10 @@
 //!   protocol-round events with cheap `enabled` gating;
 //! * [`span`] — causal [`SpanRecord`] trees in logical sim time
 //!   (packet flights, protocol rounds) behind a bounded [`SpanStore`];
+//! * [`timeseries`] — windowed per-cycle [`Series`] (bounded drop-oldest
+//!   rings of min/max/mean/last aggregates keyed by logical cycle) plus
+//!   a congestion detector flagging hotspot links, head-of-line queue
+//!   growth, and slow drains as severity-tagged [`CongestionEvent`]s;
 //! * [`sink`] — pluggable renderers to fixed-width text tables, JSON
 //!   lines, CSV, Chrome trace-event JSON, and span trees.
 //!
@@ -38,6 +42,7 @@ pub mod links;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 mod handle;
@@ -46,6 +51,11 @@ pub use handle::{Telemetry, TelemetryLevel, CYCLES_COUNTER};
 pub use histogram::{Histogram, Quantiles};
 pub use links::{LinkKey, LinkRecord, LinkStats};
 pub use registry::{Counter, Gauge, Registry};
-pub use sink::{ChromeTraceSink, CsvSink, JsonLinesSink, Sink, Snapshot, SpanTreeSink, TextSink};
+pub use sink::{
+    ChromeTraceSink, CsvSink, JsonLinesSink, ReportSink, Sink, Snapshot, SpanTreeSink, TextSink,
+};
 pub use span::{SpanId, SpanRecord, SpanStore};
+pub use timeseries::{
+    CongestionEvent, CongestionKind, DetectorConfig, Series, Severity, TsConfig, WindowAgg,
+};
 pub use trace::{Event, EventTrace};

@@ -84,19 +84,28 @@ impl Registry {
 
     /// Returns the counter named `name`, creating it at zero if absent.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut inner = self.inner.lock().expect("invariant: registry mutex unpoisoned (holders never panic)");
+        let mut inner = self
+            .inner
+            .lock()
+            .expect("invariant: registry mutex unpoisoned (holders never panic)");
         inner.counters.entry(name.to_string()).or_default().clone()
     }
 
     /// Returns the gauge named `name`, creating it at zero if absent.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut inner = self.inner.lock().expect("invariant: registry mutex unpoisoned (holders never panic)");
+        let mut inner = self
+            .inner
+            .lock()
+            .expect("invariant: registry mutex unpoisoned (holders never panic)");
         inner.gauges.entry(name.to_string()).or_default().clone()
     }
 
     /// All counters, sorted by name.
     pub fn counters(&self) -> Vec<(String, u64)> {
-        let inner = self.inner.lock().expect("invariant: registry mutex unpoisoned (holders never panic)");
+        let inner = self
+            .inner
+            .lock()
+            .expect("invariant: registry mutex unpoisoned (holders never panic)");
         inner
             .counters
             .iter()
@@ -106,7 +115,10 @@ impl Registry {
 
     /// All gauges, sorted by name.
     pub fn gauges(&self) -> Vec<(String, i64)> {
-        let inner = self.inner.lock().expect("invariant: registry mutex unpoisoned (holders never panic)");
+        let inner = self
+            .inner
+            .lock()
+            .expect("invariant: registry mutex unpoisoned (holders never panic)");
         inner
             .gauges
             .iter()

@@ -12,11 +12,16 @@
 //! * [`ChromeTraceSink`] — Chrome trace-event JSON for
 //!   `chrome://tracing` / Perfetto, with logical sim ticks as
 //!   microsecond timestamps so output is fully deterministic;
-//! * [`SpanTreeSink`] — indented causal span trees for terminals.
+//! * [`SpanTreeSink`] — indented causal span trees for terminals;
+//! * [`ReportSink`] — a deterministic run report: metadata header,
+//!   per-window phase timeline, top-k congested links with sparkline
+//!   bars, and detected anomalies (the `hbnet report` renderer).
 
 use crate::links::LinkUtilization;
 use crate::span::{SpanId, SpanRecord};
+use crate::timeseries::{CongestionEvent, Series};
 use crate::trace::Event;
+use std::collections::BTreeMap;
 
 /// Summary statistics of one named histogram.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -59,6 +64,10 @@ pub struct Snapshot {
     pub spans: Vec<SpanRecord>,
     /// Spans refused because the bounded store was full.
     pub spans_dropped: u64,
+    /// Windowed time-series, name-ordered (empty unless sampling was on).
+    pub timeseries: BTreeMap<String, Series>,
+    /// Congestion events found by the detector, in detection order.
+    pub congestion: Vec<CongestionEvent>,
 }
 
 /// Renders a [`Snapshot`] to a string.
@@ -74,6 +83,8 @@ pub struct TextSink {
     pub top_links: usize,
     /// Maximum trace events to print (0 = all retained).
     pub max_events: usize,
+    /// Maximum time-series rows to print (0 = all).
+    pub max_series: usize,
 }
 
 impl Default for TextSink {
@@ -81,6 +92,7 @@ impl Default for TextSink {
         Self {
             top_links: 16,
             max_events: 32,
+            max_series: 16,
         }
     }
 }
@@ -145,6 +157,49 @@ impl Sink for TextSink {
                 let _ = writeln!(out, "({} more links not shown)", s.links.len() - shown);
             }
         }
+        if !s.timeseries.is_empty() {
+            let _ = writeln!(out, "time-series ({} series):", s.timeseries.len());
+            let shown = if self.max_series == 0 {
+                s.timeseries.len()
+            } else {
+                self.max_series
+            };
+            for (n, series) in s.timeseries.iter().take(shown) {
+                let hwm = series
+                    .high_watermark()
+                    .map_or(String::new(), |(v, c)| format!(", hwm {v} @ cycle {c}"));
+                let _ = writeln!(
+                    out,
+                    "  {:<32} {:>4} windows x{} cadence ({} dropped){hwm}",
+                    n,
+                    series.len(),
+                    series.cadence(),
+                    series.dropped_windows()
+                );
+            }
+            if s.timeseries.len() > shown {
+                let _ = writeln!(
+                    out,
+                    "  ({} more series not shown)",
+                    s.timeseries.len() - shown
+                );
+            }
+        }
+        if !s.congestion.is_empty() {
+            let _ = writeln!(out, "congestion ({} events):", s.congestion.len());
+            for e in &s.congestion {
+                let _ = writeln!(
+                    out,
+                    "  [{:>8}] {:<12} {:<32} windows {}..{} peak {}",
+                    e.severity.label(),
+                    e.kind.label(),
+                    e.subject,
+                    e.window_start,
+                    e.window_end,
+                    e.peak
+                );
+            }
+        }
         if !s.events.is_empty() || s.events_dropped > 0 {
             let _ = writeln!(
                 out,
@@ -164,6 +219,14 @@ impl Sink for TextSink {
             for e in s.events.iter().skip(skip) {
                 let _ = writeln!(out, "  {}", event_text(e));
             }
+        }
+        if !s.spans.is_empty() || s.spans_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "spans: {} recorded, {} dropped",
+                s.spans.len(),
+                s.spans_dropped
+            );
         }
         out
     }
@@ -207,6 +270,20 @@ fn event_text(e: &Event) -> String {
             messages,
         } => {
             format!("[round {round:>4}] {protocol} end ({messages} messages)")
+        }
+        Event::Congestion {
+            kind,
+            severity,
+            subject,
+            window_start,
+            window_end,
+            peak,
+        } => {
+            format!(
+                "[w {window_start:>4}..{window_end:<4}] {} {} {subject} (peak {peak})",
+                severity.label(),
+                kind.label()
+            )
         }
     }
 }
@@ -275,6 +352,21 @@ fn event_json(e: &Event) -> String {
              \"round\":{round},\"messages\":{messages}}}",
             json_escape(protocol)
         ),
+        Event::Congestion {
+            kind,
+            severity,
+            subject,
+            window_start,
+            window_end,
+            peak,
+        } => format!(
+            "{{\"type\":\"event\",\"kind\":\"congestion\",\"congestion\":\"{}\",\
+             \"severity\":\"{}\",\"subject\":\"{}\",\"window_start\":{window_start},\
+             \"window_end\":{window_end},\"peak\":{peak}}}",
+            kind.label(),
+            severity.label(),
+            json_escape(subject)
+        ),
     }
 }
 
@@ -322,6 +414,43 @@ impl Sink for JsonLinesSink {
                 l.record.busy_cycles,
                 l.record.peak_queue,
                 l.utilization
+            ));
+        }
+        for (n, series) in &s.timeseries {
+            let windows = series
+                .windows()
+                .map(|w| {
+                    format!(
+                        "{{\"index\":{},\"min\":{},\"max\":{},\"sum\":{},\
+                         \"count\":{},\"last\":{}}}",
+                        w.index, w.min, w.max, w.sum, w.count, w.last
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            let (hwm_v, hwm_c) = series.high_watermark().map_or_else(
+                || ("null".to_string(), "null".to_string()),
+                |(v, c)| (v.to_string(), c.to_string()),
+            );
+            out.push_str(&format!(
+                "{{\"type\":\"series\",\"name\":\"{}\",\"cadence\":{},\
+                 \"dropped_windows\":{},\"hwm_value\":{hwm_v},\"hwm_cycle\":{hwm_c},\
+                 \"windows\":[{windows}]}}\n",
+                json_escape(n),
+                series.cadence(),
+                series.dropped_windows(),
+            ));
+        }
+        for e in &s.congestion {
+            out.push_str(&format!(
+                "{{\"type\":\"congestion\",\"kind\":\"{}\",\"severity\":\"{}\",\
+                 \"subject\":\"{}\",\"window_start\":{},\"window_end\":{},\"peak\":{}}}\n",
+                e.kind.label(),
+                e.severity.label(),
+                json_escape(&e.subject),
+                e.window_start,
+                e.window_end,
+                e.peak
             ));
         }
         for e in &s.events {
@@ -463,6 +592,145 @@ impl Sink for SpanTreeSink {
             if is_root {
                 render_span_subtree(&mut out, &s.spans, sp.id, 1);
             }
+        }
+        out
+    }
+}
+
+/// A deterministic run report for one simulation: metadata, per-window
+/// phase timeline, top-k congested links as sparkline bars, and the
+/// detector's anomalies. Output is pure logical-cycle data — same run,
+/// same bytes — so it can be golden-pinned in CI.
+#[derive(Clone, Debug)]
+pub struct ReportSink {
+    /// Report title (e.g. `HB(2, 3) hotspot`).
+    pub title: String,
+    /// Key/value header lines (topology, workload, fault plan, ...).
+    pub meta: Vec<(String, String)>,
+    /// Most-congested links to chart (0 = all).
+    pub top_links: usize,
+}
+
+impl Default for ReportSink {
+    fn default() -> Self {
+        ReportSink {
+            title: String::new(),
+            meta: Vec::new(),
+            top_links: 8,
+        }
+    }
+}
+
+/// One sparkline character per window: `max` scaled into eight levels.
+fn sparkline(values: &[u64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let top = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| {
+            if top == 0 {
+                BARS[0]
+            } else {
+                BARS[((v as u128 * 7).div_ceil(top as u128)) as usize]
+            }
+        })
+        .collect()
+}
+
+impl Sink for ReportSink {
+    fn render(&self, s: &Snapshot) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "run report: {}", self.title);
+        for (k, v) in &self.meta {
+            let _ = writeln!(out, "  {k:<14} {v}");
+        }
+        for (n, v) in &s.counters {
+            let _ = writeln!(out, "  {n:<14} {v}");
+        }
+
+        // Phase timeline: the global series all sample once per cycle,
+        // so they share window indices; drive rows off sim.in_flight.
+        let at = |name: &str, index: u64| -> Option<&crate::timeseries::WindowAgg> {
+            s.timeseries
+                .get(name)
+                .and_then(|sr| sr.windows().find(|w| w.index == index))
+        };
+        if let Some(fly) = s.timeseries.get("sim.in_flight") {
+            let _ = writeln!(
+                out,
+                "phase timeline ({} windows x {} cycles, {} dropped):",
+                fly.len(),
+                fly.cadence(),
+                fly.dropped_windows()
+            );
+            let _ = writeln!(
+                out,
+                "  {:>6} {:>9} {:>9} {:>9} {:>9}",
+                "window", "injected", "delivered", "in-flight", "queue-max"
+            );
+            for w in fly.windows() {
+                let inj = at("sim.injected", w.index).map_or(0, |x| x.sum);
+                let dvr = at("sim.delivered", w.index).map_or(0, |x| x.sum);
+                let qmx = at("sim.queue.max", w.index).map_or(0, |x| x.max);
+                let _ = writeln!(
+                    out,
+                    "  {:>6} {:>9} {:>9} {:>9} {:>9}",
+                    w.index, inj, dvr, w.max, qmx
+                );
+            }
+        }
+
+        // Top-k congested links, ranked by total queued-packet-cycles
+        // (sum over retained windows), name as the tiebreak.
+        let mut links: Vec<(&String, &Series)> = s
+            .timeseries
+            .iter()
+            .filter(|(n, _)| n.starts_with("link."))
+            .collect();
+        links.sort_by(|a, b| b.1.total().cmp(&a.1.total()).then(a.0.cmp(b.0)));
+        if !links.is_empty() {
+            let shown = if self.top_links == 0 {
+                links.len()
+            } else {
+                self.top_links.min(links.len())
+            };
+            let _ = writeln!(
+                out,
+                "top congested links ({} of {}, by queued packet-cycles):",
+                shown,
+                links.len()
+            );
+            for (n, series) in links.iter().take(shown) {
+                let maxes: Vec<u64> = series.windows().map(|w| w.max).collect();
+                let hwm = series
+                    .high_watermark()
+                    .map_or(String::new(), |(v, c)| format!("  hwm {v} @ cycle {c}"));
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {}  total {:>6}{hwm}",
+                    n,
+                    sparkline(&maxes),
+                    series.total()
+                );
+            }
+        }
+
+        let _ = writeln!(out, "anomalies ({}):", s.congestion.len());
+        if s.congestion.is_empty() {
+            let _ = writeln!(out, "  (none)");
+        }
+        for e in &s.congestion {
+            let _ = writeln!(
+                out,
+                "  [{:>8}] {:<12} {:<28} windows {}..{} peak {}",
+                e.severity.label(),
+                e.kind.label(),
+                e.subject,
+                e.window_start,
+                e.window_end,
+                e.peak
+            );
         }
         out
     }
@@ -642,8 +910,64 @@ impl Sink for CsvSink {
                         messages.to_string(),
                         empty(),
                     ],
+                    // Congestion events reuse the shared columns:
+                    // subject -> protocol, window span -> round/messages,
+                    // flag cycle -> cycle; the dedicated congestion
+                    // section below carries the full shape.
+                    Event::Congestion {
+                        kind,
+                        severity,
+                        subject,
+                        window_start,
+                        window_end,
+                        peak,
+                    } => [
+                        format!("congestion_{}_{}", severity.label(), kind.label()),
+                        peak.to_string(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        subject.clone(),
+                        window_start.to_string(),
+                        window_end.to_string(),
+                        empty(),
+                    ],
                 };
                 out.push_str(&csv_record(row));
+                out.push('\n');
+            }
+        }
+        if !s.timeseries.is_empty() {
+            out.push_str("\nseries,window,min,max,sum,count,last\n");
+            for (n, series) in &s.timeseries {
+                for w in series.windows() {
+                    out.push_str(&csv_record([
+                        n.clone(),
+                        w.index.to_string(),
+                        w.min.to_string(),
+                        w.max.to_string(),
+                        w.sum.to_string(),
+                        w.count.to_string(),
+                        w.last.to_string(),
+                    ]));
+                    out.push('\n');
+                }
+            }
+        }
+        if !s.congestion.is_empty() {
+            out.push_str("\ncongestion,severity,subject,window_start,window_end,peak\n");
+            for e in &s.congestion {
+                out.push_str(&csv_record([
+                    e.kind.label().to_string(),
+                    e.severity.label().to_string(),
+                    e.subject.clone(),
+                    e.window_start.to_string(),
+                    e.window_end.to_string(),
+                    e.peak.to_string(),
+                ]));
                 out.push('\n');
             }
         }
@@ -829,5 +1153,116 @@ mod tests {
             csv_record(["a,b".into(), "say \"hi\"".into()]),
             "\"a,b\",\"say \"\"hi\"\"\""
         );
+    }
+
+    #[test]
+    fn csv_empty_snapshot_renders_nothing() {
+        // No instruments -> no section headers, not even blank lines.
+        assert_eq!(CsvSink.render(&Snapshot::default()), "");
+    }
+
+    #[test]
+    fn csv_escapes_hostile_names() {
+        let t = Telemetry::summary();
+        t.counter("evil,name").inc();
+        t.counter("say \"hi\"").add(2);
+        let out = CsvSink.render(&t.snapshot());
+        assert!(out.contains("counter,\"evil,name\",1"));
+        assert!(out.contains("counter,\"say \"\"hi\"\"\",2"));
+        // Every data row still splits into exactly three fields when
+        // parsed with RFC-4180 quoting.
+        for line in out.lines().skip(1) {
+            assert_eq!(line.matches('"').count() % 2, 0, "{line}");
+        }
+    }
+
+    /// A snapshot with time-series and a detected congestion event.
+    fn ts_snapshot() -> Snapshot {
+        use crate::timeseries::{DetectorConfig, TsConfig};
+        let t = Telemetry::with_trace(8);
+        t.enable_timeseries(TsConfig::new(4).with_capacity(8));
+        t.set_detector(DetectorConfig {
+            hot_occupancy_pct: 100,
+            sustain_windows: 2,
+        });
+        let cfg = TsConfig::new(4).with_capacity(8);
+        let mut link = Series::new(cfg);
+        let mut fly = Series::new(cfg);
+        let mut inj = Series::new(cfg);
+        for cycle in 0..12 {
+            link.record(cycle, 1 + cycle / 4);
+            fly.record(cycle, 3);
+            inj.record(cycle, u64::from(cycle < 4));
+        }
+        t.merge_series("link.0->1.queue", link);
+        t.merge_series("sim.in_flight", fly);
+        t.merge_series("sim.injected", inj);
+        t.detect_congestion(12);
+        t.snapshot()
+    }
+
+    #[test]
+    fn golden_json_lines_for_timeseries() {
+        let s = ts_snapshot();
+        let got: String = JsonLinesSink
+            .render(&s)
+            .lines()
+            .filter(|l| {
+                l.starts_with("{\"type\":\"series\"") || l.starts_with("{\"type\":\"congestion\"")
+            })
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let want = "\
+{\"type\":\"series\",\"name\":\"link.0->1.queue\",\"cadence\":4,\"dropped_windows\":0,\"hwm_value\":3,\"hwm_cycle\":8,\"windows\":[{\"index\":0,\"min\":1,\"max\":1,\"sum\":4,\"count\":4,\"last\":1},{\"index\":1,\"min\":2,\"max\":2,\"sum\":8,\"count\":4,\"last\":2},{\"index\":2,\"min\":3,\"max\":3,\"sum\":12,\"count\":4,\"last\":3}]}
+{\"type\":\"series\",\"name\":\"sim.in_flight\",\"cadence\":4,\"dropped_windows\":0,\"hwm_value\":3,\"hwm_cycle\":0,\"windows\":[{\"index\":0,\"min\":3,\"max\":3,\"sum\":12,\"count\":4,\"last\":3},{\"index\":1,\"min\":3,\"max\":3,\"sum\":12,\"count\":4,\"last\":3},{\"index\":2,\"min\":3,\"max\":3,\"sum\":12,\"count\":4,\"last\":3}]}
+{\"type\":\"series\",\"name\":\"sim.injected\",\"cadence\":4,\"dropped_windows\":0,\"hwm_value\":1,\"hwm_cycle\":0,\"windows\":[{\"index\":0,\"min\":1,\"max\":1,\"sum\":4,\"count\":4,\"last\":1},{\"index\":1,\"min\":0,\"max\":0,\"sum\":0,\"count\":4,\"last\":0},{\"index\":2,\"min\":0,\"max\":0,\"sum\":0,\"count\":4,\"last\":0}]}
+{\"type\":\"congestion\",\"kind\":\"hotspot-link\",\"severity\":\"warning\",\"subject\":\"link.0->1.queue\",\"window_start\":0,\"window_end\":2,\"peak\":3}
+{\"type\":\"congestion\",\"kind\":\"queue-growth\",\"severity\":\"warning\",\"subject\":\"link.0->1.queue\",\"window_start\":1,\"window_end\":2,\"peak\":3}
+{\"type\":\"congestion\",\"kind\":\"slow-drain\",\"severity\":\"warning\",\"subject\":\"sim.in_flight\",\"window_start\":1,\"window_end\":2,\"peak\":3}
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn text_sink_surfaces_timeseries_congestion_and_span_drops() {
+        let mut s = ts_snapshot();
+        s.spans_dropped = 5;
+        let out = TextSink::default().render(&s);
+        assert!(out.contains("time-series (3 series):"));
+        assert!(out.contains("link.0->1.queue"));
+        assert!(out.contains("hwm 3 @ cycle 8"));
+        assert!(out.contains("congestion (3 events):"));
+        assert!(out.contains("hotspot-link"));
+        assert!(out.contains("spans: 0 recorded, 5 dropped"));
+        // The detector also appended severity-tagged trace events.
+        assert!(out.contains("warning hotspot-link link.0->1.queue (peak 3)"));
+    }
+
+    #[test]
+    fn report_sink_is_deterministic_with_sparklines() {
+        let sink = ReportSink {
+            title: "test run".into(),
+            meta: vec![("topology".into(), "HB(1, 2)".into())],
+            top_links: 4,
+        };
+        let s = ts_snapshot();
+        let a = sink.render(&s);
+        assert_eq!(a, sink.render(&s), "same snapshot, same bytes");
+        assert!(a.starts_with("run report: test run\n"));
+        assert!(a.contains("  topology       HB(1, 2)"));
+        assert!(a.contains("phase timeline (3 windows x 4 cycles, 0 dropped):"));
+        assert!(a.contains("top congested links (1 of 1, by queued packet-cycles):"));
+        // Window maxes 1,2,3 scale to low/mid/full bars.
+        assert!(a.contains("▄▆█"));
+        assert!(a.contains("anomalies (3):"));
+        assert!(a.contains("[ warning] hotspot-link"));
+    }
+
+    #[test]
+    fn report_sink_empty_snapshot_still_renders_headers() {
+        let out = ReportSink::default().render(&Snapshot::default());
+        assert!(out.starts_with("run report: \n"));
+        assert!(out.contains("anomalies (0):"));
+        assert!(out.contains("(none)"));
     }
 }

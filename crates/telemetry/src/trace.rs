@@ -6,6 +6,7 @@
 //! event construction on [`crate::Telemetry::trace_enabled`], which is a
 //! single branch when tracing is off.
 
+use crate::timeseries::{CongestionKind, Severity};
 use std::collections::VecDeque;
 
 /// One traced occurrence.
@@ -68,6 +69,22 @@ pub enum Event {
         round: u32,
         /// Messages sent during the round.
         messages: u64,
+    },
+    /// The congestion detector flagged a sustained condition
+    /// (appended after the run by [`crate::Telemetry::detect_congestion`]).
+    Congestion {
+        /// What was detected.
+        kind: CongestionKind,
+        /// How bad it is.
+        severity: Severity,
+        /// The series it was detected on.
+        subject: String,
+        /// First window index of the flagged span.
+        window_start: u64,
+        /// Last window index of the flagged span (inclusive).
+        window_end: u64,
+        /// Peak sample inside the flagged span.
+        peak: u64,
     },
 }
 

@@ -1,0 +1,164 @@
+//! Offline minimal stand-in for `criterion`.
+//!
+//! Replaces criterion via `[patch.crates-io]` so the workspace's bench
+//! targets compile without registry access (see the workspace
+//! `Cargo.toml`). Each benchmark body runs exactly once per invocation
+//! and a single coarse wall-clock line is printed — enough to smoke-test
+//! that benches execute; use the repo's own `hb-bench` harness for real
+//! measurements.
+
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`].
+pub use std::hint::black_box;
+
+/// The benchmark driver (subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` once under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _c: self,
+        }
+    }
+}
+
+/// A benchmark group (subset of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted and ignored — the stand-in runs each body once.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` once under `self.name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IdLike,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.render());
+        run_one(&full, &mut f);
+        self
+    }
+
+    /// Runs `f` once with `input` under `self.name/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IdLike,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.render());
+        let mut b = Bencher::default();
+        let start = Instant::now();
+        f(&mut b, input);
+        println!("bench {full}: {:?} (1 pass)", start.elapsed());
+        self
+    }
+
+    /// Ends the group (no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, f: &mut F) {
+    let mut b = Bencher::default();
+    let start = Instant::now();
+    f(&mut b);
+    println!("bench {id}: {:?} (1 pass)", start.elapsed());
+}
+
+/// Accepts both `&str` ids and [`BenchmarkId`]s.
+pub trait IdLike {
+    /// Rendered id text.
+    fn render(&self) -> String;
+}
+
+impl IdLike for &str {
+    fn render(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl IdLike for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+impl IdLike for BenchmarkId {
+    fn render(&self) -> String {
+        self.text.clone()
+    }
+}
+
+/// A parameterised benchmark id (subset of `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl core::fmt::Display, parameter: impl core::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl core::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{parameter}"),
+        }
+    }
+}
+
+/// Runs the measured body (subset of `criterion::Bencher`).
+#[derive(Default)]
+pub struct Bencher {}
+
+impl Bencher {
+    /// Runs `f` once and black-boxes its output.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+    }
+}
+
+/// Declares the benchmark entry points (subset of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,3 @@
+//! Offline empty stand-in for `parking_lot`: the workspace declares the
+//! dependency but does not use it; this satisfies resolution without
+//! registry access (see the workspace `Cargo.toml` `[patch.crates-io]`).

@@ -1,0 +1,5 @@
+/root/repo/vendor/stubs/proptest/target/debug/deps/proptest-6a1d24f016db8587.d: src/lib.rs
+
+/root/repo/vendor/stubs/proptest/target/debug/deps/proptest-6a1d24f016db8587: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/stubs/proptest/target/debug/deps/proptest-d7bdae870a387d82.d: src/lib.rs
+
+/root/repo/vendor/stubs/proptest/target/debug/deps/libproptest-d7bdae870a387d82.rlib: src/lib.rs
+
+/root/repo/vendor/stubs/proptest/target/debug/deps/libproptest-d7bdae870a387d82.rmeta: src/lib.rs
+
+src/lib.rs:

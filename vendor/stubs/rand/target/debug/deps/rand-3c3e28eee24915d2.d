@@ -1,0 +1,5 @@
+/root/repo/vendor/stubs/rand/target/debug/deps/rand-3c3e28eee24915d2.d: src/lib.rs
+
+/root/repo/vendor/stubs/rand/target/debug/deps/rand-3c3e28eee24915d2: src/lib.rs
+
+src/lib.rs:

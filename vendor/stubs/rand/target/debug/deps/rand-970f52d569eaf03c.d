@@ -1,0 +1,7 @@
+/root/repo/vendor/stubs/rand/target/debug/deps/rand-970f52d569eaf03c.d: src/lib.rs
+
+/root/repo/vendor/stubs/rand/target/debug/deps/librand-970f52d569eaf03c.rlib: src/lib.rs
+
+/root/repo/vendor/stubs/rand/target/debug/deps/librand-970f52d569eaf03c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,230 @@
+//! Offline sequential stand-in for `rayon`.
+//!
+//! Replaces rayon via `[patch.crates-io]` so the workspace builds without
+//! registry access (see the workspace `Cargo.toml`). Every "parallel"
+//! iterator here runs sequentially on the calling thread — semantically
+//! identical for the deterministic, order-independent reductions this
+//! repo uses, just without the parallel speedup. The container this repo
+//! is developed in is single-core, so nothing is lost in practice.
+
+/// Sequential stand-in for rayon's parallel iterator.
+///
+/// Wraps a plain [`Iterator`] and exposes the subset of
+/// `ParallelIterator` adapters the workspace uses. Adapters preserve
+/// iteration order, which is stronger than rayon's contract — callers
+/// relying only on rayon semantics observe no difference.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Transforms each element.
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<core::iter::Map<I, F>> {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// Keeps elements matching the predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<core::iter::Filter<I, F>> {
+        ParIter {
+            inner: self.inner.filter(f),
+        }
+    }
+
+    /// Transforms and filters in one pass.
+    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
+        self,
+        f: F,
+    ) -> ParIter<core::iter::FilterMap<I, F>> {
+        ParIter {
+            inner: self.inner.filter_map(f),
+        }
+    }
+
+    /// Flattens nested iterables produced per element.
+    pub fn flat_map<B: IntoIterator, F: FnMut(I::Item) -> B>(
+        self,
+        f: F,
+    ) -> ParIter<core::iter::FlatMap<I, B, F>> {
+        ParIter {
+            inner: self.inner.flat_map(f),
+        }
+    }
+
+    /// Runs `f` on every element.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.inner.for_each(f);
+    }
+
+    /// Collects into any `FromIterator` target.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    /// Sums the elements.
+    pub fn sum<S: core::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    /// Counts the elements.
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    /// Largest element, if any.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.max()
+    }
+
+    /// Smallest element, if any.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.min()
+    }
+
+    /// Whether any element matches.
+    pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.inner;
+        let mut f = f;
+        it.any(|x| f(x))
+    }
+
+    /// Whether all elements match.
+    pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.inner;
+        let mut f = f;
+        it.all(|x| f(x))
+    }
+
+    /// Rayon-style reduce: fold from `identity()` with `op`.
+    ///
+    /// Sequentially this is exactly `fold(identity(), op)`; rayon may
+    /// split and recombine, which agrees whenever `op` is associative
+    /// with `identity()` as a unit — the contract callers already uphold.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+}
+
+impl<I, T, E> ParIter<I>
+where
+    I: Iterator<Item = Result<T, E>>,
+{
+    /// Rayon-style fallible reduce: folds `Ok` values from `identity()`
+    /// with `op`, short-circuiting on the first `Err`.
+    pub fn try_reduce<ID, OP>(self, identity: ID, op: OP) -> Result<T, E>
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> Result<T, E>,
+    {
+        let mut acc = identity();
+        for item in self.inner {
+            acc = op(acc, item?)?;
+        }
+        Ok(acc)
+    }
+}
+
+/// Conversion into a "parallel" iterator (owned).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Converts self into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::IntoIter;
+    fn into_par_iter(self) -> ParIter<T::IntoIter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+/// Conversion into a "parallel" iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: 'a;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterates shared references in a [`ParIter`].
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = core::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<core::slice::Iter<'a, T>> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = core::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<core::slice::Iter<'a, T>> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// Runs both closures (sequentially here) and returns their results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of "worker threads" — always 1 in the sequential stand-in.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// The traits rayon users glob-import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let total = (0..100u64)
+            .into_par_iter()
+            .map(|x| x * x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, (0..100u64).map(|x| x * x).sum::<u64>());
+    }
+
+    #[test]
+    fn par_iter_over_slices() {
+        let v = vec![3, 1, 4, 1, 5];
+        let s: i32 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 14);
+        let m = v.par_iter().map(|&x| x).max();
+        assert_eq!(m, Some(5));
+    }
+
+    #[test]
+    fn collect_preserves_order() {
+        let out: Vec<usize> = (0..5).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/vendor/stubs/rayon/target/debug/deps/rayon-30a1ddb6d3eb62bc.d: src/lib.rs
+
+/root/repo/vendor/stubs/rayon/target/debug/deps/rayon-30a1ddb6d3eb62bc: src/lib.rs
+
+src/lib.rs:

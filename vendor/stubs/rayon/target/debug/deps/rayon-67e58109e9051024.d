@@ -1,0 +1,7 @@
+/root/repo/vendor/stubs/rayon/target/debug/deps/rayon-67e58109e9051024.d: src/lib.rs
+
+/root/repo/vendor/stubs/rayon/target/debug/deps/librayon-67e58109e9051024.rlib: src/lib.rs
+
+/root/repo/vendor/stubs/rayon/target/debug/deps/librayon-67e58109e9051024.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,4 @@
+//! Offline empty stand-in for `serde`: the workspace declares the
+//! dependency (with the `derive` feature) but does not use it; this
+//! satisfies resolution without registry access (see the workspace
+//! `Cargo.toml` `[patch.crates-io]`).
