@@ -1,5 +1,6 @@
 //! Minimal dependency-free argument parsing for `hbnet`.
 
+use hb_telemetry::SloSpec;
 use std::fmt;
 
 /// A parsed `hbnet` invocation.
@@ -33,7 +34,8 @@ pub enum Command {
     Embed { m: u32, n: u32, what: EmbedKind },
     /// `simulate <m> <n> [--rate r] [--cycles c] [--adaptive] [--telemetry mode]
     /// [--faults f1,f2] [--fault-links a-b,c-d] [--sample mode] [--trace-out path]
-    /// [--threads k] [--shard-stats] [--timeseries C|off]`
+    /// [--threads k] [--shard-stats] [--timeseries C|off] [--profile]
+    /// [--slo spec]`
     Simulate {
         m: u32,
         n: u32,
@@ -50,11 +52,17 @@ pub enum Command {
         /// Windowed time-series cadence in cycles (`None` = off).
         /// Setting it implies at least `--telemetry summary`.
         timeseries: Option<u64>,
+        /// Record the deterministic work profile and print it as a
+        /// phase tree. Implies at least `--telemetry summary`.
+        profile: bool,
+        /// SLO gate thresholds, evaluated after the run (exit 1 on any
+        /// failure). Implies at least `--telemetry summary`.
+        slo: Option<SloSpec>,
     },
     /// `report <m> <n> [--workload uniform|hotspot] [--rate r] [--cycles c]
     /// [--hot-node v] [--hot-fraction f] [--cadence C] [--seed S]
     /// [--faults f1,f2] [--fault-links a-b,c-d] [--threads k]
-    /// [--format text|json|csv]`
+    /// [--format text|json|csv] [--slo spec]`
     Report {
         m: u32,
         n: u32,
@@ -72,6 +80,9 @@ pub enum Command {
         faults: Vec<usize>,
         fault_links: Vec<(usize, usize)>,
         format: DumpFormat,
+        /// SLO gate thresholds rendered as a pass/fail section (exit 1
+        /// on any failure).
+        slo: Option<SloSpec>,
     },
     /// `telemetry <m> <n> [--rate r] [--cycles c] [--adaptive] [--format f]`
     Telemetry {
@@ -98,6 +109,9 @@ pub enum Command {
         /// (`BENCH_parallel.json`) instead of the metric baseline.
         perf: bool,
     },
+    /// `diff <a.json> <b.json>` — compare two stored benchmark/metric
+    /// snapshots with per-metric tolerances (exit 1 on drift).
+    Diff { a: String, b: String },
     /// `analyze [--json] [--update-baseline] [--root DIR]`
     Analyze {
         /// Emit findings as JSON-lines instead of human-readable blocks.
@@ -205,7 +219,8 @@ USAGE:
                  [--faults f1,f2,..] [--fault-links a-b,c-d,..]
                  [--sample off|all|every=N|fault-adjacent]
                  [--trace-out FILE] [--threads K] [--shard-stats]
-                 [--timeseries C|off]
+                 [--timeseries C|off] [--profile]
+                 [--slo p99=N,delivered=F,queue=N,unroutable=N]
                                        packet simulation, uniform traffic;
                                        summary adds latency quantiles and
                                        per-link utilization, trace adds events;
@@ -219,16 +234,25 @@ USAGE:
                                        windowed per-cycle series keyed by sim
                                        cycle (cadence C, implies at least
                                        --telemetry summary) and runs the
-                                       congestion detector
+                                       congestion detector; --profile prints
+                                       the deterministic work-attribution
+                                       phase tree (byte-identical at every
+                                       --threads value); --slo evaluates
+                                       service-level gates after the run and
+                                       exits 1 when any fails (keys are
+                                       optional, in any order)
   hbnet report <m> <n> [--workload uniform|hotspot] [--rate R] [--cycles C]
                [--hot-node V] [--hot-fraction F] [--cadence C] [--seed S]
                [--faults f1,f2,..] [--fault-links a-b,c-d,..] [--threads K]
                [--format text|json|csv]
+               [--slo p99=N,delivered=F,queue=N,unroutable=N]
                                        deterministic run report: topology,
                                        fault plan, phase timeline, top
                                        congested links with sparklines, and
                                        congestion anomalies — byte-identical
-                                       at every --threads value
+                                       at every --threads value; --slo adds a
+                                       pass/fail gate section and exits 1
+                                       when any gate fails
   hbnet bench --write <FILE> [--cycles C] [--seed S] [--threads K]
                                        collect the seeded benchmark baseline
   hbnet bench --check <FILE> [--threads K]
@@ -244,6 +268,10 @@ USAGE:
                   [--format text|json|csv]
                                        run a traced simulation and dump the
                                        full telemetry snapshot
+  hbnet diff <a.json> <b.json>         compare two stored snapshot files with
+                                       per-metric relative tolerances and
+                                       print a drift table (exit 1 on drift
+                                       beyond tolerance, 0 when equivalent)
   hbnet analyze [--json] [--update-baseline] [--root DIR]
                                        run the determinism & safety linter
                                        (D1 hash-order, D2 wall-clock, D3 rng,
@@ -303,6 +331,17 @@ fn parse_sample(raw: Option<&str>) -> Result<SampleMode, ParseError> {
             other.unwrap_or("<none>")
         ))),
     }
+}
+
+fn parse_slo(raw: Option<&str>) -> Result<SloSpec, ParseError> {
+    let raw = raw.ok_or_else(|| ParseError("missing <slo>".into()))?;
+    let spec = SloSpec::parse(raw).map_err(|e| ParseError(format!("invalid --slo: {e}")))?;
+    if spec.is_empty() {
+        return Err(ParseError(
+            "empty --slo (give at least one of p99=, delivered=, queue=, unroutable=)".into(),
+        ));
+    }
+    Ok(spec)
 }
 
 fn parse_timeseries(raw: Option<&str>) -> Result<Option<u64>, ParseError> {
@@ -389,6 +428,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut threads = 1usize;
             let mut shard_stats = false;
             let mut timeseries = None;
+            let mut profile = false;
+            let mut slo = None;
             let mut i = 3;
             while i < args.len() {
                 match args[i].as_str() {
@@ -451,6 +492,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         timeseries = parse_timeseries(args.get(i + 1).map(String::as_str))?;
                         i += 2;
                     }
+                    "--profile" => {
+                        profile = true;
+                        i += 1;
+                    }
+                    "--slo" => {
+                        slo = Some(parse_slo(args.get(i + 1).map(String::as_str))?);
+                        i += 2;
+                    }
                     other => return Err(ParseError(format!("unknown flag {other}"))),
                 }
             }
@@ -459,9 +508,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--adaptive is a serial-only router (no --threads)".into(),
                 ));
             }
-            // The series land in telemetry, so recording them needs a
-            // handle: quietly raise `off` to `summary`.
-            if timeseries.is_some() && telemetry == TelemetryMode::Off {
+            // The series, the work profile, and the SLO snapshot all
+            // land in telemetry, so they need a handle: quietly raise
+            // `off` to `summary`.
+            if (timeseries.is_some() || profile || slo.is_some()) && telemetry == TelemetryMode::Off
+            {
                 telemetry = TelemetryMode::Summary;
             }
             Ok(Command::Simulate {
@@ -478,6 +529,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 threads,
                 shard_stats,
                 timeseries,
+                profile,
+                slo,
             })
         }
         "report" => {
@@ -494,6 +547,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut faults = Vec::new();
             let mut fault_links = Vec::new();
             let mut format = DumpFormat::Text;
+            let mut slo = None;
             let mut i = 3;
             while i < args.len() {
                 match args[i].as_str() {
@@ -568,6 +622,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         };
                         i += 2;
                     }
+                    "--slo" => {
+                        slo = Some(parse_slo(args.get(i + 1).map(String::as_str))?);
+                        i += 2;
+                    }
                     other => return Err(ParseError(format!("unknown flag {other}"))),
                 }
             }
@@ -588,6 +646,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 faults,
                 fault_links,
                 format,
+                slo,
             })
         }
         "bench" => {
@@ -703,6 +762,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 format,
             })
         }
+        "diff" => Ok(Command::Diff {
+            a: need(args, 1, "a.json")?,
+            b: need(args, 2, "b.json")?,
+        }),
         "analyze" => {
             let mut json = false;
             let mut update_baseline = false;
@@ -866,6 +929,8 @@ mod tests {
         threads: usize,
         shard_stats: bool,
         timeseries: Option<u64>,
+        profile: bool,
+        slo: Option<SloSpec>,
     }
 
     impl Default for Sim {
@@ -882,6 +947,8 @@ mod tests {
                 threads: 1,
                 shard_stats: false,
                 timeseries: None,
+                profile: false,
+                slo: None,
             }
         }
     }
@@ -901,6 +968,8 @@ mod tests {
             threads: s.threads,
             shard_stats: s.shard_stats,
             timeseries: s.timeseries,
+            profile: s.profile,
+            slo: s.slo,
         }
     }
 
@@ -1112,6 +1181,69 @@ mod tests {
         assert!(parse(&argv("simulate 2 4 --timeseries")).is_err());
     }
 
+    #[test]
+    fn parses_simulate_profile_flag() {
+        // --profile implies at least summary telemetry.
+        assert_eq!(
+            parse(&argv("simulate 2 4 --profile")).unwrap(),
+            simulate(
+                2,
+                4,
+                Sim {
+                    profile: true,
+                    telemetry: TelemetryMode::Summary,
+                    ..Sim::default()
+                }
+            )
+        );
+        // An explicit richer mode is kept.
+        assert_eq!(
+            parse(&argv("simulate 2 4 --telemetry trace --profile")).unwrap(),
+            simulate(
+                2,
+                4,
+                Sim {
+                    profile: true,
+                    telemetry: TelemetryMode::Trace,
+                    ..Sim::default()
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn parses_simulate_slo_flag() {
+        let spec = SloSpec::parse("p99=40,delivered=0.95").unwrap();
+        assert_eq!(
+            parse(&argv("simulate 2 4 --slo p99=40,delivered=0.95")).unwrap(),
+            simulate(
+                2,
+                4,
+                Sim {
+                    slo: Some(spec),
+                    telemetry: TelemetryMode::Summary,
+                    ..Sim::default()
+                }
+            )
+        );
+        assert!(parse(&argv("simulate 2 4 --slo")).is_err());
+        assert!(parse(&argv("simulate 2 4 --slo p99=fast")).is_err());
+        assert!(parse(&argv("simulate 2 4 --slo latency=9")).is_err());
+    }
+
+    #[test]
+    fn parses_diff() {
+        assert_eq!(
+            parse(&argv("diff a.json b.json")).unwrap(),
+            Command::Diff {
+                a: "a.json".into(),
+                b: "b.json".into(),
+            }
+        );
+        assert!(parse(&argv("diff a.json")).is_err());
+        assert!(parse(&argv("diff")).is_err());
+    }
+
     /// A `Report` value with every post-`m n` field defaulted, so tests
     /// only spell out what their flag changes.
     struct Rep {
@@ -1145,6 +1277,7 @@ mod tests {
             faults: vec![],
             fault_links: vec![],
             format: DumpFormat::Text,
+            slo: None,
         }
     }
 
@@ -1172,6 +1305,20 @@ mod tests {
         assert!(parse(&argv("report 2 3 --threads 0")).is_err());
         assert!(parse(&argv("report 2 3 --hot-fraction 1.5")).is_err());
         assert!(parse(&argv("report 2 3 --format yaml")).is_err());
+    }
+
+    #[test]
+    fn parses_report_slo_flag() {
+        match parse(&argv("report 2 3 --slo queue=8,unroutable=0")).unwrap() {
+            Command::Report {
+                slo: Some(spec), ..
+            } => {
+                assert_eq!(spec, SloSpec::parse("queue=8,unroutable=0").unwrap());
+            }
+            other => panic!("expected report with slo, got {other:?}"),
+        }
+        assert!(parse(&argv("report 2 3 --slo")).is_err());
+        assert!(parse(&argv("report 2 3 --slo queue=")).is_err());
     }
 
     #[test]

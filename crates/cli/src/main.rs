@@ -22,8 +22,8 @@ use hb_netsim::{
     run, run_adaptive, run_with_faults, sim::SimConfig, workload, FaultPlan, TraceSampling,
 };
 use hb_telemetry::{
-    ChromeTraceSink, CsvSink, JsonLinesSink, ReportSink, Sink, SpanTreeSink, Telemetry, TextSink,
-    TsConfig,
+    slo, ChromeTraceSink, CsvSink, JsonLinesSink, ProfileSink, ReportSink, Sink, SpanTreeSink,
+    Telemetry, TextSink, TsConfig,
 };
 
 fn main() {
@@ -164,6 +164,8 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             threads,
             shard_stats,
             timeseries,
+            profile,
+            slo: slo_spec,
         } => {
             let t = HyperButterflyNet::new(m, n, HbRouteOrder::CubeFirst)?;
             let nn = t.topology().num_nodes();
@@ -203,7 +205,8 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             }
             let mut cfg = SimConfig::bounded(cycles * 100 + 50_000)
                 .with_threads(threads)
-                .with_shard_telemetry(shard_stats);
+                .with_shard_telemetry(shard_stats)
+                .with_profile(profile);
             if let Some(t) = &tel {
                 cfg = cfg.with_telemetry(t.clone());
             }
@@ -289,6 +292,33 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             } else if trace_out.is_some() {
                 return Err("--trace-out needs --telemetry trace".into());
             }
+            if profile {
+                if let Some(t) = &tel {
+                    print!("{}", ProfileSink.render(&t.snapshot()));
+                }
+            }
+            if let (Some(spec), Some(t)) = (slo_spec, &tel) {
+                let checks = spec.evaluate(&t.snapshot());
+                slo::emit(t, &checks);
+                let ok = slo::all_pass(&checks);
+                println!(
+                    "  slo gates   {} check(s): {}",
+                    checks.len(),
+                    if ok { "PASS" } else { "FAIL" }
+                );
+                for c in &checks {
+                    println!(
+                        "    [{}] {:<20} {:<10} actual {}",
+                        if c.pass { "PASS" } else { "FAIL" },
+                        c.name,
+                        c.threshold,
+                        c.actual
+                    );
+                }
+                if !ok {
+                    std::process::exit(1);
+                }
+            }
         }
         Command::Report {
             m,
@@ -304,6 +334,7 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             faults,
             fault_links,
             format,
+            slo: slo_spec,
         } => {
             let t = HyperButterflyNet::new(m, n, HbRouteOrder::CubeFirst)?;
             let nn = t.topology().num_nodes();
@@ -341,6 +372,13 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 run_with_faults(&t, &inj, cfg, &plan, TraceSampling::Off)
             };
+            // Evaluate SLO gates before the final snapshot so the check
+            // events reach the JSON/CSV event streams too.
+            let slo_checks = slo_spec.map(|spec| {
+                let checks = spec.evaluate(&tel.snapshot());
+                slo::emit(&tel, &checks);
+                checks
+            });
             let snapshot = tel.snapshot();
             // The meta block deliberately omits --threads: the report must
             // be byte-identical at every thread count (DESIGN.md §9, §12).
@@ -378,6 +416,7 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                     ),
                     ("cadence".into(), format!("{cadence} cycles/window")),
                 ],
+                slo: slo_spec,
                 ..ReportSink::default()
             };
             let rendered = match format {
@@ -386,6 +425,11 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 DumpFormat::Csv => CsvSink.render(&snapshot),
             };
             print!("{rendered}");
+            if let Some(checks) = slo_checks {
+                if !slo::all_pass(&checks) {
+                    std::process::exit(1);
+                }
+            }
         }
         Command::Bench {
             check,
@@ -469,6 +513,33 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 DumpFormat::Csv => CsvSink.render(&snapshot),
             };
             print!("{rendered}");
+        }
+        Command::Diff { a, b } => {
+            let base =
+                Baseline::parse(&std::fs::read_to_string(&a)?).map_err(|e| format!("{a}: {e}"))?;
+            let other =
+                Baseline::parse(&std::fs::read_to_string(&b)?).map_err(|e| format!("{b}: {e}"))?;
+            if base.cycles != other.cycles || base.seed != other.seed {
+                eprintln!(
+                    "note: runs differ in shape (cycles {} vs {}, seed {} vs {}) — \
+                     metric drift below may reflect the workload, not the code",
+                    base.cycles, other.cycles, base.seed, other.seed
+                );
+            }
+            let drifts = base.compare(&other);
+            if drifts.is_empty() {
+                println!(
+                    "diff OK: {} experiment(s) in {a} and {b} agree within tolerance",
+                    base.experiments.len()
+                );
+            } else {
+                println!(
+                    "diff: {} metric(s) drifted beyond tolerance ({a} -> {b})\n\n{}",
+                    drifts.len(),
+                    render_drifts(&drifts)
+                );
+                std::process::exit(1);
+            }
         }
         Command::Analyze {
             json,

@@ -1,0 +1,80 @@
+//! Golden tests for `hbnet diff` — run-diff forensics between two
+//! stored snapshot files. The fixtures are committed; the rendered
+//! drift table is byte-pinned, and the exit codes are the contract CI
+//! scripts rely on (0 = within tolerance, 1 = drift).
+//!
+//! Regenerate the pinned outputs after an intentional format change:
+//! `REGEN_GOLDEN=1 cargo test -p hb-cli --test diff_golden`.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Fixture path relative to the crate root. The binary is run with
+/// `current_dir` pinned there so these relative paths appear verbatim
+/// in the output, keeping the golden files checkout-independent.
+fn fixture(name: &str) -> String {
+    format!("tests/fixtures/{name}")
+}
+
+fn hbnet_diff(a: &str, b: &str) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_hbnet"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args(["diff", &fixture(a), &fixture(b)])
+        .output()
+        .expect("hbnet runs");
+    (
+        String::from_utf8(out.stdout).expect("stdout is UTF-8"),
+        String::from_utf8(out.stderr).expect("stderr is UTF-8"),
+        out.status.code().expect("exit code"),
+    )
+}
+
+fn check_golden(name: &str, got: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var("REGEN_GOLDEN").is_ok() {
+        std::fs::write(&path, got).expect("golden regenerated");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e} (REGEN_GOLDEN=1 to create)", path.display()));
+    assert_eq!(got, want, "byte drift against {}", path.display());
+}
+
+#[test]
+fn self_diff_is_clean_and_exits_zero() {
+    let (stdout, stderr, code) = hbnet_diff("diff_base.json", "diff_base.json");
+    assert_eq!(code, 0, "self-diff must exit 0; stderr: {stderr}");
+    assert!(stdout.contains("diff OK"), "got: {stdout}");
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+}
+
+#[test]
+fn within_tolerance_diff_exits_zero_with_pinned_output() {
+    let (stdout, stderr, code) = hbnet_diff("diff_base.json", "diff_within.json");
+    assert_eq!(code, 0, "in-tolerance drift must exit 0; stderr: {stderr}");
+    check_golden("diff_within.txt", &stdout);
+}
+
+#[test]
+fn drifting_diff_exits_one_with_pinned_table() {
+    let (stdout, stderr, code) = hbnet_diff("diff_base.json", "diff_drift.json");
+    assert_eq!(
+        code, 1,
+        "out-of-tolerance drift must exit 1; stderr: {stderr}"
+    );
+    check_golden("diff_drift.txt", &stdout);
+}
+
+#[test]
+fn missing_file_is_a_runtime_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hbnet"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args(["diff", &fixture("diff_base.json"), "/no/such/file.json"])
+        .output()
+        .expect("hbnet runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+    assert!(stderr.starts_with("error:"), "got: {stderr}");
+}

@@ -34,7 +34,9 @@
 use crate::faults::FaultPlan;
 use crate::pool::PacketPool;
 use crate::routes::RouteTable;
-use crate::sim::{channel_endpoints, channel_offsets, Injection, Scoreboard, SimConfig, SimStats};
+use crate::sim::{
+    channel_endpoints, channel_offsets, Injection, ProfCounters, Scoreboard, SimConfig, SimStats,
+};
 use crate::topology::NetTopology;
 use crate::tsrec::{GlobalTs, LinkTs};
 use hb_graphs::NodeId;
@@ -175,6 +177,9 @@ pub fn run_with_faults(
             p.enqueued_at = cycle;
         };
 
+    let profiling = cfg.profile && tel.is_some();
+    let mut prof = ProfCounters::default();
+
     let mut stats = SimStats {
         offered: injections.len() as u64,
         ..Default::default()
@@ -212,6 +217,10 @@ pub fn run_with_faults(
                 .slot(inj.src, inj.dst)
                 .expect("invariant: route table was built from this exact workload");
             let path = table.path(slot);
+            if profiling {
+                prof.lookup_inv += 1;
+                prof.lookup_work += path.len() as u64;
+            }
             if path.is_empty() {
                 // Faulty endpoint or no survivor path: refused.
                 unroutable += 1;
@@ -298,6 +307,10 @@ pub fn run_with_faults(
         moved.clear();
         still_active.clear();
         for &ch in &active {
+            if profiling {
+                prof.service_inv += 1;
+                prof.service_work += queues[ch].len() as u64;
+            }
             if let Some(key) = queues[ch].pop_front() {
                 let mut p = *pool.get(key);
                 p.hop += 1;
@@ -403,6 +416,12 @@ pub fn run_with_faults(
         "packet conservation"
     );
     if let (Some(t), Some(b)) = (tel, board) {
+        if profiling {
+            prof.finish(
+                t,
+                Some((table.num_pairs() as u64, table.total_route_nodes() as u64)),
+            );
+        }
         t.counter("sim.reroutes").add(reroutes);
         t.counter("sim.unroutable").add(unroutable);
         if let Some((gt, lt)) = ts.take() {

@@ -45,7 +45,9 @@
 
 use crate::pool::PacketPool;
 use crate::routes::RouteTable;
-use crate::sim::{channel_endpoints, channel_offsets, Injection, Packet, SimConfig, SimStats};
+use crate::sim::{
+    channel_endpoints, channel_offsets, Injection, Packet, ProfCounters, SimConfig, SimStats,
+};
 use crate::topology::NetTopology;
 use crate::tsrec::{GlobalTs, LinkTs};
 use hb_graphs::{Graph, NodeId};
@@ -96,6 +98,11 @@ struct ShardResult {
     links: Option<LinkTs>,
     /// Cross-shard packets received per cycle (`--shard-stats` only).
     mailbox: Option<Series>,
+    /// Deterministic work counters (`SimConfig::profile` only). The
+    /// `sim/*` phases sum identically across any shard count because
+    /// the sharded engine services exactly the channels the serial
+    /// loop would; `shard/*` phases are gated on `shard_telemetry`.
+    prof: ProfCounters,
 }
 
 /// Shard owning channel `ch` under boundaries `chan_lo` (last entry =
@@ -221,7 +228,9 @@ pub(crate) fn run_sharded(
     let mut reroutes = 0u64;
     let mut unroutable = 0u64;
     let mut in_flight = 0u64;
+    let mut prof = ProfCounters::default();
     for r in &results {
+        prof.absorb(&r.prof);
         stats.delivered += r.delivered;
         stats.max_latency = stats.max_latency.max(r.max_latency);
         stats.peak_queue = stats.peak_queue.max(r.peak_queue);
@@ -251,6 +260,12 @@ pub(crate) fn run_sharded(
     );
 
     if let Some(t) = tel {
+        if cfg.profile {
+            prof.finish(
+                t,
+                Some((table.num_pairs() as u64, table.total_route_nodes() as u64)),
+            );
+        }
         if buffer_events {
             // Stable sort on (cycle, phase, key): the key is unique
             // across shards, and equal keys only occur within one shard
@@ -417,6 +432,8 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
         peak: vec![0; width],
     });
     let mut events: Vec<BufferedEvent> = Vec::new();
+    let profiling = cfg.profile && with_board;
+    let mut prof = ProfCounters::default();
 
     // Link-depth series over this shard's own (disjoint) channel range;
     // shard 0 additionally records the whole-network series — it derives
@@ -476,6 +493,10 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
                 .slot(inj.src, inj.dst)
                 .expect("invariant: route table was built from this exact workload");
             let path = table.path(slot);
+            if profiling {
+                prof.lookup_inv += 1;
+                prof.lookup_work += path.len() as u64;
+            }
             if path.is_empty() {
                 debug_assert!(faulted, "empty routes only exist under faults");
                 unroutable += 1;
@@ -553,6 +574,10 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
 
         still_active.clear();
         for &ch in &active {
+            if profiling {
+                prof.service_inv += 1;
+                prof.service_work += queues[ch - base].len() as u64;
+            }
             if let Some(key) = queues[ch - base].pop_front() {
                 let mut p = *pool.get(key);
                 p.hop += 1;
@@ -655,6 +680,10 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
         }
 
         barrier.wait();
+        if profiling && cfg.shard_telemetry {
+            prof.barrier_inv += 1;
+            prof.barrier_work += 1;
+        }
 
         // Counters are stable until the next phase A, so every worker
         // computes the same decision here.
@@ -737,11 +766,19 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
                 }
             }
         }
+        if profiling && cfg.shard_telemetry {
+            prof.mailbox_inv += 1;
+            prof.mailbox_work += incoming_total;
+        }
         if let Some(mb) = mailbox_series.as_mut() {
             mb.record(cycle, incoming_total);
         }
 
         barrier.wait();
+        if profiling && cfg.shard_telemetry {
+            prof.barrier_inv += 1;
+            prof.barrier_work += 1;
+        }
         cycle += 1;
         if drained {
             break;
@@ -765,6 +802,7 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
         globals,
         links: ts_links,
         mailbox: mailbox_series,
+        prof,
     }
 }
 
@@ -899,6 +937,65 @@ mod tests {
             .collect();
         assert_eq!(shard_spans.len(), 2);
         assert!(shard_spans[0].attr("channels").is_some());
+    }
+
+    #[test]
+    fn profile_is_identical_serial_vs_sharded() {
+        let t = HypercubeNet::new(4).unwrap();
+        let traffic = workload::uniform(t.num_nodes(), 60, 0.4, 11);
+        let tel_s = Telemetry::summary();
+        run(
+            &t,
+            &traffic,
+            SimConfig::default()
+                .with_telemetry(tel_s.clone())
+                .with_profile(true),
+        );
+        let prof_s = tel_s.profile();
+        assert!(!prof_s.is_empty(), "profiling recorded phases");
+        assert!(prof_s.get("sim/route_lookup").is_some());
+        assert!(prof_s.get("sim/queue_service").is_some());
+        assert!(prof_s.get("sim/route_build").is_some());
+        assert!(
+            prof_s.get("shard/mailbox_merge").is_none(),
+            "shard phases require shard_telemetry"
+        );
+        for threads in [2, 3, 4] {
+            let tel_p = Telemetry::summary();
+            run(
+                &t,
+                &traffic,
+                SimConfig::default()
+                    .with_telemetry(tel_p.clone())
+                    .with_profile(true)
+                    .with_threads(threads),
+            );
+            assert_eq!(prof_s, tel_p.profile(), "threads={threads}");
+            assert_eq!(tel_s.snapshot(), tel_p.snapshot(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shard_phases_appear_only_under_shard_telemetry() {
+        let t = HypercubeNet::new(4).unwrap();
+        let traffic = workload::uniform(t.num_nodes(), 30, 0.4, 7);
+        let tel = Telemetry::summary();
+        run(
+            &t,
+            &traffic,
+            SimConfig::default()
+                .with_telemetry(tel.clone())
+                .with_profile(true)
+                .with_shard_telemetry(true)
+                .with_threads(2),
+        );
+        let prof = tel.profile();
+        let barrier = prof
+            .get("shard/barrier_epoch")
+            .expect("barrier phase recorded under shard telemetry");
+        // Two barriers per cycle per shard: invocations = 2 * shards * cycles.
+        assert!(barrier.invocations > 0);
+        assert!(prof.get("shard/mailbox_merge").is_some());
     }
 
     #[test]

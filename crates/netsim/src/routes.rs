@@ -151,21 +151,22 @@ impl RouteArena {
 
     /// Appends a computed route, returning its slot.
     fn push(&mut self, planned: Option<(Vec<NodeId>, Detour)>) -> u32 {
-        let slot = u32::try_from(self.len()).expect("fewer than 2^32 pairs");
+        let slot = u32::try_from(self.len()).expect("invariant: fewer than 2^32 route slots");
         let (mut hop, mut reason) = (NO_DETOUR, FaultReason::Node(0));
         if let Some((route, detour)) = planned {
             self.nodes.extend(
                 route
                     .iter()
-                    .map(|&v| u32::try_from(v).expect("node fits u32")),
+                    .map(|&v| u32::try_from(v).expect("invariant: node ids fit u32")),
             );
             if let Some((at, r)) = detour {
                 hop = at;
                 reason = r;
             }
         }
-        self.offsets
-            .push(u32::try_from(self.nodes.len()).expect("arena fits u32"));
+        self.offsets.push(
+            u32::try_from(self.nodes.len()).expect("invariant: route arena stays under 2^32 nodes"),
+        );
         self.detour_hop.push(hop);
         self.detour_reason.push(reason);
         slot
@@ -236,8 +237,8 @@ impl RouteTable {
         let faultless = plan.is_empty();
         for (src, dst) in pairs {
             let key = (
-                u32::try_from(src).expect("node fits u32"),
-                u32::try_from(dst).expect("node fits u32"),
+                u32::try_from(src).expect("invariant: node ids fit u32"),
+                u32::try_from(dst).expect("invariant: node ids fit u32"),
             );
             let row = &mut rows[src];
             let at = match row.binary_search_by_key(&key.1, |&(d, _)| d) {
@@ -264,7 +265,7 @@ impl RouteTable {
                 cols.push(d);
                 slots.push(s);
             }
-            row_offsets.push(u32::try_from(cols.len()).expect("index fits u32"));
+            row_offsets.push(u32::try_from(cols.len()).expect("invariant: pair index fits u32"));
         }
         Self {
             arena,
@@ -319,6 +320,14 @@ impl RouteTable {
     #[must_use]
     pub fn num_pairs(&self) -> usize {
         self.arena.len()
+    }
+
+    /// Total nodes stored across every route — the deterministic work
+    /// unit of the `sim/route_build` profiler phase (one unit per node
+    /// written into the CSR arena).
+    #[must_use]
+    pub fn total_route_nodes(&self) -> usize {
+        self.arena.nodes.len()
     }
 
     /// Pairs with no survivor route under the plan.
@@ -396,7 +405,7 @@ impl RouteCache {
     /// Slot of the route for `(src, dst)` under the current plan,
     /// computing and memoizing it on first use.
     pub fn resolve(&mut self, topo: &dyn NetTopology, src: NodeId, dst: NodeId) -> u32 {
-        let dst_key = u32::try_from(dst).expect("node fits u32");
+        let dst_key = u32::try_from(dst).expect("invariant: node ids fit u32");
         if src >= self.rows.len() {
             self.rows.resize_with(src + 1, Vec::new);
         }
@@ -472,6 +481,8 @@ mod tests {
             assert_eq!(table.detour(slot), None);
         }
         assert!(table.heap_bytes() > 0);
+        let expect_nodes: usize = pairs.iter().map(|&(s, d)| t.route(s, d).len()).sum();
+        assert_eq!(table.total_route_nodes(), expect_nodes);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::routes::RouteTable;
 use crate::topology::{NetTopology, MAX_PRODUCTIVE};
 use crate::tsrec::{GlobalTs, LinkTs};
 use hb_graphs::NodeId;
-use hb_telemetry::{Event, Histogram, LinkStats, Telemetry, CYCLES_COUNTER};
+use hb_telemetry::{Event, Histogram, LinkStats, Profile, Telemetry, CYCLES_COUNTER};
 use std::collections::VecDeque;
 
 /// One packet in flight. Copy-sized: the route lives in a
@@ -112,6 +112,15 @@ pub struct SimConfig {
     /// shard (trace level) after a parallel run. Off by default so
     /// telemetry snapshots stay identical across thread counts.
     pub shard_telemetry: bool,
+    /// Accumulate a deterministic work-attribution
+    /// [`hb_telemetry::Profile`] (phases `sim/route_build`,
+    /// `sim/route_lookup`, `sim/queue_service`, `sim/adaptive_scan`)
+    /// into the telemetry handle. Work units are logical (nodes written,
+    /// packets serviced, candidates scanned — never wall clock), so the
+    /// profile is byte-identical run to run **and across thread
+    /// counts**. No-op without a telemetry handle. Hot loops count into
+    /// plain locals, so the steady state stays allocation-free.
+    pub profile: bool,
 }
 
 impl Default for SimConfig {
@@ -122,6 +131,7 @@ impl Default for SimConfig {
             telemetry: None,
             threads: 1,
             shard_telemetry: false,
+            profile: false,
         }
     }
 }
@@ -154,6 +164,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_shard_telemetry(mut self, on: bool) -> Self {
         self.shard_telemetry = on;
+        self
+    }
+
+    /// Enables the deterministic work-attribution profile (requires a
+    /// telemetry handle to land anywhere).
+    #[must_use]
+    pub fn with_profile(mut self, on: bool) -> Self {
+        self.profile = on;
         self
     }
 }
@@ -211,6 +229,75 @@ impl Scoreboard {
             }
         }
         tel.merge_links(&ls);
+    }
+}
+
+/// Plain-local profiler counters for one run (or one shard): the hot
+/// loops bump `u64` fields and the totals become a
+/// [`hb_telemetry::Profile`] once at the end, so profiling adds no
+/// allocation to the steady state. Work units are logical —
+/// route nodes looked up, queue depth held at service, productive
+/// candidates scanned — never wall clock, which keeps profiles
+/// byte-identical run to run and across thread counts (shard counters
+/// sum to exactly the serial totals because the engines are
+/// byte-identical).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ProfCounters {
+    /// `sim/route_lookup`: one invocation per injection slot lookup;
+    /// work = nodes on the resolved path.
+    pub(crate) lookup_inv: u64,
+    pub(crate) lookup_work: u64,
+    /// `sim/queue_service`: one invocation per serviced channel;
+    /// work = queue depth at service time (backlog held).
+    pub(crate) service_inv: u64,
+    pub(crate) service_work: u64,
+    /// `sim/adaptive_scan`: one invocation per least-queue choice;
+    /// work = productive candidates examined.
+    pub(crate) scan_inv: u64,
+    pub(crate) scan_work: u64,
+    /// `shard/mailbox_merge` (parallel engine, `shard_telemetry` only):
+    /// one invocation per phase-B drain; work = packets received.
+    pub(crate) mailbox_inv: u64,
+    pub(crate) mailbox_work: u64,
+    /// `shard/barrier_epoch` (parallel engine, `shard_telemetry` only):
+    /// one invocation and one work unit per barrier wait.
+    pub(crate) barrier_inv: u64,
+    pub(crate) barrier_work: u64,
+}
+
+impl ProfCounters {
+    /// Sums another shard's counters into this one (plain commutative
+    /// addition, so merge order never matters).
+    pub(crate) fn absorb(&mut self, o: &ProfCounters) {
+        self.lookup_inv += o.lookup_inv;
+        self.lookup_work += o.lookup_work;
+        self.service_inv += o.service_inv;
+        self.service_work += o.service_work;
+        self.scan_inv += o.scan_inv;
+        self.scan_work += o.scan_work;
+        self.mailbox_inv += o.mailbox_inv;
+        self.mailbox_work += o.mailbox_work;
+        self.barrier_inv += o.barrier_inv;
+        self.barrier_work += o.barrier_work;
+    }
+
+    /// Folds the counters — plus the one-shot `sim/route_build` phase
+    /// when a route table was built — into a profile and merges it into
+    /// `tel`. Zero phases are skipped, so runners that never touch a
+    /// phase leave it absent.
+    pub(crate) fn finish(&self, tel: &Telemetry, route_build: Option<(u64, u64)>) {
+        let mut p = Profile::new();
+        if let Some((pairs, nodes)) = route_build {
+            p.record("sim/route_build", pairs, nodes);
+        }
+        p.record("sim/route_lookup", self.lookup_inv, self.lookup_work);
+        p.record("sim/queue_service", self.service_inv, self.service_work);
+        p.record("sim/adaptive_scan", self.scan_inv, self.scan_work);
+        p.record("shard/mailbox_merge", self.mailbox_inv, self.mailbox_work);
+        p.record("shard/barrier_epoch", self.barrier_inv, self.barrier_work);
+        if !p.is_empty() {
+            tel.merge_profile(&p);
+        }
     }
 }
 
@@ -303,6 +390,8 @@ fn run_serial(
     let mut ts = tel
         .and_then(|t| t.timeseries_config())
         .map(|c| (GlobalTs::new(c, false), LinkTs::new(c, 0, num_channels)));
+    let profiling = cfg.profile && tel.is_some();
+    let mut prof = ProfCounters::default();
 
     let mut stats = SimStats {
         offered: injections.len() as u64,
@@ -350,6 +439,10 @@ fn run_serial(
                 .slot(inj.src, inj.dst)
                 .expect("invariant: route table was built from this exact workload");
             let path = table.path(slot);
+            if profiling {
+                prof.lookup_inv += 1;
+                prof.lookup_work += path.len() as u64;
+            }
             if path.len() <= 1 {
                 // Self-delivery: zero-latency, zero hops.
                 stats.delivered += 1;
@@ -405,6 +498,10 @@ fn run_serial(
         moved.clear();
         still_active.clear();
         for &ch in &active {
+            if profiling {
+                prof.service_inv += 1;
+                prof.service_work += queues[ch].len() as u64;
+            }
             if let Some(key) = queues[ch].pop_front() {
                 let mut p = *pool.get(key);
                 p.hop += 1;
@@ -491,6 +588,12 @@ fn run_serial(
         "packet conservation"
     );
     if let (Some(t), Some(b)) = (tel, board) {
+        if profiling {
+            prof.finish(
+                t,
+                Some((table.num_pairs() as u64, table.total_route_nodes() as u64)),
+            );
+        }
         if let Some((gt, lt)) = ts.take() {
             lt.merge_into(t, &b.ends);
             gt.merge_into(t);
@@ -551,6 +654,8 @@ pub fn run_bounded(
     let mut ts = tel
         .and_then(|t| t.timeseries_config())
         .map(|c| (GlobalTs::new(c, false), LinkTs::new(c, 0, num_channels)));
+    let profiling = cfg.profile && tel.is_some();
+    let mut prof = ProfCounters::default();
 
     let mut stats = SimStats {
         offered: injections.len() as u64,
@@ -583,6 +688,10 @@ pub fn run_bounded(
                 .slot(inj.src, inj.dst)
                 .expect("invariant: route table was built from this exact workload");
             let path = table.path(slot);
+            if profiling {
+                prof.lookup_inv += 1;
+                prof.lookup_work += path.len() as u64;
+            }
             if path.len() <= 1 {
                 stats.delivered += 1;
                 if let Some(t) = tel {
@@ -644,6 +753,10 @@ pub fn run_bounded(
             let Some(front) = queues[ch].front() else {
                 continue;
             };
+            if profiling {
+                prof.service_inv += 1;
+                prof.service_work += queues[ch].len() as u64;
+            }
             if let Some(b) = board.as_mut() {
                 b.busy[ch] += 1;
             }
@@ -737,6 +850,12 @@ pub fn run_bounded(
         "packet conservation"
     );
     if let (Some(t), Some(b)) = (tel, board) {
+        if profiling {
+            prof.finish(
+                t,
+                Some((table.num_pairs() as u64, table.total_route_nodes() as u64)),
+            );
+        }
         t.counter("sim.dropped").add(dropped);
         if let Some((gt, lt)) = ts.take() {
             lt.merge_into(t, &b.ends);
@@ -809,13 +928,14 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
                   buf: &mut [NodeId; MAX_PRODUCTIVE],
                   from: NodeId,
                   dst: NodeId|
-     -> usize {
+     -> (usize, usize) {
         let k = topo.productive_hops_into(from, dst, buf);
-        buf[..k]
+        let ch = buf[..k]
             .iter()
             .map(|&w| channel_of(from, w))
             .min_by_key(|&ch| queues[ch].len())
-            .expect("invariant: a productive hop exists for any undelivered packet")
+            .expect("invariant: a productive hop exists for any undelivered packet");
+        (ch, k)
     };
 
     let tel = cfg.telemetry.as_ref();
@@ -823,6 +943,8 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
     let mut ts = tel
         .and_then(|t| t.timeseries_config())
         .map(|c| (GlobalTs::new(c, false), LinkTs::new(c, 0, num_channels)));
+    let profiling = cfg.profile && tel.is_some();
+    let mut prof = ProfCounters::default();
 
     let mut stats = SimStats {
         offered: injections.len() as u64,
@@ -868,7 +990,11 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
                 }
                 continue;
             }
-            let ch = choose(&queues, &mut hop_buf, inj.src, inj.dst);
+            let (ch, scanned) = choose(&queues, &mut hop_buf, inj.src, inj.dst);
+            if profiling {
+                prof.scan_inv += 1;
+                prof.scan_work += scanned as u64;
+            }
             queues[ch].push_back(AdaptivePacket {
                 id,
                 dst: inj.dst,
@@ -900,6 +1026,10 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
 
         still_active.clear();
         for &ch in &active {
+            if profiling {
+                prof.service_inv += 1;
+                prof.service_work += queues[ch].len() as u64;
+            }
             if let Some(mut p) = queues[ch].pop_front() {
                 p.hops += 1;
                 let here = chan_to[ch] as usize;
@@ -945,7 +1075,11 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
         }
         std::mem::swap(&mut active, &mut still_active);
         for (here, p) in moved.drain(..) {
-            let ch = choose(&queues, &mut hop_buf, here, p.dst);
+            let (ch, scanned) = choose(&queues, &mut hop_buf, here, p.dst);
+            if profiling {
+                prof.scan_inv += 1;
+                prof.scan_work += scanned as u64;
+            }
             queues[ch].push_back(p);
             if !is_active[ch] {
                 is_active[ch] = true;
@@ -982,6 +1116,9 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
         "packet conservation"
     );
     if let (Some(t), Some(b)) = (tel, board) {
+        if profiling {
+            prof.finish(t, None);
+        }
         if let Some((gt, lt)) = ts.take() {
             lt.merge_into(t, &b.ends);
             gt.merge_into(t);

@@ -11,6 +11,7 @@
 
 use hb_netsim::topology::{HbRouteOrder, HyperButterflyNet, HypercubeNet, NetTopology};
 use hb_netsim::{run_adaptive, Injection, SimConfig, SimStats};
+use hb_telemetry::Telemetry;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -60,20 +61,26 @@ fn wave_workload(num_nodes: usize, waves: u64, spacing: u64) -> Vec<Injection> {
     inj
 }
 
-fn run_waves(topo: &dyn NetTopology, waves: u64) -> (u64, SimStats) {
+fn run_waves(topo: &dyn NetTopology, waves: u64, profiled: bool) -> (u64, SimStats) {
     let spacing = 64;
     let inj = wave_workload(topo.num_nodes(), waves, spacing);
-    let cfg = SimConfig::bounded(waves * spacing + 10_000);
+    let mut cfg = SimConfig::bounded(waves * spacing + 10_000);
+    if profiled {
+        // Telemetry + profiling on: the work counters are plain locals
+        // bumped per hop, and the Profile is built exactly once at run
+        // end — a constant allocation count regardless of run length.
+        cfg = cfg.with_telemetry(Telemetry::summary()).with_profile(true);
+    }
     count_allocs(|| run_adaptive(topo, &inj, cfg))
 }
 
-fn assert_steady_state_alloc_free(topo: &dyn NetTopology) {
+fn assert_steady_state_alloc_free(topo: &dyn NetTopology, profiled: bool) {
     let (short_waves, long_waves) = (2u64, 32u64);
     // Warm-up run so one-time lazy init (anything OnceLock-ish in the
     // stack below) is excluded from both measurements.
-    let _ = run_waves(topo, 1);
-    let (allocs_short, stats_short) = run_waves(topo, short_waves);
-    let (allocs_long, stats_long) = run_waves(topo, long_waves);
+    let _ = run_waves(topo, 1, profiled);
+    let (allocs_short, stats_short) = run_waves(topo, short_waves, profiled);
+    let (allocs_long, stats_long) = run_waves(topo, long_waves, profiled);
     // The long run really did ~16x the forwarding work...
     assert_eq!(
         stats_short.delivered,
@@ -104,6 +111,12 @@ fn assert_steady_state_alloc_free(topo: &dyn NetTopology) {
 
 #[test]
 fn run_adaptive_steady_state_is_allocation_free() {
-    assert_steady_state_alloc_free(&HypercubeNet::new(6).unwrap());
-    assert_steady_state_alloc_free(&HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap());
+    let hc = HypercubeNet::new(6).unwrap();
+    let hb = HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap();
+    assert_steady_state_alloc_free(&hc, false);
+    assert_steady_state_alloc_free(&hb, false);
+    // The deterministic profiler must not reintroduce per-hop
+    // allocations: same bound with telemetry + profiling enabled.
+    assert_steady_state_alloc_free(&hc, true);
+    assert_steady_state_alloc_free(&hb, true);
 }

@@ -10,7 +10,7 @@ use hb_netsim::topology::{
     ButterflyNet, HbRouteOrder, HyperButterflyNet, HypercubeNet, NetTopology,
 };
 use hb_netsim::{run, run_with_faults, sim::SimConfig, workload, FaultPlan, TraceSampling};
-use hb_telemetry::{Telemetry, TsConfig};
+use hb_telemetry::{Profile, Telemetry, TsConfig};
 use proptest::prelude::*;
 
 /// A trace-level handle with windowed time series on, at a cadence (and
@@ -49,7 +49,12 @@ fn make_plan(seed: u64, n: usize) -> FaultPlan {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Plain runs: stats and full snapshots are thread-count invariant.
+    /// Plain runs: stats and full snapshots — including the work
+    /// profile, which is enabled on every config here — are thread-count
+    /// invariant. The snapshot equality covers `Snapshot::profile`
+    /// field-for-field; the explicit `Profile` comparison below makes
+    /// the byte-identity of the profiler a named failure, not a generic
+    /// snapshot drift.
     #[test]
     fn parallel_run_matches_serial(kind in 0u8..3, rate in 5u32..50,
                                    cycles in 1u64..30, seed in 0u64..300) {
@@ -59,18 +64,29 @@ proptest! {
         let serial = run(
             &*t,
             &inj,
-            SimConfig::default().with_telemetry(tel_serial.clone()),
+            SimConfig::default()
+                .with_telemetry(tel_serial.clone())
+                .with_profile(true),
         );
-        for threads in [2usize, 4] {
+        let prof_serial = tel_serial.profile();
+        prop_assert!(!prof_serial.is_empty(), "profiling recorded phases");
+        for threads in [1usize, 2, 4] {
             let tel_par = tel_with_ts(seed);
             let par = run(
                 &*t,
                 &inj,
                 SimConfig::default()
                     .with_telemetry(tel_par.clone())
+                    .with_profile(true)
                     .with_threads(threads),
             );
             prop_assert_eq!(&serial, &par, "stats drift at {} threads", threads);
+            prop_assert_eq!(
+                &prof_serial,
+                &tel_par.profile(),
+                "profile drift at {} threads",
+                threads
+            );
             prop_assert_eq!(
                 tel_serial.snapshot(),
                 tel_par.snapshot(),
@@ -78,6 +94,42 @@ proptest! {
                 threads
             );
         }
+    }
+
+    /// Profile merging is order-independent: merging per-shard profiles
+    /// in any permutation yields the identical `Profile` (the merge is a
+    /// commutative per-phase sum), so the sharded engine's in-order
+    /// merge is a presentation choice, not a correctness requirement.
+    #[test]
+    fn profile_merge_is_order_independent(
+        counts in proptest::collection::vec((0u64..1000, 0u64..100_000), 1..6),
+        rot in 0usize..6,
+    ) {
+        let parts: Vec<Profile> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &(inv, work))| {
+                let mut p = Profile::new();
+                p.record("sim/route_lookup", inv, work);
+                p.record(&format!("shard/worker_{}", i % 3), inv / 2, work / 2);
+                p
+            })
+            .collect();
+        let mut fwd = Profile::new();
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = Profile::new();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        let mut rotated = Profile::new();
+        let k = rot % parts.len();
+        for p in parts[k..].iter().chain(parts[..k].iter()) {
+            rotated.merge(p);
+        }
+        prop_assert_eq!(&fwd, &rev);
+        prop_assert_eq!(&fwd, &rotated);
     }
 
     /// Fault-aware runs: reroute/unroutable accounting and all telemetry
@@ -93,7 +145,9 @@ proptest! {
         let serial = run_with_faults(
             &*t,
             &inj,
-            SimConfig::default().with_telemetry(tel_serial.clone()),
+            SimConfig::default()
+                .with_telemetry(tel_serial.clone())
+                .with_profile(true),
             &plan,
             TraceSampling::Off,
         );
@@ -104,6 +158,7 @@ proptest! {
                 &inj,
                 SimConfig::default()
                     .with_telemetry(tel_par.clone())
+                    .with_profile(true)
                     .with_threads(threads),
                 &plan,
                 TraceSampling::Off,

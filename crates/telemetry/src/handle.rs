@@ -3,6 +3,7 @@
 
 use crate::histogram::Histogram;
 use crate::links::LinkStats;
+use crate::profile::Profile;
 use crate::registry::{Counter, Gauge, Registry};
 use crate::sink::{HistogramSummary, Snapshot};
 use crate::span::{SpanId, SpanRecord, SpanStore};
@@ -33,6 +34,7 @@ struct Inner {
     trace: Mutex<EventTrace>,
     spans: Mutex<SpanStore>,
     timeseries: Mutex<TsState>,
+    profile: Mutex<Profile>,
 }
 
 /// Windowed-series state: off until [`Telemetry::enable_timeseries`]
@@ -87,6 +89,7 @@ impl Telemetry {
                 // both, so a `with_trace(N)` handle holds O(N) memory.
                 spans: Mutex::new(SpanStore::new(trace_capacity)),
                 timeseries: Mutex::new(TsState::default()),
+                profile: Mutex::new(Profile::new()),
             }),
         }
     }
@@ -308,6 +311,27 @@ impl Telemetry {
         self.ts_state().congestion.clone()
     }
 
+    /// Merges a locally accumulated work-attribution profile into the
+    /// shared one (runners count work units in plain locals, build a
+    /// [`Profile`] once at the end, and merge it here — the hot path
+    /// never touches this lock).
+    pub fn merge_profile(&self, p: &Profile) {
+        self.inner
+            .profile
+            .lock()
+            .expect("invariant: profile mutex unpoisoned (holders never panic)")
+            .merge(p);
+    }
+
+    /// A clone of the accumulated work-attribution profile.
+    pub fn profile(&self) -> Profile {
+        self.inner
+            .profile
+            .lock()
+            .expect("invariant: profile mutex unpoisoned (holders never panic)")
+            .clone()
+    }
+
     fn ts_state(&self) -> std::sync::MutexGuard<'_, TsState> {
         self.inner
             .timeseries
@@ -379,6 +403,7 @@ impl Telemetry {
             spans_dropped: spans.dropped(),
             timeseries: ts.series.clone(),
             congestion: ts.congestion.clone(),
+            profile: self.profile(),
         }
     }
 }

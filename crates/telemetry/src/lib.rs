@@ -23,6 +23,13 @@
 //!   rings of min/max/mean/last aggregates keyed by logical cycle) plus
 //!   a congestion detector flagging hotspot links, head-of-line queue
 //!   growth, and slow drains as severity-tagged [`CongestionEvent`]s;
+//! * [`profile`] — deterministic work-attribution [`Profile`]s counting
+//!   invocations and work units per hierarchical phase (wall-clock
+//!   profiling is banned in library code, so profiles are
+//!   byte-reproducible and CI-gateable);
+//! * [`slo`] — declarative [`SloSpec`] thresholds (p99 latency,
+//!   delivered fraction, queue depth, unroutable count) evaluated over
+//!   a finished run's snapshot;
 //! * [`sink`] — pluggable renderers to fixed-width text tables, JSON
 //!   lines, CSV, Chrome trace-event JSON, and span trees.
 //!
@@ -39,8 +46,10 @@
 
 pub mod histogram;
 pub mod links;
+pub mod profile;
 pub mod registry;
 pub mod sink;
+pub mod slo;
 pub mod span;
 pub mod timeseries;
 pub mod trace;
@@ -50,10 +59,13 @@ mod handle;
 pub use handle::{Telemetry, TelemetryLevel, CYCLES_COUNTER};
 pub use histogram::{Histogram, Quantiles};
 pub use links::{LinkKey, LinkRecord, LinkStats};
+pub use profile::{PhaseStats, Profile};
 pub use registry::{Counter, Gauge, Registry};
 pub use sink::{
-    ChromeTraceSink, CsvSink, JsonLinesSink, ReportSink, Sink, Snapshot, SpanTreeSink, TextSink,
+    ChromeTraceSink, CsvSink, JsonLinesSink, ProfileSink, ReportSink, Sink, Snapshot, SpanTreeSink,
+    TextSink,
 };
+pub use slo::{SloCheck, SloSpec};
 pub use span::{SpanId, SpanRecord, SpanStore};
 pub use timeseries::{
     CongestionEvent, CongestionKind, DetectorConfig, Series, Severity, TsConfig, WindowAgg,

@@ -1,0 +1,169 @@
+//! Deterministic work-attribution profiles.
+//!
+//! Wall-clock profiling is banned in library code (the hb-analyze D2
+//! lint), so this module counts **deterministic work units** instead:
+//! each phase records how many times it ran (`invocations`) and how
+//! much work it did (`work`, in phase-defined units — route nodes
+//! copied, packets advanced, candidate hops scanned). Two runs of the
+//! same workload produce byte-identical profiles, at every thread
+//! count, which makes profiles diffable and gateable in CI exactly
+//! like counters and histograms.
+//!
+//! Phase names are hierarchical slash paths (`sim/route_lookup`,
+//! `shard/mailbox_merge`); [`crate::ProfileSink`] renders the tree by
+//! splitting on `/`. Merging is pure summation per phase — commutative
+//! and associative, so merge order cannot change the result.
+
+use std::collections::BTreeMap;
+
+/// Work counters for one profiled phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// How many times the phase ran.
+    pub invocations: u64,
+    /// Total work units attributed to the phase (phase-defined units:
+    /// route nodes, packets, candidate hops, ...).
+    pub work: u64,
+}
+
+impl PhaseStats {
+    /// A stats cell with the given counts.
+    pub fn new(invocations: u64, work: u64) -> Self {
+        PhaseStats { invocations, work }
+    }
+
+    /// Adds another cell into this one (pure summation).
+    #[inline]
+    pub fn absorb(&mut self, other: PhaseStats) {
+        self.invocations = self.invocations.wrapping_add(other.invocations);
+        self.work = self.work.wrapping_add(other.work);
+    }
+
+    /// Mean work units per invocation (0.0 when the phase never ran).
+    pub fn work_per_invocation(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.work as f64 / self.invocations as f64
+        }
+    }
+}
+
+/// A deterministic work-attribution profile: phase path -> counts.
+///
+/// Phases are keyed by hierarchical slash paths and stored sorted, so
+/// iteration (and therefore every sink rendering) is deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Profile {
+    phases: BTreeMap<String, PhaseStats>,
+}
+
+impl Profile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Profile::default()
+    }
+
+    /// Adds `invocations` and `work` to the phase at `path`, creating
+    /// it at zero if absent.
+    pub fn record(&mut self, path: &str, invocations: u64, work: u64) {
+        if invocations == 0 && work == 0 {
+            return;
+        }
+        self.phases
+            .entry(path.to_string())
+            .or_default()
+            .absorb(PhaseStats { invocations, work });
+    }
+
+    /// Merges another profile into this one by per-phase summation.
+    /// Summation is commutative and associative, so any merge order
+    /// produces the same profile.
+    pub fn merge(&mut self, other: &Profile) {
+        for (path, stats) in &other.phases {
+            self.phases.entry(path.clone()).or_default().absorb(*stats);
+        }
+    }
+
+    /// The stats for `path`, if the phase ever recorded anything.
+    pub fn get(&self, path: &str) -> Option<PhaseStats> {
+        self.phases.get(path).copied()
+    }
+
+    /// `true` when no phase has recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Number of recorded phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Iterates phases in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PhaseStats)> {
+        self.phases.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total work units across every phase.
+    pub fn total_work(&self) -> u64 {
+        self.phases.values().map(|s| s.work).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_phase() {
+        let mut p = Profile::new();
+        p.record("sim/route_lookup", 1, 5);
+        p.record("sim/route_lookup", 2, 7);
+        p.record("sim/queue_service", 1, 1);
+        assert_eq!(p.get("sim/route_lookup"), Some(PhaseStats::new(3, 12)));
+        assert_eq!(p.get("sim/queue_service"), Some(PhaseStats::new(1, 1)));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.total_work(), 13);
+    }
+
+    #[test]
+    fn zero_record_leaves_profile_empty() {
+        let mut p = Profile::new();
+        p.record("sim/idle", 0, 0);
+        assert!(p.is_empty());
+        assert_eq!(p.get("sim/idle"), None);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = Profile::new();
+        a.record("sim/route_lookup", 4, 40);
+        a.record("sim/queue_service", 9, 9);
+        let mut b = Profile::new();
+        b.record("sim/route_lookup", 1, 3);
+        b.record("shard/mailbox_merge", 2, 6);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.get("sim/route_lookup"), Some(PhaseStats::new(5, 43)));
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_path() {
+        let mut p = Profile::new();
+        p.record("z/last", 1, 1);
+        p.record("a/first", 1, 1);
+        let paths: Vec<&str> = p.iter().map(|(k, _)| k).collect();
+        assert_eq!(paths, vec!["a/first", "z/last"]);
+    }
+
+    #[test]
+    fn work_per_invocation_handles_zero() {
+        assert_eq!(PhaseStats::new(0, 0).work_per_invocation(), 0.0);
+        assert_eq!(PhaseStats::new(4, 10).work_per_invocation(), 2.5);
+    }
+}

@@ -13,11 +13,16 @@
 //!   `chrome://tracing` / Perfetto, with logical sim ticks as
 //!   microsecond timestamps so output is fully deterministic;
 //! * [`SpanTreeSink`] — indented causal span trees for terminals;
+//! * [`ProfileSink`] — the work-attribution profile as an indented
+//!   phase tree (slash-separated phase paths become nesting);
 //! * [`ReportSink`] — a deterministic run report: metadata header,
 //!   per-window phase timeline, top-k congested links with sparkline
-//!   bars, and detected anomalies (the `hbnet report` renderer).
+//!   bars, detected anomalies, and optional SLO gate verdicts (the
+//!   `hbnet report` renderer).
 
 use crate::links::LinkUtilization;
+use crate::profile::Profile;
+use crate::slo::SloSpec;
 use crate::span::{SpanId, SpanRecord};
 use crate::timeseries::{CongestionEvent, Series};
 use crate::trace::Event;
@@ -68,6 +73,9 @@ pub struct Snapshot {
     pub timeseries: BTreeMap<String, Series>,
     /// Congestion events found by the detector, in detection order.
     pub congestion: Vec<CongestionEvent>,
+    /// Deterministic work-attribution profile (empty unless profiling
+    /// was on — sinks render nothing for an empty profile).
+    pub profile: Profile,
 }
 
 /// Renders a [`Snapshot`] to a string.
@@ -121,6 +129,29 @@ impl Sink for TextSink {
                     out,
                     "{:<24} {:>9} {:>9.2} {:>6} {:>6} {:>6} {:>6} {:>8}",
                     n, h.count, h.mean, h.min, h.p50, h.p95, h.p99, h.max
+                );
+            }
+        }
+        if !s.profile.is_empty() {
+            let _ = writeln!(
+                out,
+                "work profile ({} phases, {} work units):",
+                s.profile.len(),
+                s.profile.total_work()
+            );
+            let _ = writeln!(
+                out,
+                "  {:<30} {:>12} {:>14} {:>10}",
+                "phase", "invocations", "work", "work/inv"
+            );
+            for (path, st) in s.profile.iter() {
+                let _ = writeln!(
+                    out,
+                    "  {:<30} {:>12} {:>14} {:>10.2}",
+                    path,
+                    st.invocations,
+                    st.work,
+                    st.work_per_invocation()
                 );
             }
         }
@@ -285,6 +316,17 @@ fn event_text(e: &Event) -> String {
                 kind.label()
             )
         }
+        Event::SloCheck {
+            name,
+            threshold,
+            actual,
+            pass,
+        } => {
+            format!(
+                "[   slo] {} {name} {threshold} (actual {actual})",
+                if *pass { "pass" } else { "FAIL" }
+            )
+        }
     }
 }
 
@@ -367,6 +409,18 @@ fn event_json(e: &Event) -> String {
             severity.label(),
             json_escape(subject)
         ),
+        Event::SloCheck {
+            name,
+            threshold,
+            actual,
+            pass,
+        } => format!(
+            "{{\"type\":\"event\",\"kind\":\"slo_check\",\"name\":\"{}\",\
+             \"threshold\":\"{}\",\"actual\":\"{}\",\"pass\":{pass}}}",
+            json_escape(name),
+            json_escape(threshold),
+            json_escape(actual)
+        ),
     }
 }
 
@@ -402,6 +456,14 @@ impl Sink for JsonLinesSink {
                 h.p95,
                 h.p99,
                 h.max
+            ));
+        }
+        for (path, st) in s.profile.iter() {
+            out.push_str(&format!(
+                "{{\"type\":\"profile\",\"phase\":\"{}\",\"invocations\":{},\"work\":{}}}\n",
+                json_escape(path),
+                st.invocations,
+                st.work
             ));
         }
         for l in &s.links {
@@ -597,10 +659,59 @@ impl Sink for SpanTreeSink {
     }
 }
 
+/// The work-attribution profile as an indented phase tree: slash-
+/// separated phase paths become nesting, shared prefixes render once,
+/// leaves carry invocation and work-unit counts. Profiles are built
+/// from deterministic work units (never wall clock), so this output is
+/// byte-identical run to run and across thread counts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProfileSink;
+
+impl Sink for ProfileSink {
+    fn render(&self, s: &Snapshot) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        if s.profile.is_empty() {
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "work profile ({} phases, {} work units):",
+            s.profile.len(),
+            s.profile.total_work()
+        );
+        let mut prev: Vec<&str> = Vec::new();
+        for (path, st) in s.profile.iter() {
+            let segs: Vec<&str> = path.split('/').collect();
+            let dirs = segs.len() - 1;
+            let mut common = 0;
+            while common < prev.len().min(dirs) && prev[common] == segs[common] {
+                common += 1;
+            }
+            for (d, seg) in segs.iter().enumerate().take(dirs).skip(common) {
+                let _ = writeln!(out, "{}{seg}/", "  ".repeat(d + 1));
+            }
+            let _ = writeln!(
+                out,
+                "{}{:<24} invocations {:>10}  work {:>12}  work/inv {:>8.2}",
+                "  ".repeat(dirs + 1),
+                segs[dirs],
+                st.invocations,
+                st.work,
+                st.work_per_invocation()
+            );
+            prev = segs;
+            prev.truncate(dirs);
+        }
+        out
+    }
+}
+
 /// A deterministic run report for one simulation: metadata, per-window
-/// phase timeline, top-k congested links as sparkline bars, and the
-/// detector's anomalies. Output is pure logical-cycle data — same run,
-/// same bytes — so it can be golden-pinned in CI.
+/// phase timeline, top-k congested links as sparkline bars, the
+/// detector's anomalies, and (when configured) SLO gate verdicts.
+/// Output is pure logical-cycle data — same run, same bytes — so it can
+/// be golden-pinned in CI.
 #[derive(Clone, Debug)]
 pub struct ReportSink {
     /// Report title (e.g. `HB(2, 3) hotspot`).
@@ -609,6 +720,9 @@ pub struct ReportSink {
     pub meta: Vec<(String, String)>,
     /// Most-congested links to chart (0 = all).
     pub top_links: usize,
+    /// SLO thresholds to evaluate and render as a gates section
+    /// (`None` = no section, keeping existing reports byte-identical).
+    pub slo: Option<SloSpec>,
 }
 
 impl Default for ReportSink {
@@ -617,6 +731,7 @@ impl Default for ReportSink {
             title: String::new(),
             meta: Vec::new(),
             top_links: 8,
+            slo: None,
         }
     }
 }
@@ -732,6 +847,26 @@ impl Sink for ReportSink {
                 e.peak
             );
         }
+
+        if let Some(spec) = &self.slo {
+            let checks = spec.evaluate(s);
+            let verdict = if crate::slo::all_pass(&checks) {
+                "PASS"
+            } else {
+                "FAIL"
+            };
+            let _ = writeln!(out, "slo gates ({} checks): {verdict}", checks.len());
+            for c in &checks {
+                let _ = writeln!(
+                    out,
+                    "  [{}] {:<20} {:<10} actual {}",
+                    if c.pass { "pass" } else { "FAIL" },
+                    c.name,
+                    c.threshold,
+                    c.actual
+                );
+            }
+        }
         out
     }
 }
@@ -784,6 +919,17 @@ impl Sink for CsvSink {
                     h.p95.to_string(),
                     h.p99.to_string(),
                     h.max.to_string(),
+                ]));
+                out.push('\n');
+            }
+        }
+        if !s.profile.is_empty() {
+            out.push_str("\nphase,invocations,work\n");
+            for (path, st) in s.profile.iter() {
+                out.push_str(&csv_record([
+                    path.to_string(),
+                    st.invocations.to_string(),
+                    st.work.to_string(),
                 ]));
                 out.push('\n');
             }
@@ -933,6 +1079,28 @@ impl Sink for CsvSink {
                         subject.clone(),
                         window_start.to_string(),
                         window_end.to_string(),
+                        empty(),
+                    ],
+                    // SLO verdicts reuse the shared columns:
+                    // objective name -> protocol, threshold -> round,
+                    // observed value -> messages.
+                    Event::SloCheck {
+                        name,
+                        threshold,
+                        actual,
+                        pass,
+                    } => [
+                        if *pass { "slo_pass" } else { "slo_fail" }.to_string(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        empty(),
+                        name.clone(),
+                        threshold.clone(),
+                        actual.clone(),
                         empty(),
                     ],
                 };
@@ -1244,6 +1412,7 @@ mod tests {
             title: "test run".into(),
             meta: vec![("topology".into(), "HB(1, 2)".into())],
             top_links: 4,
+            slo: None,
         };
         let s = ts_snapshot();
         let a = sink.render(&s);
@@ -1264,5 +1433,99 @@ mod tests {
         assert!(out.starts_with("run report: \n"));
         assert!(out.contains("anomalies (0):"));
         assert!(out.contains("(none)"));
+        assert!(!out.contains("slo gates"), "no SLO section unless asked");
+    }
+
+    /// A snapshot whose profile spans two top-level groups.
+    fn profile_snapshot() -> Snapshot {
+        let t = Telemetry::summary();
+        let mut p = crate::profile::Profile::new();
+        p.record("sim/route_lookup", 10, 40);
+        p.record("sim/queue_service", 25, 25);
+        p.record("shard/mailbox_merge", 4, 12);
+        t.merge_profile(&p);
+        t.snapshot()
+    }
+
+    #[test]
+    fn golden_profile_tree() {
+        let got = ProfileSink.render(&profile_snapshot());
+        let want = "\
+work profile (3 phases, 77 work units):
+  shard/
+    mailbox_merge            invocations          4  work           12  work/inv     3.00
+  sim/
+    queue_service            invocations         25  work           25  work/inv     1.00
+    route_lookup             invocations         10  work           40  work/inv     4.00
+";
+        assert_eq!(got, want);
+        assert_eq!(ProfileSink.render(&Snapshot::default()), "");
+    }
+
+    #[test]
+    fn profile_reaches_every_format() {
+        let s = profile_snapshot();
+        let text = TextSink::default().render(&s);
+        assert!(text.contains("work profile (3 phases, 77 work units):"));
+        assert!(text.contains("sim/route_lookup"));
+        let json = JsonLinesSink.render(&s);
+        assert!(json.contains(
+            "{\"type\":\"profile\",\"phase\":\"sim/route_lookup\",\
+             \"invocations\":10,\"work\":40}"
+        ));
+        let csv = CsvSink.render(&s);
+        assert!(csv.contains("phase,invocations,work"));
+        assert!(csv.contains("sim/queue_service,25,25"));
+        // Empty profiles stay invisible so existing goldens hold.
+        let empty = Telemetry::summary().snapshot();
+        assert!(!JsonLinesSink
+            .render(&empty)
+            .contains("\"type\":\"profile\""));
+        assert!(!CsvSink.render(&empty).contains("phase,invocations,work"));
+    }
+
+    #[test]
+    fn slo_check_events_render_in_every_format() {
+        let t = Telemetry::with_trace(8);
+        crate::slo::emit(
+            &t,
+            &[crate::slo::SloCheck {
+                name: "p99_latency",
+                threshold: "<= 40".into(),
+                actual: "31".into(),
+                pass: true,
+            }],
+        );
+        let s = t.snapshot();
+        assert!(TextSink::default()
+            .render(&s)
+            .contains("[   slo] pass p99_latency <= 40 (actual 31)"));
+        assert!(JsonLinesSink.render(&s).contains(
+            "{\"type\":\"event\",\"kind\":\"slo_check\",\"name\":\"p99_latency\",\
+             \"threshold\":\"<= 40\",\"actual\":\"31\",\"pass\":true}"
+        ));
+        assert!(CsvSink
+            .render(&s)
+            .contains("slo_pass,,,,,,,,p99_latency,<= 40,31,"));
+    }
+
+    #[test]
+    fn report_sink_renders_slo_gates_section() {
+        let t = Telemetry::summary();
+        t.counter("sim.offered").add(10);
+        t.counter("sim.delivered").add(9);
+        let s = t.snapshot();
+        let sink = ReportSink {
+            slo: Some(SloSpec {
+                min_delivered_fraction: Some(0.95),
+                max_unroutable: Some(0),
+                ..SloSpec::default()
+            }),
+            ..ReportSink::default()
+        };
+        let out = sink.render(&s);
+        assert!(out.contains("slo gates (2 checks): FAIL"));
+        assert!(out.contains("[FAIL] delivered_fraction   >= 0.9500  actual 0.9000"));
+        assert!(out.contains("[pass] unroutable"));
     }
 }

@@ -70,6 +70,20 @@ pub enum Event {
         /// Messages sent during the round.
         messages: u64,
     },
+    /// One service-level objective was checked against a finished run
+    /// (appended after the run by [`crate::slo::emit`]). Threshold and
+    /// actual are pre-formatted so the event renders identical bytes in
+    /// every sink.
+    SloCheck {
+        /// Objective name (`p99_latency`, `delivered_fraction`, ...).
+        name: String,
+        /// The configured bound, rendered (e.g. `<= 40`).
+        threshold: String,
+        /// The observed value, rendered.
+        actual: String,
+        /// Whether the run satisfied the bound.
+        pass: bool,
+    },
     /// The congestion detector flagged a sustained condition
     /// (appended after the run by [`crate::Telemetry::detect_congestion`]).
     Congestion {
