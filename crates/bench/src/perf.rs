@@ -26,7 +26,7 @@ use crate::parallel::parallel_map;
 use hb_graphs::Result;
 use hb_netsim::{
     run, run_adaptive, sim::SimConfig, workload, FaultPlan, HbRouteOrder, HyperButterflyNet,
-    NetTopology, RouteTable,
+    ImplicitTopology, Injection, NetTopology, RouteTable,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -245,6 +245,63 @@ pub fn adaptive_perf(cycles: u64, seed: u64) -> Result<Vec<PerfRow>> {
     )])
 }
 
+/// A fixed-size deterministic workload whose packet count does **not**
+/// grow with the topology: a Weyl-style arithmetic walk over the node
+/// space (no RNG), so the frontier rows below measure how throughput
+/// scales with *node count* at constant traffic.
+fn frontier_workload(nn: usize, cycles: u64, packets: usize) -> Vec<Injection> {
+    let per_cycle = (packets as u64).div_ceil(cycles.max(1)) as usize;
+    let mut inj = Vec::with_capacity(packets);
+    let mut i = 0u64;
+    'fill: for at in 0..cycles {
+        for _ in 0..per_cycle {
+            let src = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as usize % nn;
+            let dst = (i.wrapping_mul(0xBF58_476D_1CE4_E5B9) >> 13) as usize % nn;
+            i += 1;
+            if src != dst {
+                inj.push(Injection { src, dst, at });
+            }
+            if inj.len() == packets {
+                break 'fill;
+            }
+        }
+    }
+    inj
+}
+
+/// Frontier-engine scaling: the same ~2048-packet arithmetic workload
+/// run on the implicit algebraic topology (`SimConfig::implicit`) at
+/// node counts from 10^3 to over 10^6 (`HB(4, 4)` through `HB(7, 10)`).
+/// With the active-frontier worklist and sparse channel state, wall
+/// clock per cycle tracks *active packets*, not node count — the four
+/// rows document that cycles/sec stays in the same decade across three
+/// orders of magnitude of topology size.
+///
+/// # Errors
+/// Propagates topology construction failures.
+pub fn frontier_scaling(cycles: u64, _seed: u64) -> Result<Vec<PerfRow>> {
+    const SHAPES: [(u32, u32); 4] = [(4, 4), (5, 6), (6, 8), (7, 10)];
+    const PACKETS: usize = 2048;
+    let mut rows = Vec::new();
+    for (m, n) in SHAPES {
+        let t = ImplicitTopology::new(m, n, HbRouteOrder::CubeFirst)?;
+        let inj = frontier_workload(t.num_nodes(), cycles, PACKETS);
+        let cfg = SimConfig::bounded(cycles * 40 + 10_000).with_implicit_topology(true);
+        let start = Instant::now();
+        let stats = run(&t, &inj, cfg);
+        let wall = start.elapsed().as_secs_f64();
+        rows.push(mk_row(
+            format!("frontier/{}", t.name()),
+            1,
+            wall,
+            stats.delivered,
+            stats.cycles,
+            wall,
+        ));
+    }
+    Ok(rows)
+}
+
 /// The full perf suite at modest sizes: engine scaling, grid scaling,
 /// and the hot-path microbenches. This is what `hbnet bench --perf`
 /// measures and what `BENCH_parallel.json` stores.
@@ -256,6 +313,7 @@ pub fn perf_rows(cycles: u64, seed: u64) -> Result<Vec<PerfRow>> {
     rows.extend(grid_scaling(&[0.05, 0.10, 0.20], cycles, seed)?);
     rows.extend(route_lookup(cycles, seed)?);
     rows.extend(adaptive_perf(cycles, seed)?);
+    rows.extend(frontier_scaling(cycles, seed)?);
     Ok(rows)
 }
 
@@ -365,6 +423,33 @@ mod tests {
         assert!(a[0].speedup > 0.0);
         assert!(a[0].pkts_per_sec > 0.0);
         assert!(a[0].cycles_per_sec > 0.0);
+    }
+
+    #[test]
+    fn frontier_workload_is_fixed_size_and_sorted() {
+        for nn in [1024usize, 1 << 17] {
+            let inj = frontier_workload(nn, 12, 500);
+            assert_eq!(inj.len(), 500);
+            assert!(inj.windows(2).all(|w| w[0].at <= w[1].at));
+            assert!(inj
+                .iter()
+                .all(|i| i.src != i.dst && i.src < nn && i.dst < nn));
+        }
+    }
+
+    #[test]
+    fn frontier_scaling_counters_are_deterministic() {
+        let a = frontier_scaling(10, 7).unwrap();
+        let b = frontier_scaling(10, 7).unwrap();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].name, "frontier/HB(4, 4)");
+        assert_eq!(a[3].name, "frontier/HB(7, 10)");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.threads, 1);
+            assert_eq!(x.delivered, y.delivered);
+            assert_eq!(x.sim_cycles, y.sim_cycles);
+            assert!(x.delivered > 0, "{}", x.name);
+        }
     }
 
     #[test]

@@ -32,16 +32,19 @@ pub enum Command {
     },
     /// `embed <m> <n> (cycle <k> | hamiltonian | tree | mot <p> <q>)`
     Embed { m: u32, n: u32, what: EmbedKind },
-    /// `simulate <m> <n> [--rate r] [--cycles c] [--adaptive] [--telemetry mode]
-    /// [--faults f1,f2] [--fault-links a-b,c-d] [--sample mode] [--trace-out path]
-    /// [--threads k] [--shard-stats] [--timeseries C|off] [--profile]
-    /// [--slo spec]`
+    /// `simulate <m> <n> [--rate r] [--cycles c] [--adaptive] [--implicit]
+    /// [--telemetry mode] [--faults f1,f2] [--fault-links a-b,c-d]
+    /// [--sample mode] [--trace-out path] [--threads k] [--shard-stats]
+    /// [--timeseries C|off] [--profile] [--slo spec]`
     Simulate {
         m: u32,
         n: u32,
         rate: f64,
         cycles: u64,
         adaptive: bool,
+        /// Run on the implicit algebraic topology (no adjacency arrays,
+        /// sparse per-channel state) — scales to million-node shapes.
+        implicit: bool,
         telemetry: TelemetryMode,
         faults: Vec<usize>,
         fault_links: Vec<(usize, usize)>,
@@ -214,7 +217,7 @@ USAGE:
   hbnet embed <m> <n> hamiltonian      Hamiltonian cycle
   hbnet embed <m> <n> tree             complete binary tree
   hbnet embed <m> <n> mot <p> <q>      mesh of trees MT(2^p, 2^q) (Thm 4)
-  hbnet simulate <m> <n> [--rate R] [--cycles C] [--adaptive]
+  hbnet simulate <m> <n> [--rate R] [--cycles C] [--adaptive] [--implicit]
                  [--telemetry off|summary|trace]
                  [--faults f1,f2,..] [--fault-links a-b,c-d,..]
                  [--sample off|all|every=N|fault-adjacent]
@@ -240,7 +243,13 @@ USAGE:
                                        --threads value); --slo evaluates
                                        service-level gates after the run and
                                        exits 1 when any fails (keys are
-                                       optional, in any order)
+                                       optional, in any order); --implicit
+                                       computes the topology algebraically
+                                       (no adjacency arrays, sparse
+                                       per-channel state — scales to
+                                       million-node shapes with identical
+                                       results) and prints the peak live
+                                       channel-record count
   hbnet report <m> <n> [--workload uniform|hotspot] [--rate R] [--cycles C]
                [--hot-node V] [--hot-fraction F] [--cadence C] [--seed S]
                [--faults f1,f2,..] [--fault-links a-b,c-d,..] [--threads K]
@@ -422,6 +431,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut adaptive = false;
             let mut telemetry = TelemetryMode::Off;
             let mut faults = Vec::new();
+            let mut implicit = false;
             let mut fault_links = Vec::new();
             let mut sample = SampleMode::Off;
             let mut trace_out = None;
@@ -443,6 +453,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     }
                     "--adaptive" => {
                         adaptive = true;
+                        i += 1;
+                    }
+                    "--implicit" => {
+                        implicit = true;
                         i += 1;
                     }
                     "--telemetry" => {
@@ -521,6 +535,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 rate,
                 cycles,
                 adaptive,
+                implicit,
                 telemetry,
                 faults,
                 fault_links,
@@ -921,6 +936,7 @@ mod tests {
         rate: f64,
         cycles: u64,
         adaptive: bool,
+        implicit: bool,
         telemetry: TelemetryMode,
         faults: Vec<usize>,
         fault_links: Vec<(usize, usize)>,
@@ -939,6 +955,7 @@ mod tests {
                 rate: 0.1,
                 cycles: 200,
                 adaptive: false,
+                implicit: false,
                 telemetry: TelemetryMode::Off,
                 faults: vec![],
                 fault_links: vec![],
@@ -960,6 +977,7 @@ mod tests {
             rate: s.rate,
             cycles: s.cycles,
             adaptive: s.adaptive,
+            implicit: s.implicit,
             telemetry: s.telemetry,
             faults: s.faults,
             fault_links: s.fault_links,

@@ -17,9 +17,10 @@ use hb_core::{decompose, embed, fault_routing, metrics, routing, HyperButterfly}
 use hb_distributed::election;
 use hb_graphs::embedding::{validate_cycle, validate_tree_embedding, Embedding};
 use hb_graphs::generators;
-use hb_netsim::topology::{HbRouteOrder, HyperButterflyNet};
+use hb_netsim::topology::{HbRouteOrder, HyperButterflyNet, ImplicitTopology, NetTopology};
 use hb_netsim::{
-    run, run_adaptive, run_with_faults, sim::SimConfig, workload, FaultPlan, TraceSampling,
+    run, run_adaptive, run_with_faults, run_with_mem, sim::SimConfig, workload, FaultPlan,
+    TraceSampling,
 };
 use hb_telemetry::{
     slo, ChromeTraceSink, CsvSink, JsonLinesSink, ProfileSink, ReportSink, Sink, SpanTreeSink,
@@ -156,6 +157,7 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             rate,
             cycles,
             adaptive,
+            implicit,
             telemetry,
             faults,
             fault_links,
@@ -167,14 +169,24 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             profile,
             slo: slo_spec,
         } => {
-            let t = HyperButterflyNet::new(m, n, HbRouteOrder::CubeFirst)?;
-            let nn = t.topology().num_nodes();
+            // `--implicit` computes adjacency and routes algebraically —
+            // no graph arrays — so million-node shapes construct in O(1).
+            let explicit_net;
+            let implicit_net;
+            let (t, hb): (&dyn NetTopology, &HyperButterfly) = if implicit {
+                implicit_net = ImplicitTopology::new(m, n, HbRouteOrder::CubeFirst)?;
+                (&implicit_net, implicit_net.topology())
+            } else {
+                explicit_net = HyperButterflyNet::new(m, n, HbRouteOrder::CubeFirst)?;
+                (&explicit_net, explicit_net.topology())
+            };
+            let nn = hb.num_nodes();
             for &f in &faults {
-                check_index(t.topology(), f)?;
+                check_index(hb, f)?;
             }
             for &(a, b) in &fault_links {
-                check_index(t.topology(), a)?;
-                check_index(t.topology(), b)?;
+                check_index(hb, a)?;
+                check_index(hb, b)?;
             }
             let plan = FaultPlan::from_sets(faults.iter().copied(), fault_links.iter().copied());
             let sampling = match sample {
@@ -206,16 +218,22 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             let mut cfg = SimConfig::bounded(cycles * 100 + 50_000)
                 .with_threads(threads)
                 .with_shard_telemetry(shard_stats)
-                .with_profile(profile);
+                .with_profile(profile)
+                .with_implicit_topology(implicit);
             if let Some(t) = &tel {
                 cfg = cfg.with_telemetry(t.clone());
             }
+            let mut mem = None;
             let stats = if flight {
-                run_with_faults(&t, &inj, cfg, &plan, sampling)
+                run_with_faults(t, &inj, cfg, &plan, sampling)
             } else if adaptive {
-                run_adaptive(&t, &inj, cfg)
+                run_adaptive(t, &inj, cfg)
+            } else if implicit && threads <= 1 {
+                let (stats, m) = run_with_mem(t, &inj, cfg);
+                mem = Some(m);
+                stats
             } else {
-                run(&t, &inj, cfg)
+                run(t, &inj, cfg)
             };
             println!(
                 "HB({m}, {n}) uniform rate {rate} for {cycles} cycles ({}):",
@@ -227,6 +245,12 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 stats.avg_latency, stats.avg_hops
             );
             println!("  peak queue  {}", stats.peak_queue);
+            if let Some(mem) = &mem {
+                println!(
+                    "  channels    peak {} live records of {} total (sparse, implicit)",
+                    mem.peak_channel_records, mem.num_channels
+                );
+            }
             if threads > 1 {
                 println!("  threads     {threads} (sharded engine, deterministic)");
             }

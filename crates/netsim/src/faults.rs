@@ -162,6 +162,34 @@ impl FaultPlan {
         }
         hot
     }
+
+    /// Graph-free counterpart of [`FaultPlan::hot_nodes`]: the same
+    /// fault-adjacency predicate as a sparse set holding **only** the
+    /// hot node ids — O(faults × degree) memory, independent of
+    /// topology size. Neighbor enumeration goes through
+    /// [`crate::topology::NetTopology::neighbors_into`], so implicit
+    /// million-node topologies never materialise an adjacency array.
+    pub fn hot_node_set(&self, topo: &dyn crate::topology::NetTopology) -> BTreeSet<NodeId> {
+        let n = topo.num_nodes();
+        let mut hot = BTreeSet::new();
+        let mut buf = [0 as NodeId; crate::topology::MAX_PRODUCTIVE];
+        for &v in &self.nodes {
+            if v < n {
+                hot.insert(v);
+                let k = topo.neighbors_into(v, &mut buf);
+                hot.extend(buf[..k].iter().copied());
+            }
+        }
+        for &(u, v) in &self.links {
+            if u < n {
+                hot.insert(u);
+            }
+            if v < n {
+                hot.insert(v);
+            }
+        }
+        hot
+    }
 }
 
 /// Outcome of one fault-injection trial campaign at a fixed fault count.

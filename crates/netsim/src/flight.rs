@@ -35,13 +35,13 @@ use crate::faults::FaultPlan;
 use crate::pool::PacketPool;
 use crate::routes::RouteTable;
 use crate::sim::{
-    channel_endpoints, channel_offsets, Injection, ProfCounters, Scoreboard, SimConfig, SimStats,
+    ChanLayout, ChanQueues, Injection, ProfCounters, Scoreboard, SimConfig, SimStats,
 };
 use crate::topology::NetTopology;
 use crate::tsrec::{GlobalTs, LinkTs};
 use hb_graphs::NodeId;
 use hb_telemetry::{Event, SpanId, Telemetry};
-use std::collections::VecDeque;
+use std::collections::BTreeSet;
 
 pub use crate::routes::{plan_route, survivor_route};
 
@@ -64,14 +64,34 @@ pub enum TraceSampling {
 }
 
 impl TraceSampling {
-    fn samples(self, id: u64, route: &[u32], hot: &[bool]) -> bool {
+    fn samples(self, id: u64, route: &[u32], hot: &HotSet) -> bool {
         match self {
             TraceSampling::Off => false,
             TraceSampling::All => true,
             TraceSampling::EveryNth(n) => n > 0 && id.is_multiple_of(n),
             TraceSampling::FaultAdjacent => route
                 .windows(2)
-                .any(|w| hot[w[0] as usize] || hot[w[1] as usize]),
+                .any(|w| hot.is_hot(w[0] as NodeId) || hot.is_hot(w[1] as NodeId)),
+        }
+    }
+}
+
+/// Fault-adjacency mask for [`TraceSampling::FaultAdjacent`]: dense over
+/// explicit graphs (as before), a sparse id set over implicit topologies
+/// so memory stays O(faults × degree) at million-node scale.
+enum HotSet {
+    Empty,
+    Dense(Vec<bool>),
+    Sparse(BTreeSet<NodeId>),
+}
+
+impl HotSet {
+    #[inline]
+    fn is_hot(&self, v: NodeId) -> bool {
+        match self {
+            HotSet::Empty => false,
+            HotSet::Dense(mask) => mask[v],
+            HotSet::Sparse(set) => set.contains(&v),
         }
     }
 }
@@ -112,8 +132,6 @@ pub fn run_with_faults(
     plan: &FaultPlan,
     sampling: TraceSampling,
 ) -> SimStats {
-    let g = topo.graph();
-    let n = g.num_nodes();
     assert!(
         injections.windows(2).all(|w| w[0].at <= w[1].at),
         "injections must be sorted by cycle"
@@ -126,29 +144,24 @@ pub fn run_with_faults(
         return crate::par::run_sharded(topo, injections, &cfg, &table, true);
     }
 
-    let offsets = channel_offsets(g);
-    let num_channels = offsets[n];
-    let mut queues: Vec<VecDeque<u32>> = vec![VecDeque::new(); num_channels];
+    let layout = ChanLayout::new(topo, cfg.implicit);
+    let num_channels = layout.num_channels();
+    let sparse = cfg.implicit || topo.explicit_graph().is_none();
+    let mut queues: ChanQueues<u32> = ChanQueues::new(num_channels, sparse, false);
     let mut pool: PacketPool<FlightPacket> = PacketPool::new();
     let mut active: Vec<usize> = Vec::new();
-    let mut is_active = vec![false; num_channels];
 
-    let channel_of = |u: NodeId, v: NodeId| -> usize {
-        let port = g
-            .neighbors(u)
-            .binary_search(&(v as u32))
-            .unwrap_or_else(|_| panic!("route step ({u}, {v}) is not an edge")); // analyze: allow(panic-policy, internal invariant needs the offending ids; expect cannot format them)
-        offsets[u] + port
-    };
-
-    let mut board = tel.map(|_| Scoreboard::new(channel_endpoints(g, &offsets)));
+    let mut board = tel.map(|_| Scoreboard::new(layout.endpoints()));
     let mut ts = tel
         .and_then(|t| t.timeseries_config())
         .map(|c| (GlobalTs::new(c, true), LinkTs::new(c, 0, num_channels)));
     let hot = if matches!(sampling, TraceSampling::FaultAdjacent) {
-        plan.hot_nodes(g)
+        match topo.explicit_graph() {
+            Some(g) if !sparse => HotSet::Dense(plan.hot_nodes(g)),
+            _ => HotSet::Sparse(plan.hot_node_set(topo)),
+        }
     } else {
-        Vec::new()
+        HotSet::Empty
     };
 
     // Opens the hop span for a packet joining channel `(u, v)` with
@@ -263,7 +276,7 @@ pub fn run_with_faults(
             if detoured {
                 reroutes += 1;
             }
-            let ch = channel_of(path[0] as NodeId, path[1] as NodeId);
+            let ch = layout.channel_of(path[0] as NodeId, path[1] as NodeId);
             let mut p = FlightPacket {
                 id,
                 route: slot,
@@ -273,11 +286,10 @@ pub fn run_with_faults(
                 hop_span: None,
                 enqueued_at: cycle,
             };
-            open_hop_span(tel, &mut p, cycle, queues[ch].len());
+            open_hop_span(tel, &mut p, cycle, queues.len(ch));
             let key = pool.alloc(p);
-            queues[ch].push_back(key);
-            if !is_active[ch] {
-                is_active[ch] = true;
+            queues.push_back(ch, key);
+            if queues.activate(ch) {
                 active.push(ch);
             }
             in_flight += 1;
@@ -289,7 +301,7 @@ pub fn run_with_faults(
         let mut cycle_peak = 0usize;
         if let Some(b) = board.as_mut() {
             for &ch in &active {
-                let len = queues[ch].len();
+                let len = queues.len(ch);
                 b.peak[ch] = b.peak[ch].max(len);
                 cycle_peak = cycle_peak.max(len);
                 if let Some((_, lt)) = ts.as_mut() {
@@ -297,7 +309,7 @@ pub fn run_with_faults(
                 }
             }
         } else {
-            cycle_peak = active.iter().map(|&ch| queues[ch].len()).max().unwrap_or(0);
+            cycle_peak = active.iter().map(|&ch| queues.len(ch)).max().unwrap_or(0);
         }
         stats.peak_queue = stats.peak_queue.max(cycle_peak);
         let cycle_active = active.len();
@@ -309,9 +321,9 @@ pub fn run_with_faults(
         for &ch in &active {
             if profiling {
                 prof.service_inv += 1;
-                prof.service_work += queues[ch].len() as u64;
+                prof.service_work += queues.len(ch) as u64;
             }
-            if let Some(key) = queues[ch].pop_front() {
+            if let Some(key) = queues.pop_front(ch) {
                 let mut p = *pool.get(key);
                 p.hop += 1;
                 let path = table.path(p.route);
@@ -362,21 +374,20 @@ pub fn run_with_faults(
                 } else {
                     let next = path[p.hop as usize + 1];
                     *pool.get_mut(key) = p;
-                    moved.push((channel_of(here as NodeId, next as NodeId), key));
+                    moved.push((layout.channel_of(here as NodeId, next as NodeId), key));
                 }
             }
-            if queues[ch].is_empty() {
-                is_active[ch] = false;
+            if queues.len(ch) == 0 {
+                queues.deactivate(ch);
             } else {
                 still_active.push(ch);
             }
         }
         std::mem::swap(&mut active, &mut still_active);
         for &(ch, key) in &moved {
-            open_hop_span(tel, pool.get_mut(key), cycle + 1, queues[ch].len());
-            queues[ch].push_back(key);
-            if !is_active[ch] {
-                is_active[ch] = true;
+            open_hop_span(tel, pool.get_mut(key), cycle + 1, queues.len(ch));
+            queues.push_back(ch, key);
+            if queues.activate(ch) {
                 active.push(ch);
             }
         }

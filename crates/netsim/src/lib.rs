@@ -47,8 +47,10 @@ pub mod workload;
 pub use faults::{FaultPlan, FaultReason};
 pub use flight::{run_with_faults, TraceSampling};
 pub use routes::{RouteCache, RouteTable};
-pub use sim::{run, run_adaptive, run_bounded, Injection, SimConfig, SimStats};
+pub use sim::{
+    run, run_adaptive, run_bounded, run_with_mem, Injection, MemStats, SimConfig, SimStats,
+};
 pub use topology::{
-    ButterflyNet, HbRouteOrder, HyperButterflyNet, HyperDeBruijnNet, HypercubeNet, NetTopology,
-    MAX_PRODUCTIVE,
+    ButterflyNet, HbRouteOrder, HyperButterflyNet, HyperDeBruijnNet, HypercubeNet,
+    ImplicitTopology, NetTopology, MAX_PRODUCTIVE,
 };

@@ -45,14 +45,11 @@
 
 use crate::pool::PacketPool;
 use crate::routes::RouteTable;
-use crate::sim::{
-    channel_endpoints, channel_offsets, Injection, Packet, ProfCounters, SimConfig, SimStats,
-};
+use crate::sim::{ChanLayout, ChanQueues, Injection, Packet, ProfCounters, SimConfig, SimStats};
 use crate::topology::NetTopology;
 use crate::tsrec::{GlobalTs, LinkTs};
-use hb_graphs::{Graph, NodeId};
+use hb_graphs::NodeId;
 use hb_telemetry::{Event, Histogram, LinkStats, Series, Telemetry, TsConfig, CYCLES_COUNTER};
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 
@@ -125,6 +122,30 @@ fn shard_boundaries(offsets: &[usize], n: usize, s: usize) -> Vec<usize> {
     node_lo
 }
 
+/// Layout-generic shard boundaries. Under the uniform arithmetic layout
+/// the CSR `partition_point` degenerates to `ceil(target / degree)`, so
+/// both layouts cut the channel space at identical node-aligned points —
+/// a prerequisite for implicit-mode parallel runs matching explicit ones
+/// byte for byte.
+fn shard_boundaries_layout(layout: &ChanLayout<'_>, n: usize, s: usize) -> Vec<usize> {
+    match layout {
+        ChanLayout::Csr { offsets, .. } => shard_boundaries(offsets, n, s),
+        ChanLayout::Uniform { degree, .. } => {
+            let num_channels = n * degree;
+            let mut node_lo = vec![0usize; s + 1];
+            node_lo[s] = n;
+            for (k, lo) in node_lo.iter_mut().enumerate().take(s).skip(1) {
+                let target = k * num_channels / s;
+                // First v with v * degree >= target, capped at n —
+                // exactly `offsets.partition_point(|&o| o < target)` on
+                // the arithmetic offsets `v * degree`.
+                *lo = target.div_ceil(*degree).min(n);
+            }
+            node_lo
+        }
+    }
+}
+
 /// The sharded parallel engine behind [`SimConfig::with_threads`].
 /// `faulted` selects flight semantics: empty table paths are counted as
 /// unroutable (with drop events), and `sim.reroutes`/`sim.unroutable`
@@ -136,18 +157,28 @@ pub(crate) fn run_sharded(
     table: &RouteTable,
     faulted: bool,
 ) -> SimStats {
-    let g = topo.graph();
-    let n = g.num_nodes();
-    let offsets = channel_offsets(g);
-    let ends = channel_endpoints(g, &offsets);
+    let layout = ChanLayout::new(topo, cfg.implicit);
+    let n = topo.num_nodes();
+    let sparse = cfg.implicit || topo.explicit_graph().is_none();
     let s = cfg.threads.min(n.max(1)).max(1);
 
-    let node_lo = shard_boundaries(&offsets, n, s);
-    let chan_lo: Vec<usize> = node_lo.iter().map(|&v| offsets[v]).collect();
+    let node_lo = shard_boundaries_layout(&layout, n, s);
+    let chan_lo: Vec<usize> = node_lo
+        .iter()
+        .map(|&v| layout.node_first_channel(v))
+        .collect();
 
     let tel = cfg.telemetry.as_ref();
     let with_board = tel.is_some();
     let buffer_events = tel.is_some_and(Telemetry::trace_enabled);
+    // Dense endpoint table: O(channels), needed only by the telemetry
+    // merge and trace paths — skipped entirely on telemetry-off runs so
+    // implicit-mode memory stays bounded by active traffic.
+    let ends: Vec<(u32, u32)> = if with_board {
+        layout.endpoints()
+    } else {
+        Vec::new()
+    };
 
     let total = injections.len() as u64;
     let barrier = Barrier::new(s);
@@ -172,7 +203,7 @@ pub(crate) fn run_sharded(
     let mut results: Vec<ShardResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..s)
             .map(|k| {
-                let (offsets, ends) = (&offsets, &ends);
+                let (layout, ends) = (&layout, &ends);
                 let (node_lo, chan_lo) = (&node_lo, &chan_lo);
                 let (barrier, mailboxes) = (&barrier, &mailboxes);
                 let (consumed, net_in, net_out) = (&consumed, &net_in, &net_out);
@@ -181,11 +212,11 @@ pub(crate) fn run_sharded(
                 scope.spawn(move || {
                     run_shard(ShardCtx {
                         k,
-                        g,
+                        layout,
+                        sparse,
                         table,
                         injections,
                         cfg,
-                        offsets,
                         ends,
                         node_lo,
                         chan_lo,
@@ -349,11 +380,12 @@ pub(crate) fn run_sharded(
 /// Everything one worker needs, bundled to keep the spawn site readable.
 struct ShardCtx<'a> {
     k: usize,
-    g: &'a Graph,
+    layout: &'a ChanLayout<'a>,
+    /// Use the lazily materialised sparse channel store.
+    sparse: bool,
     table: &'a RouteTable,
     injections: &'a [Injection],
     cfg: &'a SimConfig,
-    offsets: &'a [usize],
     ends: &'a [(u32, u32)],
     node_lo: &'a [usize],
     chan_lo: &'a [usize],
@@ -376,11 +408,11 @@ struct ShardCtx<'a> {
 fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
     let ShardCtx {
         k,
-        g,
+        layout,
+        sparse,
         table,
         injections,
         cfg,
-        offsets,
         ends,
         node_lo,
         chan_lo,
@@ -403,13 +435,7 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
     let base = chan_lo[k];
     let width = chan_lo[k + 1] - base;
 
-    let channel_of = |u: NodeId, v: NodeId| -> usize {
-        let port = g
-            .neighbors(u)
-            .binary_search(&(v as u32))
-            .unwrap_or_else(|_| panic!("route step ({u}, {v}) is not an edge")); // analyze: allow(panic-policy, internal invariant needs the offending ids; expect cannot format them)
-        offsets[u] + port
-    };
+    let channel_of = |u: NodeId, v: NodeId| -> usize { layout.channel_of(u, v) };
 
     // My injections: those sourced in my node range, in global id order.
     let my_inj: Vec<usize> = injections
@@ -420,10 +446,10 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
         .collect();
     let mut next_inj = 0usize;
 
-    let mut queues: Vec<VecDeque<u32>> = vec![VecDeque::new(); width];
+    // Local per-channel store, indexed by `ch - base`.
+    let mut queues: ChanQueues<u32> = ChanQueues::new(width, sparse, false);
     let mut pool: PacketPool<Packet> = PacketPool::new();
     let mut active: Vec<usize> = Vec::new(); // global channel ids, own range
-    let mut is_active = vec![false; width];
     let mut board = with_board.then(|| ShardBoard {
         latency: Histogram::new(),
         hops: Histogram::new(),
@@ -545,9 +571,8 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
                 hop: 0,
                 injected_at: cycle,
             });
-            queues[ch - base].push_back(key);
-            if !is_active[ch - base] {
-                is_active[ch - base] = true;
+            queues.push_back(ch - base, key);
+            if queues.activate(ch - base) {
                 active.push(ch);
             }
             in_delta += 1;
@@ -558,7 +583,7 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
 
         let mut cycle_peak = 0usize;
         for &ch in &active {
-            let len = queues[ch - base].len();
+            let len = queues.len(ch - base);
             if let Some(b) = board.as_mut() {
                 b.peak[ch - base] = b.peak[ch - base].max(len);
             }
@@ -576,9 +601,9 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
         for &ch in &active {
             if profiling {
                 prof.service_inv += 1;
-                prof.service_work += queues[ch - base].len() as u64;
+                prof.service_work += queues.len(ch - base) as u64;
             }
-            if let Some(key) = queues[ch - base].pop_front() {
+            if let Some(key) = queues.pop_front(ch - base) {
                 let mut p = *pool.get(key);
                 p.hop += 1;
                 let path = table.path(p.route);
@@ -641,8 +666,8 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
                     }
                 }
             }
-            if queues[ch - base].is_empty() {
-                is_active[ch - base] = false;
+            if queues.len(ch - base) == 0 {
+                queues.deactivate(ch - base);
             } else {
                 still_active.push(ch);
             }
@@ -741,9 +766,8 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
         for (src, sender_row) in mailboxes.iter().enumerate().take(s) {
             if src == k {
                 for &(ch, key) in &local_pending {
-                    queues[ch - base].push_back(key);
-                    if !is_active[ch - base] {
-                        is_active[ch - base] = true;
+                    queues.push_back(ch - base, key);
+                    if queues.activate(ch - base) {
                         active.push(ch);
                     }
                 }
@@ -758,9 +782,8 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
                 for (ch, p) in incoming.drain(..) {
                     let ch = ch as usize;
                     let key = pool.alloc(p);
-                    queues[ch - base].push_back(key);
-                    if !is_active[ch - base] {
-                        is_active[ch - base] = true;
+                    queues.push_back(ch - base, key);
+                    if queues.activate(ch - base) {
                         active.push(ch);
                     }
                 }
@@ -811,7 +834,7 @@ mod tests {
     use super::*;
     use crate::faults::FaultPlan;
     use crate::flight::{run_with_faults, TraceSampling};
-    use crate::sim::run;
+    use crate::sim::{channel_offsets, run};
     use crate::topology::{HbRouteOrder, HyperButterflyNet, HypercubeNet};
     use crate::workload;
 

@@ -94,6 +94,137 @@ impl<T> PacketPool<T> {
     }
 }
 
+/// One lazily materialised per-channel record: the FIFO queue plus the
+/// bookkeeping the frontier engines need (worklist membership and the
+/// bounded runner's same-cycle credit count).
+#[derive(Clone, Debug, Default)]
+pub struct ChannelRec<T> {
+    /// The channel's FIFO queue.
+    pub queue: std::collections::VecDeque<T>,
+    /// Whether the channel currently sits on the active worklist.
+    pub active: bool,
+    /// Packets admitted toward this channel in the current cycle
+    /// (bounded runner's conservative credit count).
+    pub incoming: usize,
+}
+
+/// Sparse channel-keyed store for the frontier engines: records are
+/// materialised on first touch and recycled (LIFO, capacity retained)
+/// once a channel is idle again, so a simulation over `C` channels with
+/// `k` concurrently busy ones holds `O(k)` records — never `O(C)`. The
+/// index is a sorted `(channel, slot)` vector (binary-search lookup,
+/// memmove insert), which stays allocation-free at steady state once the
+/// live high-water mark is reached.
+#[derive(Clone, Debug, Default)]
+pub struct ChannelMap<T> {
+    /// Sorted by channel id; values are slots into `slabs`.
+    index: Vec<(usize, u32)>,
+    slabs: Vec<ChannelRec<T>>,
+    free: Vec<u32>,
+    peak_live: usize,
+}
+
+impl<T> ChannelMap<T> {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            index: Vec::new(),
+            slabs: Vec::new(),
+            free: Vec::new(),
+            peak_live: 0,
+        }
+    }
+
+    /// The record for `ch`, if materialised.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, ch: usize) -> Option<&ChannelRec<T>> {
+        self.index
+            .binary_search_by_key(&ch, |&(c, _)| c)
+            .ok()
+            .map(|i| &self.slabs[self.index[i].1 as usize])
+    }
+
+    /// Mutable access to the record for `ch`, if materialised.
+    #[inline]
+    pub fn get_mut(&mut self, ch: usize) -> Option<&mut ChannelRec<T>> {
+        match self.index.binary_search_by_key(&ch, |&(c, _)| c) {
+            Ok(i) => Some(&mut self.slabs[self.index[i].1 as usize]),
+            Err(_) => None,
+        }
+    }
+
+    /// The record for `ch`, materialising an empty one on first touch
+    /// (recycling a retired record — and its queue capacity — when one
+    /// is free).
+    pub fn ensure(&mut self, ch: usize) -> &mut ChannelRec<T> {
+        let at = match self.index.binary_search_by_key(&ch, |&(c, _)| c) {
+            Ok(i) => return &mut self.slabs[self.index[i].1 as usize],
+            Err(at) => at,
+        };
+        let slot = if let Some(s) = self.free.pop() {
+            s
+        } else {
+            let s = u32::try_from(self.slabs.len())
+                .expect("invariant: fewer than 2^32 live channel records");
+            self.slabs.push(ChannelRec {
+                queue: std::collections::VecDeque::new(),
+                active: false,
+                incoming: 0,
+            });
+            s
+        };
+        self.index.insert(at, (ch, slot));
+        self.peak_live = self.peak_live.max(self.index.len());
+        &mut self.slabs[slot as usize]
+    }
+
+    /// Retires `ch`'s record when it is fully idle (empty queue, off the
+    /// worklist, no pending credit count); its storage goes back on the
+    /// free list with queue capacity intact. No-op otherwise.
+    pub fn release_if_idle(&mut self, ch: usize) {
+        let Ok(i) = self.index.binary_search_by_key(&ch, |&(c, _)| c) else {
+            return;
+        };
+        let slot = self.index[i].1;
+        let rec = &self.slabs[slot as usize];
+        if rec.queue.is_empty() && !rec.active && rec.incoming == 0 {
+            self.index.remove(i);
+            self.free.push(slot);
+        }
+    }
+
+    /// Live (materialised) channel records.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.index.len()
+    }
+
+    /// High-water mark of concurrently live records — the memory bound
+    /// the frontier engine promises: proportional to busy channels, not
+    /// to the topology's channel count.
+    #[must_use]
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Approximate heap footprint in bytes (index + slab spines + queue
+    /// buffers).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.index.capacity() * size_of::<(usize, u32)>()
+            + self.free.capacity() * size_of::<u32>()
+            + self.slabs.capacity() * size_of::<ChannelRec<T>>()
+            + self
+                .slabs
+                .iter()
+                .map(|r| r.queue.capacity() * size_of::<T>())
+                .sum::<usize>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +269,50 @@ mod tests {
         let k = p.alloc(41);
         *p.get_mut(k) += 1;
         assert_eq!(*p.get(k), 42);
+    }
+
+    #[test]
+    fn channel_map_materialises_and_recycles_records() {
+        let mut m: ChannelMap<u32> = ChannelMap::new();
+        assert!(m.get(7).is_none());
+        m.ensure(7).queue.push_back(1);
+        m.ensure(3).queue.push_back(2);
+        assert_eq!(m.live(), 2);
+        assert_eq!(m.get(7).unwrap().queue.front(), Some(&1));
+        // Busy or flagged records survive release attempts.
+        m.release_if_idle(7);
+        assert_eq!(m.live(), 2);
+        m.get_mut(7).unwrap().queue.pop_front();
+        m.get_mut(7).unwrap().active = true;
+        m.release_if_idle(7);
+        assert_eq!(m.live(), 2);
+        m.get_mut(7).unwrap().active = false;
+        m.release_if_idle(7);
+        assert_eq!(m.live(), 1);
+        // The retired record is recycled for the next fresh channel and
+        // the high-water mark tracks concurrency, not distinct channels.
+        m.ensure(9);
+        assert_eq!(m.live(), 2);
+        assert_eq!(m.peak_live(), 2);
+        assert!(m.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn channel_map_index_stays_sorted_under_churn() {
+        let mut m: ChannelMap<u32> = ChannelMap::new();
+        for ch in [90usize, 4, 57, 23, 88, 1] {
+            m.ensure(ch).queue.push_back(ch as u32);
+        }
+        for ch in [4usize, 88] {
+            m.get_mut(ch).unwrap().queue.pop_front();
+            m.release_if_idle(ch);
+        }
+        for ch in [1usize, 23, 57, 90] {
+            assert_eq!(m.get(ch).unwrap().queue.front(), Some(&(ch as u32)));
+        }
+        assert!(m.get(4).is_none());
+        assert!(m.get(88).is_none());
+        assert_eq!(m.live(), 4);
+        assert_eq!(m.peak_live(), 6);
     }
 }

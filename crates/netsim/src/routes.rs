@@ -34,9 +34,9 @@
 
 use crate::faults::{FaultPlan, FaultReason};
 use crate::sim::Injection;
-use crate::topology::NetTopology;
+use crate::topology::{NetTopology, MAX_PRODUCTIVE};
 use hb_graphs::{Graph, NodeId};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Deterministic BFS route from `src` to `dst` over the survivor graph
 /// (skipping faulty nodes and links). `None` when unreachable. Neighbor
@@ -81,6 +81,52 @@ pub fn survivor_route(
     None
 }
 
+/// [`survivor_route`] for **implicit** topologies: the same
+/// deterministic BFS over the survivor graph, but neighbors come from
+/// [`NetTopology::neighbors_into`] (ascending node-id order — identical
+/// to the sorted adjacency the explicit BFS walks, so the two functions
+/// return identical canonical paths) and the visited/parent state lives
+/// in a sparse map sized by nodes actually reached, never by the
+/// topology's node count.
+pub fn survivor_route_implicit(
+    topo: &dyn NetTopology,
+    src: NodeId,
+    dst: NodeId,
+    plan: &FaultPlan,
+) -> Option<Vec<NodeId>> {
+    if plan.is_node_faulty(src) || plan.is_node_faulty(dst) {
+        return None;
+    }
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    parent.insert(src, src);
+    let mut q = VecDeque::from([src]);
+    let mut buf = [0 as NodeId; MAX_PRODUCTIVE];
+    while let Some(u) = q.pop_front() {
+        let k = topo.neighbors_into(u, &mut buf);
+        for &w in &buf[..k] {
+            if parent.contains_key(&w) || plan.is_link_faulty(u, w) {
+                continue;
+            }
+            parent.insert(w, u);
+            if w == dst {
+                let mut path = vec![dst];
+                let mut cur = dst;
+                while cur != src {
+                    cur = parent[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            q.push_back(w);
+        }
+    }
+    None
+}
+
 /// Where a detour begins (hop index) and the attributed fault reason.
 /// `FaultReason` is `Copy`, so a `Detour` is two machine words — cloned
 /// freely, never heap-allocated. Render the reason with `Display` to get
@@ -108,7 +154,13 @@ pub fn plan_route(
         let Some(reason) = plan.link_fault_id(route[i], route[i + 1]) else {
             continue;
         };
-        let tail = survivor_route(topo.graph(), route[i], dst, plan)?;
+        // The two BFS variants walk neighbors in the same ascending
+        // order, so the detour is the same canonical path either way;
+        // the implicit one just never materialises per-node state.
+        let tail = match topo.explicit_graph() {
+            Some(g) => survivor_route(g, route[i], dst, plan)?,
+            None => survivor_route_implicit(topo, route[i], dst, plan)?,
+        };
         route.truncate(i + 1);
         route.extend_from_slice(&tail[1..]);
         return Some((route, Some((i as u32, reason))));
@@ -199,15 +251,19 @@ impl RouteArena {
 /// Slots are dense `u32`s in first-seen pair order; packets store the
 /// slot instead of an owned route.
 ///
-/// The pair index is a CSR over dense source ids:
-/// `row_offsets[src] .. row_offsets[src + 1]` brackets this source's run
-/// of `(dst, slot)` entries in `cols`/`slots`, with `cols` sorted per
-/// row. [`Self::slot`] is therefore two array reads plus a binary search
-/// over one row.
+/// The pair index is a CSR over the **distinct sources of the build
+/// set** (not over all node ids, so the index costs O(pairs) even on
+/// million-node implicit shapes): `srcs` is the sorted source list,
+/// `row_offsets[i] .. row_offsets[i + 1]` brackets source `srcs[i]`'s
+/// run of `(dst, slot)` entries in `cols`/`slots`, with `cols` sorted
+/// per row. [`Self::slot`] is therefore two binary searches (source row,
+/// then destination within the row).
 #[derive(Clone, Debug)]
 pub struct RouteTable {
     arena: RouteArena,
-    /// CSR row starts into `cols`/`slots`; length `num_nodes + 1`.
+    /// Sorted distinct sources of the build set.
+    srcs: Vec<u32>,
+    /// CSR row starts into `cols`/`slots`; length `srcs.len() + 1`.
     row_offsets: Vec<u32>,
     /// Destination ids, ascending within each source row.
     cols: Vec<u32>,
@@ -230,9 +286,11 @@ impl RouteTable {
         plan: &FaultPlan,
     ) -> Self {
         let mut arena = RouteArena::new();
-        let num_nodes = topo.num_nodes();
-        // Per-source sorted (dst, slot) rows; flattened into CSR below.
-        let mut rows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_nodes];
+        // Per-source sorted (dst, slot) rows, keyed by the sources that
+        // actually appear — O(distinct pairs) state, independent of the
+        // topology's node count (implicit million-node shapes never pay
+        // for a dense per-node index).
+        let mut rows: BTreeMap<u32, Vec<(u32, u32)>> = BTreeMap::new();
         let mut unroutable_pairs = 0u64;
         let faultless = plan.is_empty();
         for (src, dst) in pairs {
@@ -240,7 +298,7 @@ impl RouteTable {
                 u32::try_from(src).expect("invariant: node ids fit u32"),
                 u32::try_from(dst).expect("invariant: node ids fit u32"),
             );
-            let row = &mut rows[src];
+            let row = rows.entry(key.0).or_default();
             let at = match row.binary_search_by_key(&key.1, |&(d, _)| d) {
                 Ok(_) => continue, // duplicate pair, first slot wins
                 Err(at) => at,
@@ -256,11 +314,13 @@ impl RouteTable {
             let slot = arena.push(planned);
             row.insert(at, (key.1, slot));
         }
-        let mut row_offsets = Vec::with_capacity(num_nodes + 1);
+        let mut srcs = Vec::with_capacity(rows.len());
+        let mut row_offsets = Vec::with_capacity(rows.len() + 1);
         let mut cols = Vec::with_capacity(arena.len());
         let mut slots = Vec::with_capacity(arena.len());
         row_offsets.push(0);
-        for row in &rows {
+        for (src, row) in &rows {
+            srcs.push(*src);
             for &(d, s) in row {
                 cols.push(d);
                 slots.push(s);
@@ -269,6 +329,7 @@ impl RouteTable {
         }
         Self {
             arena,
+            srcs,
             row_offsets,
             cols,
             slots,
@@ -286,16 +347,17 @@ impl RouteTable {
         Self::build(topo, injections.iter().map(|i| (i.src, i.dst)), plan)
     }
 
-    /// Slot of `(src, dst)`, if the pair was in the build set: two array
-    /// reads bracket the source's row, then a binary search over that
-    /// row's sorted destinations.
+    /// Slot of `(src, dst)`, if the pair was in the build set: a binary
+    /// search over the distinct sources brackets the source's row, then
+    /// a binary search over that row's sorted destinations.
     #[must_use]
     pub fn slot(&self, src: NodeId, dst: NodeId) -> Option<u32> {
-        if src + 1 >= self.row_offsets.len() {
+        let Ok(src) = u32::try_from(src) else {
             return None;
-        }
-        let lo = self.row_offsets[src] as usize;
-        let hi = self.row_offsets[src + 1] as usize;
+        };
+        let i = self.srcs.binary_search(&src).ok()?;
+        let lo = self.row_offsets[i] as usize;
+        let hi = self.row_offsets[i + 1] as usize;
         let row = &self.cols[lo..hi];
         row.binary_search(&(dst as u32))
             .ok()
@@ -342,6 +404,7 @@ impl RouteTable {
     pub fn heap_bytes(&self) -> usize {
         use std::mem::size_of;
         self.arena.heap_bytes()
+            + self.srcs.capacity() * size_of::<u32>()
             + self.row_offsets.capacity() * size_of::<u32>()
             + self.cols.capacity() * size_of::<u32>()
             + self.slots.capacity() * size_of::<u32>()

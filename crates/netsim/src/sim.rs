@@ -121,6 +121,17 @@ pub struct SimConfig {
     /// counts**. No-op without a telemetry handle. Hot loops count into
     /// plain locals, so the steady state stays allocation-free.
     pub profile: bool,
+    /// Force the **implicit/frontier** storage mode: per-channel queues
+    /// are materialised lazily in a sparse [`crate::pool::ChannelMap`]
+    /// keyed by touched channel, and (for uniform-degree topologies) the
+    /// channel layout is computed arithmetically instead of from CSR
+    /// adjacency. Results are byte-identical to the dense mode — the
+    /// engines drain the same sorted active worklist either way — but
+    /// memory is proportional to concurrently busy channels, not to the
+    /// topology's channel count. Topologies without a materialised graph
+    /// ([`crate::topology::ImplicitTopology`]) use this mode regardless
+    /// of the flag.
+    pub implicit: bool,
 }
 
 impl Default for SimConfig {
@@ -132,6 +143,7 @@ impl Default for SimConfig {
             threads: 1,
             shard_telemetry: false,
             profile: false,
+            implicit: false,
         }
     }
 }
@@ -172,6 +184,15 @@ impl SimConfig {
     #[must_use]
     pub fn with_profile(mut self, on: bool) -> Self {
         self.profile = on;
+        self
+    }
+
+    /// Forces the implicit/frontier storage mode (sparse lazily
+    /// materialised channel records, arithmetic channel layout). See
+    /// [`SimConfig::implicit`]; results are byte-identical either way.
+    #[must_use]
+    pub fn with_implicit_topology(mut self, on: bool) -> Self {
+        self.implicit = on;
         self
     }
 }
@@ -324,6 +345,396 @@ pub(crate) fn channel_offsets(g: &hb_graphs::Graph) -> Vec<usize> {
     offsets
 }
 
+/// How a runner maps `(node, port)` to dense channel ids. The two
+/// variants produce the **same numbering**: CSR offsets over sorted
+/// adjacency degenerate to `offsets[v] = v * degree` on a uniform-degree
+/// graph, with ports in ascending neighbor order either way — so
+/// switching layouts never renumbers a channel, which is what keeps
+/// implicit-mode runs byte-identical to explicit ones.
+pub(crate) enum ChanLayout<'a> {
+    /// CSR over the materialised graph's sorted adjacency.
+    Csr {
+        g: &'a hb_graphs::Graph,
+        offsets: Vec<usize>,
+    },
+    /// Arithmetic layout for uniform-degree topologies: channel of
+    /// `(v, port)` is `v * degree + port`, neighbors enumerated
+    /// algebraically via [`NetTopology::neighbors_into`] (ascending).
+    /// O(1) memory — no adjacency arrays.
+    Uniform {
+        topo: &'a dyn NetTopology,
+        num_nodes: usize,
+        degree: usize,
+    },
+}
+
+impl<'a> ChanLayout<'a> {
+    /// Picks the layout for `topo`: arithmetic when the runner is in
+    /// implicit mode (or the topology has no materialised graph) and the
+    /// degree is uniform; CSR otherwise.
+    pub(crate) fn new(topo: &'a dyn NetTopology, implicit: bool) -> Self {
+        if implicit || topo.explicit_graph().is_none() {
+            if let Some(degree) = topo.uniform_degree() {
+                return ChanLayout::Uniform {
+                    topo,
+                    num_nodes: topo.num_nodes(),
+                    degree,
+                };
+            }
+        }
+        let g = topo.graph();
+        let offsets = channel_offsets(g);
+        ChanLayout::Csr { g, offsets }
+    }
+
+    /// Total directed channels.
+    pub(crate) fn num_channels(&self) -> usize {
+        match self {
+            ChanLayout::Csr { g, offsets } => offsets[g.num_nodes()],
+            ChanLayout::Uniform {
+                num_nodes, degree, ..
+            } => num_nodes * degree,
+        }
+    }
+
+    /// First channel id owned by node `v` (== CSR `offsets[v]`). Shard
+    /// boundaries in the parallel engine are computed from this, so both
+    /// layouts cut the channel space at identical node-aligned points.
+    pub(crate) fn node_first_channel(&self, v: NodeId) -> usize {
+        match self {
+            ChanLayout::Csr { offsets, .. } => offsets[v],
+            ChanLayout::Uniform { degree, .. } => v * degree,
+        }
+    }
+
+    /// Channel id of the directed edge `(u, v)`.
+    ///
+    /// # Panics
+    /// Panics if `(u, v)` is not an edge.
+    #[inline]
+    pub(crate) fn channel_of(&self, u: NodeId, v: NodeId) -> usize {
+        match self {
+            ChanLayout::Csr { g, offsets } => {
+                let port = g
+                    .neighbors(u)
+                    .binary_search(&(v as u32))
+                    .unwrap_or_else(|_| panic!("route step ({u}, {v}) is not an edge")); // analyze: allow(panic-policy, internal invariant needs the offending ids; expect cannot format them)
+                offsets[u] + port
+            }
+            ChanLayout::Uniform { topo, degree, .. } => {
+                let mut buf = [0 as NodeId; MAX_PRODUCTIVE];
+                let k = topo.neighbors_into(u, &mut buf);
+                let port = buf[..k]
+                    .binary_search(&v)
+                    .unwrap_or_else(|_| panic!("route step ({u}, {v}) is not an edge")); // analyze: allow(panic-policy, internal invariant needs the offending ids; expect cannot format them)
+                u * degree + port
+            }
+        }
+    }
+
+    /// Channel id -> (tail, head) endpoints, dense over all channels.
+    /// O(channels) — only materialised when a telemetry scoreboard needs
+    /// it (the million-node perf path runs telemetry-off and never calls
+    /// this).
+    pub(crate) fn endpoints(&self) -> Vec<(u32, u32)> {
+        match self {
+            ChanLayout::Csr { g, offsets } => channel_endpoints(g, offsets),
+            ChanLayout::Uniform {
+                topo,
+                num_nodes,
+                degree,
+            } => {
+                let mut ends = vec![(0u32, 0u32); num_nodes * degree];
+                let mut buf = [0 as NodeId; MAX_PRODUCTIVE];
+                for v in 0..*num_nodes {
+                    let k = topo.neighbors_into(v, &mut buf);
+                    debug_assert_eq!(k, *degree, "uniform_degree contract");
+                    for (port, &w) in buf[..k].iter().enumerate() {
+                        ends[v * degree + port] = (v as u32, w as u32);
+                    }
+                }
+                ends
+            }
+        }
+    }
+
+    /// Head-node lookup for the adaptive runner: a dense table under CSR
+    /// (O(channels), as before), algebraic under the uniform layout
+    /// (O(1) memory, one neighbor enumeration per lookup).
+    pub(crate) fn heads(&self) -> ChanHeads<'a> {
+        match self {
+            ChanLayout::Csr { g, offsets } => {
+                let mut chan_to = vec![0u32; offsets[g.num_nodes()]];
+                for v in 0..g.num_nodes() {
+                    for (port, &w) in g.neighbors(v).iter().enumerate() {
+                        chan_to[offsets[v] + port] = w;
+                    }
+                }
+                ChanHeads::Table(chan_to)
+            }
+            ChanLayout::Uniform { topo, degree, .. } => ChanHeads::Algebraic {
+                topo: *topo,
+                degree: *degree,
+            },
+        }
+    }
+}
+
+/// Channel id -> head node (the node a popped packet arrives at).
+pub(crate) enum ChanHeads<'a> {
+    Table(Vec<u32>),
+    Algebraic {
+        topo: &'a dyn NetTopology,
+        degree: usize,
+    },
+}
+
+impl ChanHeads<'_> {
+    #[inline]
+    pub(crate) fn head_of(&self, ch: usize) -> NodeId {
+        match self {
+            ChanHeads::Table(t) => t[ch] as NodeId,
+            ChanHeads::Algebraic { topo, degree } => {
+                let mut buf = [0 as NodeId; MAX_PRODUCTIVE];
+                let k = topo.neighbors_into(ch / degree, &mut buf);
+                debug_assert!(ch % degree < k, "uniform_degree contract");
+                buf[ch % degree]
+            }
+        }
+    }
+}
+
+/// Per-channel queue storage for the frontier engines. `Dense` is the
+/// historical layout: one `VecDeque` per channel, O(channels) memory,
+/// O(1) access. `Sparse` materialises a [`crate::pool::ChannelMap`]
+/// record on first touch and retires it once the channel is idle, so
+/// memory tracks **concurrently busy channels** instead of topology
+/// size. Both present identical FIFO semantics; the engines drain the
+/// same sorted active worklist either way, so results are
+/// byte-identical across storage modes.
+pub(crate) enum ChanQueues<T> {
+    Dense {
+        queues: Vec<VecDeque<T>>,
+        is_active: Vec<bool>,
+        /// Same-cycle credit counts (bounded runner only; empty when the
+        /// runner does not track credits).
+        incoming: Vec<usize>,
+    },
+    Sparse(crate::pool::ChannelMap<T>),
+}
+
+impl<T> ChanQueues<T> {
+    pub(crate) fn new(num_channels: usize, sparse: bool, credits: bool) -> Self {
+        if sparse {
+            ChanQueues::Sparse(crate::pool::ChannelMap::new())
+        } else {
+            ChanQueues::Dense {
+                queues: (0..num_channels).map(|_| VecDeque::new()).collect(),
+                is_active: vec![false; num_channels],
+                incoming: if credits {
+                    vec![0; num_channels]
+                } else {
+                    Vec::new()
+                },
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self, ch: usize) -> usize {
+        match self {
+            ChanQueues::Dense { queues, .. } => queues[ch].len(),
+            ChanQueues::Sparse(map) => map.get(ch).map_or(0, |r| r.queue.len()),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn front(&self, ch: usize) -> Option<&T> {
+        match self {
+            ChanQueues::Dense { queues, .. } => queues[ch].front(),
+            ChanQueues::Sparse(map) => map.get(ch).and_then(|r| r.queue.front()),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push_back(&mut self, ch: usize, value: T) {
+        match self {
+            ChanQueues::Dense { queues, .. } => queues[ch].push_back(value),
+            ChanQueues::Sparse(map) => map.ensure(ch).queue.push_back(value),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn pop_front(&mut self, ch: usize) -> Option<T> {
+        match self {
+            ChanQueues::Dense { queues, .. } => queues[ch].pop_front(),
+            ChanQueues::Sparse(map) => map.get_mut(ch).and_then(|r| r.queue.pop_front()),
+        }
+    }
+
+    /// Marks `ch` on the active worklist; returns `true` when it was not
+    /// already there (the caller then pushes it onto the worklist vec).
+    #[inline]
+    pub(crate) fn activate(&mut self, ch: usize) -> bool {
+        match self {
+            ChanQueues::Dense { is_active, .. } => {
+                if is_active[ch] {
+                    false
+                } else {
+                    is_active[ch] = true;
+                    true
+                }
+            }
+            ChanQueues::Sparse(map) => {
+                let rec = map.ensure(ch);
+                if rec.active {
+                    false
+                } else {
+                    rec.active = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Takes `ch` off the worklist; under sparse storage an idle record
+    /// is retired (capacity recycled) so live records track busy
+    /// channels.
+    #[inline]
+    pub(crate) fn deactivate(&mut self, ch: usize) {
+        match self {
+            ChanQueues::Dense { is_active, .. } => is_active[ch] = false,
+            ChanQueues::Sparse(map) => {
+                if let Some(rec) = map.get_mut(ch) {
+                    rec.active = false;
+                }
+                map.release_if_idle(ch);
+            }
+        }
+    }
+
+    /// Queue depth plus same-cycle admitted credits (bounded runner's
+    /// conservative flow-control test).
+    #[inline]
+    pub(crate) fn len_plus_incoming(&self, ch: usize) -> usize {
+        match self {
+            ChanQueues::Dense {
+                queues, incoming, ..
+            } => queues[ch].len() + incoming[ch],
+            ChanQueues::Sparse(map) => map.get(ch).map_or(0, |r| r.queue.len() + r.incoming),
+        }
+    }
+
+    /// Counts one admitted packet toward `ch` this cycle; returns `true`
+    /// on the first credit (the caller then remembers `ch` for the
+    /// end-of-cycle reset).
+    #[inline]
+    pub(crate) fn add_incoming(&mut self, ch: usize) -> bool {
+        match self {
+            ChanQueues::Dense { incoming, .. } => {
+                incoming[ch] += 1;
+                incoming[ch] == 1
+            }
+            ChanQueues::Sparse(map) => {
+                let rec = map.ensure(ch);
+                rec.incoming += 1;
+                rec.incoming == 1
+            }
+        }
+    }
+
+    /// Resets `ch`'s credit count at end of cycle (sparse storage also
+    /// retires the record if the channel went fully idle).
+    #[inline]
+    pub(crate) fn clear_incoming(&mut self, ch: usize) {
+        match self {
+            ChanQueues::Dense { incoming, .. } => incoming[ch] = 0,
+            ChanQueues::Sparse(map) => {
+                if let Some(rec) = map.get_mut(ch) {
+                    rec.incoming = 0;
+                }
+                map.release_if_idle(ch);
+            }
+        }
+    }
+
+    /// Peak concurrently materialised channel records: the topology's
+    /// channel count under dense storage, the [`ChannelMap`] high-water
+    /// mark under sparse.
+    ///
+    /// [`ChannelMap`]: crate::pool::ChannelMap
+    pub(crate) fn peak_records(&self) -> usize {
+        match self {
+            ChanQueues::Dense { queues, .. } => queues.len(),
+            ChanQueues::Sparse(map) => map.peak_live(),
+        }
+    }
+
+    /// Approximate heap footprint of the store in bytes.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        match self {
+            ChanQueues::Dense {
+                queues,
+                is_active,
+                incoming,
+            } => {
+                queues.capacity() * size_of::<VecDeque<T>>()
+                    + queues
+                        .iter()
+                        .map(|q| q.capacity() * size_of::<T>())
+                        .sum::<usize>()
+                    + is_active.capacity()
+                    + incoming.capacity() * size_of::<usize>()
+            }
+            ChanQueues::Sparse(map) => map.heap_bytes(),
+        }
+    }
+}
+
+/// Memory accounting for one serial oblivious run — the diagnostic
+/// companion [`run_with_mem`] returns alongside the stats. Deliberately
+/// **not** part of [`SimStats`] or the telemetry snapshot: storage mode
+/// must never perturb results, so the accounting rides on a separate
+/// channel that equivalence tests don't compare.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Peak concurrently materialised channel records. Under implicit
+    /// (sparse) storage this is bounded by concurrently busy channels —
+    /// O(active traffic) — never by topology size; dense storage reports
+    /// the full channel count.
+    pub peak_channel_records: usize,
+    /// Total directed channels of the topology (what dense storage
+    /// allocates up front).
+    pub num_channels: usize,
+    /// Heap bytes held by the channel store at run end.
+    pub channel_store_bytes: usize,
+    /// Heap bytes held by the workload-keyed route table.
+    pub route_table_bytes: usize,
+}
+
+/// Like [`run`], but also reports channel-storage memory accounting.
+/// Serial only (memory attribution is per-store and the sharded engine
+/// owns one store per shard).
+///
+/// # Panics
+/// As [`run`]; additionally panics if `cfg.threads > 1`.
+pub fn run_with_mem(
+    topo: &dyn NetTopology,
+    injections: &[Injection],
+    cfg: SimConfig,
+) -> (SimStats, MemStats) {
+    assert!(cfg.threads <= 1, "memory accounting is serial-only");
+    assert!(
+        injections.windows(2).all(|w| w[0].at <= w[1].at),
+        "injections must be sorted by cycle"
+    );
+    let table = RouteTable::for_injections(topo, injections, &crate::faults::FaultPlan::new());
+    let mut mem = MemStats::default();
+    let stats = run_serial(topo, injections, &cfg, &table, Some(&mut mem));
+    (stats, mem)
+}
+
 /// Runs the simulation of `injections` (must be sorted by `at`) on
 /// `topo`.
 ///
@@ -357,36 +768,29 @@ pub fn run(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> 
     if cfg.threads > 1 {
         return crate::par::run_sharded(topo, injections, &cfg, &table, false);
     }
-    run_serial(topo, injections, &cfg, &table)
+    run_serial(topo, injections, &cfg, &table, None)
 }
 
 /// The serial oblivious loop over a prebuilt route table (canonical
-/// ascending-channel service order).
+/// ascending-channel service order). `mem`, when given, receives the
+/// channel-storage accounting at run end.
 fn run_serial(
     topo: &dyn NetTopology,
     injections: &[Injection],
     cfg: &SimConfig,
     table: &RouteTable,
+    mem: Option<&mut MemStats>,
 ) -> SimStats {
-    let g = topo.graph();
-    let offsets = channel_offsets(g);
-    let num_channels = offsets[g.num_nodes()];
-    let mut queues: Vec<VecDeque<u32>> = vec![VecDeque::new(); num_channels];
+    let layout = ChanLayout::new(topo, cfg.implicit);
+    let num_channels = layout.num_channels();
+    let sparse = cfg.implicit || topo.explicit_graph().is_none();
+    let mut queues: ChanQueues<u32> = ChanQueues::new(num_channels, sparse, false);
     let mut pool: PacketPool<Packet> = PacketPool::new();
     // Channels with any queued packet, to avoid scanning all E per cycle.
     let mut active: Vec<usize> = Vec::new();
-    let mut is_active = vec![false; num_channels];
-
-    let channel_of = |u: NodeId, v: NodeId| -> usize {
-        let port = g
-            .neighbors(u)
-            .binary_search(&(v as u32))
-            .unwrap_or_else(|_| panic!("route step ({u}, {v}) is not an edge")); // analyze: allow(panic-policy, internal invariant needs the offending ids; expect cannot format them)
-        offsets[u] + port
-    };
 
     let tel = cfg.telemetry.as_ref();
-    let mut board = tel.map(|_| Scoreboard::new(channel_endpoints(g, &offsets)));
+    let mut board = tel.map(|_| Scoreboard::new(layout.endpoints()));
     let mut ts = tel
         .and_then(|t| t.timeseries_config())
         .map(|c| (GlobalTs::new(c, false), LinkTs::new(c, 0, num_channels)));
@@ -404,14 +808,9 @@ fn run_serial(
     let mut in_flight = 0u64;
     let mut cycle = 0u64;
 
-    let enqueue = |queues: &mut Vec<VecDeque<u32>>,
-                   active: &mut Vec<usize>,
-                   is_active: &mut Vec<bool>,
-                   ch: usize,
-                   key: u32| {
-        queues[ch].push_back(key);
-        if !is_active[ch] {
-            is_active[ch] = true;
+    let enqueue = |queues: &mut ChanQueues<u32>, active: &mut Vec<usize>, ch: usize, key: u32| {
+        queues.push_back(ch, key);
+        if queues.activate(ch) {
             active.push(ch);
         }
     };
@@ -456,14 +855,14 @@ fn run_serial(
                 }
                 continue;
             }
-            let ch = channel_of(path[0] as NodeId, path[1] as NodeId);
+            let ch = layout.channel_of(path[0] as NodeId, path[1] as NodeId);
             let key = pool.alloc(Packet {
                 id,
                 route: slot,
                 hop: 0,
                 injected_at: cycle,
             });
-            enqueue(&mut queues, &mut active, &mut is_active, ch, key);
+            enqueue(&mut queues, &mut active, ch, key);
             in_flight += 1;
         }
 
@@ -480,7 +879,7 @@ fn run_serial(
         let mut cycle_peak = 0usize;
         if let Some(b) = board.as_mut() {
             for &ch in &active {
-                let len = queues[ch].len();
+                let len = queues.len(ch);
                 b.peak[ch] = b.peak[ch].max(len);
                 cycle_peak = cycle_peak.max(len);
                 if let Some((_, lt)) = ts.as_mut() {
@@ -488,7 +887,7 @@ fn run_serial(
                 }
             }
         } else {
-            cycle_peak = active.iter().map(|&ch| queues[ch].len()).max().unwrap_or(0);
+            cycle_peak = active.iter().map(|&ch| queues.len(ch)).max().unwrap_or(0);
         }
         stats.peak_queue = stats.peak_queue.max(cycle_peak);
         let cycle_active = active.len();
@@ -500,9 +899,9 @@ fn run_serial(
         for &ch in &active {
             if profiling {
                 prof.service_inv += 1;
-                prof.service_work += queues[ch].len() as u64;
+                prof.service_work += queues.len(ch) as u64;
             }
-            if let Some(key) = queues[ch].pop_front() {
+            if let Some(key) = queues.pop_front(ch) {
                 let mut p = *pool.get(key);
                 p.hop += 1;
                 let path = table.path(p.route);
@@ -542,18 +941,18 @@ fn run_serial(
                 } else {
                     let next = path[p.hop as usize + 1];
                     *pool.get_mut(key) = p;
-                    moved.push((channel_of(here as NodeId, next as NodeId), key));
+                    moved.push((layout.channel_of(here as NodeId, next as NodeId), key));
                 }
             }
-            if queues[ch].is_empty() {
-                is_active[ch] = false;
+            if queues.len(ch) == 0 {
+                queues.deactivate(ch);
             } else {
                 still_active.push(ch);
             }
         }
         std::mem::swap(&mut active, &mut still_active);
         for &(ch, key) in &moved {
-            enqueue(&mut queues, &mut active, &mut is_active, ch, key);
+            enqueue(&mut queues, &mut active, ch, key);
         }
 
         if let Some((gt, _)) = ts.as_mut() {
@@ -587,6 +986,12 @@ fn run_serial(
         stats.offered,
         "packet conservation"
     );
+    if let Some(m) = mem {
+        m.peak_channel_records = queues.peak_records();
+        m.num_channels = num_channels;
+        m.channel_store_bytes = queues.heap_bytes();
+        m.route_table_bytes = table.heap_bytes();
+    }
     if let (Some(t), Some(b)) = (tel, board) {
         if profiling {
             prof.finish(
@@ -630,27 +1035,59 @@ pub fn run_bounded(
     cfg: SimConfig,
     capacity: usize,
 ) -> SimStats {
+    run_bounded_impl(topo, injections, &cfg, capacity, false)
+}
+
+/// Reference **full-sweep** implementation of [`run_bounded`]: the same
+/// model, but each cycle scans every channel in ascending id order
+/// instead of draining the active worklist — O(channels) per cycle
+/// regardless of traffic. Retained as the differential-testing oracle
+/// that pins the frontier engine byte-identical (stats, counters,
+/// histograms, link stats, profiles, traces); not intended for large
+/// topologies.
+///
+/// # Panics
+/// As [`run_bounded`].
+pub fn run_bounded_sweep(
+    topo: &dyn NetTopology,
+    injections: &[Injection],
+    cfg: SimConfig,
+    capacity: usize,
+) -> SimStats {
+    run_bounded_impl(topo, injections, &cfg, capacity, true)
+}
+
+/// Shared bounded-queue engine. `sweep` selects how the per-cycle
+/// service set is enumerated; both modes visit exactly the non-empty
+/// channels in ascending id order, so every order-sensitive effect
+/// (FIFO landing order on shared target channels, trace event order,
+/// profile work counts) coincides byte-for-byte.
+fn run_bounded_impl(
+    topo: &dyn NetTopology,
+    injections: &[Injection],
+    cfg: &SimConfig,
+    capacity: usize,
+    sweep: bool,
+) -> SimStats {
     assert!(capacity >= 1, "queues need capacity >= 1");
-    let g = topo.graph();
-    let n = g.num_nodes();
     assert!(
         injections.windows(2).all(|w| w[0].at <= w[1].at),
         "injections must be sorted by cycle"
     );
     let table = RouteTable::for_injections(topo, injections, &crate::faults::FaultPlan::new());
-    let offsets = channel_offsets(g);
-    let num_channels = offsets[n];
-    let mut queues: Vec<VecDeque<Packet>> = vec![VecDeque::new(); num_channels];
-    let channel_of = |u: NodeId, v: NodeId| -> usize {
-        let port = g
-            .neighbors(u)
-            .binary_search(&(v as u32))
-            .unwrap_or_else(|_| panic!("route step ({u}, {v}) is not an edge")); // analyze: allow(panic-policy, internal invariant needs the offending ids; expect cannot format them)
-        offsets[u] + port
-    };
+    let layout = ChanLayout::new(topo, cfg.implicit);
+    let num_channels = layout.num_channels();
+    let sparse = cfg.implicit || topo.explicit_graph().is_none();
+    let mut queues: ChanQueues<Packet> = ChanQueues::new(num_channels, sparse, true);
+    // Frontier worklist: exactly the non-empty channels (maintained
+    // incrementally; the sweep rebuilds the same set by scanning).
+    let mut active: Vec<usize> = Vec::new();
+    let mut order: Vec<usize> = Vec::new();
+    let mut touched: Vec<usize> = Vec::new(); // channels with credits to reset
+    let mut arrivals: Vec<(usize, Packet)> = Vec::new();
 
     let tel = cfg.telemetry.as_ref();
-    let mut board = tel.map(|_| Scoreboard::new(channel_endpoints(g, &offsets)));
+    let mut board = tel.map(|_| Scoreboard::new(layout.endpoints()));
     let mut ts = tel
         .and_then(|t| t.timeseries_config())
         .map(|c| (GlobalTs::new(c, false), LinkTs::new(c, 0, num_channels)));
@@ -704,8 +1141,8 @@ pub fn run_bounded(
                 }
                 continue;
             }
-            let ch = channel_of(path[0] as NodeId, path[1] as NodeId);
-            if queues[ch].len() >= capacity {
+            let ch = layout.channel_of(path[0] as NodeId, path[1] as NodeId);
+            if queues.len(ch) >= capacity {
                 dropped += 1; // source buffer full: injection refused
                 if let Some(t) = tel {
                     t.event(|| Event::PacketDropped {
@@ -716,46 +1153,57 @@ pub fn run_bounded(
                 }
                 continue;
             }
-            queues[ch].push_back(Packet {
-                id,
-                route: slot,
-                hop: 0,
-                injected_at: cycle,
-            });
+            queues.push_back(
+                ch,
+                Packet {
+                    id,
+                    route: slot,
+                    hop: 0,
+                    injected_at: cycle,
+                },
+            );
+            if !sweep && queues.activate(ch) {
+                active.push(ch);
+            }
             in_flight += 1;
+        }
+
+        // The per-cycle service set: non-empty channels, ascending.
+        order.clear();
+        if sweep {
+            order.extend((0..num_channels).filter(|&ch| queues.len(ch) > 0));
+        } else {
+            active.sort_unstable();
+            order.extend_from_slice(&active);
         }
 
         let mut cycle_peak = 0usize;
         let mut cycle_active = 0usize;
         if let Some(b) = board.as_mut() {
-            for (ch, q) in queues.iter().enumerate() {
-                let len = q.len();
+            for &ch in &order {
+                let len = queues.len(ch);
                 b.peak[ch] = b.peak[ch].max(len);
                 cycle_peak = cycle_peak.max(len);
-                if len > 0 {
-                    cycle_active += 1;
-                    if let Some((_, lt)) = ts.as_mut() {
-                        lt.observe(ch, cycle, len as u64);
-                    }
+                cycle_active += 1;
+                if let Some((_, lt)) = ts.as_mut() {
+                    lt.observe(ch, cycle, len as u64);
                 }
             }
         } else {
-            cycle_peak = queues.iter().map(VecDeque::len).max().unwrap_or(0);
+            cycle_peak = order.iter().map(|&ch| queues.len(ch)).max().unwrap_or(0);
         }
         stats.peak_queue = stats.peak_queue.max(cycle_peak);
 
         // Two-phase advance: a head packet moves only if its target queue
         // currently has room; room freed this cycle becomes visible next
         // cycle (conservative credit model).
-        let mut arrivals: Vec<(usize, Packet)> = Vec::new();
-        let mut incoming = vec![0usize; num_channels];
-        for ch in 0..num_channels {
-            let Some(front) = queues[ch].front() else {
+        for &ch in &order {
+            let Some(front) = queues.front(ch) else {
                 continue;
             };
             if profiling {
                 prof.service_inv += 1;
-                prof.service_work += queues[ch].len() as u64;
+                prof.service_work += queues.len(ch) as u64;
             }
             if let Some(b) = board.as_mut() {
                 b.busy[ch] += 1;
@@ -764,8 +1212,8 @@ pub fn run_bounded(
             let path = table.path(front.route);
             let arriving_last = hop + 2 == path.len();
             if arriving_last {
-                let mut p = queues[ch]
-                    .pop_front()
+                let mut p = queues
+                    .pop_front(ch)
                     .expect("invariant: channel was queued non-empty this cycle");
                 p.hop += 1;
                 let latency = cycle + 1 - p.injected_at;
@@ -797,13 +1245,15 @@ pub fn run_bounded(
             } else {
                 let here = path[hop + 1] as NodeId;
                 let next = path[hop + 2] as NodeId;
-                let next_ch = channel_of(here, next);
-                if queues[next_ch].len() + incoming[next_ch] < capacity {
-                    let mut p = queues[ch]
-                        .pop_front()
+                let next_ch = layout.channel_of(here, next);
+                if queues.len_plus_incoming(next_ch) < capacity {
+                    let mut p = queues
+                        .pop_front(ch)
                         .expect("invariant: channel was queued non-empty this cycle");
                     p.hop += 1;
-                    incoming[next_ch] += 1;
+                    if queues.add_incoming(next_ch) {
+                        touched.push(next_ch);
+                    }
                     if let Some(b) = board.as_mut() {
                         b.fwd[ch] += 1;
                         let (from, to) = b.ends[ch];
@@ -820,9 +1270,28 @@ pub fn run_bounded(
                 // else: head-of-line blocked; wait.
             }
         }
-        for (ch, p) in arrivals {
-            queues[ch].push_back(p);
+        if !sweep {
+            // Drop drained channels from the worklist before arrivals
+            // land (an arrival re-activates its channel below).
+            active.retain(|&ch| {
+                if queues.len(ch) > 0 {
+                    true
+                } else {
+                    queues.deactivate(ch);
+                    false
+                }
+            });
         }
+        for (ch, p) in arrivals.drain(..) {
+            queues.push_back(ch, p);
+            if !sweep && queues.activate(ch) {
+                active.push(ch);
+            }
+        }
+        for &ch in &touched {
+            queues.clear_incoming(ch);
+        }
+        touched.clear();
         if let Some((gt, _)) = ts.as_mut() {
             gt.record(
                 cycle,
@@ -890,41 +1359,23 @@ struct AdaptivePacket {
 /// hop for an undelivered packet (which would contradict shortest-path
 /// reachability).
 pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> SimStats {
-    let g = topo.graph();
-    let n = g.num_nodes();
     assert!(
         injections.windows(2).all(|w| w[0].at <= w[1].at),
         "injections must be sorted by cycle"
     );
-    let mut offsets = Vec::with_capacity(n + 1);
-    offsets.push(0usize);
-    for v in 0..n {
-        offsets.push(offsets[v] + g.degree(v));
-    }
-    let num_channels = offsets[n];
+    let layout = ChanLayout::new(topo, cfg.implicit);
+    let num_channels = layout.num_channels();
     // Channel id -> head node (the node a popped packet arrives at).
-    let mut chan_to = vec![0u32; num_channels];
-    for v in 0..n {
-        for (port, &w) in g.neighbors(v).iter().enumerate() {
-            chan_to[offsets[v] + port] = w;
-        }
-    }
-    let mut queues: Vec<VecDeque<AdaptivePacket>> = vec![VecDeque::new(); num_channels];
+    let chan_to = layout.heads();
+    let sparse = cfg.implicit || topo.explicit_graph().is_none();
+    let mut queues: ChanQueues<AdaptivePacket> = ChanQueues::new(num_channels, sparse, false);
     let mut active: Vec<usize> = Vec::new();
-    let mut is_active = vec![false; num_channels];
 
-    let channel_of = |u: NodeId, v: NodeId| -> usize {
-        let port = g
-            .neighbors(u)
-            .binary_search(&(v as u32))
-            .unwrap_or_else(|_| panic!("hop ({u}, {v}) is not an edge")); // analyze: allow(panic-policy, internal invariant needs the offending ids; expect cannot format them)
-        offsets[u] + port
-    };
     // Least-loaded productive channel out of `from` toward `dst`. The
     // productive set is written into the caller's stack buffer — no heap
     // allocation per hop. Ties keep the first (lowest-channel) minimum,
     // matching the historical Vec-based iteration order exactly.
-    let choose = |queues: &[VecDeque<AdaptivePacket>],
+    let choose = |queues: &ChanQueues<AdaptivePacket>,
                   buf: &mut [NodeId; MAX_PRODUCTIVE],
                   from: NodeId,
                   dst: NodeId|
@@ -932,14 +1383,14 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
         let k = topo.productive_hops_into(from, dst, buf);
         let ch = buf[..k]
             .iter()
-            .map(|&w| channel_of(from, w))
-            .min_by_key(|&ch| queues[ch].len())
+            .map(|&w| layout.channel_of(from, w))
+            .min_by_key(|&ch| queues.len(ch))
             .expect("invariant: a productive hop exists for any undelivered packet");
         (ch, k)
     };
 
     let tel = cfg.telemetry.as_ref();
-    let mut board = tel.map(|_| Scoreboard::new(channel_endpoints(g, &offsets)));
+    let mut board = tel.map(|_| Scoreboard::new(layout.endpoints()));
     let mut ts = tel
         .and_then(|t| t.timeseries_config())
         .map(|c| (GlobalTs::new(c, false), LinkTs::new(c, 0, num_channels)));
@@ -995,14 +1446,16 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
                 prof.scan_inv += 1;
                 prof.scan_work += scanned as u64;
             }
-            queues[ch].push_back(AdaptivePacket {
-                id,
-                dst: inj.dst,
-                hops: 0,
-                injected_at: cycle,
-            });
-            if !is_active[ch] {
-                is_active[ch] = true;
+            queues.push_back(
+                ch,
+                AdaptivePacket {
+                    id,
+                    dst: inj.dst,
+                    hops: 0,
+                    injected_at: cycle,
+                },
+            );
+            if queues.activate(ch) {
                 active.push(ch);
             }
             in_flight += 1;
@@ -1011,7 +1464,7 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
         let mut cycle_peak = 0usize;
         if let Some(b) = board.as_mut() {
             for &ch in &active {
-                let len = queues[ch].len();
+                let len = queues.len(ch);
                 b.peak[ch] = b.peak[ch].max(len);
                 cycle_peak = cycle_peak.max(len);
                 if let Some((_, lt)) = ts.as_mut() {
@@ -1019,7 +1472,7 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
                 }
             }
         } else {
-            cycle_peak = active.iter().map(|&ch| queues[ch].len()).max().unwrap_or(0);
+            cycle_peak = active.iter().map(|&ch| queues.len(ch)).max().unwrap_or(0);
         }
         stats.peak_queue = stats.peak_queue.max(cycle_peak);
         let cycle_active = active.len();
@@ -1028,11 +1481,11 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
         for &ch in &active {
             if profiling {
                 prof.service_inv += 1;
-                prof.service_work += queues[ch].len() as u64;
+                prof.service_work += queues.len(ch) as u64;
             }
-            if let Some(mut p) = queues[ch].pop_front() {
+            if let Some(mut p) = queues.pop_front(ch) {
                 p.hops += 1;
-                let here = chan_to[ch] as usize;
+                let here = chan_to.head_of(ch);
                 if let Some(b) = board.as_mut() {
                     b.busy[ch] += 1;
                     b.fwd[ch] += 1;
@@ -1067,8 +1520,8 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
                     moved.push((here, p));
                 }
             }
-            if queues[ch].is_empty() {
-                is_active[ch] = false;
+            if queues.len(ch) == 0 {
+                queues.deactivate(ch);
             } else {
                 still_active.push(ch);
             }
@@ -1080,9 +1533,8 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
                 prof.scan_inv += 1;
                 prof.scan_work += scanned as u64;
             }
-            queues[ch].push_back(p);
-            if !is_active[ch] {
-                is_active[ch] = true;
+            queues.push_back(ch, p);
+            if queues.activate(ch) {
                 active.push(ch);
             }
         }

@@ -32,12 +32,50 @@ pub trait NetTopology: Send + Sync {
 
     /// Number of nodes.
     fn num_nodes(&self) -> usize {
-        self.graph().num_nodes()
+        self.explicit_graph()
+            .expect("invariant: implicit topologies override num_nodes")
+            .num_nodes()
     }
 
+    /// The materialised graph, if this adapter owns one. Implicit
+    /// (algebraic) topologies return `None`; the simulators then derive
+    /// the channel layout from [`Self::uniform_degree`] and
+    /// [`Self::neighbors_into`] instead of adjacency arrays.
+    fn explicit_graph(&self) -> Option<&Graph>;
+
     /// The materialised graph (used for channel layout and fault
-    /// analysis).
-    fn graph(&self) -> &Graph;
+    /// analysis). Callers that can run without a materialised graph
+    /// should prefer [`Self::explicit_graph`] and the algebraic surface.
+    fn graph(&self) -> &Graph {
+        self.explicit_graph()
+            .expect("invariant: graph() is only called on explicit topologies")
+    }
+
+    /// Uniform degree, if every node has exactly this many neighbors.
+    /// A `Some` answer licenses the arithmetic channel layout
+    /// `channel(u, port) = u * degree + port` (ports in ascending
+    /// neighbor order), which matches the CSR layout of the materialised
+    /// graph exactly. `None` (the default) means the layout must come
+    /// from [`Self::explicit_graph`].
+    fn uniform_degree(&self) -> Option<usize> {
+        None
+    }
+
+    /// Writes the neighbors of `v` into `buf` in **ascending node-id
+    /// order** (the same order as the materialised graph's sorted
+    /// adjacency), returning how many were written. `buf` must hold at
+    /// least [`MAX_PRODUCTIVE`] entries. The default reads the explicit
+    /// graph; implicit topologies override it with the Cayley generators.
+    fn neighbors_into(&self, v: NodeId, buf: &mut [NodeId]) -> usize {
+        let g = self
+            .explicit_graph()
+            .expect("invariant: implicit topologies override neighbors_into");
+        let adj = g.neighbors(v);
+        for (k, &w) in adj.iter().enumerate() {
+            buf[k] = w as NodeId;
+        }
+        adj.len()
+    }
 
     /// The topology's own shortest (or near-shortest oblivious) route,
     /// node sequence inclusive of both endpoints. `src == dst` returns
@@ -76,10 +114,24 @@ pub trait NetTopology: Send + Sync {
     }
 }
 
+/// `Some(d)` when every node of `g` has exactly `d` neighbors — the
+/// check backing every adapter's [`NetTopology::uniform_degree`] claim
+/// (an unverified claim would silently desynchronise the arithmetic
+/// channel layout from the CSR one).
+fn uniform_degree_of(g: &Graph) -> Option<usize> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return None;
+    }
+    let d = g.degree(0);
+    (1..n).all(|v| g.degree(v) == d).then_some(d)
+}
+
 /// Hypercube `H_m` with dimension-ordered (bit-fixing) routing.
 pub struct HypercubeNet {
     h: Hypercube,
     graph: Graph,
+    udeg: Option<usize>,
     name: String,
 }
 
@@ -90,8 +142,10 @@ impl HypercubeNet {
     /// Propagates construction failures.
     pub fn new(m: u32) -> Result<Self> {
         let h = Hypercube::new(m)?;
+        let graph = h.build_graph()?;
         Ok(Self {
-            graph: h.build_graph()?,
+            udeg: uniform_degree_of(&graph),
+            graph,
             name: format!("H({})", h.m()),
             h,
         })
@@ -102,8 +156,11 @@ impl NetTopology for HypercubeNet {
     fn name(&self) -> &str {
         &self.name
     }
-    fn graph(&self) -> &Graph {
-        &self.graph
+    fn explicit_graph(&self) -> Option<&Graph> {
+        Some(&self.graph)
+    }
+    fn uniform_degree(&self) -> Option<usize> {
+        self.udeg
     }
     fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
         hrouting::route(&self.h, src as u32, dst as u32)
@@ -135,6 +192,7 @@ impl NetTopology for HypercubeNet {
 pub struct ButterflyNet {
     b: Butterfly,
     graph: Graph,
+    udeg: Option<usize>,
     name: String,
 }
 
@@ -145,8 +203,10 @@ impl ButterflyNet {
     /// Propagates construction failures.
     pub fn new(n: u32) -> Result<Self> {
         let b = Butterfly::new(n)?;
+        let graph = b.build_graph()?;
         Ok(Self {
-            graph: b.build_graph()?,
+            udeg: uniform_degree_of(&graph),
+            graph,
             name: format!("B({})", b.n()),
             b,
         })
@@ -157,8 +217,11 @@ impl NetTopology for ButterflyNet {
     fn name(&self) -> &str {
         &self.name
     }
-    fn graph(&self) -> &Graph {
-        &self.graph
+    fn explicit_graph(&self) -> Option<&Graph> {
+        Some(&self.graph)
+    }
+    fn uniform_degree(&self) -> Option<usize> {
+        self.udeg
     }
     fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
         brouting::route(&self.b, self.b.node(src), self.b.node(dst))
@@ -200,6 +263,7 @@ pub enum HbRouteOrder {
 pub struct HyperButterflyNet {
     hb: HyperButterfly,
     graph: Graph,
+    udeg: Option<usize>,
     order: HbRouteOrder,
     name: String,
 }
@@ -211,8 +275,10 @@ impl HyperButterflyNet {
     /// Propagates construction failures.
     pub fn new(m: u32, n: u32, order: HbRouteOrder) -> Result<Self> {
         let hb = HyperButterfly::new(m, n)?;
+        let graph = hb.build_graph()?;
         Ok(Self {
-            graph: hb.build_graph()?,
+            udeg: uniform_degree_of(&graph),
+            graph,
             name: format!("HB({}, {})", hb.m(), hb.n()),
             hb,
             order,
@@ -229,8 +295,11 @@ impl NetTopology for HyperButterflyNet {
     fn name(&self) -> &str {
         &self.name
     }
-    fn graph(&self) -> &Graph {
-        &self.graph
+    fn explicit_graph(&self) -> Option<&Graph> {
+        Some(&self.graph)
+    }
+    fn uniform_degree(&self) -> Option<usize> {
+        self.udeg
     }
     fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
         let u = self.hb.node(src);
@@ -247,6 +316,128 @@ impl NetTopology for HyperButterflyNet {
         // differing dimension, a butterfly neighbor iff it lowers the
         // butterfly closed-form distance. Enumeration order matches the
         // graph layout: dimensions ascending, then generator order.
+        let u = self.hb.node(cur);
+        let v = self.hb.node(dst);
+        let mut k = 0;
+        let diff = u.h ^ v.h;
+        for dim in 0..self.hb.m() {
+            if diff >> dim & 1 == 1 {
+                buf[k] = self.hb.index(HbNode::new(u.h ^ (1 << dim), u.b));
+                k += 1;
+            }
+        }
+        let db = brouting::dist(u.b, v.b);
+        if db > 0 {
+            for wb in u.b.neighbors() {
+                if brouting::dist(wb, v.b) < db {
+                    buf[k] = self.hb.index(HbNode::new(u.h, wb));
+                    k += 1;
+                }
+            }
+        }
+        k
+    }
+}
+
+/// Hyper-butterfly `HB(m, n)` computed **implicitly** from the Cayley
+/// structure: no adjacency arrays, no materialised [`Graph`] — neighbors
+/// come from the generators, `next_hop`/`productive_hops_into` from the
+/// closed-form per-leg distance kernels (Remarks 6/8), and the channel
+/// layout from the uniform degree `m + 4`. Memory is O(1) regardless of
+/// `2^m · n · 2^n` nodes, which is what lets the frontier simulation
+/// engine run million-node shapes with state proportional to the traffic
+/// actually touched.
+///
+/// The neighbor enumeration is sorted ascending, so ports — and
+/// therefore channel ids — agree exactly with the CSR layout the
+/// explicit [`HyperButterflyNet`] adapter would produce.
+pub struct ImplicitTopology {
+    hb: HyperButterfly,
+    order: HbRouteOrder,
+    degree: usize,
+    num_nodes: usize,
+    name: String,
+}
+
+impl ImplicitTopology {
+    /// Builds the implicit adapter. Unlike [`HyperButterflyNet::new`]
+    /// this never materialises the graph — construction is O(1) in the
+    /// node count.
+    ///
+    /// # Errors
+    /// Propagates core construction failures, and rejects shapes whose
+    /// generators coincide at a node (degree below `m + 4` would break
+    /// the arithmetic channel layout; all paper-relevant shapes with
+    /// `n >= 3` have distinct generators).
+    pub fn new(m: u32, n: u32, order: HbRouteOrder) -> Result<Self> {
+        let hb = HyperButterfly::new(m, n)?;
+        let degree = hb.degree() as usize;
+        let t = Self {
+            num_nodes: hb.num_nodes(),
+            name: format!("HB({}, {})", hb.m(), hb.n()),
+            hb,
+            order,
+            degree,
+        };
+        // Cayley graphs are vertex-transitive, so checking one node
+        // suffices: if the m + 4 generator images are distinct at the
+        // identity they are distinct everywhere.
+        let mut buf = [0 as NodeId; MAX_PRODUCTIVE];
+        let k = t.neighbors_into(0, &mut buf);
+        if k != degree || buf[..k].windows(2).any(|w| w[0] == w[1]) {
+            return Err(hb_graphs::GraphError::InvalidParameter(format!(
+                "implicit HB({m}, {n}) needs {degree} distinct generator images, got {k}"
+            )));
+        }
+        Ok(t)
+    }
+
+    /// The wrapped topology.
+    pub fn topology(&self) -> &HyperButterfly {
+        &self.hb
+    }
+}
+
+impl NetTopology for ImplicitTopology {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+    fn explicit_graph(&self) -> Option<&Graph> {
+        None
+    }
+    fn uniform_degree(&self) -> Option<usize> {
+        Some(self.degree)
+    }
+    fn neighbors_into(&self, v: NodeId, buf: &mut [NodeId]) -> usize {
+        let u = self.hb.node(v);
+        let mut k = 0;
+        for dim in 0..self.hb.m() {
+            buf[k] = self.hb.index(HbNode::new(u.h ^ (1 << dim), u.b));
+            k += 1;
+        }
+        for wb in u.b.neighbors() {
+            buf[k] = self.hb.index(HbNode::new(u.h, wb));
+            k += 1;
+        }
+        buf[..k].sort_unstable();
+        k
+    }
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let u = self.hb.node(src);
+        let v = self.hb.node(dst);
+        let path: Vec<HbNode> = match self.order {
+            HbRouteOrder::CubeFirst => hbrouting::route(&self.hb, u, v),
+            HbRouteOrder::ButterflyFirst => hbrouting::route_butterfly_first(&self.hb, u, v),
+        };
+        path.into_iter().map(|x| self.hb.index(x)).collect()
+    }
+    fn productive_hops_into(&self, cur: NodeId, dst: NodeId, buf: &mut [NodeId]) -> usize {
+        // Identical per-leg productivity test as the explicit adapter
+        // (Remark 8): cube neighbors fixing a differing dimension,
+        // butterfly neighbors lowering the closed-form distance.
         let u = self.hb.node(cur);
         let v = self.hb.node(dst);
         let mut k = 0;
@@ -301,8 +492,8 @@ impl NetTopology for HyperDeBruijnNet {
     fn name(&self) -> &str {
         &self.name
     }
-    fn graph(&self) -> &Graph {
-        &self.graph
+    fn explicit_graph(&self) -> Option<&Graph> {
+        Some(&self.graph)
     }
     fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
         // The oblivious HD route may briefly revisit a node when the
@@ -347,8 +538,8 @@ impl NetTopology for GraphNet {
     fn name(&self) -> &str {
         &self.name
     }
-    fn graph(&self) -> &Graph {
-        &self.graph
+    fn explicit_graph(&self) -> Option<&Graph> {
+        Some(&self.graph)
     }
     fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
         if src == dst {

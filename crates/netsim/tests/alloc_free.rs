@@ -1,16 +1,22 @@
-//! Proves `run_adaptive` performs zero per-hop heap allocations at
-//! steady state: once the per-run structures (queues, scratch vectors)
-//! reach their high-water capacity, forwarding packets allocates
-//! nothing. The proof compares total allocation counts of a short and a
-//! long run of the *same repeating wave shape* — identical setup and
-//! identical high-water marks, so any per-hop allocation would scale
-//! with the extra hops and break the bound.
+//! Proves the hot loops perform zero per-hop heap allocations at steady
+//! state: once the per-run structures (queues, scratch vectors, sparse
+//! channel records) reach their high-water capacity, forwarding packets
+//! allocates nothing. The proof compares total allocation counts of a
+//! short and a long run of the *same repeating wave shape* — identical
+//! setup and identical high-water marks, so any per-hop allocation
+//! would scale with the extra hops and break the bound.
+//!
+//! Covered engines: `run_adaptive` (dense) and the frontier engine
+//! (`run` over the implicit topology's sparse channel store, where
+//! records churn through the recycling free list every wave).
 //!
 //! This is the only test in this file: the global counting allocator
 //! must not race with unrelated tests.
 
-use hb_netsim::topology::{HbRouteOrder, HyperButterflyNet, HypercubeNet, NetTopology};
-use hb_netsim::{run_adaptive, Injection, SimConfig, SimStats};
+use hb_netsim::topology::{
+    HbRouteOrder, HyperButterflyNet, HypercubeNet, ImplicitTopology, NetTopology,
+};
+use hb_netsim::{run, run_adaptive, Injection, SimConfig, SimStats};
 use hb_telemetry::Telemetry;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,7 +67,22 @@ fn wave_workload(num_nodes: usize, waves: u64, spacing: u64) -> Vec<Injection> {
     inj
 }
 
-fn run_waves(topo: &dyn NetTopology, waves: u64, profiled: bool) -> (u64, SimStats) {
+/// Which hot loop a measurement drives.
+#[derive(Clone, Copy)]
+enum Engine {
+    /// The adaptive router's dense allocation-free path.
+    Adaptive,
+    /// The oblivious frontier engine on sparse (implicit) channel
+    /// state: channel records materialise and recycle every wave.
+    Frontier,
+}
+
+fn run_waves(
+    topo: &dyn NetTopology,
+    engine: Engine,
+    waves: u64,
+    profiled: bool,
+) -> (u64, SimStats) {
     let spacing = 64;
     let inj = wave_workload(topo.num_nodes(), waves, spacing);
     let mut cfg = SimConfig::bounded(waves * spacing + 10_000);
@@ -71,16 +92,19 @@ fn run_waves(topo: &dyn NetTopology, waves: u64, profiled: bool) -> (u64, SimSta
         // end — a constant allocation count regardless of run length.
         cfg = cfg.with_telemetry(Telemetry::summary()).with_profile(true);
     }
-    count_allocs(|| run_adaptive(topo, &inj, cfg))
+    match engine {
+        Engine::Adaptive => count_allocs(|| run_adaptive(topo, &inj, cfg)),
+        Engine::Frontier => count_allocs(|| run(topo, &inj, cfg.with_implicit_topology(true))),
+    }
 }
 
-fn assert_steady_state_alloc_free(topo: &dyn NetTopology, profiled: bool) {
+fn assert_steady_state_alloc_free(topo: &dyn NetTopology, engine: Engine, profiled: bool) {
     let (short_waves, long_waves) = (2u64, 32u64);
     // Warm-up run so one-time lazy init (anything OnceLock-ish in the
     // stack below) is excluded from both measurements.
-    let _ = run_waves(topo, 1, profiled);
-    let (allocs_short, stats_short) = run_waves(topo, short_waves, profiled);
-    let (allocs_long, stats_long) = run_waves(topo, long_waves, profiled);
+    let _ = run_waves(topo, engine, 1, profiled);
+    let (allocs_short, stats_short) = run_waves(topo, engine, short_waves, profiled);
+    let (allocs_long, stats_long) = run_waves(topo, engine, long_waves, profiled);
     // The long run really did ~16x the forwarding work...
     assert_eq!(
         stats_short.delivered,
@@ -110,13 +134,19 @@ fn assert_steady_state_alloc_free(topo: &dyn NetTopology, profiled: bool) {
 }
 
 #[test]
-fn run_adaptive_steady_state_is_allocation_free() {
+fn hot_loops_steady_state_are_allocation_free() {
     let hc = HypercubeNet::new(6).unwrap();
     let hb = HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap();
-    assert_steady_state_alloc_free(&hc, false);
-    assert_steady_state_alloc_free(&hb, false);
+    assert_steady_state_alloc_free(&hc, Engine::Adaptive, false);
+    assert_steady_state_alloc_free(&hb, Engine::Adaptive, false);
     // The deterministic profiler must not reintroduce per-hop
     // allocations: same bound with telemetry + profiling enabled.
-    assert_steady_state_alloc_free(&hc, true);
-    assert_steady_state_alloc_free(&hb, true);
+    assert_steady_state_alloc_free(&hc, Engine::Adaptive, true);
+    assert_steady_state_alloc_free(&hb, Engine::Adaptive, true);
+    // Frontier engine over the implicit topology: the sparse channel
+    // store's record recycling (materialise on touch, retire on drain)
+    // must also settle to zero allocations per wave.
+    let imp = ImplicitTopology::new(2, 3, HbRouteOrder::CubeFirst).unwrap();
+    assert_steady_state_alloc_free(&imp, Engine::Frontier, false);
+    assert_steady_state_alloc_free(&imp, Engine::Frontier, true);
 }

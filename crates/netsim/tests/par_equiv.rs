@@ -7,9 +7,13 @@
 //! count is a pure performance knob.
 
 use hb_netsim::topology::{
-    ButterflyNet, HbRouteOrder, HyperButterflyNet, HypercubeNet, NetTopology,
+    ButterflyNet, HbRouteOrder, HyperButterflyNet, HypercubeNet, ImplicitTopology, NetTopology,
 };
-use hb_netsim::{run, run_with_faults, sim::SimConfig, workload, FaultPlan, TraceSampling};
+use hb_netsim::{
+    run, run_bounded, run_with_faults,
+    sim::{run_bounded_sweep, SimConfig},
+    workload, FaultPlan, TraceSampling,
+};
 use hb_telemetry::{Profile, Telemetry, TsConfig};
 use proptest::prelude::*;
 
@@ -184,5 +188,99 @@ proptest! {
         let par = run(&*t, &inj, SimConfig::bounded(limit).with_threads(4));
         prop_assert_eq!(par.delivered + par.stranded, par.offered);
         prop_assert_eq!(&serial, &par);
+    }
+
+    /// Implicit vs explicit byte identity: the same workload run on the
+    /// graph-free [`ImplicitTopology`] (sparse per-channel state, active
+    /// frontier) produces the identical stats, work profile, and full
+    /// telemetry snapshot as the materialised adapter's dense engine —
+    /// serial and sharded.
+    #[test]
+    fn implicit_run_matches_explicit(rate in 5u32..50, cycles in 1u64..30,
+                                     seed in 0u64..300) {
+        let exp = HyperButterflyNet::new(2, 3, HbRouteOrder::CubeFirst).unwrap();
+        let imp = ImplicitTopology::new(2, 3, HbRouteOrder::CubeFirst).unwrap();
+        let inj = workload::uniform(exp.num_nodes(), cycles, f64::from(rate) / 100.0, seed);
+        for threads in [1usize, 2] {
+            let tel_e = tel_with_ts(seed);
+            let a = run(
+                &exp,
+                &inj,
+                SimConfig::default()
+                    .with_telemetry(tel_e.clone())
+                    .with_profile(true)
+                    .with_threads(threads),
+            );
+            let tel_i = tel_with_ts(seed);
+            let b = run(
+                &imp,
+                &inj,
+                SimConfig::default()
+                    .with_telemetry(tel_i.clone())
+                    .with_profile(true)
+                    .with_threads(threads)
+                    .with_implicit_topology(true),
+            );
+            prop_assert_eq!(&a, &b, "stats drift at {} threads", threads);
+            prop_assert_eq!(
+                tel_e.profile(),
+                tel_i.profile(),
+                "profile drift at {} threads",
+                threads
+            );
+            prop_assert_eq!(
+                tel_e.snapshot(),
+                tel_i.snapshot(),
+                "snapshot drift at {} threads",
+                threads
+            );
+        }
+    }
+
+    /// Frontier vs sweep byte identity: the bounded engine's active
+    /// worklist (sorted, drained ascending) must reproduce the full
+    /// channel sweep exactly — stats, counters, quantiles, link stats,
+    /// and profile — on every topology family, dense and sparse.
+    #[test]
+    fn bounded_frontier_matches_sweep(kind in 0u8..3, rate in 5u32..50,
+                                      cycles in 1u64..24, seed in 0u64..300,
+                                      capacity in 1usize..4) {
+        let t = make_topology(kind);
+        let inj = workload::uniform(t.num_nodes(), cycles, f64::from(rate) / 100.0, seed);
+        for implicit in [false, true] {
+            let tel_f = tel_with_ts(seed);
+            let frontier = run_bounded(
+                &*t,
+                &inj,
+                SimConfig::default()
+                    .with_telemetry(tel_f.clone())
+                    .with_profile(true)
+                    .with_implicit_topology(implicit),
+                capacity,
+            );
+            let tel_s = tel_with_ts(seed);
+            let sweep = run_bounded_sweep(
+                &*t,
+                &inj,
+                SimConfig::default()
+                    .with_telemetry(tel_s.clone())
+                    .with_profile(true)
+                    .with_implicit_topology(implicit),
+                capacity,
+            );
+            prop_assert_eq!(&frontier, &sweep, "stats drift (implicit {})", implicit);
+            prop_assert_eq!(
+                tel_f.profile(),
+                tel_s.profile(),
+                "profile drift (implicit {})",
+                implicit
+            );
+            prop_assert_eq!(
+                tel_f.snapshot(),
+                tel_s.snapshot(),
+                "snapshot drift (implicit {})",
+                implicit
+            );
+        }
     }
 }
