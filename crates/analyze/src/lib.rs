@@ -6,27 +6,45 @@
 //! reads in simulation paths, canonical ordering everywhere, and a
 //! panic discipline in library code. This crate machine-checks those
 //! invariants with a **zero-dependency** static-analysis pass — a
-//! hand-rolled, line-accurate Rust tokenizer ([`lexer`]) plus a rule
+//! hand-rolled, line-accurate Rust tokenizer ([`lexer`]), a lightweight
+//! item tree over it ([`tree`]: fn items with names and spans, impl/mod
+//! nesting, `#[cfg(test)]` subtree masking, loop-body spans), a rule
 //! engine ([`rules`]) and a baseline ratchet ([`baseline`]) — because
 //! the build container cannot reach the crates registry, so `syn`,
 //! `clippy_utils`, and friends are unavailable.
 //!
 //! The shipped rules (see [`rules`] for the full table):
 //!
+//! * **A1 `alloc-in-hot`** — allocation-capable calls inside the loop
+//!   bodies of functions annotated `// analyze: hot(<reason>)`, the
+//!   static mirror of the counting-allocator test
+//!   `crates/netsim/tests/alloc_free.rs`;
+//! * **C1 `narrowing-cast`** — `as` casts that can truncate between
+//!   integer types in library code;
 //! * **D1 `hash-order`** — no `HashMap`/`HashSet` in deterministic
-//!   crates (netsim, distributed, telemetry, core);
+//!   crates (netsim, distributed, telemetry, core, analyze);
 //! * **D2 `wall-clock`** — no `Instant::now`/`SystemTime` outside the
 //!   perf suite and tests;
 //! * **D3 `rng`** — no ambient randomness in library code;
+//! * **D4 `float-determinism`** — no `f32`/`f64` in netsim/distributed/
+//!   telemetry library code (order-dependent float sums break byte
+//!   identity) outside explicitly allowlisted quantile math;
+//! * **D5 `unstable-order`** — no keyed sorts with potentially-
+//!   duplicate keys, and no hash-table machinery reached by module
+//!   path;
+//! * **H1 `stale-allow`** — every `// analyze: allow(…)` must still
+//!   suppress at least one finding;
 //! * **S1 `unsafe-forbid`** — every crate root carries
 //!   `#![forbid(unsafe_code)]`;
 //! * **P1 `panic-policy`** — no `unwrap()`/undocumented `expect()`/
-//!   `panic!` in netsim/telemetry/distributed library code.
+//!   `panic!` in netsim/telemetry/distributed/analyze library code.
 //!
 //! Violations are suppressed per line with
 //! `// analyze: allow(<rule-name>, <reason>)`, and pre-existing debt is
 //! accepted via the committed `analyze-baseline.txt` so the gate fails
-//! only on *new* findings. Drive it as `hbnet analyze` (DESIGN.md §10).
+//! only on *new* findings. Reports render as human text, JSON lines, or
+//! SARIF 2.1.0 ([`sarif`]). Drive it as `hbnet analyze` (DESIGN.md §10,
+//! §14).
 
 #![forbid(unsafe_code)]
 
@@ -34,10 +52,14 @@ pub mod baseline;
 pub mod diag;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
+pub mod tree;
 pub mod walk;
 
 pub use diag::{render_human, render_jsonl, Finding, Severity};
 pub use rules::{analyze_file, classify};
+pub use sarif::{render_sarif, RULES};
+pub use tree::ItemTree;
 
 use std::io;
 use std::path::Path;

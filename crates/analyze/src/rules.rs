@@ -1,31 +1,66 @@
-//! The rule engine: file classification, `#[cfg(test)]` masking,
-//! allow-comment parsing, and the five shipped rules.
+//! The rule engine: file classification, scope-aware `#[cfg(test)]`
+//! masking via the item tree, allow-comment parsing with stale
+//! detection, and the shipped rules.
 //!
-//! | id | name          | scope                                    | what |
-//! |----|---------------|------------------------------------------|------|
-//! | D1 | `hash-order`  | library code of the deterministic crates | `HashMap`/`HashSet` (random iteration order) |
-//! | D2 | `wall-clock`  | all library code except `bench/src/perf.rs` | `Instant::now` / `SystemTime` |
-//! | D3 | `rng`         | all library code                         | ambient randomness (`thread_rng`, …) |
-//! | S1 | `unsafe-forbid` | every crate root                       | missing `#![forbid(unsafe_code)]` |
-//! | P1 | `panic-policy` | library code of netsim/telemetry/distributed | `unwrap()`, undocumented `expect`, `panic!` |
+//! | id | name             | scope                                        | what |
+//! |----|------------------|----------------------------------------------|------|
+//! | A1 | `alloc-in-hot`   | loop bodies of `// analyze: hot(…)` fns      | allocation-capable calls (`collect`, `clone`, `to_vec`, `format!`, `vec!`, `Box::new`, `Vec::new`, `VecDeque::new`) |
+//! | C1 | `narrowing-cast` | all library code                             | `as` casts to `u8`/`u16`/`u32`/`i8`/`i16`/`i32` (can truncate) |
+//! | D1 | `hash-order`     | library code of the deterministic crates     | `HashMap`/`HashSet` (random iteration order) |
+//! | D2 | `wall-clock`     | all library code except `bench/src/perf.rs`  | `Instant::now` / `SystemTime` |
+//! | D3 | `rng`            | all library code                             | ambient randomness (`thread_rng`, …) |
+//! | D4 | `float-determinism` | library code of netsim/distributed/telemetry | `f32`/`f64` types and float literals (order-dependent rounding) |
+//! | D5 | `unstable-order` | library code of the deterministic crates     | keyed sorts with potentially-duplicate keys; hash-module paths that dodge D1 |
+//! | H1 | `stale-allow`    | all library code                             | `// analyze: allow(…)` that suppresses zero findings |
+//! | P1 | `panic-policy`   | library code of netsim/telemetry/distributed/analyze | `unwrap()`, undocumented `expect`, `panic!` |
+//! | S1 | `unsafe-forbid`  | every crate root                             | missing `#![forbid(unsafe_code)]` |
 //!
-//! Any finding can be suppressed per line with
+//! Any finding except H1 can be suppressed per line with
 //! `// analyze: allow(<name>, <reason>)` — same line, or a comment
-//! standing alone on the line above. `expect` calls whose message starts
-//! with `invariant:` are self-documenting and never flagged.
+//! standing alone on the line above. An allow that suppresses nothing
+//! is itself the H1 finding, so paid-down debt cannot leave dead
+//! suppressions behind. `expect` calls whose message starts with
+//! `invariant:` are self-documenting and never flagged.
+//!
+//! Hot functions are declared with `// analyze: hot(<reason>)` directly
+//! above the `fn` item (doc comments and attributes may intervene); the
+//! item tree ([`crate::tree`]) resolves the annotation, the function
+//! span, and its loop bodies.
 
 use crate::diag::{Finding, Severity};
 use crate::lexer::{lex, Tok, TokKind};
+use crate::tree::ItemTree;
 
-/// Crates whose library code must be iteration-order deterministic (D1).
-pub const DETERMINISTIC_CRATES: &[&str] = &["netsim", "distributed", "telemetry", "core"];
+/// Crates whose library code must be iteration-order deterministic
+/// (D1, D5). `analyze` is in the list because its own reports are
+/// byte-golden.
+pub const DETERMINISTIC_CRATES: &[&str] =
+    &["netsim", "distributed", "telemetry", "core", "analyze"];
 
 /// Crates whose library code is under the panic policy (P1).
-pub const PANIC_POLICY_CRATES: &[&str] = &["netsim", "telemetry", "distributed"];
+pub const PANIC_POLICY_CRATES: &[&str] = &["netsim", "telemetry", "distributed", "analyze"];
+
+/// Crates whose library code must stay float-free (D4): order-dependent
+/// float sums are a byte-identity hazard the sharded engine cannot
+/// tolerate. Telemetry's quantile/mean math is in scope and carries
+/// explicit allow-comments.
+pub const FLOAT_FREE_CRATES: &[&str] = &["netsim", "distributed", "telemetry"];
 
 /// The one file allowed to read the wall clock: the perf suite measures
 /// real elapsed time by design.
 pub const WALL_CLOCK_EXEMPT: &[&str] = &["crates/bench/src/perf.rs"];
+
+/// Cast targets that can truncate (C1). `u64`/`i64`/`usize`/`isize`
+/// are exempt: in this workspace they only ever widen from the dense
+/// `u32` node/channel ids.
+const NARROWING_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Method names that allocate (A1) when called inside a hot loop.
+const ALLOC_METHODS: &[&str] = &["collect", "clone", "to_vec"];
+
+/// `Type::new` pairs that allocate or signal per-iteration container
+/// churn (A1).
+const ALLOC_CTORS: &[&str] = &["Box", "Vec", "VecDeque"];
 
 /// Where a file sits in the workspace, derived purely from its
 /// workspace-relative path.
@@ -70,25 +105,37 @@ pub fn classify(rel: &str) -> FileClass {
     }
 }
 
-/// Per-line rule suppression parsed from comments.
-#[derive(Debug, Default)]
-struct Allows {
-    /// `(line, rule-name)` pairs a finding may match against.
-    entries: Vec<(u32, String)>,
+/// One `analyze: allow(<rule>, <reason>)` comment.
+#[derive(Debug)]
+struct AllowComment {
+    /// Line the comment sits on.
+    line: u32,
+    /// Rule *name* it suppresses.
+    rule: String,
+    /// A comment standing alone on its line also covers the next line.
+    standalone: bool,
 }
 
-impl Allows {
+impl AllowComment {
     fn covers(&self, line: u32, name: &str) -> bool {
-        self.entries.iter().any(|(l, n)| *l == line && n == name)
+        self.rule == name && (line == self.line || (self.standalone && line == self.line + 1))
     }
 }
 
-/// Parses `analyze: allow(<rule>, <reason>)` out of every comment token.
-/// A trailing comment covers its own line; a comment standing alone on a
-/// line also covers the next line (for violations too long to share a
-/// line with their justification). A missing or empty reason voids the
-/// allow — justifications are the point.
-fn collect_allows(toks: &[Tok]) -> Allows {
+/// `true` for doc comments (`///`, `//!`, `/** */`, `/*! */`), which
+/// never carry annotations — prose *describing* the grammar must not
+/// activate it.
+pub(crate) fn is_doc_comment(text: &str) -> bool {
+    text.starts_with("///")
+        || text.starts_with("//!")
+        || text.starts_with("/**")
+        || text.starts_with("/*!")
+}
+
+/// Parses `analyze: allow(<rule>, <reason>)` out of every plain
+/// comment token (doc comments are prose, not annotations). A missing
+/// or empty reason voids the allow — justifications are the point.
+fn collect_allows(toks: &[Tok]) -> Vec<AllowComment> {
     let mut code_lines: Vec<u32> = toks
         .iter()
         .filter(|t| t.kind != TokKind::Comment)
@@ -96,9 +143,9 @@ fn collect_allows(toks: &[Tok]) -> Allows {
         .collect();
     code_lines.sort_unstable();
     code_lines.dedup();
-    let mut allows = Allows::default();
+    let mut allows = Vec::new();
     for t in toks {
-        if t.kind != TokKind::Comment {
+        if t.kind != TokKind::Comment || is_doc_comment(&t.text) {
             continue;
         }
         let Some(at) = t.text.find("analyze: allow(") else {
@@ -116,75 +163,13 @@ fn collect_allows(toks: &[Tok]) -> Allows {
         if rule.is_empty() || reason.is_empty() {
             continue;
         }
-        allows.entries.push((t.line, rule.to_string()));
-        if !code_lines.contains(&t.line) {
-            allows.entries.push((t.line + 1, rule.to_string()));
-        }
+        allows.push(AllowComment {
+            line: t.line,
+            rule: rule.to_string(),
+            standalone: !code_lines.contains(&t.line),
+        });
     }
     allows
-}
-
-/// Marks every line belonging to a `#[cfg(test)]` item (typically the
-/// test module) so rules skip test code inside library files. Returns a
-/// predicate over 1-based lines.
-fn test_line_mask(code: &[&Tok]) -> Vec<(u32, u32)> {
-    let mut spans = Vec::new();
-    let mut i = 0;
-    while i < code.len() {
-        if !(code[i].is_punct('#')
-            && code.get(i + 1).is_some_and(|t| t.is_punct('['))
-            && code.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
-            && code.get(i + 3).is_some_and(|t| t.is_punct('('))
-            && code.get(i + 4).is_some_and(|t| t.is_ident("test"))
-            && code.get(i + 5).is_some_and(|t| t.is_punct(')'))
-            && code.get(i + 6).is_some_and(|t| t.is_punct(']')))
-        {
-            i += 1;
-            continue;
-        }
-        let start_line = code[i].line;
-        let mut j = i + 7;
-        // Skip any further attributes on the same item.
-        while code.get(j).is_some_and(|t| t.is_punct('#'))
-            && code.get(j + 1).is_some_and(|t| t.is_punct('['))
-        {
-            let mut depth = 0;
-            j += 1;
-            while j < code.len() {
-                if code[j].is_punct('[') {
-                    depth += 1;
-                } else if code[j].is_punct(']') {
-                    depth -= 1;
-                    if depth == 0 {
-                        j += 1;
-                        break;
-                    }
-                }
-                j += 1;
-            }
-        }
-        // The item runs to its matching `}` (block) or `;` (statement).
-        let mut end_line = start_line;
-        let mut depth = 0;
-        while j < code.len() {
-            let t = code[j];
-            end_line = t.line;
-            if t.is_punct('{') {
-                depth += 1;
-            } else if t.is_punct('}') {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
-            } else if t.is_punct(';') && depth == 0 {
-                break;
-            }
-            j += 1;
-        }
-        spans.push((start_line, end_line));
-        i = j + 1;
-    }
-    spans
 }
 
 fn in_spans(spans: &[(u32, u32)], line: u32) -> bool {
@@ -208,6 +193,27 @@ fn snippet(lines: &[&str], line: u32) -> String {
     }
 }
 
+/// `true` for a numeric token that is a float literal (`0.5`, `1e9`,
+/// `2f64`) as opposed to an integer (`10`, `0x6A09_E667`, `1_000u64`).
+fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x")
+        || text.starts_with("0X")
+        || text.starts_with("0b")
+        || text.starts_with("0o")
+    {
+        return false;
+    }
+    if text.contains('.') || text.ends_with("f32") || text.ends_with("f64") {
+        return true;
+    }
+    // Exponent form: the lexer folds `1e9` into one token (and `1e-3`
+    // stops at the sign, leaving `1e` — still only valid as a float).
+    text.contains('e')
+        && text
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == '_' || c == 'e')
+}
+
 /// Runs every rule over one file. `rel` is the workspace-relative path
 /// (`/`-separated); `src` is the file contents.
 #[must_use]
@@ -217,15 +223,18 @@ pub fn analyze_file(rel: &str, src: &str) -> Vec<Finding> {
         return Vec::new();
     }
     let toks = lex(src);
+    let tree = ItemTree::build(&toks);
     let allows = collect_allows(&toks);
     let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
-    let test_spans = test_line_mask(&code);
+    let test_spans = tree.test_spans();
     let lines: Vec<&str> = src.lines().collect();
 
+    // Findings are collected *before* allow filtering so stale allows
+    // (H1) can be detected afterwards.
     let mut findings = Vec::new();
     let mut push =
         |rule: &'static str, name: &'static str, severity: Severity, line: u32, message: String| {
-            if allows.covers(line, name) || in_spans(&test_spans, line) {
+            if in_spans(&test_spans, line) {
                 return;
             }
             findings.push(Finding {
@@ -257,115 +266,305 @@ pub fn analyze_file(rel: &str, src: &str) -> Vec<Finding> {
         }
     }
 
-    if !class.is_library {
-        crate::diag::sort(&mut findings);
-        return findings;
-    }
+    if class.is_library {
+        let deterministic = class
+            .crate_name
+            .as_deref()
+            .is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
+        let panic_scope = class
+            .crate_name
+            .as_deref()
+            .is_some_and(|c| PANIC_POLICY_CRATES.contains(&c));
+        let float_free = class
+            .crate_name
+            .as_deref()
+            .is_some_and(|c| FLOAT_FREE_CRATES.contains(&c));
+        let clock_exempt = WALL_CLOCK_EXEMPT.contains(&rel);
+        // D4 fires at most once per source line: one `x as f64 / y as
+        // f64` expression is one hazard, not four.
+        let mut d4_last_line = 0u32;
 
-    let deterministic = class
-        .crate_name
-        .as_deref()
-        .is_some_and(|c| DETERMINISTIC_CRATES.contains(&c));
-    let panic_scope = class
-        .crate_name
-        .as_deref()
-        .is_some_and(|c| PANIC_POLICY_CRATES.contains(&c));
-    let clock_exempt = WALL_CLOCK_EXEMPT.contains(&rel);
-
-    for (i, t) in code.iter().enumerate() {
-        // D1 hash-order.
-        if deterministic && (t.is_ident("HashMap") || t.is_ident("HashSet")) {
-            push(
-                "D1",
-                "hash-order",
-                Severity::Error,
-                t.line,
-                format!(
-                    "`{}` in deterministic crate `{crate_label}`: iteration order is \
-                     randomized per process; use `BTreeMap`/`BTreeSet`, an index-keyed \
-                     `Vec`, or justify with `// analyze: allow(hash-order, <why>)`",
-                    t.text
-                ),
-            );
-        }
-
-        // D2 wall-clock.
-        if !clock_exempt {
-            let instant_now = t.is_ident("Instant")
-                && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
-                && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
-                && code.get(i + 3).is_some_and(|t| t.is_ident("now"));
-            if instant_now || t.is_ident("SystemTime") {
+        for (i, t) in code.iter().enumerate() {
+            // D1 hash-order.
+            if deterministic && (t.is_ident("HashMap") || t.is_ident("HashSet")) {
                 push(
-                    "D2",
-                    "wall-clock",
+                    "D1",
+                    "hash-order",
                     Severity::Error,
                     t.line,
-                    "wall-clock read in library code: simulation time is logical; \
-                     only the perf suite (`crates/bench/src/perf.rs`) and tests may \
-                     measure real time"
-                        .to_string(),
+                    format!(
+                        "`{}` in deterministic crate `{crate_label}`: iteration order is \
+                         randomized per process; use `BTreeMap`/`BTreeSet`, an index-keyed \
+                         `Vec`, or justify with `// analyze: allow(hash-order, <why>)`",
+                        t.text
+                    ),
                 );
             }
-        }
 
-        // D3 rng.
-        if t.is_ident("thread_rng") || t.is_ident("from_entropy") || t.is_ident("OsRng") {
-            push(
-                "D3",
-                "rng",
-                Severity::Error,
-                t.line,
-                format!(
-                    "ambient randomness (`{}`) in library code: seed explicitly \
-                     (`StdRng::seed_from_u64`) so every run is reproducible",
-                    t.text
-                ),
-            );
-        }
+            // D2 wall-clock.
+            if !clock_exempt {
+                let instant_now = t.is_ident("Instant")
+                    && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && code.get(i + 3).is_some_and(|t| t.is_ident("now"));
+                if instant_now || t.is_ident("SystemTime") {
+                    push(
+                        "D2",
+                        "wall-clock",
+                        Severity::Error,
+                        t.line,
+                        "wall-clock read in library code: simulation time is logical; \
+                         only the perf suite (`crates/bench/src/perf.rs`) and tests may \
+                         measure real time"
+                            .to_string(),
+                    );
+                }
+            }
 
-        // P1 panic-policy.
-        if panic_scope {
-            let dotted = i > 0 && code[i - 1].is_punct('.');
-            if dotted && t.is_ident("unwrap") && code.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            // D3 rng.
+            if t.is_ident("thread_rng") || t.is_ident("from_entropy") || t.is_ident("OsRng") {
                 push(
-                    "P1",
-                    "panic-policy",
+                    "D3",
+                    "rng",
+                    Severity::Error,
+                    t.line,
+                    format!(
+                        "ambient randomness (`{}`) in library code: seed explicitly \
+                         (`StdRng::seed_from_u64`) so every run is reproducible",
+                        t.text
+                    ),
+                );
+            }
+
+            // D4 float-determinism.
+            if float_free && t.line != d4_last_line {
+                let float_type = t.is_ident("f32") || t.is_ident("f64");
+                let float_lit = t.kind == TokKind::Num && is_float_literal(&t.text);
+                if float_type || float_lit {
+                    d4_last_line = t.line;
+                    push(
+                        "D4",
+                        "float-determinism",
+                        Severity::Error,
+                        t.line,
+                        format!(
+                            "float ({}) in library code of `{crate_label}`: float sums are \
+                             order-dependent, a byte-identity hazard for the sharded engine; \
+                             keep state integral (counts, log-bucketed histograms) or justify \
+                             with `// analyze: allow(float-determinism, <why>)`",
+                            t.text
+                        ),
+                    );
+                }
+            }
+
+            // D5 unstable-order.
+            if deterministic {
+                let dotted = i > 0 && code[i - 1].is_punct('.');
+                if dotted && (t.is_ident("sort_unstable_by") || t.is_ident("sort_unstable_by_key"))
+                {
+                    push(
+                        "D5",
+                        "unstable-order",
+                        Severity::Error,
+                        t.line,
+                        format!(
+                            "`{}` in deterministic crate `{crate_label}`: equal keys end up \
+                             in unspecified relative order; sort by the full element \
+                             (`sort_unstable`) or use the stable `sort_by`/`sort_by_key` \
+                             over a canonical prior order",
+                            t.text
+                        ),
+                    );
+                }
+                if dotted && t.is_ident("sort_by_key") {
+                    push(
+                        "D5",
+                        "unstable-order",
+                        Severity::Error,
+                        t.line,
+                        "`sort_by_key` in a deterministic crate: ties keep their prior \
+                         order, so on potentially-duplicate keys the result is only as \
+                         deterministic as that order; sort by the full element, prove the \
+                         key unique, or justify with \
+                         `// analyze: allow(unstable-order, <why>)`"
+                            .to_string(),
+                    );
+                }
+                // Hash-module paths and hasher types dodge D1's
+                // `HashMap`/`HashSet` identifier check.
+                let hash_module = t.is_ident("collections")
+                    && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                    && code
+                        .get(i + 3)
+                        .is_some_and(|t| t.is_ident("hash_map") || t.is_ident("hash_set"));
+                if hash_module || t.is_ident("RandomState") || t.is_ident("DefaultHasher") {
+                    push(
+                        "D5",
+                        "unstable-order",
+                        Severity::Error,
+                        t.line,
+                        "hash-table machinery referenced by module path in a deterministic \
+                         crate: randomized hashing reaches iteration order even when the \
+                         `HashMap` identifier never appears; use ordered containers"
+                            .to_string(),
+                    );
+                }
+            }
+
+            // C1 narrowing-cast.
+            if t.is_ident("as")
+                && code
+                    .get(i + 1)
+                    .is_some_and(|n| NARROWING_TARGETS.contains(&n.text.as_str()))
+            {
+                let target = &code[i + 1].text;
+                push(
+                    "C1",
+                    "narrowing-cast",
                     Severity::Warning,
                     t.line,
-                    "`unwrap()` in library code: return a typed error, or document \
-                     the invariant with `expect(\"invariant: …\")`"
-                        .to_string(),
+                    format!(
+                        "`as {target}` can silently truncate: use \
+                         `{target}::try_from(x).expect(\"invariant: …\")` (or `{target}::from` \
+                         when lossless), or justify with \
+                         `// analyze: allow(narrowing-cast, <why>)`",
+                    ),
                 );
             }
-            if dotted && t.is_ident("expect") && code.get(i + 1).is_some_and(|t| t.is_punct('(')) {
-                let documented = code
-                    .get(i + 2)
-                    .and_then(|t| t.str_content())
-                    .is_some_and(|m| m.starts_with("invariant:"));
-                if !documented {
+
+            // P1 panic-policy.
+            if panic_scope {
+                let dotted = i > 0 && code[i - 1].is_punct('.');
+                if dotted
+                    && t.is_ident("unwrap")
+                    && code.get(i + 1).is_some_and(|t| t.is_punct('('))
+                {
                     push(
                         "P1",
                         "panic-policy",
                         Severity::Warning,
                         t.line,
-                        "undocumented `expect()` in library code: state the invariant \
-                         (`expect(\"invariant: …\")`) or return a typed error"
+                        "`unwrap()` in library code: return a typed error, or document \
+                         the invariant with `expect(\"invariant: …\")`"
+                            .to_string(),
+                    );
+                }
+                if dotted
+                    && t.is_ident("expect")
+                    && code.get(i + 1).is_some_and(|t| t.is_punct('('))
+                {
+                    let documented = code
+                        .get(i + 2)
+                        .and_then(|t| t.str_content())
+                        .is_some_and(|m| m.starts_with("invariant:"));
+                    if !documented {
+                        push(
+                            "P1",
+                            "panic-policy",
+                            Severity::Warning,
+                            t.line,
+                            "undocumented `expect()` in library code: state the invariant \
+                             (`expect(\"invariant: …\")`) or return a typed error"
+                                .to_string(),
+                        );
+                    }
+                }
+                if t.is_ident("panic") && code.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+                    push(
+                        "P1",
+                        "panic-policy",
+                        Severity::Warning,
+                        t.line,
+                        "`panic!` in library code: return a typed error, or justify with \
+                         `// analyze: allow(panic-policy, <why>)`"
                             .to_string(),
                     );
                 }
             }
-            if t.is_ident("panic") && code.get(i + 1).is_some_and(|t| t.is_punct('!')) {
-                push(
-                    "P1",
-                    "panic-policy",
-                    Severity::Warning,
-                    t.line,
-                    "`panic!` in library code: return a typed error, or justify with \
-                     `// analyze: allow(panic-policy, <why>)`"
-                        .to_string(),
-                );
+        }
+
+        // A1 alloc-in-hot: allocation-capable calls inside the loop
+        // bodies of functions annotated `// analyze: hot(<reason>)`.
+        for hot in tree.hot_fns() {
+            if in_spans(&test_spans, hot.span.0) {
+                continue;
             }
+            for (i, t) in code.iter().enumerate() {
+                if !in_spans(hot.loops, t.line) {
+                    continue;
+                }
+                let dotted = i > 0 && code[i - 1].is_punct('.');
+                let method = dotted && ALLOC_METHODS.contains(&t.text.as_str());
+                let bang = code.get(i + 1).is_some_and(|n| n.is_punct('!'));
+                let mac = bang && (t.is_ident("format") || t.is_ident("vec"));
+                let ctor = ALLOC_CTORS.contains(&t.text.as_str())
+                    && code.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && code.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                    && code.get(i + 3).is_some_and(|n| n.is_ident("new"));
+                if method || mac || ctor {
+                    let what = if ctor {
+                        format!("{}::new", t.text)
+                    } else if mac {
+                        format!("{}!", t.text)
+                    } else {
+                        t.text.clone()
+                    };
+                    push(
+                        "A1",
+                        "alloc-in-hot",
+                        Severity::Error,
+                        t.line,
+                        format!(
+                            "`{what}` inside a loop of hot fn `{}` (hot: {}): hot loops \
+                             must stay allocation-free at steady state (the counting-\
+                             allocator test `crates/netsim/tests/alloc_free.rs` enforces \
+                             this dynamically); hoist the allocation out of the loop or \
+                             justify with `// analyze: allow(alloc-in-hot, <why>)`",
+                            hot.name, hot.reason
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Apply allow-comments, tracking which ones actually suppressed
+    // something.
+    let mut used = vec![false; allows.len()];
+    findings.retain(
+        |f| match allows.iter().position(|a| a.covers(f.line, f.name)) {
+            Some(idx) => {
+                used[idx] = true;
+                false
+            }
+            None => true,
+        },
+    );
+
+    // H1 stale-allow: an allow that suppressed nothing is dead debt
+    // paperwork. Only meaningful where rules actually ran (library
+    // code, outside #[cfg(test)] subtrees). H1 itself cannot be
+    // allow-suppressed — that would just recurse.
+    if class.is_library {
+        for (a, &was_used) in allows.iter().zip(&used) {
+            if was_used || in_spans(&test_spans, a.line) {
+                continue;
+            }
+            findings.push(Finding {
+                rule: "H1",
+                name: "stale-allow",
+                severity: Severity::Warning,
+                file: rel.to_string(),
+                line: a.line,
+                message: format!(
+                    "`allow({})` suppresses no finding: the debt it justified is gone; \
+                     delete the comment so a future regression cannot hide behind it",
+                    a.rule
+                ),
+                snippet: snippet(&lines, a.line),
+            });
         }
     }
 
@@ -411,7 +610,7 @@ mod tests {
         let unjustified = "use std::collections::HashMap; // analyze: allow(hash-order)\n";
         assert_eq!(rules_hit("crates/core/src/x.rs", unjustified), ["D1"]);
         let wrong_rule = "use std::collections::HashMap; // analyze: allow(rng, why)\n";
-        assert_eq!(rules_hit("crates/core/src/x.rs", wrong_rule), ["D1"]);
+        assert_eq!(rules_hit("crates/core/src/x.rs", wrong_rule), ["D1", "H1"]);
     }
 
     #[test]
@@ -476,6 +675,12 @@ mod tests {
     }
 
     #[test]
+    fn p1_covers_the_analyze_crate_itself() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rules_hit("crates/analyze/src/x.rs", src), ["P1"]);
+    }
+
+    #[test]
     fn cfg_test_modules_are_exempt() {
         let src = "pub fn f() {}\n\
                    #[cfg(test)]\n\
@@ -485,6 +690,23 @@ mod tests {
                        fn t() { let x: Option<u32> = None; x.unwrap(); panic!(\"ok\"); }\n\
                    }\n";
         assert!(rules_hit("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn nested_cfg_test_mod_is_exempt() {
+        // A test mod nested inside a live mod: the v1 line heuristic
+        // got this right only when the test mod was last in the file.
+        let src = "pub mod live {\n\
+                       pub fn f() {}\n\
+                       #[cfg(test)]\n\
+                       mod tests {\n\
+                           use std::collections::HashMap;\n\
+                           fn t(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                       }\n\
+                       pub fn g(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n\
+                   }\n\
+                   pub fn after(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rules_hit("crates/netsim/src/x.rs", src), ["P1"]);
     }
 
     #[test]
@@ -511,5 +733,157 @@ mod tests {
                    /// ```\n\
                    pub fn f() {}\n";
         assert!(rules_hit("crates/distributed/src/x.rs", src).is_empty());
+    }
+
+    // ---- analyzer v2 rules -------------------------------------------
+
+    #[test]
+    fn a1_flags_allocs_in_hot_loops_only() {
+        let hot_loop = "// analyze: hot(per-cycle service loop)\n\
+                        fn service(v: &[u32]) {\n\
+                            for x in v {\n\
+                                let _ = v.to_vec();\n\
+                                let _ = x.clone();\n\
+                            }\n\
+                        }\n";
+        assert_eq!(rules_hit("crates/netsim/src/x.rs", hot_loop), ["A1", "A1"]);
+        // Same code, no annotation: silent.
+        let cold = "fn service(v: &[u32]) { for _x in v { let _ = v.to_vec(); } }\n";
+        assert!(rules_hit("crates/netsim/src/x.rs", cold).is_empty());
+        // Setup allocation *before* the loop in a hot fn is fine.
+        let hoisted = "// analyze: hot(cycle loop)\n\
+                       fn service(v: &[u32]) {\n\
+                           let mut scratch = v.to_vec();\n\
+                           for x in v {\n\
+                               scratch.push(*x);\n\
+                           }\n\
+                       }\n";
+        assert!(rules_hit("crates/netsim/src/x.rs", hoisted).is_empty());
+    }
+
+    #[test]
+    fn a1_covers_ctors_and_macros() {
+        let src = "// analyze: hot(drain loop)\n\
+                   fn f(n: usize) {\n\
+                       let mut i = 0;\n\
+                       while i < n {\n\
+                           let q: VecDeque<u32> = VecDeque::new();\n\
+                           let b = Box::new(i);\n\
+                           let v = vec![1, 2];\n\
+                           let s = format!(\"{i}\");\n\
+                           let _ = (q, b, v, s);\n\
+                           i += 1;\n\
+                       }\n\
+                   }\n";
+        let hits = rules_hit("crates/netsim/src/x.rs", src);
+        assert_eq!(hits, ["A1", "A1", "A1", "A1"]);
+    }
+
+    #[test]
+    fn a1_respects_allow_and_applies_anywhere_hot_is_annotated() {
+        let src = "// analyze: hot(lookup)\n\
+                   fn f(v: &[u32]) {\n\
+                       for _x in v {\n\
+                           let _ = v.to_vec(); // analyze: allow(alloc-in-hot, cold fault path)\n\
+                       }\n\
+                   }\n";
+        assert!(rules_hit("crates/graphs/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d4_flags_floats_in_float_free_crates_once_per_line() {
+        let src = "pub fn mean(a: u64, b: u64) -> f64 { a as f64 / b as f64 }\n";
+        assert_eq!(rules_hit("crates/netsim/src/x.rs", src), ["D4"]);
+        assert_eq!(rules_hit("crates/telemetry/src/x.rs", src), ["D4"]);
+        assert!(rules_hit("crates/graphs/src/x.rs", src).is_empty());
+        let lit = "const RATE: f64 = 0.25;\n";
+        assert_eq!(rules_hit("crates/distributed/src/x.rs", lit), ["D4"]);
+        let int_only = "pub fn sum(a: u64, b: u64) -> u64 { a + b }\n";
+        assert!(rules_hit("crates/netsim/src/x.rs", int_only).is_empty());
+    }
+
+    #[test]
+    fn d4_float_literal_detection() {
+        assert!(is_float_literal("0.5"));
+        assert!(is_float_literal("1e9"));
+        assert!(is_float_literal("1e"));
+        assert!(is_float_literal("2f64"));
+        assert!(is_float_literal("3f32"));
+        assert!(!is_float_literal("10"));
+        assert!(!is_float_literal("1_000"));
+        assert!(!is_float_literal("0x6A09_E667"));
+        assert!(!is_float_literal("0b1010"));
+        assert!(!is_float_literal("2u64"));
+    }
+
+    #[test]
+    fn d5_flags_keyed_sorts_and_hash_paths() {
+        let unstable =
+            "fn f(v: &mut Vec<(u32, u32)>) { v.sort_unstable_by(|a, b| a.0.cmp(&b.0)); }\n";
+        assert_eq!(rules_hit("crates/netsim/src/x.rs", unstable), ["D5"]);
+        let by_key = "fn f(v: &mut Vec<(u32, u32)>) { v.sort_by_key(|e| e.0); }\n";
+        assert_eq!(rules_hit("crates/core/src/x.rs", by_key), ["D5"]);
+        // Sorting by the full element is canonical and fine.
+        let full = "fn f(v: &mut Vec<u32>) { v.sort_unstable(); v.sort(); }\n";
+        assert!(rules_hit("crates/netsim/src/x.rs", full).is_empty());
+        // Out of the deterministic crates: no findings.
+        assert!(rules_hit("crates/graphs/src/x.rs", unstable).is_empty());
+        let path = "use std::collections::hash_map::Entry;\n";
+        assert_eq!(rules_hit("crates/telemetry/src/x.rs", path), ["D5"]);
+        let hasher = "use std::hash::RandomState;\n";
+        assert_eq!(rules_hit("crates/core/src/x.rs", hasher), ["D5"]);
+    }
+
+    #[test]
+    fn c1_flags_narrowing_casts_in_all_library_code() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }\n";
+        assert_eq!(rules_hit("crates/graphs/src/x.rs", src), ["C1"]);
+        assert_eq!(rules_hit("crates/netsim/src/x.rs", src), ["C1"]);
+        // Widening and pointer-size casts are exempt.
+        let widen = "fn f(x: u32) -> u64 { x as u64 }\nfn g(x: u32) -> usize { x as usize }\n";
+        assert!(rules_hit("crates/graphs/src/x.rs", widen).is_empty());
+        // try_from with a documented invariant is the sanctioned form.
+        let tf = "fn f(x: u64) -> u32 { u32::try_from(x).expect(\"invariant: dense ids fit\") }\n";
+        assert!(rules_hit("crates/graphs/src/x.rs", tf).is_empty());
+        let allowed =
+            "fn f(x: u64) -> u32 { x as u32 } // analyze: allow(narrowing-cast, checked above)\n";
+        assert!(rules_hit("crates/graphs/src/x.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn h1_flags_stale_allows_but_not_working_or_test_ones() {
+        // Working allow: no H1.
+        let working = "use std::collections::HashMap; // analyze: allow(hash-order, interned)\n";
+        assert!(rules_hit("crates/core/src/x.rs", working).is_empty());
+        // Stale allow: the violation is gone, the comment remains.
+        let stale = "use std::collections::BTreeMap; // analyze: allow(hash-order, interned)\n";
+        assert_eq!(rules_hit("crates/core/src/x.rs", stale), ["H1"]);
+        // Stale allows inside #[cfg(test)] are scaffolding, not debt.
+        let in_test = "pub fn f() {}\n\
+                       #[cfg(test)]\n\
+                       mod tests {\n\
+                           // analyze: allow(hash-order, test only)\n\
+                           fn t() {}\n\
+                       }\n";
+        assert!(rules_hit("crates/core/src/x.rs", in_test).is_empty());
+        // Non-library files never report H1 (no rules ran).
+        let outside = "// analyze: allow(hash-order, nothing here)\nfn f() {}\n";
+        assert!(rules_hit("crates/foo/build.rs", outside).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_describing_the_grammar_are_not_annotations() {
+        // Prose like this module's own docs must neither create a hot
+        // fn nor register a (stale) allow.
+        let src = "/// Suppress with `// analyze: allow(hash-order, <why>)`.\n\
+                   /// Mark hot with `// analyze: hot(<reason>)`.\n\
+                   pub fn documented(v: &[u32]) { for _ in v { let _ = v.to_vec(); } }\n";
+        assert!(rules_hit("crates/netsim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn h1_standalone_allow_covering_next_line_counts_as_used() {
+        let src = "// analyze: allow(hash-order, interned ids)\nuse std::collections::HashMap;\n";
+        assert!(rules_hit("crates/core/src/x.rs", src).is_empty());
     }
 }

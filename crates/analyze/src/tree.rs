@@ -1,0 +1,939 @@
+//! A lightweight item tree over the token stream: the scope-awareness
+//! layer of analyzer v2 (DESIGN.md §14).
+//!
+//! The flat token matcher of analyzer v1 could not tell a hot cycle
+//! loop from test scaffolding: `#[cfg(test)]` masking was a forward
+//! scan for an attribute followed by one balanced item, and there was
+//! no notion of "inside a function" at all. This module parses the
+//! token stream into a tree of *items* — `fn` (with name), `mod`,
+//! `impl`, `trait`, and everything else — each with:
+//!
+//! * a line span (first attribute token through closing brace or `;`);
+//! * its `#[cfg(test)]` attribute, masking the whole subtree (nested
+//!   test mods inside test mods are handled by construction);
+//! * for `fn` items, the line spans of every `loop`/`while`/`for`
+//!   body inside it, and the `// analyze: hot(<reason>)` annotation
+//!   from the comment block directly above the item (rule A1 checks
+//!   allocation-capable calls inside the loop bodies of hot functions).
+//!
+//! Like the lexer, this is **not** a Rust parser — it is a brace/paren
+//! matcher with just enough item grammar to be right on code that
+//! already compiles. Anything it does not recognize is skipped one
+//! token at a time, so unknown constructs degrade to "no scope info"
+//! rather than misattribution.
+
+use crate::lexer::{Tok, TokKind};
+
+/// What kind of item a tree node is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn` item — carries a name, loop spans, and possibly a `hot`
+    /// annotation.
+    Fn,
+    /// Inline `mod name { … }` (out-of-line `mod name;` is a leaf).
+    Mod,
+    /// `impl … { … }` block.
+    Impl,
+    /// `trait … { … }` block.
+    Trait,
+    /// Anything else that parses as one item (`struct`, `use`, …).
+    Other,
+}
+
+/// One node of the item tree.
+#[derive(Clone, Debug)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// `fn`/`mod` name when present.
+    pub name: Option<String>,
+    /// This item carries its own `#[cfg(test)]` attribute. Use
+    /// [`ItemTree::test_spans`] for the inherited (subtree) view.
+    pub cfg_test: bool,
+    /// `fn` items only: the reason from `// analyze: hot(<reason>)`
+    /// directly above the item. A missing reason voids the annotation,
+    /// exactly like the allow grammar.
+    pub hot: Option<String>,
+    /// 1-based line of the item's first token (attributes included).
+    pub start_line: u32,
+    /// 1-based line of the item's last token.
+    pub end_line: u32,
+    /// `fn` items only: line spans of every `loop`/`while`/`for` body,
+    /// keyword line through closing brace (nested loops all listed).
+    pub loops: Vec<(u32, u32)>,
+    /// Items nested inside this one (fns in impls, mods in mods, …).
+    pub children: Vec<Item>,
+}
+
+/// The parsed tree for one file.
+#[derive(Clone, Debug, Default)]
+pub struct ItemTree {
+    pub items: Vec<Item>,
+}
+
+/// A `fn` item annotated hot, flattened out of the tree with its
+/// subtree masking already resolved.
+#[derive(Clone, Debug)]
+pub struct HotFn<'a> {
+    pub name: &'a str,
+    pub reason: &'a str,
+    pub span: (u32, u32),
+    pub loops: &'a [(u32, u32)],
+}
+
+impl ItemTree {
+    /// Parses the token stream (comments included — they carry the
+    /// `hot` annotations) into an item tree.
+    #[must_use]
+    pub fn build(toks: &[Tok]) -> ItemTree {
+        let mut p = Parser {
+            toks,
+            i: 0,
+            prev_code_line: 0,
+            hot_pending: None,
+        };
+        ItemTree {
+            items: p.parse_items(toks.len()),
+        }
+    }
+
+    /// Line spans masked by `#[cfg(test)]`: every item carrying the
+    /// attribute masks its whole subtree, so nested test mods need no
+    /// special casing.
+    #[must_use]
+    pub fn test_spans(&self) -> Vec<(u32, u32)> {
+        let mut spans = Vec::new();
+        fn walk(items: &[Item], spans: &mut Vec<(u32, u32)>) {
+            for it in items {
+                if it.cfg_test {
+                    // The subtree is inside this span by construction.
+                    spans.push((it.start_line, it.end_line));
+                } else {
+                    walk(&it.children, spans);
+                }
+            }
+        }
+        walk(&self.items, &mut spans);
+        spans
+    }
+
+    /// Every `fn` annotated `// analyze: hot(<reason>)` outside
+    /// `#[cfg(test)]` subtrees.
+    #[must_use]
+    pub fn hot_fns(&self) -> Vec<HotFn<'_>> {
+        let mut out = Vec::new();
+        fn walk<'a>(items: &'a [Item], out: &mut Vec<HotFn<'a>>) {
+            for it in items {
+                if it.cfg_test {
+                    continue;
+                }
+                if it.kind == ItemKind::Fn {
+                    if let Some(reason) = &it.hot {
+                        out.push(HotFn {
+                            name: it.name.as_deref().unwrap_or("?"),
+                            reason,
+                            span: (it.start_line, it.end_line),
+                            loops: &it.loops,
+                        });
+                    }
+                }
+                walk(&it.children, out);
+            }
+        }
+        walk(&self.items, &mut out);
+        out
+    }
+}
+
+/// Keywords that can prefix a `fn`/item keyword without changing what
+/// the item is.
+const MODIFIERS: &[&str] = &["pub", "unsafe", "const", "async", "extern", "default"];
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    /// Line of the last non-comment token consumed — used to decide
+    /// whether a pending `hot` annotation is adjacent to the next item.
+    prev_code_line: u32,
+    /// `(line, reason)` of the most recent `// analyze: hot(…)` comment.
+    hot_pending: Option<(u32, String)>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Tok> {
+        self.toks.get(self.i)
+    }
+
+    /// Consumes comments (harvesting `hot` annotations) and returns the
+    /// next code token without consuming it.
+    fn peek_code(&mut self) -> Option<&'a Tok> {
+        while let Some(t) = self.toks.get(self.i) {
+            if t.kind != TokKind::Comment {
+                return Some(t);
+            }
+            if let Some(reason) = parse_hot(&t.text) {
+                self.hot_pending = Some((t.line, reason));
+            }
+            self.i += 1;
+        }
+        None
+    }
+
+    fn bump(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.i)?;
+        self.i += 1;
+        if t.kind != TokKind::Comment {
+            self.prev_code_line = t.line;
+        } else if let Some(reason) = parse_hot(&t.text) {
+            self.hot_pending = Some((t.line, reason));
+        }
+        Some(t)
+    }
+
+    /// Parses items until token index `end`, skipping anything that is
+    /// not an item one token at a time.
+    fn parse_items(&mut self, end: usize) -> Vec<Item> {
+        let mut items = Vec::new();
+        while self.i < end {
+            let Some(t) = self.peek_code() else { break };
+            if self.i >= end {
+                break;
+            }
+            // The line of the last code token *before* this candidate
+            // item: a pending hot annotation applies only if it sits
+            // between that token and the item (i.e. directly above it).
+            let prev_line = self.prev_code_line;
+            let start = self.i;
+            let start_line = t.line;
+
+            // Attributes: `#[…]` belongs to the item below; `#![…]`
+            // (inner) is a standalone statement.
+            let mut cfg_test = false;
+            let mut saw_attr = false;
+            while self.peek_code().is_some_and(|t| t.is_punct('#')) {
+                let attr_start = self.i;
+                self.bump(); // '#'
+                let inner = self.peek_code().is_some_and(|t| t.is_punct('!'));
+                if inner {
+                    self.bump(); // '!'
+                }
+                if !self.peek_code().is_some_and(|t| t.is_punct('[')) {
+                    break; // stray '#' — not an attribute
+                }
+                let body = self.skip_balanced('[', ']', end);
+                if inner {
+                    // An inner attribute is its own statement, not a
+                    // prefix of the next item.
+                    items.push(Item {
+                        kind: ItemKind::Other,
+                        name: None,
+                        cfg_test: false,
+                        hot: None,
+                        start_line: self.toks[attr_start].line,
+                        end_line: self.prev_code_line,
+                        loops: Vec::new(),
+                        children: Vec::new(),
+                    });
+                    // Restart item detection after it.
+                    saw_attr = false;
+                    continue;
+                }
+                saw_attr = true;
+                cfg_test = cfg_test || is_cfg_test(&self.toks[body.0..body.1]);
+            }
+            if saw_attr && self.i >= end {
+                break;
+            }
+            let item_start = if saw_attr { start } else { self.i };
+            let item_start_line = if saw_attr {
+                self.toks[item_start].line
+            } else {
+                self.peek_code().map_or(start_line, |t| t.line)
+            };
+
+            // Modifier keywords before the item keyword.
+            let kw_at = self.scan_modifiers(end);
+            let Some(kw) = kw_at else {
+                // Not an item shape: consume one token and move on.
+                self.bump();
+                continue;
+            };
+
+            let parsed = match kw {
+                "fn" => self.parse_fn(end),
+                "mod" => self.parse_mod(end),
+                "impl" | "trait" => self.parse_block_item(kw, end),
+                "struct" | "enum" | "union" | "macro_rules" => self.parse_braced_or_semi(end),
+                "use" | "static" | "type" => self.parse_to_semi(end),
+                _ => None,
+            };
+            let Some(mut item) = parsed else {
+                self.bump();
+                continue;
+            };
+            item.cfg_test = cfg_test;
+            item.start_line = item_start_line;
+            if item.kind == ItemKind::Fn {
+                // Attach the hot annotation only when it sits directly
+                // above the item: after the last code token before the
+                // item (no unrelated code in between) and no later than
+                // the item's own first line (a comment *inside* the
+                // body must not annotate the fn it sits in).
+                if let Some((line, reason)) = self.hot_pending.take() {
+                    if line >= prev_line && line <= item.start_line {
+                        item.hot = Some(reason);
+                    }
+                }
+            } else {
+                self.hot_pending = None;
+            }
+            items.push(item);
+        }
+        items
+    }
+
+    /// Skips modifier keywords (`pub`, `pub(crate)`, `unsafe`, …) and
+    /// returns the item keyword they prefix, without consuming it…
+    /// unless there is none, in which case nothing was consumed either
+    /// (returns `None` with `self.i` back at the start).
+    fn scan_modifiers(&mut self, end: usize) -> Option<&'a str> {
+        const ITEM_KEYWORDS: &[&str] = &[
+            "fn",
+            "mod",
+            "impl",
+            "trait",
+            "struct",
+            "enum",
+            "union",
+            "use",
+            "static",
+            "type",
+            "macro_rules",
+        ];
+        let mark = self.i;
+        loop {
+            let t = self.peek_code()?;
+            if self.i >= end {
+                self.i = mark;
+                return None;
+            }
+            if t.kind == TokKind::Ident && ITEM_KEYWORDS.contains(&t.text.as_str()) {
+                // `const` / `static` / `type` can themselves be the item
+                // keyword; handled by falling through to here only for
+                // the real keywords list.
+                self.bump();
+                return Some(
+                    ITEM_KEYWORDS
+                        .iter()
+                        .find(|k| **k == t.text)
+                        .expect("invariant: contains() matched this keyword"),
+                );
+            }
+            if t.kind == TokKind::Ident && MODIFIERS.contains(&t.text.as_str()) {
+                // `const` is both a modifier (`const fn`) and an item
+                // keyword (`const X: …`). Peek past it: if what follows
+                // is not another modifier/item keyword, treat the
+                // `const` itself as a `parse_to_semi` item.
+                if t.text == "const" {
+                    let save = self.i;
+                    self.bump();
+                    let next_is_item = self.peek_code().is_some_and(|n| {
+                        n.kind == TokKind::Ident
+                            && (n.text == "fn" || MODIFIERS.contains(&n.text.as_str()))
+                    });
+                    if next_is_item {
+                        continue;
+                    }
+                    self.i = save;
+                    self.bump();
+                    return Some("static"); // const item: same `…;` shape
+                }
+                self.bump();
+                // `pub(crate)` / `pub(in …)` / `extern "C"`.
+                if self.peek_code().is_some_and(|n| n.is_punct('(')) {
+                    self.skip_balanced('(', ')', end);
+                } else if t.text == "extern" {
+                    if let Some(n) = self.peek_code() {
+                        if n.kind == TokKind::Str {
+                            self.bump();
+                        } else if n.is_ident("crate") {
+                            // `extern crate foo;` — a to-semi item.
+                            return Some("use");
+                        }
+                    }
+                }
+                continue;
+            }
+            self.i = mark;
+            return None;
+        }
+    }
+
+    /// `fn name …(…) … { body }` or `fn name(…);` (trait method).
+    /// The `fn` keyword is already consumed.
+    fn parse_fn(&mut self, end: usize) -> Option<Item> {
+        let name = match self.peek_code() {
+            Some(t) if t.kind == TokKind::Ident => {
+                let n = t.text.clone();
+                self.bump();
+                n
+            }
+            _ => return None, // `fn(` — a fn-pointer type, not an item
+        };
+        // Scan to the body `{` at paren/bracket depth 0, or a `;`.
+        let mut paren = 0i32;
+        loop {
+            let t = self.peek_code()?;
+            if self.i >= end {
+                return None;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                paren += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                paren -= 1;
+            } else if paren == 0 && t.is_punct(';') {
+                let line = t.line;
+                self.bump();
+                return Some(Item {
+                    kind: ItemKind::Fn,
+                    name: Some(name),
+                    cfg_test: false,
+                    hot: None,
+                    start_line: 0,
+                    end_line: line,
+                    loops: Vec::new(),
+                    children: Vec::new(),
+                });
+            } else if paren == 0 && t.is_punct('{') {
+                break;
+            }
+            self.bump();
+        }
+        let (body_start, body_end) = self.skip_balanced('{', '}', end);
+        let loops = loop_spans(&self.toks[body_start..body_end]);
+        // Recurse for nested fns/mods (rare, but keeps masking exact).
+        let children = {
+            let mut inner = Parser {
+                toks: self.toks,
+                i: body_start,
+                prev_code_line: self.prev_code_line,
+                hot_pending: None,
+            };
+            inner.parse_items(body_end)
+        };
+        Some(Item {
+            kind: ItemKind::Fn,
+            name: Some(name),
+            cfg_test: false,
+            hot: None,
+            start_line: 0,
+            end_line: self.prev_code_line,
+            loops,
+            children,
+        })
+    }
+
+    /// `mod name { … }` or `mod name;`.
+    fn parse_mod(&mut self, end: usize) -> Option<Item> {
+        let name = match self.peek_code() {
+            Some(t) if t.kind == TokKind::Ident => {
+                let n = t.text.clone();
+                self.bump();
+                n
+            }
+            _ => return None,
+        };
+        match self.peek_code() {
+            Some(t) if t.is_punct(';') => {
+                let line = t.line;
+                self.bump();
+                Some(Item {
+                    kind: ItemKind::Mod,
+                    name: Some(name),
+                    cfg_test: false,
+                    hot: None,
+                    start_line: 0,
+                    end_line: line,
+                    loops: Vec::new(),
+                    children: Vec::new(),
+                })
+            }
+            Some(t) if t.is_punct('{') => {
+                let (body_start, body_end) = self.skip_balanced('{', '}', end);
+                let mut inner = Parser {
+                    toks: self.toks,
+                    i: body_start,
+                    prev_code_line: self.prev_code_line,
+                    hot_pending: None,
+                };
+                let children = inner.parse_items(body_end);
+                Some(Item {
+                    kind: ItemKind::Mod,
+                    name: Some(name),
+                    cfg_test: false,
+                    hot: None,
+                    start_line: 0,
+                    end_line: self.prev_code_line,
+                    loops: Vec::new(),
+                    children,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// `impl … { … }` / `trait … { … }`: everything up to the first `{`
+    /// at paren depth 0 is header, the braces are the body.
+    fn parse_block_item(&mut self, kw: &str, end: usize) -> Option<Item> {
+        let mut paren = 0i32;
+        loop {
+            let t = self.peek_code()?;
+            if self.i >= end {
+                return None;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                paren += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                paren -= 1;
+            } else if paren == 0 && t.is_punct('{') {
+                break;
+            } else if paren == 0 && t.is_punct(';') {
+                // `impl Trait for Type;` (rare) — leaf.
+                let line = t.line;
+                self.bump();
+                return Some(Item {
+                    kind: if kw == "impl" {
+                        ItemKind::Impl
+                    } else {
+                        ItemKind::Trait
+                    },
+                    name: None,
+                    cfg_test: false,
+                    hot: None,
+                    start_line: 0,
+                    end_line: line,
+                    loops: Vec::new(),
+                    children: Vec::new(),
+                });
+            }
+            self.bump();
+        }
+        let (body_start, body_end) = self.skip_balanced('{', '}', end);
+        let mut inner = Parser {
+            toks: self.toks,
+            i: body_start,
+            prev_code_line: self.prev_code_line,
+            hot_pending: None,
+        };
+        let children = inner.parse_items(body_end);
+        Some(Item {
+            kind: if kw == "impl" {
+                ItemKind::Impl
+            } else {
+                ItemKind::Trait
+            },
+            name: None,
+            cfg_test: false,
+            hot: None,
+            start_line: 0,
+            end_line: self.prev_code_line,
+            loops: Vec::new(),
+            children,
+        })
+    }
+
+    /// `struct`/`enum`/`union`/`macro_rules!`: runs to a `{ … }` block
+    /// or a `;` at depth 0, whichever comes first.
+    fn parse_braced_or_semi(&mut self, end: usize) -> Option<Item> {
+        let mut paren = 0i32;
+        loop {
+            let t = self.peek_code()?;
+            if self.i >= end {
+                return None;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                paren += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                paren -= 1;
+            } else if paren == 0 && t.is_punct('{') {
+                self.skip_balanced('{', '}', end);
+                return Some(self.leaf_other());
+            } else if paren == 0 && t.is_punct(';') {
+                self.bump();
+                return Some(self.leaf_other());
+            }
+            self.bump();
+        }
+    }
+
+    /// `use …;` / `static …;` / `type …;` / `const …;` — a statement
+    /// running to `;` at brace depth 0 (`const X: u32 = { … };` nests).
+    fn parse_to_semi(&mut self, end: usize) -> Option<Item> {
+        let mut depth = 0i32;
+        loop {
+            let t = self.peek_code()?;
+            if self.i >= end {
+                return None;
+            }
+            if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct(';') {
+                self.bump();
+                return Some(self.leaf_other());
+            }
+            self.bump();
+        }
+    }
+
+    fn leaf_other(&self) -> Item {
+        Item {
+            kind: ItemKind::Other,
+            name: None,
+            cfg_test: false,
+            hot: None,
+            start_line: 0,
+            end_line: self.prev_code_line,
+            loops: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// With the cursor on an `open` punct, consumes through its matching
+    /// `close` and returns the token index range strictly inside the
+    /// delimiters. Unbalanced input closes at `end`.
+    fn skip_balanced(&mut self, open: char, close: char, end: usize) -> (usize, usize) {
+        debug_assert!(self.peek().is_some_and(|t| t.is_punct(open)));
+        self.bump();
+        let inner_start = self.i;
+        let mut depth = 1i32;
+        while self.i < end {
+            let Some(t) = self.bump() else { break };
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return (inner_start, self.i - 1);
+                }
+            }
+        }
+        (inner_start, self.i)
+    }
+}
+
+/// Parses `analyze: hot(<reason>)` out of a comment. A missing or
+/// empty reason voids the annotation, and doc comments never carry
+/// annotations (prose describing the grammar must not activate it).
+fn parse_hot(comment: &str) -> Option<String> {
+    if crate::rules::is_doc_comment(comment) {
+        return None;
+    }
+    let at = comment.find("analyze: hot(")?;
+    let args = &comment[at + "analyze: hot(".len()..];
+    let close = args.rfind(')')?;
+    let reason = args[..close].trim();
+    if reason.is_empty() {
+        None
+    } else {
+        Some(reason.to_string())
+    }
+}
+
+/// `true` when an attribute body (the tokens inside `#[…]`) is exactly
+/// `cfg(test)` — same strictness as analyzer v1.
+fn is_cfg_test(body: &[Tok]) -> bool {
+    let code: Vec<&Tok> = body.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    code.len() == 4
+        && code[0].is_ident("cfg")
+        && code[1].is_punct('(')
+        && code[2].is_ident("test")
+        && code[3].is_punct(')')
+}
+
+/// Line spans of every `loop`/`while`/`for` body in a token slice
+/// (keyword line through closing brace; nested loops all reported).
+fn loop_spans(body: &[Tok]) -> Vec<(u32, u32)> {
+    let code: Vec<&Tok> = body.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let t = code[i];
+        let is_loop_kw = t.is_ident("loop") || t.is_ident("while") || t.is_ident("for");
+        if !is_loop_kw {
+            i += 1;
+            continue;
+        }
+        // `for<'a>` higher-ranked bounds are not loops.
+        if t.is_ident("for") && code.get(i + 1).is_some_and(|n| n.is_punct('<')) {
+            i += 1;
+            continue;
+        }
+        let start_line = t.line;
+        // Find the body `{` at paren/bracket depth 0 (condition and
+        // iterator expressions can nest closures inside parens).
+        let mut j = i + 1;
+        let mut paren = 0i32;
+        let mut found = None;
+        while j < code.len() {
+            let u = code[j];
+            if u.is_punct('(') || u.is_punct('[') {
+                paren += 1;
+            } else if u.is_punct(')') || u.is_punct(']') {
+                paren -= 1;
+            } else if paren == 0 && u.is_punct('{') {
+                found = Some(j);
+                break;
+            } else if paren == 0 && u.is_punct(';') {
+                break; // not a loop after all (e.g. a malformed scan)
+            }
+            j += 1;
+        }
+        let Some(open) = found else {
+            i += 1;
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut k = open;
+        let mut end_line = start_line;
+        while k < code.len() {
+            let u = code[k];
+            end_line = u.line;
+            if u.is_punct('{') {
+                depth += 1;
+            } else if u.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        spans.push((start_line, end_line));
+        // Continue *inside* the body so nested loops are found too.
+        i = open + 1;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> ItemTree {
+        ItemTree::build(&lex(src))
+    }
+
+    #[test]
+    fn fn_items_have_names_and_spans() {
+        let t = tree("pub fn alpha(x: u32) -> u32 {\n    x + 1\n}\n\nfn beta() {}\n");
+        let names: Vec<_> = t
+            .items
+            .iter()
+            .filter(|i| i.kind == ItemKind::Fn)
+            .map(|i| (i.name.as_deref().unwrap(), i.start_line, i.end_line))
+            .collect();
+        assert_eq!(names, [("alpha", 1, 3), ("beta", 5, 5)]);
+    }
+
+    #[test]
+    fn impl_and_mod_nesting() {
+        let src = "mod outer {\n\
+                       impl Foo {\n\
+                           fn method(&self) {}\n\
+                       }\n\
+                   }\n";
+        let t = tree(src);
+        assert_eq!(t.items.len(), 1);
+        assert_eq!(t.items[0].kind, ItemKind::Mod);
+        let imp = &t.items[0].children[0];
+        assert_eq!(imp.kind, ItemKind::Impl);
+        assert_eq!(imp.children[0].name.as_deref(), Some("method"));
+    }
+
+    #[test]
+    fn cfg_test_masks_nested_mods() {
+        let src = "pub fn live() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       mod inner {\n\
+                           fn helper() {}\n\
+                       }\n\
+                       #[test]\n\
+                       fn t() {}\n\
+                   }\n\
+                   pub fn also_live() {}\n";
+        let t = tree(src);
+        let spans = t.test_spans();
+        assert_eq!(spans, [(2, 9)], "attr line through closing brace");
+        // Nested test mod *inside* a non-test mod still masks.
+        let src2 = "mod live {\n\
+                    #[cfg(test)]\n\
+                    mod tests {\n\
+                        fn t() {}\n\
+                    }\n\
+                    pub fn real() {}\n\
+                    }\n";
+        let spans2 = tree(src2).test_spans();
+        assert_eq!(spans2, [(2, 5)]);
+    }
+
+    #[test]
+    fn cfg_test_on_fn_and_statement_items() {
+        let src = "#[cfg(test)]\nfn only_when_testing() { let x: Option<u32> = None; }\n\
+                   #[cfg(test)]\nuse std::collections::HashMap;\n\
+                   fn live() {}\n";
+        let spans = tree(src).test_spans();
+        assert_eq!(spans, [(1, 2), (3, 4)]);
+    }
+
+    #[test]
+    fn other_cfg_attrs_do_not_mask() {
+        let src =
+            "#[cfg(feature = \"x\")]\nmod gated { fn f() {} }\n#[cfg(not(test))]\nfn g() {}\n";
+        assert!(tree(src).test_spans().is_empty());
+    }
+
+    #[test]
+    fn hot_annotation_attaches_to_adjacent_fn_only() {
+        let src = "// analyze: hot(per-cycle service loop)\n\
+                   pub fn serviced() { for x in 0..4 { let _ = x; } }\n\
+                   pub fn not_hot() {}\n";
+        let t = tree(src);
+        let hot = t.hot_fns();
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].name, "serviced");
+        assert_eq!(hot[0].reason, "per-cycle service loop");
+        assert_eq!(hot[0].loops.len(), 1);
+    }
+
+    #[test]
+    fn hot_annotation_does_not_leak_past_intervening_code() {
+        let src = "// analyze: hot(stale)\n\
+                   static X: u32 = 1;\n\
+                   fn later() {}\n";
+        assert!(tree(src).hot_fns().is_empty());
+    }
+
+    #[test]
+    fn hot_annotation_survives_doc_comments_and_attrs() {
+        let src = "// analyze: hot(lookup)\n\
+                   /// Docs.\n\
+                   #[inline]\n\
+                   pub fn lookup() {}\n";
+        let t = tree(src);
+        let hot = t.hot_fns();
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].name, "lookup");
+    }
+
+    #[test]
+    fn hot_comment_inside_a_body_does_not_annotate_its_own_fn() {
+        let src = "fn f(v: &[u32]) {\n\
+                       // prose mentioning analyze: hot(not an annotation)\n\
+                       for x in v {\n\
+                           let _ = x;\n\
+                       }\n\
+                   }\n\
+                   fn g() { loop {} }\n";
+        assert!(tree(src).hot_fns().is_empty());
+    }
+
+    #[test]
+    fn hot_requires_reason() {
+        let src = "// analyze: hot()\nfn f() {}\n";
+        assert!(tree(src).hot_fns().is_empty());
+    }
+
+    #[test]
+    fn hot_in_doc_comment_is_prose_not_annotation() {
+        let src = "//! Annotate with `// analyze: hot(<reason>)`.\n\
+                   /// See `// analyze: hot(why)`.\n\
+                   fn f() { loop {} }\n";
+        assert!(tree(src).hot_fns().is_empty());
+    }
+
+    #[test]
+    fn hot_inside_cfg_test_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n// analyze: hot(x)\nfn f() { loop {} }\n}\n";
+        assert!(tree(src).hot_fns().is_empty());
+    }
+
+    #[test]
+    fn loop_spans_cover_all_loop_forms_and_nesting() {
+        let src = "fn f(v: &[u32]) {\n\
+                   let mut i = 0;\n\
+                   while i < v.len() {\n\
+                       for x in v.iter().filter(|x| **x > 0) {\n\
+                           let _ = x;\n\
+                       }\n\
+                       i += 1;\n\
+                   }\n\
+                   loop {\n\
+                       break;\n\
+                   }\n\
+                   }\n";
+        let t = tree(src);
+        let f = &t.items[0];
+        assert_eq!(f.loops, [(3, 8), (4, 6), (9, 11)]);
+    }
+
+    #[test]
+    fn while_let_and_labeled_loops() {
+        let src = "fn f(mut it: Vec<u32>) {\n\
+                   while let Some(x) = it.pop() {\n\
+                       let _ = x;\n\
+                   }\n\
+                   'outer: loop { break 'outer; }\n\
+                   }\n";
+        let f = &tree(src).items[0];
+        assert_eq!(f.loops.len(), 2);
+        assert_eq!(f.loops[0], (2, 4));
+        assert_eq!(f.loops[1].0, 5);
+    }
+
+    #[test]
+    fn hrtb_for_is_not_a_loop() {
+        let src =
+            "fn f() {\n    let g: for<'a> fn(&'a u32) -> &'a u32 = |x| x;\n    let _ = g;\n}\n";
+        assert!(tree(src).items[0].loops.is_empty());
+    }
+
+    #[test]
+    fn struct_expressions_do_not_derail_item_spans() {
+        let src = "pub fn make() -> Foo {\n    Foo { a: 1, b: vec![2] }\n}\n\
+                   pub struct Foo { pub a: u32, pub b: Vec<u32> }\n\
+                   fn after() {}\n";
+        let t = tree(src);
+        let fns: Vec<_> = t
+            .items
+            .iter()
+            .filter(|i| i.kind == ItemKind::Fn)
+            .map(|i| i.name.as_deref().unwrap())
+            .collect();
+        assert_eq!(fns, ["make", "after"]);
+    }
+
+    #[test]
+    fn trait_fns_without_bodies_parse() {
+        let src = "pub trait T {\n    fn required(&self) -> u32;\n    fn provided(&self) -> u32 { 1 }\n}\n";
+        let t = tree(src);
+        assert_eq!(t.items[0].kind, ItemKind::Trait);
+        let names: Vec<_> = t.items[0]
+            .children
+            .iter()
+            .map(|i| i.name.as_deref().unwrap())
+            .collect();
+        assert_eq!(names, ["required", "provided"]);
+    }
+
+    #[test]
+    fn nested_fn_inside_fn_is_a_child() {
+        let src = "fn outer() {\n    fn inner() { loop {} }\n    inner();\n}\n";
+        let t = tree(src);
+        let outer = &t.items[0];
+        assert_eq!(outer.children.len(), 1);
+        assert_eq!(outer.children[0].name.as_deref(), Some("inner"));
+    }
+}

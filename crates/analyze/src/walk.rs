@@ -38,7 +38,7 @@ fn walk(root: &Path, dir: &Path, files: &mut Vec<(String, PathBuf)>) -> io::Resu
         } else if name.ends_with(".rs") {
             let rel = path
                 .strip_prefix(root)
-                .expect("walk stays under root")
+                .expect("invariant: walk never leaves the root it started from")
                 .components()
                 .map(|c| c.as_os_str().to_string_lossy().into_owned())
                 .collect::<Vec<_>>()

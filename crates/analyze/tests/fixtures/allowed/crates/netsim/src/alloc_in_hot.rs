@@ -1,0 +1,12 @@
+//! Fixture: justified allocation in a hot loop (A1 allowlisted).
+
+// analyze: hot(fixture cycle loop)
+pub fn drain(frames: &[u32]) -> usize {
+    let mut total = 0;
+    for &f in frames {
+        // analyze: allow(alloc-in-hot, label built only on the sampled trace path)
+        let label = format!("frame {f}");
+        total += label.len();
+    }
+    total
+}

@@ -1,0 +1,7 @@
+//! Fixture: justified float in display-only math (D4 allowlisted).
+
+// analyze: allow(float-determinism, display-only ratio derived from exact integer totals)
+pub fn utilization(busy: u64, cycles: u64) -> f64 {
+    // analyze: allow(float-determinism, display-only ratio derived from exact integer totals)
+    busy as f64 / cycles as f64
+}

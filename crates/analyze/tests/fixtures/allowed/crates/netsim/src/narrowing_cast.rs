@@ -1,0 +1,5 @@
+//! Fixture: justified truncating cast (C1 allowlisted).
+
+pub fn low_byte(word: u32) -> u8 {
+    (word & 0xff) as u8 // analyze: allow(narrowing-cast, masked to 8 bits on the previous token)
+}

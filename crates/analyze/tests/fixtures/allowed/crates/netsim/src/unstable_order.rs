@@ -1,0 +1,7 @@
+//! Fixture: justified keyed sort (D5 allowlisted).
+
+pub fn rank(mut edges: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    // analyze: allow(unstable-order, keys are unique by construction: one entry per edge id)
+    edges.sort_unstable_by_key(|e| e.0);
+    edges
+}

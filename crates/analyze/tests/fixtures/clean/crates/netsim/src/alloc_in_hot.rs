@@ -1,0 +1,13 @@
+//! Fixture: hot fn whose loop reuses hoisted storage (A1 clean).
+
+// analyze: hot(fixture cycle loop)
+pub fn drain(frames: &[u32]) -> usize {
+    let mut scratch = Vec::with_capacity(frames.len());
+    let mut total = 0;
+    for &f in frames {
+        scratch.push(f);
+        total += scratch.len();
+        scratch.clear();
+    }
+    total
+}

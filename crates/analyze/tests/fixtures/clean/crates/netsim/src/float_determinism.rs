@@ -1,0 +1,10 @@
+//! Fixture: fixed-point arithmetic instead of floats (D4 clean).
+
+/// Utilization in parts-per-million, exact in integer arithmetic.
+pub fn utilization_ppm(busy: u64, cycles: u64) -> u64 {
+    if cycles == 0 {
+        0
+    } else {
+        busy.saturating_mul(1_000_000) / cycles
+    }
+}

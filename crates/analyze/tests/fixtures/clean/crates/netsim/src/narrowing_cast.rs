@@ -1,0 +1,7 @@
+//! Fixture: checked conversions instead of `as` (C1 clean).
+
+pub fn pack(node: usize, lane: u64) -> u32 {
+    let hi = u32::try_from(node).expect("invariant: node ids are dense and < 2^32");
+    let lo = u16::try_from(lane & 0xffff).expect("invariant: masked to 16 bits");
+    hi ^ u32::from(lo)
+}

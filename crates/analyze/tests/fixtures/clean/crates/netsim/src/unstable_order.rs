@@ -1,0 +1,14 @@
+//! Fixture: total-order sorts and deterministic maps (D5 clean).
+
+pub fn rank(mut edges: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    edges.sort_unstable();
+    edges
+}
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut m = std::collections::BTreeMap::new();
+    for &x in xs {
+        m.insert(x, ());
+    }
+    m.len()
+}

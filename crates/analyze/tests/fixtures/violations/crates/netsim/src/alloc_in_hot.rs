@@ -1,0 +1,12 @@
+//! Fixture: allocation-capable calls inside a hot fn's loop (A1).
+
+// analyze: hot(fixture cycle loop)
+pub fn drain(frames: &[u32]) -> usize {
+    let mut total = 0;
+    for &f in frames {
+        let owned: Vec<u32> = frames.to_vec();
+        let label = format!("frame {f}");
+        total += owned.len() + label.len();
+    }
+    total
+}

@@ -1,0 +1,5 @@
+//! Fixture: floating point in float-free library code (D4).
+
+pub fn utilization(busy: u64, cycles: u64) -> f64 {
+    busy as f64 / cycles as f64
+}

@@ -1,0 +1,7 @@
+//! Fixture: truncating integer casts (C1).
+
+pub fn pack(node: usize, lane: u64) -> u32 {
+    let hi = node as u32;
+    let lo = lane as u16;
+    hi ^ u32::from(lo)
+}

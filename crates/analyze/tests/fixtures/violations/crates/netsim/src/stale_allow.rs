@@ -1,0 +1,6 @@
+//! Fixture: allow-comment that suppresses nothing (H1).
+
+// analyze: allow(hash-order, obsolete justification left behind by a refactor)
+pub fn identity(x: u32) -> u32 {
+    x
+}

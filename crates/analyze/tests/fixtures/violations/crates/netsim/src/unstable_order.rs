@@ -1,0 +1,18 @@
+//! Fixture: keyed unstable sort and hash machinery by path (D5).
+
+pub fn rank(mut edges: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    edges.sort_unstable_by_key(|e| e.0);
+    edges
+}
+
+pub fn by_weight(mut edges: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+    edges.sort_by_key(|e| e.1);
+    edges
+}
+
+pub fn fingerprint(x: u64) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    x.hash(&mut h);
+    h.finish()
+}

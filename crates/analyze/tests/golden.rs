@@ -40,11 +40,37 @@ fn every_rule_fires_in_the_violations_root() {
     let rules: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
     assert_eq!(
         rules.into_iter().collect::<Vec<_>>(),
-        ["D1", "D2", "D3", "P1", "S1"],
+        ["A1", "C1", "D1", "D2", "D3", "D4", "D5", "H1", "P1", "S1"],
         "one violating fixture per rule"
     );
     // The panic-policy fixture exercises all three flagged forms.
     assert_eq!(findings.iter().filter(|f| f.rule == "P1").count(), 3);
+    // The rule registry shipped with the SARIF sink covers exactly the
+    // rules the engine can emit.
+    let registry: BTreeSet<&str> = hb_analyze::RULES.iter().map(|r| r.id).collect();
+    let fired: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
+    assert!(fired.is_subset(&registry), "every finding has metadata");
+    assert_eq!(registry.len(), hb_analyze::RULES.len(), "no duplicate ids");
+}
+
+#[test]
+fn violating_fixtures_match_golden_sarif() {
+    let findings = fixture_findings("violations");
+    let rendered = hb_analyze::render_sarif(&findings, &baseline::Baseline::new());
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden_violations.sarif");
+        std::fs::write(&path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = include_str!("golden_violations.sarif");
+    assert_eq!(
+        rendered, golden,
+        "SARIF drifted from the committed golden; if intentional, \
+         rerun with REGEN_GOLDEN=1 and commit the result"
+    );
+    // With an empty baseline every result is new debt.
+    assert!(!golden.contains("\"baselineState\": \"unchanged\""));
+    assert!(golden.contains("\"baselineState\": \"new\""));
 }
 
 #[test]

@@ -115,12 +115,15 @@ pub enum Command {
     /// `diff <a.json> <b.json>` — compare two stored benchmark/metric
     /// snapshots with per-metric tolerances (exit 1 on drift).
     Diff { a: String, b: String },
-    /// `analyze [--json] [--update-baseline] [--root DIR]`
+    /// `analyze [--json] [--update-baseline] [--sarif PATH] [--root DIR]`
     Analyze {
         /// Emit findings as JSON-lines instead of human-readable blocks.
         json: bool,
         /// Rewrite `analyze-baseline.txt` to accept the current findings.
         update_baseline: bool,
+        /// Also write the full report (accepted + new) as SARIF 2.1.0
+        /// to this path, for code-scanning UIs. Empty = off.
+        sarif: String,
         /// Workspace root to analyze (default `.`).
         root: String,
     },
@@ -281,7 +284,7 @@ USAGE:
                                        per-metric relative tolerances and
                                        print a drift table (exit 1 on drift
                                        beyond tolerance, 0 when equivalent)
-  hbnet analyze [--json] [--update-baseline] [--root DIR]
+  hbnet analyze [--json] [--update-baseline] [--sarif PATH] [--root DIR]
                                        run the determinism & safety linter
                                        (D1 hash-order, D2 wall-clock, D3 rng,
                                        S1 unsafe-forbid, P1 panic-policy) over
@@ -784,6 +787,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "analyze" => {
             let mut json = false;
             let mut update_baseline = false;
+            let mut sarif = String::new();
             let mut root = ".".to_string();
             let mut i = 1;
             while i < args.len() {
@@ -795,6 +799,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--update-baseline" => {
                         update_baseline = true;
                         i += 1;
+                    }
+                    "--sarif" => {
+                        sarif = need(args, i + 1, "sarif path")?;
+                        i += 2;
                     }
                     "--root" => {
                         root = need(args, i + 1, "root")?;
@@ -808,9 +816,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--json reports findings; --update-baseline accepts them (pick one)".into(),
                 ));
             }
+            if update_baseline && !sarif.is_empty() {
+                return Err(ParseError(
+                    "--sarif reports findings; --update-baseline accepts them (pick one)".into(),
+                ));
+            }
             Ok(Command::Analyze {
                 json,
                 update_baseline,
+                sarif,
                 root,
             })
         }
@@ -1409,6 +1423,7 @@ mod tests {
             Command::Analyze {
                 json: false,
                 update_baseline: false,
+                sarif: String::new(),
                 root: ".".into(),
             }
         );
@@ -1420,6 +1435,7 @@ mod tests {
             Command::Analyze {
                 json: true,
                 update_baseline: false,
+                sarif: String::new(),
                 root: "crates/analyze/tests/fixtures/violations".into(),
             }
         );
@@ -1428,10 +1444,22 @@ mod tests {
             Command::Analyze {
                 json: false,
                 update_baseline: true,
+                sarif: String::new(),
+                root: ".".into(),
+            }
+        );
+        assert_eq!(
+            parse(&argv("analyze --sarif out.sarif")).unwrap(),
+            Command::Analyze {
+                json: false,
+                update_baseline: false,
+                sarif: "out.sarif".into(),
                 root: ".".into(),
             }
         );
         assert!(parse(&argv("analyze --json --update-baseline")).is_err());
+        assert!(parse(&argv("analyze --update-baseline --sarif out.sarif")).is_err());
+        assert!(parse(&argv("analyze --sarif")).is_err());
         assert!(parse(&argv("analyze --root")).is_err());
         assert!(parse(&argv("analyze --loud")).is_err());
     }

@@ -568,6 +568,7 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
         Command::Analyze {
             json,
             update_baseline,
+            sarif,
             root,
         } => {
             let root = std::path::PathBuf::from(root);
@@ -589,6 +590,10 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                     .map_err(|e| format!("{}: {e}", baseline_path.display()))?,
                 Err(_) => hb_analyze::baseline::Baseline::new(),
             };
+            if !sarif.is_empty() {
+                std::fs::write(&sarif, hb_analyze::render_sarif(&findings, &accepted))?;
+                eprintln!("wrote SARIF report to {sarif}");
+            }
             let diff = hb_analyze::baseline::diff(&findings, &accepted);
             for (rule, file, found, base) in &diff.stale {
                 eprintln!(

@@ -192,7 +192,8 @@ pub fn allreduce_sum_with(
     execute_with(
         g,
         &AllReduce { root, values },
-        6 * g.num_nodes() as u32 + 16,
+        6 * u32::try_from(g.num_nodes()).expect("invariant: round budgets assume < 2^32 nodes")
+            + 16,
         telemetry,
     )
 }

@@ -95,7 +95,7 @@ pub fn gossip_with(g: &Graph, telemetry: Option<&Telemetry>) -> RunOutcome<Gossi
         &Flooding {
             population: g.num_nodes(),
         },
-        4 * g.num_nodes() as u32 + 8,
+        4 * u32::try_from(g.num_nodes()).expect("invariant: round budgets assume < 2^32 nodes") + 8,
         telemetry,
     )
 }

@@ -173,7 +173,8 @@ pub fn build_tree_with(
     execute_with(
         g,
         &BfsTreeProtocol { root },
-        4 * g.num_nodes() as u32 + 16,
+        4 * u32::try_from(g.num_nodes()).expect("invariant: round budgets assume < 2^32 nodes")
+            + 16,
         telemetry,
     )
 }

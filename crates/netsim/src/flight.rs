@@ -125,6 +125,7 @@ struct FlightPacket {
 ///
 /// # Panics
 /// As [`crate::run`] (unsorted injections, out-of-range nodes).
+// analyze: hot(fault-flight cycle loop must stay allocation-free; see alloc_free.rs)
 pub fn run_with_faults(
     topo: &dyn NetTopology,
     injections: &[Injection],
@@ -262,6 +263,7 @@ pub fn run_with_faults(
             let span = if tracing && sampling.samples(id, path, &hot) {
                 let t = tel.expect("invariant: tracing is only enabled with telemetry on");
                 let span = t.span_start(
+                    // analyze: allow(alloc-in-hot, span label built only for sampled trace packets)
                     &format!("packet #{id} {}->{}", inj.src, inj.dst),
                     None,
                     cycle,
@@ -418,7 +420,9 @@ pub fn run_with_faults(
     stats.cycles = cycle;
     stats.stranded = unroutable + in_flight + (injections.len() - next_inject) as u64;
     if latency_samples > 0 {
+        // analyze: allow(float-determinism, one division over exact integer totals at run end)
         stats.avg_latency = total_latency as f64 / latency_samples as f64;
+        // analyze: allow(float-determinism, one division over exact integer totals at run end)
         stats.avg_hops = total_hops as f64 / latency_samples as f64;
     }
     debug_assert_eq!(

@@ -150,6 +150,7 @@ fn shard_boundaries_layout(layout: &ChanLayout<'_>, n: usize, s: usize) -> Vec<u
 /// `faulted` selects flight semantics: empty table paths are counted as
 /// unroutable (with drop events), and `sim.reroutes`/`sim.unroutable`
 /// counters are emitted on the telemetry handle.
+// analyze: hot(sharded cycle loop is the perf-gated engine; see BENCH_parallel.json)
 pub(crate) fn run_sharded(
     topo: &dyn NetTopology,
     injections: &[Injection],
@@ -281,7 +282,9 @@ pub(crate) fn run_sharded(
     );
     stats.stranded = unroutable + in_flight + (total - consumed_final);
     if latency_samples > 0 {
+        // analyze: allow(float-determinism, one division over exact integer totals at run end)
         stats.avg_latency = total_latency as f64 / latency_samples as f64;
+        // analyze: allow(float-determinism, one division over exact integer totals at run end)
         stats.avg_hops = total_hops as f64 / latency_samples as f64;
     }
     debug_assert_eq!(
@@ -306,6 +309,7 @@ pub(crate) fn run_sharded(
                 .iter()
                 .flat_map(|r| r.events.iter().cloned())
                 .collect();
+            // analyze: allow(unstable-order, stable sort; ties share a shard and keep serial emission order)
             all.sort_by_key(|e| (e.0, e.1, e.2));
             for (_, _, _, ev) in all {
                 t.event(|| ev);
@@ -343,15 +347,20 @@ pub(crate) fn run_sharded(
         }
         if cfg.shard_telemetry {
             for (k, r) in results.iter().enumerate() {
+                // analyze: allow(alloc-in-hot, once-per-run shard telemetry merge, not cycle work)
                 t.counter(&format!("sim.shard.{k}.delivered"))
                     .add(r.delivered);
+                // analyze: allow(alloc-in-hot, once-per-run shard telemetry merge, not cycle work)
                 t.counter(&format!("sim.shard.{k}.forwarded"))
                     .add(r.forwarded);
+                // analyze: allow(alloc-in-hot, once-per-run shard telemetry merge, not cycle work)
                 let span = t.span_start(&format!("shard {k}"), None, 0);
+                // analyze: allow(alloc-in-hot, once-per-run shard telemetry merge, not cycle work)
                 t.span_attr(span, "nodes", format!("{}..{}", node_lo[k], node_lo[k + 1]));
                 t.span_attr(
                     span,
                     "channels",
+                    // analyze: allow(alloc-in-hot, once-per-run shard telemetry merge, not cycle work)
                     format!("{}..{}", chan_lo[k], chan_lo[k + 1]),
                 );
                 t.span_attr(span, "delivered", r.delivered.to_string());
@@ -369,6 +378,7 @@ pub(crate) fn run_sharded(
                 gt.merge_into(t);
             }
             if let Some(mb) = r.mailbox.take() {
+                // analyze: allow(alloc-in-hot, once-per-run shard telemetry merge, not cycle work)
                 t.merge_series(&format!("sim.shard.{k}.mailbox"), mb);
             }
         }

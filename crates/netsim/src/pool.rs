@@ -137,6 +137,7 @@ impl<T> ChannelMap<T> {
     }
 
     /// The record for `ch`, if materialised.
+    // analyze: hot(per-packet channel lookup on the frontier engine's cycle path)
     #[inline]
     #[must_use]
     pub fn get(&self, ch: usize) -> Option<&ChannelRec<T>> {
@@ -147,6 +148,7 @@ impl<T> ChannelMap<T> {
     }
 
     /// Mutable access to the record for `ch`, if materialised.
+    // analyze: hot(per-packet channel lookup on the frontier engine's cycle path)
     #[inline]
     pub fn get_mut(&mut self, ch: usize) -> Option<&mut ChannelRec<T>> {
         match self.index.binary_search_by_key(&ch, |&(c, _)| c) {
@@ -158,6 +160,7 @@ impl<T> ChannelMap<T> {
     /// The record for `ch`, materialising an empty one on first touch
     /// (recycling a retired record — and its queue capacity — when one
     /// is free).
+    // analyze: hot(steady state recycles retired records; slab growth is first-touch only)
     pub fn ensure(&mut self, ch: usize) -> &mut ChannelRec<T> {
         let at = match self.index.binary_search_by_key(&ch, |&(c, _)| c) {
             Ok(i) => return &mut self.slabs[self.index[i].1 as usize],
@@ -183,6 +186,7 @@ impl<T> ChannelMap<T> {
     /// Retires `ch`'s record when it is fully idle (empty queue, off the
     /// worklist, no pending credit count); its storage goes back on the
     /// free list with queue capacity intact. No-op otherwise.
+    // analyze: hot(runs once per drained channel per cycle; must not allocate)
     pub fn release_if_idle(&mut self, ch: usize) {
         let Ok(i) = self.index.binary_search_by_key(&ch, |&(c, _)| c) else {
             return;

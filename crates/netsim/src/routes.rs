@@ -350,6 +350,7 @@ impl RouteTable {
     /// Slot of `(src, dst)`, if the pair was in the build set: a binary
     /// search over the distinct sources brackets the source's row, then
     /// a binary search over that row's sorted destinations.
+    // analyze: hot(CSR route lookup runs once per injected packet)
     #[must_use]
     pub fn slot(&self, src: NodeId, dst: NodeId) -> Option<u32> {
         let Ok(src) = u32::try_from(src) else {
@@ -359,6 +360,7 @@ impl RouteTable {
         let lo = self.row_offsets[i] as usize;
         let hi = self.row_offsets[i + 1] as usize;
         let row = &self.cols[lo..hi];
+        // analyze: allow(narrowing-cast, node ids < 2^32 by the src try_from guard above; branch-free hot path)
         row.binary_search(&(dst as u32))
             .ok()
             .map(|i| self.slots[lo + i])
@@ -366,6 +368,7 @@ impl RouteTable {
 
     /// The route stored in `slot` (node ids). **Empty** means the pair
     /// is unroutable under the plan; a single node means self-delivery.
+    // analyze: hot(per-hop path fetch on the forwarding cycle path)
     #[must_use]
     pub fn path(&self, slot: u32) -> &[u32] {
         self.arena.path(slot)

@@ -73,10 +73,12 @@ pub struct SimStats {
     /// limit). Invariant: `delivered + stranded == offered`.
     pub stranded: u64,
     /// Mean delivered latency (cycles), 0 if nothing was delivered.
+    // analyze: allow(float-determinism, derived summary statistic; engines compare on integer counters)
     pub avg_latency: f64,
     /// Largest delivered latency.
     pub max_latency: u64,
     /// Mean hop count of delivered packets.
+    // analyze: allow(float-determinism, derived summary statistic; engines compare on integer counters)
     pub avg_hops: f64,
     /// Peak queue occupancy over all channels and cycles.
     pub peak_queue: usize,
@@ -774,6 +776,7 @@ pub fn run(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> 
 /// The serial oblivious loop over a prebuilt route table (canonical
 /// ascending-channel service order). `mem`, when given, receives the
 /// channel-storage accounting at run end.
+// analyze: hot(steady-state cycle loop must stay allocation-free; see alloc_free.rs)
 fn run_serial(
     topo: &dyn NetTopology,
     injections: &[Injection],
@@ -978,7 +981,9 @@ fn run_serial(
     // before their injection time): delivered + stranded == offered.
     stats.stranded = in_flight + (injections.len() - next_inject) as u64;
     if latency_samples > 0 {
+        // analyze: allow(float-determinism, one division over exact integer totals at run end)
         stats.avg_latency = total_latency as f64 / latency_samples as f64;
+        // analyze: allow(float-determinism, one division over exact integer totals at run end)
         stats.avg_hops = total_hops as f64 / latency_samples as f64;
     }
     debug_assert_eq!(
@@ -1062,6 +1067,7 @@ pub fn run_bounded_sweep(
 /// channels in ascending id order, so every order-sensitive effect
 /// (FIFO landing order on shared target channels, trace event order,
 /// profile work counts) coincides byte-for-byte.
+// analyze: hot(bounded-queue cycle loop must stay allocation-free; see alloc_free.rs)
 fn run_bounded_impl(
     topo: &dyn NetTopology,
     injections: &[Injection],
@@ -1310,7 +1316,9 @@ fn run_bounded_impl(
     stats.cycles = cycle;
     stats.stranded = dropped + in_flight + (injections.len() - next_inject) as u64;
     if latency_samples > 0 {
+        // analyze: allow(float-determinism, one division over exact integer totals at run end)
         stats.avg_latency = total_latency as f64 / latency_samples as f64;
+        // analyze: allow(float-determinism, one division over exact integer totals at run end)
         stats.avg_hops = total_hops as f64 / latency_samples as f64;
     }
     debug_assert_eq!(
@@ -1358,6 +1366,7 @@ struct AdaptivePacket {
 /// As [`run`]; additionally panics if a topology reports no productive
 /// hop for an undelivered packet (which would contradict shortest-path
 /// reachability).
+// analyze: hot(adaptive cycle loop must stay allocation-free; see alloc_free.rs)
 pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> SimStats {
     assert!(
         injections.windows(2).all(|w| w[0].at <= w[1].at),
@@ -1559,7 +1568,9 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
     // before their injection time): delivered + stranded == offered.
     stats.stranded = in_flight + (injections.len() - next_inject) as u64;
     if latency_samples > 0 {
+        // analyze: allow(float-determinism, one division over exact integer totals at run end)
         stats.avg_latency = total_latency as f64 / latency_samples as f64;
+        // analyze: allow(float-determinism, one division over exact integer totals at run end)
         stats.avg_hops = total_hops as f64 / latency_samples as f64;
     }
     debug_assert_eq!(

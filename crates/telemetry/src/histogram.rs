@@ -35,7 +35,8 @@ fn bucket_bounds(i: usize) -> (u64, u64) {
     if i < s {
         (i as u64, i as u64)
     } else {
-        let octave = ((i - s) / s) as u32;
+        let octave =
+            u32::try_from((i - s) / s).expect("invariant: bucket count is a small constant");
         let sub = ((i - s) % s) as u64;
         let base = 1u64 << (octave + SUB_BITS);
         let width = 1u64 << octave;
@@ -128,10 +129,13 @@ impl Histogram {
     }
 
     /// Mean of recorded samples, 0.0 if empty.
+    // analyze: allow(float-determinism, quantile math over exact integer buckets; display only)
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
+            // analyze: allow(float-determinism, quantile math over exact integer buckets; display only)
             0.0
         } else {
+            // analyze: allow(float-determinism, quantile math over exact integer buckets; display only)
             self.sum as f64 / self.count as f64
         }
     }
@@ -139,11 +143,14 @@ impl Histogram {
     /// Bracketing interval `(lo, hi)` for the `q`-quantile
     /// (`0.0 < q <= 1.0`): the true order statistic of rank
     /// `ceil(q * count)` lies in `lo..=hi`. `None` if empty.
+    // analyze: allow(float-determinism, quantile math over exact integer buckets; display only)
     pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
         if self.count == 0 {
             return None;
         }
+        // analyze: allow(float-determinism, quantile math over exact integer buckets; display only)
         let q = q.clamp(0.0, 1.0);
+        // analyze: allow(float-determinism, quantile math over exact integer buckets; display only)
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -159,6 +166,7 @@ impl Histogram {
 
     /// Conservative upper estimate of the `q`-quantile (upper edge of
     /// the bracketing bucket). `None` if empty.
+    // analyze: allow(float-determinism, quantile math over exact integer buckets; display only)
     pub fn quantile(&self, q: f64) -> Option<u64> {
         self.quantile_bounds(q).map(|(_, hi)| hi)
     }
@@ -166,8 +174,11 @@ impl Histogram {
     /// The standard p50/p95/p99/max summary. `None` if empty.
     pub fn quantiles(&self) -> Option<Quantiles> {
         Some(Quantiles {
+            // analyze: allow(float-determinism, quantile math over exact integer buckets; display only)
             p50: self.quantile(0.50)?,
+            // analyze: allow(float-determinism, quantile math over exact integer buckets; display only)
             p95: self.quantile(0.95)?,
+            // analyze: allow(float-determinism, quantile math over exact integer buckets; display only)
             p99: self.quantile(0.99)?,
             max: self.max()?,
         })
