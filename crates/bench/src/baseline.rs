@@ -569,15 +569,16 @@ mod tests {
         let drifts = a.compare(&b);
         assert!(drifts.is_empty(), "{}", render_drifts(&drifts));
         // Keys cover both scaling axes at every thread count, the two
-        // single-thread hot-path microbenches, and the four implicit
-        // frontier shapes.
+        // single-thread hot-path microbenches, the three route-repair
+        // delta sizes, and the four implicit frontier shapes.
         assert_eq!(
             a.experiments.len(),
-            (3 + 1) * crate::perf::THREADS.len() + 2 + 4,
+            (3 + 1) * crate::perf::THREADS.len() + 2 + 3 + 4,
             "{:?}",
             a.experiments.keys().collect::<Vec<_>>()
         );
         assert!(a.experiments.contains_key("perf/route_lookup/t1"));
+        assert!(a.experiments.contains_key("perf/repair/delta1/t1"));
         assert!(a.experiments.contains_key("perf/adaptive/t1"));
         assert!(a.experiments.contains_key("perf/frontier/HB(7, 10)/t1"));
         // And a perturbed counter still trips the gate.

@@ -26,7 +26,7 @@ use crate::parallel::parallel_map;
 use hb_graphs::Result;
 use hb_netsim::{
     run, run_adaptive, sim::SimConfig, workload, FaultPlan, HbRouteOrder, HyperButterflyNet,
-    ImplicitTopology, Injection, NetTopology, RouteTable,
+    ImplicitTopology, Injection, NetTopology, RouteCache, RouteTable,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -221,6 +221,100 @@ pub fn route_lookup(cycles: u64, seed: u64) -> Result<Vec<PerfRow>> {
     }])
 }
 
+/// Incremental route-repair microbench (DESIGN.md §15): delta-spliced
+/// [`RouteCache::repair`] raced against rebuilding the whole
+/// [`RouteTable`] from scratch, on the matched `HB(2, 4)` with one
+/// memoized pair per source node (256 pairs). Each row applies a fault
+/// delta of 1, 4, or 16 cut links — every link the first hop of some
+/// memoized route, so each delta really does invalidate routes — then
+/// reverts back to the empty plan, repeated [`REPAIR_REPS`] times.
+///
+/// Field mapping (documented because these rows reuse the [`PerfRow`]
+/// shape): `wall_ms` is the incremental pass, `pkts_per_sec` is
+/// incremental deltas/s, `cycles_per_sec` is full-rebuild deltas/s, and
+/// `speedup` is the incremental advantage (`rebuild_secs / incr_secs`)
+/// — the ISSUE acceptance criterion is ≥5x on the single-fault row.
+/// The exact-gated counters stay deterministic: `delivered` = routes
+/// respliced across all deltas, `sim_cycles` = routes kept untouched.
+///
+/// # Errors
+/// Propagates topology construction failures.
+pub fn repair_perf(_cycles: u64, seed: u64) -> Result<Vec<PerfRow>> {
+    const REPAIR_REPS: usize = 25;
+    let t = HyperButterflyNet::new(2, 4, HbRouteOrder::CubeFirst)?;
+    let n = t.num_nodes();
+    let pairs: Vec<(usize, usize)> = (0..n).map(|v| (v, (v * 7 + 3) % n)).collect();
+    let empty = FaultPlan::new();
+    let mut rows = Vec::new();
+    for delta in [1usize, 4, 16] {
+        // `delta` distinct faulty links, each cutting the first hop of a
+        // seed-selected memoized route.
+        let mut plan = FaultPlan::new();
+        let mut cut = 0;
+        for step in 0.. {
+            if cut == delta {
+                break;
+            }
+            let (src, dst) = pairs[(seed as usize + step * 31) % pairs.len()];
+            let r = t.route(src, dst);
+            if !plan.is_link_faulty(r[0], r[1]) {
+                plan.add_link(r[0], r[1]);
+                cut += 1;
+            }
+        }
+
+        let mut cache = RouteCache::new();
+        for &(src, dst) in &pairs {
+            cache.resolve(&t, src, dst);
+        }
+        assert!(
+            cache.num_pairs() >= 256,
+            "acceptance floor: 256 memoized pairs"
+        );
+
+        let mut respliced = 0u64;
+        let mut kept = 0u64;
+        let start = Instant::now();
+        for _ in 0..REPAIR_REPS {
+            for p in [&plan, &empty] {
+                let s = cache.repair(&t, p);
+                respliced += s.respliced;
+                kept += s.kept;
+            }
+        }
+        let incr_secs = start.elapsed().as_secs_f64().max(1e-9);
+        black_box(&cache);
+
+        let mut rebuilt = 0usize;
+        let start = Instant::now();
+        for _ in 0..REPAIR_REPS {
+            for p in [&plan, &empty] {
+                rebuilt += black_box(RouteTable::build(&t, pairs.iter().copied(), p)).num_pairs();
+            }
+        }
+        let rebuild_secs = start.elapsed().as_secs_f64().max(1e-9);
+        assert_eq!(
+            rebuilt,
+            pairs.len() * REPAIR_REPS * 2,
+            "rebuilds cover every pair"
+        );
+
+        let deltas = (REPAIR_REPS * 2) as u64;
+        #[allow(clippy::cast_precision_loss)]
+        rows.push(PerfRow {
+            name: format!("repair/delta{delta}"),
+            threads: 1,
+            wall_ms: incr_secs * 1e3,
+            delivered: respliced,
+            sim_cycles: kept,
+            pkts_per_sec: deltas as f64 / incr_secs,
+            cycles_per_sec: deltas as f64 / rebuild_secs,
+            speedup: rebuild_secs / incr_secs,
+        });
+    }
+    Ok(rows)
+}
+
 /// Adaptive-runner microbench: one `run_adaptive` hotspot run on the
 /// matched `HB(2, 4)`, recording the wall clock of the allocation-free
 /// hot path. Counters (`delivered`, `sim_cycles`) are deterministic and
@@ -312,6 +406,7 @@ pub fn perf_rows(cycles: u64, seed: u64) -> Result<Vec<PerfRow>> {
     let mut rows = engine_scaling(cycles, 0.15, seed)?;
     rows.extend(grid_scaling(&[0.05, 0.10, 0.20], cycles, seed)?);
     rows.extend(route_lookup(cycles, seed)?);
+    rows.extend(repair_perf(cycles, seed)?);
     rows.extend(adaptive_perf(cycles, seed)?);
     rows.extend(frontier_scaling(cycles, seed)?);
     Ok(rows)
@@ -423,6 +518,30 @@ mod tests {
         assert!(a[0].speedup > 0.0);
         assert!(a[0].pkts_per_sec > 0.0);
         assert!(a[0].cycles_per_sec > 0.0);
+    }
+
+    #[test]
+    fn repair_perf_counters_are_deterministic() {
+        let a = repair_perf(10, 7).unwrap();
+        let b = repair_perf(10, 7).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].name, "repair/delta1");
+        assert_eq!(a[1].name, "repair/delta4");
+        assert_eq!(a[2].name, "repair/delta16");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.threads, 1);
+            // Exact-gated counters must not depend on the wall clock.
+            assert_eq!(x.delivered, y.delivered, "{}", x.name);
+            assert_eq!(x.sim_cycles, y.sim_cycles, "{}", x.name);
+            // Every delta actually respliced something and kept most of
+            // the memo untouched — the point of the incremental path.
+            assert!(x.delivered > 0, "{}", x.name);
+            assert!(x.sim_cycles > x.delivered, "{}", x.name);
+            assert!(x.speedup > 0.0);
+        }
+        // Bigger deltas invalidate at least as many routes.
+        assert!(a[0].delivered <= a[1].delivered);
+        assert!(a[1].delivered <= a[2].delivered);
     }
 
     #[test]

@@ -34,8 +34,9 @@ pub enum Command {
     Embed { m: u32, n: u32, what: EmbedKind },
     /// `simulate <m> <n> [--rate r] [--cycles c] [--adaptive] [--implicit]
     /// [--telemetry mode] [--faults f1,f2] [--fault-links a-b,c-d]
-    /// [--sample mode] [--trace-out path] [--threads k] [--shard-stats]
-    /// [--timeseries C|off] [--profile] [--slo spec]`
+    /// [--fault-timeline file] [--sample mode] [--trace-out path]
+    /// [--threads k] [--shard-stats] [--timeseries C|off] [--profile]
+    /// [--slo spec]`
     Simulate {
         m: u32,
         n: u32,
@@ -48,6 +49,11 @@ pub enum Command {
         telemetry: TelemetryMode,
         faults: Vec<usize>,
         fault_links: Vec<(usize, usize)>,
+        /// Path to a fault-timeline file (`@<cycle> fault|repair node
+        /// <v> | link <u>-<v>` lines): faults and repairs applied at
+        /// cycle boundaries mid-run, with incremental route repair.
+        /// `--faults`/`--fault-links` form the base plan underneath.
+        fault_timeline: Option<String>,
         sample: SampleMode,
         trace_out: Option<String>,
         threads: usize,
@@ -223,6 +229,7 @@ USAGE:
   hbnet simulate <m> <n> [--rate R] [--cycles C] [--adaptive] [--implicit]
                  [--telemetry off|summary|trace]
                  [--faults f1,f2,..] [--fault-links a-b,c-d,..]
+                 [--fault-timeline FILE]
                  [--sample off|all|every=N|fault-adjacent]
                  [--trace-out FILE] [--threads K] [--shard-stats]
                  [--timeseries C|off] [--profile]
@@ -252,7 +259,16 @@ USAGE:
                                        per-channel state — scales to
                                        million-node shapes with identical
                                        results) and prints the peak live
-                                       channel-record count
+                                       channel-record count;
+                                       --fault-timeline FILE replays
+                                       `@<cycle> fault|repair node V |
+                                       link U-V` events at cycle
+                                       boundaries mid-run with
+                                       incremental (delta-spliced) route
+                                       repair, printing the sim.repair.*
+                                       counters; any --faults /
+                                       --fault-links form the base plan
+                                       underneath the timeline
   hbnet report <m> <n> [--workload uniform|hotspot] [--rate R] [--cycles C]
                [--hot-node V] [--hot-fraction F] [--cadence C] [--seed S]
                [--faults f1,f2,..] [--fault-links a-b,c-d,..] [--threads K]
@@ -436,6 +452,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut faults = Vec::new();
             let mut implicit = false;
             let mut fault_links = Vec::new();
+            let mut fault_timeline = None;
             let mut sample = SampleMode::Off;
             let mut trace_out = None;
             let mut threads = 1usize;
@@ -486,6 +503,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         fault_links = parse_link_list(&raw)?;
                         i += 2;
                     }
+                    "--fault-timeline" => {
+                        fault_timeline = Some(need::<String>(args, i + 1, "fault-timeline")?);
+                        i += 2;
+                    }
                     "--sample" => {
                         sample = parse_sample(args.get(i + 1).map(String::as_str))?;
                         i += 2;
@@ -525,6 +546,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     "--adaptive is a serial-only router (no --threads)".into(),
                 ));
             }
+            if fault_timeline.is_some() && implicit {
+                return Err(ParseError(
+                    "--fault-timeline needs a materialized route cache (no --implicit)".into(),
+                ));
+            }
             // The series, the work profile, and the SLO snapshot all
             // land in telemetry, so they need a handle: quietly raise
             // `off` to `summary`.
@@ -542,6 +568,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 telemetry,
                 faults,
                 fault_links,
+                fault_timeline,
                 sample,
                 trace_out,
                 threads,
@@ -954,6 +981,7 @@ mod tests {
         telemetry: TelemetryMode,
         faults: Vec<usize>,
         fault_links: Vec<(usize, usize)>,
+        fault_timeline: Option<String>,
         sample: SampleMode,
         trace_out: Option<String>,
         threads: usize,
@@ -973,6 +1001,7 @@ mod tests {
                 telemetry: TelemetryMode::Off,
                 faults: vec![],
                 fault_links: vec![],
+                fault_timeline: None,
                 sample: SampleMode::Off,
                 trace_out: None,
                 threads: 1,
@@ -995,6 +1024,7 @@ mod tests {
             telemetry: s.telemetry,
             faults: s.faults,
             fault_links: s.fault_links,
+            fault_timeline: s.fault_timeline,
             sample: s.sample,
             trace_out: s.trace_out,
             threads: s.threads,
@@ -1154,6 +1184,28 @@ mod tests {
         assert!(parse(&argv("bench --check b.json --threads 0")).is_err());
         // The perf suite sweeps its own thread ladder.
         assert!(parse(&argv("bench --perf --check b.json --threads 2")).is_err());
+    }
+
+    #[test]
+    fn parses_simulate_fault_timeline_flag() {
+        assert_eq!(
+            parse(&argv(
+                "simulate 2 3 --fault-timeline examples/fault-timeline.txt --faults 3"
+            ))
+            .unwrap(),
+            simulate(
+                2,
+                3,
+                Sim {
+                    fault_timeline: Some("examples/fault-timeline.txt".into()),
+                    faults: vec![3],
+                    ..Sim::default()
+                }
+            )
+        );
+        assert!(parse(&argv("simulate 2 3 --fault-timeline")).is_err());
+        // The implicit engine has no materialized route cache to splice.
+        assert!(parse(&argv("simulate 2 3 --fault-timeline f.txt --implicit")).is_err());
     }
 
     #[test]

@@ -19,7 +19,8 @@ use hb_graphs::embedding::{validate_cycle, validate_tree_embedding, Embedding};
 use hb_graphs::generators;
 use hb_netsim::topology::{HbRouteOrder, HyperButterflyNet, ImplicitTopology, NetTopology};
 use hb_netsim::{
-    run, run_adaptive, run_with_faults, run_with_mem, sim::SimConfig, workload, FaultPlan,
+    run, run_adaptive, run_adaptive_with_timeline, run_with_faults, run_with_mem,
+    run_with_timeline, sim::SimConfig, workload, FaultPlan, FaultTarget, FaultTimeline,
     TraceSampling,
 };
 use hb_telemetry::{
@@ -161,6 +162,7 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             telemetry,
             faults,
             fault_links,
+            fault_timeline,
             sample,
             trace_out,
             threads,
@@ -189,6 +191,23 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 check_index(hb, b)?;
             }
             let plan = FaultPlan::from_sets(faults.iter().copied(), fault_links.iter().copied());
+            let timeline = match &fault_timeline {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                    let tl = FaultTimeline::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+                    for ev in tl.events() {
+                        match ev.target {
+                            FaultTarget::Node(v) => check_index(hb, v)?,
+                            FaultTarget::Link(u, v) => {
+                                check_index(hb, u)?;
+                                check_index(hb, v)?;
+                            }
+                        }
+                    }
+                    Some(tl)
+                }
+                None => None,
+            };
             let sampling = match sample {
                 SampleMode::Off => TraceSampling::Off,
                 SampleMode::All => TraceSampling::All,
@@ -224,7 +243,13 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 cfg = cfg.with_telemetry(t.clone());
             }
             let mut mem = None;
-            let stats = if flight {
+            let stats = if let Some(tl) = &timeline {
+                if adaptive {
+                    run_adaptive_with_timeline(t, &inj, cfg, &plan, tl)
+                } else {
+                    run_with_timeline(t, &inj, cfg, &plan, tl, sampling)
+                }
+            } else if flight {
                 run_with_faults(t, &inj, cfg, &plan, sampling)
             } else if adaptive {
                 run_adaptive(t, &inj, cfg)
@@ -270,12 +295,29 @@ fn dispatch(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                     plan.links().count()
                 );
             }
+            if let Some(tl) = &timeline {
+                println!(
+                    "  timeline    {} fault/repair event(s) replayed mid-run",
+                    tl.len()
+                );
+            }
             if let Some(t) = &tel {
-                if flight {
+                if flight || timeline.is_some() {
                     println!(
                         "  reroutes    {} (unroutable {})",
                         t.counter("sim.reroutes").get(),
                         t.counter("sim.unroutable").get()
+                    );
+                }
+                if timeline.is_some() {
+                    println!(
+                        "  repair      {} event(s) in {} delta(s): kept {}, respliced {} \
+                         of {} scanned routes",
+                        t.counter("sim.repair.events").get(),
+                        t.counter("sim.repair.deltas").get(),
+                        t.counter("sim.repair.kept").get(),
+                        t.counter("sim.repair.respliced").get(),
+                        t.counter("sim.repair.scanned").get(),
                     );
                 }
                 if let Some(q) = t.histogram("sim.latency").and_then(|h| h.quantiles()) {

@@ -14,7 +14,7 @@ use hb_graphs::{traverse, Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Why a link is unusable — the interned, `Copy` form of detour
 /// attribution. Route tables and snapshots store this 2-word value
@@ -27,6 +27,24 @@ pub enum FaultReason {
     Node(u32),
     /// The undirected link `{u, v}` is cut; stored normalized `u <= v`.
     Link(u32, u32),
+    /// Like [`FaultReason::Node`], attributed to the [`FaultTimeline`]
+    /// event (by index) that injected the fault mid-run. The index is
+    /// `u16` so the whole enum still fits the 2-word detour budget.
+    NodeAt(u32, u16),
+    /// Like [`FaultReason::Link`], attributed to a timeline event.
+    LinkAt(u32, u32, u16),
+}
+
+impl FaultReason {
+    /// The timeline event index that caused this fault, when the fault
+    /// was injected mid-run by a [`FaultTimeline`] (static-plan faults
+    /// have no event).
+    pub fn event(&self) -> Option<u16> {
+        match *self {
+            FaultReason::Node(_) | FaultReason::Link(_, _) => None,
+            FaultReason::NodeAt(_, e) | FaultReason::LinkAt(_, _, e) => Some(e),
+        }
+    }
 }
 
 impl std::fmt::Display for FaultReason {
@@ -34,6 +52,8 @@ impl std::fmt::Display for FaultReason {
         match *self {
             FaultReason::Node(v) => write!(f, "node {v} faulty"),
             FaultReason::Link(u, v) => write!(f, "link {u}-{v} faulty"),
+            FaultReason::NodeAt(v, e) => write!(f, "node {v} faulty (event {e})"),
+            FaultReason::LinkAt(u, v, e) => write!(f, "link {u}-{v} faulty (event {e})"),
         }
     }
 }
@@ -50,6 +70,14 @@ impl std::fmt::Display for FaultReason {
 pub struct FaultPlan {
     nodes: BTreeSet<NodeId>,
     links: BTreeSet<(NodeId, NodeId)>,
+    /// Which [`FaultTimeline`] event (by index) faulted each node, for
+    /// mid-run faults only — statically-planned faults carry no
+    /// attribution. Part of plan equality: a plan whose faults were
+    /// injected by events is *not* interchangeable with a static plan
+    /// of the same sets, because detour attribution differs.
+    node_events: BTreeMap<NodeId, u16>,
+    /// Which timeline event faulted each link (normalized key).
+    link_events: BTreeMap<(NodeId, NodeId), u16>,
 }
 
 impl FaultPlan {
@@ -67,6 +95,42 @@ impl FaultPlan {
     /// Marks the undirected link `{u, v}` as faulty.
     pub fn add_link(&mut self, u: NodeId, v: NodeId) -> &mut Self {
         self.links.insert((u.min(v), u.max(v)));
+        self
+    }
+
+    /// Marks node `v` faulty and attributes the fault to timeline event
+    /// `event`, so detours around it render as
+    /// `node {v} faulty (event {event})`.
+    pub fn add_node_at(&mut self, v: NodeId, event: u16) -> &mut Self {
+        self.nodes.insert(v);
+        self.node_events.insert(v, event);
+        self
+    }
+
+    /// Marks the undirected link `{u, v}` faulty, attributed to
+    /// timeline event `event`.
+    pub fn add_link_at(&mut self, u: NodeId, v: NodeId, event: u16) -> &mut Self {
+        let key = (u.min(v), u.max(v));
+        self.links.insert(key);
+        self.link_events.insert(key, event);
+        self
+    }
+
+    /// Repairs node `v`: clears the fault and any event attribution.
+    /// A no-op when `v` is healthy.
+    pub fn remove_node(&mut self, v: NodeId) -> &mut Self {
+        self.nodes.remove(&v);
+        self.node_events.remove(&v);
+        self
+    }
+
+    /// Repairs the undirected link `{u, v}`. A no-op when healthy.
+    /// Does **not** resurrect links lost to a node fault — those come
+    /// back only when the node itself is repaired.
+    pub fn remove_link(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        let key = (u.min(v), u.max(v));
+        self.links.remove(&key);
+        self.link_events.remove(&key);
         self
     }
 
@@ -120,11 +184,21 @@ impl FaultPlan {
     pub fn link_fault_id(&self, u: NodeId, v: NodeId) -> Option<FaultReason> {
         let id = |x: NodeId| u32::try_from(x).expect("invariant: node ids fit u32");
         if self.nodes.contains(&v) {
-            Some(FaultReason::Node(id(v)))
+            Some(match self.node_events.get(&v) {
+                Some(&e) => FaultReason::NodeAt(id(v), e),
+                None => FaultReason::Node(id(v)),
+            })
         } else if self.nodes.contains(&u) {
-            Some(FaultReason::Node(id(u)))
+            Some(match self.node_events.get(&u) {
+                Some(&e) => FaultReason::NodeAt(id(u), e),
+                None => FaultReason::Node(id(u)),
+            })
         } else if self.links.contains(&(u.min(v), u.max(v))) {
-            Some(FaultReason::Link(id(u.min(v)), id(u.max(v))))
+            let key = (u.min(v), u.max(v));
+            Some(match self.link_events.get(&key) {
+                Some(&e) => FaultReason::LinkAt(id(key.0), id(key.1), e),
+                None => FaultReason::Link(id(key.0), id(key.1)),
+            })
         } else {
             None
         }
@@ -189,6 +263,174 @@ impl FaultPlan {
             }
         }
         hot
+    }
+}
+
+/// What one [`FaultTimeline`] event acts on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// A node (faulting it takes every incident link down).
+    Node(NodeId),
+    /// An undirected link; stored normalized `(min, max)`.
+    Link(NodeId, NodeId),
+}
+
+/// Whether a timeline event injects or heals a fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// The target becomes faulty at the event's cycle.
+    Fault,
+    /// The target is repaired at the event's cycle.
+    Repair,
+}
+
+/// One scheduled fault or repair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Simulation cycle the event takes effect at. Events fire at the
+    /// cycle *boundary*: injections at `cycle` already see the event.
+    pub cycle: u64,
+    /// Fault or repair.
+    pub kind: FaultEventKind,
+    /// The node or link acted on.
+    pub target: FaultTarget,
+}
+
+/// A deterministic schedule of mid-run fault and repair events, the
+/// dynamic counterpart of a static [`FaultPlan`]. Events are held in
+/// nondecreasing cycle order; all events sharing a cycle apply
+/// atomically as **one delta**, and [`crate::run_with_timeline`]
+/// repairs the route memo incrementally per delta instead of
+/// rebuilding it (see `RouteCache::repair`).
+///
+/// The text form accepted by [`FaultTimeline::parse`] is line-oriented:
+///
+/// ```text
+/// # comments run to end of line
+/// @12 fault node 5
+/// @12 fault link 0-3
+/// @40 repair node 5
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultTimeline {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultTimeline {
+    /// An empty timeline (equivalent to running with the base plan
+    /// alone).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event; panics if `cycle` precedes the last event's
+    /// cycle or the timeline is full (event indices are `u16`).
+    pub fn push(&mut self, cycle: u64, kind: FaultEventKind, target: FaultTarget) -> &mut Self {
+        self.try_push(cycle, kind, target)
+            .expect("invariant: timeline events are pushed in nondecreasing cycle order");
+        self
+    }
+
+    /// Appends an event, rejecting out-of-order cycles and overflow.
+    pub fn try_push(
+        &mut self,
+        cycle: u64,
+        kind: FaultEventKind,
+        target: FaultTarget,
+    ) -> Result<(), String> {
+        if let Some(last) = self.events.last() {
+            if cycle < last.cycle {
+                return Err(format!(
+                    "event at cycle {cycle} scheduled after cycle {}: timelines are \
+                     nondecreasing",
+                    last.cycle
+                ));
+            }
+        }
+        if self.events.len() + 1 >= usize::from(u16::MAX) {
+            return Err("timeline full: event indices are u16".to_string());
+        }
+        let target = match target {
+            FaultTarget::Link(u, v) => FaultTarget::Link(u.min(v), u.max(v)),
+            node => node,
+        };
+        self.events.push(FaultEvent {
+            cycle,
+            kind,
+            target,
+        });
+        Ok(())
+    }
+
+    /// The events, in schedule order. An event's index in this slice is
+    /// the id detour attribution refers to (`… faulty (event {i})`).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the timeline has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Parses the line-oriented text form: one
+    /// `@<cycle> <fault|repair> <node N | link U-V>` per line, `#`
+    /// starting a comment, blank lines ignored.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut tl = Self::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or_default().trim();
+            if line.is_empty() {
+                continue;
+            }
+            let at = |msg: String| format!("timeline line {}: {msg}", idx + 1);
+            let mut parts = line.split_whitespace();
+            let cycle = parts
+                .next()
+                .and_then(|t| t.strip_prefix('@'))
+                .and_then(|t| t.parse::<u64>().ok())
+                .ok_or_else(|| at(format!("expected `@<cycle>`, got `{line}`")))?;
+            let kind = match parts.next() {
+                Some("fault") => FaultEventKind::Fault,
+                Some("repair") => FaultEventKind::Repair,
+                other => {
+                    return Err(at(format!(
+                        "expected `fault` or `repair`, got `{}`",
+                        other.unwrap_or("")
+                    )))
+                }
+            };
+            let target = match (parts.next(), parts.next()) {
+                (Some("node"), Some(v)) => {
+                    let v = v
+                        .parse::<NodeId>()
+                        .map_err(|_| at(format!("bad node id `{v}`")))?;
+                    FaultTarget::Node(v)
+                }
+                (Some("link"), Some(uv)) => {
+                    let (u, v) = uv
+                        .split_once('-')
+                        .and_then(|(u, v)| Some((u.parse::<NodeId>().ok()?, v.parse().ok()?)))
+                        .ok_or_else(|| at(format!("bad link `{uv}`, expected `U-V`")))?;
+                    FaultTarget::Link(u, v)
+                }
+                _ => {
+                    return Err(at(format!(
+                        "expected `node <id>` or `link <u>-<v>`, got `{line}`"
+                    )))
+                }
+            };
+            if let Some(extra) = parts.next() {
+                return Err(at(format!("trailing `{extra}`")));
+            }
+            tl.try_push(cycle, kind, target).map_err(at)?;
+        }
+        Ok(tl)
     }
 }
 
@@ -546,6 +788,106 @@ mod tests {
         }
         assert_eq!(FaultReason::Node(3).to_string(), "node 3 faulty");
         assert_eq!(FaultReason::Link(2, 7).to_string(), "link 2-7 faulty");
+    }
+
+    #[test]
+    fn event_attributed_reasons_render_and_stay_two_words() {
+        // The interned form must keep `Detour` (an
+        // `Option<(u32, FaultReason)>`) within two machine words — the
+        // route arena stores one per slot.
+        assert!(std::mem::size_of::<FaultReason>() <= 12);
+        assert_eq!(
+            FaultReason::NodeAt(3, 7).to_string(),
+            "node 3 faulty (event 7)"
+        );
+        assert_eq!(
+            FaultReason::LinkAt(2, 7, 0).to_string(),
+            "link 2-7 faulty (event 0)"
+        );
+        assert_eq!(FaultReason::Node(3).event(), None);
+        assert_eq!(FaultReason::Link(2, 7).event(), None);
+        assert_eq!(FaultReason::NodeAt(3, 7).event(), Some(7));
+        assert_eq!(FaultReason::LinkAt(2, 7, 4).event(), Some(4));
+    }
+
+    #[test]
+    fn attributed_plan_faults_carry_their_event() {
+        let mut p = FaultPlan::new();
+        p.add_node_at(3, 1).add_link_at(7, 2, 2);
+        assert_eq!(p.link_fault_id(2, 7), Some(FaultReason::LinkAt(2, 7, 2)));
+        assert_eq!(p.link_fault_id(9, 3), Some(FaultReason::NodeAt(3, 1)));
+        assert_eq!(
+            p.link_fault_reason(9, 3).unwrap(),
+            "node 3 faulty (event 1)"
+        );
+        // Attribution participates in plan equality: an event-injected
+        // fault is not interchangeable with a static one.
+        let statically = FaultPlan::from_sets([3], [(2, 7)]);
+        assert_ne!(p, statically);
+        // Re-faulting an already-static fault re-attributes it.
+        let mut s = FaultPlan::from_sets([3], []);
+        assert_eq!(s.link_fault_id(9, 3), Some(FaultReason::Node(3)));
+        s.add_node_at(3, 5);
+        assert_eq!(s.link_fault_id(9, 3), Some(FaultReason::NodeAt(3, 5)));
+    }
+
+    #[test]
+    fn repairs_restore_equality_with_the_empty_plan() {
+        let mut p = FaultPlan::new();
+        p.add_node_at(3, 0).add_link_at(1, 0, 1).add_node(9);
+        assert!(!p.is_empty());
+        p.remove_node(3).remove_link(0, 1).remove_node(9);
+        assert!(p.is_empty());
+        assert_eq!(p, FaultPlan::new());
+        // Repairing something healthy is a no-op.
+        p.remove_node(42).remove_link(4, 5);
+        assert_eq!(p, FaultPlan::new());
+    }
+
+    #[test]
+    fn timeline_parse_accepts_the_documented_grammar() {
+        let tl = FaultTimeline::parse(
+            "# warm-up\n\
+             @12 fault node 5   # mid-run outage\n\
+             @12 fault link 3-0\n\
+             \n\
+             @40 repair node 5\n",
+        )
+        .unwrap();
+        assert_eq!(tl.len(), 3);
+        assert_eq!(
+            tl.events()[0],
+            FaultEvent {
+                cycle: 12,
+                kind: FaultEventKind::Fault,
+                target: FaultTarget::Node(5),
+            }
+        );
+        // Links normalize on push, exactly like `FaultPlan::add_link`.
+        assert_eq!(tl.events()[1].target, FaultTarget::Link(0, 3));
+        assert_eq!(tl.events()[2].kind, FaultEventKind::Repair);
+        assert!(!tl.is_empty());
+        assert!(FaultTimeline::new().is_empty());
+    }
+
+    #[test]
+    fn timeline_rejects_malformed_lines_and_disorder() {
+        for bad in [
+            "fault node 5",        // missing @cycle
+            "@3 break node 5",     // unknown verb
+            "@3 fault node x",     // bad id
+            "@3 fault link 5",     // not U-V
+            "@3 fault node 5 now", // trailing token
+        ] {
+            assert!(FaultTimeline::parse(bad).is_err(), "accepted: {bad}");
+        }
+        let err = FaultTimeline::parse("@9 fault node 1\n@3 repair node 1").unwrap_err();
+        assert!(err.contains("nondecreasing"), "got: {err}");
+        let mut tl = FaultTimeline::new();
+        tl.push(4, FaultEventKind::Fault, FaultTarget::Node(0));
+        assert!(tl
+            .try_push(3, FaultEventKind::Repair, FaultTarget::Node(0))
+            .is_err());
     }
 
     #[test]

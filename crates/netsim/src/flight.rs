@@ -33,7 +33,7 @@
 
 use crate::faults::FaultPlan;
 use crate::pool::PacketPool;
-use crate::routes::RouteTable;
+use crate::routes::{RouteSrc, RouteTable};
 use crate::sim::{
     ChanLayout, ChanQueues, Injection, ProfCounters, Scoreboard, SimConfig, SimStats,
 };
@@ -125,7 +125,6 @@ struct FlightPacket {
 ///
 /// # Panics
 /// As [`crate::run`] (unsorted injections, out-of-range nodes).
-// analyze: hot(fault-flight cycle loop must stay allocation-free; see alloc_free.rs)
 pub fn run_with_faults(
     topo: &dyn NetTopology,
     injections: &[Injection],
@@ -133,16 +132,40 @@ pub fn run_with_faults(
     plan: &FaultPlan,
     sampling: TraceSampling,
 ) -> SimStats {
+    let table = RouteTable::for_injections(topo, injections, plan);
+    run_flight(
+        topo,
+        injections,
+        cfg,
+        RouteSrc::Table(&table),
+        plan,
+        sampling,
+    )
+}
+
+/// The flight loop proper, over prebuilt routes: a single shared table
+/// (static plan) or a per-injection churn snapshot. `hot_plan` only
+/// seeds the [`TraceSampling::FaultAdjacent`] mask — for churn runs it
+/// is the union of the base plan and every timeline fault target, so a
+/// packet near *any* fault epoch is eligible for sampling.
+// analyze: hot(fault-flight cycle loop must stay allocation-free; see alloc_free.rs)
+pub(crate) fn run_flight(
+    topo: &dyn NetTopology,
+    injections: &[Injection],
+    cfg: SimConfig,
+    routes: RouteSrc<'_>,
+    hot_plan: &FaultPlan,
+    sampling: TraceSampling,
+) -> SimStats {
     assert!(
         injections.windows(2).all(|w| w[0].at <= w[1].at),
         "injections must be sorted by cycle"
     );
 
-    let table = RouteTable::for_injections(topo, injections, plan);
     let tel = cfg.telemetry.as_ref();
     let tracing = tel.is_some_and(Telemetry::trace_enabled) && sampling != TraceSampling::Off;
     if cfg.threads > 1 && !tracing {
-        return crate::par::run_sharded(topo, injections, &cfg, &table, true);
+        return crate::par::run_sharded(topo, injections, &cfg, routes, true);
     }
 
     let layout = ChanLayout::new(topo, cfg.implicit);
@@ -158,8 +181,8 @@ pub fn run_with_faults(
         .map(|c| (GlobalTs::new(c, true), LinkTs::new(c, 0, num_channels)));
     let hot = if matches!(sampling, TraceSampling::FaultAdjacent) {
         match topo.explicit_graph() {
-            Some(g) if !sparse => HotSet::Dense(plan.hot_nodes(g)),
-            _ => HotSet::Sparse(plan.hot_node_set(topo)),
+            Some(g) if !sparse => HotSet::Dense(hot_plan.hot_nodes(g)),
+            _ => HotSet::Sparse(hot_plan.hot_node_set(topo)),
         }
     } else {
         HotSet::Empty
@@ -173,14 +196,14 @@ pub fn run_with_faults(
             if p.span.is_none() {
                 return;
             }
-            let path = table.path(p.route);
+            let path = routes.path(p.route);
             let u = path[p.hop as usize];
             let v = path[p.hop as usize + 1];
             let span = t.span_start(&format!("hop {u}->{v}"), p.span, cycle);
             t.span_attr(span, "node", u.to_string());
             t.span_attr(span, "link", format!("{u}->{v}"));
             t.span_attr(span, "queue", depth.to_string());
-            match table.detour(p.route) {
+            match routes.detour(p.route) {
                 Some((at, reason)) if at == p.hop => {
                     t.span_attr(span, "decision", "reroute");
                     t.span_attr(span, "reason", reason.to_string());
@@ -216,8 +239,9 @@ pub fn run_with_faults(
         let reroutes_before = reroutes;
         let unroutable_before = unroutable;
         while next_inject < injections.len() && injections[next_inject].at == cycle {
-            let inj = injections[next_inject];
-            let id = next_inject as u64;
+            let idx = next_inject;
+            let inj = injections[idx];
+            let id = idx as u64;
             next_inject += 1;
             if let Some(t) = tel {
                 t.event(|| Event::PacketInjected {
@@ -227,10 +251,10 @@ pub fn run_with_faults(
                     cycle,
                 });
             }
-            let slot = table
-                .slot(inj.src, inj.dst)
+            let slot = routes
+                .slot_for(idx, inj.src, inj.dst)
                 .expect("invariant: route table was built from this exact workload");
-            let path = table.path(slot);
+            let path = routes.path(slot);
             if profiling {
                 prof.lookup_inv += 1;
                 prof.lookup_work += path.len() as u64;
@@ -259,7 +283,7 @@ pub fn run_with_faults(
                 }
                 continue;
             }
-            let detoured = table.detour(slot).is_some();
+            let detoured = routes.detour(slot).is_some();
             let span = if tracing && sampling.samples(id, path, &hot) {
                 let t = tel.expect("invariant: tracing is only enabled with telemetry on");
                 let span = t.span_start(
@@ -328,7 +352,7 @@ pub fn run_with_faults(
             if let Some(key) = queues.pop_front(ch) {
                 let mut p = *pool.get(key);
                 p.hop += 1;
-                let path = table.path(p.route);
+                let path = routes.path(p.route);
                 let here = path[p.hop as usize];
                 if let Some(b) = board.as_mut() {
                     b.busy[ch] += 1;
@@ -434,7 +458,7 @@ pub fn run_with_faults(
         if profiling {
             prof.finish(
                 t,
-                Some((table.num_pairs() as u64, table.total_route_nodes() as u64)),
+                Some((routes.num_pairs() as u64, routes.total_route_nodes() as u64)),
             );
         }
         t.counter("sim.reroutes").add(reroutes);

@@ -19,8 +19,13 @@
 //!   recorder**: sampled packets leave causal span trees (one span per
 //!   hop: queue depth, wait, forward decision, reroute attribution);
 //! * [`routes`] — precomputed route tables ([`RouteTable`], built once
-//!   per `(topology, FaultPlan)`) and the epoch-keyed [`RouteCache`],
-//!   so the hot loops never recompute a route per packet;
+//!   per `(topology, FaultPlan)`) and the epoch-keyed [`RouteCache`]
+//!   with **incremental repair** under plan deltas, so the hot loops
+//!   never recompute a route per packet;
+//! * [`churn`] — fault-timeline runs ([`FaultTimeline`]): scheduled
+//!   mid-run fault/repair events compiled into per-injection routes by
+//!   delta-splicing the cache, deterministic across engines and thread
+//!   counts;
 //! * [`pool`] — the slab [`pool::PacketPool`] backing the simulators'
 //!   queues (4-byte keys, zero per-hop allocation in steady state);
 //! * the sharded parallel engine behind [`SimConfig::with_threads`]:
@@ -33,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod faults;
 pub mod flight;
 pub mod forwarding;
@@ -44,9 +50,10 @@ pub mod topology;
 mod tsrec;
 pub mod workload;
 
-pub use faults::{FaultPlan, FaultReason};
+pub use churn::{run_adaptive_with_timeline, run_bounded_with_timeline, run_with_timeline};
+pub use faults::{FaultEvent, FaultEventKind, FaultPlan, FaultReason, FaultTarget, FaultTimeline};
 pub use flight::{run_with_faults, TraceSampling};
-pub use routes::{RouteCache, RouteTable};
+pub use routes::{RepairStats, RouteCache, RouteTable};
 pub use sim::{
     run, run_adaptive, run_bounded, run_with_mem, Injection, MemStats, SimConfig, SimStats,
 };

@@ -44,7 +44,7 @@
 //! order.
 
 use crate::pool::PacketPool;
-use crate::routes::RouteTable;
+use crate::routes::RouteSrc;
 use crate::sim::{ChanLayout, ChanQueues, Injection, Packet, ProfCounters, SimConfig, SimStats};
 use crate::topology::NetTopology;
 use crate::tsrec::{GlobalTs, LinkTs};
@@ -147,15 +147,18 @@ fn shard_boundaries_layout(layout: &ChanLayout<'_>, n: usize, s: usize) -> Vec<u
 }
 
 /// The sharded parallel engine behind [`SimConfig::with_threads`].
-/// `faulted` selects flight semantics: empty table paths are counted as
+/// `faulted` selects flight semantics: empty route paths are counted as
 /// unroutable (with drop events), and `sim.reroutes`/`sim.unroutable`
-/// counters are emitted on the telemetry handle.
+/// counters are emitted on the telemetry handle. `routes` is either a
+/// single shared table (static plan) or a per-injection churn snapshot
+/// compiled ahead of the run — both are read-only here, which keeps the
+/// determinism argument untouched by fault churn.
 // analyze: hot(sharded cycle loop is the perf-gated engine; see BENCH_parallel.json)
 pub(crate) fn run_sharded(
     topo: &dyn NetTopology,
     injections: &[Injection],
     cfg: &SimConfig,
-    table: &RouteTable,
+    routes: RouteSrc<'_>,
     faulted: bool,
 ) -> SimStats {
     let layout = ChanLayout::new(topo, cfg.implicit);
@@ -215,7 +218,7 @@ pub(crate) fn run_sharded(
                         k,
                         layout,
                         sparse,
-                        table,
+                        routes,
                         injections,
                         cfg,
                         ends,
@@ -297,7 +300,7 @@ pub(crate) fn run_sharded(
         if cfg.profile {
             prof.finish(
                 t,
-                Some((table.num_pairs() as u64, table.total_route_nodes() as u64)),
+                Some((routes.num_pairs() as u64, routes.total_route_nodes() as u64)),
             );
         }
         if buffer_events {
@@ -393,7 +396,7 @@ struct ShardCtx<'a> {
     layout: &'a ChanLayout<'a>,
     /// Use the lazily materialised sparse channel store.
     sparse: bool,
-    table: &'a RouteTable,
+    routes: RouteSrc<'a>,
     injections: &'a [Injection],
     cfg: &'a SimConfig,
     ends: &'a [(u32, u32)],
@@ -420,7 +423,7 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
         k,
         layout,
         sparse,
-        table,
+        routes,
         injections,
         cfg,
         ends,
@@ -525,10 +528,10 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
                     },
                 ));
             }
-            let slot = table
-                .slot(inj.src, inj.dst)
+            let slot = routes
+                .slot_for(idx, inj.src, inj.dst)
                 .expect("invariant: route table was built from this exact workload");
-            let path = table.path(slot);
+            let path = routes.path(slot);
             if profiling {
                 prof.lookup_inv += 1;
                 prof.lookup_work += path.len() as u64;
@@ -567,7 +570,7 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
                 }
                 continue;
             }
-            if faulted && table.detour(slot).is_some() {
+            if faulted && routes.detour(slot).is_some() {
                 reroutes += 1;
             }
             let ch = channel_of(path[0] as NodeId, path[1] as NodeId);
@@ -616,7 +619,7 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
             if let Some(key) = queues.pop_front(ch - base) {
                 let mut p = *pool.get(key);
                 p.hop += 1;
-                let path = table.path(p.route);
+                let path = routes.path(p.route);
                 let here = path[p.hop as usize];
                 forwarded += 1;
                 if let Some(b) = board.as_mut() {
@@ -736,12 +739,13 @@ fn run_shard(ctx: ShardCtx<'_>) -> ShardResult {
             let mut self_delivered = 0u64;
             while all_next < injections.len() && injections[all_next].at == cycle {
                 let inj = injections[all_next];
+                let idx = all_next;
                 all_next += 1;
                 injected_now += 1;
-                let slot = table
-                    .slot(inj.src, inj.dst)
+                let slot = routes
+                    .slot_for(idx, inj.src, inj.dst)
                     .expect("invariant: route table was built from this exact workload");
-                if table.path(slot).len() == 1 {
+                if routes.path(slot).len() == 1 {
                     self_delivered += 1;
                 }
             }

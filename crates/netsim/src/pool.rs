@@ -55,8 +55,15 @@ impl<T> PacketPool<T> {
     /// Releases `key` for reuse. The slot's contents stay in place until
     /// overwritten by a later [`Self::alloc`]; reading a freed key is a
     /// logic error the pool does not detect (keys are not generational).
+    /// Freeing a key twice *is* detected in debug builds — under fault
+    /// churn the engines free at both delivery and admission refusal,
+    /// and those paths must stay disjoint.
     pub fn free(&mut self, key: u32) {
         debug_assert!((key as usize) < self.slots.len(), "freeing unknown key");
+        debug_assert!(
+            !self.free.contains(&key),
+            "double free of pool key {key}: already on the free list"
+        );
         self.live -= 1;
         self.free.push(key);
     }
@@ -265,6 +272,16 @@ mod tests {
         }
         assert_eq!(p.capacity(), 10);
         assert!(p.heap_bytes() >= 10 * std::mem::size_of::<i32>());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free of pool key")]
+    fn double_free_is_rejected_in_debug_builds() {
+        let mut p = PacketPool::new();
+        let a = p.alloc("a");
+        p.free(a);
+        p.free(a);
     }
 
     #[test]

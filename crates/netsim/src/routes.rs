@@ -15,9 +15,22 @@
 //!
 //! [`RouteCache`] is the long-lived variant for fault campaigns: it
 //! memoizes routes lazily and is keyed by a **fault epoch** — swapping
-//! in a different [`FaultPlan`] bumps the epoch and clears the memo, so
-//! reroutes always hit table entries computed under the current plan,
-//! never a stale BFS.
+//! in a different [`FaultPlan`] bumps the epoch, but the memo is
+//! repaired *incrementally*: every memoized route the plan delta cannot
+//! touch survives verbatim (same slot, same bytes), and only the
+//! affected routes are invalidated ([`RouteCache::set_plan`], lazily) or
+//! respliced in place ([`RouteCache::repair`], eagerly — the churn
+//! engines' per-delta hot path). The invalidation rule, proven
+//! equivalent to a rebuild-from-scratch by the `repair_equiv` proptest:
+//!
+//! * a **clean oblivious** route (no detour) is kept unless an added
+//!   fault lands on one of its nodes or links — no other plan change
+//!   can alter what [`plan_route`] returns for it;
+//! * a **detoured** route is respliced on *any* effective delta: its
+//!   BFS tail is discovery-order sensitive to every fault in the plan
+//!   (and its attribution may need re-stamping);
+//! * an **unroutable** pair stays unroutable under pure-fault deltas
+//!   and is only recomputed when the delta repairs something.
 //!
 //! Memory: the CSR arena costs `4 * (nodes_in_routes + pairs + 1)` bytes
 //! plus the pair index — see [`RouteTable::heap_bytes`] (the same
@@ -224,6 +237,21 @@ impl RouteArena {
         slot
     }
 
+    /// Appends a verbatim copy of an already-interned route (path in
+    /// arena form plus detour), returning the new slot. Used by
+    /// [`ChurnRoutes`] to freeze cache routes per epoch.
+    fn push_copy(&mut self, path: &[u32], detour: Detour) -> u32 {
+        let slot = u32::try_from(self.len()).expect("invariant: fewer than 2^32 route slots");
+        self.nodes.extend_from_slice(path);
+        self.offsets.push(
+            u32::try_from(self.nodes.len()).expect("invariant: route arena stays under 2^32 nodes"),
+        );
+        let (hop, reason) = detour.unwrap_or((NO_DETOUR, FaultReason::Node(0)));
+        self.detour_hop.push(hop);
+        self.detour_reason.push(reason);
+        slot
+    }
+
     fn path(&self, slot: u32) -> &[u32] {
         let s = slot as usize;
         &self.nodes[self.offsets[s] as usize..self.offsets[s + 1] as usize]
@@ -414,15 +442,107 @@ impl RouteTable {
     }
 }
 
+/// Work done by one incremental [`RouteCache::repair`] delta.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Memoized pairs examined.
+    pub scanned: u64,
+    /// Pairs whose route survived the delta verbatim (same slot).
+    pub kept: u64,
+    /// Pairs respliced under the new plan (including ones that became
+    /// or stopped being unroutable).
+    pub respliced: u64,
+    /// Route nodes written while resplicing — the deterministic work
+    /// unit of the `sim/route_repair` profiler phase.
+    pub work: u64,
+}
+
+impl RepairStats {
+    /// Accumulates another delta's stats into this one.
+    pub fn absorb(&mut self, other: RepairStats) {
+        self.scanned += other.scanned;
+        self.kept += other.kept;
+        self.respliced += other.respliced;
+        self.work += other.work;
+    }
+}
+
+/// The structural difference between two [`FaultPlan`]s, in the form
+/// the keep/invalidate rule consumes: which faults were *added* (they
+/// can break clean routes) and whether anything was *repaired* (only
+/// repairs can resurrect unroutable pairs).
+struct PlanDelta {
+    added_nodes: Vec<u32>,
+    added_links: Vec<(u32, u32)>,
+    has_repair: bool,
+}
+
+impl PlanDelta {
+    fn between(old: &FaultPlan, new: &FaultPlan) -> Self {
+        let id = |x: NodeId| u32::try_from(x).expect("invariant: node ids fit u32");
+        let old_nodes: Vec<NodeId> = old.nodes().collect();
+        let old_links: Vec<(NodeId, NodeId)> = old.links().collect();
+        let added_nodes = new
+            .nodes()
+            .filter(|v| old_nodes.binary_search(v).is_err())
+            .map(id)
+            .collect();
+        let added_links = new
+            .links()
+            .filter(|l| old_links.binary_search(l).is_err())
+            .map(|(u, v)| (id(u), id(v)))
+            .collect();
+        let has_repair = old.nodes().any(|v| !new.is_node_faulty(v))
+            || old
+                .links()
+                .any(|l| new.links().all(|m| m != l) && !new.is_link_faulty(l.0, l.1));
+        Self {
+            added_nodes,
+            added_links,
+            has_repair,
+        }
+    }
+
+    /// Whether an added fault lands on the given (fault-free) path.
+    fn touches(&self, path: &[u32]) -> bool {
+        path.iter()
+            .any(|v| self.added_nodes.binary_search(v).is_ok())
+            || path.windows(2).any(|w| {
+                let key = (w[0].min(w[1]), w[0].max(w[1]));
+                self.added_links.binary_search(&key).is_ok()
+            })
+    }
+}
+
+/// The keep/invalidate rule from the module docs, applied to one
+/// memoized slot. `true` means the stored route is byte-identical to
+/// what a rebuild under the new plan would produce.
+fn slot_survives(arena: &RouteArena, slot: u32, delta: &PlanDelta) -> bool {
+    let path = arena.path(slot);
+    if path.is_empty() {
+        // Unroutable stays unroutable when the delta only adds faults.
+        return !delta.has_repair;
+    }
+    if arena.detour(slot).is_some() {
+        // Detoured tails are BFS discovery-order sensitive to every
+        // fault in the plan; resplice on any effective delta.
+        return false;
+    }
+    !delta.touches(path)
+}
+
 /// Lazily memoized route store keyed by a **fault epoch**: call
-/// [`RouteCache::set_plan`] when the fault set changes and every
-/// subsequent [`RouteCache::resolve`] recomputes under the new plan
-/// (slots from earlier epochs are invalid — the epoch in
-/// [`RouteCache::epoch`] lets callers detect stale slot handles).
+/// [`RouteCache::set_plan`] (or, eagerly, [`RouteCache::repair`]) when
+/// the fault set changes. Either way the memo is repaired
+/// *incrementally*: routes the delta cannot affect keep their slots —
+/// and those slots stay valid across the epoch bump — while affected
+/// routes are invalidated (their old slots are dead, rejected by a
+/// `debug_assert` in [`RouteCache::path`]/[`RouteCache::detour`]).
 ///
 /// Useful for fault campaigns that sweep many plans over one topology:
 /// within an epoch repeated lookups of the same pair hit the table, not
-/// a fresh BFS.
+/// a fresh BFS — and across epochs only the routes a delta actually
+/// touched are ever recomputed.
 #[derive(Clone, Debug, Default)]
 pub struct RouteCache {
     plan: FaultPlan,
@@ -431,6 +551,11 @@ pub struct RouteCache {
     /// Per-source sorted `(dst, slot)` rows, grown on demand — the lazy
     /// counterpart of [`RouteTable`]'s frozen CSR.
     rows: Vec<Vec<(u32, u32)>>,
+    /// Per arena slot: still referenced by `rows`? Invalidated slots
+    /// stay in the arena (append-only) but are dead to callers.
+    live: Vec<bool>,
+    /// Live slot count == memoized pair count.
+    live_pairs: usize,
 }
 
 impl RouteCache {
@@ -456,16 +581,71 @@ impl RouteCache {
     }
 
     /// Installs a new fault plan. A plan equal to the current one is a
-    /// no-op; otherwise the memo is cleared and the epoch bumped, so
-    /// previously returned slots must not be reused.
+    /// no-op (epoch and memo untouched); otherwise the epoch is bumped
+    /// and the memo repaired **lazily**: routes the delta cannot affect
+    /// keep their slots, affected pairs are forgotten and recomputed by
+    /// the next [`Self::resolve`]. Slots of affected routes are dead
+    /// after this call ([`Self::path`] rejects them in debug builds).
     pub fn set_plan(&mut self, plan: &FaultPlan) {
         if *plan == self.plan {
             return;
         }
+        let delta = PlanDelta::between(&self.plan, plan);
         self.plan = plan.clone();
         self.epoch += 1;
-        self.arena = RouteArena::new();
-        self.rows.clear();
+        let arena = &self.arena;
+        let live = &mut self.live;
+        let mut live_pairs = self.live_pairs;
+        for row in &mut self.rows {
+            row.retain(|&(_, slot)| {
+                let keep = slot_survives(arena, slot, &delta);
+                if !keep {
+                    live[slot as usize] = false;
+                    live_pairs -= 1;
+                }
+                keep
+            });
+        }
+        self.live_pairs = live_pairs;
+    }
+
+    /// Eagerly repairs the memo for a new fault plan: the in-place
+    /// counterpart of [`Self::set_plan`] used by the churn engines once
+    /// per timeline delta. Every memoized pair is classified in
+    /// ascending `(src, dst)` order; survivors keep their slots,
+    /// affected pairs are respliced immediately under the new plan (so
+    /// the memo stays complete — no lazy holes). Returns what the delta
+    /// cost: `O(affected pairs)` resplices instead of the
+    /// `O(memoized pairs × BFS)` a full rebuild pays.
+    // analyze: hot(repair: per-delta route resplice under fault churn)
+    pub fn repair(&mut self, topo: &dyn NetTopology, plan: &FaultPlan) -> RepairStats {
+        let mut stats = RepairStats::default();
+        if *plan == self.plan {
+            return stats;
+        }
+        let delta = PlanDelta::between(&self.plan, plan);
+        self.plan = plan.clone();
+        self.epoch += 1;
+        for src in 0..self.rows.len() {
+            for i in 0..self.rows[src].len() {
+                let (dst_key, slot) = self.rows[src][i];
+                stats.scanned += 1;
+                if slot_survives(&self.arena, slot, &delta) {
+                    stats.kept += 1;
+                    continue;
+                }
+                self.live[slot as usize] = false;
+                let planned = plan_route(topo, src, dst_key as usize, &self.plan);
+                if let Some((route, _)) = &planned {
+                    stats.work += route.len() as u64;
+                }
+                let fresh = self.arena.push(planned);
+                self.live.push(true);
+                self.rows[src][i].1 = fresh;
+                stats.respliced += 1;
+            }
+        }
+        stats
     }
 
     /// Slot of the route for `(src, dst)` under the current plan,
@@ -485,27 +665,49 @@ impl RouteCache {
             plan_route(topo, src, dst, &self.plan)
         };
         let slot = self.arena.push(planned);
+        self.live.push(true);
+        self.live_pairs += 1;
         self.rows[src].insert(at, (dst_key, slot));
         slot
     }
 
-    /// The memoized route in `slot` (empty = unroutable). Slots are only
-    /// valid within the epoch that produced them.
+    /// The memoized route in `slot` (empty = unroutable). Slots stay
+    /// valid across plan deltas **iff** the route survived them; a
+    /// handle to an invalidated route is a logic error, rejected here in
+    /// debug builds.
     #[must_use]
     pub fn path(&self, slot: u32) -> &[u32] {
+        debug_assert!(
+            self.live[slot as usize],
+            "stale route slot {slot}: invalidated by a plan delta (epoch {})",
+            self.epoch
+        );
         self.arena.path(slot)
     }
 
     /// Detour attribution of the route in `slot` (as [`RouteTable::detour`]).
     #[must_use]
     pub fn detour(&self, slot: u32) -> Detour {
+        debug_assert!(
+            self.live[slot as usize],
+            "stale route slot {slot}: invalidated by a plan delta (epoch {})",
+            self.epoch
+        );
         self.arena.detour(slot)
     }
 
-    /// Distinct pairs memoized in the current epoch.
+    /// Whether `slot` still backs a memoized route (`false` once a plan
+    /// delta invalidates it).
+    #[must_use]
+    pub fn is_live(&self, slot: u32) -> bool {
+        self.live[slot as usize]
+    }
+
+    /// Distinct pairs memoized under the current plan (live slots —
+    /// routes invalidated by a delta no longer count).
     #[must_use]
     pub fn num_pairs(&self) -> usize {
-        self.arena.len()
+        self.live_pairs
     }
 
     /// Approximate heap footprint in bytes.
@@ -519,7 +721,142 @@ impl RouteCache {
                 .iter()
                 .map(|r| r.capacity() * size_of::<(u32, u32)>())
                 .sum::<usize>()
+            + self.live.capacity()
             + self.plan.nodes().count() * size_of::<NodeId>()
+    }
+}
+
+/// Frozen per-**injection** routes for one fault-timeline run, compiled
+/// before the engines start (`crate::churn::compile`): each injection's
+/// route is resolved under the plan in force at its injection cycle and
+/// copied out of the [`RouteCache`] into an immutable arena, so engines
+/// never read a slot the next delta could invalidate, and the sharded
+/// engine shares the compile result read-only across threads.
+#[derive(Clone, Debug)]
+pub(crate) struct ChurnRoutes {
+    arena: RouteArena,
+    /// Per injection (by index into the run's injection slice): the
+    /// arena slot of the route it was admitted with.
+    slots: Vec<u32>,
+    /// Cache slot -> arena slot, the dedup memo: cache slots are stable
+    /// exactly as long as their route is live, so a kept route is
+    /// interned once across every epoch that keeps it.
+    interned: BTreeMap<u32, u32>,
+}
+
+impl ChurnRoutes {
+    pub(crate) fn with_capacity(injections: usize) -> Self {
+        Self {
+            arena: RouteArena::new(),
+            slots: Vec::with_capacity(injections),
+            interned: BTreeMap::new(),
+        }
+    }
+
+    /// Records the route for the next injection: the cache route in
+    /// `cache_slot`, copied into the frozen arena on first sight.
+    pub(crate) fn assign(&mut self, cache: &RouteCache, cache_slot: u32) {
+        let slot = match self.interned.get(&cache_slot) {
+            Some(&s) => s,
+            None => {
+                let s = self
+                    .arena
+                    .push_copy(cache.path(cache_slot), cache.detour(cache_slot));
+                self.interned.insert(cache_slot, s);
+                s
+            }
+        };
+        self.slots.push(slot);
+    }
+
+    /// Drops dedup entries for cache slots a delta invalidated (their
+    /// ids must not alias future cache slots' routes — cache arenas are
+    /// append-only so ids are never reused, but the memo would otherwise
+    /// grow without bound on long timelines).
+    pub(crate) fn forget_dead(&mut self, cache: &RouteCache) {
+        self.interned.retain(|&slot, _| cache.is_live(slot));
+    }
+
+    pub(crate) fn slot_of(&self, inj: usize) -> u32 {
+        self.slots[inj]
+    }
+
+    pub(crate) fn path(&self, slot: u32) -> &[u32] {
+        self.arena.path(slot)
+    }
+
+    pub(crate) fn detour(&self, slot: u32) -> Detour {
+        self.arena.detour(slot)
+    }
+
+    /// Distinct routes frozen (the `sim/route_build` pair count for
+    /// churn runs).
+    pub(crate) fn num_pairs(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Total nodes stored (the `sim/route_build` work unit).
+    pub(crate) fn total_route_nodes(&self) -> usize {
+        self.arena.nodes.len()
+    }
+}
+
+/// Where an engine reads routes from: a per-pair [`RouteTable`] (static
+/// plan — one route per endpoint pair for the whole run) or per-
+/// injection [`ChurnRoutes`] (fault timeline — the route each packet
+/// was admitted with). Engines address routes by slot either way; only
+/// admission differs, via [`RouteSrc::slot_for`].
+#[derive(Clone, Copy)]
+pub(crate) enum RouteSrc<'a> {
+    Table(&'a RouteTable),
+    Churn(&'a ChurnRoutes),
+}
+
+impl<'a> RouteSrc<'a> {
+    /// Route slot for injection `inj` (its index in the run's sorted
+    /// injection slice) from `src` to `dst`. `None` only for a table
+    /// miss, which engines treat as a build-set invariant violation.
+    pub(crate) fn slot_for(&self, inj: usize, src: NodeId, dst: NodeId) -> Option<u32> {
+        match *self {
+            RouteSrc::Table(t) => t.slot(src, dst),
+            RouteSrc::Churn(c) => Some(c.slot_of(inj)),
+        }
+    }
+
+    pub(crate) fn path(&self, slot: u32) -> &'a [u32] {
+        match *self {
+            RouteSrc::Table(t) => t.path(slot),
+            RouteSrc::Churn(c) => c.path(slot),
+        }
+    }
+
+    pub(crate) fn detour(&self, slot: u32) -> Detour {
+        match *self {
+            RouteSrc::Table(t) => t.detour(slot),
+            RouteSrc::Churn(c) => c.detour(slot),
+        }
+    }
+
+    /// Distinct routes held — the `sim/route_build` profiler pair count.
+    pub(crate) fn num_pairs(&self) -> usize {
+        match *self {
+            RouteSrc::Table(t) => t.num_pairs(),
+            RouteSrc::Churn(c) => c.num_pairs(),
+        }
+    }
+
+    /// Total route nodes held — the `sim/route_build` work unit.
+    pub(crate) fn total_route_nodes(&self) -> usize {
+        match *self {
+            RouteSrc::Table(t) => t.total_route_nodes(),
+            RouteSrc::Churn(c) => c.total_route_nodes(),
+        }
+    }
+
+    /// Whether routes came from a fault timeline (drives unroutable
+    /// accounting in the bounded engine).
+    pub(crate) fn is_churn(&self) -> bool {
+        matches!(self, RouteSrc::Churn(_))
     }
 }
 
@@ -665,6 +1002,152 @@ mod tests {
         // Memoized on second resolve (same slot back).
         assert_eq!(cache.resolve(&t, 0, 15), s1);
         assert_eq!(cache.num_pairs(), 1);
+    }
+
+    #[test]
+    fn set_plan_keeps_routes_the_delta_cannot_touch() {
+        let t = hb();
+        let n = t.num_nodes();
+        let pairs: Vec<_> = (0..n).map(|v| (v, (v * 7 + 3) % n)).collect();
+        let mut cache = RouteCache::new();
+        let slots: Vec<u32> = pairs
+            .iter()
+            .map(|&(s, d)| cache.resolve(&t, s, d))
+            .collect();
+        assert_eq!(cache.num_pairs(), pairs.len());
+
+        // Cut the first link of pair 0's route: that route must die,
+        // routes elsewhere must keep their slots byte-identically.
+        let r0 = t.route(pairs[0].0, pairs[0].1);
+        let mut plan = FaultPlan::new();
+        plan.add_link(r0[0], r0[1]);
+        cache.set_plan(&plan);
+        assert_eq!(cache.epoch(), 1);
+        assert!(!cache.is_live(slots[0]));
+        assert!(cache.num_pairs() < pairs.len());
+
+        let mut kept = 0;
+        for (i, &(s, d)) in pairs.iter().enumerate() {
+            let survived = cache.is_live(slots[i]);
+            let slot = cache.resolve(&t, s, d);
+            if survived {
+                assert_eq!(slot, slots[i], "{s}->{d} must keep its slot");
+                kept += 1;
+            }
+            // Every route — kept or respliced — matches a fresh
+            // computation under the new plan.
+            let (route, detour) = plan_route(&t, s, d, &plan).unwrap();
+            let expect: Vec<u32> = route.iter().map(|&v| v as u32).collect();
+            assert_eq!(cache.path(slot), expect.as_slice(), "{s}->{d}");
+            assert_eq!(cache.detour(slot), detour, "{s}->{d}");
+        }
+        assert!(kept > 0, "a single cut link cannot touch every route");
+        assert!(kept < pairs.len());
+        assert_eq!(cache.num_pairs(), pairs.len());
+    }
+
+    #[test]
+    fn eager_repair_matches_fresh_rebuild_and_counts_work() {
+        let t = hb();
+        let n = t.num_nodes();
+        let pairs: Vec<_> = (0..n).map(|v| (v, (v * 11 + 1) % n)).collect();
+        let mut cache = RouteCache::new();
+        for &(s, d) in &pairs {
+            cache.resolve(&t, s, d);
+        }
+        let mut plan = FaultPlan::new();
+        plan.add_node_at(5, 0);
+        let stats = cache.repair(&t, &plan);
+        assert_eq!(stats.scanned, pairs.len() as u64);
+        assert_eq!(stats.kept + stats.respliced, stats.scanned);
+        assert!(stats.kept > 0, "one faulty node cannot touch every route");
+        assert!(stats.respliced > 0, "routes through node 5 must resplice");
+        assert!(stats.work > 0);
+        assert_eq!(cache.epoch(), 1);
+
+        // Identical plan: strict no-op.
+        assert_eq!(cache.repair(&t, &plan), RepairStats::default());
+        assert_eq!(cache.epoch(), 1);
+
+        // The memo stays complete (repair is eager) and byte-identical
+        // to a rebuild from scratch, attribution included.
+        assert_eq!(cache.num_pairs(), pairs.len());
+        for &(s, d) in &pairs {
+            let slot = cache.resolve(&t, s, d);
+            match plan_route(&t, s, d, &plan) {
+                None => assert!(cache.path(slot).is_empty(), "{s}->{d}"),
+                Some((route, detour)) => {
+                    let expect: Vec<u32> = route.iter().map(|&v| v as u32).collect();
+                    assert_eq!(cache.path(slot), expect.as_slice(), "{s}->{d}");
+                    assert_eq!(cache.detour(slot), detour, "{s}->{d}");
+                }
+            }
+        }
+
+        // Revert to the empty plan: unroutable pairs and detours heal.
+        let back = cache.repair(&t, &FaultPlan::new());
+        assert!(back.respliced > 0);
+        assert_eq!(cache.epoch(), 2);
+        assert_eq!(cache.num_pairs(), pairs.len());
+        for &(s, d) in &pairs {
+            let slot = cache.resolve(&t, s, d);
+            let expect: Vec<u32> = t.route(s, d).iter().map(|&v| v as u32).collect();
+            assert_eq!(cache.path(slot), expect.as_slice());
+            assert_eq!(cache.detour(slot), None);
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "stale route slot")]
+    fn stale_slots_from_pre_delta_epochs_are_rejected() {
+        let t = HypercubeNet::new(4).unwrap();
+        let mut cache = RouteCache::new();
+        let s = cache.resolve(&t, 0, 15); // flies 0-1-3-7-15
+        let mut plan = FaultPlan::new();
+        plan.add_link(0, 1);
+        cache.set_plan(&plan);
+        assert!(!cache.is_live(s));
+        let _ = cache.path(s);
+    }
+
+    #[test]
+    fn churn_routes_freeze_and_dedup_cache_slots() {
+        let t = HypercubeNet::new(4).unwrap();
+        let mut cache = RouteCache::new();
+        let a = cache.resolve(&t, 0, 15);
+        let b = cache.resolve(&t, 2, 9);
+        let mut churn = ChurnRoutes::with_capacity(4);
+        churn.assign(&cache, a);
+        churn.assign(&cache, b);
+        churn.assign(&cache, a); // same cache slot: interned once
+        assert_eq!(churn.num_pairs(), 2);
+        assert_eq!(churn.slot_of(0), churn.slot_of(2));
+        assert_eq!(churn.path(churn.slot_of(0)), cache.path(a));
+        assert_eq!(churn.detour(churn.slot_of(1)), cache.detour(b));
+        assert_eq!(
+            churn.total_route_nodes(),
+            cache.path(a).len() + cache.path(b).len()
+        );
+
+        // After a delta kills `a`, the resolved replacement is a fresh
+        // cache slot and interns as a fresh frozen route.
+        let mut plan = FaultPlan::new();
+        plan.add_link(0, 1);
+        cache.set_plan(&plan);
+        churn.forget_dead(&cache);
+        let a2 = cache.resolve(&t, 0, 15);
+        assert_ne!(a2, a);
+        churn.assign(&cache, a2);
+        assert_eq!(churn.num_pairs(), 3);
+        assert_eq!(churn.path(churn.slot_of(3)), cache.path(a2));
+
+        // RouteSrc answers per-injection lookups from the frozen arena.
+        let src = RouteSrc::Churn(&churn);
+        assert_eq!(src.slot_for(0, 0, 15), Some(churn.slot_of(0)));
+        assert_eq!(src.path(churn.slot_of(3)), cache.path(a2));
+        assert_eq!(src.num_pairs(), 3);
+        assert!(src.is_churn());
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! one branch per serviced channel.
 
 use crate::pool::PacketPool;
-use crate::routes::RouteTable;
+use crate::routes::{RouteSrc, RouteTable};
 use crate::topology::{NetTopology, MAX_PRODUCTIVE};
 use crate::tsrec::{GlobalTs, LinkTs};
 use hb_graphs::NodeId;
@@ -768,7 +768,7 @@ pub fn run(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> 
     );
     let table = RouteTable::for_injections(topo, injections, &crate::faults::FaultPlan::new());
     if cfg.threads > 1 {
-        return crate::par::run_sharded(topo, injections, &cfg, &table, false);
+        return crate::par::run_sharded(topo, injections, &cfg, RouteSrc::Table(&table), false);
     }
     run_serial(topo, injections, &cfg, &table, None)
 }
@@ -1040,7 +1040,15 @@ pub fn run_bounded(
     cfg: SimConfig,
     capacity: usize,
 ) -> SimStats {
-    run_bounded_impl(topo, injections, &cfg, capacity, false)
+    let table = RouteTable::for_injections(topo, injections, &crate::faults::FaultPlan::new());
+    run_bounded_impl(
+        topo,
+        injections,
+        &cfg,
+        capacity,
+        false,
+        RouteSrc::Table(&table),
+    )
 }
 
 /// Reference **full-sweep** implementation of [`run_bounded`]: the same
@@ -1059,7 +1067,15 @@ pub fn run_bounded_sweep(
     cfg: SimConfig,
     capacity: usize,
 ) -> SimStats {
-    run_bounded_impl(topo, injections, &cfg, capacity, true)
+    let table = RouteTable::for_injections(topo, injections, &crate::faults::FaultPlan::new());
+    run_bounded_impl(
+        topo,
+        injections,
+        &cfg,
+        capacity,
+        true,
+        RouteSrc::Table(&table),
+    )
 }
 
 /// Shared bounded-queue engine. `sweep` selects how the per-cycle
@@ -1067,20 +1083,27 @@ pub fn run_bounded_sweep(
 /// channels in ascending id order, so every order-sensitive effect
 /// (FIFO landing order on shared target channels, trace event order,
 /// profile work counts) coincides byte-for-byte.
+///
+/// With [`RouteSrc::Churn`] routes (a fault-timeline run,
+/// [`crate::run_bounded_with_timeline`]) an injection whose compiled
+/// route is empty is **unroutable** under the plan in force at its
+/// cycle: refused at admission, counted in `sim.unroutable` and
+/// `stranded`. Detour *attribution* stays the flight/sharded engines'
+/// job — the bounded model only accounts deliverability.
 // analyze: hot(bounded-queue cycle loop must stay allocation-free; see alloc_free.rs)
-fn run_bounded_impl(
+pub(crate) fn run_bounded_impl(
     topo: &dyn NetTopology,
     injections: &[Injection],
     cfg: &SimConfig,
     capacity: usize,
     sweep: bool,
+    routes: RouteSrc<'_>,
 ) -> SimStats {
     assert!(capacity >= 1, "queues need capacity >= 1");
     assert!(
         injections.windows(2).all(|w| w[0].at <= w[1].at),
         "injections must be sorted by cycle"
     );
-    let table = RouteTable::for_injections(topo, injections, &crate::faults::FaultPlan::new());
     let layout = ChanLayout::new(topo, cfg.implicit);
     let num_channels = layout.num_channels();
     let sparse = cfg.implicit || topo.explicit_graph().is_none();
@@ -1110,14 +1133,16 @@ fn run_bounded_impl(
     let mut next_inject = 0usize;
     let mut in_flight = 0u64;
     let mut dropped = 0u64;
+    let mut unroutable = 0u64;
     let mut cycle = 0u64;
 
     while cycle < cfg.max_cycles {
         let injected_before = next_inject;
         let delivered_before = stats.delivered;
         while next_inject < injections.len() && injections[next_inject].at == cycle {
-            let inj = injections[next_inject];
-            let id = next_inject as u64;
+            let idx = next_inject;
+            let inj = injections[idx];
+            let id = idx as u64;
             next_inject += 1;
             if let Some(t) = tel {
                 t.event(|| Event::PacketInjected {
@@ -1127,15 +1152,29 @@ fn run_bounded_impl(
                     cycle,
                 });
             }
-            let slot = table
-                .slot(inj.src, inj.dst)
+            let slot = routes
+                .slot_for(idx, inj.src, inj.dst)
                 .expect("invariant: route table was built from this exact workload");
-            let path = table.path(slot);
+            let path = routes.path(slot);
             if profiling {
                 prof.lookup_inv += 1;
                 prof.lookup_work += path.len() as u64;
             }
-            if path.len() <= 1 {
+            if path.is_empty() {
+                // No survivor route under the plan in force at this
+                // cycle (churn runs only): refused at admission.
+                unroutable += 1;
+                if let Some(t) = tel {
+                    t.event(|| Event::PacketDropped {
+                        id,
+                        // analyze: allow(narrowing-cast, node ids < 2^32 by route-table construction)
+                        at: inj.src as u32,
+                        cycle,
+                    });
+                }
+                continue;
+            }
+            if path.len() == 1 {
                 stats.delivered += 1;
                 if let Some(t) = tel {
                     t.event(|| Event::PacketDelivered {
@@ -1215,7 +1254,7 @@ fn run_bounded_impl(
                 b.busy[ch] += 1;
             }
             let hop = front.hop as usize;
-            let path = table.path(front.route);
+            let path = routes.path(front.route);
             let arriving_last = hop + 2 == path.len();
             if arriving_last {
                 let mut p = queues
@@ -1314,7 +1353,7 @@ fn run_bounded_impl(
         }
     }
     stats.cycles = cycle;
-    stats.stranded = dropped + in_flight + (injections.len() - next_inject) as u64;
+    stats.stranded = dropped + unroutable + in_flight + (injections.len() - next_inject) as u64;
     if latency_samples > 0 {
         // analyze: allow(float-determinism, one division over exact integer totals at run end)
         stats.avg_latency = total_latency as f64 / latency_samples as f64;
@@ -1330,10 +1369,13 @@ fn run_bounded_impl(
         if profiling {
             prof.finish(
                 t,
-                Some((table.num_pairs() as u64, table.total_route_nodes() as u64)),
+                Some((routes.num_pairs() as u64, routes.total_route_nodes() as u64)),
             );
         }
         t.counter("sim.dropped").add(dropped);
+        if routes.is_churn() {
+            t.counter("sim.unroutable").add(unroutable);
+        }
         if let Some((gt, lt)) = ts.take() {
             lt.merge_into(t, &b.ends);
             gt.merge_into(t);
@@ -1366,8 +1408,24 @@ struct AdaptivePacket {
 /// As [`run`]; additionally panics if a topology reports no productive
 /// hop for an undelivered packet (which would contradict shortest-path
 /// reachability).
-// analyze: hot(adaptive cycle loop must stay allocation-free; see alloc_free.rs)
 pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimConfig) -> SimStats {
+    run_adaptive_impl(topo, injections, &cfg, None)
+}
+
+/// The adaptive engine body. `admission`, set by
+/// [`crate::run_adaptive_with_timeline`], gates injections on the
+/// fault-timeline routes compiled for their cycle: a packet whose
+/// compiled route is empty is unroutable and refused. In-transit
+/// adaptivity stays **fault-blind** — the productive-hop scan does not
+/// consult the plan (documented limitation; the oblivious churn engines
+/// are the fault-aware ones).
+// analyze: hot(adaptive cycle loop must stay allocation-free; see alloc_free.rs)
+pub(crate) fn run_adaptive_impl(
+    topo: &dyn NetTopology,
+    injections: &[Injection],
+    cfg: &SimConfig,
+    admission: Option<&crate::routes::ChurnRoutes>,
+) -> SimStats {
     assert!(
         injections.windows(2).all(|w| w[0].at <= w[1].at),
         "injections must be sorted by cycle"
@@ -1415,6 +1473,7 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
     let mut latency_samples = 0u64;
     let mut next_inject = 0usize;
     let mut in_flight = 0u64;
+    let mut unroutable = 0u64;
     let mut cycle = 0u64;
     // Steady-state scratch, reused every cycle: once these reach their
     // high-water capacity the simulation loop performs no heap
@@ -1427,8 +1486,9 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
         let injected_before = next_inject;
         let delivered_before = stats.delivered;
         while next_inject < injections.len() && injections[next_inject].at == cycle {
-            let inj = injections[next_inject];
-            let id = next_inject as u64;
+            let idx = next_inject;
+            let inj = injections[idx];
+            let id = idx as u64;
             next_inject += 1;
             if let Some(t) = tel {
                 t.event(|| Event::PacketInjected {
@@ -1437,6 +1497,22 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
                     dst: inj.dst as u32,
                     cycle,
                 });
+            }
+            if let Some(churn) = admission {
+                if churn.path(churn.slot_of(idx)).is_empty() {
+                    // Unroutable under the plan in force at this cycle
+                    // (e.g. a faulty endpoint): refused at admission.
+                    unroutable += 1;
+                    if let Some(t) = tel {
+                        t.event(|| Event::PacketDropped {
+                            id,
+                            // analyze: allow(narrowing-cast, node ids < 2^32 by route-table construction)
+                            at: inj.src as u32,
+                            cycle,
+                        });
+                    }
+                    continue;
+                }
             }
             if inj.src == inj.dst {
                 stats.delivered += 1;
@@ -1564,9 +1640,10 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
     }
 
     stats.cycles = cycle;
-    // Stranded = still queued plus never injected (cycle limit reached
-    // before their injection time): delivered + stranded == offered.
-    stats.stranded = in_flight + (injections.len() - next_inject) as u64;
+    // Stranded = refused at admission plus still queued plus never
+    // injected (cycle limit reached before their injection time):
+    // delivered + stranded == offered.
+    stats.stranded = unroutable + in_flight + (injections.len() - next_inject) as u64;
     if latency_samples > 0 {
         // analyze: allow(float-determinism, one division over exact integer totals at run end)
         stats.avg_latency = total_latency as f64 / latency_samples as f64;
@@ -1581,6 +1658,9 @@ pub fn run_adaptive(topo: &dyn NetTopology, injections: &[Injection], cfg: SimCo
     if let (Some(t), Some(b)) = (tel, board) {
         if profiling {
             prof.finish(t, None);
+        }
+        if admission.is_some() {
+            t.counter("sim.unroutable").add(unroutable);
         }
         if let Some((gt, lt)) = ts.take() {
             lt.merge_into(t, &b.ends);

@@ -5,7 +5,8 @@
 
 use hb_netsim::topology::{HbRouteOrder, HyperButterflyNet, HypercubeNet};
 use hb_netsim::{
-    run_with_faults, workload, FaultPlan, Injection, NetTopology, SimConfig, TraceSampling,
+    run_with_faults, run_with_timeline, workload, FaultEventKind, FaultPlan, FaultTarget,
+    FaultTimeline, Injection, NetTopology, SimConfig, TraceSampling,
 };
 use hb_telemetry::{ChromeTraceSink, Sink, Snapshot, SpanTreeSink, Telemetry};
 
@@ -140,6 +141,53 @@ fn faulted_run_exports_reroute_attribution() {
     assert!(json.contains(&format!("\"reason\":\"{reason}\"")));
     let tree = SpanTreeSink.render(&snap);
     assert!(tree.contains(&format!("decision=reroute reason={reason}")));
+}
+
+/// Fault-**timeline** attribution golden: a fixed 2-packet run on
+/// `H(2)` where link 0-1 dies at cycle 1 (timeline event 0). Packet #0
+/// is admitted before the event and flies obliviously; packet #1 is
+/// admitted after and detours 0->2->3 — its reroute hop span names the
+/// causing event (`FaultReason` event index), byte-pinned here.
+#[test]
+fn golden_timeline_trace_attributes_detours_to_their_event() {
+    let t = HypercubeNet::new(2).unwrap();
+    let inj = [
+        Injection {
+            src: 0,
+            dst: 3,
+            at: 0,
+        },
+        Injection {
+            src: 0,
+            dst: 3,
+            at: 3,
+        },
+    ];
+    let mut tl = FaultTimeline::new();
+    tl.push(1, FaultEventKind::Fault, FaultTarget::Link(0, 1));
+    let tel = Telemetry::with_trace(64);
+    let s = run_with_timeline(
+        &t,
+        &inj,
+        SimConfig::default().with_telemetry(tel.clone()),
+        &FaultPlan::new(),
+        &tl,
+        TraceSampling::All,
+    );
+    assert_eq!(s.delivered, 2);
+    assert_eq!(tel.counter("sim.reroutes").get(), 1);
+    let got = ChromeTraceSink.render(&tel.snapshot());
+    let want = r#"{"traceEvents":[
+{"ph":"X","name":"packet #0 0->3","cat":"hb","ts":0,"dur":2,"pid":0,"tid":1,"args":{"span":"1","latency":"2","hops":"2"}},
+{"ph":"X","name":"hop 0->1","cat":"hb","ts":0,"dur":1,"pid":0,"tid":1,"args":{"span":"2","parent":"1","node":"0","link":"0->1","queue":"0","decision":"oblivious","wait":"0"}},
+{"ph":"X","name":"hop 1->3","cat":"hb","ts":1,"dur":1,"pid":0,"tid":1,"args":{"span":"3","parent":"1","node":"1","link":"1->3","queue":"0","decision":"oblivious","wait":"0"}},
+{"ph":"X","name":"packet #1 0->3","cat":"hb","ts":3,"dur":2,"pid":0,"tid":4,"args":{"span":"4","rerouted":"true","latency":"2","hops":"2"}},
+{"ph":"X","name":"hop 0->2","cat":"hb","ts":3,"dur":1,"pid":0,"tid":4,"args":{"span":"5","parent":"4","node":"0","link":"0->2","queue":"0","decision":"reroute","reason":"link 0-1 faulty (event 0)","wait":"0"}},
+{"ph":"X","name":"hop 2->3","cat":"hb","ts":4,"dur":1,"pid":0,"tid":4,"args":{"span":"6","parent":"4","node":"2","link":"2->3","queue":"0","decision":"oblivious","wait":"0"}}
+],"displayTimeUnit":"ms"}
+"#;
+    assert_eq!(got, want);
+    assert_trace_event_schema(&got);
 }
 
 /// Tracing disabled leaves `SimStats` byte-identical to the

@@ -10,9 +10,9 @@ use hb_netsim::topology::{
     ButterflyNet, HbRouteOrder, HyperButterflyNet, HypercubeNet, ImplicitTopology, NetTopology,
 };
 use hb_netsim::{
-    run, run_bounded, run_with_faults,
+    run, run_bounded, run_with_faults, run_with_timeline,
     sim::{run_bounded_sweep, SimConfig},
-    workload, FaultPlan, TraceSampling,
+    workload, FaultEventKind, FaultPlan, FaultTarget, FaultTimeline, TraceSampling,
 };
 use hb_telemetry::{Profile, Telemetry, TsConfig};
 use proptest::prelude::*;
@@ -48,6 +48,36 @@ fn make_plan(seed: u64, n: usize) -> FaultPlan {
         plan.add_link(u, (u + 1) % n);
     }
     plan
+}
+
+/// A small fault/repair timeline derived from `seed`: a link fault, a
+/// node fault, and a repair of the first link, spread over the first
+/// `cycles` cycles in nondecreasing order.
+fn make_timeline(seed: u64, n: usize, cycles: u64) -> FaultTimeline {
+    let mut tl = FaultTimeline::new();
+    let u = (seed as usize * 3) % n;
+    let v = (u + 1) % n;
+    tl.push(
+        seed % (cycles + 1),
+        FaultEventKind::Fault,
+        FaultTarget::Link(u, v),
+    );
+    if seed.is_multiple_of(2) {
+        tl.push(
+            (seed + 2) % (cycles + 1) + seed % (cycles + 1),
+            FaultEventKind::Fault,
+            FaultTarget::Node((seed as usize * 11 + 5) % n),
+        );
+    }
+    if seed.is_multiple_of(3) {
+        let last = tl.events().last().map_or(0, |e| e.cycle);
+        tl.push(
+            last + 1 + seed % 4,
+            FaultEventKind::Repair,
+            FaultTarget::Link(u, v),
+        );
+    }
+    tl
 }
 
 proptest! {
@@ -165,6 +195,52 @@ proptest! {
                     .with_profile(true)
                     .with_threads(threads),
                 &plan,
+                TraceSampling::Off,
+            );
+            prop_assert_eq!(&serial, &par, "stats drift at {} threads", threads);
+            prop_assert_eq!(
+                tel_serial.snapshot(),
+                tel_par.snapshot(),
+                "snapshot drift at {} threads",
+                threads
+            );
+        }
+    }
+
+    /// Fault-**timeline** runs (mid-run churn with incremental route
+    /// repair): stats, `sim.repair.*` counters, and the full snapshot
+    /// are thread-count invariant — the compile step is engine- and
+    /// thread-independent, so churn preserves the `par_equiv` property.
+    #[test]
+    fn parallel_timeline_run_matches_serial(kind in 0u8..3, rate in 5u32..40,
+                                            cycles in 2u64..20, seed in 0u64..300) {
+        let t = make_topology(kind);
+        let n = t.num_nodes();
+        let plan = make_plan(seed, n);
+        let tl = make_timeline(seed, n, cycles);
+        let inj = workload::uniform(n, cycles, rate as f64 / 100.0, seed);
+        let tel_serial = tel_with_ts(seed);
+        let serial = run_with_timeline(
+            &*t,
+            &inj,
+            SimConfig::default()
+                .with_telemetry(tel_serial.clone())
+                .with_profile(true),
+            &plan,
+            &tl,
+            TraceSampling::Off,
+        );
+        for threads in [2usize, 4] {
+            let tel_par = tel_with_ts(seed);
+            let par = run_with_timeline(
+                &*t,
+                &inj,
+                SimConfig::default()
+                    .with_telemetry(tel_par.clone())
+                    .with_profile(true)
+                    .with_threads(threads),
+                &plan,
+                &tl,
                 TraceSampling::Off,
             );
             prop_assert_eq!(&serial, &par, "stats drift at {} threads", threads);
